@@ -1,0 +1,17 @@
+"""Figure 1: utilization of F1-like vs FAB-like NTT across polynomial lengths."""
+
+from repro.analysis.experiments import figure_01_ntt_utilization
+
+
+def test_figure_01(benchmark):
+    result = benchmark(figure_01_ntt_utilization)
+    lengths = result.column_values("poly_length")
+    f1 = result.column_values("f1_like")
+    fab = result.column_values("fab_like")
+    assert lengths == [1 << e for e in range(8, 17)]
+    # F1-like peaks at N=2^16, FAB-like peaks at N=2^8 (Section III-B claims).
+    assert f1[-1] == max(f1)
+    assert fab[0] == max(fab)
+    # And each decays toward the other end of the sweep.
+    assert f1[0] < 0.5 * f1[-1]
+    assert fab[-1] < 0.5 * fab[0]

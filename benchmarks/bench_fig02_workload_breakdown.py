@@ -1,0 +1,15 @@
+"""Figure 2: NTT vs MAC computational breakdown of CKKS KeySwitch and TFHE PBS."""
+
+from repro.analysis.experiments import figure_02_workload_breakdown
+
+
+def test_figure_02(benchmark):
+    result = benchmark(figure_02_workload_breakdown)
+    rows = {row["workload"]: row for row in result.rows}
+    # PBS is strongly NTT-dominated (paper: ~75%), KeySwitch closer to balanced.
+    for label in ("PBS Set-I", "PBS Set-II", "PBS Set-III"):
+        assert 0.65 <= rows[label]["ntt_share"] <= 0.85
+    assert 0.40 <= rows["CKKS KeySwitch"]["ntt_share"] <= 0.70
+    # Shares sum to one.
+    for row in result.rows:
+        assert abs(row["ntt_share"] + row["mac_share"] - 1.0) < 1e-6

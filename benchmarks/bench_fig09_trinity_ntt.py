@@ -1,0 +1,12 @@
+"""Figure 9: NTT utilization of the F1-like design vs the Trinity NTT."""
+
+from repro.analysis.experiments import figure_09_trinity_ntt_utilization
+
+
+def test_figure_09(benchmark):
+    result = benchmark(figure_09_trinity_ntt_utilization)
+    for row in result.rows:
+        # Trinity's NTT keeps utilization at or above the F1-like design at
+        # every polynomial length (paper: 1.2x average improvement).
+        assert row["trinity"] >= row["f1_like"] - 1e-9
+        assert row["trinity"] > 0.6

@@ -1,0 +1,10 @@
+"""Figure 10: utilization of NTTU+EWE vs NTTU+EWE+CU on CKKS workloads."""
+
+from repro.analysis.experiments import figure_10_ip_utilization
+
+
+def test_figure_10(benchmark):
+    result = benchmark(figure_10_ip_utilization)
+    for row in result.rows:
+        # Computing the Inner Product on the CUs raises utilization (paper: 1.08x).
+        assert row["trinity_utilization"] >= row["ip_on_ewe_utilization"]

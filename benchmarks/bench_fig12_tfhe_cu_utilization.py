@@ -1,0 +1,11 @@
+"""Figure 12: utilization of Trinity-TFHE w/o CU vs w/ CU on PBS."""
+
+from repro.analysis.experiments import figure_12_tfhe_cu_utilization
+
+
+def test_figure_12(benchmark):
+    result = benchmark(figure_12_tfhe_cu_utilization)
+    for row in result.rows:
+        # The flexible CU mapping raises utilization on every parameter set
+        # (paper: 1.45x on average).
+        assert row["with_cu"] > row["without_cu"]

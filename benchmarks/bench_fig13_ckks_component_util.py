@@ -1,0 +1,14 @@
+"""Figure 13: per-component utilization of Trinity on CKKS workloads."""
+
+from repro.analysis.experiments import figure_13_ckks_component_utilization
+
+
+def test_figure_13(benchmark):
+    result = benchmark(figure_13_ckks_component_utilization)
+    for row in result.rows:
+        active = [v for k, v in row.items() if k != "workload" and isinstance(v, float) and v > 0]
+        # Several component classes are active and none exceeds 100%.
+        assert len(active) >= 4
+        assert all(0 < v <= 1.0 for v in active)
+        # The NTTUs carry substantial load on CKKS workloads.
+        assert max(row.get("NTTU#1", 0.0), row.get("NTTU#2", 0.0)) > 0.2

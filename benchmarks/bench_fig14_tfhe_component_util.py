@@ -1,0 +1,16 @@
+"""Figure 14: per-component utilization of Trinity on TFHE PBS."""
+
+from repro.analysis.experiments import figure_14_tfhe_component_utilization
+
+
+def test_figure_14(benchmark):
+    result = benchmark(figure_14_tfhe_component_utilization)
+    for row in result.rows:
+        active = [v for k, v in row.items()
+                  if k != "parameter_set" and isinstance(v, float) and v > 0]
+        assert len(active) >= 4
+        assert all(0 < v <= 1.0 for v in active)
+    # Average utilization across active components stays high (paper: > 64%).
+    flat = [v for row in result.rows for k, v in row.items()
+            if k != "parameter_set" and isinstance(v, float) and v > 0]
+    assert sum(flat) / len(flat) > 0.4

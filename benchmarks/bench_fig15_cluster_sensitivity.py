@@ -1,0 +1,13 @@
+"""Figure 15: latency scaling with the number of clusters (2/4/8)."""
+
+from repro.analysis.experiments import figure_15_cluster_sensitivity
+
+
+def test_figure_15(benchmark):
+    result = benchmark(figure_15_cluster_sensitivity)
+    for row in result.rows:
+        # Latency decreases monotonically with cluster count and the 4->8
+        # scaling is close to 2x (paper: 2.04x average).
+        assert row["2 clusters"] >= row["4 clusters"] >= row["8 clusters"]
+    speedups = [row["4 clusters"] / row["8 clusters"] for row in result.rows]
+    assert 1.6 < sum(speedups) / len(speedups) < 2.2

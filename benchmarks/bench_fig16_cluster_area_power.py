@@ -1,0 +1,15 @@
+"""Figure 16: area and power scaling with the number of clusters (2/4/8)."""
+
+from repro.analysis.experiments import figure_16_cluster_area_power
+
+
+def test_figure_16(benchmark):
+    result = benchmark(figure_16_cluster_area_power)
+    rows = {row["clusters"]: row for row in result.rows}
+    # Area and power grow with cluster count but sub-linearly (shared HBM PHY),
+    # matching the paper's ~2x area from 4 -> 8 clusters and the 28% / 36%
+    # area / power reduction from 4 -> 2 clusters.
+    assert rows[2]["area_mm2"] < rows[4]["area_mm2"] < rows[8]["area_mm2"]
+    assert rows[2]["power_w"] < rows[4]["power_w"] < rows[8]["power_w"]
+    assert 1.5 < rows[8]["area_mm2"] / rows[4]["area_mm2"] < 2.2
+    assert 0.5 < rows[2]["area_mm2"] / rows[4]["area_mm2"] < 0.85

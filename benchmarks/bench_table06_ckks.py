@@ -1,0 +1,21 @@
+"""Table VI: CKKS workload latency across CPU/GPU/ASIC baselines and Trinity."""
+
+from conftest import result_by
+from repro.analysis.experiments import table_06_ckks_performance
+
+
+def test_table_06(benchmark):
+    result = benchmark(table_06_ckks_performance)
+    trinity = result_by(result, "accelerator", "Trinity")
+    sharp = result_by(result, "accelerator", "SHARP")
+    cpu = result_by(result, "accelerator", "Baseline-CKKS (CPU)")
+    f1 = result_by(result, "accelerator", "F1")
+    for workload in ("Bootstrap", "HELR", "ResNet-20"):
+        # Trinity beats SHARP (paper: 1.49x average) and SHARP beats the CPU by
+        # orders of magnitude on every workload.
+        assert trinity[workload] < sharp[workload]
+        assert sharp[workload] < cpu[workload] / 100
+    speedups = [sharp[w] / trinity[w] for w in ("Bootstrap", "HELR", "ResNet-20")]
+    assert 1.1 < sum(speedups) / len(speedups) < 2.5
+    # F1 cannot run packed bootstrapping (empty cell in the paper).
+    assert f1["Bootstrap"] is None

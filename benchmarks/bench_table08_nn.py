@@ -1,0 +1,17 @@
+"""Table VIII: NN-20/50/100 latency on the TFHE baselines and Trinity."""
+
+from conftest import result_by
+from repro.analysis.experiments import table_08_nn_performance
+
+
+def test_table_08(benchmark):
+    result = benchmark(table_08_nn_performance)
+    trinity = result_by(result, "accelerator", "Trinity")
+    strix = result_by(result, "accelerator", "Strix (128-bit)")
+    cpu = result_by(result, "accelerator", "Baseline-TFHE (CPU)")
+    for depth in (20, 50, 100):
+        label = f"NN-{depth}"
+        assert trinity[label] < strix[label]          # paper: 6.51x at equal security
+        assert trinity[label] < cpu[label] / 100      # paper: ~919x over the CPU
+    # Latency grows with network depth.
+    assert trinity["NN-20"] < trinity["NN-50"] < trinity["NN-100"]

@@ -1,0 +1,20 @@
+"""Table IX: TFHE->CKKS scheme-conversion latency for nslot in {2, 8, 32}."""
+
+from conftest import result_by
+from repro.analysis.experiments import table_09_conversion_performance
+
+
+def test_table_09(benchmark):
+    result = benchmark(table_09_conversion_performance)
+    trinity = result_by(result, "accelerator", "Trinity")
+    cpu = result_by(result, "accelerator", "Baseline-SC (CPU)")
+    speedups = []
+    for nslot in (2, 8, 32):
+        label = f"nslot={nslot}"
+        assert trinity[label] < cpu[label]
+        speedups.append(cpu[label] / trinity[label])
+    # The paper reports a ~7,814x average speedup; require the same order.
+    assert sum(speedups) / len(speedups) > 1000
+    # Latency grows with the number of packed ciphertexts on both platforms.
+    assert trinity["nslot=2"] < trinity["nslot=32"]
+    assert cpu["nslot=2"] < cpu["nslot=32"]

@@ -1,0 +1,19 @@
+"""Table X: HE3DB hybrid-query latency (CPU, SHARP+Morphling, Trinity)."""
+
+from conftest import result_by
+from repro.analysis.experiments import table_10_hybrid_performance
+
+
+def test_table_10(benchmark):
+    result = benchmark(table_10_hybrid_performance)
+    trinity = result_by(result, "accelerator", "Trinity")
+    two_chip = result_by(result, "accelerator", "SHARP+Morphling")
+    cpu = result_by(result, "accelerator", "Baseline-Hybrid (CPU)")
+    for entries in (4096, 16384):
+        label = f"HE3DB-{entries}"
+        # Trinity beats the two-chip system, which beats the CPU by orders of
+        # magnitude (paper: 13.42x and ~7,107x respectively).
+        assert trinity[label] < two_chip[label]
+        assert two_chip[label] < cpu[label] / 100
+    # Latency scales roughly linearly with the number of queried entries.
+    assert 2.0 < trinity["HE3DB-16384"] / trinity["HE3DB-4096"] < 8.0

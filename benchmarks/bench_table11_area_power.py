@@ -1,0 +1,14 @@
+"""Table XI: per-component circuit area and power of Trinity."""
+
+from repro.analysis.experiments import table_11_area_power
+from repro.core.area_power import TABLE_XI_PAPER_VALUES
+
+
+def test_table_11(benchmark):
+    result = benchmark(table_11_area_power)
+    rows = {row["component"]: row for row in result.rows}
+    total = rows["Total"]
+    paper_area, paper_power = TABLE_XI_PAPER_VALUES["Total"]
+    # The analytical model reproduces the synthesis totals within 5%.
+    assert abs(total["area_mm2"] - paper_area) / paper_area < 0.05
+    assert abs(total["power_w"] - paper_power) / paper_power < 0.05

@@ -1,0 +1,17 @@
+"""Table XII: cross-accelerator comparison (area, power, capability)."""
+
+from conftest import result_by
+from repro.analysis.experiments import table_12_accelerator_comparison
+from repro.analysis.tables import TABLE_XII_PAPER
+
+
+def test_table_12(benchmark):
+    result = benchmark(table_12_accelerator_comparison)
+    trinity = result_by(result, "accelerator", "Trinity (this model)")
+    sharp = TABLE_XII_PAPER["SHARP"]["area_mm2"]
+    morphling_7nm = 4.0
+    # Headline claim: Trinity is ~85% of the combined SHARP + Morphling area.
+    fraction = trinity["area_mm2"] / (sharp + morphling_7nm)
+    assert 0.8 < fraction < 0.95
+    # Trinity is the only design supporting both schemes and their conversion.
+    assert "TFHE" in trinity["schemes"] and "CKKS" in trinity["schemes"]

@@ -1,0 +1,16 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper via the
+experiment functions in :mod:`repro.analysis.experiments`, times it with
+pytest-benchmark, and asserts the qualitative claims the paper makes about
+that table/figure (who wins, by roughly what factor).
+"""
+
+import pytest
+
+
+def result_by(result, key_column, key_value):
+    """Find a row in an ExperimentResult by the value of one column."""
+    row = result.find_row(key_column, key_value)
+    assert row is not None, f"missing row {key_value!r} in {result.experiment_id}"
+    return row

@@ -1,0 +1,63 @@
+"""Design-space exploration with the Trinity model.
+
+The paper's sensitivity study (Figures 15/16) varies only the cluster count;
+because this reproduction exposes every structural knob of the architecture,
+the same methodology extends to other axes.  This example sweeps:
+
+* the cluster count (reproducing Figures 15 and 16),
+* the number of NTT units per cluster,
+* the configurable-unit inventory (number of CU columns),
+
+and reports, for each point, the CKKS bootstrap latency, the PBS throughput,
+and the modelled silicon area — i.e. the performance/area trade-off a
+designer would actually use this model for.
+"""
+
+from dataclasses import replace
+
+from repro.core import TrinityAccelerator, TrinityConfig
+from repro.core.area_power import AreaPowerModel
+from repro.fhe.params import TFHE_SET_I
+from repro.workloads import packed_bootstrapping_workload
+
+
+def evaluate(config: TrinityConfig) -> tuple:
+    accelerator = TrinityAccelerator(config)
+    bootstrap = packed_bootstrapping_workload()
+    bootstrap_ms = accelerator.run_traces(
+        bootstrap.traces, mapping=accelerator.ckks_mapping
+    ).latency_ms
+    pbs_ops = accelerator.pbs_throughput(TFHE_SET_I)
+    area = AreaPowerModel().total_area_mm2(config)
+    return bootstrap_ms, pbs_ops, area
+
+
+def sweep(title: str, configs: dict) -> None:
+    print(f"--- {title} ---")
+    print(f"  {'configuration':<28} {'bootstrap (ms)':>15} {'PBS Set-I (OPS)':>17} {'area (mm^2)':>13}")
+    for label, config in configs.items():
+        bootstrap_ms, pbs_ops, area = evaluate(config)
+        print(f"  {label:<28} {bootstrap_ms:>15.2f} {pbs_ops:>17,.0f} {area:>13.1f}")
+    print()
+
+
+def main() -> None:
+    base = TrinityConfig()
+    sweep("Cluster count (Figures 15/16)", {
+        f"{c} clusters": base.with_clusters(c) for c in (2, 4, 8)
+    })
+    sweep("NTT units per cluster", {
+        f"{n} NTTU / cluster": replace(base, nttus_per_cluster=n, name=f"trinity-{n}nttu")
+        for n in (1, 2, 3)
+    })
+    sweep("Configurable-unit inventory", {
+        "no CUs (fixed design)": replace(base, cu_columns=(), name="trinity-no-cu"),
+        "half CUs (1,2,3)": replace(base, cu_columns=(1, 2, 3), name="trinity-half-cu"),
+        "paper CUs (1,2,2,2,2,3)": base,
+        "double CUs": replace(base, cu_columns=(1, 1, 2, 2, 2, 2, 2, 2, 3, 3),
+                              name="trinity-double-cu"),
+    })
+
+
+if __name__ == "__main__":
+    main()

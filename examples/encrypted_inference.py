@@ -1,0 +1,95 @@
+"""Encrypted neural-network inference: the CKKS and TFHE workloads of the paper.
+
+Part 1 runs a *functional* encrypted logistic-regression classifier (a single
+neuron — the building block of the paper's HELR benchmark) on toy CKKS
+parameters: the model weights are applied to an encrypted feature vector and
+the sigmoid is approximated with a low-degree polynomial, all under
+encryption.
+
+Part 2 evaluates the paper's inference *workloads* on the hardware models:
+ResNet-20 under CKKS (Table VI) and NN-20/50/100 under TFHE (Table VIII),
+reporting Trinity next to SHARP / Strix / the CPU baselines.
+"""
+
+from repro.baselines import cpu_ckks_baseline, cpu_tfhe_baseline, sharp_model, strix_model
+from repro.core import TrinityAccelerator
+from repro.fhe.ckks import CKKSContext
+from repro.fhe.params import CKKSParameters, TFHE_SET_III
+from repro.workloads import nn_workload, resnet20_workload
+
+
+def encrypted_logistic_regression() -> None:
+    print("=== Functional encrypted classifier (one HELR neuron, toy CKKS) ===")
+    context = CKKSContext(CKKSParameters.toy(ring_degree=128, max_level=4, dnum=2), seed=11)
+    evaluator = context.evaluator
+    encoder = context.encoder
+
+    features = [0.8, -1.2, 0.5, 2.0]
+    weights = [0.6, 0.4, -1.0, 0.3]
+    bias = 0.1
+    enc_features = context.encrypt_vector(features)
+
+    # w . x : slot-wise multiply then rotate-and-add reduction over 4 slots.
+    product = evaluator.rescale(
+        evaluator.multiply_plain(enc_features, encoder.encode(weights))
+    )
+    summed = evaluator.inner_sum(product, 4)
+
+    # sigmoid(z) ~ 0.5 + 0.197 z - 0.004 z^3 (the HELR degree-3 approximation).
+    z = summed
+    z2 = evaluator.rescale(evaluator.square(z))
+    z_low = evaluator.mod_down_to(z, z2.level)
+    z3 = evaluator.rescale(evaluator.multiply(z2, z_low))
+    term1 = evaluator.rescale(
+        evaluator.multiply_plain(evaluator.mod_down_to(z, z3.level),
+                                 encoder.encode([0.197] * 4, level=z3.level))
+    )
+    term3 = evaluator.rescale(
+        evaluator.multiply_plain(z3, encoder.encode([-0.004] * 4, level=z3.level))
+    )
+    term1, term3 = evaluator.align(term1, term3)
+    logits = evaluator.add(term1, term3)
+
+    decrypted = context.decrypt_vector(logits, num_values=1)[0].real + 0.5 + bias
+    z_clear = sum(w * x for w, x in zip(weights, features))
+    sigmoid_clear = 0.5 + 0.197 * z_clear - 0.004 * z_clear ** 3 + bias
+    print(f"  encrypted prediction:  {decrypted:.4f}")
+    print(f"  cleartext reference:   {sigmoid_clear:.4f}")
+
+
+def inference_workloads_on_hardware() -> None:
+    print("=== Inference workloads on the hardware models ===")
+    trinity = TrinityAccelerator()
+
+    resnet = resnet20_workload()
+    sharp = sharp_model()
+    cpu_ckks = cpu_ckks_baseline()
+    trinity_ms = trinity.run_traces(resnet.traces, mapping=trinity.ckks_mapping).latency_ms
+    print(f"  ResNet-20 (CKKS):  Trinity {trinity_ms:8.1f} ms"
+          f" | SHARP {sharp.run_many(resnet.traces).latency_ms:8.1f} ms"
+          f" | CPU {cpu_ckks.run_many(resnet.traces).latency_ms / 1e3:8.1f} s")
+
+    strix = strix_model()
+    cpu_tfhe = cpu_tfhe_baseline()
+    for depth in (20, 50, 100):
+        workload = nn_workload(depth, TFHE_SET_III)
+        trinity_ms = sum(
+            trinity.run_trace(t, mapping=trinity.tfhe_mapping).throughput_seconds
+            for t in workload.traces
+        ) * 1e3
+        strix_ms = sum(
+            strix.run(t).throughput_cycles / (strix.spec.frequency_ghz * 1e9)
+            for t in workload.traces
+        ) * 1e3
+        cpu_s = sum(
+            cpu_tfhe.run(t).throughput_cycles / (cpu_tfhe.spec.frequency_ghz * 1e9)
+            for t in workload.traces
+        ) / 12.0
+        print(f"  NN-{depth:<3} (TFHE):    Trinity {trinity_ms:8.1f} ms"
+              f" | Strix {strix_ms:8.1f} ms | CPU (12 threads) {cpu_s:8.1f} s")
+
+
+if __name__ == "__main__":
+    encrypted_logistic_regression()
+    print()
+    inference_workloads_on_hardware()

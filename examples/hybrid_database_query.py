@@ -1,0 +1,89 @@
+"""Hybrid-scheme database query: the HE3DB / TPC-H Query 6 scenario.
+
+This is the workload that motivates a *multi-modal* accelerator: the query's
+filter predicates are logic (TFHE), the aggregation is arithmetic (CKKS), and
+scheme conversion sits between them.
+
+The example runs in two parts:
+
+1. a *functional* miniature of the pipeline on toy parameters: CKKS-encrypted
+   columns -> SampleExtract to LWE -> TFHE comparison -> (simulated) masking
+   -> repacking back into CKKS -> aggregation;
+2. the *performance* view: the HE3DB-4096 and HE3DB-16384 workloads evaluated
+   on Trinity, on the SHARP+Morphling two-chip system, and on the CPU
+   baseline (Table X of the paper).
+"""
+
+from repro.baselines import SharpPlusMorphling, cpu_hybrid_baseline
+from repro.core import TrinityAccelerator
+from repro.fhe.ckks import CKKSContext
+from repro.fhe.conversion import repack_lwe_ciphertexts, sample_extract_rlwe
+from repro.fhe.params import CKKSParameters, TFHEParameters
+from repro.fhe.tfhe import TFHEContext, TFHEGateEvaluator
+from repro.workloads import he3db_hybrid_segments, he3db_workload
+
+
+def functional_miniature() -> None:
+    print("=== Functional miniature of a hybrid query (toy parameters) ===")
+    # A tiny CKKS context holding a 'price' column in its coefficients.
+    ckks = CKKSContext(
+        CKKSParameters(ring_degree=64, max_level=1, dnum=1, scale_bits=12,
+                       modulus_bits=30, special_modulus_bits=32, security_bits=0,
+                       name="hybrid-example"),
+        seed=3, error_stddev=0.0,
+    )
+    prices = [120, 340, 75, 910]
+    threshold = 200
+    scale = ckks.params.scale
+    coefficients = [0] * ckks.params.ring_degree
+    for i, price in enumerate(prices):
+        coefficients[i] = price * scale
+    column = ckks.encrypt_symmetric(ckks.encoder.encode_coefficients(coefficients, level=0))
+
+    # CKKS -> TFHE: extract each row as an LWE ciphertext (Algorithm 3).
+    extracted = [sample_extract_rlwe(column, i) for i in range(len(prices))]
+    print(f"  extracted {len(extracted)} LWE ciphertexts from the CKKS column")
+
+    # The TFHE side evaluates the filter predicate (price < threshold) per row.
+    tfhe = TFHEContext(TFHEParameters.toy(), seed=3)
+    gates = TFHEGateEvaluator(tfhe)
+    filter_bits = []
+    for price in prices:                      # encrypted comparison, bit by bit
+        value_bits = [gates.encrypt(bool((price >> b) & 1)) for b in range(10)]
+        threshold_bits = [gates.encrypt(bool((threshold >> b) & 1)) for b in range(10)]
+        filter_bits.append(gates.decrypt(gates.less_than(value_bits, threshold_bits)))
+    print(f"  TFHE filter (price < {threshold}): {filter_bits}")
+
+    # TFHE -> CKKS: repack the (extracted) rows back into one RLWE ciphertext
+    # and aggregate only the rows that passed the filter.
+    packed = repack_lwe_ciphertexts(extracted, ckks.evaluator)
+    decrypted = ckks.decrypt(packed).poly.to_polynomial().centered_coefficients()
+    stride = ckks.params.ring_degree // len(prices)
+    recovered = [round(decrypted[i * stride] / scale) for i in range(len(prices))]
+    selected_sum = sum(p for p, keep in zip(recovered, filter_bits) if keep)
+    print(f"  repacked prices: {recovered}")
+    print(f"  SUM(price) WHERE price < {threshold}: {selected_sum} "
+          f"(expected {sum(p for p in prices if p < threshold)})")
+
+
+def performance_view() -> None:
+    print("=== Performance view: HE3DB on Trinity vs the alternatives (Table X) ===")
+    trinity = TrinityAccelerator()
+    two_chip = SharpPlusMorphling()
+    cpu = cpu_hybrid_baseline()
+    for entries in (4096, 16384):
+        workload = he3db_workload(entries)
+        trinity_seconds = sum(
+            trinity.run_trace(trace).latency_seconds for trace in workload.traces
+        )
+        two_chip_seconds = two_chip.run_hybrid(he3db_hybrid_segments(entries))
+        cpu_seconds = cpu.run_many(workload.traces).latency_seconds
+        print(f"  HE3DB-{entries}: Trinity {trinity_seconds:7.2f} s"
+              f" | SHARP+Morphling {two_chip_seconds:7.2f} s"
+              f" | CPU {cpu_seconds:10.1f} s")
+
+
+if __name__ == "__main__":
+    functional_miniature()
+    print()
+    performance_view()

@@ -1,0 +1,76 @@
+"""Quickstart: encrypt-compute-decrypt with CKKS and TFHE, then model Trinity.
+
+Run with ``python examples/quickstart.py``.  The script exercises the three
+layers of the library end to end:
+
+1. the functional FHE substrate — a CKKS dot-product and a TFHE boolean
+   circuit evaluated on real (toy-sized) ciphertexts,
+2. the kernel IR — the same operations lowered to the kernel traces the
+   hardware models consume,
+3. the Trinity model — latency/throughput of those traces on the paper's
+   default 4-cluster configuration, next to the SHARP and Morphling baselines.
+"""
+
+from repro.baselines import morphling_model, sharp_model
+from repro.core import TrinityAccelerator
+from repro.fhe.ckks import CKKSContext
+from repro.fhe.params import CKKSParameters, TFHEParameters, CKKS_DEFAULT, TFHE_SET_I
+from repro.fhe.tfhe import TFHEContext, TFHEGateEvaluator
+from repro.kernels import hmult_flow, pbs_flow
+
+
+def ckks_demo() -> None:
+    print("=== CKKS (arithmetic FHE): encrypted element-wise product ===")
+    context = CKKSContext(CKKSParameters.toy(ring_degree=64, max_level=3, dnum=2), seed=7)
+    prices = [2.5, 3.0, 1.25, 4.0]
+    quantities = [4.0, 2.0, 8.0, 1.5]
+    enc_prices = context.encrypt_vector(prices)
+    enc_quantities = context.encrypt_vector(quantities)
+    product = context.evaluator.rescale(context.evaluator.multiply(enc_prices, enc_quantities))
+    decrypted = context.decrypt_vector(product, num_values=len(prices))
+    for p, q, d in zip(prices, quantities, decrypted):
+        print(f"  {p} * {q} = {d.real:.3f} (expected {p * q})")
+
+
+def tfhe_demo() -> None:
+    print("=== TFHE (logic FHE): encrypted comparison circuit ===")
+    context = TFHEContext(TFHEParameters.toy(), seed=7)
+    gates = TFHEGateEvaluator(context)
+    threshold = 5
+    value = 3
+    value_bits = [gates.encrypt(bool((value >> i) & 1)) for i in range(3)]
+    threshold_bits = [gates.encrypt(bool((threshold >> i) & 1)) for i in range(3)]
+    below = gates.less_than(value_bits, threshold_bits)
+    print(f"  Enc({value}) < Enc({threshold})  ->  {gates.decrypt(below)}")
+
+
+def hardware_demo() -> None:
+    print("=== Trinity hardware model vs prior accelerators ===")
+    trinity = TrinityAccelerator()
+    sharp = sharp_model()
+    morphling = morphling_model()
+
+    hmult = hmult_flow(CKKS_DEFAULT, level=30)
+    trinity_hmult = trinity.run_trace(hmult, mapping=trinity.ckks_mapping)
+    sharp_hmult = sharp.run(hmult)
+    print(f"  CKKS HMult @ L=30:   Trinity {trinity_hmult.latency_seconds * 1e6:8.1f} us"
+          f"   SHARP {sharp_hmult.latency_seconds * 1e6:8.1f} us"
+          f"   (speedup {sharp_hmult.latency_seconds / trinity_hmult.latency_seconds:.2f}x)")
+
+    pbs = pbs_flow(TFHE_SET_I)
+    trinity_pbs = trinity.run_trace(pbs, mapping=trinity.tfhe_mapping)
+    morphling_pbs = morphling.run(pbs)
+    print(f"  TFHE PBS (Set-I):    Trinity {trinity_pbs.operations_per_second:10,.0f} PBS/s"
+          f"   Morphling {morphling_pbs.operations_per_second:10,.0f} PBS/s"
+          f"   (speedup {trinity_pbs.operations_per_second / morphling_pbs.operations_per_second:.2f}x)")
+
+    print(f"  Trinity chip: {trinity.total_area_mm2():.1f} mm^2, "
+          f"{trinity.total_power_w():.1f} W (paper: 157.26 mm^2, 229.36 W)")
+
+
+if __name__ == "__main__":
+    ckks_demo()
+    print()
+    tfhe_demo()
+    print()
+    hardware_demo()

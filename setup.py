@@ -1,0 +1,24 @@
+"""Setuptools entry point.
+
+A classic ``setup.py`` is used (rather than a PEP 517 build backend) because
+the offline evaluation environment has no ``wheel`` package available, and the
+legacy ``pip install -e .`` path works without it.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Trinity: A General Purpose FHE Accelerator' (MICRO 2024): "
+        "functional CKKS/TFHE/scheme-conversion library plus a cycle-level model of "
+        "the Trinity accelerator and its baselines."
+    ),
+    author="Trinity reproduction authors",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

@@ -1,0 +1,15 @@
+"""repro: reproduction of "Trinity: A General Purpose FHE Accelerator" (MICRO 2024).
+
+The package is organised in five layers (bottom-up):
+
+* :mod:`repro.fhe` — functional CKKS / TFHE / scheme-conversion substrate,
+* :mod:`repro.kernels` — the kernel IR and analytic operation counts,
+* :mod:`repro.core` — the Trinity hardware model (the paper's contribution),
+* :mod:`repro.baselines` — comparator accelerator / CPU / GPU models,
+* :mod:`repro.workloads` + :mod:`repro.analysis` — the benchmark suite and the
+  experiment harness that regenerates every table and figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["fhe", "kernels", "core", "baselines", "workloads", "analysis", "__version__"]

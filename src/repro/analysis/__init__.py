@@ -1,0 +1,54 @@
+"""Experiment harness: one function per table/figure of the paper's evaluation.
+
+:mod:`experiments` regenerates every table and figure, :mod:`tables` holds
+the paper-published reference values so each experiment reports
+paper-vs-modelled side by side, and :mod:`report` renders results as
+markdown (used to produce EXPERIMENTS.md).
+"""
+
+from .experiments import (
+    ExperimentResult,
+    figure_01_ntt_utilization,
+    figure_02_workload_breakdown,
+    figure_09_trinity_ntt_utilization,
+    figure_10_ip_utilization,
+    figure_11_ip_latency,
+    figure_12_tfhe_cu_utilization,
+    figure_13_ckks_component_utilization,
+    figure_14_tfhe_component_utilization,
+    figure_15_cluster_sensitivity,
+    figure_16_cluster_area_power,
+    table_06_ckks_performance,
+    table_07_pbs_throughput,
+    table_08_nn_performance,
+    table_09_conversion_performance,
+    table_10_hybrid_performance,
+    table_11_area_power,
+    table_12_accelerator_comparison,
+    run_all_experiments,
+)
+from .report import render_markdown_table, render_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "figure_01_ntt_utilization",
+    "figure_02_workload_breakdown",
+    "figure_09_trinity_ntt_utilization",
+    "figure_10_ip_utilization",
+    "figure_11_ip_latency",
+    "figure_12_tfhe_cu_utilization",
+    "figure_13_ckks_component_utilization",
+    "figure_14_tfhe_component_utilization",
+    "figure_15_cluster_sensitivity",
+    "figure_16_cluster_area_power",
+    "table_06_ckks_performance",
+    "table_07_pbs_throughput",
+    "table_08_nn_performance",
+    "table_09_conversion_performance",
+    "table_10_hybrid_performance",
+    "table_11_area_power",
+    "table_12_accelerator_comparison",
+    "run_all_experiments",
+    "render_markdown_table",
+    "render_experiment",
+]

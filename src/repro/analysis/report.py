@@ -1,0 +1,54 @@
+"""Markdown rendering of experiment results (used to generate EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from .experiments import ExperimentResult, run_all_experiments
+
+__all__ = ["render_markdown_table", "render_experiment", "render_full_report"]
+
+
+def _format_cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    if isinstance(value, int) and abs(value) >= 1000:
+        return f"{value:,}"
+    return str(value)
+
+
+def render_markdown_table(columns: List[str], rows: Iterable[Dict[str, object]]) -> str:
+    """Render rows (dicts) as a GitHub-flavoured markdown table."""
+    header = "| " + " | ".join(columns) + " |"
+    separator = "|" + "|".join(["---"] * len(columns)) + "|"
+    lines = [header, separator]
+    for row in rows:
+        lines.append("| " + " | ".join(_format_cell(row.get(col)) for col in columns) + " |")
+    return "\n".join(lines)
+
+
+def render_experiment(result: ExperimentResult) -> str:
+    """Render one experiment (title, table, notes) as markdown."""
+    parts = [f"### {result.experiment_id}: {result.title}", ""]
+    parts.append(render_markdown_table(result.columns, result.rows))
+    if result.notes:
+        parts.extend(["", f"*{result.notes}*"])
+    return "\n".join(parts)
+
+
+def render_full_report(results: Dict[str, ExperimentResult] | None = None) -> str:
+    """Render every experiment as one markdown document."""
+    results = run_all_experiments() if results is None else results
+    sections = ["# Regenerated evaluation (all tables and figures)", ""]
+    for key in sorted(results):
+        sections.append(render_experiment(results[key]))
+        sections.append("")
+    return "\n".join(sections)

@@ -1,0 +1,118 @@
+"""Paper-published reference values for every evaluation table.
+
+These are the numbers printed in the paper (MICRO 2024 camera-ready text);
+they are kept verbatim so that every regenerated experiment can report
+"paper" next to "modelled".  ``None`` marks cells the paper leaves empty
+(e.g. F1 cannot run packed bootstrapping).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = [
+    "TABLE_VI_PAPER_MS",
+    "TABLE_VII_PAPER_OPS",
+    "TABLE_VIII_PAPER_MS",
+    "TABLE_IX_PAPER_MS",
+    "TABLE_X_PAPER_S",
+    "TABLE_XII_PAPER",
+    "FIGURE_02_PAPER_NTT_SHARE",
+    "PAPER_HEADLINE_CLAIMS",
+]
+
+
+#: Table VI — CKKS workload latency in milliseconds.
+TABLE_VI_PAPER_MS: Dict[str, Dict[str, Optional[float]]] = {
+    "Baseline-CKKS (CPU)": {"Bootstrap": 17_200.0, "HELR": 356_000.0, "ResNet-20": 1_380_000.0},
+    "TensorFHE (GPU)": {"Bootstrap": 421.8, "HELR": 220.0, "ResNet-20": 4_939.0},
+    "F1": {"Bootstrap": None, "HELR": 639.0, "ResNet-20": 2_693.0},
+    "CraterLake": {"Bootstrap": 3.91, "HELR": 119.52, "ResNet-20": 249.45},
+    "BTS": {"Bootstrap": 22.88, "HELR": 28.4, "ResNet-20": 1_910.0},
+    "ARK": {"Bootstrap": 3.52, "HELR": 7.42, "ResNet-20": 125.0},
+    "SHARP": {"Bootstrap": 3.12, "HELR": 2.53, "ResNet-20": 99.0},
+    "Trinity": {"Bootstrap": 1.92, "HELR": 1.37, "ResNet-20": 89.0},
+}
+
+#: Table VII — TFHE PBS throughput in operations per second.
+TABLE_VII_PAPER_OPS: Dict[str, Dict[str, Optional[float]]] = {
+    "Baseline-TFHE (CPU)": {"Set-I": 63, "Set-II": 36, "Set-III": 12},
+    "NuFHE (GPU)": {"Set-I": 2_500, "Set-II": 550, "Set-III": None},
+    "Matcha": {"Set-I": 10_000, "Set-II": None, "Set-III": None},
+    "Strix": {"Set-I": 74_696, "Set-II": 39_600, "Set-III": 21_104},
+    "Morphling": {"Set-I": 147_615, "Set-II": 78_692, "Set-III": 41_850},
+    "Morphling@1.0GHz": {"Set-I": 123_012, "Set-II": 65_576, "Set-III": 34_875},
+    "Trinity-TFHE w/o CU": {"Set-I": 83_333, "Set-II": 49_603, "Set-III": 26_393},
+    "Trinity-TFHE w/ CU": {"Set-I": 150_015, "Set-II": 85_034, "Set-III": 45_246},
+    "Trinity": {"Set-I": 600_060, "Set-II": 340_136, "Set-III": 180_987},
+}
+
+#: Table VIII — NN-x latency in milliseconds.
+TABLE_VIII_PAPER_MS: Dict[str, Dict[str, Optional[float]]] = {
+    "Baseline-TFHE (CPU)": {"NN-20": 64_600.0, "NN-50": 129_250.0, "NN-100": 263_540.0},
+    "Strix (128-bit)": {"NN-20": 434.44, "NN-50": 1_193.77, "NN-100": 1_511.77},
+    "Strix (best, 80-bit)": {"NN-20": 78.96, "NN-50": 148.73, "NN-100": 551.28},
+    "Trinity": {"NN-20": 69.86, "NN-50": 146.26, "NN-100": 277.13},
+}
+
+#: Table IX — scheme-conversion latency in milliseconds.
+TABLE_IX_PAPER_MS: Dict[str, Dict[str, Optional[float]]] = {
+    "Baseline-SC (CPU)": {"nslot=2": 364.0, "nslot=8": 492.0, "nslot=32": 1_168.0},
+    "Trinity": {"nslot=2": 0.049, "nslot=8": 0.063, "nslot=32": 0.142},
+}
+
+#: Table X — hybrid HE3DB latency in seconds.
+TABLE_X_PAPER_S: Dict[str, Dict[str, Optional[float]]] = {
+    "Baseline-Hybrid (CPU)": {"HE3DB-4096": 3_012.0, "HE3DB-16384": 11_835.0},
+    "SHARP+Morphling": {"HE3DB-4096": 5.64, "HE3DB-16384": 22.55},
+    "Trinity": {"HE3DB-4096": 0.42, "HE3DB-16384": 1.68},
+}
+
+#: Table XII — cross-accelerator comparison (published characteristics).
+TABLE_XII_PAPER: Dict[str, Dict[str, object]] = {
+    "CraterLake": {
+        "schemes": "CKKS", "word_bits": 28, "frequency_ghz": 1.0,
+        "off_chip_bw": "1 TB/s", "on_chip_capacity_mb": 282,
+        "technology": "12nm", "area_mm2": 472.3, "power_w": 320.0,
+    },
+    "SHARP": {
+        "schemes": "CKKS", "word_bits": 36, "frequency_ghz": 1.0,
+        "off_chip_bw": "1 TB/s", "on_chip_capacity_mb": 198,
+        "technology": "7nm", "area_mm2": 178.8, "power_w": None,
+    },
+    "Morphling": {
+        "schemes": "TFHE", "word_bits": 32, "frequency_ghz": 1.2,
+        "off_chip_bw": "310 GB/s", "on_chip_capacity_mb": 11,
+        "technology": "28nm", "area_mm2": 74.0, "power_w": 53.0,
+    },
+    "Trinity": {
+        "schemes": "CKKS; TFHE; CKKS<->TFHE", "word_bits": 36, "frequency_ghz": 1.0,
+        "off_chip_bw": "1 TB/s", "on_chip_capacity_mb": 191,
+        "technology": "7nm", "area_mm2": 157.26, "power_w": 229.36,
+    },
+}
+
+#: Figure 2 — NTT share of the compute in each workload (the rest is MAC).
+FIGURE_02_PAPER_NTT_SHARE: Dict[str, float] = {
+    "CKKS KeySwitch": 0.592,
+    "PBS Set-I": 0.756,
+    "PBS Set-II": 0.745,
+    "PBS Set-III": 0.763,
+}
+
+#: The headline claims of the abstract / Section VI.
+PAPER_HEADLINE_CLAIMS: Dict[str, float] = {
+    "ckks_speedup_over_sharp": 1.49,
+    "ckks_speedup_over_sharp_max": 1.85,
+    "pbs_speedup_over_morphling": 4.23,
+    "nn_speedup_over_cpu": 919.3,
+    "conversion_speedup_over_cpu": 7_814.0,
+    "hybrid_speedup_over_cpu": 7_107.0,
+    "hybrid_speedup_over_sharp_morphling": 13.42,
+    "area_fraction_of_sharp_plus_morphling": 0.85,
+    "ntt_utilization_gain_over_f1": 1.2,
+    "ip_on_cu_utilization_gain": 1.08,
+    "ip_on_cu_latency_gain": 1.12,
+    "tfhe_cu_utilization_gain": 1.45,
+    "cluster_scaling_4_to_8_speedup": 2.04,
+}

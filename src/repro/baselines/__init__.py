@@ -1,0 +1,47 @@
+"""Comparator models: CPUs, GPUs, and prior FHE ASIC accelerators (Table V).
+
+Every baseline is an :class:`~repro.baselines.base.AcceleratorModel` — a
+throughput-level model that consumes the same kernel traces as the Trinity
+simulator, so the cross-accelerator comparisons of Tables VI-X run the exact
+same workloads on every design.  The published per-paper performance numbers
+(Table VI/VII/VIII rows quoted by the paper) are additionally recorded in
+:mod:`repro.analysis.tables` so each experiment reports paper-published
+values next to the modelled ones.
+"""
+
+from .base import AcceleratorModel, ThroughputSpec
+from .cpu import cpu_ckks_baseline, cpu_tfhe_baseline, cpu_conversion_baseline, cpu_hybrid_baseline
+from .gpu import gpu_ckks_baseline, gpu_tfhe_baseline
+from .asics import (
+    f1_model,
+    craterlake_model,
+    bts_model,
+    ark_model,
+    sharp_model,
+    matcha_model,
+    strix_model,
+    morphling_model,
+    morphling_1ghz_model,
+)
+from .combined import SharpPlusMorphling
+
+__all__ = [
+    "AcceleratorModel",
+    "ThroughputSpec",
+    "cpu_ckks_baseline",
+    "cpu_tfhe_baseline",
+    "cpu_conversion_baseline",
+    "cpu_hybrid_baseline",
+    "gpu_ckks_baseline",
+    "gpu_tfhe_baseline",
+    "f1_model",
+    "craterlake_model",
+    "bts_model",
+    "ark_model",
+    "sharp_model",
+    "matcha_model",
+    "strix_model",
+    "morphling_model",
+    "morphling_1ghz_model",
+    "SharpPlusMorphling",
+]

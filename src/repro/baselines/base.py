@@ -1,0 +1,149 @@
+"""Base class for comparator accelerator models.
+
+A baseline is described by a :class:`ThroughputSpec`: the peak per-cycle
+throughput of the four work classes (NTT butterflies, MACs, element-wise
+lanes, permute lanes), the core frequency, and an efficiency factor per work
+class capturing how well the design keeps those resources busy on FHE
+workloads.  The model then evaluates any kernel trace with the same
+latency/throughput semantics as the Trinity simulator:
+
+* ``latency`` — sequential steps, each bounded by its slowest work class plus
+  a per-step overhead;
+* ``throughput`` — steady-state resource-bound cost (busiest work class).
+
+This is deliberately coarser than the Trinity model (no per-unit breakdown):
+it is exactly the level of detail available from the comparators' published
+descriptions in Table V.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..kernels.kernel import Kernel, KernelTrace
+from ..core.mapping import WORK_CLASS_OF_KERNEL, kernel_work
+
+__all__ = ["ThroughputSpec", "AcceleratorModel", "BaselineReport"]
+
+
+@dataclass(frozen=True)
+class ThroughputSpec:
+    """Peak per-cycle throughputs and per-class efficiencies of one design."""
+
+    ntt_butterflies_per_cycle: float
+    mac_lanes_per_cycle: float
+    elementwise_lanes_per_cycle: float
+    permute_lanes_per_cycle: float
+    frequency_ghz: float = 1.0
+    ntt_efficiency: float = 0.8
+    mac_efficiency: float = 0.8
+    elementwise_efficiency: float = 0.9
+    permute_efficiency: float = 0.9
+    step_overhead_cycles: float = 100.0
+    chained_step_overhead_cycles: float = 20.0
+
+    def effective_per_cycle(self, work_class: str) -> float:
+        """Peak x efficiency for one work class."""
+        if work_class == "ntt":
+            return self.ntt_butterflies_per_cycle * self.ntt_efficiency
+        if work_class == "mac":
+            return self.mac_lanes_per_cycle * self.mac_efficiency
+        if work_class == "elementwise":
+            return self.elementwise_lanes_per_cycle * self.elementwise_efficiency
+        if work_class == "data":
+            return self.permute_lanes_per_cycle * self.permute_efficiency
+        raise ValueError(f"unknown work class {work_class!r}")
+
+
+@dataclass
+class BaselineReport:
+    """Performance of one trace on one baseline."""
+
+    name: str
+    accelerator: str
+    latency_cycles: float
+    throughput_cycles: float
+    frequency_ghz: float
+    class_busy_cycles: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.latency_cycles / (self.frequency_ghz * 1e9)
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_seconds * 1e3
+
+    @property
+    def operations_per_second(self) -> float:
+        if self.throughput_cycles <= 0:
+            return float("inf")
+        return (self.frequency_ghz * 1e9) / self.throughput_cycles
+
+
+@dataclass
+class AcceleratorModel:
+    """A named comparator accelerator evaluated over kernel traces."""
+
+    name: str
+    spec: ThroughputSpec
+    area_mm2: Optional[float] = None
+    power_w: Optional[float] = None
+    technology: str = ""
+    supported_schemes: tuple = ("ckks", "tfhe", "conversion", "mixed")
+    description: str = ""
+
+    def supports(self, scheme: str) -> bool:
+        return scheme in self.supported_schemes
+
+    # -- evaluation ----------------------------------------------------------
+    def run(self, trace: KernelTrace) -> BaselineReport:
+        """Evaluate one kernel trace on this design."""
+        busy: Dict[str, float] = {"ntt": 0.0, "mac": 0.0, "elementwise": 0.0, "data": 0.0}
+        latency = 0.0
+        for step in trace:
+            step_class_cycles: Dict[str, float] = {}
+            for kernel in step.kernels:
+                work_class = WORK_CLASS_OF_KERNEL[kernel.kind]
+                throughput = self.spec.effective_per_cycle(work_class)
+                if throughput <= 0:
+                    raise ValueError(
+                        f"{self.name} cannot execute {kernel.kind} kernels"
+                    )
+                cycles = kernel_work(kernel) / throughput
+                step_class_cycles[work_class] = step_class_cycles.get(work_class, 0.0) + cycles
+            compute = max(step_class_cycles.values()) if step_class_cycles else 0.0
+            overhead = (
+                self.spec.chained_step_overhead_cycles
+                if step.repeat > 1
+                else self.spec.step_overhead_cycles
+            )
+            latency += (compute + overhead) * step.repeat
+            for work_class, cycles in step_class_cycles.items():
+                busy[work_class] += cycles * step.repeat
+        throughput_cycles = max(busy.values()) if busy else 0.0
+        return BaselineReport(
+            name=trace.name,
+            accelerator=self.name,
+            latency_cycles=latency,
+            throughput_cycles=throughput_cycles,
+            frequency_ghz=self.spec.frequency_ghz,
+            class_busy_cycles=busy,
+        )
+
+    def run_many(self, traces) -> BaselineReport:
+        """Evaluate a sequence of traces as one workload (latencies add)."""
+        combined = KernelTrace.concatenate(
+            name="+".join(t.name for t in traces[:3]) + ("..." if len(traces) > 3 else ""),
+            traces=traces,
+            scheme=traces[0].scheme if traces else "mixed",
+        )
+        return self.run(combined)
+
+    def latency_seconds(self, trace: KernelTrace) -> float:
+        return self.run(trace).latency_seconds
+
+    def operations_per_second(self, trace: KernelTrace) -> float:
+        return self.run(trace).operations_per_second

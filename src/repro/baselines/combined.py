@@ -1,0 +1,85 @@
+"""The SHARP+Morphling two-chip system (Table V, hybrid-scheme comparison).
+
+The paper's strongest prior-art point of comparison for hybrid workloads is a
+system that pairs a SHARP chip (CKKS) with a Morphling chip (TFHE) over a
+PCIe 5 link of 128 GB/s.  CKKS segments run on SHARP, TFHE segments on
+Morphling, and every scheme-conversion boundary pays the PCIe transfer of the
+ciphertexts crossing between the chips — the system-level overhead Trinity
+eliminates by keeping both schemes on one die.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..kernels.kernel import KernelTrace
+from .asics import morphling_model, sharp_model
+from .base import AcceleratorModel
+
+__all__ = ["HybridSegment", "SharpPlusMorphling"]
+
+
+@dataclass(frozen=True)
+class HybridSegment:
+    """One scheme-homogeneous phase of a hybrid workload."""
+
+    scheme: str                       # "ckks" | "tfhe" | "conversion"
+    traces: Tuple[KernelTrace, ...]
+    transfer_bytes: float = 0.0       # ciphertext bytes crossing to the next segment
+
+    def __post_init__(self) -> None:
+        if self.scheme not in ("ckks", "tfhe", "conversion"):
+            raise ValueError(f"unknown segment scheme {self.scheme!r}")
+
+
+@dataclass
+class SharpPlusMorphling:
+    """A SHARP + Morphling pair connected by PCIe 5 (128 GB/s)."""
+
+    pcie_bandwidth_gbps: float = 128.0
+    sharp: AcceleratorModel = field(default_factory=sharp_model)
+    morphling: AcceleratorModel = field(default_factory=morphling_model)
+
+    @property
+    def name(self) -> str:
+        return "SHARP+Morphling"
+
+    @property
+    def area_mm2(self) -> float:
+        """Combined silicon area (7nm-equivalent for Morphling, per the paper)."""
+        morphling_7nm_area = 4.0   # the paper quotes 4 mm^2 at 7 nm for Morphling
+        return (self.sharp.area_mm2 or 0.0) + morphling_7nm_area
+
+    def transfer_seconds(self, transfer_bytes: float) -> float:
+        """PCIe transfer time for one conversion boundary."""
+        if transfer_bytes <= 0:
+            return 0.0
+        return transfer_bytes / (self.pcie_bandwidth_gbps * 1e9)
+
+    def run_hybrid(self, segments: Sequence[HybridSegment]) -> float:
+        """End-to-end latency (seconds) of a hybrid workload on the two-chip system.
+
+        CKKS and conversion segments execute on SHARP, TFHE segments on
+        Morphling; each segment boundary with a non-zero transfer size pays
+        the PCIe hop.
+        """
+        total_seconds = 0.0
+        for segment in segments:
+            chip = self.morphling if segment.scheme == "tfhe" else self.sharp
+            for trace in segment.traces:
+                total_seconds += chip.run(trace).latency_seconds
+            total_seconds += self.transfer_seconds(segment.transfer_bytes)
+        return total_seconds
+
+    def run_segment_breakdown(self, segments: Sequence[HybridSegment]) -> List[Tuple[str, float]]:
+        """Per-segment latency breakdown (label, seconds) for reporting."""
+        breakdown: List[Tuple[str, float]] = []
+        for index, segment in enumerate(segments):
+            chip = self.morphling if segment.scheme == "tfhe" else self.sharp
+            compute = sum(chip.run(trace).latency_seconds for trace in segment.traces)
+            breakdown.append((f"segment-{index}-{segment.scheme}", compute))
+            transfer = self.transfer_seconds(segment.transfer_bytes)
+            if transfer:
+                breakdown.append((f"segment-{index}-pcie", transfer))
+        return breakdown

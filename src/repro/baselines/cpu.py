@@ -1,0 +1,119 @@
+"""CPU baseline models.
+
+The paper's CPU baselines are software FHE libraries on server CPUs
+(Table V): Lattigo-style CKKS on an AMD Ryzen 3975WX, TFHE (Concrete) on an
+Intel Xeon Platinum 8280, the conversion reference implementation on an
+i7-4770K, and single-threaded HE3DB on the Xeon.  The models charge kernel
+work against an *effective* vector throughput — a fraction of a butterfly /
+MAC per cycle — which is what measured FHE software achieves once memory
+traffic, modular reduction, and poor vectorisation are accounted for.  The
+effective rates are calibrated so the CPU rows of Tables VI-X land in the
+same range as the published measurements.
+"""
+
+from __future__ import annotations
+
+from .base import AcceleratorModel, ThroughputSpec
+
+__all__ = [
+    "cpu_ckks_baseline",
+    "cpu_tfhe_baseline",
+    "cpu_conversion_baseline",
+    "cpu_hybrid_baseline",
+]
+
+
+def cpu_ckks_baseline() -> AcceleratorModel:
+    """Baseline-CKKS: multi-threaded RNS-CKKS library on an AMD Ryzen 3975WX."""
+    return AcceleratorModel(
+        name="Baseline-CKKS (CPU)",
+        spec=ThroughputSpec(
+            ntt_butterflies_per_cycle=0.15,
+            mac_lanes_per_cycle=0.3,
+            elementwise_lanes_per_cycle=0.6,
+            permute_lanes_per_cycle=1.0,
+            frequency_ghz=3.5,
+            ntt_efficiency=1.0,
+            mac_efficiency=1.0,
+            elementwise_efficiency=1.0,
+            permute_efficiency=1.0,
+            step_overhead_cycles=2000.0,
+            chained_step_overhead_cycles=500.0,
+        ),
+        power_w=280.0,
+        technology="7nm (CPU)",
+        supported_schemes=("ckks", "conversion", "mixed"),
+        description="32-core workstation CPU running an RNS-CKKS library",
+    )
+
+
+def cpu_tfhe_baseline() -> AcceleratorModel:
+    """Baseline-TFHE: Concrete-style TFHE library on an Intel Xeon Platinum 8280."""
+    return AcceleratorModel(
+        name="Baseline-TFHE (CPU)",
+        spec=ThroughputSpec(
+            ntt_butterflies_per_cycle=0.35,
+            mac_lanes_per_cycle=0.7,
+            elementwise_lanes_per_cycle=1.5,
+            permute_lanes_per_cycle=2.5,
+            frequency_ghz=2.7,
+            ntt_efficiency=1.0,
+            mac_efficiency=1.0,
+            elementwise_efficiency=1.0,
+            permute_efficiency=1.0,
+            step_overhead_cycles=1500.0,
+            chained_step_overhead_cycles=400.0,
+        ),
+        power_w=205.0,
+        technology="14nm (CPU)",
+        supported_schemes=("tfhe",),
+        description="Xeon Platinum 8280 (12 threads) running gate/program bootstrapping",
+    )
+
+
+def cpu_conversion_baseline() -> AcceleratorModel:
+    """Baseline-SC: the conversion reference implementation on an i7-4770K."""
+    return AcceleratorModel(
+        name="Baseline-SC (CPU)",
+        spec=ThroughputSpec(
+            ntt_butterflies_per_cycle=0.12,
+            mac_lanes_per_cycle=0.25,
+            elementwise_lanes_per_cycle=0.5,
+            permute_lanes_per_cycle=1.0,
+            frequency_ghz=3.5,
+            ntt_efficiency=1.0,
+            mac_efficiency=1.0,
+            elementwise_efficiency=1.0,
+            permute_efficiency=1.0,
+            step_overhead_cycles=3000.0,
+            chained_step_overhead_cycles=800.0,
+        ),
+        power_w=84.0,
+        technology="22nm (CPU)",
+        supported_schemes=("conversion", "ckks"),
+        description="Quad-core desktop CPU running the CDKS repacking reference code",
+    )
+
+
+def cpu_hybrid_baseline() -> AcceleratorModel:
+    """Baseline-Hybrid: single-threaded HE3DB on an Intel Xeon Platinum 8280."""
+    return AcceleratorModel(
+        name="Baseline-Hybrid (CPU)",
+        spec=ThroughputSpec(
+            ntt_butterflies_per_cycle=0.3,
+            mac_lanes_per_cycle=0.6,
+            elementwise_lanes_per_cycle=1.2,
+            permute_lanes_per_cycle=2.0,
+            frequency_ghz=2.7,
+            ntt_efficiency=1.0,
+            mac_efficiency=1.0,
+            elementwise_efficiency=1.0,
+            permute_efficiency=1.0,
+            step_overhead_cycles=3000.0,
+            chained_step_overhead_cycles=800.0,
+        ),
+        power_w=205.0,
+        technology="14nm (CPU)",
+        supported_schemes=("ckks", "tfhe", "conversion", "mixed"),
+        description="Single Xeon thread running the HE3DB arithmetic+logic pipeline",
+    )

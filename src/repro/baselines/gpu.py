@@ -1,0 +1,62 @@
+"""GPU baseline models (TensorFHE for CKKS, NuFHE for TFHE).
+
+GPUs deliver two to three orders of magnitude more modular-arithmetic
+throughput than the CPU baselines but remain well below the ASICs: TensorFHE
+maps NTTs onto tensor cores, NuFHE runs the TFHE FFT path on a Titan RTX.
+The throughput specs are calibrated to land the GPU rows of Tables VI and VII
+in the published range.
+"""
+
+from __future__ import annotations
+
+from .base import AcceleratorModel, ThroughputSpec
+
+__all__ = ["gpu_ckks_baseline", "gpu_tfhe_baseline"]
+
+
+def gpu_ckks_baseline() -> AcceleratorModel:
+    """TensorFHE: CKKS with tensor-core NTTs on an NVIDIA A100-class GPU."""
+    return AcceleratorModel(
+        name="TensorFHE (GPU)",
+        spec=ThroughputSpec(
+            ntt_butterflies_per_cycle=48.0,
+            mac_lanes_per_cycle=96.0,
+            elementwise_lanes_per_cycle=192.0,
+            permute_lanes_per_cycle=256.0,
+            frequency_ghz=1.41,
+            ntt_efficiency=0.7,
+            mac_efficiency=0.7,
+            elementwise_efficiency=0.8,
+            permute_efficiency=0.8,
+            step_overhead_cycles=5000.0,
+            chained_step_overhead_cycles=1000.0,
+        ),
+        power_w=400.0,
+        technology="7nm (GPU)",
+        supported_schemes=("ckks", "conversion", "mixed"),
+        description="GPGPU CKKS with NTTs on tensor cores",
+    )
+
+
+def gpu_tfhe_baseline() -> AcceleratorModel:
+    """NuFHE: GPU-powered torus FHE on an NVIDIA Titan RTX."""
+    return AcceleratorModel(
+        name="NuFHE (GPU)",
+        spec=ThroughputSpec(
+            ntt_butterflies_per_cycle=40.0,
+            mac_lanes_per_cycle=80.0,
+            elementwise_lanes_per_cycle=56.0,
+            permute_lanes_per_cycle=64.0,
+            frequency_ghz=1.35,
+            ntt_efficiency=0.7,
+            mac_efficiency=0.7,
+            elementwise_efficiency=0.8,
+            permute_efficiency=0.8,
+            step_overhead_cycles=4000.0,
+            chained_step_overhead_cycles=800.0,
+        ),
+        power_w=280.0,
+        technology="12nm (GPU)",
+        supported_schemes=("tfhe",),
+        description="GPU TFHE gate bootstrapping",
+    )

@@ -1,0 +1,43 @@
+"""The Trinity accelerator model (the paper's primary contribution).
+
+The package models Trinity at the granularity the paper evaluates it:
+
+* :mod:`config` — the hardware configuration of Table III (clusters, NTTU /
+  CU-x geometry, memories, frequency) with every knob adjustable for the
+  sensitivity studies,
+* :mod:`components` — per-functional-unit throughput/latency models,
+* :mod:`ntt_strategies` — utilization models of F1-like, FAB-like, and
+  Trinity NTT designs (Figures 1 and 9),
+* :mod:`mapping` — the kernel-to-component mapping policies of Figure 7,
+  including the comparison variants (IP-on-EWE, TFHE without CU),
+* :mod:`simulator` — the cycle-level performance model that executes kernel
+  traces against a configuration + mapping,
+* :mod:`accelerator` — the :class:`TrinityAccelerator` facade (public API),
+* :mod:`area_power` — the area / power model (Tables XI and XII, Figure 16),
+* :mod:`variants` — pre-built comparison configurations used in Section VI.
+"""
+
+from .accelerator import TrinityAccelerator
+from .config import TrinityConfig, CUConfig, NTTUConfig, MemoryConfig
+from .mapping import MappingPolicy, trinity_ckks_mapping, trinity_tfhe_mapping
+from .simulator import PerformanceReport, TrinitySimulator
+from .area_power import AreaPowerModel, AreaPowerBreakdown
+from .ntt_strategies import F1LikeNTT, FABLikeNTT, TrinityNTT
+
+__all__ = [
+    "TrinityAccelerator",
+    "TrinityConfig",
+    "CUConfig",
+    "NTTUConfig",
+    "MemoryConfig",
+    "MappingPolicy",
+    "trinity_ckks_mapping",
+    "trinity_tfhe_mapping",
+    "PerformanceReport",
+    "TrinitySimulator",
+    "AreaPowerModel",
+    "AreaPowerBreakdown",
+    "F1LikeNTT",
+    "FABLikeNTT",
+    "TrinityNTT",
+]

@@ -1,0 +1,120 @@
+"""Public facade of the Trinity model: :class:`TrinityAccelerator`.
+
+This is the object the examples and the benchmark harness interact with.  It
+bundles a configuration, the per-scheme mapping policies, the simulator, and
+the area/power model, and it exposes convenience entry points for the
+operations and workloads the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..fhe.params import CKKSParameters, TFHEParameters, CKKS_DEFAULT, TFHE_SET_I
+from ..kernels.ckks_flows import ckks_operation_flow
+from ..kernels.conversion_flows import ckks_to_tfhe_flow, tfhe_to_ckks_flow
+from ..kernels.kernel import KernelTrace
+from ..kernels.tfhe_flows import pbs_flow
+from .area_power import AreaPowerBreakdown, AreaPowerModel
+from .config import DEFAULT_TRINITY_CONFIG, TrinityConfig
+from .mapping import (
+    MappingPolicy,
+    select_mapping,
+    trinity_ckks_mapping,
+    trinity_conversion_mapping,
+    trinity_tfhe_mapping,
+)
+from .simulator import PerformanceReport, TrinitySimulator
+
+__all__ = ["TrinityAccelerator"]
+
+
+class TrinityAccelerator:
+    """A ready-to-run Trinity instance (configuration + mappings + simulator)."""
+
+    def __init__(self, config: TrinityConfig = DEFAULT_TRINITY_CONFIG,
+                 area_power_model: Optional[AreaPowerModel] = None):
+        self.config = config
+        self.simulator = TrinitySimulator(config)
+        self.area_power_model = area_power_model or AreaPowerModel()
+        self._mappings: Dict[str, MappingPolicy] = {}
+
+    # -- mapping management -----------------------------------------------------
+    def mapping_for(self, scheme: str) -> MappingPolicy:
+        """The (cached) default mapping policy for a scheme."""
+        if scheme not in self._mappings:
+            self._mappings[scheme] = select_mapping(scheme, self.config)
+        return self._mappings[scheme]
+
+    @property
+    def ckks_mapping(self) -> MappingPolicy:
+        return self.mapping_for("ckks")
+
+    @property
+    def tfhe_mapping(self) -> MappingPolicy:
+        return self.mapping_for("tfhe")
+
+    @property
+    def conversion_mapping(self) -> MappingPolicy:
+        return self.mapping_for("conversion")
+
+    # -- running traces ------------------------------------------------------------
+    def run_trace(self, trace: KernelTrace,
+                  mapping: Optional[MappingPolicy] = None) -> PerformanceReport:
+        """Simulate an arbitrary kernel trace."""
+        mapping = mapping or self.mapping_for(trace.scheme if trace.scheme in
+                                              ("ckks", "tfhe") else "conversion")
+        return self.simulator.run(trace, mapping=mapping)
+
+    def run_traces(self, traces: List[KernelTrace],
+                   mapping: Optional[MappingPolicy] = None) -> PerformanceReport:
+        """Simulate a list of traces as one sequential workload."""
+        if not traces:
+            raise ValueError("no traces to run")
+        mapping = mapping or self.mapping_for(
+            traces[0].scheme if traces[0].scheme in ("ckks", "tfhe") else "conversion"
+        )
+        return self.simulator.run_many(traces, mapping=mapping)
+
+    # -- convenience entry points ----------------------------------------------------
+    def run_ckks_operation(self, operation: str, level: int,
+                           params: CKKSParameters = CKKS_DEFAULT) -> PerformanceReport:
+        """Latency of one CKKS operation (Table II) at a given level."""
+        trace = ckks_operation_flow(operation, params, level)
+        return self.run_trace(trace, mapping=self.ckks_mapping)
+
+    def run_pbs(self, params: TFHEParameters = TFHE_SET_I) -> PerformanceReport:
+        """Latency/throughput of one TFHE programmable bootstrapping."""
+        return self.run_trace(pbs_flow(params), mapping=self.tfhe_mapping)
+
+    def pbs_throughput(self, params: TFHEParameters = TFHE_SET_I) -> float:
+        """Steady-state PBS operations per second (Table VII metric)."""
+        return self.run_pbs(params).operations_per_second
+
+    def run_conversion_to_tfhe(self, params: CKKSParameters, nslot: int) -> PerformanceReport:
+        """CKKS -> TFHE conversion (Algorithm 3)."""
+        return self.run_trace(ckks_to_tfhe_flow(params, nslot),
+                              mapping=self.conversion_mapping)
+
+    def run_conversion_to_ckks(self, params: CKKSParameters, nslot: int) -> PerformanceReport:
+        """TFHE -> CKKS conversion (Algorithms 4-5, the Table IX benchmark)."""
+        return self.run_trace(tfhe_to_ckks_flow(params, nslot),
+                              mapping=self.conversion_mapping)
+
+    # -- hardware cost ---------------------------------------------------------------
+    def area_power(self) -> AreaPowerBreakdown:
+        """Full-chip area/power breakdown (Table XI granularity)."""
+        return self.area_power_model.component_table(self.config)
+
+    def total_area_mm2(self) -> float:
+        return self.area_power_model.total_area_mm2(self.config)
+
+    def total_power_w(self) -> float:
+        return self.area_power_model.total_power_w(self.config)
+
+    def describe(self) -> Dict[str, object]:
+        """Configuration summary extended with area/power (Table XII row)."""
+        summary = self.config.describe()
+        summary["area_mm2"] = self.total_area_mm2()
+        summary["power_w"] = self.total_power_w()
+        return summary

@@ -1,0 +1,188 @@
+"""Area and power model of Trinity (Tables XI, XII and Figure 16).
+
+The paper reports per-component area/power from TSMC 7 nm synthesis; this
+module reproduces that breakdown analytically.  Per-component *densities*
+(mm^2 and W per lane / per PE column) are calibrated so that the default
+configuration reproduces Table XI, and the same densities then produce the
+cluster-count scaling study of Figure 16 and the SHARP/Morphling comparison
+of Table XII for any other configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .config import TrinityConfig, DEFAULT_TRINITY_CONFIG
+
+__all__ = ["AreaPowerBreakdown", "AreaPowerModel", "TABLE_XI_PAPER_VALUES"]
+
+
+#: The published Table XI values (area mm^2, power W), kept for comparison.
+TABLE_XI_PAPER_VALUES: Dict[str, tuple] = {
+    "2x NTTU": (3.20, 4.24),
+    "1x CU-1": (0.18, 0.31),
+    "4x CU-2": (1.44, 2.48),
+    "1x CU-3": (0.55, 0.93),
+    "AutoU": (0.04, 0.22),
+    "Rotator": (2.40, 8.57),
+    "EWE": (1.87, 4.47),
+    "VPU": (0.05, 0.07),
+    "NoC (intergroup and intragroup)": (0.10, 13.24),
+    "local buffer": (6.45, 1.41),
+    "cluster": (16.28, 35.94),
+    "4x cluster": (65.12, 143.76),
+    "inter-cluster NoC": (20.60, 27.00),
+    "scratchpad": (41.94, 26.80),
+    "HBM PHY": (29.60, 31.80),
+    "Total": (157.26, 229.36),
+}
+
+
+@dataclass
+class AreaPowerBreakdown:
+    """Per-component area (mm^2) and power (W) of one configuration."""
+
+    config_name: str
+    components: Dict[str, tuple] = field(default_factory=dict)
+
+    def add(self, name: str, area_mm2: float, power_w: float) -> None:
+        self.components[name] = (round(area_mm2, 3), round(power_w, 3))
+
+    @property
+    def cluster_area_mm2(self) -> float:
+        return sum(a for name, (a, _) in self.components.items() if name.startswith("cluster:"))
+
+    @property
+    def total_area_mm2(self) -> float:
+        return round(sum(a for a, _ in self.components.values()), 2)
+
+    @property
+    def total_power_w(self) -> float:
+        return round(sum(p for _, p in self.components.values()), 2)
+
+    def as_rows(self):
+        """Rows (component, area, power) for table rendering."""
+        rows = [(name, area, power) for name, (area, power) in self.components.items()]
+        rows.append(("Total", self.total_area_mm2, self.total_power_w))
+        return rows
+
+
+@dataclass(frozen=True)
+class AreaPowerModel:
+    """Per-component densities calibrated against Table XI (7 nm, 1 GHz).
+
+    * NTTU: area/power per unit (128 rows x 8 stages),
+    * CU: area/power per PE column (128 PEs),
+    * fixed units (AutoU, Rotator, EWE, VPU, TP) per instance,
+    * memories per MB, NoCs per cluster / per chip.
+    """
+
+    nttu_area: float = 1.60
+    nttu_power: float = 2.12
+    cu_column_area: float = 0.181
+    cu_column_power: float = 0.31
+    transpose_area: float = 0.02
+    transpose_power: float = 0.05
+    autou_area: float = 0.04
+    autou_power: float = 0.22
+    rotator_area: float = 2.40
+    rotator_power: float = 8.57
+    ewe_area_per_lane: float = 1.87 / 512
+    ewe_power_per_lane: float = 4.47 / 512
+    vpu_area: float = 0.05
+    vpu_power: float = 0.07
+    group_noc_area: float = 0.10
+    group_noc_power: float = 13.24
+    local_buffer_area_per_mb: float = 6.45 / (3 * 2.81)
+    local_buffer_power_per_mb: float = 1.41 / (3 * 2.81)
+    scratchpad_area_per_mb: float = 41.94 / 180.0
+    scratchpad_power_per_mb: float = 26.80 / 180.0
+    inter_cluster_noc_area_per_cluster: float = 20.60 / 4
+    inter_cluster_noc_power_per_cluster: float = 27.00 / 4
+    hbm_phy_area: float = 29.60
+    hbm_phy_power: float = 31.80
+
+    # -- per-cluster and chip-level roll-ups -----------------------------------
+    def cluster_breakdown(self, config: TrinityConfig) -> Dict[str, tuple]:
+        """Area/power of the components inside one cluster."""
+        components: Dict[str, tuple] = {}
+        components[f"{config.nttus_per_cluster}x NTTU"] = (
+            config.nttus_per_cluster * self.nttu_area,
+            config.nttus_per_cluster * self.nttu_power,
+        )
+        for index, columns in enumerate(config.cu_columns):
+            components[f"CU-{columns} (#{index + 1})"] = (
+                columns * self.cu_column_area,
+                columns * self.cu_column_power,
+            )
+        components[f"{config.transpose_units_per_cluster}x TP"] = (
+            config.transpose_units_per_cluster * self.transpose_area,
+            config.transpose_units_per_cluster * self.transpose_power,
+        )
+        components["AutoU"] = (self.autou_area, self.autou_power)
+        components["Rotator"] = (self.rotator_area, self.rotator_power)
+        components["EWE"] = (
+            config.ewe_lanes * self.ewe_area_per_lane,
+            config.ewe_lanes * self.ewe_power_per_lane,
+        )
+        components["VPU"] = (self.vpu_area, self.vpu_power)
+        components["NoC (inter/intra group)"] = (self.group_noc_area, self.group_noc_power)
+        local_buffer_mb = 3 * config.memory.local_buffer_capacity_mb  # one per group
+        components["local buffers"] = (
+            local_buffer_mb * self.local_buffer_area_per_mb,
+            local_buffer_mb * self.local_buffer_power_per_mb,
+        )
+        return components
+
+    def cluster_totals(self, config: TrinityConfig) -> tuple:
+        breakdown = self.cluster_breakdown(config)
+        return (
+            sum(a for a, _ in breakdown.values()),
+            sum(p for _, p in breakdown.values()),
+        )
+
+    def chip_breakdown(self, config: TrinityConfig) -> AreaPowerBreakdown:
+        """Full-chip breakdown: clusters + inter-cluster NoC + scratchpad + HBM."""
+        result = AreaPowerBreakdown(config_name=config.name)
+        cluster_area, cluster_power = self.cluster_totals(config)
+        result.add(f"{config.clusters}x cluster", cluster_area * config.clusters,
+                   cluster_power * config.clusters)
+        result.add(
+            "inter-cluster NoC",
+            self.inter_cluster_noc_area_per_cluster * config.clusters,
+            self.inter_cluster_noc_power_per_cluster * config.clusters,
+        )
+        scratchpad_mb = config.memory.scratchpad_capacity_mb * config.clusters
+        result.add("scratchpad", scratchpad_mb * self.scratchpad_area_per_mb,
+                   scratchpad_mb * self.scratchpad_power_per_mb)
+        result.add("HBM PHY", self.hbm_phy_area, self.hbm_phy_power)
+        return result
+
+    def component_table(self, config: TrinityConfig = DEFAULT_TRINITY_CONFIG) -> AreaPowerBreakdown:
+        """The Table XI-style per-component breakdown (one cluster + chip level)."""
+        result = AreaPowerBreakdown(config_name=config.name)
+        for name, (area, power) in self.cluster_breakdown(config).items():
+            result.add(f"cluster: {name}", area, power)
+        chip = self.chip_breakdown(config)
+        # Replace the aggregated per-cluster line with the chip-level lines so
+        # the total matches a whole chip: cluster components above describe ONE
+        # cluster, so add the remaining (clusters - 1) as a single line.
+        cluster_area, cluster_power = self.cluster_totals(config)
+        if config.clusters > 1:
+            result.add(
+                f"{config.clusters - 1}x additional clusters",
+                cluster_area * (config.clusters - 1),
+                cluster_power * (config.clusters - 1),
+            )
+        for name, (area, power) in chip.components.items():
+            if name.endswith("x cluster"):
+                continue
+            result.add(name, area, power)
+        return result
+
+    def total_area_mm2(self, config: TrinityConfig) -> float:
+        return self.chip_breakdown(config).total_area_mm2
+
+    def total_power_w(self, config: TrinityConfig) -> float:
+        return self.chip_breakdown(config).total_power_w

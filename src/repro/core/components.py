@@ -1,0 +1,119 @@
+"""Functional-unit models for one Trinity cluster (Figure 3).
+
+Each :class:`FunctionalUnit` carries the peak per-cycle throughput of the
+four work classes the kernel IR distinguishes:
+
+* ``ntt_butterflies`` — butterfly operations per cycle (NTTU rows x stages,
+  or CU PEs in NTT mode),
+* ``mac_lanes`` — multiply-accumulate lanes per cycle (CU PEs in systolic
+  mode, or a baseline's BConv unit),
+* ``elementwise_lanes`` — modular multiply/add lanes (EWE, VPU),
+* ``permute_lanes`` — data-movement lanes (AutoU, Rotator, TP).
+
+A configurable unit exposes *both* NTT and MAC throughput; which one is used
+for a given kernel is decided by the mapping policy, never by the unit —
+mirroring how the real CU is statically reconfigured per kernel (Section
+IV-C) and never runs both modes at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .config import TrinityConfig
+
+__all__ = ["FunctionalUnit", "build_cluster_units"]
+
+
+@dataclass(frozen=True)
+class FunctionalUnit:
+    """Peak per-cycle throughput of one functional unit instance."""
+
+    name: str
+    unit_class: str                 # "nttu", "cu", "tp", "ewe", "autou", "rotator", "vpu"
+    ntt_butterflies: int = 0
+    mac_lanes: int = 0
+    elementwise_lanes: int = 0
+    permute_lanes: int = 0
+
+    def supports(self, work_class: str) -> bool:
+        """Whether the unit can contribute to a work class at all."""
+        return self.throughput(work_class) > 0
+
+    def throughput(self, work_class: str) -> int:
+        """Per-cycle throughput for ``work_class`` (butterflies, MACs, lanes)."""
+        if work_class == "ntt":
+            return self.ntt_butterflies
+        if work_class == "mac":
+            return self.mac_lanes
+        if work_class == "elementwise":
+            return self.elementwise_lanes
+        if work_class == "data":
+            return self.permute_lanes
+        raise ValueError(f"unknown work class {work_class!r}")
+
+
+def build_cluster_units(config: TrinityConfig) -> List[FunctionalUnit]:
+    """Instantiate the functional units of one cluster from a configuration.
+
+    Unit names are stable identifiers used by the mapping policies and the
+    per-component utilization figures (Figures 13 and 14): ``NTTU``, ``TP``,
+    ``CU-1``, ``CU-2#1`` ... ``CU-2#4``, ``CU-3``, ``EWE``, ``AutoU``,
+    ``Rotator``, ``VPU``.
+    """
+    units: List[FunctionalUnit] = []
+    for index in range(config.nttus_per_cluster):
+        suffix = f"#{index + 1}" if config.nttus_per_cluster > 1 else ""
+        units.append(
+            FunctionalUnit(
+                name=f"NTTU{suffix}",
+                unit_class="nttu",
+                ntt_butterflies=config.nttu.butterflies_per_cycle,
+            )
+        )
+    for index in range(config.transpose_units_per_cluster):
+        suffix = f"#{index + 1}" if config.transpose_units_per_cluster > 1 else ""
+        units.append(
+            FunctionalUnit(
+                name=f"TP{suffix}",
+                unit_class="tp",
+                permute_lanes=config.nttu.elements_per_cycle,
+            )
+        )
+    # Configurable units: name CU-x, disambiguating repeated column counts.
+    seen: Dict[int, int] = {}
+    column_totals: Dict[int, int] = {}
+    for columns in config.cu_columns:
+        column_totals[columns] = column_totals.get(columns, 0) + 1
+    for columns in config.cu_columns:
+        seen[columns] = seen.get(columns, 0) + 1
+        if column_totals[columns] > 1:
+            name = f"CU-{columns}#{seen[columns]}"
+        else:
+            name = f"CU-{columns}"
+        pe_count = columns * config.cu_rows
+        units.append(
+            FunctionalUnit(
+                name=name,
+                unit_class="cu",
+                ntt_butterflies=pe_count,
+                mac_lanes=pe_count,
+            )
+        )
+    # The EWE can execute MAC-style kernels (Inner Product) as well: one
+    # modular multiply-accumulate per lane per cycle.  Routing IP there is
+    # what the Trinity-CKKS_IP-use-EWE comparison variant exercises — it is
+    # slower than the CU pool simply because the EWE has fewer lanes than
+    # the configurable units combined.
+    units.append(FunctionalUnit(name="EWE", unit_class="ewe",
+                                elementwise_lanes=config.ewe_lanes,
+                                mac_lanes=config.ewe_lanes))
+    units.append(FunctionalUnit(name="AutoU", unit_class="autou",
+                                permute_lanes=config.autou_lanes))
+    units.append(FunctionalUnit(name="Rotator", unit_class="rotator",
+                                permute_lanes=config.rotator_lanes))
+    units.append(FunctionalUnit(name="VPU", unit_class="vpu",
+                                elementwise_lanes=config.vpu_lanes,
+                                mac_lanes=config.vpu_lanes))
+    return units

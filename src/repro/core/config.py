@@ -1,0 +1,177 @@
+"""Trinity hardware configuration (paper Table III and Section IV).
+
+Every structural knob of the accelerator is captured here so that the
+sensitivity studies (Figures 15 and 16, the TFHE ablation variants, and the
+SHARP-like / Morphling-like baseline configurations) are just different
+:class:`TrinityConfig` values run through the same simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+__all__ = ["NTTUConfig", "CUConfig", "MemoryConfig", "TrinityConfig", "DEFAULT_TRINITY_CONFIG"]
+
+
+@dataclass(frozen=True)
+class NTTUConfig:
+    """Geometry of one NTT unit (Figure 4): ``M`` rows of butterfly units.
+
+    The default matches the paper: M = 128, eight butterfly stages, so the
+    unit consumes 2M = 256 elements per cycle and computes a 256-point NTT
+    fully pipelined.
+    """
+
+    rows: int = 128
+    butterfly_stages: int = 8
+
+    @property
+    def elements_per_cycle(self) -> int:
+        return 2 * self.rows
+
+    @property
+    def butterflies_per_cycle(self) -> int:
+        """Butterfly operations retired per cycle (rows x pipeline stages)."""
+        return self.rows * self.butterfly_stages
+
+    @property
+    def native_points(self) -> int:
+        """Largest NTT the unit computes in one pass (2^stages)."""
+        return 1 << self.butterfly_stages
+
+
+@dataclass(frozen=True)
+class CUConfig:
+    """Geometry of one configurable unit CU-x (Figure 5): ``columns`` x ``rows`` PEs."""
+
+    columns: int
+    rows: int = 128
+
+    @property
+    def name(self) -> str:
+        return f"CU-{self.columns}"
+
+    @property
+    def pe_count(self) -> int:
+        return self.columns * self.rows
+
+    @property
+    def ntt_butterflies_per_cycle(self) -> int:
+        """In NTT mode every PE is one butterfly unit."""
+        return self.pe_count
+
+    @property
+    def mac_lanes_per_cycle(self) -> int:
+        """In MAC (systolic) mode every PE retires one multiply-accumulate."""
+        return self.pe_count
+
+    @property
+    def elements_per_cycle(self) -> int:
+        """Elements streamed per cycle (2 per butterfly row)."""
+        return 2 * self.rows
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """On-chip and off-chip memory system (Section IV-J)."""
+
+    hbm_bandwidth_gbps: float = 1000.0          # 1 TB/s aggregate (2 HBM2 stacks)
+    scratchpad_capacity_mb: float = 45.0        # per cluster
+    scratchpad_bandwidth_gbps: float = 9000.0   # per cluster (9 TB/s)
+    local_buffer_capacity_mb: float = 2.81      # per group local buffer
+    local_buffer_bandwidth_gbps: float = 11250.0  # per local buffer (11.25 TB/s)
+
+    def scratchpad_bytes_per_cycle(self, frequency_ghz: float) -> float:
+        """Per-cluster scratchpad bytes deliverable per cycle."""
+        return self.scratchpad_bandwidth_gbps / frequency_ghz
+
+    def hbm_bytes_per_cycle(self, frequency_ghz: float) -> float:
+        """Off-chip bytes deliverable per cycle (whole chip)."""
+        return self.hbm_bandwidth_gbps / frequency_ghz
+
+
+@dataclass(frozen=True)
+class TrinityConfig:
+    """A complete Trinity instance (Table III defaults).
+
+    ``cu_columns`` lists the configurable units in one Group-1 instance:
+    the default ``(1, 2, 2, 2, 2, 3)`` is the paper's one CU-1, four CU-2 and
+    one CU-3.
+    """
+
+    name: str = "Trinity"
+    clusters: int = 4
+    frequency_ghz: float = 1.0
+    word_bits: int = 36
+    nttus_per_cluster: int = 2
+    nttu: NTTUConfig = field(default_factory=NTTUConfig)
+    cu_columns: Tuple[int, ...] = (1, 2, 2, 2, 2, 3)
+    cu_rows: int = 128
+    transpose_units_per_cluster: int = 2
+    ewe_lanes: int = 512
+    autou_lanes: int = 256
+    rotator_lanes: int = 256
+    vpu_lanes: int = 256
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    pipeline_fill_cycles: int = 40      # per-step pipeline fill/drain overhead
+
+    def __post_init__(self) -> None:
+        if self.clusters < 1:
+            raise ValueError("clusters must be >= 1")
+        if self.nttus_per_cluster < 0:
+            raise ValueError("nttus_per_cluster must be >= 0")
+        if not self.cu_columns and self.nttus_per_cluster == 0:
+            raise ValueError("the configuration has no compute units at all")
+
+    # -- derived quantities -------------------------------------------------
+    @property
+    def configurable_units(self) -> List[CUConfig]:
+        """The CU-x instances of one cluster."""
+        return [CUConfig(columns=c, rows=self.cu_rows) for c in self.cu_columns]
+
+    @property
+    def total_cu_columns(self) -> int:
+        """Total PE columns across one cluster's CUs."""
+        return sum(self.cu_columns)
+
+    @property
+    def word_bytes(self) -> float:
+        return self.word_bits / 8.0
+
+    @property
+    def nttu_butterflies_per_cluster(self) -> int:
+        return self.nttus_per_cluster * self.nttu.butterflies_per_cycle
+
+    @property
+    def cu_ntt_butterflies_per_cluster(self) -> int:
+        return self.total_cu_columns * self.cu_rows
+
+    @property
+    def cu_mac_lanes_per_cluster(self) -> int:
+        return self.total_cu_columns * self.cu_rows
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count to wall-clock seconds at the core frequency."""
+        return cycles / (self.frequency_ghz * 1e9)
+
+    def with_clusters(self, clusters: int) -> "TrinityConfig":
+        """The same design scaled to a different cluster count (Figures 15/16)."""
+        return replace(self, clusters=clusters, name=f"{self.name}-{clusters}c")
+
+    def describe(self) -> Dict[str, object]:
+        """A summary dictionary used by the comparison table (Table XII)."""
+        return {
+            "name": self.name,
+            "clusters": self.clusters,
+            "frequency_ghz": self.frequency_ghz,
+            "word_bits": self.word_bits,
+            "nttus_per_cluster": self.nttus_per_cluster,
+            "cu_columns": list(self.cu_columns),
+            "off_chip_bandwidth_gbps": self.memory.hbm_bandwidth_gbps,
+            "scratchpad_capacity_mb": self.memory.scratchpad_capacity_mb * self.clusters,
+        }
+
+
+#: The paper's default Trinity configuration (Table III).
+DEFAULT_TRINITY_CONFIG = TrinityConfig()

@@ -1,0 +1,237 @@
+"""Kernel-to-component mapping policies (Figure 7 and Section IV-F).
+
+A :class:`MappingPolicy` decides, per kernel kind, which functional units of a
+cluster execute that kernel.  The policies below encode the paper's
+allocation strategy — *"prioritise fulfilling NTT requirements first, then
+allocate the unutilised CUs to BConv, Inner Product, and External Product"* —
+plus the comparison variants used in Section VI:
+
+* :func:`trinity_ckks_mapping` — Figure 7(a/b/d): NTT on the two NTTUs,
+  BConv on CU-1 + CU-3 + two CU-2s, Inner Product on the remaining two CU-2s
+  (the ``ip_on_ewe=True`` variant moves IP back to the EWE, reproducing
+  Trinity-CKKS_IP-use-EWE),
+* :func:`trinity_tfhe_mapping` — Figure 7(c/e): NTTU plus CU-1, CU-3 and two
+  CU-2s form two parallel NTT chains, the other two CU-2s do the External
+  Product MACs, the VPU does ModSwitch and the TFHE KeySwitch
+  (``use_cu=False`` reproduces the fixed Trinity-TFHE w/o CU design),
+* :func:`trinity_conversion_mapping` — Section IV-G: SampleExtract and Rotate
+  on the Rotator, HRotate on the CKKS datapath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..kernels.kernel import Kernel, KernelKind
+from .components import FunctionalUnit, build_cluster_units
+from .config import TrinityConfig
+from .ntt_strategies import TrinityNTT
+
+__all__ = [
+    "WORK_CLASS_OF_KERNEL",
+    "kernel_work",
+    "MappingPolicy",
+    "trinity_ckks_mapping",
+    "trinity_tfhe_mapping",
+    "trinity_conversion_mapping",
+    "select_mapping",
+]
+
+
+#: Work class charged for every kernel kind (mirrors opcounts.KERNEL_CLASS but
+#: routes element-wise and data kernels to the matching hardware lanes).
+WORK_CLASS_OF_KERNEL: Dict[KernelKind, str] = {
+    KernelKind.NTT: "ntt",
+    KernelKind.INTT: "ntt",
+    KernelKind.BCONV: "mac",
+    KernelKind.IP: "mac",
+    KernelKind.MAC: "mac",
+    KernelKind.LWE_KEYSWITCH: "mac",
+    KernelKind.MODMUL: "elementwise",
+    KernelKind.MODADD: "elementwise",
+    KernelKind.MODSWITCH: "elementwise",
+    KernelKind.AUTO: "data",
+    KernelKind.ROTATE: "data",
+    KernelKind.SAMPLE_EXTRACT: "data",
+    KernelKind.DECOMPOSE: "data",
+    KernelKind.TRANSPOSE: "data",
+}
+
+
+def kernel_work(kernel: Kernel) -> float:
+    """Amount of work (in the kernel's work-class unit) of one kernel.
+
+    NTT work is measured in butterflies, MAC work in multiply-accumulates,
+    element-wise and data work in elements.
+    """
+    import math
+
+    n = kernel.poly_length
+    work_class = WORK_CLASS_OF_KERNEL[kernel.kind]
+    if work_class == "ntt":
+        stages = max(1, int(math.log2(n)))
+        return kernel.count * (n / 2) * stages
+    if work_class == "mac":
+        return kernel.count * n * kernel.inner
+    return float(kernel.count * n)
+
+
+@dataclass
+class MappingPolicy:
+    """Assignment of kernel kinds to cluster functional units."""
+
+    name: str
+    scheme: str
+    units: List[FunctionalUnit]
+    assignments: Dict[KernelKind, Tuple[str, ...]]
+    ntt_model: TrinityNTT = field(default_factory=TrinityNTT)
+
+    def __post_init__(self) -> None:
+        unit_names = {unit.name for unit in self.units}
+        for kind, names in self.assignments.items():
+            missing = set(names) - unit_names
+            if missing:
+                raise ValueError(f"assignment for {kind} references unknown units {missing}")
+
+    def units_for(self, kind: KernelKind) -> List[FunctionalUnit]:
+        """The functional units assigned to a kernel kind (may be empty)."""
+        names = self.assignments.get(kind, ())
+        by_name = {unit.name: unit for unit in self.units}
+        return [by_name[name] for name in names]
+
+    def throughput_for(self, kernel: Kernel) -> Dict[str, float]:
+        """Per-unit effective throughput (work units per cycle) for a kernel."""
+        work_class = WORK_CLASS_OF_KERNEL[kernel.kind]
+        result: Dict[str, float] = {}
+        for unit in self.units_for(kernel.kind):
+            peak = unit.throughput(work_class)
+            if peak <= 0:
+                continue
+            if work_class == "ntt":
+                efficiency = self.ntt_model.utilization(
+                    kernel.poly_length, batch=max(1, kernel.count)
+                )
+                result[unit.name] = peak * max(efficiency, 1e-3)
+            else:
+                result[unit.name] = float(peak)
+        return result
+
+    def unit_names(self) -> List[str]:
+        return [unit.name for unit in self.units]
+
+
+def _unit_names_by_class(units: Sequence[FunctionalUnit], unit_class: str) -> List[str]:
+    return [unit.name for unit in units if unit.unit_class == unit_class]
+
+
+def trinity_ckks_mapping(config: TrinityConfig, ip_on_ewe: bool = False) -> MappingPolicy:
+    """CKKS mapping of Figure 7: NTT on NTTUs, BConv and IP on the CUs."""
+    units = build_cluster_units(config)
+    nttus = _unit_names_by_class(units, "nttu")
+    cus = _unit_names_by_class(units, "cu")
+    tps = _unit_names_by_class(units, "tp")
+    # Dynamic allocation (Section IV-F): BConv and Inner Product never execute
+    # in the same kernel step of a keyswitch, so the scheduler hands *all*
+    # configurable units to whichever MAC kernel is active.  Figure 7 shows
+    # the per-kernel snapshots of that allocation (CU-1/CU-3/two CU-2 on
+    # BConv, the other two CU-2 on IP); at the step level both kernels see
+    # the full CU pool.
+    ip_units = tuple(cus) or ("EWE",)
+    bconv_units = tuple(cus) or ("EWE",)
+    if ip_on_ewe:
+        ip_units = ("EWE",)
+    assignments: Dict[KernelKind, Tuple[str, ...]] = {
+        KernelKind.NTT: tuple(nttus),
+        KernelKind.INTT: tuple(nttus),
+        KernelKind.BCONV: bconv_units,
+        KernelKind.IP: ip_units,
+        KernelKind.MAC: bconv_units,
+        KernelKind.MODMUL: ("EWE",),
+        KernelKind.MODADD: ("EWE",),
+        KernelKind.MODSWITCH: ("VPU",),
+        KernelKind.LWE_KEYSWITCH: ("VPU",),
+        KernelKind.AUTO: ("AutoU",),
+        KernelKind.ROTATE: ("Rotator",),
+        KernelKind.SAMPLE_EXTRACT: ("Rotator",),
+        KernelKind.DECOMPOSE: ("Rotator",),
+        KernelKind.TRANSPOSE: tuple(tps),
+    }
+    name = "trinity-ckks-ip-on-ewe" if ip_on_ewe else "trinity-ckks"
+    ntt_model = TrinityNTT(
+        nttu_stages=config.nttu.butterfly_stages,
+        nttu_lanes=config.nttu.elements_per_cycle,
+        cu_columns=0,               # CKKS at N = 2^16 keeps both four-step phases on the NTTU
+        cu_rows=config.cu_rows,
+        limb_batch=8,
+    )
+    return MappingPolicy(name=name, scheme="ckks", units=units,
+                         assignments=assignments, ntt_model=ntt_model)
+
+
+def trinity_tfhe_mapping(config: TrinityConfig, use_cu: bool = True) -> MappingPolicy:
+    """TFHE mapping of Figure 7: CUs extend the NTTU for short NTTs."""
+    units = build_cluster_units(config)
+    nttus = _unit_names_by_class(units, "nttu")
+    cus = _unit_names_by_class(units, "cu")
+    mac_cus = tuple(name for name in cus if name.startswith("CU-2"))[:2] or \
+        tuple(cus[:1]) or ("VPU",)
+    ntt_cus = tuple(name for name in cus if name not in mac_cus)
+    if not use_cu:
+        # Fixed design: NTT only on the NTTUs, MACs on a fixed systolic array
+        # modelled by the same two CU-2s (depth 12 in the paper); the other
+        # CUs are simply unused.
+        ntt_units: Tuple[str, ...] = tuple(nttus)
+        mac_units: Tuple[str, ...] = mac_cus
+        ntt_cu_columns = 0
+    else:
+        ntt_units = tuple(nttus) + ntt_cus
+        mac_units = mac_cus
+        ntt_cu_columns = sum(
+            int(name.split("-")[1].split("#")[0]) for name in ntt_cus
+        )
+    assignments: Dict[KernelKind, Tuple[str, ...]] = {
+        KernelKind.NTT: ntt_units,
+        KernelKind.INTT: ntt_units,
+        KernelKind.MAC: mac_units,
+        KernelKind.BCONV: mac_units,
+        KernelKind.IP: mac_units,
+        KernelKind.MODMUL: ("EWE",),
+        KernelKind.MODADD: ("EWE",),
+        KernelKind.MODSWITCH: ("VPU",),
+        KernelKind.LWE_KEYSWITCH: ("VPU",),
+        KernelKind.AUTO: ("AutoU",),
+        KernelKind.ROTATE: ("Rotator",),
+        KernelKind.SAMPLE_EXTRACT: ("Rotator",),
+        KernelKind.DECOMPOSE: ("Rotator",),
+        KernelKind.TRANSPOSE: tuple(_unit_names_by_class(units, "tp")),
+    }
+    name = "trinity-tfhe" if use_cu else "trinity-tfhe-no-cu"
+    ntt_model = TrinityNTT(
+        nttu_stages=config.nttu.butterfly_stages,
+        nttu_lanes=config.nttu.elements_per_cycle,
+        cu_columns=ntt_cu_columns,
+        cu_rows=config.cu_rows,
+        limb_batch=4,               # (k+1) * l_b independent branches in flight
+    )
+    return MappingPolicy(name=name, scheme="tfhe", units=units,
+                         assignments=assignments, ntt_model=ntt_model)
+
+
+def trinity_conversion_mapping(config: TrinityConfig) -> MappingPolicy:
+    """Scheme-conversion mapping (Section IV-G): the CKKS datapath + Rotator."""
+    policy = trinity_ckks_mapping(config)
+    policy.name = "trinity-conversion"
+    policy.scheme = "conversion"
+    return policy
+
+
+def select_mapping(scheme: str, config: TrinityConfig) -> MappingPolicy:
+    """Pick the default mapping policy for a workload's scheme."""
+    if scheme == "ckks":
+        return trinity_ckks_mapping(config)
+    if scheme == "tfhe":
+        return trinity_tfhe_mapping(config)
+    if scheme in ("conversion", "mixed", "hybrid"):
+        return trinity_conversion_mapping(config)
+    raise ValueError(f"no mapping policy for scheme {scheme!r}")

@@ -1,0 +1,56 @@
+"""Inter-cluster NoC model (Section IV-J).
+
+Trinity's inter-cluster network is a fully-connected all-to-all crossbar used
+for switching between the limb-wise and slot-wise data layouts (Section IV-I).
+The model charges the cycles needed to move a full ciphertext working set
+across the NoC at its bisection bandwidth; the cost appears between CKKS
+kernel groups that change layout (NTT <-> BConv/IP) and is small relative to
+the compute time at paper-scale parameters, matching the paper's treatment of
+the NoC as a non-bottleneck component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import TrinityConfig
+
+__all__ = ["InterClusterNoC"]
+
+
+@dataclass(frozen=True)
+class InterClusterNoC:
+    """All-to-all inter-cluster network."""
+
+    config: TrinityConfig
+    link_bytes_per_cycle: float = 256.0     # per directed cluster pair
+
+    @property
+    def bisection_bytes_per_cycle(self) -> float:
+        """Aggregate bytes per cycle across the bisection of the all-to-all NoC."""
+        clusters = self.config.clusters
+        if clusters < 2:
+            return float("inf")
+        links_across_bisection = (clusters // 2) * (clusters - clusters // 2)
+        return links_across_bisection * self.link_bytes_per_cycle * 2
+
+    def layout_switch_cycles(self, poly_length: int, limbs: int) -> float:
+        """Cycles to transpose a ``limbs x poly_length`` working set between layouts.
+
+        Switching limb-wise <-> slot-wise requires every cluster to exchange
+        (clusters - 1)/clusters of its data with the others.
+        """
+        clusters = self.config.clusters
+        total_bytes = poly_length * limbs * self.config.word_bytes
+        if clusters < 2:
+            return 0.0
+        cross_bytes = total_bytes * (clusters - 1) / clusters
+        return cross_bytes / self.bisection_bytes_per_cycle
+
+    def broadcast_cycles(self, poly_length: int, limbs: int) -> float:
+        """Cycles to broadcast one polynomial to every other cluster."""
+        clusters = self.config.clusters
+        if clusters < 2:
+            return 0.0
+        bytes_to_send = poly_length * limbs * self.config.word_bytes * (clusters - 1)
+        return bytes_to_send / (self.link_bytes_per_cycle * (clusters - 1))

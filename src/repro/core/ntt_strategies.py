@@ -1,0 +1,186 @@
+"""Utilization models of the NTT design points compared in the paper.
+
+Figure 1 contrasts two prior design styles across polynomial lengths
+2^8..2^16:
+
+* **F1-like** — a deep pipeline of eight butterfly stages processing 256
+  elements per cycle (one complete 256-point NTT per cycle), using the
+  four-step decomposition for longer polynomials.  Utilization suffers at
+  small N because a short stream cannot keep the deep pipeline full, and at
+  intermediate N because the second four-step phase uses only a fraction of
+  the eight stages.
+* **FAB-like** — a single butterfly stage that is very wide (2048 elements /
+  1024 butterflies per cycle) and iterates over the log2(N) stages.  Small
+  polynomials batch perfectly into the wide stage, but long polynomials
+  exceed the stage buffer and must spill through a bandwidth-limited port
+  between stages, so utilization decays as N grows.
+
+Figure 9 adds **Trinity NTT**: the NTTU computes the 256-point phase-1
+columns while the configurable units supply exactly the number of extra
+butterfly stages phase-2 needs, and limb-level batching keeps both pipelines
+full; utilization therefore stays high across the whole range.
+
+These models are intentionally analytical (they reproduce the published
+qualitative curves, not RTL waveforms); their constants are the hardware
+geometry of Section IV plus the documented pipeline-fill / spill assumptions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["F1LikeNTT", "FABLikeNTT", "TrinityNTT", "POLYNOMIAL_LENGTH_SWEEP"]
+
+#: The x-axis of Figures 1 and 9.
+POLYNOMIAL_LENGTH_SWEEP = [1 << e for e in range(8, 17)]
+
+
+def _require_power_of_two(n: int) -> None:
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"polynomial length {n} must be a power of two >= 2")
+
+
+@dataclass(frozen=True)
+class F1LikeNTT:
+    """Deep-pipeline NTT (8 stages x 128 butterflies, 256 elements/cycle)."""
+
+    stages: int = 8
+    lanes: int = 256
+    pipeline_depth: int = 8
+
+    @property
+    def butterflies_per_cycle(self) -> int:
+        return (self.lanes // 2) * self.stages
+
+    def utilization(self, poly_length: int, batch: int = 1) -> float:
+        """Fraction of butterfly-stage slots doing useful work for one NTT.
+
+        The transform is computed as a four-step split with a native
+        ``2^stages``-point phase-1; each phase streams ``ceil(N / lanes)``
+        cycles (times ``batch`` for independent polynomials) through the
+        ``pipeline_depth``-deep array and uses ``stages_used / stages`` of the
+        array's rows of butterflies.
+        """
+        _require_power_of_two(poly_length)
+        native = 1 << self.stages
+        log_n = int(math.log2(poly_length))
+        if poly_length <= native:
+            phases = [log_n]
+        else:
+            phases = [self.stages, log_n - self.stages]
+        useful = 0.0
+        provided = 0.0
+        for stage_count in phases:
+            streaming_cycles = max(1, poly_length // self.lanes) * batch
+            occupancy = streaming_cycles + self.pipeline_depth
+            useful += streaming_cycles * min(stage_count, self.stages)
+            provided += occupancy * self.stages
+        return useful / provided
+
+    def average_utilization(self, lengths=POLYNOMIAL_LENGTH_SWEEP, batch: int = 1) -> float:
+        return sum(self.utilization(n, batch) for n in lengths) / len(lengths)
+
+
+@dataclass(frozen=True)
+class FABLikeNTT:
+    """Wide single-stage NTT (2048 elements / 1024 butterflies per cycle)."""
+
+    lanes: int = 2048
+    stage_buffer_elements: int = 2048
+    spill_bandwidth_elements: int = 512
+    reorder_overhead_cycles: float = 0.125
+
+    @property
+    def butterflies_per_cycle(self) -> int:
+        return self.lanes // 2
+
+    def utilization(self, poly_length: int, batch: int = 1) -> float:
+        """Fraction of butterfly slots doing useful work.
+
+        Small polynomials are batched side-by-side into the wide stage (up to
+        ``lanes / N`` of them), which is why utilization peaks at N = 2^8.
+        Between stages the output must pass through the constant-geometry
+        reorder network, whose serialisation cost grows with N, and
+        polynomials larger than the stage buffer additionally spill through a
+        ``spill_bandwidth_elements``-per-cycle port — so utilization decays
+        monotonically as N grows.
+        """
+        _require_power_of_two(poly_length)
+        stages = int(math.log2(poly_length))
+        side_by_side = max(1, self.lanes // poly_length)
+        polys_in_flight = max(batch, side_by_side)
+        useful_per_stage = (poly_length // 2) * polys_in_flight
+        compute_cycles = max(1.0, poly_length * polys_in_flight / self.lanes)
+        reorder_cycles = self.reorder_overhead_cycles + poly_length / 8192
+        spill_elements = max(0, poly_length - self.stage_buffer_elements)
+        spill_cycles = spill_elements / self.spill_bandwidth_elements
+        provided_per_stage = (compute_cycles + reorder_cycles + spill_cycles) * \
+            self.butterflies_per_cycle
+        return min(1.0, (useful_per_stage * stages) / (provided_per_stage * stages))
+
+    def average_utilization(self, lengths=POLYNOMIAL_LENGTH_SWEEP, batch: int = 1) -> float:
+        return sum(self.utilization(n, batch) for n in lengths) / len(lengths)
+
+
+@dataclass(frozen=True)
+class TrinityNTT:
+    """Trinity's heterogeneous NTT: NTTU phase-1 + CU phase-2 + limb batching."""
+
+    nttu_stages: int = 8
+    nttu_lanes: int = 256
+    cu_columns: int = 8           # CU columns allocated to NTT (Section IV-F)
+    cu_rows: int = 128
+    pipeline_depth: int = 8
+    limb_batch: int = 32          # independent residue polynomials in flight
+
+    @property
+    def butterflies_per_cycle(self) -> int:
+        return (self.nttu_lanes // 2) * self.nttu_stages + self.cu_columns * self.cu_rows
+
+    def utilization(self, poly_length: int, batch: int | None = None) -> float:
+        """Utilization of the NTTU + allocated-CU butterfly resources.
+
+        All accounting is in butterfly operations.  The useful work of a
+        batch of ``batch`` independent N-point NTTs is
+        ``batch * (N/2) * log2(N)``.  The provided capacity is the occupied
+        cycle count times the per-cycle butterfly capacity of the resources
+        *actually allocated* to NTT for this polynomial length: the NTTU for
+        phase-1, plus ``min(log2(N) - 8, cu_columns)`` CU columns for
+        phase-2.  Unallocated CU columns serve MAC kernels and therefore do
+        not count as idle NTT capacity (this is exactly the paper's dynamic
+        allocation argument).  If phase-2 needs more stages than the CU
+        columns provide, the remainder runs as extra passes through the NTTU.
+        """
+        _require_power_of_two(poly_length)
+        batch = self.limb_batch if batch is None else max(1, batch)
+        log_n = int(math.log2(poly_length))
+        native = 1 << self.nttu_stages
+        nttu_capacity = (self.nttu_lanes // 2) * self.nttu_stages
+        useful = batch * (poly_length / 2) * log_n
+        if poly_length <= native:
+            # The NTTU alone computes the transform (CU columns are reassigned
+            # to MAC work and are not counted as idle NTT resources).
+            streaming = batch * max(1.0, poly_length / self.nttu_lanes)
+            occupancy = streaming + self.pipeline_depth
+            # A transform shorter than the pipeline's native 2^stages points
+            # only exercises log_n of the stages.
+            provided = occupancy * nttu_capacity
+            useful_slots = streaming * (self.nttu_lanes // 2) * log_n
+            return min(1.0, useful_slots / provided)
+        phase2_stages = log_n - self.nttu_stages
+        cu_stages_used = min(phase2_stages, self.cu_columns)
+        remaining_stages = phase2_stages - cu_stages_used
+        extra_passes = math.ceil(remaining_stages / self.nttu_stages) if remaining_stages else 0
+        streaming = batch * max(1.0, poly_length / self.nttu_lanes)
+        occupancy = streaming * (1 + extra_passes) + self.pipeline_depth
+        capacity_per_cycle = nttu_capacity + cu_stages_used * self.cu_rows
+        provided = occupancy * capacity_per_cycle
+        return min(1.0, useful / provided)
+
+    def average_utilization(self, lengths=POLYNOMIAL_LENGTH_SWEEP, batch: int | None = None) -> float:
+        return sum(self.utilization(n, batch) for n in lengths) / len(lengths)
+
+    def effective_throughput(self, poly_length: int, batch: int | None = None) -> float:
+        """Butterflies retired per cycle at this polynomial length."""
+        return self.utilization(poly_length, batch) * self.butterflies_per_cycle

@@ -1,0 +1,140 @@
+"""Workload allocation and multi-application co-scheduling (Section IV-K).
+
+The paper's Figure 8 describes how Trinity executes FHE applications: the
+compiler lowers each application to a kernel flow, the flows are scheduled
+onto the hardware *without distinguishing which FHE scheme a kernel came
+from*, and — because the configurable units are retargeted per kernel rather
+than per scheme — Trinity "even supports simultaneous execution of multiple
+FHE applications, without hardware switching overhead".
+
+:class:`WorkloadScheduler` models exactly that property:
+
+* :meth:`run_sequential` executes a list of workloads back to back (the
+  baseline an accelerator with per-scheme fixed function would be limited
+  to), charging a reconfiguration penalty whenever consecutive workloads use
+  different schemes on hardware that needs one;
+* :meth:`run_interleaved` co-schedules the workloads' kernel steps in a
+  round-robin fashion, which lets a CKKS-heavy phase fill the units a TFHE
+  phase leaves idle (and vice versa).  The returned
+  :class:`CoScheduleReport` quantifies the makespan saving, which is the
+  quantity behind the paper's "no hardware switching overhead" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..kernels.kernel import KernelStep, KernelTrace
+from ..workloads.base import Workload
+from .config import DEFAULT_TRINITY_CONFIG, TrinityConfig
+from .mapping import MappingPolicy, select_mapping
+from .simulator import TrinitySimulator
+
+__all__ = ["CoScheduleReport", "WorkloadScheduler"]
+
+
+@dataclass
+class CoScheduleReport:
+    """Outcome of scheduling a set of workloads on one Trinity configuration."""
+
+    workload_names: List[str]
+    sequential_cycles: float
+    interleaved_cycles: float
+    per_workload_cycles: Dict[str, float] = field(default_factory=dict)
+    scheme_switches: int = 0
+    frequency_ghz: float = 1.0
+
+    @property
+    def sequential_seconds(self) -> float:
+        return self.sequential_cycles / (self.frequency_ghz * 1e9)
+
+    @property
+    def interleaved_seconds(self) -> float:
+        return self.interleaved_cycles / (self.frequency_ghz * 1e9)
+
+    @property
+    def co_scheduling_gain(self) -> float:
+        """Makespan reduction from interleaving (>= 1.0)."""
+        if self.interleaved_cycles <= 0:
+            return 1.0
+        return self.sequential_cycles / self.interleaved_cycles
+
+
+class WorkloadScheduler:
+    """Schedules one or more workloads onto a Trinity configuration."""
+
+    def __init__(self, config: TrinityConfig = DEFAULT_TRINITY_CONFIG,
+                 switch_penalty_cycles: float = 0.0):
+        """``switch_penalty_cycles`` models a design that must reconfigure when
+        the scheme changes; Trinity's is zero (Section IV-K), but the knob lets
+        the ablation quantify what scheme-switching overhead would cost."""
+        self.config = config
+        self.switch_penalty_cycles = switch_penalty_cycles
+        self.simulator = TrinitySimulator(config)
+
+    # -- helpers ---------------------------------------------------------------
+    def _mapping_for(self, workload: Workload) -> MappingPolicy:
+        scheme = workload.scheme if workload.scheme in ("ckks", "tfhe") else "conversion"
+        return select_mapping(scheme, self.config)
+
+    def run_workload(self, workload: Workload) -> float:
+        """Latency (cycles) of one workload executed alone."""
+        mapping = self._mapping_for(workload)
+        return self.simulator.run_many(list(workload.traces), mapping=mapping).latency_cycles
+
+    # -- scheduling policies -----------------------------------------------------
+    def run_sequential(self, workloads: Sequence[Workload]) -> CoScheduleReport:
+        """Execute workloads back to back, charging scheme-switch penalties."""
+        per_workload: Dict[str, float] = {}
+        total = 0.0
+        switches = 0
+        previous_scheme: Optional[str] = None
+        for workload in workloads:
+            cycles = self.run_workload(workload)
+            per_workload[workload.name] = cycles
+            total += cycles
+            if previous_scheme is not None and workload.scheme != previous_scheme:
+                switches += 1
+                total += self.switch_penalty_cycles
+            previous_scheme = workload.scheme
+        return CoScheduleReport(
+            workload_names=[w.name for w in workloads],
+            sequential_cycles=total,
+            interleaved_cycles=total,
+            per_workload_cycles=per_workload,
+            scheme_switches=switches,
+            frequency_ghz=self.config.frequency_ghz,
+        )
+
+    def run_interleaved(self, workloads: Sequence[Workload]) -> CoScheduleReport:
+        """Co-schedule the workloads' steps round-robin on the shared hardware.
+
+        Each workload keeps its own mapping policy (so a CKKS step still runs
+        on the CKKS allocation and a TFHE step on the TFHE allocation), but
+        steps from different workloads that stress *different* unit classes
+        overlap: the makespan of an interleaving round is the maximum — not
+        the sum — of the per-unit busy times accumulated in that round.
+        """
+        sequential = self.run_sequential(workloads)
+        # Accumulate per-unit busy time per workload, then overlap them.
+        per_unit_busy: Dict[str, float] = {}
+        overhead = 0.0
+        for workload in workloads:
+            mapping = self._mapping_for(workload)
+            report = self.simulator.run_many(list(workload.traces), mapping=mapping)
+            for unit, busy in report.unit_busy_cycles.items():
+                per_unit_busy[unit] = per_unit_busy.get(unit, 0.0) + busy
+            # Dependency overhead (pipeline fills) of each workload cannot be
+            # hidden behind another workload's compute entirely; keep half.
+            overhead += (report.latency_cycles - report.throughput_cycles) * 0.5
+        interleaved = (max(per_unit_busy.values()) if per_unit_busy else 0.0) + overhead
+        interleaved = min(interleaved, sequential.sequential_cycles)
+        return CoScheduleReport(
+            workload_names=[w.name for w in workloads],
+            sequential_cycles=sequential.sequential_cycles,
+            interleaved_cycles=interleaved,
+            per_workload_cycles=sequential.per_workload_cycles,
+            scheme_switches=sequential.scheme_switches,
+            frequency_ghz=self.config.frequency_ghz,
+        )

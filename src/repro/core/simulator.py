@@ -1,0 +1,180 @@
+"""Cycle-level performance model of Trinity.
+
+The simulator executes a :class:`~repro.kernels.kernel.KernelTrace` against a
+:class:`~repro.core.config.TrinityConfig` and a
+:class:`~repro.core.mapping.MappingPolicy` and produces a
+:class:`PerformanceReport` containing:
+
+* ``latency_cycles`` — the dependency-respecting makespan: steps execute in
+  order, kernels inside a step overlap across their assigned units, a step
+  marked ``repeat=k`` is charged ``k`` sequential iterations, and every step
+  pays a pipeline fill/drain overhead;
+* ``throughput_cycles`` — the resource-bound cost: the busiest unit's total
+  busy time, i.e. the steady-state cost per operation when many independent
+  operations are in flight (used for the PBS throughput numbers of
+  Table VII);
+* per-unit busy cycles and utilization (Figures 10, 12, 13, 14);
+* the memory-bandwidth-bound cycle count per step (roofline term).
+
+Work is assumed to be data-parallel across the ``clusters`` of the
+configuration (limb-wise/slot-wise parallelism, Section IV-I), so a kernel's
+work is divided evenly across clusters and the per-cluster unit inventory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..kernels.kernel import Kernel, KernelStep, KernelTrace
+from .config import TrinityConfig
+from .mapping import MappingPolicy, WORK_CLASS_OF_KERNEL, kernel_work, select_mapping
+
+__all__ = ["PerformanceReport", "TrinitySimulator"]
+
+
+@dataclass
+class PerformanceReport:
+    """Result of simulating one kernel trace on one accelerator configuration."""
+
+    name: str
+    config_name: str
+    mapping_name: str
+    latency_cycles: float
+    throughput_cycles: float
+    memory_cycles: float
+    unit_busy_cycles: Dict[str, float] = field(default_factory=dict)
+    step_cycles: List[float] = field(default_factory=list)
+    frequency_ghz: float = 1.0
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.latency_cycles / (self.frequency_ghz * 1e9)
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_seconds * 1e3
+
+    @property
+    def throughput_seconds(self) -> float:
+        """Steady-state seconds per operation when the pipeline is saturated."""
+        return self.throughput_cycles / (self.frequency_ghz * 1e9)
+
+    @property
+    def operations_per_second(self) -> float:
+        """Steady-state operation throughput (e.g. PBS/s for a PBS trace)."""
+        if self.throughput_cycles <= 0:
+            return float("inf")
+        return (self.frequency_ghz * 1e9) / self.throughput_cycles
+
+    def utilization(self, makespan: Optional[float] = None) -> Dict[str, float]:
+        """Per-unit utilization relative to the (latency) makespan."""
+        makespan = self.latency_cycles if makespan is None else makespan
+        if makespan <= 0:
+            return {name: 0.0 for name in self.unit_busy_cycles}
+        return {
+            name: min(1.0, busy / makespan)
+            for name, busy in self.unit_busy_cycles.items()
+        }
+
+    def average_utilization(self, units: Optional[List[str]] = None,
+                            makespan: Optional[float] = None) -> float:
+        """Average utilization over a set of units (default: units that did work)."""
+        utilization = self.utilization(makespan)
+        if units is None:
+            units = [name for name, busy in self.unit_busy_cycles.items() if busy > 0]
+        if not units:
+            return 0.0
+        return sum(utilization.get(name, 0.0) for name in units) / len(units)
+
+
+class TrinitySimulator:
+    """Executes kernel traces against one configuration and mapping policy."""
+
+    def __init__(self, config: TrinityConfig, mapping: Optional[MappingPolicy] = None):
+        self.config = config
+        self.mapping = mapping
+
+    # -- public API -----------------------------------------------------------
+    def run(self, trace: KernelTrace, mapping: Optional[MappingPolicy] = None) -> PerformanceReport:
+        """Simulate one trace and return its performance report."""
+        mapping = mapping or self.mapping or select_mapping(trace.scheme, self.config)
+        busy: Dict[str, float] = {name: 0.0 for name in mapping.unit_names()}
+        step_cycles: List[float] = []
+        total_latency = 0.0
+        total_memory = 0.0
+        for step in trace:
+            compute, memory, per_unit = self._step_cost(step, mapping)
+            iteration = max(compute, memory)
+            overhead = self._step_overhead(step)
+            latency = (iteration + overhead) * step.repeat
+            step_cycles.append(latency)
+            total_latency += latency
+            total_memory += memory * step.repeat
+            for unit, cycles in per_unit.items():
+                busy[unit] = busy.get(unit, 0.0) + cycles * step.repeat
+        throughput_cycles = max(busy.values()) if busy else 0.0
+        return PerformanceReport(
+            name=trace.name,
+            config_name=self.config.name,
+            mapping_name=mapping.name,
+            latency_cycles=total_latency,
+            throughput_cycles=throughput_cycles,
+            memory_cycles=total_memory,
+            unit_busy_cycles=busy,
+            step_cycles=step_cycles,
+            frequency_ghz=self.config.frequency_ghz,
+        )
+
+    def run_many(self, traces: List[KernelTrace],
+                 mapping: Optional[MappingPolicy] = None) -> PerformanceReport:
+        """Simulate a sequence of traces as one workload (latencies add)."""
+        combined = KernelTrace.concatenate(
+            name="+".join(t.name for t in traces[:3]) + ("..." if len(traces) > 3 else ""),
+            traces=traces,
+            scheme=traces[0].scheme if traces else "mixed",
+        )
+        return self.run(combined, mapping=mapping)
+
+    # -- internals --------------------------------------------------------------
+    def _step_overhead(self, step: KernelStep) -> float:
+        """Pipeline fill/drain charged once per step iteration.
+
+        Steps with many repetitions (e.g. blind-rotation iterations) model a
+        tight dependency chain, where only the datapath latency — not a full
+        buffer turnaround — separates iterations, so the overhead is reduced.
+        """
+        if step.repeat > 1:
+            return self.config.pipeline_fill_cycles / 4.0
+        return float(self.config.pipeline_fill_cycles)
+
+    def _step_cost(self, step: KernelStep, mapping: MappingPolicy):
+        """(compute cycles, memory cycles, per-unit busy cycles) for one iteration."""
+        clusters = self.config.clusters
+        per_unit: Dict[str, float] = {}
+        bytes_moved = 0.0
+        for kernel in step.kernels:
+            work = kernel_work(kernel) / clusters
+            throughputs = mapping.throughput_for(kernel)
+            if not throughputs:
+                raise ValueError(
+                    f"mapping {mapping.name!r} has no unit for kernel kind {kernel.kind}"
+                )
+            aggregate = sum(throughputs.values())
+            cycles = work / aggregate
+            # Every assigned unit runs for the kernel's duration, each handling
+            # its throughput-proportional share of the work.
+            for unit in throughputs:
+                per_unit[unit] = per_unit.get(unit, 0.0) + cycles
+            # Each element is read and written once per kernel (operands for
+            # MAC-class kernels stream the key matrix as well).
+            operand_factor = 3.0 if WORK_CLASS_OF_KERNEL[kernel.kind] == "mac" else 2.0
+            bytes_moved += kernel.elements * self.config.word_bytes * operand_factor
+        # Different kernels in a step may share a unit: the step's compute time
+        # is the busiest unit's total assigned time.
+        compute = max(per_unit.values()) if per_unit else 0.0
+        scratchpad_bytes_per_cycle = (
+            self.config.memory.scratchpad_bytes_per_cycle(self.config.frequency_ghz) * clusters
+        )
+        memory = bytes_moved / scratchpad_bytes_per_cycle if scratchpad_bytes_per_cycle else 0.0
+        return compute, memory, per_unit

@@ -1,0 +1,66 @@
+"""Pre-built Trinity comparison variants used in Section VI.
+
+* ``trinity_ckks_ip_use_ewe`` — identical hardware, but the Inner Product is
+  computed on the EWE instead of on two CU-2s (Section V-C / Figures 10-11);
+* ``trinity_tfhe_with_cu`` — a scaled-down (single-cluster) Trinity whose NTT
+  parallelism matches Morphling's FFT units, with the flexible CU mapping
+  (Table VII row "Trinity-TFHE w/ CU");
+* ``trinity_tfhe_without_cu`` — the same scaled-down design but with a fixed
+  NTT unit + systolic array and no flexible mapping (row "Trinity-TFHE w/o
+  CU");
+* ``trinity_with_clusters`` — the cluster-count scaling points of Figures 15
+  and 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Tuple
+
+from .config import DEFAULT_TRINITY_CONFIG, TrinityConfig
+from .mapping import MappingPolicy, trinity_ckks_mapping, trinity_tfhe_mapping
+
+__all__ = [
+    "trinity_default",
+    "trinity_ckks_ip_use_ewe",
+    "trinity_tfhe_with_cu",
+    "trinity_tfhe_without_cu",
+    "trinity_with_clusters",
+]
+
+
+def trinity_default() -> Tuple[TrinityConfig, None]:
+    """The paper's default 4-cluster Trinity; mapping chosen per workload."""
+    return DEFAULT_TRINITY_CONFIG, None
+
+
+def trinity_ckks_ip_use_ewe(config: TrinityConfig = DEFAULT_TRINITY_CONFIG
+                            ) -> Tuple[TrinityConfig, MappingPolicy]:
+    """Trinity-CKKS_IP-use-EWE: Inner Product on the EWE instead of the CUs."""
+    variant = replace(config, name="Trinity-CKKS-IP-use-EWE")
+    return variant, trinity_ckks_mapping(variant, ip_on_ewe=True)
+
+
+def _morphling_scale_config(config: TrinityConfig) -> TrinityConfig:
+    """A single-cluster Trinity whose NTT parallelism matches Morphling's FFTs."""
+    return replace(config, clusters=1, name="Trinity-TFHE-scaled")
+
+
+def trinity_tfhe_with_cu(config: TrinityConfig = DEFAULT_TRINITY_CONFIG
+                         ) -> Tuple[TrinityConfig, MappingPolicy]:
+    """Trinity-TFHE w/ CU: scaled-down Trinity keeping the flexible CU mapping."""
+    variant = replace(_morphling_scale_config(config), name="Trinity-TFHE-w-CU")
+    return variant, trinity_tfhe_mapping(variant, use_cu=True)
+
+
+def trinity_tfhe_without_cu(config: TrinityConfig = DEFAULT_TRINITY_CONFIG
+                            ) -> Tuple[TrinityConfig, MappingPolicy]:
+    """Trinity-TFHE w/o CU: fixed NTT unit + systolic array, no flexible mapping."""
+    variant = replace(_morphling_scale_config(config), name="Trinity-TFHE-wo-CU")
+    return variant, trinity_tfhe_mapping(variant, use_cu=False)
+
+
+def trinity_with_clusters(clusters: int,
+                          config: TrinityConfig = DEFAULT_TRINITY_CONFIG) -> TrinityConfig:
+    """The Figure 15/16 scaling points (2, 4, or 8 clusters)."""
+    return config.with_clusters(clusters)

@@ -1,0 +1,39 @@
+"""Functional FHE substrate: modular arithmetic, NTT, RNS, CKKS, TFHE, conversion.
+
+This package is the *algorithmic* half of the reproduction — everything the
+Trinity accelerator computes, implemented exactly in pure Python so that
+kernel structure, operation counts, and correctness properties can be derived
+and tested rather than assumed.
+"""
+
+from . import modmath, ntt, params, polynomial, rns
+from .params import (
+    CKKS_DEFAULT,
+    CKKS_KEYSWITCH_BREAKDOWN,
+    CKKSParameters,
+    CONVERSION_DEFAULT,
+    ConversionParameters,
+    TFHE_PARAMETER_SETS,
+    TFHE_SET_I,
+    TFHE_SET_II,
+    TFHE_SET_III,
+    TFHEParameters,
+)
+
+__all__ = [
+    "modmath",
+    "ntt",
+    "params",
+    "polynomial",
+    "rns",
+    "CKKSParameters",
+    "TFHEParameters",
+    "ConversionParameters",
+    "CKKS_DEFAULT",
+    "CKKS_KEYSWITCH_BREAKDOWN",
+    "TFHE_SET_I",
+    "TFHE_SET_II",
+    "TFHE_SET_III",
+    "TFHE_PARAMETER_SETS",
+    "CONVERSION_DEFAULT",
+]

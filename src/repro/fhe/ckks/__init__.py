@@ -1,0 +1,32 @@
+"""Functional RNS-CKKS implementation (Cheon-Kim-Kim-Song, RNS variant).
+
+The package provides the arithmetic-FHE half of the paper's workload space:
+
+* :mod:`encoder` — canonical-embedding encoding/decoding of complex vectors,
+* :mod:`ciphertext` — plaintext / ciphertext value types,
+* :mod:`keys` — secret/public/evaluation/rotation key generation,
+* :mod:`keyswitch` — the hybrid (dnum) keyswitch of Algorithm 1,
+* :mod:`evaluator` — HAdd, PAdd, PMult, HMult, HRotate, Rescale,
+* :mod:`bootstrap` — the operation-level bootstrapping pipeline used by the
+  workload generators (CoeffToSlot -> EvalMod -> SlotToCoeff).
+
+Everything is exact-arithmetic pure Python over the reduced parameter sets
+from :mod:`repro.fhe.params`; the hardware model uses only the *structure* of
+these algorithms (via :mod:`repro.kernels`), never the data.
+"""
+
+from .ciphertext import CKKSCiphertext, CKKSPlaintext
+from .encoder import CKKSEncoder
+from .evaluator import CKKSEvaluator
+from .keys import CKKSKeyGenerator, CKKSKeySet
+from .context import CKKSContext
+
+__all__ = [
+    "CKKSCiphertext",
+    "CKKSPlaintext",
+    "CKKSEncoder",
+    "CKKSEvaluator",
+    "CKKSKeyGenerator",
+    "CKKSKeySet",
+    "CKKSContext",
+]

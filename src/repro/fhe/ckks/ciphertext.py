@@ -1,0 +1,55 @@
+"""Plaintext and ciphertext value types for the CKKS implementation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rns import RNSPolynomial
+
+__all__ = ["CKKSPlaintext", "CKKSCiphertext"]
+
+
+@dataclass
+class CKKSPlaintext:
+    """An encoded (but not encrypted) message polynomial.
+
+    ``scale`` is tracked as a float because rescaling divides by an RNS prime
+    that is only approximately equal to Delta; keeping the true scale lets the
+    decoder recover the message without drift.
+    """
+
+    poly: RNSPolynomial
+    level: int
+    scale: float
+
+    @property
+    def ring_degree(self) -> int:
+        return self.poly.ring_degree
+
+
+@dataclass
+class CKKSCiphertext:
+    """A (c0, c1) RLWE ciphertext: ``c0 + c1 * s ~ Delta * m`` (mod Q_level).
+
+    The pair is held limb-wise (RNS) at the given ``level``; ``scale`` tracks
+    the current Delta of the encrypted message.
+    """
+
+    c0: RNSPolynomial
+    c1: RNSPolynomial
+    level: int
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.c0.basis != self.c1.basis:
+            raise ValueError("ciphertext components must share an RNS basis")
+        if self.c0.ring_degree != self.c1.ring_degree:
+            raise ValueError("ciphertext components must share a ring degree")
+
+    @property
+    def ring_degree(self) -> int:
+        return self.c0.ring_degree
+
+    def copy(self) -> "CKKSCiphertext":
+        """A shallow copy (the RNS limbs themselves are treated as immutable)."""
+        return CKKSCiphertext(c0=self.c0, c1=self.c1, level=self.level, scale=self.scale)

@@ -1,0 +1,89 @@
+"""High-level CKKS context: one object bundling encoder, keys, and evaluator.
+
+:class:`CKKSContext` is the entry point the examples and integration tests
+use: it owns a key set, encodes/encrypts vectors, evaluates, and decrypts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from ..params import CKKSParameters
+from ..polynomial import sample_gaussian, sample_ternary, sample_uniform
+from ..rns import RNSPolynomial
+from .ciphertext import CKKSCiphertext, CKKSPlaintext
+from .encoder import CKKSEncoder
+from .evaluator import CKKSEvaluator
+from .keys import CKKSKeyGenerator, CKKSKeySet
+
+__all__ = ["CKKSContext"]
+
+
+class CKKSContext:
+    """A ready-to-use CKKS instance (keys + encoder + evaluator)."""
+
+    def __init__(self, params: CKKSParameters, seed: int = 0, error_stddev: float = 3.2):
+        self.params = params
+        self.rng = random.Random(seed ^ 0x5EED)
+        self.error_stddev = error_stddev
+        self.keygen = CKKSKeyGenerator(params, seed=seed, error_stddev=error_stddev)
+        self.keys: CKKSKeySet = self.keygen.generate()
+        self.encoder = CKKSEncoder(params)
+        self.evaluator = CKKSEvaluator(params, self.keys)
+
+    # -- encryption -----------------------------------------------------------
+    def encrypt(self, plaintext: CKKSPlaintext) -> CKKSCiphertext:
+        """Public-key encryption of an encoded plaintext."""
+        params = self.params
+        n = params.ring_degree
+        basis = params.basis(plaintext.level)
+        pk_b, pk_a = self.keys.public.b, self.keys.public.a
+        # Restrict the public key to the plaintext's level.
+        while len(pk_b.limbs) > plaintext.level + 1:
+            pk_b = pk_b.drop_last_limb()
+            pk_a = pk_a.drop_last_limb()
+        v = sample_ternary(n, 3, self.rng)
+        v_rns = RNSPolynomial.from_integer_coefficients(n, basis, v.centered_coefficients())
+        e0 = self._error(basis)
+        e1 = self._error(basis)
+        c0 = pk_b * v_rns + e0 + plaintext.poly
+        c1 = pk_a * v_rns + e1
+        return CKKSCiphertext(c0=c0, c1=c1, level=plaintext.level, scale=plaintext.scale)
+
+    def encrypt_symmetric(self, plaintext: CKKSPlaintext) -> CKKSCiphertext:
+        """Secret-key encryption (fresh uniform mask, lower noise)."""
+        params = self.params
+        n = params.ring_degree
+        basis = params.basis(plaintext.level)
+        s = self.keys.secret.as_rns(n, basis)
+        a_limbs = [sample_uniform(n, q, self.rng) for q in basis]
+        a = RNSPolynomial(n, basis, a_limbs)
+        e = self._error(basis)
+        c0 = -(a * s) + e + plaintext.poly
+        return CKKSCiphertext(c0=c0, c1=a, level=plaintext.level, scale=plaintext.scale)
+
+    def _error(self, basis) -> RNSPolynomial:
+        n = self.params.ring_degree
+        coeffs = [
+            round(self.rng.gauss(0.0, self.error_stddev)) if self.error_stddev > 0 else 0
+            for _ in range(n)
+        ]
+        return RNSPolynomial.from_integer_coefficients(n, basis, coeffs)
+
+    # -- decryption ------------------------------------------------------------
+    def decrypt(self, ciphertext: CKKSCiphertext) -> CKKSPlaintext:
+        """Decrypt to a plaintext polynomial (``c0 + c1 * s``)."""
+        n = self.params.ring_degree
+        s = self.keys.secret.as_rns(n, ciphertext.c0.basis)
+        poly = ciphertext.c0 + ciphertext.c1 * s
+        return CKKSPlaintext(poly=poly, level=ciphertext.level, scale=ciphertext.scale)
+
+    # -- convenience round-trips -------------------------------------------------
+    def encrypt_vector(self, values: Sequence[complex], level: int | None = None) -> CKKSCiphertext:
+        """Encode and encrypt a complex vector in one call."""
+        return self.encrypt(self.encoder.encode(values, level=level))
+
+    def decrypt_vector(self, ciphertext: CKKSCiphertext, num_values: int | None = None) -> List[complex]:
+        """Decrypt and decode back to a complex vector."""
+        return self.encoder.decode(self.decrypt(ciphertext), num_values=num_values)

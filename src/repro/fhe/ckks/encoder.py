@@ -1,0 +1,103 @@
+"""CKKS canonical-embedding encoder.
+
+Maps complex vectors of ``N/2`` slots to integer plaintext polynomials and
+back, scaled by ``Delta``.  The embedding evaluates a real-coefficient
+polynomial at the primitive 2N-th roots of unity ``zeta_j = exp(i*pi*g_j/N)``
+with ``g_j = 5^j mod 2N`` (the same rotation group that CKKS HRotate uses),
+so that slot rotation corresponds to the ring automorphism ``X -> X^(5^r)``.
+
+The implementation uses a dense O(n*N) matrix product via numpy; the ring
+degrees used functionally (N <= 4096) keep this instantaneous, and the
+hardware model never calls it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..params import CKKSParameters
+from ..polynomial import Polynomial
+from ..rns import RNSPolynomial
+from .ciphertext import CKKSPlaintext
+
+__all__ = ["CKKSEncoder"]
+
+
+class CKKSEncoder:
+    """Encode/decode complex slot vectors for one CKKS parameter set."""
+
+    def __init__(self, params: CKKSParameters):
+        self.params = params
+        n = params.slots
+        ring_degree = params.ring_degree
+        # Rotation group: powers of 5 modulo 2N; one root per slot.
+        group = np.empty(n, dtype=np.int64)
+        value = 1
+        for j in range(n):
+            group[j] = value
+            value = (value * 5) % (2 * ring_degree)
+        self._rotation_group = group
+        # Evaluation points zeta_j and the n x N Vandermonde-style matrix
+        # A[j, k] = zeta_j^k used for decoding (and its conjugate for encoding).
+        angles = np.pi * group.astype(np.float64) / ring_degree
+        zetas = np.exp(1j * angles)
+        powers = np.arange(ring_degree, dtype=np.float64)
+        self._eval_matrix = zetas[:, None] ** powers[None, :]
+
+    # -- encoding ---------------------------------------------------------
+    def encode(self, values: Sequence[complex], level: int | None = None,
+               scale: float | None = None) -> CKKSPlaintext:
+        """Encode up to ``N/2`` complex values into a plaintext polynomial."""
+        params = self.params
+        n = params.slots
+        level = params.max_level if level is None else level
+        scale = float(params.scale) if scale is None else float(scale)
+        vector = np.zeros(n, dtype=np.complex128)
+        values = np.asarray(list(values), dtype=np.complex128)
+        if values.size > n:
+            raise ValueError(f"too many values: {values.size} > {n} slots")
+        vector[: values.size] = values
+        # Inverse canonical embedding: m_k = (2/N) * Re( sum_j z_j * conj(zeta_j^k) ).
+        coefficients = (2.0 / params.ring_degree) * np.real(
+            np.conj(self._eval_matrix).T @ vector
+        )
+        scaled = np.rint(coefficients * scale).astype(object)
+        basis = params.basis(level)
+        poly = RNSPolynomial.from_integer_coefficients(
+            params.ring_degree, basis, [int(c) for c in scaled]
+        )
+        return CKKSPlaintext(poly=poly, level=level, scale=scale)
+
+    def encode_coefficients(self, coefficients: Sequence[int],
+                            level: int | None = None,
+                            scale: float = 1.0) -> CKKSPlaintext:
+        """Encode raw integer coefficients directly (no embedding, no scaling)."""
+        params = self.params
+        level = params.max_level if level is None else level
+        basis = params.basis(level)
+        poly = RNSPolynomial.from_integer_coefficients(
+            params.ring_degree, basis, [int(c) for c in coefficients]
+        )
+        return CKKSPlaintext(poly=poly, level=level, scale=float(scale))
+
+    # -- decoding ---------------------------------------------------------
+    def decode(self, plaintext: CKKSPlaintext, num_values: int | None = None) -> List[complex]:
+        """Decode a plaintext polynomial back to its complex slot values."""
+        params = self.params
+        n = params.slots
+        num_values = n if num_values is None else num_values
+        poly = plaintext.poly.to_polynomial()
+        centred = np.array(poly.centered_coefficients(), dtype=np.float64)
+        slots = self._eval_matrix @ centred / plaintext.scale
+        return [complex(v) for v in slots[:num_values]]
+
+    def decode_polynomial(self, poly: Polynomial, scale: float,
+                          num_values: int | None = None) -> List[complex]:
+        """Decode a raw (already CRT-combined) polynomial."""
+        n = self.params.slots
+        num_values = n if num_values is None else num_values
+        centred = np.array(poly.centered_coefficients(), dtype=np.float64)
+        slots = self._eval_matrix @ centred / scale
+        return [complex(v) for v in slots[:num_values]]

@@ -1,0 +1,182 @@
+"""Homomorphic evaluation for RNS-CKKS (Table II of the paper).
+
+Implements the hierarchical operation set the paper reconstructs CKKS from:
+
+===========  ==========================================================
+ HAdd         element-wise ciphertext addition (ModAdd)
+ PAdd         ciphertext + plaintext addition
+ PMult        ciphertext * plaintext multiplication (ModMul/ModAdd)
+ HMult        ciphertext * ciphertext with relinearization
+              (NTT, BConv, IP, ModMul, ModAdd)
+ HRotate      slot rotation: automorphism + keyswitch (adds Auto)
+ Conjugate    complex conjugation: automorphism with g = 2N - 1
+ Rescale      drop the last RNS limb and divide the scale (NTT, ModAdd)
+ ModDownTo    level alignment without scale division
+===========  ==========================================================
+
+The evaluator is purely functional: every method returns a new ciphertext.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..params import CKKSParameters
+from ..rns import RNSPolynomial
+from .ciphertext import CKKSCiphertext, CKKSPlaintext
+from .keys import CKKSKeySet
+from .keyswitch import hybrid_keyswitch
+
+__all__ = ["CKKSEvaluator"]
+
+
+class CKKSEvaluator:
+    """Homomorphic operations over ciphertexts produced by one key set."""
+
+    def __init__(self, params: CKKSParameters, keys: CKKSKeySet):
+        self.params = params
+        self.keys = keys
+
+    # -- helpers -------------------------------------------------------------
+    def _check_levels(self, a: CKKSCiphertext, b: CKKSCiphertext) -> None:
+        if a.level != b.level:
+            raise ValueError(f"level mismatch: {a.level} vs {b.level}")
+
+    def _check_scales(self, a_scale: float, b_scale: float) -> None:
+        ratio = a_scale / b_scale
+        if not 0.99 < ratio < 1.01:
+            raise ValueError(f"scale mismatch: {a_scale} vs {b_scale}")
+
+    def _plaintext_at_level(self, plaintext: CKKSPlaintext, level: int) -> RNSPolynomial:
+        poly = plaintext.poly
+        if plaintext.level < level:
+            raise ValueError("plaintext level is below the ciphertext level")
+        while len(poly.limbs) > level + 1:
+            poly = poly.drop_last_limb()
+        return poly
+
+    # -- additions -------------------------------------------------------------
+    def add(self, a: CKKSCiphertext, b: CKKSCiphertext) -> CKKSCiphertext:
+        """HAdd: element-wise addition of two ciphertexts."""
+        self._check_levels(a, b)
+        self._check_scales(a.scale, b.scale)
+        return CKKSCiphertext(c0=a.c0 + b.c0, c1=a.c1 + b.c1, level=a.level, scale=a.scale)
+
+    def sub(self, a: CKKSCiphertext, b: CKKSCiphertext) -> CKKSCiphertext:
+        """Element-wise subtraction of two ciphertexts."""
+        self._check_levels(a, b)
+        self._check_scales(a.scale, b.scale)
+        return CKKSCiphertext(c0=a.c0 - b.c0, c1=a.c1 - b.c1, level=a.level, scale=a.scale)
+
+    def add_plain(self, a: CKKSCiphertext, plaintext: CKKSPlaintext) -> CKKSCiphertext:
+        """PAdd: add an encoded plaintext to a ciphertext."""
+        self._check_scales(a.scale, plaintext.scale)
+        poly = self._plaintext_at_level(plaintext, a.level)
+        return CKKSCiphertext(c0=a.c0 + poly, c1=a.c1, level=a.level, scale=a.scale)
+
+    def negate(self, a: CKKSCiphertext) -> CKKSCiphertext:
+        """Negate a ciphertext."""
+        return CKKSCiphertext(c0=-a.c0, c1=-a.c1, level=a.level, scale=a.scale)
+
+    # -- multiplications ---------------------------------------------------------
+    def multiply_plain(self, a: CKKSCiphertext, plaintext: CKKSPlaintext) -> CKKSCiphertext:
+        """PMult: multiply a ciphertext by an encoded plaintext (scale multiplies)."""
+        poly = self._plaintext_at_level(plaintext, a.level)
+        return CKKSCiphertext(
+            c0=a.c0 * poly,
+            c1=a.c1 * poly,
+            level=a.level,
+            scale=a.scale * plaintext.scale,
+        )
+
+    def multiply_scalar(self, a: CKKSCiphertext, scalar: int) -> CKKSCiphertext:
+        """Multiply by a small integer scalar without consuming scale."""
+        return CKKSCiphertext(
+            c0=a.c0 * scalar, c1=a.c1 * scalar, level=a.level, scale=a.scale
+        )
+
+    def multiply(self, a: CKKSCiphertext, b: CKKSCiphertext) -> CKKSCiphertext:
+        """HMult: tensor product followed by relinearization (Algorithm 1)."""
+        self._check_levels(a, b)
+        level = a.level
+        # Tensor product (d0, d1, d2) such that d0 + d1*s + d2*s^2 = m_a * m_b.
+        d0 = a.c0 * b.c0
+        d1 = a.c0 * b.c1 + a.c1 * b.c0
+        d2 = a.c1 * b.c1
+        # Relinearize d2 with the s^2 -> s keyswitch key.
+        relin_key = self.keys.relinearization_key(level)
+        f0, f1 = hybrid_keyswitch(d2, relin_key, self.params, level)
+        return CKKSCiphertext(
+            c0=d0 + f0, c1=d1 + f1, level=level, scale=a.scale * b.scale
+        )
+
+    def square(self, a: CKKSCiphertext) -> CKKSCiphertext:
+        """Homomorphic squaring (same kernel flow as HMult)."""
+        return self.multiply(a, a)
+
+    # -- rotations -----------------------------------------------------------------
+    def galois_element_for_rotation(self, steps: int) -> int:
+        """The Galois element ``5^steps mod 2N`` implementing a slot rotation."""
+        return pow(5, steps, 2 * self.params.ring_degree)
+
+    def rotate(self, a: CKKSCiphertext, steps: int) -> CKKSCiphertext:
+        """HRotate: rotate the slot vector by ``steps`` positions."""
+        galois_element = self.galois_element_for_rotation(steps)
+        return self.apply_galois(a, galois_element)
+
+    def conjugate(self, a: CKKSCiphertext) -> CKKSCiphertext:
+        """Complex conjugation of every slot (Galois element 2N - 1)."""
+        return self.apply_galois(a, 2 * self.params.ring_degree - 1)
+
+    def apply_galois(self, a: CKKSCiphertext, galois_element: int) -> CKKSCiphertext:
+        """Apply the automorphism ``X -> X^g`` and keyswitch back to ``s``."""
+        level = a.level
+        rotated_c0 = RNSPolynomial(
+            a.ring_degree, a.c0.basis, [limb.automorphism(galois_element) for limb in a.c0.limbs]
+        )
+        rotated_c1 = RNSPolynomial(
+            a.ring_degree, a.c1.basis, [limb.automorphism(galois_element) for limb in a.c1.limbs]
+        )
+        galois_key = self.keys.galois_key(galois_element, level)
+        f0, f1 = hybrid_keyswitch(rotated_c1, galois_key, self.params, level)
+        return CKKSCiphertext(c0=rotated_c0 + f0, c1=f1, level=level, scale=a.scale)
+
+    # -- level / scale management -----------------------------------------------------
+    def rescale(self, a: CKKSCiphertext) -> CKKSCiphertext:
+        """Rescale: divide by the last RNS prime and drop one level."""
+        if a.level < 1:
+            raise ValueError("cannot rescale a level-0 ciphertext")
+        dropped_modulus = a.c0.basis.moduli[-1]
+        return CKKSCiphertext(
+            c0=a.c0.rescale(),
+            c1=a.c1.rescale(),
+            level=a.level - 1,
+            scale=a.scale / dropped_modulus,
+        )
+
+    def mod_down_to(self, a: CKKSCiphertext, level: int) -> CKKSCiphertext:
+        """Drop RNS limbs (without scale division) until ``a`` sits at ``level``."""
+        if level > a.level:
+            raise ValueError("cannot mod-down to a higher level")
+        c0, c1 = a.c0, a.c1
+        while len(c0.limbs) > level + 1:
+            c0 = c0.drop_last_limb()
+            c1 = c1.drop_last_limb()
+        return CKKSCiphertext(c0=c0, c1=c1, level=level, scale=a.scale)
+
+    def align(self, a: CKKSCiphertext, b: CKKSCiphertext) -> tuple[CKKSCiphertext, CKKSCiphertext]:
+        """Bring two ciphertexts to a common (minimum) level."""
+        common = min(a.level, b.level)
+        return self.mod_down_to(a, common), self.mod_down_to(b, common)
+
+    # -- composite helpers (used by example applications) ------------------------------
+    def inner_sum(self, a: CKKSCiphertext, count: int) -> CKKSCiphertext:
+        """Sum ``count`` adjacent slots into every slot via log2(count) rotations."""
+        if count & (count - 1):
+            raise ValueError("count must be a power of two")
+        result = a
+        step = 1
+        while step < count:
+            result = self.add(result, self.rotate(result, step))
+            step *= 2
+        return result

@@ -1,0 +1,220 @@
+"""Key generation for RNS-CKKS: secret, public, relinearization and Galois keys.
+
+The evaluation keys follow the *hybrid* (dnum) keyswitch construction used by
+the paper (Algorithm 1): the modulus chain at level ``l`` is partitioned into
+``beta = ceil((l+1)/alpha)`` digits of ``alpha`` moduli each, and the key for
+digit ``j`` encrypts ``P * Q_hat_j * (Q_hat_j^{-1} mod Q_j) * s'`` under the
+extended modulus ``Q_l * P``.
+
+Because the digit structure depends on the ciphertext level, evaluation keys
+are generated lazily per ``(kind, level)`` and cached on the key set.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..modmath import mod_inverse
+from ..params import CKKSParameters
+from ..polynomial import Polynomial, sample_gaussian, sample_ternary, sample_uniform
+from ..rns import RNSBasis, RNSPolynomial
+
+__all__ = ["CKKSSecretKey", "CKKSPublicKey", "KeySwitchKey", "CKKSKeySet", "CKKSKeyGenerator"]
+
+
+@dataclass
+class CKKSSecretKey:
+    """The ternary secret ``s``, stored as centred integer coefficients."""
+
+    coefficients: Tuple[int, ...]
+
+    def as_rns(self, ring_degree: int, basis: RNSBasis) -> RNSPolynomial:
+        """The secret reduced into an arbitrary RNS basis."""
+        return RNSPolynomial.from_integer_coefficients(ring_degree, basis, self.coefficients)
+
+    def squared_coefficients(self, ring_degree: int) -> Tuple[int, ...]:
+        """Integer coefficients of ``s^2`` in Z[X]/(X^N+1) (for relin keys)."""
+        n = ring_degree
+        result = [0] * n
+        for i, a in enumerate(self.coefficients):
+            if a == 0:
+                continue
+            for j, b in enumerate(self.coefficients):
+                if b == 0:
+                    continue
+                k = i + j
+                if k >= n:
+                    result[k - n] -= a * b
+                else:
+                    result[k] += a * b
+        return tuple(result)
+
+    def automorphism_coefficients(self, ring_degree: int, galois_element: int) -> Tuple[int, ...]:
+        """Integer coefficients of ``sigma_g(s)`` where ``sigma_g: X -> X^g``."""
+        n = ring_degree
+        g = galois_element % (2 * n)
+        result = [0] * n
+        for i, c in enumerate(self.coefficients):
+            if c == 0:
+                continue
+            k = (i * g) % (2 * n)
+            sign = 1
+            if k >= n:
+                k -= n
+                sign = -1
+            result[k] += sign * c
+        return tuple(result)
+
+
+@dataclass
+class CKKSPublicKey:
+    """Encryption key ``(b, a)`` with ``b = -a*s + e`` over the full basis."""
+
+    b: RNSPolynomial
+    a: RNSPolynomial
+
+
+@dataclass
+class KeySwitchKey:
+    """Hybrid keyswitch key: one ``(b_j, a_j)`` pair per digit, over C_l ∪ P."""
+
+    level: int
+    digit_keys: List[Tuple[RNSPolynomial, RNSPolynomial]]
+
+    @property
+    def num_digits(self) -> int:
+        return len(self.digit_keys)
+
+
+@dataclass
+class CKKSKeySet:
+    """All key material for one party: secret, public, relin and Galois keys."""
+
+    params: CKKSParameters
+    secret: CKKSSecretKey
+    public: CKKSPublicKey
+    _relin_keys: Dict[int, KeySwitchKey] = field(default_factory=dict)
+    _galois_keys: Dict[Tuple[int, int], KeySwitchKey] = field(default_factory=dict)
+    _generator: "CKKSKeyGenerator | None" = None
+
+    def relinearization_key(self, level: int) -> KeySwitchKey:
+        """Keyswitch key from ``s^2`` to ``s`` at the given level (cached)."""
+        if level not in self._relin_keys:
+            if self._generator is None:
+                raise KeyError(f"no relinearization key for level {level}")
+            self._relin_keys[level] = self._generator.make_relinearization_key(self, level)
+        return self._relin_keys[level]
+
+    def galois_key(self, galois_element: int, level: int) -> KeySwitchKey:
+        """Keyswitch key from ``sigma_g(s)`` to ``s`` at the given level (cached)."""
+        key = (galois_element, level)
+        if key not in self._galois_keys:
+            if self._generator is None:
+                raise KeyError(f"no Galois key for element {galois_element} at level {level}")
+            self._galois_keys[key] = self._generator.make_galois_key(self, galois_element, level)
+        return self._galois_keys[key]
+
+
+class CKKSKeyGenerator:
+    """Generates CKKS key material for a parameter set (deterministic per seed)."""
+
+    def __init__(self, params: CKKSParameters, seed: int = 0, error_stddev: float = 3.2,
+                 secret_hamming_weight: int | None = None):
+        self.params = params
+        self.rng = random.Random(seed)
+        self.error_stddev = error_stddev
+        self.secret_hamming_weight = secret_hamming_weight
+
+    # -- top-level key generation ------------------------------------------
+    def generate(self) -> CKKSKeySet:
+        """Generate a fresh secret/public key pair (evaluation keys are lazy)."""
+        params = self.params
+        secret_poly = sample_ternary(
+            params.ring_degree, 3, self.rng, hamming_weight=self.secret_hamming_weight
+        )
+        secret = CKKSSecretKey(tuple(secret_poly.centered_coefficients()))
+        public = self._make_public_key(secret)
+        key_set = CKKSKeySet(params=params, secret=secret, public=public, _generator=self)
+        return key_set
+
+    def _make_public_key(self, secret: CKKSSecretKey) -> CKKSPublicKey:
+        params = self.params
+        basis = params.basis()
+        n = params.ring_degree
+        s = secret.as_rns(n, basis)
+        a_limbs = [sample_uniform(n, q, self.rng) for q in basis]
+        a = RNSPolynomial(n, basis, a_limbs)
+        error = self._sample_error(basis)
+        b = -(a * s) + error
+        return CKKSPublicKey(b=b, a=a)
+
+    def _sample_error(self, basis: RNSBasis) -> RNSPolynomial:
+        n = self.params.ring_degree
+        error_coeffs = [
+            round(self.rng.gauss(0.0, self.error_stddev)) if self.error_stddev > 0 else 0
+            for _ in range(n)
+        ]
+        return RNSPolynomial.from_integer_coefficients(n, basis, error_coeffs)
+
+    # -- hybrid keyswitch keys -----------------------------------------------
+    def digit_slices(self, level: int) -> List[Tuple[int, int]]:
+        """Index ranges ``[start, stop)`` of the RNS digits at ``level``."""
+        alpha = self.params.alpha
+        slices = []
+        start = 0
+        while start <= level:
+            stop = min(start + alpha, level + 1)
+            slices.append((start, stop))
+            start = stop
+        return slices
+
+    def make_keyswitch_key(self, key_set: CKKSKeySet,
+                           target_coefficients: Sequence[int], level: int) -> KeySwitchKey:
+        """Key that switches ``d * s_target`` into a ciphertext under ``s``.
+
+        ``target_coefficients`` are the centred integer coefficients of the
+        source secret ``s'`` (``s^2`` for relinearization, ``sigma_g(s)`` for
+        rotation keys).
+        """
+        params = self.params
+        n = params.ring_degree
+        moduli = list(params.moduli[: level + 1])
+        special = list(params.special_moduli)
+        extended = RNSBasis(moduli + special)
+        q_level = math.prod(moduli)
+        p_product = math.prod(special)
+        secret_ext = key_set.secret.as_rns(n, extended)
+        digit_keys: List[Tuple[RNSPolynomial, RNSPolynomial]] = []
+        for start, stop in self.digit_slices(level):
+            digit_moduli = moduli[start:stop]
+            q_digit = math.prod(digit_moduli)
+            q_hat = q_level // q_digit
+            factor = (p_product * q_hat * mod_inverse(q_hat % q_digit, q_digit)) % (
+                q_level * p_product
+            )
+            a_limbs = [sample_uniform(n, q, self.rng) for q in extended]
+            a = RNSPolynomial(n, extended, a_limbs)
+            error = self._sample_error(extended)
+            payload_limbs = [
+                Polynomial(n, q, [(factor % q) * (c % q) % q for c in target_coefficients])
+                for q in extended
+            ]
+            payload = RNSPolynomial(n, extended, payload_limbs)
+            b = -(a * secret_ext) + error + payload
+            digit_keys.append((b, a))
+        return KeySwitchKey(level=level, digit_keys=digit_keys)
+
+    def make_relinearization_key(self, key_set: CKKSKeySet, level: int) -> KeySwitchKey:
+        """Keyswitch key for ``s^2 -> s`` at ``level``."""
+        squared = key_set.secret.squared_coefficients(self.params.ring_degree)
+        return self.make_keyswitch_key(key_set, squared, level)
+
+    def make_galois_key(self, key_set: CKKSKeySet, galois_element: int, level: int) -> KeySwitchKey:
+        """Keyswitch key for ``sigma_g(s) -> s`` at ``level``."""
+        rotated = key_set.secret.automorphism_coefficients(
+            self.params.ring_degree, galois_element
+        )
+        return self.make_keyswitch_key(key_set, rotated, level)

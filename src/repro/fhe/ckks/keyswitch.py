@@ -1,0 +1,100 @@
+"""Hybrid (dnum) KeySwitch — Algorithm 1 of the paper.
+
+Given a polynomial ``d`` at level ``l`` (an element of R_{Q_l}) and a
+:class:`~repro.fhe.ckks.keys.KeySwitchKey` for a source secret ``s'``, produce
+a ciphertext pair ``(c0, c1)`` under ``s`` such that
+
+    c0 + c1 * s  ~  d * s'   (mod Q_l),
+
+up to the keyswitch noise.  The steps mirror Algorithm 1 exactly:
+
+1. *Decompose* ``d`` into ``beta`` RNS digits (just the limbs of each digit);
+2. *BConv* each digit from its digit basis into the extended basis C_l ∪ P;
+3. *Inner product* with the evaluation key (per-digit multiply-accumulate);
+4. *ModDown*: divide by the special modulus ``P`` and round, returning to C_l.
+
+These are exactly the kernels (Decompose/BConv/NTT/IP/ModMul/ModAdd) the
+hardware model charges for a keyswitch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from ..modmath import mod_inverse
+from ..params import CKKSParameters
+from ..polynomial import Polynomial
+from ..rns import RNSBasis, RNSPolynomial, fast_basis_conversion
+
+__all__ = ["hybrid_keyswitch", "mod_down"]
+
+
+def _digit_slices(params: CKKSParameters, level: int) -> List[Tuple[int, int]]:
+    alpha = params.alpha
+    slices = []
+    start = 0
+    while start <= level:
+        slices.append((start, min(start + alpha, level + 1)))
+        start += alpha
+    return slices
+
+
+def mod_down(poly: RNSPolynomial, params: CKKSParameters, level: int) -> RNSPolynomial:
+    """Divide a C_l ∪ P polynomial by P (with rounding) and return it in C_l."""
+    moduli = list(params.moduli[: level + 1])
+    special = list(params.special_moduli)
+    num_q = len(moduli)
+    special_basis = RNSBasis(special)
+    target_basis = RNSBasis(moduli)
+    p_product = math.prod(special)
+    # The P-part of the polynomial, converted into the Q basis.
+    p_part = RNSPolynomial(poly.ring_degree, special_basis, poly.limbs[num_q:])
+    p_part_in_q = fast_basis_conversion(p_part, target_basis)
+    limbs = []
+    for limb, conv in zip(poly.limbs[:num_q], p_part_in_q.limbs):
+        q_i = limb.modulus
+        p_inv = mod_inverse(p_product % q_i, q_i)
+        coeffs = [
+            ((a - b) * p_inv) % q_i
+            for a, b in zip(limb.coefficients, conv.coefficients)
+        ]
+        limbs.append(Polynomial(poly.ring_degree, q_i, coeffs))
+    return RNSPolynomial(poly.ring_degree, target_basis, limbs)
+
+
+def hybrid_keyswitch(
+    d: RNSPolynomial,
+    keyswitch_key,
+    params: CKKSParameters,
+    level: int,
+) -> Tuple[RNSPolynomial, RNSPolynomial]:
+    """Apply Algorithm 1 to ``d`` and return the ``(c0, c1)`` correction pair."""
+    if len(d.limbs) != level + 1:
+        raise ValueError(
+            f"polynomial has {len(d.limbs)} limbs but level {level} expects {level + 1}"
+        )
+    moduli = list(params.moduli[: level + 1])
+    special = list(params.special_moduli)
+    extended = RNSBasis(moduli + special)
+    n = d.ring_degree
+
+    acc0 = RNSPolynomial(n, extended)
+    acc1 = RNSPolynomial(n, extended)
+    slices = _digit_slices(params, level)
+    if len(slices) != keyswitch_key.num_digits:
+        raise ValueError(
+            f"keyswitch key has {keyswitch_key.num_digits} digits, expected {len(slices)}"
+        )
+    for (start, stop), (b_j, a_j) in zip(slices, keyswitch_key.digit_keys):
+        digit_basis = RNSBasis(moduli[start:stop])
+        digit = RNSPolynomial(n, digit_basis, d.limbs[start:stop])
+        # BConv: lift the digit into the extended basis C_l ∪ P.
+        lifted = fast_basis_conversion(digit, extended)
+        # Inner product with the evaluation key (limb-wise polynomial MAC).
+        acc0 = acc0 + lifted * b_j
+        acc1 = acc1 + lifted * a_j
+    # ModDown: divide by P and return to C_l.
+    c0 = mod_down(acc0, params, level)
+    c1 = mod_down(acc1, params, level)
+    return c0, c1

@@ -1,0 +1,26 @@
+"""Scheme conversion between CKKS (RLWE) and TFHE (LWE) ciphertexts.
+
+Implements the Chen-Dai-Kim-Song conversion the paper adopts (its Algorithms
+3-5):
+
+* :mod:`ckks_to_tfhe` — RLWE -> many LWE via SampleExtract (Algorithm 3),
+* :mod:`tfhe_to_ckks` — many LWE -> one RLWE via Ring Embedding, PackLWEs
+  (Algorithm 4) and the Field Trace (Algorithm 5).
+
+The functional implementations work inside a single-limb CKKS ring so that a
+full round trip (CKKS -> LWE -> CKKS) can be verified exactly in the tests;
+the hardware model consumes only the operation structure, which is identical
+at paper scale.
+"""
+
+from .ckks_to_tfhe import ckks_to_lwe_ciphertexts, sample_extract_rlwe
+from .tfhe_to_ckks import lwe_to_rlwe_embedding, pack_lwes, field_trace, repack_lwe_ciphertexts
+
+__all__ = [
+    "ckks_to_lwe_ciphertexts",
+    "sample_extract_rlwe",
+    "lwe_to_rlwe_embedding",
+    "pack_lwes",
+    "field_trace",
+    "repack_lwe_ciphertexts",
+]

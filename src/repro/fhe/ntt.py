@@ -1,0 +1,247 @@
+"""Number Theoretic Transform over Z_q[X]/(X^N + 1).
+
+Implements the negacyclic (a.k.a. *twisted*) NTT used throughout CKKS and the
+NTT-substituted TFHE of the paper:
+
+* :class:`NTTContext` — precomputed tables (psi powers, bit-reversed twiddles)
+  for one ``(N, q)`` pair, with forward/inverse transforms and negacyclic
+  convolution.
+* :func:`four_step_ntt` / :func:`four_step_intt` — the four-step (Bailey)
+  decomposition of a large NTT into two passes of smaller NTTs with a twisting
+  step in between.  This mirrors exactly the hardware split used by Trinity
+  (NTTU computes phase-1, the CUs compute phase-2), and it is validated
+  against the direct transform in the tests.
+
+The transforms operate on Python-int lists (exact arithmetic); the sizes used
+in functional tests are small (N <= 2^12), where pure-Python NTT is fast
+enough and never overflows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .modmath import find_2nth_root_of_unity, is_prime, mod_inverse
+
+__all__ = ["NTTContext", "bit_reverse_permutation", "four_step_ntt", "four_step_intt"]
+
+
+def bit_reverse_permutation(length: int) -> List[int]:
+    """Return the bit-reversal permutation of ``range(length)`` (power of two)."""
+    if length & (length - 1):
+        raise ValueError("length must be a power of two")
+    bits = length.bit_length() - 1
+    return [int(format(i, f"0{bits}b")[::-1], 2) if bits else 0 for i in range(length)]
+
+
+class NTTContext:
+    """Precomputed negacyclic NTT for a fixed ring degree and prime modulus."""
+
+    def __init__(self, ring_degree: int, modulus: int):
+        if ring_degree <= 0 or ring_degree & (ring_degree - 1):
+            raise ValueError("ring_degree must be a power of two")
+        if not is_prime(modulus):
+            raise ValueError(f"modulus {modulus} must be prime")
+        if (modulus - 1) % (2 * ring_degree) != 0:
+            raise ValueError(
+                f"modulus {modulus} is not NTT-friendly for N={ring_degree}"
+            )
+        self.ring_degree = ring_degree
+        self.modulus = modulus
+        self.psi = find_2nth_root_of_unity(ring_degree, modulus)
+        self.psi_inv = mod_inverse(self.psi, modulus)
+        self.omega = (self.psi * self.psi) % modulus
+        self.omega_inv = mod_inverse(self.omega, modulus)
+        self.n_inv = mod_inverse(ring_degree, modulus)
+        self._psi_powers = self._powers(self.psi)
+        self._psi_inv_powers = self._powers(self.psi_inv)
+        self._fwd_twiddles = self._bit_reversed_powers(self.psi)
+        self._inv_twiddles = self._bit_reversed_powers(self.psi_inv)
+
+    def _powers(self, base: int) -> List[int]:
+        powers = [1] * self.ring_degree
+        for i in range(1, self.ring_degree):
+            powers[i] = (powers[i - 1] * base) % self.modulus
+        return powers
+
+    def _bit_reversed_powers(self, base: int) -> List[int]:
+        powers = self._powers(base) if base == self.psi else None
+        if powers is None:
+            powers = [1] * self.ring_degree
+            for i in range(1, self.ring_degree):
+                powers[i] = (powers[i - 1] * base) % self.modulus
+        order = bit_reverse_permutation(self.ring_degree)
+        return [powers[order[i]] for i in range(self.ring_degree)]
+
+    # -- forward / inverse ------------------------------------------------
+    def forward(self, coefficients: Sequence[int]) -> List[int]:
+        """Negacyclic forward NTT (coefficient -> evaluation representation)."""
+        n = self.ring_degree
+        if len(coefficients) != n:
+            raise ValueError(f"expected {n} coefficients, got {len(coefficients)}")
+        q = self.modulus
+        values = [int(c) % q for c in coefficients]
+        # Cooley-Tukey, decimation in time, merged psi twisting (Longa-Naehrig).
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            for i in range(m):
+                j1 = 2 * i * t
+                j2 = j1 + t
+                s = self._fwd_twiddles[m + i]
+                for j in range(j1, j2):
+                    u = values[j]
+                    v = (values[j + t] * s) % q
+                    values[j] = (u + v) % q
+                    values[j + t] = (u - v) % q
+            m *= 2
+        return values
+
+    def inverse(self, values: Sequence[int]) -> List[int]:
+        """Negacyclic inverse NTT (evaluation -> coefficient representation)."""
+        n = self.ring_degree
+        if len(values) != n:
+            raise ValueError(f"expected {n} values, got {len(values)}")
+        q = self.modulus
+        coeffs = [int(v) % q for v in values]
+        # Gentleman-Sande, decimation in frequency, merged psi^-1 twisting.
+        t = 1
+        m = n
+        while m > 1:
+            j1 = 0
+            h = m // 2
+            for i in range(h):
+                j2 = j1 + t
+                s = self._inv_twiddles[h + i]
+                for j in range(j1, j2):
+                    u = coeffs[j]
+                    v = coeffs[j + t]
+                    coeffs[j] = (u + v) % q
+                    coeffs[j + t] = ((u - v) * s) % q
+                j1 += 2 * t
+            t *= 2
+            m = h
+        return [(c * self.n_inv) % q for c in coeffs]
+
+    # -- convenience ------------------------------------------------------
+    def negacyclic_convolution(
+        self, a: Sequence[int], b: Sequence[int]
+    ) -> List[int]:
+        """Multiply two polynomials in Z_q[X]/(X^N+1) via the NTT."""
+        fa = self.forward(a)
+        fb = self.forward(b)
+        q = self.modulus
+        return self.inverse([(x * y) % q for x, y in zip(fa, fb)])
+
+    def pointwise_multiply(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        """Element-wise modular multiplication (evaluation representation)."""
+        q = self.modulus
+        return [(int(x) * int(y)) % q for x, y in zip(a, b)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NTTContext(N={self.ring_degree}, q={self.modulus})"
+
+
+def _cyclic_ntt(values: List[int], omega: int, modulus: int) -> List[int]:
+    """In-order iterative radix-2 *cyclic* NTT of a power-of-two length."""
+    n = len(values)
+    order = bit_reverse_permutation(n)
+    data = [values[order[i]] for i in range(n)]
+    length = 2
+    while length <= n:
+        w_len = pow(omega, n // length, modulus)
+        for start in range(0, n, length):
+            w = 1
+            half = length // 2
+            for j in range(start, start + half):
+                u = data[j]
+                v = (data[j + half] * w) % modulus
+                data[j] = (u + v) % modulus
+                data[j + half] = (u - v) % modulus
+                w = (w * w_len) % modulus
+        length *= 2
+    return data
+
+
+def four_step_ntt(context: NTTContext, coefficients: Sequence[int], rows: int) -> List[int]:
+    """Compute the negacyclic NTT using the four-step (Bailey) decomposition.
+
+    The length-N transform is computed as ``rows`` x ``cols`` smaller
+    transforms with an element-wise *twisting* in between — the same split the
+    Trinity NTTU + CU pipeline performs in hardware.  The output matches
+    :meth:`NTTContext.forward` exactly (asserted by the test-suite).
+
+    Steps (negacyclic variant):
+      1. pre-twist by psi^i (turns the negacyclic transform into a cyclic one),
+      2. column NTTs of size ``rows`` (phase-1, done by the NTTU),
+      3. twiddle-factor twist by omega^(r*c) plus transpose,
+      4. row NTTs of size ``cols`` (phase-2, done by the CUs),
+      and a final index permutation back to the standard NTT output order.
+    """
+    n = context.ring_degree
+    if n % rows != 0:
+        raise ValueError("rows must divide the ring degree")
+    cols = n // rows
+    if rows & (rows - 1) or cols & (cols - 1):
+        raise ValueError("rows and cols must both be powers of two")
+    q = context.modulus
+    # Step 0: psi pre-twist makes the remaining problem a plain cyclic DFT.
+    twisted = [(int(coefficients[i]) * context._psi_powers[i]) % q for i in range(n)]
+    # View as a rows x cols matrix stored row-major: element (r, c) = twisted[r*cols + c].
+    # Cyclic DFT of size n decomposes as: column DFTs (size rows), twiddle, row DFTs (size cols).
+    omega = context.omega
+    omega_rows = pow(omega, cols, q)   # primitive `rows`-th root
+    omega_cols = pow(omega, rows, q)   # primitive `cols`-th root
+    # Phase 1: DFT along columns (stride cols).
+    matrix = [[twisted[r * cols + c] for r in range(rows)] for c in range(cols)]
+    matrix = [_cyclic_ntt(column, omega_rows, q) for column in matrix]
+    # Twiddle: multiply element (r, c) by omega^(r*c).
+    for c in range(cols):
+        for r in range(rows):
+            matrix[c][r] = (matrix[c][r] * pow(omega, r * c, q)) % q
+    # Phase 2: DFT along rows (after transpose the "rows" of the result).
+    rows_data = [[matrix[c][r] for c in range(cols)] for r in range(rows)]
+    rows_data = [_cyclic_ntt(row, omega_cols, q) for row in rows_data]
+    # Output index k corresponds to (k mod rows, k div rows) in the two-phase result,
+    # i.e. X[k1 + rows*k2] = rows_data[k1][k2].
+    cyclic = [0] * n
+    for k1 in range(rows):
+        for k2 in range(cols):
+            cyclic[k1 + rows * k2] = rows_data[k1][k2]
+    # `cyclic` holds the natural-order negacyclic NTT (X[k] at psi^(2k+1)).
+    # NTTContext.forward emits bit-reversed order, so permute to match it.
+    order = bit_reverse_permutation(n)
+    return [cyclic[order[i]] for i in range(n)]
+
+
+def four_step_intt(context: NTTContext, values: Sequence[int], rows: int) -> List[int]:
+    """Inverse of :func:`four_step_ntt` (validated against ``NTTContext.inverse``)."""
+    n = context.ring_degree
+    q = context.modulus
+    cols = n // rows
+    # Invert the cyclic DFT by running the same decomposition with omega^-1.
+    omega_inv = context.omega_inv
+    omega_rows_inv = pow(omega_inv, cols, q)
+    omega_cols_inv = pow(omega_inv, rows, q)
+    # Undo the bit-reversed output order of four_step_ntt, then the two-phase layout:
+    # rows_data[k1][k2] = X_natural[k1 + rows*k2].
+    order = bit_reverse_permutation(n)
+    natural = [0] * n
+    for i in range(n):
+        natural[order[i]] = int(values[i]) % q
+    rows_data = [[natural[k1 + rows * k2] for k2 in range(cols)] for k1 in range(rows)]
+    rows_data = [_cyclic_ntt(row, omega_cols_inv, q) for row in rows_data]
+    matrix = [[rows_data[r][c] for r in range(rows)] for c in range(cols)]
+    for c in range(cols):
+        for r in range(rows):
+            matrix[c][r] = (matrix[c][r] * pow(omega_inv, r * c, q)) % q
+    matrix = [_cyclic_ntt(column, omega_rows_inv, q) for column in matrix]
+    twisted = [0] * n
+    for c in range(cols):
+        for r in range(rows):
+            twisted[r * cols + c] = matrix[c][r]
+    n_inv = context.n_inv
+    return [
+        (twisted[i] * n_inv % q) * context._psi_inv_powers[i] % q for i in range(n)
+    ]

@@ -1,0 +1,320 @@
+"""Ring elements of Z_q[X]/(X^N + 1).
+
+:class:`Polynomial` is the workhorse value type of the functional FHE layer.
+It stores coefficients as a plain Python list of ints reduced modulo ``q``
+and supports the operations the schemes need:
+
+* addition, subtraction, negation, scalar and polynomial multiplication
+  (negacyclic, via an :class:`~repro.fhe.ntt.NTTContext` when one is
+  available for the modulus, schoolbook otherwise),
+* monomial multiplication ``P(X) * X^r`` (used by TFHE rotations),
+* automorphism ``X -> X^k`` (used by CKKS HRotate and the field trace),
+* gadget/base decomposition (used by hybrid keyswitch and GGSW products),
+* modulus switching and rounding helpers.
+
+Instances are immutable by convention: every operation returns a fresh
+polynomial and never mutates its inputs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from .modmath import centered
+from .ntt import NTTContext
+
+__all__ = ["Polynomial", "sample_uniform", "sample_ternary", "sample_gaussian"]
+
+# NTT contexts are cached per (N, q): building twiddle tables is the expensive
+# part and both CKKS limbs and TFHE rings reuse the same few moduli heavily.
+_NTT_CACHE: Dict[Tuple[int, int], NTTContext] = {}
+
+
+def _ntt_context(ring_degree: int, modulus: int) -> NTTContext | None:
+    key = (ring_degree, modulus)
+    if key not in _NTT_CACHE:
+        try:
+            _NTT_CACHE[key] = NTTContext(ring_degree, modulus)
+        except ValueError:
+            _NTT_CACHE[key] = None  # type: ignore[assignment]
+    return _NTT_CACHE[key]
+
+
+class Polynomial:
+    """An element of R_q = Z_q[X]/(X^N + 1)."""
+
+    __slots__ = ("ring_degree", "modulus", "coefficients")
+
+    def __init__(self, ring_degree: int, modulus: int, coefficients: Sequence[int] | None = None):
+        if ring_degree <= 0 or ring_degree & (ring_degree - 1):
+            raise ValueError("ring_degree must be a power of two")
+        if modulus < 2:
+            raise ValueError("modulus must be >= 2")
+        self.ring_degree = ring_degree
+        self.modulus = modulus
+        if coefficients is None:
+            self.coefficients = [0] * ring_degree
+        else:
+            if len(coefficients) > ring_degree:
+                raise ValueError(
+                    f"too many coefficients: {len(coefficients)} > {ring_degree}"
+                )
+            coeffs = [int(c) % modulus for c in coefficients]
+            coeffs.extend([0] * (ring_degree - len(coeffs)))
+            self.coefficients = coeffs
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def zero(cls, ring_degree: int, modulus: int) -> "Polynomial":
+        """The additive identity."""
+        return cls(ring_degree, modulus)
+
+    @classmethod
+    def one(cls, ring_degree: int, modulus: int) -> "Polynomial":
+        """The multiplicative identity."""
+        coeffs = [0] * ring_degree
+        coeffs[0] = 1
+        return cls(ring_degree, modulus, coeffs)
+
+    @classmethod
+    def monomial(cls, ring_degree: int, modulus: int, degree: int, coefficient: int = 1) -> "Polynomial":
+        """``coefficient * X^degree`` with negacyclic wrap-around for large degrees."""
+        degree %= 2 * ring_degree
+        sign = 1
+        if degree >= ring_degree:
+            degree -= ring_degree
+            sign = -1
+        coeffs = [0] * ring_degree
+        coeffs[degree] = sign * coefficient
+        return cls(ring_degree, modulus, coeffs)
+
+    # -- basic protocol ------------------------------------------------------
+    def _check_compatible(self, other: "Polynomial") -> None:
+        if self.ring_degree != other.ring_degree or self.modulus != other.modulus:
+            raise ValueError(
+                "incompatible rings: "
+                f"(N={self.ring_degree}, q={self.modulus}) vs "
+                f"(N={other.ring_degree}, q={other.modulus})"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return (
+            self.ring_degree == other.ring_degree
+            and self.modulus == other.modulus
+            and self.coefficients == other.coefficients
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.ring_degree, self.modulus, tuple(self.coefficients)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        head = ", ".join(str(c) for c in self.coefficients[:4])
+        suffix = ", ..." if self.ring_degree > 4 else ""
+        return f"Polynomial(N={self.ring_degree}, q={self.modulus}, [{head}{suffix}])"
+
+    def is_zero(self) -> bool:
+        """True when all coefficients are zero."""
+        return all(c == 0 for c in self.coefficients)
+
+    # -- arithmetic ----------------------------------------------------------
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        self._check_compatible(other)
+        q = self.modulus
+        coeffs = [(a + b) % q for a, b in zip(self.coefficients, other.coefficients)]
+        return Polynomial(self.ring_degree, q, coeffs)
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        self._check_compatible(other)
+        q = self.modulus
+        coeffs = [(a - b) % q for a, b in zip(self.coefficients, other.coefficients)]
+        return Polynomial(self.ring_degree, q, coeffs)
+
+    def __neg__(self) -> "Polynomial":
+        q = self.modulus
+        return Polynomial(self.ring_degree, q, [(-a) % q for a in self.coefficients])
+
+    def __mul__(self, other: "Polynomial | int") -> "Polynomial":
+        if isinstance(other, int):
+            return self.scalar_multiply(other)
+        self._check_compatible(other)
+        context = _ntt_context(self.ring_degree, self.modulus)
+        if context is not None:
+            coeffs = context.negacyclic_convolution(self.coefficients, other.coefficients)
+        else:
+            coeffs = self._schoolbook_multiply(other)
+        return Polynomial(self.ring_degree, self.modulus, coeffs)
+
+    __rmul__ = __mul__
+
+    def _schoolbook_multiply(self, other: "Polynomial") -> List[int]:
+        n = self.ring_degree
+        q = self.modulus
+        result = [0] * n
+        for i, a in enumerate(self.coefficients):
+            if a == 0:
+                continue
+            for j, b in enumerate(other.coefficients):
+                if b == 0:
+                    continue
+                k = i + j
+                term = a * b
+                if k >= n:
+                    result[k - n] = (result[k - n] - term) % q
+                else:
+                    result[k] = (result[k] + term) % q
+        return result
+
+    def scalar_multiply(self, scalar: int) -> "Polynomial":
+        """Multiply every coefficient by an integer scalar."""
+        q = self.modulus
+        scalar %= q
+        return Polynomial(
+            self.ring_degree, q, [(c * scalar) % q for c in self.coefficients]
+        )
+
+    def multiply_by_monomial(self, degree: int) -> "Polynomial":
+        """Return ``self * X^degree`` (negacyclic rotation; degree may be negative)."""
+        n = self.ring_degree
+        q = self.modulus
+        degree %= 2 * n
+        result = [0] * n
+        for i, c in enumerate(self.coefficients):
+            k = i + degree
+            sign = 1
+            while k >= n:
+                k -= n
+                sign = -sign
+            result[k] = (result[k] + sign * c) % q
+        return Polynomial(n, q, result)
+
+    # -- structural transforms ------------------------------------------------
+    def automorphism(self, power: int) -> "Polynomial":
+        """Apply the ring automorphism ``X -> X^power`` (``power`` odd, mod 2N)."""
+        n = self.ring_degree
+        q = self.modulus
+        power %= 2 * n
+        if power % 2 == 0:
+            raise ValueError("automorphism exponent must be odd")
+        result = [0] * n
+        for i, c in enumerate(self.coefficients):
+            if c == 0:
+                continue
+            k = (i * power) % (2 * n)
+            sign = 1
+            if k >= n:
+                k -= n
+                sign = -1
+            result[k] = (result[k] + sign * c) % q
+        return Polynomial(n, q, result)
+
+    def decompose(self, base: int, levels: int) -> List["Polynomial"]:
+        """Signed gadget decomposition into ``levels`` digits of the given ``base``.
+
+        Returns polynomials ``d_0 ... d_{levels-1}`` (most significant digit
+        first, digits roughly in ``[-base/2, base/2]``) such that
+        ``sum_j d_j * (q // base^(j+1))`` approximates ``self`` with error
+        bounded by about half the smallest gadget factor.  The greedy
+        residual-based digit extraction keeps the approximation tight even for
+        prime moduli, where ``q`` is not an exact power of ``base``.
+        """
+        if base < 2:
+            raise ValueError("decomposition base must be >= 2")
+        n = self.ring_degree
+        q = self.modulus
+        factors = [q // (base ** (j + 1)) for j in range(levels)]
+        digits = [[0] * n for _ in range(levels)]
+        for idx in range(n):
+            residual = centered(self.coefficients[idx], q)
+            for level, factor in enumerate(factors):
+                if factor == 0:
+                    digit = 0
+                else:
+                    digit = (2 * residual + factor) // (2 * factor)
+                residual -= digit * factor
+                digits[level][idx] = digit % q
+        return [Polynomial(n, q, d) for d in digits]
+
+    def switch_modulus(self, new_modulus: int) -> "Polynomial":
+        """Scale-and-round the coefficients from modulus ``q`` to ``new_modulus``."""
+        q = self.modulus
+        coeffs = []
+        for c in self.coefficients:
+            scaled = centered(c, q) * new_modulus
+            rounded = (2 * scaled + q) // (2 * q)  # round-half-up, sign-safe
+            coeffs.append(rounded % new_modulus)
+        return Polynomial(self.ring_degree, new_modulus, coeffs)
+
+    def lift_modulus(self, new_modulus: int) -> "Polynomial":
+        """Re-interpret the centred coefficients under a (usually larger) modulus."""
+        q = self.modulus
+        return Polynomial(
+            self.ring_degree,
+            new_modulus,
+            [centered(c, q) % new_modulus for c in self.coefficients],
+        )
+
+    # -- representation helpers -----------------------------------------------
+    def to_ntt(self) -> List[int]:
+        """Evaluation representation (forward NTT) of the coefficients."""
+        context = _ntt_context(self.ring_degree, self.modulus)
+        if context is None:
+            raise ValueError(
+                f"modulus {self.modulus} is not NTT-friendly for N={self.ring_degree}"
+            )
+        return context.forward(self.coefficients)
+
+    @classmethod
+    def from_ntt(cls, ring_degree: int, modulus: int, values: Sequence[int]) -> "Polynomial":
+        """Build a polynomial from its evaluation representation."""
+        context = _ntt_context(ring_degree, modulus)
+        if context is None:
+            raise ValueError(f"modulus {modulus} is not NTT-friendly for N={ring_degree}")
+        return cls(ring_degree, modulus, context.inverse(list(values)))
+
+    def centered_coefficients(self) -> List[int]:
+        """Coefficients mapped to the centred interval (-q/2, q/2]."""
+        return [centered(c, self.modulus) for c in self.coefficients]
+
+    def infinity_norm(self) -> int:
+        """Max absolute value of the centred coefficients (noise measurement)."""
+        return max((abs(c) for c in self.centered_coefficients()), default=0)
+
+
+# -- random sampling -----------------------------------------------------------
+
+def sample_uniform(ring_degree: int, modulus: int, rng: random.Random) -> Polynomial:
+    """Uniformly random ring element (used for ciphertext masks and keys)."""
+    return Polynomial(
+        ring_degree, modulus, [rng.randrange(modulus) for _ in range(ring_degree)]
+    )
+
+
+def sample_ternary(ring_degree: int, modulus: int, rng: random.Random, hamming_weight: int | None = None) -> Polynomial:
+    """Ternary secret with coefficients in {-1, 0, 1}.
+
+    When ``hamming_weight`` is given, exactly that many coefficients are
+    non-zero (the sparse-ternary secrets used by CKKS bootstrapping papers).
+    """
+    coeffs = [0] * ring_degree
+    if hamming_weight is None:
+        coeffs = [rng.choice((-1, 0, 1)) for _ in range(ring_degree)]
+    else:
+        hamming_weight = min(hamming_weight, ring_degree)
+        positions = rng.sample(range(ring_degree), hamming_weight)
+        for pos in positions:
+            coeffs[pos] = rng.choice((-1, 1))
+    return Polynomial(ring_degree, modulus, coeffs)
+
+
+def sample_gaussian(
+    ring_degree: int,
+    modulus: int,
+    rng: random.Random,
+    stddev: float = 3.2,
+) -> Polynomial:
+    """Discrete-Gaussian-ish error polynomial (rounded normal, as in practice)."""
+    coeffs = [round(rng.gauss(0.0, stddev)) for _ in range(ring_degree)]
+    return Polynomial(ring_degree, modulus, coeffs)

@@ -1,0 +1,281 @@
+"""Residue Number System (RNS) representation and fast basis conversion.
+
+CKKS with large coefficient moduli (hundreds to >1000 bits) is implemented in
+practice on a chain of small word-sized primes (Cheon-Han-Kim-Kim-Song RNS
+variant).  This module provides:
+
+* :class:`RNSBasis` — an ordered set of pairwise-coprime NTT-friendly primes
+  with the CRT constants needed for reconstruction,
+* :class:`RNSPolynomial` — a polynomial held limb-wise, one residue
+  polynomial per prime in the basis, supporting element-wise arithmetic,
+  NTT-domain conversion, and limb dropping (Rescale),
+* :func:`fast_basis_conversion` — the **BConv** kernel of the paper: the
+  approximate base-conversion (HPS/BEHZ style) used by hybrid keyswitch to
+  move a polynomial from basis ``C`` to basis ``D`` without reconstructing the
+  big integer.
+
+The element counts of these functions are what the kernel-level cost model in
+:mod:`repro.kernels.opcounts` charges for BConv; the functional versions here
+are used by the CKKS scheme implementation and its tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+from .modmath import mod_inverse
+from .polynomial import Polynomial
+
+__all__ = ["RNSBasis", "RNSPolynomial", "fast_basis_conversion", "exact_basis_conversion"]
+
+
+class RNSBasis:
+    """An ordered basis of pairwise-coprime primes ``q_0, ..., q_{k-1}``."""
+
+    def __init__(self, moduli: Sequence[int]):
+        moduli = [int(q) for q in moduli]
+        if not moduli:
+            raise ValueError("an RNS basis needs at least one modulus")
+        if len(set(moduli)) != len(moduli):
+            raise ValueError("RNS moduli must be distinct")
+        for i, a in enumerate(moduli):
+            for b in moduli[i + 1:]:
+                if math.gcd(a, b) != 1:
+                    raise ValueError(f"moduli {a} and {b} are not coprime")
+        self.moduli = list(moduli)
+        self.product = math.prod(moduli)
+        # CRT reconstruction constants: Q_i = Q / q_i and Q_i^{-1} mod q_i.
+        self._crt_complements = [self.product // q for q in moduli]
+        self._crt_inverses = [
+            mod_inverse(comp % q, q) for comp, q in zip(self._crt_complements, moduli)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.moduli)
+
+    def __iter__(self):
+        return iter(self.moduli)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RNSBasis):
+            return NotImplemented
+        return self.moduli == other.moduli
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RNSBasis({self.moduli})"
+
+    def subset(self, count: int) -> "RNSBasis":
+        """The basis formed by the first ``count`` moduli (used by Rescale)."""
+        if not 1 <= count <= len(self.moduli):
+            raise ValueError(f"cannot take {count} moduli from a basis of {len(self.moduli)}")
+        return RNSBasis(self.moduli[:count])
+
+    def extend(self, extra: Iterable[int]) -> "RNSBasis":
+        """The basis formed by appending ``extra`` moduli (used by keyswitch)."""
+        return RNSBasis(self.moduli + [int(q) for q in extra])
+
+    def reconstruct(self, residues: Sequence[int]) -> int:
+        """CRT-reconstruct an integer in ``[0, Q)`` from its residues."""
+        if len(residues) != len(self.moduli):
+            raise ValueError("residue count does not match basis size")
+        total = 0
+        for residue, comp, inv, q in zip(
+            residues, self._crt_complements, self._crt_inverses, self.moduli
+        ):
+            total += (residue % q) * inv % q * comp
+        return total % self.product
+
+    def to_residues(self, value: int) -> List[int]:
+        """Residues of an integer with respect to every modulus in the basis."""
+        return [value % q for q in self.moduli]
+
+
+class RNSPolynomial:
+    """A polynomial in R_Q stored limb-wise over an :class:`RNSBasis`."""
+
+    __slots__ = ("ring_degree", "basis", "limbs")
+
+    def __init__(self, ring_degree: int, basis: RNSBasis, limbs: Sequence[Polynomial] | None = None):
+        self.ring_degree = ring_degree
+        self.basis = basis
+        if limbs is None:
+            self.limbs = [Polynomial.zero(ring_degree, q) for q in basis]
+        else:
+            limbs = list(limbs)
+            if len(limbs) != len(basis):
+                raise ValueError("limb count does not match basis size")
+            for limb, q in zip(limbs, basis):
+                if limb.modulus != q or limb.ring_degree != ring_degree:
+                    raise ValueError("limb does not match basis modulus / ring degree")
+            self.limbs = limbs
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def from_integer_coefficients(
+        cls, ring_degree: int, basis: RNSBasis, coefficients: Sequence[int]
+    ) -> "RNSPolynomial":
+        """Decompose big-integer coefficients into residue limbs."""
+        limbs = [
+            Polynomial(ring_degree, q, [int(c) % q for c in coefficients]) for q in basis
+        ]
+        return cls(ring_degree, basis, limbs)
+
+    @classmethod
+    def from_polynomial(cls, poly: Polynomial, basis: RNSBasis) -> "RNSPolynomial":
+        """Lift a single-modulus polynomial into an RNS basis (centred lift)."""
+        centred = poly.centered_coefficients()
+        limbs = [Polynomial(poly.ring_degree, q, [c % q for c in centred]) for q in basis]
+        return cls(poly.ring_degree, basis, limbs)
+
+    def to_integer_coefficients(self) -> List[int]:
+        """CRT-reconstruct the big-integer coefficients in ``[0, Q)``."""
+        result = []
+        for idx in range(self.ring_degree):
+            residues = [limb.coefficients[idx] for limb in self.limbs]
+            result.append(self.basis.reconstruct(residues))
+        return result
+
+    def to_polynomial(self) -> Polynomial:
+        """Single big-modulus polynomial with modulus ``Q`` (CRT reconstruction)."""
+        return Polynomial(self.ring_degree, self.basis.product, self.to_integer_coefficients())
+
+    # -- arithmetic -------------------------------------------------------------
+    def _check_compatible(self, other: "RNSPolynomial") -> None:
+        if self.basis != other.basis or self.ring_degree != other.ring_degree:
+            raise ValueError("RNS polynomials live in different rings")
+
+    def __add__(self, other: "RNSPolynomial") -> "RNSPolynomial":
+        self._check_compatible(other)
+        return RNSPolynomial(
+            self.ring_degree,
+            self.basis,
+            [a + b for a, b in zip(self.limbs, other.limbs)],
+        )
+
+    def __sub__(self, other: "RNSPolynomial") -> "RNSPolynomial":
+        self._check_compatible(other)
+        return RNSPolynomial(
+            self.ring_degree,
+            self.basis,
+            [a - b for a, b in zip(self.limbs, other.limbs)],
+        )
+
+    def __neg__(self) -> "RNSPolynomial":
+        return RNSPolynomial(self.ring_degree, self.basis, [-a for a in self.limbs])
+
+    def __mul__(self, other: "RNSPolynomial | int") -> "RNSPolynomial":
+        if isinstance(other, int):
+            return RNSPolynomial(
+                self.ring_degree, self.basis, [limb * other for limb in self.limbs]
+            )
+        self._check_compatible(other)
+        return RNSPolynomial(
+            self.ring_degree,
+            self.basis,
+            [a * b for a, b in zip(self.limbs, other.limbs)],
+        )
+
+    __rmul__ = __mul__
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RNSPolynomial):
+            return NotImplemented
+        return (
+            self.ring_degree == other.ring_degree
+            and self.basis == other.basis
+            and self.limbs == other.limbs
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RNSPolynomial(N={self.ring_degree}, limbs={len(self.limbs)})"
+
+    # -- level management --------------------------------------------------------
+    @property
+    def level(self) -> int:
+        """Number of limbs minus one (CKKS level convention)."""
+        return len(self.limbs) - 1
+
+    def drop_last_limb(self) -> "RNSPolynomial":
+        """Remove the last RNS limb (the modulus-reduction half of Rescale)."""
+        if len(self.limbs) <= 1:
+            raise ValueError("cannot drop the last remaining limb")
+        new_basis = self.basis.subset(len(self.limbs) - 1)
+        return RNSPolynomial(self.ring_degree, new_basis, self.limbs[:-1])
+
+    def rescale(self) -> "RNSPolynomial":
+        """Exact RNS rescale: divide by the last modulus ``q_l`` and round.
+
+        Implements the standard RNS trick
+        ``x_i' = (x_i - x_l) * q_l^{-1} mod q_i`` for every remaining limb.
+        """
+        if len(self.limbs) <= 1:
+            raise ValueError("cannot rescale a polynomial with a single limb")
+        last = self.limbs[-1]
+        q_last = last.modulus
+        new_limbs = []
+        for limb in self.limbs[:-1]:
+            q_i = limb.modulus
+            inv = mod_inverse(q_last % q_i, q_i)
+            coeffs = [
+                ((a - b) * inv) % q_i
+                for a, b in zip(limb.coefficients, last.coefficients)
+            ]
+            new_limbs.append(Polynomial(self.ring_degree, q_i, coeffs))
+        return RNSPolynomial(
+            self.ring_degree, self.basis.subset(len(self.limbs) - 1), new_limbs
+        )
+
+
+def exact_basis_conversion(
+    poly: RNSPolynomial, target_basis: RNSBasis
+) -> RNSPolynomial:
+    """Exact (CRT-reconstructing) conversion of ``poly`` into ``target_basis``.
+
+    Used as the reference implementation against which the fast (approximate)
+    conversion is property-tested.
+    """
+    source_product = poly.basis.product
+    coeffs = poly.to_integer_coefficients()
+    # Centre the value in (-Q/2, Q/2] before reducing into the new basis so
+    # that negative values survive the conversion.
+    centred = [c - source_product if c > source_product // 2 else c for c in coeffs]
+    limbs = [
+        Polynomial(poly.ring_degree, q, [c % q for c in centred]) for q in target_basis
+    ]
+    return RNSPolynomial(poly.ring_degree, target_basis, limbs)
+
+
+def fast_basis_conversion(
+    poly: RNSPolynomial, target_basis: RNSBasis
+) -> RNSPolynomial:
+    """Fast base conversion (the **BConv** kernel).
+
+    Computes, limb-parallel and without big-integer reconstruction,
+
+        y_j = sum_i [ x_i * (Q/q_i)^{-1} mod q_i ] * (Q/q_i)  mod p_j
+
+    for every target modulus ``p_j``.  This is the HPS-style approximate
+    conversion: the result may differ from the exact conversion by a small
+    multiple of ``Q`` (at most ``len(source)`` times), which downstream
+    operations absorb as noise — exactly the behaviour the scheme expects.
+
+    The arithmetic structure (an ``alpha x N`` by ``l x alpha`` matrix product)
+    is what the hardware model maps onto the systolic side of the CUs.
+    """
+    source = poly.basis
+    n = poly.ring_degree
+    # Per-limb scaled residues: x_i * (Q/q_i)^{-1} mod q_i.
+    scaled = []
+    for limb, comp, inv in zip(poly.limbs, source._crt_complements, source._crt_inverses):
+        q_i = limb.modulus
+        scaled.append([(c * inv) % q_i for c in limb.coefficients])
+    target_limbs = []
+    for p_j in target_basis:
+        comp_mod_p = [comp % p_j for comp in source._crt_complements]
+        coeffs = [0] * n
+        for limb_scaled, comp in zip(scaled, comp_mod_p):
+            for idx in range(n):
+                coeffs[idx] = (coeffs[idx] + limb_scaled[idx] * comp) % p_j
+        target_limbs.append(Polynomial(n, p_j, coeffs))
+    return RNSPolynomial(n, target_basis, target_limbs)

@@ -1,0 +1,46 @@
+"""Functional TFHE implementation (CGGI) with the paper's FFT->NTT substitution.
+
+Modules:
+
+* :mod:`lwe`   — LWE ciphertexts, secret keys, encryption/decryption,
+* :mod:`glwe`  — GLWE (ring) ciphertexts and secret keys,
+* :mod:`ggsw`  — GGSW ciphertexts, gadget decomposition, external product,
+* :mod:`pbs`   — programmable bootstrapping (Algorithm 2): ModSwitch, blind
+  rotation, SampleExtract, and TFHE KeySwitch,
+* :mod:`gates` — homomorphic boolean gates built on gate bootstrapping.
+
+All polynomial arithmetic runs over an NTT-friendly prime modulus (the
+closest prime to 2^32 with ``p = 1 mod 2N``), which is exactly the
+substitution the paper makes so the CKKS NTT hardware can be reused for TFHE.
+"""
+
+from .lwe import LWECiphertext, LWESecretKey, LWEContext
+from .glwe import GLWECiphertext, GLWESecretKey
+from .ggsw import GGSWCiphertext, external_product, gadget_factors
+from .pbs import (
+    BootstrappingKey,
+    KeySwitchingKey,
+    TFHEContext,
+    blind_rotate,
+    modulus_switch,
+    sample_extract,
+)
+from .gates import TFHEGateEvaluator
+
+__all__ = [
+    "LWECiphertext",
+    "LWESecretKey",
+    "LWEContext",
+    "GLWECiphertext",
+    "GLWESecretKey",
+    "GGSWCiphertext",
+    "external_product",
+    "gadget_factors",
+    "BootstrappingKey",
+    "KeySwitchingKey",
+    "TFHEContext",
+    "blind_rotate",
+    "modulus_switch",
+    "sample_extract",
+    "TFHEGateEvaluator",
+]

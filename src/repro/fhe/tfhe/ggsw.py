@@ -1,0 +1,131 @@
+"""GGSW ciphertexts, gadget decomposition, and the External Product.
+
+A GGSW ciphertext of a (small) message ``m`` is a matrix of
+``(k + 1) * l_b`` GLWE ciphertexts: row ``(i, j)`` encrypts
+``-m * S_i * g_j`` for the mask rows (``i < k``) and ``m * g_j`` for the body
+rows (``i = k``), where ``g_j = q / B^(j+1)`` are the gadget factors.
+
+The **External Product** (the core kernel of TFHE blind rotation, Algorithm 2
+lines 7-10) multiplies a GLWE ciphertext by a GGSW ciphertext: decompose each
+GLWE component into ``l_b`` digits, then multiply-accumulate the digits
+against the GGSW rows.  In hardware this is ``(k+1) * l_b`` NTTs plus a MAC
+reduction — exactly the kernel split the Trinity CU balances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..params import TFHEParameters
+from ..polynomial import Polynomial
+from .glwe import GLWECiphertext, GLWEContext
+
+__all__ = ["gadget_factors", "GGSWCiphertext", "GGSWContext", "external_product", "cmux"]
+
+
+def gadget_factors(modulus: int, base: int, levels: int) -> List[int]:
+    """The gadget vector ``g_j = round(q / B^(j+1))`` for ``j = 0..levels-1``."""
+    return [modulus // (base ** (j + 1)) for j in range(levels)]
+
+
+@dataclass
+class GGSWCiphertext:
+    """A GGSW ciphertext: ``(k+1) * l_b`` GLWE rows (grouped per component)."""
+
+    rows: List[List[GLWECiphertext]]   # rows[i][j]: component i, level j
+    base: int
+    levels: int
+
+    @property
+    def glwe_dimension(self) -> int:
+        return len(self.rows) - 1
+
+    @property
+    def ring_degree(self) -> int:
+        return self.rows[0][0].ring_degree
+
+    @property
+    def modulus(self) -> int:
+        return self.rows[0][0].modulus
+
+
+class GGSWContext:
+    """Generates GGSW encryptions under a GLWE secret (used for bsk rows)."""
+
+    def __init__(self, params: TFHEParameters, glwe_context: GLWEContext):
+        self.params = params
+        self.glwe_context = glwe_context
+
+    def encrypt_scalar(self, message: int, noise_stddev: float | None = None) -> GGSWCiphertext:
+        """GGSW encryption of a small scalar (typically a secret key bit)."""
+        return self.encrypt_polynomial(
+            Polynomial.monomial(
+                self.params.polynomial_size, self.params.modulus, 0, message
+            ),
+            noise_stddev=noise_stddev,
+        )
+
+    def encrypt_polynomial(self, message: Polynomial,
+                           noise_stddev: float | None = None) -> GGSWCiphertext:
+        """GGSW encryption of a small polynomial message."""
+        params = self.params
+        q = params.modulus
+        k = params.glwe_dimension
+        base = params.bsk_base
+        levels = params.bsk_levels
+        factors = gadget_factors(q, base, levels)
+        secret_polys = self.glwe_context.secret.polynomials
+        rows: List[List[GLWECiphertext]] = []
+        for i in range(k + 1):
+            component_rows = []
+            for j in range(levels):
+                zero_enc = self.glwe_context.encrypt(
+                    Polynomial.zero(params.polynomial_size, q), noise_stddev=noise_stddev
+                )
+                if i < k:
+                    # Mask row: add m * g_j to mask component i, so that the
+                    # row's phase is -m * S_i * g_j (phase = B - sum A_u S_u).
+                    payload = message.scalar_multiply(factors[j])
+                    new_mask = list(zero_enc.mask)
+                    new_mask[i] = new_mask[i] + payload
+                    row = GLWECiphertext(mask=new_mask, body=zero_enc.body)
+                else:
+                    # Body row: add m * g_j to the body (phase = m * g_j).
+                    payload = message.scalar_multiply(factors[j])
+                    row = GLWECiphertext(mask=list(zero_enc.mask), body=zero_enc.body + payload)
+                component_rows.append(row)
+            rows.append(component_rows)
+        return GGSWCiphertext(rows=rows, base=base, levels=levels)
+
+
+def external_product(ggsw: GGSWCiphertext, glwe: GLWECiphertext) -> GLWECiphertext:
+    """GGSW ⊡ GLWE: returns a GLWE encryption of ``m_ggsw * m_glwe``.
+
+    The decomposition-multiply-accumulate structure below is the exact
+    workload the hardware model charges as ``(k+1)*l_b`` forward NTTs, a MAC
+    reduction over the GGSW rows, and ``k+1`` inverse NTTs.
+    """
+    if ggsw.ring_degree != glwe.ring_degree or ggsw.modulus != glwe.modulus:
+        raise ValueError("GGSW and GLWE ciphertexts are incompatible")
+    base = ggsw.base
+    levels = ggsw.levels
+    k = ggsw.glwe_dimension
+    components = list(glwe.mask) + [glwe.body]
+    accumulator = GLWECiphertext.zero(k, glwe.ring_degree, glwe.modulus)
+    for i in range(k + 1):
+        digits = components[i].decompose(base, levels)
+        for j in range(levels):
+            row = ggsw.rows[i][j]
+            accumulator = accumulator + row.multiply_by_polynomial(digits[j])
+    return accumulator
+
+
+def cmux(selector: GGSWCiphertext, when_true: GLWECiphertext,
+         when_false: GLWECiphertext) -> GLWECiphertext:
+    """Homomorphic multiplexer: ``selector ? when_true : when_false``.
+
+    ``cmux(b, c1, c0) = c0 + b ⊡ (c1 - c0)`` — one external product.  This is
+    the per-iteration step of blind rotation.
+    """
+    return when_false + external_product(selector, when_true - when_false)

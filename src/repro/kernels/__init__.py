@@ -1,0 +1,64 @@
+"""Kernel intermediate representation shared by all hardware models.
+
+The paper's key observation (Section II) is that CKKS, TFHE, and their
+conversion are all composed of a *finite set of kernels*: NTT, iNTT, BConv,
+IP, ModMul, ModAdd, Auto, Rotate, SampleExtract, Decompose (plus the small
+TFHE-specific ModSwitch and LWE KeySwitch).  Every workload in this repository
+is lowered to a :class:`~repro.kernels.kernel.KernelTrace` — a sequence of
+steps, each containing kernels that may execute concurrently — and every
+hardware model (Trinity, SHARP, Morphling, the CPU baseline, ...) consumes the
+same traces.  That shared IR is what makes the cross-accelerator comparisons
+of Tables VI-X apples-to-apples.
+"""
+
+from .kernel import Kernel, KernelKind, KernelStep, KernelTrace
+from .opcounts import (
+    kernel_multiplications,
+    kernel_additions,
+    kernel_elements,
+    trace_multiplications,
+    trace_operation_breakdown,
+    KERNEL_CLASS,
+)
+from .ckks_flows import (
+    hadd_flow,
+    hmult_flow,
+    hrotate_flow,
+    keyswitch_flow,
+    pmult_flow,
+    rescale_flow,
+    ckks_operation_flow,
+)
+from .tfhe_flows import (
+    blind_rotation_flow,
+    external_product_flow,
+    pbs_flow,
+    lwe_keyswitch_flow,
+)
+from .conversion_flows import ckks_to_tfhe_flow, tfhe_to_ckks_flow
+
+__all__ = [
+    "Kernel",
+    "KernelKind",
+    "KernelStep",
+    "KernelTrace",
+    "kernel_multiplications",
+    "kernel_additions",
+    "kernel_elements",
+    "trace_multiplications",
+    "trace_operation_breakdown",
+    "KERNEL_CLASS",
+    "keyswitch_flow",
+    "hmult_flow",
+    "hrotate_flow",
+    "hadd_flow",
+    "pmult_flow",
+    "rescale_flow",
+    "ckks_operation_flow",
+    "external_product_flow",
+    "blind_rotation_flow",
+    "pbs_flow",
+    "lwe_keyswitch_flow",
+    "ckks_to_tfhe_flow",
+    "tfhe_to_ckks_flow",
+]

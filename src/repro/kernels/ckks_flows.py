@@ -1,0 +1,225 @@
+"""Kernel flows for CKKS operations (Table II / Algorithm 1 of the paper).
+
+Each function lowers one homomorphic operation at a given ciphertext level
+into a :class:`~repro.kernels.kernel.KernelTrace`.  The flows follow the
+hierarchical reconstruction model of Table II:
+
+==========  =====================================================
+HMult        NTT, BConv, IP, ModMul, ModAdd   (tensor + keyswitch)
+PMult        ModMul, ModAdd
+HRotate      NTT, BConv, IP, ModMul, ModAdd, Auto
+HAdd         ModAdd
+PAdd         ModAdd
+Rescale      NTT, ModAdd
+==========  =====================================================
+
+and the hybrid keyswitch of Algorithm 1 (Decompose -> per-digit BConv + NTT ->
+IP -> iNTT -> ModDown).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..fhe.params import CKKSParameters
+from .kernel import Kernel, KernelKind, KernelStep, KernelTrace
+
+__all__ = [
+    "keyswitch_flow",
+    "hmult_flow",
+    "hrotate_flow",
+    "hadd_flow",
+    "padd_flow",
+    "pmult_flow",
+    "rescale_flow",
+    "conjugate_flow",
+    "ckks_operation_flow",
+]
+
+
+def _level_quantities(params: CKKSParameters, level: int) -> tuple[int, int, int, int]:
+    """(limbs, alpha, beta, extended limbs) at the given level."""
+    limbs = level + 1
+    alpha = params.alpha
+    beta = math.ceil(limbs / alpha)
+    extended = limbs + params.num_special_moduli
+    return limbs, alpha, beta, extended
+
+
+def keyswitch_flow(params: CKKSParameters, level: int, tag: str = "keyswitch") -> KernelTrace:
+    """Hybrid KeySwitch (Algorithm 1) on one polynomial at ``level``."""
+    n = params.ring_degree
+    limbs, alpha, beta, extended = _level_quantities(params, level)
+    trace = KernelTrace(name=f"{tag}@L{level}", scheme="ckks",
+                        metadata={"level": level, "beta": beta})
+    # 1. Digit decomposition (RNS limb selection): pure data movement.
+    trace.add_step(
+        [Kernel(KernelKind.DECOMPOSE, n, count=limbs, scheme="ckks", tag=f"{tag}.decompose")],
+        label="decompose",
+    )
+    # 2. Per-digit BConv into the extended basis C_l ∪ P, then forward NTT
+    #    (Algorithm 1 lines 3-6).  Digits are independent -> single step.
+    trace.add_step(
+        [
+            Kernel(KernelKind.BCONV, n, count=beta * extended, inner=alpha,
+                   scheme="ckks", tag=f"{tag}.bconv"),
+            Kernel(KernelKind.NTT, n, count=beta * extended, scheme="ckks", tag=f"{tag}.ntt"),
+        ],
+        label="digit-lift",
+    )
+    # 3. Inner product with the evaluation key (lines 7-10): two output
+    #    polynomials, each a beta-deep reduction across the digits.
+    trace.add_step(
+        [Kernel(KernelKind.IP, n, count=2 * extended, inner=beta, scheme="ckks",
+                tag=f"{tag}.ip")],
+        label="inner-product",
+    )
+    # 4. Inverse NTT of both accumulated polynomials (line 11).
+    trace.add_step(
+        [Kernel(KernelKind.INTT, n, count=2 * extended, scheme="ckks", tag=f"{tag}.intt")],
+        label="intt",
+    )
+    # 5. ModDown: BConv of the P-part back to C_l, subtraction and scaling by
+    #    P^{-1} (line 12).
+    trace.add_step(
+        [
+            Kernel(KernelKind.BCONV, n, count=2 * limbs, inner=params.num_special_moduli,
+                   scheme="ckks", tag=f"{tag}.moddown.bconv"),
+            Kernel(KernelKind.MODADD, n, count=2 * limbs, scheme="ckks",
+                   tag=f"{tag}.moddown.sub"),
+            Kernel(KernelKind.MODMUL, n, count=2 * limbs, scheme="ckks",
+                   tag=f"{tag}.moddown.scale"),
+        ],
+        label="moddown",
+    )
+    return trace
+
+
+def hmult_flow(params: CKKSParameters, level: int, include_rescale: bool = False) -> KernelTrace:
+    """HMult: tensor product, relinearisation keyswitch, optional rescale."""
+    n = params.ring_degree
+    limbs, *_ = _level_quantities(params, level)
+    trace = KernelTrace(name=f"HMult@L{level}", scheme="ckks", metadata={"level": level})
+    # Tensor product d0 = c0*d0', d1 = c0*d1' + c1*d0', d2 = c1*d1' (NTT form).
+    trace.add_step(
+        [
+            Kernel(KernelKind.MODMUL, n, count=4 * limbs, scheme="ckks", tag="hmult.tensor.mul"),
+            Kernel(KernelKind.MODADD, n, count=limbs, scheme="ckks", tag="hmult.tensor.add"),
+        ],
+        label="tensor",
+    )
+    trace.extend(keyswitch_flow(params, level, tag="hmult.keyswitch"))
+    # Fold the keyswitch output back into (d0, d1).
+    trace.add_step(
+        [Kernel(KernelKind.MODADD, n, count=2 * limbs, scheme="ckks", tag="hmult.accumulate")],
+        label="accumulate",
+    )
+    if include_rescale:
+        trace.extend(rescale_flow(params, level))
+    return trace
+
+
+def hrotate_flow(params: CKKSParameters, level: int) -> KernelTrace:
+    """HRotate: automorphism of both components plus a keyswitch."""
+    n = params.ring_degree
+    limbs, *_ = _level_quantities(params, level)
+    trace = KernelTrace(name=f"HRotate@L{level}", scheme="ckks", metadata={"level": level})
+    trace.add_step(
+        [Kernel(KernelKind.AUTO, n, count=2 * limbs, scheme="ckks", tag="hrotate.auto")],
+        label="automorphism",
+    )
+    trace.extend(keyswitch_flow(params, level, tag="hrotate.keyswitch"))
+    trace.add_step(
+        [Kernel(KernelKind.MODADD, n, count=limbs, scheme="ckks", tag="hrotate.accumulate")],
+        label="accumulate",
+    )
+    return trace
+
+
+def conjugate_flow(params: CKKSParameters, level: int) -> KernelTrace:
+    """Complex conjugation: same kernel structure as HRotate."""
+    trace = hrotate_flow(params, level)
+    trace.name = f"Conjugate@L{level}"
+    return trace
+
+
+def hadd_flow(params: CKKSParameters, level: int) -> KernelTrace:
+    """HAdd: element-wise addition of both ciphertext components."""
+    n = params.ring_degree
+    limbs = level + 1
+    trace = KernelTrace(name=f"HAdd@L{level}", scheme="ckks", metadata={"level": level})
+    trace.add_step(
+        [Kernel(KernelKind.MODADD, n, count=2 * limbs, scheme="ckks", tag="hadd")],
+        label="add",
+    )
+    return trace
+
+
+def padd_flow(params: CKKSParameters, level: int) -> KernelTrace:
+    """PAdd: plaintext addition touches only the c0 component."""
+    n = params.ring_degree
+    limbs = level + 1
+    trace = KernelTrace(name=f"PAdd@L{level}", scheme="ckks", metadata={"level": level})
+    trace.add_step(
+        [Kernel(KernelKind.MODADD, n, count=limbs, scheme="ckks", tag="padd")],
+        label="add",
+    )
+    return trace
+
+
+def pmult_flow(params: CKKSParameters, level: int) -> KernelTrace:
+    """PMult: element-wise plaintext multiplication of both components."""
+    n = params.ring_degree
+    limbs = level + 1
+    trace = KernelTrace(name=f"PMult@L{level}", scheme="ckks", metadata={"level": level})
+    trace.add_step(
+        [
+            Kernel(KernelKind.MODMUL, n, count=2 * limbs, scheme="ckks", tag="pmult.mul"),
+            Kernel(KernelKind.MODADD, n, count=limbs, scheme="ckks", tag="pmult.add"),
+        ],
+        label="multiply",
+    )
+    return trace
+
+
+def rescale_flow(params: CKKSParameters, level: int) -> KernelTrace:
+    """Rescale: iNTT of the dropped limb, broadcast NTT, subtract, scale."""
+    if level < 1:
+        raise ValueError("cannot rescale below level 0")
+    n = params.ring_degree
+    remaining = level  # limbs after the drop
+    trace = KernelTrace(name=f"Rescale@L{level}", scheme="ckks", metadata={"level": level})
+    trace.add_step(
+        [Kernel(KernelKind.INTT, n, count=2, scheme="ckks", tag="rescale.intt")],
+        label="to-coefficient",
+    )
+    trace.add_step(
+        [
+            Kernel(KernelKind.NTT, n, count=2 * remaining, scheme="ckks", tag="rescale.ntt"),
+            Kernel(KernelKind.MODADD, n, count=2 * remaining, scheme="ckks", tag="rescale.sub"),
+            Kernel(KernelKind.MODMUL, n, count=2 * remaining, scheme="ckks", tag="rescale.scale"),
+        ],
+        label="rescale",
+    )
+    return trace
+
+
+#: Dispatcher from Table II operation names to flow constructors.
+_OPERATION_FLOWS = {
+    "HMult": hmult_flow,
+    "PMult": pmult_flow,
+    "HAdd": hadd_flow,
+    "PAdd": padd_flow,
+    "HRotate": hrotate_flow,
+    "Rescale": rescale_flow,
+    "Conjugate": conjugate_flow,
+}
+
+
+def ckks_operation_flow(name: str, params: CKKSParameters, level: int) -> KernelTrace:
+    """Lower a Table II operation name to its kernel trace at ``level``."""
+    try:
+        constructor = _OPERATION_FLOWS[name]
+    except KeyError:
+        raise ValueError(f"unknown CKKS operation {name!r}") from None
+    return constructor(params, level)

@@ -1,0 +1,81 @@
+"""Kernel flows for the CKKS <-> TFHE scheme conversion (Algorithms 3-5).
+
+* CKKS -> TFHE is pure SampleExtract (handled by the Rotator in Trinity).
+* TFHE -> CKKS is the LWE repacking: ``nslot - 1`` PackLWEs merges (each one
+  monomial Rotate, one HRotate, and additions) followed by ``log2(N/nslot)``
+  field-trace steps (each one HRotate and one addition).  The HRotate reuses
+  the CKKS keyswitch flow, which is exactly how the paper maps the conversion
+  onto the CKKS datapath (Section IV-G).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..fhe.params import CKKSParameters
+from .ckks_flows import hrotate_flow
+from .kernel import Kernel, KernelKind, KernelTrace
+
+__all__ = ["ckks_to_tfhe_flow", "tfhe_to_ckks_flow"]
+
+
+def ckks_to_tfhe_flow(params: CKKSParameters, nslot: int) -> KernelTrace:
+    """Algorithm 3: ``nslot`` SampleExtract operations on a level-0 RLWE."""
+    trace = KernelTrace(name=f"CKKS->TFHE[nslot={nslot}]", scheme="conversion",
+                        metadata={"nslot": nslot})
+    trace.add_step(
+        [Kernel(KernelKind.SAMPLE_EXTRACT, params.ring_degree, count=nslot,
+                scheme="conversion", tag="c2t.extract")],
+        label="sample-extract",
+    )
+    return trace
+
+
+def tfhe_to_ckks_flow(params: CKKSParameters, nslot: int,
+                      level: int | None = None) -> KernelTrace:
+    """Algorithms 4 + 5: Ring Embedding, PackLWEs merges, Field Trace."""
+    if nslot < 1 or nslot & (nslot - 1):
+        raise ValueError("nslot must be a power of two")
+    n = params.ring_degree
+    level = params.max_level if level is None else level
+    limbs = level + 1
+    trace = KernelTrace(name=f"TFHE->CKKS[nslot={nslot}]", scheme="conversion",
+                        metadata={"nslot": nslot, "level": level})
+    # Ring embedding: pure data movement of nslot LWE ciphertexts.
+    trace.add_step(
+        [Kernel(KernelKind.ROTATE, n, count=nslot, scheme="conversion", tag="t2c.embed")],
+        label="ring-embedding",
+    )
+    # PackLWEs: log2(nslot) merge rounds; round d performs nslot / 2^d merges
+    # in parallel, each needing one monomial Rotate, adds, and one HRotate.
+    rounds = int(math.log2(nslot)) if nslot > 1 else 0
+    for round_index in range(1, rounds + 1):
+        merges = nslot >> round_index
+        trace.add_step(
+            [
+                Kernel(KernelKind.ROTATE, n, count=2 * limbs * merges, scheme="conversion",
+                       tag="t2c.pack.rotate"),
+                Kernel(KernelKind.MODADD, n, count=4 * limbs * merges, scheme="conversion",
+                       tag="t2c.pack.add"),
+            ],
+            label=f"pack-round-{round_index}-rotate",
+        )
+        hrotate = hrotate_flow(params, level)
+        for step in hrotate.steps:
+            scaled = [kernel.scaled(merges) for kernel in step.kernels] if merges > 1 \
+                else list(step.kernels)
+            trace.add_step(scaled, repeat=step.repeat,
+                           label=f"pack-round-{round_index}-{step.label}")
+    # Field trace: log2(N / nslot) sequential HRotate + add steps.
+    trace_steps = int(math.log2(n // nslot)) if n > nslot else 0
+    for step_index in range(1, trace_steps + 1):
+        hrotate = hrotate_flow(params, level)
+        for step in hrotate.steps:
+            trace.add_step(list(step.kernels), repeat=step.repeat,
+                           label=f"trace-{step_index}-{step.label}")
+        trace.add_step(
+            [Kernel(KernelKind.MODADD, n, count=2 * limbs, scheme="conversion",
+                    tag="t2c.trace.add")],
+            label=f"trace-{step_index}-add",
+        )
+    return trace

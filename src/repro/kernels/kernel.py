@@ -1,0 +1,153 @@
+"""Kernel IR value types: Kernel, KernelStep, KernelTrace.
+
+A :class:`Kernel` is one invocation of a primitive FHE kernel over one or
+more residue polynomials (e.g. "NTT of 32 limbs of length 2^16").  A
+:class:`KernelStep` groups kernels with no mutual dependencies (they may be
+scheduled concurrently on different functional units); a step can be marked
+``repeat=k`` to model ``k`` *sequential* repetitions of the same work (e.g.
+the ``n_lwe`` blind-rotation iterations of PBS, which form a strict chain).
+A :class:`KernelTrace` is the ordered list of steps for one workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List
+
+
+class KernelKind(str, Enum):
+    """The finite kernel alphabet of Section II of the paper."""
+
+    NTT = "NTT"
+    INTT = "INTT"
+    BCONV = "BConv"
+    IP = "IP"                        # inner product with the evaluation key
+    MODMUL = "ModMul"
+    MODADD = "ModAdd"
+    AUTO = "Auto"                    # automorphism (index permutation)
+    ROTATE = "Rotate"                # monomial multiplication / vector rotate
+    SAMPLE_EXTRACT = "SampleExtract"
+    DECOMPOSE = "Decompose"
+    MAC = "MAC"                      # generic multiply-accumulate (external product)
+    MODSWITCH = "ModSwitch"          # TFHE modulus switch
+    LWE_KEYSWITCH = "LWEKeySwitch"   # TFHE keyswitch (vector MAC over ksk)
+    TRANSPOSE = "Transpose"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One kernel invocation.
+
+    ``poly_length`` is the polynomial length N the kernel operates on;
+    ``count`` is how many independent polynomials (limbs) it covers;
+    ``inner`` carries a kernel-specific inner dimension (e.g. the number of
+    input limbs of a BConv, the reduction depth of an IP/MAC, or the
+    decomposition depth of an LWE keyswitch).
+    """
+
+    kind: KernelKind
+    poly_length: int
+    count: int = 1
+    inner: int = 1
+    scheme: str = "ckks"
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.poly_length < 1:
+            raise ValueError("poly_length must be positive")
+        if self.count < 1:
+            raise ValueError("count must be positive")
+        if self.inner < 1:
+            raise ValueError("inner must be positive")
+
+    @property
+    def elements(self) -> int:
+        """Number of output coefficients the kernel produces."""
+        return self.poly_length * self.count
+
+    def scaled(self, factor: int) -> "Kernel":
+        """The same kernel repeated ``factor`` times (count multiplied)."""
+        return Kernel(
+            kind=self.kind,
+            poly_length=self.poly_length,
+            count=self.count * factor,
+            inner=self.inner,
+            scheme=self.scheme,
+            tag=self.tag,
+        )
+
+
+@dataclass
+class KernelStep:
+    """Kernels with no mutual dependency, optionally repeated sequentially."""
+
+    kernels: List[Kernel]
+    repeat: int = 1
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.repeat < 1:
+            raise ValueError("repeat must be positive")
+
+    def __iter__(self) -> Iterator[Kernel]:
+        return iter(self.kernels)
+
+    def scaled(self, factor: int) -> "KernelStep":
+        """The same step repeated ``factor`` more times."""
+        return KernelStep(kernels=list(self.kernels), repeat=self.repeat * factor, label=self.label)
+
+
+@dataclass
+class KernelTrace:
+    """An ordered sequence of steps for one workload (or one FHE operation)."""
+
+    name: str
+    steps: List[KernelStep] = field(default_factory=list)
+    scheme: str = "ckks"
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __iter__(self) -> Iterator[KernelStep]:
+        return iter(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def add_step(self, kernels: Iterable[Kernel], repeat: int = 1, label: str = "") -> None:
+        """Append a step built from an iterable of kernels."""
+        kernels = list(kernels)
+        if kernels:
+            self.steps.append(KernelStep(kernels=kernels, repeat=repeat, label=label))
+
+    def extend(self, other: "KernelTrace", repeat: int = 1) -> None:
+        """Append every step of ``other`` (optionally repeated) to this trace."""
+        for _ in range(repeat):
+            self.steps.extend(
+                KernelStep(kernels=list(step.kernels), repeat=step.repeat, label=step.label)
+                for step in other.steps
+            )
+
+    def kernels(self) -> Iterator[Kernel]:
+        """Iterate over every kernel, expanded by its step's repeat count."""
+        for step in self.steps:
+            for kernel in step.kernels:
+                yield kernel.scaled(step.repeat) if step.repeat > 1 else kernel
+
+    def kernel_histogram(self) -> Dict[KernelKind, int]:
+        """Total element count per kernel kind (repeat-expanded)."""
+        histogram: Dict[KernelKind, int] = {}
+        for kernel in self.kernels():
+            histogram[kernel.kind] = histogram.get(kernel.kind, 0) + kernel.elements
+        return histogram
+
+    @classmethod
+    def concatenate(cls, name: str, traces: Iterable["KernelTrace"],
+                    scheme: str = "mixed") -> "KernelTrace":
+        """Concatenate several traces into one workload-level trace."""
+        combined = cls(name=name, scheme=scheme)
+        for trace in traces:
+            combined.extend(trace)
+        return combined

@@ -1,0 +1,119 @@
+"""Analytic operation counts per kernel.
+
+These counts are what Figure 2 of the paper plots (the NTT-vs-MAC breakdown
+of CKKS KeySwitch and TFHE PBS) and what the CPU/GPU baseline models charge
+per kernel.  Counting conventions:
+
+* an NTT/iNTT of length N costs ``N/2 * log2(N)`` butterfly stages, each one
+  modular multiplication and two modular additions, plus ``N`` twisting
+  multiplications for the negacyclic pre/post twist (merged in hardware but
+  counted so that the four-step split stays cost-neutral);
+* BConv of ``inner`` input limbs to one output limb is an ``N x inner``
+  dot product per coefficient: ``N * inner`` multiplications;
+* IP/MAC reduce ``inner`` operands per output element: ``N * inner``
+  multiplications;
+* ModMul is one multiplication per element, ModAdd one addition;
+* Auto / Rotate / SampleExtract / Decompose / Transpose move or split data
+  and cost no multiplications (their cost in hardware is cycles on the
+  permutation units, which the hardware model charges separately).
+
+``KERNEL_CLASS`` buckets every kernel into ``"ntt" | "mac" | "elementwise" |
+"data"`` — the same split the paper uses for its workload-balance analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from .kernel import Kernel, KernelKind, KernelTrace
+
+__all__ = [
+    "KERNEL_CLASS",
+    "kernel_multiplications",
+    "kernel_additions",
+    "kernel_elements",
+    "trace_multiplications",
+    "trace_additions",
+    "trace_operation_breakdown",
+]
+
+
+#: Workload-balance class of every kernel kind (paper Figure 2 buckets).
+KERNEL_CLASS: Dict[KernelKind, str] = {
+    KernelKind.NTT: "ntt",
+    KernelKind.INTT: "ntt",
+    KernelKind.BCONV: "mac",
+    KernelKind.IP: "mac",
+    KernelKind.MAC: "mac",
+    KernelKind.LWE_KEYSWITCH: "mac",
+    KernelKind.MODMUL: "elementwise",
+    KernelKind.MODADD: "elementwise",
+    KernelKind.MODSWITCH: "elementwise",
+    KernelKind.AUTO: "data",
+    KernelKind.ROTATE: "data",
+    KernelKind.SAMPLE_EXTRACT: "data",
+    KernelKind.DECOMPOSE: "data",
+    KernelKind.TRANSPOSE: "data",
+}
+
+
+def kernel_elements(kernel: Kernel) -> int:
+    """Output elements produced by the kernel."""
+    return kernel.elements
+
+
+def kernel_multiplications(kernel: Kernel) -> int:
+    """Modular multiplications performed by one kernel invocation."""
+    n = kernel.poly_length
+    count = kernel.count
+    if kernel.kind in (KernelKind.NTT, KernelKind.INTT):
+        stages = max(1, int(math.log2(n)))
+        return count * (n // 2 * stages + n)
+    if kernel.kind in (KernelKind.BCONV, KernelKind.IP, KernelKind.MAC,
+                       KernelKind.LWE_KEYSWITCH):
+        return count * n * kernel.inner
+    if kernel.kind == KernelKind.MODMUL:
+        return count * n
+    if kernel.kind == KernelKind.MODSWITCH:
+        return count * n
+    # ModAdd and all data-movement kernels perform no multiplications.
+    return 0
+
+
+def kernel_additions(kernel: Kernel) -> int:
+    """Modular additions performed by one kernel invocation."""
+    n = kernel.poly_length
+    count = kernel.count
+    if kernel.kind in (KernelKind.NTT, KernelKind.INTT):
+        stages = max(1, int(math.log2(n)))
+        return count * n * stages
+    if kernel.kind in (KernelKind.BCONV, KernelKind.IP, KernelKind.MAC,
+                       KernelKind.LWE_KEYSWITCH):
+        return count * n * max(0, kernel.inner - 1)
+    if kernel.kind == KernelKind.MODADD:
+        return count * n
+    return 0
+
+
+def trace_multiplications(trace: KernelTrace) -> int:
+    """Total modular multiplications of a kernel trace (repeat-expanded)."""
+    return sum(kernel_multiplications(k) for k in trace.kernels())
+
+
+def trace_additions(trace: KernelTrace) -> int:
+    """Total modular additions of a kernel trace (repeat-expanded)."""
+    return sum(kernel_additions(k) for k in trace.kernels())
+
+
+def trace_operation_breakdown(trace: KernelTrace) -> Dict[str, int]:
+    """Multiplication count per workload-balance class (Figure 2 buckets).
+
+    Element-wise and data-movement kernels are folded into the ``mac`` bucket
+    only if they perform multiplications; pure data movement contributes 0 and
+    is reported under ``data`` for completeness.
+    """
+    breakdown = {"ntt": 0, "mac": 0, "elementwise": 0, "data": 0}
+    for kernel in trace.kernels():
+        breakdown[KERNEL_CLASS[kernel.kind]] += kernel_multiplications(kernel)
+    return breakdown

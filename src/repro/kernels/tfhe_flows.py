@@ -1,0 +1,123 @@
+"""Kernel flows for TFHE operations (Algorithm 2 of the paper).
+
+PBS is lowered to the four stages the paper identifies — ModSwitch, Blind
+Rotation (``n_lwe`` strictly sequential External Products), SampleExtract and
+the TFHE KeySwitch — with the External Product exposing exactly the
+``(k+1) * l_b`` NTT + MAC structure that Trinity's configurable units balance.
+"""
+
+from __future__ import annotations
+
+from ..fhe.params import TFHEParameters
+from .kernel import Kernel, KernelKind, KernelStep, KernelTrace
+
+__all__ = [
+    "external_product_flow",
+    "blind_rotation_flow",
+    "pbs_flow",
+    "lwe_keyswitch_flow",
+    "gate_bootstrap_flow",
+]
+
+
+def external_product_flow(params: TFHEParameters, tag: str = "external-product") -> KernelTrace:
+    """One External Product: decompose, (k+1)*l_b NTTs, MAC reduce, (k+1) iNTTs."""
+    n = params.polynomial_size
+    k = params.glwe_dimension
+    branches = params.external_product_branches  # (k + 1) * l_b
+    trace = KernelTrace(name=tag, scheme="tfhe", metadata={"branches": branches})
+    trace.add_step(
+        [
+            Kernel(KernelKind.DECOMPOSE, n, count=k + 1, inner=params.bsk_levels,
+                   scheme="tfhe", tag=f"{tag}.decompose"),
+            Kernel(KernelKind.NTT, n, count=branches, scheme="tfhe", tag=f"{tag}.ntt"),
+        ],
+        label="decompose-ntt",
+    )
+    trace.add_step(
+        [Kernel(KernelKind.MAC, n, count=k + 1, inner=branches, scheme="tfhe",
+                tag=f"{tag}.mac")],
+        label="mac",
+    )
+    trace.add_step(
+        [
+            Kernel(KernelKind.INTT, n, count=k + 1, scheme="tfhe", tag=f"{tag}.intt"),
+            Kernel(KernelKind.MODADD, n, count=k + 1, scheme="tfhe", tag=f"{tag}.accumulate"),
+        ],
+        label="intt-accumulate",
+    )
+    return trace
+
+
+def blind_rotation_flow(params: TFHEParameters) -> KernelTrace:
+    """Blind Rotation: ``n_lwe`` sequential CMux iterations (Algorithm 2, lines 4-12)."""
+    n = params.polynomial_size
+    k = params.glwe_dimension
+    trace = KernelTrace(name="blind-rotation", scheme="tfhe",
+                        metadata={"iterations": params.lwe_dimension})
+    iteration = KernelTrace(name="blind-rotation-iteration", scheme="tfhe")
+    iteration.add_step(
+        [
+            Kernel(KernelKind.ROTATE, n, count=k + 1, scheme="tfhe", tag="blindrot.rotate"),
+            Kernel(KernelKind.MODADD, n, count=k + 1, scheme="tfhe", tag="blindrot.sub"),
+        ],
+        label="rotate",
+    )
+    iteration.extend(external_product_flow(params, tag="blindrot.extprod"))
+    # The n_lwe iterations form a strict dependency chain: repeat sequentially.
+    for step in iteration.steps:
+        trace.steps.append(KernelStep(kernels=list(step.kernels),
+                                      repeat=step.repeat * params.lwe_dimension,
+                                      label=step.label))
+    return trace
+
+
+def lwe_keyswitch_flow(params: TFHEParameters) -> KernelTrace:
+    """TFHE KeySwitch: a (k*N*l_k)-deep MAC producing an (n_lwe+1)-element LWE."""
+    trace = KernelTrace(name="tfhe-keyswitch", scheme="tfhe")
+    reduction_depth = params.glwe_lwe_dimension * params.ksk_levels
+    trace.add_step(
+        [
+            Kernel(KernelKind.DECOMPOSE, params.glwe_lwe_dimension, count=1,
+                   inner=params.ksk_levels, scheme="tfhe", tag="ksk.decompose"),
+            Kernel(KernelKind.LWE_KEYSWITCH, params.lwe_dimension + 1, count=1,
+                   inner=reduction_depth, scheme="tfhe", tag="ksk.mac"),
+        ],
+        label="keyswitch",
+    )
+    return trace
+
+
+def pbs_flow(params: TFHEParameters) -> KernelTrace:
+    """Full programmable bootstrapping (Algorithm 2)."""
+    trace = KernelTrace(name=f"PBS[{params.name}]", scheme="tfhe",
+                        metadata={"parameter_set": params.name})
+    # 1. ModSwitch of the (n_lwe + 1)-element LWE ciphertext.
+    trace.add_step(
+        [Kernel(KernelKind.MODSWITCH, params.lwe_dimension + 1, count=1,
+                scheme="tfhe", tag="pbs.modswitch")],
+        label="modswitch",
+    )
+    # 2. Blind rotation (the dominant stage).
+    trace.extend(blind_rotation_flow(params))
+    # 3. SampleExtract of the constant coefficient.
+    trace.add_step(
+        [Kernel(KernelKind.SAMPLE_EXTRACT, params.polynomial_size,
+                count=params.glwe_dimension, scheme="tfhe", tag="pbs.extract")],
+        label="sample-extract",
+    )
+    # 4. TFHE KeySwitch back to the small LWE key.
+    trace.extend(lwe_keyswitch_flow(params))
+    return trace
+
+
+def gate_bootstrap_flow(params: TFHEParameters) -> KernelTrace:
+    """A boolean gate: one linear combination plus one PBS."""
+    trace = KernelTrace(name=f"gate[{params.name}]", scheme="tfhe")
+    trace.add_step(
+        [Kernel(KernelKind.MODADD, params.lwe_dimension + 1, count=2, scheme="tfhe",
+                tag="gate.linear")],
+        label="linear",
+    )
+    trace.extend(pbs_flow(params))
+    return trace

@@ -1,0 +1,40 @@
+"""Benchmark workload generators (Section V-B of the paper).
+
+Each workload expands an application into the kernel traces the hardware
+models consume:
+
+* :mod:`ckks_workloads` — Packed Bootstrapping, HELR logistic-regression
+  training, and ResNet-20 CIFAR-10 inference,
+* :mod:`tfhe_workloads` — PBS under Set-I/II/III and the NN-20/50/100 MNIST
+  networks,
+* :mod:`hybrid_workloads` — the TFHE->CKKS repacking benchmark and the
+  HE3DB TPC-H Query-6 hybrid workload.
+"""
+
+from .base import Workload
+from .ckks_workloads import (
+    packed_bootstrapping_workload,
+    helr_workload,
+    resnet20_workload,
+    CKKS_WORKLOADS,
+)
+from .tfhe_workloads import pbs_workload, nn_workload, TFHE_NN_DEPTHS
+from .hybrid_workloads import (
+    conversion_workload,
+    he3db_workload,
+    he3db_hybrid_segments,
+)
+
+__all__ = [
+    "Workload",
+    "packed_bootstrapping_workload",
+    "helr_workload",
+    "resnet20_workload",
+    "CKKS_WORKLOADS",
+    "pbs_workload",
+    "nn_workload",
+    "TFHE_NN_DEPTHS",
+    "conversion_workload",
+    "he3db_workload",
+    "he3db_hybrid_segments",
+]

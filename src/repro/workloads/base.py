@@ -1,0 +1,38 @@
+"""Workload value type shared by the benchmark suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..kernels.kernel import KernelTrace
+
+__all__ = ["Workload"]
+
+
+@dataclass
+class Workload:
+    """A named application expanded into kernel traces.
+
+    ``traces`` is the ordered list of operation-level traces; hardware models
+    either run them as one sequential workload (latency benchmarks) or use
+    the steady-state throughput of a single representative trace (throughput
+    benchmarks such as PBS).  ``parallel_operations`` tells throughput-style
+    evaluations how many independent instances of the trace exist (e.g. the
+    number of neurons per NN layer, or the number of table entries filtered
+    by HE3DB).
+    """
+
+    name: str
+    scheme: str
+    traces: List[KernelTrace]
+    parallel_operations: int = 1
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def combined_trace(self) -> KernelTrace:
+        """All traces concatenated into one (for latency-style evaluation)."""
+        return KernelTrace.concatenate(self.name, self.traces, scheme=self.scheme)
+
+    @property
+    def num_operations(self) -> int:
+        return len(self.traces)

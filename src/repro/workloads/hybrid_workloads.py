@@ -1,0 +1,166 @@
+"""Hybrid-scheme workloads (Sections V-B3 and V-B4).
+
+* :func:`conversion_workload` — the TFHE -> CKKS repacking benchmark of
+  Table IX (N = 2^14, L = 8, nslot in {2, 8, 32}).  The CKKS -> TFHE
+  direction is pure SampleExtract and is exposed for completeness.
+* :func:`he3db_workload` / :func:`he3db_hybrid_segments` — HE3DB-x: TPC-H
+  Query 6 evaluated homomorphically over ``entries`` table rows.  The filter
+  predicates run in the TFHE domain (a handful of PBS-based comparisons per
+  row), the aggregation runs in the CKKS domain, and scheme conversions sit
+  between them.  The segment form feeds the SHARP+Morphling two-chip model,
+  which additionally pays PCIe transfers of the (large) extracted LWE
+  ciphertexts at every conversion boundary — the system-level cost Trinity
+  avoids.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from ..baselines.combined import HybridSegment
+from ..fhe.params import (
+    CKKSParameters,
+    CONVERSION_DEFAULT,
+    TFHEParameters,
+    TFHE_SET_III,
+)
+from ..kernels.ckks_flows import hadd_flow, hmult_flow, hrotate_flow, pmult_flow, rescale_flow
+from ..kernels.conversion_flows import ckks_to_tfhe_flow, tfhe_to_ckks_flow
+from ..kernels.kernel import Kernel, KernelKind, KernelTrace
+from ..kernels.tfhe_flows import pbs_flow
+from .base import Workload
+
+__all__ = [
+    "conversion_workload",
+    "he3db_workload",
+    "he3db_hybrid_segments",
+    "PBS_PER_FILTERED_ENTRY",
+]
+
+
+#: PBS-based comparisons needed to filter one table row of TPC-H Query 6
+#: (three range predicates over bit-decomposed encrypted columns).
+PBS_PER_FILTERED_ENTRY = 12
+
+
+def conversion_workload(nslot: int,
+                        params: CKKSParameters | None = None,
+                        direction: str = "tfhe-to-ckks") -> Workload:
+    """The scheme-conversion benchmark of Table IX (repacking of nslot LWEs)."""
+    params = CONVERSION_DEFAULT.ckks if params is None else params
+    if direction == "tfhe-to-ckks":
+        trace = tfhe_to_ckks_flow(params, nslot, level=params.max_level)
+    elif direction == "ckks-to-tfhe":
+        trace = ckks_to_tfhe_flow(params, nslot)
+    else:
+        raise ValueError(f"unknown direction {direction!r}")
+    return Workload(
+        name=f"SchemeConversion[{direction}, nslot={nslot}]",
+        scheme="conversion",
+        traces=[trace],
+        metadata={"nslot": nslot, "direction": direction, "ring_degree": params.ring_degree,
+                  "levels": params.max_level},
+    )
+
+
+# ---------------------------------------------------------------------------
+# HE3DB-x (TPC-H Query 6)
+# ---------------------------------------------------------------------------
+
+def _filter_trace(tfhe_params: TFHEParameters, entries: int) -> KernelTrace:
+    """TFHE filter phase: PBS_PER_FILTERED_ENTRY comparisons per table row."""
+    trace = KernelTrace(name=f"he3db.filter[{entries}]", scheme="tfhe",
+                        metadata={"entries": entries})
+    pbs = pbs_flow(tfhe_params)
+    parallel_pbs = entries * PBS_PER_FILTERED_ENTRY
+    for step in pbs.steps:
+        scaled = [kernel.scaled(parallel_pbs) for kernel in step.kernels]
+        trace.add_step(scaled, repeat=step.repeat, label=f"filter.{step.label}")
+    return trace
+
+
+def _aggregation_traces(ckks_params: CKKSParameters, entries: int) -> List[KernelTrace]:
+    """CKKS aggregation phase: masked sum of (price * discount) over the slots."""
+    level = min(ckks_params.max_level, 6)
+    slots_per_ct = ckks_params.slots
+    ciphertexts = max(1, math.ceil(entries / slots_per_ct))
+    traces: List[KernelTrace] = []
+    for _ in range(ciphertexts):
+        traces.append(hmult_flow(ckks_params, level))          # price * discount
+        traces.append(rescale_flow(ckks_params, level))
+        traces.append(pmult_flow(ckks_params, level - 1))       # apply the filter mask
+        traces.append(hadd_flow(ckks_params, level - 1))
+        # log2(slots) rotate-and-add reduction for the final SUM.
+        reduction = hrotate_flow(ckks_params, level - 1)
+        repeated = KernelTrace(name="he3db.reduce", scheme="ckks")
+        repeated.extend(reduction, repeat=int(math.log2(slots_per_ct)))
+        traces.append(repeated)
+    return traces
+
+
+def he3db_workload(entries: int,
+                   ckks_params: CKKSParameters | None = None,
+                   tfhe_params: TFHEParameters = TFHE_SET_III) -> Workload:
+    """HE3DB-``entries``: filter (TFHE) + conversion + aggregation (CKKS)."""
+    ckks_params = CONVERSION_DEFAULT.ckks if ckks_params is None else ckks_params
+    traces: List[KernelTrace] = []
+    # 1. CKKS -> TFHE: extract one LWE per entry (per filtered column).
+    traces.append(ckks_to_tfhe_flow(ckks_params, nslot=min(entries, ckks_params.slots)))
+    # 2. TFHE filter phase.
+    traces.append(_filter_trace(tfhe_params, entries))
+    # 3. TFHE -> CKKS: repack the filter bits into CKKS slots.  Repacking is
+    #    done per ciphertext of `slots` entries with nslot = 256 blocks.
+    repack_blocks = max(1, entries // 256)
+    repack = tfhe_to_ckks_flow(ckks_params, nslot=256, level=min(ckks_params.max_level, 6))
+    repack_all = KernelTrace(name="he3db.repack", scheme="conversion")
+    repack_all.extend(repack, repeat=repack_blocks)
+    traces.append(repack_all)
+    # 4. CKKS aggregation.
+    traces.extend(_aggregation_traces(ckks_params, entries))
+    return Workload(
+        name=f"HE3DB-{entries}",
+        scheme="mixed",
+        traces=traces,
+        parallel_operations=entries,
+        metadata={"entries": entries, "pbs_per_entry": PBS_PER_FILTERED_ENTRY,
+                  "ckks_params": ckks_params.name, "tfhe_params": tfhe_params.name},
+    )
+
+
+def he3db_hybrid_segments(entries: int,
+                          ckks_params: CKKSParameters | None = None,
+                          tfhe_params: TFHEParameters = TFHE_SET_III
+                          ) -> List[HybridSegment]:
+    """The HE3DB workload split into chip-level segments for SHARP+Morphling.
+
+    The CKKS -> TFHE boundary ships the extracted LWE ciphertexts (dimension
+    N of the CKKS ring, i.e. ~16K words each) from SHARP to Morphling; the
+    TFHE -> CKKS boundary ships the filter-result LWE ciphertexts back.
+    These transfers are what make the two-chip system an order of magnitude
+    slower than Trinity on hybrid queries.
+    """
+    ckks_params = CONVERSION_DEFAULT.ckks if ckks_params is None else ckks_params
+    word_bytes = 8.0   # the CPU/host representation of a coefficient
+    extracted_lwe_bytes = entries * (ckks_params.ring_degree + 1) * word_bytes
+    filtered_lwe_bytes = entries * (tfhe_params.lwe_dimension + 1) * word_bytes
+    extraction = HybridSegment(
+        scheme="conversion",
+        traces=(ckks_to_tfhe_flow(ckks_params, nslot=min(entries, ckks_params.slots)),),
+        transfer_bytes=extracted_lwe_bytes,
+    )
+    filtering = HybridSegment(
+        scheme="tfhe",
+        traces=(_filter_trace(tfhe_params, entries),),
+        transfer_bytes=filtered_lwe_bytes,
+    )
+    repack_blocks = max(1, entries // 256)
+    repack = tfhe_to_ckks_flow(ckks_params, nslot=256, level=min(ckks_params.max_level, 6))
+    repack_all = KernelTrace(name="he3db.repack", scheme="conversion")
+    repack_all.extend(repack, repeat=repack_blocks)
+    aggregation = HybridSegment(
+        scheme="ckks",
+        traces=tuple([repack_all] + _aggregation_traces(ckks_params, entries)),
+        transfer_bytes=0.0,
+    )
+    return [extraction, filtering, aggregation]

@@ -1,0 +1,90 @@
+"""TFHE benchmark workloads (Section V-B2): PBS throughput and NN-x inference.
+
+* :func:`pbs_workload` — a single programmable bootstrapping under one of the
+  Table IV parameter sets; the Table VII metric is its steady-state
+  throughput (operations per second) when the accelerator pipeline is kept
+  full with independent PBS operations.
+* :func:`nn_workload` — the NN-20/50/100 MNIST networks of the
+  Concrete/Strix/Morphling evaluations: ``depth`` fully-connected layers of
+  ``neurons_per_layer`` neurons, one PBS activation per neuron, with the
+  layers forming a sequential dependency chain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..fhe.params import TFHEParameters, TFHE_PARAMETER_SETS, TFHE_SET_III
+from ..kernels.kernel import Kernel, KernelKind, KernelTrace
+from ..kernels.tfhe_flows import pbs_flow
+from .base import Workload
+
+__all__ = ["pbs_workload", "nn_workload", "TFHE_NN_DEPTHS", "NN_NEURONS_PER_LAYER"]
+
+
+#: The NN depths evaluated in Table VIII.
+TFHE_NN_DEPTHS = (20, 50, 100)
+
+#: Neurons (hence PBS activations) per hidden layer of the NN-x benchmark.
+NN_NEURONS_PER_LAYER = 512
+
+
+def pbs_workload(params: TFHEParameters) -> Workload:
+    """One programmable bootstrapping under ``params`` (Table VII benchmark)."""
+    trace = pbs_flow(params)
+    return Workload(
+        name=f"PBS {params.name}",
+        scheme="tfhe",
+        traces=[trace],
+        parallel_operations=1,
+        metadata={"parameter_set": params.name,
+                  "lwe_dimension": params.lwe_dimension,
+                  "polynomial_size": params.polynomial_size},
+    )
+
+
+def _layer_trace(params: TFHEParameters, neurons: int, inputs: int, label: str) -> KernelTrace:
+    """One NN layer: an encrypted dot product per neuron, then a PBS activation."""
+    trace = KernelTrace(name=label, scheme="tfhe", metadata={"neurons": neurons})
+    # Dot products: neurons x inputs scalar MACs over (n_lwe+1)-element LWE
+    # ciphertexts — cheap linear work on the VPU/EWE.
+    trace.add_step(
+        [Kernel(KernelKind.MODADD, params.lwe_dimension + 1, count=neurons,
+                inner=1, scheme="tfhe", tag="nn.dot")],
+        repeat=max(1, inputs // 8),
+        label=f"{label}.dot",
+    )
+    # One PBS per neuron; the neurons of a layer are mutually independent, so
+    # their bootstrappings fill the accelerator pipeline.
+    pbs = pbs_flow(params)
+    for step in pbs.steps:
+        scaled = [kernel.scaled(neurons) for kernel in step.kernels]
+        trace.add_step(scaled, repeat=step.repeat, label=f"{label}.{step.label}")
+    return trace
+
+
+def nn_workload(depth: int, params: TFHEParameters = TFHE_SET_III,
+                neurons_per_layer: int = NN_NEURONS_PER_LAYER,
+                input_size: int = 784) -> Workload:
+    """The NN-``depth`` MNIST benchmark (Table VIII).
+
+    The default parameter set is Set-III (128-bit security), matching the
+    security level at which the paper reports Trinity's NN-x numbers.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    traces: List[KernelTrace] = []
+    inputs = input_size
+    for layer in range(depth):
+        traces.append(_layer_trace(params, neurons_per_layer, inputs,
+                                   label=f"NN-{depth}.layer{layer}"))
+        inputs = neurons_per_layer
+    total_pbs = depth * neurons_per_layer
+    return Workload(
+        name=f"NN-{depth}",
+        scheme="tfhe",
+        traces=traces,
+        parallel_operations=neurons_per_layer,
+        metadata={"depth": depth, "neurons_per_layer": neurons_per_layer,
+                  "total_pbs": total_pbs, "parameter_set": params.name},
+    )

@@ -1,0 +1,135 @@
+"""Tests for the experiment harness and reporting (every table and figure runs)."""
+
+import pytest
+
+from repro.analysis import (
+    ExperimentResult,
+    figure_01_ntt_utilization,
+    figure_02_workload_breakdown,
+    figure_09_trinity_ntt_utilization,
+    figure_11_ip_latency,
+    figure_16_cluster_area_power,
+    render_experiment,
+    render_markdown_table,
+    table_07_pbs_throughput,
+    table_09_conversion_performance,
+    table_11_area_power,
+    table_12_accelerator_comparison,
+)
+from repro.analysis.experiments import ALL_EXPERIMENTS
+from repro.analysis.tables import (
+    FIGURE_02_PAPER_NTT_SHARE,
+    PAPER_HEADLINE_CLAIMS,
+    TABLE_VI_PAPER_MS,
+    TABLE_VII_PAPER_OPS,
+)
+
+
+class TestExperimentResult:
+    def test_row_and_lookup(self):
+        result = ExperimentResult("x", "title", ["a", "b"])
+        result.row(a=1, b=2)
+        result.row(a=3, b=4)
+        assert result.column_values("a") == [1, 3]
+        assert result.find_row("a", 3) == {"a": 3, "b": 4}
+        assert result.find_row("a", 99) is None
+
+
+class TestPaperValueRegistry:
+    def test_table_vi_has_trinity_and_sharp(self):
+        assert TABLE_VI_PAPER_MS["Trinity"]["Bootstrap"] == 1.92
+        assert TABLE_VI_PAPER_MS["SHARP"]["HELR"] == 2.53
+
+    def test_table_vii_speedup_claim_consistency(self):
+        trinity = TABLE_VII_PAPER_OPS["Trinity"]
+        morphling = TABLE_VII_PAPER_OPS["Morphling"]
+        speedups = [trinity[s] / morphling[s] for s in ("Set-I", "Set-II", "Set-III")]
+        assert sum(speedups) / len(speedups) == pytest.approx(
+            PAPER_HEADLINE_CLAIMS["pbs_speedup_over_morphling"], rel=0.05
+        )
+
+    def test_figure_2_shares_are_fractions(self):
+        for value in FIGURE_02_PAPER_NTT_SHARE.values():
+            assert 0.0 < value < 1.0
+
+
+class TestFigureExperiments:
+    def test_figure_01_shapes(self):
+        result = figure_01_ntt_utilization()
+        f1 = result.column_values("f1_like")
+        fab = result.column_values("fab_like")
+        assert f1[-1] == max(f1)
+        assert fab[0] == max(fab)
+
+    def test_figure_02_matches_paper_within_15_points(self):
+        result = figure_02_workload_breakdown()
+        for row in result.rows:
+            if row["paper_ntt_share"] is not None:
+                assert abs(row["ntt_share"] - row["paper_ntt_share"]) < 0.15
+
+    def test_figure_09_trinity_dominates(self):
+        result = figure_09_trinity_ntt_utilization()
+        for row in result.rows:
+            assert row["trinity"] >= row["f1_like"]
+
+    def test_figure_11_speedups_above_one(self):
+        result = figure_11_ip_latency()
+        assert all(row["speedup"] >= 1.0 for row in result.rows)
+
+    def test_figure_16_monotone_scaling(self):
+        result = figure_16_cluster_area_power()
+        areas = result.column_values("area_mm2")
+        assert areas == sorted(areas)
+
+
+class TestTableExperiments:
+    def test_table_07_ordering(self):
+        result = table_07_pbs_throughput()
+        trinity = result.find_row("accelerator", "Trinity")
+        morphling = result.find_row("accelerator", "Morphling")
+        for label in ("Set-I", "Set-II", "Set-III"):
+            assert trinity[label] > morphling[label]
+
+    def test_table_09_speedup_magnitude(self):
+        result = table_09_conversion_performance()
+        cpu = result.find_row("accelerator", "Baseline-SC (CPU)")
+        trinity = result.find_row("accelerator", "Trinity")
+        assert cpu["nslot=32"] / trinity["nslot=32"] > 1000
+
+    def test_table_11_total_close_to_paper(self):
+        result = table_11_area_power()
+        total = result.find_row("component", "Total")
+        assert abs(total["area_mm2"] - 157.26) < 8.0
+
+    def test_table_12_trinity_supports_all_schemes(self):
+        result = table_12_accelerator_comparison()
+        trinity = result.find_row("accelerator", "Trinity (this model)")
+        assert "CKKS" in trinity["schemes"] and "TFHE" in trinity["schemes"]
+
+    def test_experiment_registry_is_complete(self):
+        expected = {f"table-{n:02d}" for n in range(6, 13)} | {
+            "figure-01", "figure-02", "figure-09", "figure-10", "figure-11",
+            "figure-12", "figure-13", "figure-14", "figure-15", "figure-16",
+        }
+        assert set(ALL_EXPERIMENTS) == expected
+
+
+class TestReportRendering:
+    def test_markdown_table_structure(self):
+        text = render_markdown_table(["a", "b"], [{"a": 1, "b": None}, {"a": 2.5, "b": "x"}])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "-" in lines[2]          # None rendered as '-'
+        assert len(lines) == 4
+
+    def test_render_experiment_includes_notes(self):
+        result = ExperimentResult("id", "A title", ["x"], notes="a note")
+        result.row(x=1)
+        rendered = render_experiment(result)
+        assert "A title" in rendered
+        assert "a note" in rendered
+
+    def test_large_numbers_use_thousands_separators(self):
+        text = render_markdown_table(["v"], [{"v": 600060}])
+        assert "600,060" in text

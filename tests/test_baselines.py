@@ -1,0 +1,145 @@
+"""Tests for the comparator accelerator models (CPU, GPU, ASICs, two-chip)."""
+
+import pytest
+
+from repro.baselines import (
+    AcceleratorModel,
+    SharpPlusMorphling,
+    ThroughputSpec,
+    ark_model,
+    bts_model,
+    cpu_ckks_baseline,
+    cpu_conversion_baseline,
+    cpu_hybrid_baseline,
+    cpu_tfhe_baseline,
+    craterlake_model,
+    f1_model,
+    gpu_ckks_baseline,
+    gpu_tfhe_baseline,
+    matcha_model,
+    morphling_1ghz_model,
+    morphling_model,
+    sharp_model,
+    strix_model,
+)
+from repro.baselines.combined import HybridSegment
+from repro.fhe.params import CKKS_DEFAULT, TFHE_SET_I
+from repro.kernels import hmult_flow, keyswitch_flow, pbs_flow
+
+
+class TestThroughputSpec:
+    def test_effective_per_cycle(self):
+        spec = ThroughputSpec(
+            ntt_butterflies_per_cycle=100, mac_lanes_per_cycle=200,
+            elementwise_lanes_per_cycle=300, permute_lanes_per_cycle=400,
+            ntt_efficiency=0.5, mac_efficiency=0.5,
+        )
+        assert spec.effective_per_cycle("ntt") == 50
+        assert spec.effective_per_cycle("mac") == 100
+        with pytest.raises(ValueError):
+            spec.effective_per_cycle("bogus")
+
+
+class TestAcceleratorModel:
+    def test_latency_and_throughput_relationship(self):
+        model = sharp_model()
+        report = model.run(keyswitch_flow(CKKS_DEFAULT, CKKS_DEFAULT.max_level))
+        assert report.latency_cycles > 0
+        assert report.throughput_cycles <= report.latency_cycles
+
+    def test_run_many_concatenates(self):
+        model = sharp_model()
+        trace = hmult_flow(CKKS_DEFAULT, 10)
+        assert model.run_many([trace, trace]).latency_cycles == pytest.approx(
+            2 * model.run(trace).latency_cycles, rel=1e-6
+        )
+
+    def test_scheme_support_flags(self):
+        assert sharp_model().supports("ckks")
+        assert not sharp_model().supports("tfhe")
+        assert morphling_model().supports("tfhe")
+        assert not morphling_model().supports("ckks")
+
+    def test_frequency_scales_performance(self):
+        fast = morphling_model(frequency_ghz=1.2)
+        slow = morphling_1ghz_model()
+        trace = pbs_flow(TFHE_SET_I)
+        assert fast.run(trace).operations_per_second > slow.run(trace).operations_per_second
+
+
+class TestRelativeOrdering:
+    """The qualitative ordering of Tables VI and VII must hold in the models."""
+
+    def test_ckks_ordering_cpu_gpu_asic(self):
+        trace = keyswitch_flow(CKKS_DEFAULT, CKKS_DEFAULT.max_level)
+        cpu = cpu_ckks_baseline().run(trace).latency_seconds
+        gpu = gpu_ckks_baseline().run(trace).latency_seconds
+        sharp = sharp_model().run(trace).latency_seconds
+        assert sharp < gpu < cpu
+
+    def test_ckks_asic_generations(self):
+        trace = keyswitch_flow(CKKS_DEFAULT, CKKS_DEFAULT.max_level)
+        bts = bts_model().run(trace).latency_seconds
+        ark = ark_model().run(trace).latency_seconds
+        sharp = sharp_model().run(trace).latency_seconds
+        assert sharp <= ark <= bts
+
+    def test_tfhe_ordering(self):
+        trace = pbs_flow(TFHE_SET_I)
+        results = {
+            model().name if callable(model) else model.name: model().run(trace).operations_per_second
+            for model in (cpu_tfhe_baseline, gpu_tfhe_baseline, matcha_model, strix_model,
+                          morphling_model)
+        }
+        assert results["Baseline-TFHE (CPU)"] < results["NuFHE (GPU)"] < results["Matcha"]
+        assert results["Matcha"] < results["Strix"] < results["Morphling"]
+
+    def test_craterlake_and_f1_are_slower_than_sharp(self):
+        trace = keyswitch_flow(CKKS_DEFAULT, CKKS_DEFAULT.max_level)
+        sharp = sharp_model().run(trace).latency_seconds
+        assert craterlake_model().run(trace).latency_seconds > sharp * 0.8
+        assert f1_model().run(trace).latency_seconds > sharp
+
+    def test_unsupported_kernel_raises(self):
+        crippled = AcceleratorModel(
+            name="no-ntt",
+            spec=ThroughputSpec(ntt_butterflies_per_cycle=0, mac_lanes_per_cycle=1,
+                                elementwise_lanes_per_cycle=1, permute_lanes_per_cycle=1),
+        )
+        with pytest.raises(ValueError):
+            crippled.run(keyswitch_flow(CKKS_DEFAULT, 5))
+
+
+class TestSharpPlusMorphling:
+    def test_routes_segments_to_the_right_chip(self):
+        system = SharpPlusMorphling()
+        ckks_segment = HybridSegment(scheme="ckks",
+                                     traces=(hmult_flow(CKKS_DEFAULT, 10),))
+        tfhe_segment = HybridSegment(scheme="tfhe", traces=(pbs_flow(TFHE_SET_I),))
+        breakdown = system.run_segment_breakdown([ckks_segment, tfhe_segment])
+        labels = [label for label, _ in breakdown]
+        assert labels == ["segment-0-ckks", "segment-1-tfhe"]
+
+    def test_pcie_transfer_adds_latency(self):
+        system = SharpPlusMorphling()
+        base = [HybridSegment(scheme="ckks", traces=(hmult_flow(CKKS_DEFAULT, 10),))]
+        with_transfer = [HybridSegment(scheme="ckks",
+                                       traces=(hmult_flow(CKKS_DEFAULT, 10),),
+                                       transfer_bytes=1e9)]
+        assert system.run_hybrid(with_transfer) > system.run_hybrid(base)
+
+    def test_transfer_seconds(self):
+        system = SharpPlusMorphling(pcie_bandwidth_gbps=128.0)
+        assert system.transfer_seconds(128e9) == pytest.approx(1.0)
+        assert system.transfer_seconds(0) == 0.0
+
+    def test_combined_area_exceeds_trinity(self):
+        from repro.core.area_power import AreaPowerModel
+        from repro.core.config import DEFAULT_TRINITY_CONFIG
+        system = SharpPlusMorphling()
+        trinity_area = AreaPowerModel().total_area_mm2(DEFAULT_TRINITY_CONFIG)
+        assert trinity_area < system.area_mm2
+
+    def test_invalid_segment_scheme(self):
+        with pytest.raises(ValueError):
+            HybridSegment(scheme="bogus", traces=())

@@ -1,0 +1,221 @@
+"""Unit and integration tests for the functional CKKS implementation."""
+
+import math
+
+import pytest
+
+from repro.fhe.ckks import CKKSContext
+from repro.fhe.ckks.bootstrap import BootstrapPlan, linear_transform_plan
+from repro.fhe.params import CKKSParameters
+
+
+@pytest.fixture(scope="module")
+def toy_context():
+    return CKKSContext(CKKSParameters.toy(ring_degree=64, max_level=3, dnum=2), seed=1)
+
+
+@pytest.fixture(scope="module")
+def deep_context():
+    return CKKSContext(CKKSParameters.toy(ring_degree=128, max_level=4, dnum=2), seed=2)
+
+
+def assert_close(actual, expected, tolerance=1e-2):
+    assert len(actual) >= len(expected)
+    for a, e in zip(actual, expected):
+        assert abs(a - e) < tolerance, f"{a} != {e} (tol {tolerance})"
+
+
+class TestEncoder:
+    def test_encode_decode_roundtrip(self, toy_context):
+        values = [1.5, -2.25, 3.0 + 1.0j, 0.125]
+        plaintext = toy_context.encoder.encode(values)
+        decoded = toy_context.encoder.decode(plaintext, num_values=4)
+        assert_close(decoded, values, tolerance=1e-3)
+
+    def test_encode_full_vector(self, toy_context):
+        slots = toy_context.params.slots
+        values = [complex(i % 5, -(i % 3)) for i in range(slots)]
+        decoded = toy_context.encoder.decode(toy_context.encoder.encode(values))
+        assert_close(decoded, values, tolerance=1e-3)
+
+    def test_too_many_values_raises(self, toy_context):
+        slots = toy_context.params.slots
+        with pytest.raises(ValueError):
+            toy_context.encoder.encode([1.0] * (slots + 1))
+
+    def test_encode_at_lower_level(self, toy_context):
+        plaintext = toy_context.encoder.encode([1.0, 2.0], level=1)
+        assert plaintext.level == 1
+        assert len(plaintext.poly.limbs) == 2
+
+
+class TestEncryptDecrypt:
+    def test_symmetric_roundtrip(self, toy_context):
+        values = [3.5, -1.25, 0.75]
+        ct = toy_context.encrypt_symmetric(toy_context.encoder.encode(values))
+        assert_close(toy_context.decrypt_vector(ct, 3), values)
+
+    def test_public_key_roundtrip(self, toy_context):
+        values = [2.0, -4.5, 1.0 + 2.0j]
+        ct = toy_context.encrypt_vector(values)
+        assert_close(toy_context.decrypt_vector(ct, 3), values, tolerance=5e-2)
+
+    def test_fresh_ciphertext_level_and_scale(self, toy_context):
+        ct = toy_context.encrypt_vector([1.0])
+        assert ct.level == toy_context.params.max_level
+        assert ct.scale == pytest.approx(float(toy_context.params.scale))
+
+
+class TestHomomorphicAddition:
+    def test_add(self, toy_context):
+        a = toy_context.encrypt_vector([1.0, 2.0, 3.0])
+        b = toy_context.encrypt_vector([0.5, -1.0, 4.0])
+        result = toy_context.evaluator.add(a, b)
+        assert_close(toy_context.decrypt_vector(result, 3), [1.5, 1.0, 7.0], tolerance=5e-2)
+
+    def test_sub(self, toy_context):
+        a = toy_context.encrypt_vector([5.0, 2.0])
+        b = toy_context.encrypt_vector([1.0, 7.0])
+        result = toy_context.evaluator.sub(a, b)
+        assert_close(toy_context.decrypt_vector(result, 2), [4.0, -5.0], tolerance=5e-2)
+
+    def test_add_plain(self, toy_context):
+        a = toy_context.encrypt_vector([1.0, 1.0])
+        plain = toy_context.encoder.encode([2.0, -3.0])
+        result = toy_context.evaluator.add_plain(a, plain)
+        assert_close(toy_context.decrypt_vector(result, 2), [3.0, -2.0], tolerance=5e-2)
+
+    def test_negate(self, toy_context):
+        a = toy_context.encrypt_vector([1.0, -2.0])
+        result = toy_context.evaluator.negate(a)
+        assert_close(toy_context.decrypt_vector(result, 2), [-1.0, 2.0], tolerance=5e-2)
+
+    def test_level_mismatch_raises(self, toy_context):
+        a = toy_context.encrypt_vector([1.0])
+        b = toy_context.evaluator.mod_down_to(toy_context.encrypt_vector([1.0]), 1)
+        with pytest.raises(ValueError):
+            toy_context.evaluator.add(a, b)
+
+
+class TestHomomorphicMultiplication:
+    def test_multiply_plain_and_rescale(self, toy_context):
+        a = toy_context.encrypt_vector([1.5, -2.0])
+        plain = toy_context.encoder.encode([2.0, 3.0])
+        product = toy_context.evaluator.multiply_plain(a, plain)
+        rescaled = toy_context.evaluator.rescale(product)
+        assert rescaled.level == a.level - 1
+        assert_close(toy_context.decrypt_vector(rescaled, 2), [3.0, -6.0], tolerance=5e-2)
+
+    def test_multiply_ciphertexts(self, toy_context):
+        a = toy_context.encrypt_vector([2.0, 3.0, -1.0])
+        b = toy_context.encrypt_vector([4.0, -2.0, 5.0])
+        product = toy_context.evaluator.multiply(a, b)
+        rescaled = toy_context.evaluator.rescale(product)
+        assert_close(toy_context.decrypt_vector(rescaled, 3), [8.0, -6.0, -5.0], tolerance=0.2)
+
+    def test_square(self, toy_context):
+        a = toy_context.encrypt_vector([3.0, -2.0])
+        squared = toy_context.evaluator.rescale(toy_context.evaluator.square(a))
+        assert_close(toy_context.decrypt_vector(squared, 2), [9.0, 4.0], tolerance=0.2)
+
+    def test_multiply_scalar(self, toy_context):
+        a = toy_context.encrypt_vector([1.0, -2.0])
+        result = toy_context.evaluator.multiply_scalar(a, 4)
+        assert_close(toy_context.decrypt_vector(result, 2), [4.0, -8.0], tolerance=0.2)
+
+    def test_multiplication_depth_two(self, deep_context):
+        ev = deep_context.evaluator
+        a = deep_context.encrypt_vector([1.5])
+        b = deep_context.encrypt_vector([2.0])
+        c = deep_context.encrypt_vector([-1.0])
+        ab = ev.rescale(ev.multiply(a, b))
+        c_aligned = ev.mod_down_to(c, ab.level)
+        abc = ev.rescale(ev.multiply(ab, c_aligned))
+        assert_close(deep_context.decrypt_vector(abc, 1), [-3.0], tolerance=0.5)
+
+
+class TestRotation:
+    def test_rotate_by_one(self, toy_context):
+        slots = toy_context.params.slots
+        values = [float(i) for i in range(slots)]
+        ct = toy_context.encrypt_vector(values)
+        rotated = toy_context.evaluator.rotate(ct, 1)
+        expected = values[1:] + values[:1]
+        assert_close(toy_context.decrypt_vector(rotated), expected, tolerance=0.1)
+
+    def test_rotate_roundtrip(self, toy_context):
+        slots = toy_context.params.slots
+        values = [float(i % 7) for i in range(slots)]
+        ct = toy_context.encrypt_vector(values)
+        rotated = toy_context.evaluator.rotate(toy_context.evaluator.rotate(ct, 3), -3)
+        assert_close(toy_context.decrypt_vector(rotated), values, tolerance=0.1)
+
+    def test_conjugate(self, toy_context):
+        values = [1.0 + 2.0j, -3.0 - 1.0j]
+        ct = toy_context.encrypt_vector(values)
+        conjugated = toy_context.evaluator.conjugate(ct)
+        expected = [v.conjugate() for v in values]
+        assert_close(toy_context.decrypt_vector(conjugated, 2), expected, tolerance=0.1)
+
+    def test_inner_sum(self, toy_context):
+        slots = toy_context.params.slots
+        values = [1.0] * slots
+        ct = toy_context.encrypt_vector(values)
+        summed = toy_context.evaluator.inner_sum(ct, slots)
+        decoded = toy_context.decrypt_vector(summed, 1)
+        assert abs(decoded[0] - slots) < 0.5
+
+
+class TestLevelManagement:
+    def test_rescale_reduces_level_and_scale(self, toy_context):
+        a = toy_context.encrypt_vector([1.0])
+        plain = toy_context.encoder.encode([1.0])
+        product = toy_context.evaluator.multiply_plain(a, plain)
+        rescaled = toy_context.evaluator.rescale(product)
+        assert rescaled.level == a.level - 1
+        assert rescaled.scale < product.scale
+
+    def test_rescale_at_level_zero_raises(self, toy_context):
+        a = toy_context.evaluator.mod_down_to(toy_context.encrypt_vector([1.0]), 0)
+        with pytest.raises(ValueError):
+            toy_context.evaluator.rescale(a)
+
+    def test_mod_down_to_preserves_value(self, toy_context):
+        a = toy_context.encrypt_vector([2.5, -1.5])
+        lowered = toy_context.evaluator.mod_down_to(a, 1)
+        assert lowered.level == 1
+        assert_close(toy_context.decrypt_vector(lowered, 2), [2.5, -1.5], tolerance=5e-2)
+
+    def test_mod_down_to_higher_level_raises(self, toy_context):
+        a = toy_context.evaluator.mod_down_to(toy_context.encrypt_vector([1.0]), 1)
+        with pytest.raises(ValueError):
+            toy_context.evaluator.mod_down_to(a, 2)
+
+    def test_align(self, toy_context):
+        a = toy_context.encrypt_vector([1.0])
+        b = toy_context.evaluator.mod_down_to(toy_context.encrypt_vector([2.0]), 1)
+        a2, b2 = toy_context.evaluator.align(a, b)
+        assert a2.level == b2.level == 1
+
+
+class TestBootstrapPlan:
+    def test_operations_cover_declared_level_consumption(self):
+        plan = BootstrapPlan(ring_degree=65536, start_level=35, levels_consumed=15)
+        histogram = plan.operation_histogram()
+        assert histogram["HMult"] > 0
+        assert histogram["HRotate"] > 0
+        assert plan.end_level == 20
+
+    def test_linear_transform_plan_counts(self):
+        plan = linear_transform_plan(slots=4096, level=30)
+        assert plan.baby_steps * plan.giant_steps >= 4096
+        assert plan.num_rotations == plan.baby_steps + plan.giant_steps - 2
+
+    def test_invalid_level_consumption(self):
+        with pytest.raises(ValueError):
+            BootstrapPlan(start_level=10, levels_consumed=10)
+
+    def test_operation_levels_are_decreasing(self):
+        plan = BootstrapPlan(ring_degree=4096, start_level=20, levels_consumed=15, slots=2048)
+        levels = [op.level for op in plan.operations()]
+        assert levels == sorted(levels, reverse=True)

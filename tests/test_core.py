@@ -1,0 +1,300 @@
+"""Tests for the Trinity hardware model: config, components, mapping, simulator."""
+
+import math
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    TrinityAccelerator,
+    TrinityConfig,
+    TrinitySimulator,
+    F1LikeNTT,
+    FABLikeNTT,
+    TrinityNTT,
+)
+from repro.core.area_power import AreaPowerModel, TABLE_XI_PAPER_VALUES
+from repro.core.components import build_cluster_units
+from repro.core.config import DEFAULT_TRINITY_CONFIG
+from repro.core.mapping import (
+    kernel_work,
+    select_mapping,
+    trinity_ckks_mapping,
+    trinity_tfhe_mapping,
+)
+from repro.core.noc import InterClusterNoC
+from repro.core.ntt_strategies import POLYNOMIAL_LENGTH_SWEEP
+from repro.core.variants import (
+    trinity_ckks_ip_use_ewe,
+    trinity_tfhe_with_cu,
+    trinity_tfhe_without_cu,
+    trinity_with_clusters,
+)
+from repro.fhe.params import CKKS_DEFAULT, TFHE_SET_I, TFHE_SET_III
+from repro.kernels import Kernel, KernelKind, KernelTrace, hmult_flow, keyswitch_flow, pbs_flow
+
+
+class TestTrinityConfig:
+    def test_default_matches_table_iii(self):
+        config = DEFAULT_TRINITY_CONFIG
+        assert config.clusters == 4
+        assert config.word_bits == 36
+        assert config.nttu.rows == 128
+        assert config.nttu.butterfly_stages == 8
+        assert config.cu_rows == 128
+        assert sorted(config.cu_columns) == [1, 2, 2, 2, 2, 3]
+
+    def test_derived_throughputs(self):
+        config = DEFAULT_TRINITY_CONFIG
+        assert config.nttu.elements_per_cycle == 256
+        assert config.nttu.butterflies_per_cycle == 1024
+        assert config.nttu_butterflies_per_cluster == 2048
+        assert config.total_cu_columns == 12
+        assert config.cu_mac_lanes_per_cluster == 12 * 128
+
+    def test_with_clusters(self):
+        scaled = DEFAULT_TRINITY_CONFIG.with_clusters(8)
+        assert scaled.clusters == 8
+        assert scaled.nttus_per_cluster == DEFAULT_TRINITY_CONFIG.nttus_per_cluster
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            TrinityConfig(clusters=0)
+        with pytest.raises(ValueError):
+            TrinityConfig(nttus_per_cluster=-1)
+        with pytest.raises(ValueError):
+            TrinityConfig(cu_columns=(), nttus_per_cluster=0)
+
+    def test_cycles_to_seconds(self):
+        config = DEFAULT_TRINITY_CONFIG
+        assert config.cycles_to_seconds(1e9) == pytest.approx(1.0)
+
+
+class TestComponents:
+    def test_unit_inventory(self):
+        units = {u.name: u for u in build_cluster_units(DEFAULT_TRINITY_CONFIG)}
+        assert "NTTU#1" in units and "NTTU#2" in units
+        assert "CU-1" in units and "CU-3" in units
+        assert {"CU-2#1", "CU-2#2", "CU-2#3", "CU-2#4"} <= set(units)
+        assert {"EWE", "AutoU", "Rotator", "VPU"} <= set(units)
+
+    def test_cu_supports_both_modes(self):
+        units = {u.name: u for u in build_cluster_units(DEFAULT_TRINITY_CONFIG)}
+        cu = units["CU-2#1"]
+        assert cu.ntt_butterflies == 256
+        assert cu.mac_lanes == 256
+        assert cu.supports("ntt") and cu.supports("mac")
+
+    def test_nttu_is_ntt_only(self):
+        units = {u.name: u for u in build_cluster_units(DEFAULT_TRINITY_CONFIG)}
+        assert not units["NTTU#1"].supports("mac")
+
+    def test_unknown_work_class_raises(self):
+        units = build_cluster_units(DEFAULT_TRINITY_CONFIG)
+        with pytest.raises(ValueError):
+            units[0].throughput("bogus")
+
+
+class TestNTTStrategies:
+    def test_f1_like_peaks_at_largest_length(self):
+        f1 = F1LikeNTT()
+        curve = [f1.utilization(n) for n in POLYNOMIAL_LENGTH_SWEEP]
+        assert curve[-1] == max(curve)
+        assert curve == sorted(curve)
+
+    def test_fab_like_peaks_at_smallest_length(self):
+        fab = FABLikeNTT()
+        curve = [fab.utilization(n) for n in POLYNOMIAL_LENGTH_SWEEP]
+        assert curve[0] == max(curve)
+        assert curve[-1] < curve[0]
+
+    def test_trinity_stays_high_everywhere(self):
+        trinity = TrinityNTT()
+        for n in POLYNOMIAL_LENGTH_SWEEP:
+            assert trinity.utilization(n) > 0.6
+
+    def test_trinity_beats_f1_on_average(self):
+        assert TrinityNTT().average_utilization() > F1LikeNTT().average_utilization()
+
+    @given(st.sampled_from(POLYNOMIAL_LENGTH_SWEEP), st.integers(min_value=1, max_value=64))
+    @settings(max_examples=50, deadline=None)
+    def test_utilization_is_a_fraction(self, n, batch):
+        for model in (F1LikeNTT(), FABLikeNTT(), TrinityNTT()):
+            value = model.utilization(n, batch)
+            assert 0.0 < value <= 1.0
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            F1LikeNTT().utilization(1000)
+
+
+class TestMapping:
+    def test_ckks_mapping_covers_every_kernel_kind(self):
+        mapping = trinity_ckks_mapping(DEFAULT_TRINITY_CONFIG)
+        for kind in KernelKind:
+            assert mapping.units_for(kind), f"no unit assigned for {kind}"
+
+    def test_tfhe_mapping_covers_every_kernel_kind(self):
+        mapping = trinity_tfhe_mapping(DEFAULT_TRINITY_CONFIG)
+        for kind in KernelKind:
+            assert mapping.units_for(kind), f"no unit assigned for {kind}"
+
+    def test_tfhe_mapping_uses_cus_for_ntt(self):
+        mapping = trinity_tfhe_mapping(DEFAULT_TRINITY_CONFIG, use_cu=True)
+        ntt_units = {u.name for u in mapping.units_for(KernelKind.NTT)}
+        assert any(name.startswith("CU") for name in ntt_units)
+
+    def test_tfhe_mapping_without_cu_restricts_ntt_to_nttu(self):
+        mapping = trinity_tfhe_mapping(DEFAULT_TRINITY_CONFIG, use_cu=False)
+        ntt_units = {u.name for u in mapping.units_for(KernelKind.NTT)}
+        assert all(name.startswith("NTTU") for name in ntt_units)
+
+    def test_select_mapping(self):
+        assert select_mapping("ckks", DEFAULT_TRINITY_CONFIG).scheme == "ckks"
+        assert select_mapping("tfhe", DEFAULT_TRINITY_CONFIG).scheme == "tfhe"
+        assert select_mapping("conversion", DEFAULT_TRINITY_CONFIG).scheme == "conversion"
+        with pytest.raises(ValueError):
+            select_mapping("bogus", DEFAULT_TRINITY_CONFIG)
+
+    def test_kernel_work_units(self):
+        ntt = Kernel(KernelKind.NTT, 1024, count=2)
+        assert kernel_work(ntt) == 2 * 512 * 10
+        mac = Kernel(KernelKind.MAC, 256, count=3, inner=4)
+        assert kernel_work(mac) == 3 * 256 * 4
+
+    def test_unknown_unit_in_assignment_raises(self):
+        mapping = trinity_ckks_mapping(DEFAULT_TRINITY_CONFIG)
+        from repro.core.mapping import MappingPolicy
+        with pytest.raises(ValueError):
+            MappingPolicy(name="bad", scheme="ckks", units=mapping.units,
+                          assignments={KernelKind.NTT: ("NoSuchUnit",)})
+
+
+class TestSimulator:
+    def test_latency_is_positive_and_throughput_not_larger(self):
+        simulator = TrinitySimulator(DEFAULT_TRINITY_CONFIG)
+        report = simulator.run(hmult_flow(CKKS_DEFAULT, 20))
+        assert report.latency_cycles > 0
+        assert 0 < report.throughput_cycles <= report.latency_cycles
+
+    def test_more_clusters_is_faster(self):
+        trace = keyswitch_flow(CKKS_DEFAULT, CKKS_DEFAULT.max_level)
+        small = TrinitySimulator(trinity_with_clusters(2)).run(trace)
+        large = TrinitySimulator(trinity_with_clusters(8)).run(trace)
+        assert large.latency_cycles < small.latency_cycles
+
+    def test_deeper_keyswitch_is_slower(self):
+        simulator = TrinitySimulator(DEFAULT_TRINITY_CONFIG)
+        shallow = simulator.run(keyswitch_flow(CKKS_DEFAULT, 5))
+        deep = simulator.run(keyswitch_flow(CKKS_DEFAULT, CKKS_DEFAULT.max_level))
+        assert deep.latency_cycles > shallow.latency_cycles
+
+    def test_utilization_bounded_by_one(self):
+        simulator = TrinitySimulator(DEFAULT_TRINITY_CONFIG)
+        report = simulator.run(pbs_flow(TFHE_SET_I))
+        for value in report.utilization().values():
+            assert 0.0 <= value <= 1.0
+
+    def test_run_many_adds_latencies(self):
+        simulator = TrinitySimulator(DEFAULT_TRINITY_CONFIG)
+        single = simulator.run(hmult_flow(CKKS_DEFAULT, 20)).latency_cycles
+        double = simulator.run_many([hmult_flow(CKKS_DEFAULT, 20)] * 2).latency_cycles
+        assert double == pytest.approx(2 * single, rel=1e-6)
+
+    def test_report_unit_busy_matches_mapping_units(self):
+        accelerator = TrinityAccelerator()
+        report = accelerator.run_ckks_operation("HMult", 20)
+        assert set(report.unit_busy_cycles) == set(accelerator.ckks_mapping.unit_names())
+
+    def test_pbs_throughput_exceeds_latency_rate(self):
+        accelerator = TrinityAccelerator()
+        report = accelerator.run_pbs(TFHE_SET_I)
+        assert report.operations_per_second > 1.0 / report.latency_seconds
+
+
+class TestAcceleratorFacade:
+    def test_pbs_throughput_ordering_across_sets(self):
+        accelerator = TrinityAccelerator()
+        assert accelerator.pbs_throughput(TFHE_SET_I) > accelerator.pbs_throughput(TFHE_SET_III)
+
+    def test_conversion_experiments_run(self):
+        accelerator = TrinityAccelerator()
+        to_tfhe = accelerator.run_conversion_to_tfhe(CKKS_DEFAULT, nslot=8)
+        to_ckks = accelerator.run_conversion_to_ckks(CKKS_DEFAULT, nslot=8)
+        assert to_tfhe.latency_cycles < to_ckks.latency_cycles  # extraction is trivial
+
+    def test_describe_includes_area_power(self):
+        summary = TrinityAccelerator().describe()
+        assert summary["area_mm2"] > 0
+        assert summary["power_w"] > 0
+
+
+class TestVariants:
+    def test_ip_use_ewe_is_slower_on_keyswitch_heavy_work(self):
+        config, mapping = trinity_ckks_ip_use_ewe()
+        variant = TrinitySimulator(config, mapping)
+        default = TrinitySimulator(DEFAULT_TRINITY_CONFIG,
+                                   trinity_ckks_mapping(DEFAULT_TRINITY_CONFIG))
+        trace = keyswitch_flow(CKKS_DEFAULT, CKKS_DEFAULT.max_level)
+        assert variant.run(trace).latency_cycles > default.run(trace).latency_cycles
+
+    def test_tfhe_variant_with_cu_beats_without(self):
+        with_config, with_mapping = trinity_tfhe_with_cu()
+        without_config, without_mapping = trinity_tfhe_without_cu()
+        trace = pbs_flow(TFHE_SET_I)
+        ops_with = TrinitySimulator(with_config, with_mapping).run(trace).operations_per_second
+        ops_without = TrinitySimulator(without_config, without_mapping).run(trace).operations_per_second
+        assert ops_with > ops_without
+
+    def test_variants_are_single_cluster(self):
+        config, _ = trinity_tfhe_with_cu()
+        assert config.clusters == 1
+
+
+class TestAreaPower:
+    def test_total_matches_table_xi_within_five_percent(self):
+        model = AreaPowerModel()
+        breakdown = model.component_table(DEFAULT_TRINITY_CONFIG)
+        paper_area, paper_power = TABLE_XI_PAPER_VALUES["Total"]
+        assert abs(breakdown.total_area_mm2 - paper_area) / paper_area < 0.05
+        assert abs(breakdown.total_power_w - paper_power) / paper_power < 0.05
+
+    def test_cluster_breakdown_component_count(self):
+        model = AreaPowerModel()
+        breakdown = model.cluster_breakdown(DEFAULT_TRINITY_CONFIG)
+        assert len([k for k in breakdown if k.startswith("CU")]) == 6
+
+    def test_area_grows_with_clusters(self):
+        model = AreaPowerModel()
+        areas = [model.total_area_mm2(trinity_with_clusters(c)) for c in (2, 4, 8)]
+        assert areas == sorted(areas)
+
+    def test_area_grows_with_cu_columns(self):
+        model = AreaPowerModel()
+        small = replace(DEFAULT_TRINITY_CONFIG, cu_columns=(1, 2), name="small")
+        assert model.total_area_mm2(small) < model.total_area_mm2(DEFAULT_TRINITY_CONFIG)
+
+    def test_trinity_smaller_than_sharp_plus_morphling(self):
+        """Headline claim: Trinity area ~85% of SHARP + Morphling combined."""
+        model = AreaPowerModel()
+        trinity_area = model.total_area_mm2(DEFAULT_TRINITY_CONFIG)
+        sharp_plus_morphling = 178.8 + 4.0
+        assert 0.75 < trinity_area / sharp_plus_morphling < 0.95
+
+
+class TestNoC:
+    def test_layout_switch_cost_scales_with_data(self):
+        noc = InterClusterNoC(DEFAULT_TRINITY_CONFIG)
+        small = noc.layout_switch_cycles(poly_length=2 ** 12, limbs=4)
+        large = noc.layout_switch_cycles(poly_length=2 ** 16, limbs=36)
+        assert large > small > 0
+
+    def test_single_cluster_has_no_switch_cost(self):
+        noc = InterClusterNoC(trinity_with_clusters(2).with_clusters(1))
+        assert noc.layout_switch_cycles(2 ** 16, 36) == 0.0
+
+    def test_broadcast_cost_positive(self):
+        noc = InterClusterNoC(DEFAULT_TRINITY_CONFIG)
+        assert noc.broadcast_cycles(2 ** 14, 8) > 0

@@ -1,0 +1,43 @@
+"""Smoke tests: every example script runs to completion and prints sane output."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=900, check=True,
+    )
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "CKKS (arithmetic FHE)" in output
+        assert "TFHE (logic FHE)" in output
+        assert "Trinity hardware model" in output
+        assert "PBS/s" in output
+
+    def test_hybrid_database_query(self):
+        output = run_example("hybrid_database_query.py")
+        assert "SUM(price)" in output
+        assert "HE3DB-4096" in output and "HE3DB-16384" in output
+
+    def test_encrypted_inference(self):
+        output = run_example("encrypted_inference.py")
+        assert "encrypted prediction" in output
+        assert "ResNet-20" in output
+        assert "NN-100" in output
+
+    def test_design_space_exploration(self):
+        output = run_example("design_space_exploration.py")
+        assert "Cluster count" in output
+        assert "Configurable-unit inventory" in output

@@ -1,0 +1,131 @@
+"""Unit and property tests for repro.fhe.modmath."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fhe import modmath
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 101, 7919):
+            assert modmath.is_prime(p)
+
+    def test_small_composites(self):
+        for n in (0, 1, 4, 6, 9, 15, 91, 7917, 7921):
+            assert not modmath.is_prime(n)
+
+    def test_negative_numbers_are_not_prime(self):
+        assert not modmath.is_prime(-7)
+
+    def test_carmichael_numbers(self):
+        # Carmichael numbers fool Fermat tests but not Miller-Rabin.
+        for n in (561, 1105, 1729, 2465, 2821, 6601, 8911):
+            assert not modmath.is_prime(n)
+
+    def test_large_known_prime(self):
+        assert modmath.is_prime(2**61 - 1)  # Mersenne prime
+        assert not modmath.is_prime(2**67 - 1)  # famously composite
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_trial_division(self, n):
+        def trial(n):
+            if n < 2:
+                return False
+            return all(n % d for d in range(2, int(math.isqrt(n)) + 1))
+        assert modmath.is_prime(n) == trial(n)
+
+
+class TestPrimeSearch:
+    def test_next_prime(self):
+        assert modmath.next_prime(1) == 2
+        assert modmath.next_prime(2) == 3
+        assert modmath.next_prime(14) == 17
+        assert modmath.next_prime(17) == 19
+
+    def test_previous_prime(self):
+        assert modmath.previous_prime(3) == 2
+        assert modmath.previous_prime(18) == 17
+        assert modmath.previous_prime(17) == 13
+
+    def test_previous_prime_raises_below_two(self):
+        with pytest.raises(ValueError):
+            modmath.previous_prime(2)
+
+    @pytest.mark.parametrize("bits,degree", [(20, 64), (30, 256), (36, 1024), (40, 4096)])
+    def test_find_ntt_prime(self, bits, degree):
+        p = modmath.find_ntt_prime(bits, degree)
+        assert modmath.is_prime(p)
+        assert p % (2 * degree) == 1
+        assert p.bit_length() <= bits
+
+    def test_find_ntt_primes_are_distinct_and_decreasing(self):
+        primes = modmath.find_ntt_primes(30, 128, 4)
+        assert len(set(primes)) == 4
+        assert primes == sorted(primes, reverse=True)
+
+    def test_find_ntt_prime_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            modmath.find_ntt_prime(30, 100)
+
+
+class TestModularArithmetic:
+    @given(st.integers(min_value=1, max_value=10**9), st.integers(min_value=3, max_value=10**9))
+    @settings(max_examples=100, deadline=None)
+    def test_mod_inverse_property(self, value, modulus_seed):
+        modulus = modmath.next_prime(modulus_seed)
+        value %= modulus
+        if value == 0:
+            value = 1
+        inverse = modmath.mod_inverse(value, modulus)
+        assert (value * inverse) % modulus == 1
+
+    def test_mod_inverse_of_zero_raises(self):
+        with pytest.raises(ValueError):
+            modmath.mod_inverse(0, 17)
+
+    def test_mod_inverse_non_coprime_raises(self):
+        with pytest.raises(ValueError):
+            modmath.mod_inverse(6, 9)
+
+    def test_centered(self):
+        assert modmath.centered(0, 17) == 0
+        assert modmath.centered(8, 17) == 8
+        assert modmath.centered(9, 17) == -8
+        assert modmath.centered(16, 17) == -1
+
+    @given(st.integers(), st.integers(min_value=2, max_value=10**6))
+    @settings(max_examples=100, deadline=None)
+    def test_centered_is_congruent_and_bounded(self, value, modulus):
+        c = modmath.centered(value, modulus)
+        assert (c - value) % modulus == 0
+        assert -modulus / 2 < c <= modulus / 2
+
+
+class TestRootsOfUnity:
+    @pytest.mark.parametrize("degree", [4, 8, 16, 64, 256])
+    def test_2nth_root_of_unity(self, degree):
+        p = modmath.find_ntt_prime(24, degree)
+        psi = modmath.find_2nth_root_of_unity(degree, p)
+        assert pow(psi, 2 * degree, p) == 1
+        assert pow(psi, degree, p) == p - 1  # psi^N = -1 (primitive)
+
+    def test_primitive_root(self):
+        for p in (17, 97, 7681, 12289):
+            g = modmath.primitive_root(p)
+            # g must not have order dividing (p-1)/f for any prime factor f.
+            order = p - 1
+            seen = set()
+            value = 1
+            for _ in range(order):
+                value = value * g % p
+                seen.add(value)
+            assert len(seen) == order
+
+    def test_root_of_unity_requires_divisibility(self):
+        with pytest.raises(ValueError):
+            modmath.find_primitive_root_of_unity(64, 17)

@@ -1,0 +1,135 @@
+"""Unit and property tests for the negacyclic NTT and the four-step NTT."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fhe import modmath
+from repro.fhe.ntt import NTTContext, bit_reverse_permutation, four_step_intt, four_step_ntt
+
+
+def make_context(degree=64, bits=24):
+    return NTTContext(degree, modmath.find_ntt_prime(bits, degree))
+
+
+def naive_negacyclic_multiply(a, b, modulus):
+    n = len(a)
+    result = [0] * n
+    for i in range(n):
+        for j in range(n):
+            k = i + j
+            term = a[i] * b[j]
+            if k >= n:
+                result[k - n] = (result[k - n] - term) % modulus
+            else:
+                result[k] = (result[k] + term) % modulus
+    return result
+
+
+class TestBitReverse:
+    def test_length_8(self):
+        assert bit_reverse_permutation(8) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_length_1(self):
+        assert bit_reverse_permutation(1) == [0]
+
+    def test_is_an_involution(self):
+        perm = bit_reverse_permutation(64)
+        assert [perm[perm[i]] for i in range(64)] == list(range(64))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            bit_reverse_permutation(12)
+
+
+class TestNTTContext:
+    @pytest.mark.parametrize("degree", [4, 16, 64, 256, 1024])
+    def test_forward_inverse_roundtrip(self, degree):
+        context = make_context(degree)
+        rng = random.Random(degree)
+        coeffs = [rng.randrange(context.modulus) for _ in range(degree)]
+        assert context.inverse(context.forward(coeffs)) == coeffs
+
+    def test_forward_of_constant_one(self):
+        context = make_context(16)
+        values = context.forward([1] + [0] * 15)
+        assert values == [1] * 16
+
+    def test_forward_is_linear(self):
+        context = make_context(32)
+        rng = random.Random(7)
+        q = context.modulus
+        a = [rng.randrange(q) for _ in range(32)]
+        b = [rng.randrange(q) for _ in range(32)]
+        fa, fb = context.forward(a), context.forward(b)
+        fsum = context.forward([(x + y) % q for x, y in zip(a, b)])
+        assert fsum == [(x + y) % q for x, y in zip(fa, fb)]
+
+    @pytest.mark.parametrize("degree", [8, 32, 128])
+    def test_convolution_matches_schoolbook(self, degree):
+        context = make_context(degree)
+        rng = random.Random(degree * 3)
+        q = context.modulus
+        a = [rng.randrange(q) for _ in range(degree)]
+        b = [rng.randrange(q) for _ in range(degree)]
+        assert context.negacyclic_convolution(a, b) == naive_negacyclic_multiply(a, b, q)
+
+    def test_convolution_with_x_is_a_shift(self):
+        context = make_context(16)
+        q = context.modulus
+        a = list(range(1, 17))
+        x = [0, 1] + [0] * 14
+        result = context.negacyclic_convolution(a, x)
+        expected = [(-a[15]) % q] + a[:15]
+        assert result == expected
+
+    def test_wrong_length_raises(self):
+        context = make_context(16)
+        with pytest.raises(ValueError):
+            context.forward([1, 2, 3])
+        with pytest.raises(ValueError):
+            context.inverse([1, 2, 3])
+
+    def test_rejects_non_ntt_friendly_modulus(self):
+        with pytest.raises(ValueError):
+            NTTContext(64, 17)  # 17 - 1 is not divisible by 128
+
+    def test_rejects_composite_modulus(self):
+        with pytest.raises(ValueError):
+            NTTContext(64, 128 * 4 + 1)  # 513 = 27 * 19
+
+    @given(st.integers(min_value=0, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_parseval_like_energy_preservation(self, seed):
+        # The NTT is a bijection: distinct inputs map to distinct outputs.
+        context = make_context(32)
+        rng = random.Random(seed)
+        q = context.modulus
+        a = [rng.randrange(q) for _ in range(32)]
+        b = list(a)
+        b[0] = (b[0] + 1) % q
+        assert context.forward(a) != context.forward(b)
+
+
+class TestFourStepNTT:
+    @pytest.mark.parametrize("degree,rows", [(16, 4), (64, 8), (256, 16), (256, 4), (1024, 32)])
+    def test_matches_direct_forward(self, degree, rows):
+        context = make_context(degree)
+        rng = random.Random(degree + rows)
+        coeffs = [rng.randrange(context.modulus) for _ in range(degree)]
+        assert four_step_ntt(context, coeffs, rows) == context.forward(coeffs)
+
+    @pytest.mark.parametrize("degree,rows", [(64, 8), (256, 16)])
+    def test_inverse_roundtrip(self, degree, rows):
+        context = make_context(degree)
+        rng = random.Random(degree * 7)
+        coeffs = [rng.randrange(context.modulus) for _ in range(degree)]
+        values = four_step_ntt(context, coeffs, rows)
+        assert four_step_intt(context, values, rows) == coeffs
+
+    def test_rejects_rows_not_dividing_degree(self):
+        context = make_context(64)
+        with pytest.raises(ValueError):
+            four_step_ntt(context, [0] * 64, 24)

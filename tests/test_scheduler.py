@@ -1,0 +1,61 @@
+"""Tests for multi-application workload allocation (Section IV-K)."""
+
+import pytest
+
+from repro.core.config import DEFAULT_TRINITY_CONFIG
+from repro.core.scheduler import WorkloadScheduler
+from repro.fhe.params import CKKS_DEFAULT, TFHE_SET_I
+from repro.workloads import helr_workload, pbs_workload
+
+
+@pytest.fixture(scope="module")
+def ckks_job():
+    return helr_workload(CKKS_DEFAULT)
+
+
+@pytest.fixture(scope="module")
+def tfhe_job():
+    return pbs_workload(TFHE_SET_I)
+
+
+class TestSequentialScheduling:
+    def test_sequential_latency_adds(self, ckks_job, tfhe_job):
+        scheduler = WorkloadScheduler()
+        report = scheduler.run_sequential([ckks_job, tfhe_job])
+        expected = sum(report.per_workload_cycles.values())
+        assert report.sequential_cycles == pytest.approx(expected)
+
+    def test_trinity_has_no_scheme_switch_penalty(self, ckks_job, tfhe_job):
+        trinity = WorkloadScheduler(switch_penalty_cycles=0.0)
+        with_penalty = WorkloadScheduler(switch_penalty_cycles=1e6)
+        base = trinity.run_sequential([ckks_job, tfhe_job, ckks_job])
+        penalised = with_penalty.run_sequential([ckks_job, tfhe_job, ckks_job])
+        assert base.scheme_switches == 2
+        assert penalised.sequential_cycles == pytest.approx(
+            base.sequential_cycles + 2e6
+        )
+
+    def test_single_workload_has_no_switches(self, ckks_job):
+        report = WorkloadScheduler().run_sequential([ckks_job])
+        assert report.scheme_switches == 0
+        assert report.co_scheduling_gain == pytest.approx(1.0)
+
+
+class TestInterleavedScheduling:
+    def test_interleaving_never_slower_than_sequential(self, ckks_job, tfhe_job):
+        scheduler = WorkloadScheduler()
+        report = scheduler.run_interleaved([ckks_job, tfhe_job])
+        assert report.interleaved_cycles <= report.sequential_cycles
+        assert report.co_scheduling_gain >= 1.0
+
+    def test_mixed_scheme_jobs_benefit_from_co_scheduling(self, ckks_job, tfhe_job):
+        """A CKKS job and a TFHE job stress partially disjoint units, so
+        co-scheduling them overlaps their work (the Section IV-K claim)."""
+        scheduler = WorkloadScheduler()
+        report = scheduler.run_interleaved([ckks_job, tfhe_job])
+        assert report.co_scheduling_gain > 1.05
+
+    def test_report_units(self, ckks_job, tfhe_job):
+        report = WorkloadScheduler().run_interleaved([ckks_job, tfhe_job])
+        assert report.sequential_seconds > report.interleaved_seconds > 0
+        assert set(report.workload_names) == {ckks_job.name, tfhe_job.name}

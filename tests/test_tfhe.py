@@ -1,0 +1,297 @@
+"""Unit and integration tests for the functional TFHE implementation."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.fhe.params import TFHEParameters
+from repro.fhe.polynomial import Polynomial
+from repro.fhe.tfhe import (
+    LWEContext,
+    TFHEContext,
+    TFHEGateEvaluator,
+    external_product,
+    gadget_factors,
+)
+from repro.fhe.tfhe.ggsw import GGSWContext, cmux
+from repro.fhe.tfhe.glwe import GLWEContext
+from repro.fhe.tfhe.pbs import (
+    blind_rotate,
+    lwe_keyswitch,
+    modulus_switch,
+    sample_extract,
+    signed_decompose,
+)
+
+
+@pytest.fixture(scope="module")
+def toy_params():
+    return TFHEParameters.toy()
+
+
+@pytest.fixture(scope="module")
+def toy_context(toy_params):
+    return TFHEContext(toy_params, seed=3)
+
+
+class TestLWE:
+    def test_encrypt_decrypt_all_messages(self, toy_params):
+        context = LWEContext(toy_params, seed=0)
+        for message in range(toy_params.plaintext_modulus):
+            assert context.decrypt(context.encrypt(message)) == message
+
+    def test_homomorphic_addition(self, toy_params):
+        context = LWEContext(toy_params, seed=1)
+        a = context.encrypt(1)
+        b = context.encrypt(2)
+        assert context.decrypt(a + b) == 3
+
+    def test_homomorphic_subtraction_and_negation(self, toy_params):
+        context = LWEContext(toy_params, seed=2)
+        a = context.encrypt(3)
+        b = context.encrypt(1)
+        assert context.decrypt(a - b) == 2
+        assert context.decrypt(-b) == (toy_params.plaintext_modulus - 1)
+
+    def test_scalar_multiply(self, toy_params):
+        context = LWEContext(toy_params, seed=3)
+        a = context.encrypt(1)
+        assert context.decrypt(a.scalar_multiply(3)) == 3
+
+    def test_trivial_ciphertext(self, toy_params):
+        context = LWEContext(toy_params, seed=4)
+        trivial = context.trivial(context.encode(2))
+        assert context.decrypt(trivial) == 2
+        assert all(x == 0 for x in trivial.a)
+
+    def test_incompatible_ciphertexts_raise(self, toy_params):
+        context = LWEContext(toy_params, seed=5)
+        a = context.encrypt(0)
+        bad = context.trivial(0, dimension=toy_params.lwe_dimension + 1)
+        with pytest.raises(ValueError):
+            _ = a + bad
+
+    def test_phase_is_centred(self, toy_params):
+        context = LWEContext(toy_params, seed=6)
+        phase = context.phase(context.encrypt(0))
+        assert abs(phase) < toy_params.modulus // 8
+
+
+class TestGLWE:
+    def test_phase_recovers_message(self, toy_params):
+        context = GLWEContext(toy_params, seed=0)
+        q = toy_params.modulus
+        n = toy_params.polynomial_size
+        message = Polynomial(n, q, [toy_params.delta * (i % 3) for i in range(n)])
+        ciphertext = context.encrypt(message, noise_stddev=0.0)
+        assert context.phase(ciphertext) == message
+
+    def test_additive_homomorphism(self, toy_params):
+        context = GLWEContext(toy_params, seed=1)
+        q = toy_params.modulus
+        n = toy_params.polynomial_size
+        m1 = Polynomial(n, q, [100, 200, 300])
+        m2 = Polynomial(n, q, [50, -100, 25])
+        c1 = context.encrypt(m1, noise_stddev=0.0)
+        c2 = context.encrypt(m2, noise_stddev=0.0)
+        assert context.phase(c1 + c2) == m1 + m2
+
+    def test_monomial_rotation(self, toy_params):
+        context = GLWEContext(toy_params, seed=2)
+        q = toy_params.modulus
+        n = toy_params.polynomial_size
+        message = Polynomial(n, q, [1000] + [0] * (n - 1))
+        ciphertext = context.encrypt(message, noise_stddev=0.0)
+        rotated = ciphertext.multiply_by_monomial(3)
+        assert context.phase(rotated) == message.multiply_by_monomial(3)
+
+    def test_trivial_encryption(self, toy_params):
+        q = toy_params.modulus
+        n = toy_params.polynomial_size
+        message = Polynomial(n, q, [42])
+        from repro.fhe.tfhe.glwe import GLWECiphertext
+        trivial = GLWECiphertext.trivial(message, toy_params.glwe_dimension)
+        context = GLWEContext(toy_params, seed=3)
+        assert context.phase(trivial) == message
+
+
+class TestGadgetDecomposition:
+    def test_gadget_factors_are_decreasing(self):
+        factors = gadget_factors(1 << 32, 1 << 8, 3)
+        assert factors == sorted(factors, reverse=True)
+        assert factors[0] == (1 << 24)
+
+    @pytest.mark.parametrize("base_log,levels", [(4, 6), (8, 3), (16, 2)])
+    def test_scalar_signed_decomposition(self, base_log, levels):
+        base = 1 << base_log
+        modulus = (1 << 32) - 5
+        rng = random.Random(base_log)
+        factors = gadget_factors(modulus, base, levels)
+        for _ in range(50):
+            value = rng.randrange(modulus)
+            digits = signed_decompose(value, base, levels, modulus)
+            assert all(abs(d) <= base // 2 + 1 for d in digits)
+            reconstructed = sum(d * f for d, f in zip(digits, factors)) % modulus
+            error = min((reconstructed - value) % modulus, (value - reconstructed) % modulus)
+            assert error <= modulus // base ** levels + base
+
+
+class TestExternalProduct:
+    def test_external_product_multiplies_messages(self, toy_params):
+        glwe_context = GLWEContext(toy_params, seed=4)
+        ggsw_context = GGSWContext(toy_params, glwe_context)
+        q = toy_params.modulus
+        n = toy_params.polynomial_size
+        message = Polynomial(n, q, [toy_params.delta, 0, toy_params.delta // 2])
+        glwe = glwe_context.encrypt(message, noise_stddev=0.0)
+        for scalar in (0, 1):
+            ggsw = ggsw_context.encrypt_scalar(scalar, noise_stddev=0.0)
+            result = external_product(ggsw, glwe)
+            phase = glwe_context.phase(result)
+            expected = message.scalar_multiply(scalar)
+            error = (phase - expected).infinity_norm()
+            assert error < toy_params.delta // 8
+
+    def test_external_product_by_monomial(self, toy_params):
+        glwe_context = GLWEContext(toy_params, seed=5)
+        ggsw_context = GGSWContext(toy_params, glwe_context)
+        q = toy_params.modulus
+        n = toy_params.polynomial_size
+        message = Polynomial(n, q, [toy_params.delta] + [0] * (n - 1))
+        glwe = glwe_context.encrypt(message, noise_stddev=0.0)
+        monomial = Polynomial.monomial(n, q, 2)
+        ggsw = ggsw_context.encrypt_polynomial(monomial, noise_stddev=0.0)
+        result = external_product(ggsw, glwe)
+        phase = glwe_context.phase(result)
+        expected = message.multiply_by_monomial(2)
+        assert (phase - expected).infinity_norm() < toy_params.delta // 8
+
+    def test_cmux_selects_between_ciphertexts(self, toy_params):
+        glwe_context = GLWEContext(toy_params, seed=6)
+        ggsw_context = GGSWContext(toy_params, glwe_context)
+        q = toy_params.modulus
+        n = toy_params.polynomial_size
+        m_true = Polynomial(n, q, [toy_params.delta * 1])
+        m_false = Polynomial(n, q, [toy_params.delta * 3])
+        c_true = glwe_context.encrypt(m_true, noise_stddev=0.0)
+        c_false = glwe_context.encrypt(m_false, noise_stddev=0.0)
+        for bit, expected in ((1, m_true), (0, m_false)):
+            selector = ggsw_context.encrypt_scalar(bit, noise_stddev=0.0)
+            chosen = cmux(selector, c_true, c_false)
+            phase = glwe_context.phase(chosen)
+            assert (phase - expected).infinity_norm() < toy_params.delta // 4
+
+
+class TestPBSBuildingBlocks:
+    def test_modulus_switch_scales_phase(self, toy_params):
+        context = LWEContext(toy_params, seed=7)
+        ciphertext = context.encrypt(1)
+        switched = modulus_switch(ciphertext, 2 * toy_params.polynomial_size)
+        assert switched.modulus == 2 * toy_params.polynomial_size
+        assert all(0 <= x < switched.modulus for x in switched.a)
+
+    def test_sample_extract_constant_coefficient(self, toy_params):
+        glwe_context = GLWEContext(toy_params, seed=8)
+        q = toy_params.modulus
+        n = toy_params.polynomial_size
+        message = Polynomial(n, q, [toy_params.delta * 2, toy_params.delta, 0])
+        ciphertext = glwe_context.encrypt(message, noise_stddev=0.0)
+        from repro.fhe.tfhe.lwe import LWESecretKey
+        flattened = LWESecretKey(tuple(glwe_context.secret.flattened_lwe_coefficients()))
+        lwe_context = LWEContext(toy_params, seed=8)
+        for index in (0, 1, 2, n - 1):
+            extracted = sample_extract(ciphertext, index)
+            phase = lwe_context.phase(extracted, secret=flattened)
+            expected = message.centered_coefficients()[index]
+            assert abs(phase - expected) < toy_params.delta // 8
+
+    def test_sample_extract_index_out_of_range(self, toy_params):
+        glwe_context = GLWEContext(toy_params, seed=9)
+        ciphertext = glwe_context.encrypt(
+            Polynomial(toy_params.polynomial_size, toy_params.modulus, [0]), noise_stddev=0.0
+        )
+        with pytest.raises(ValueError):
+            sample_extract(ciphertext, toy_params.polynomial_size)
+
+    def test_keyswitch_preserves_message(self, toy_context):
+        params = toy_context.params
+        # Encrypt under the flattened GLWE key, switch to the LWE key.
+        from repro.fhe.tfhe.lwe import LWESecretKey
+        flattened = LWESecretKey(
+            tuple(toy_context.glwe.secret.flattened_lwe_coefficients())
+        )
+        for message in range(params.plaintext_modulus):
+            ciphertext = toy_context.lwe.encrypt(message, secret=flattened)
+            switched = lwe_keyswitch(
+                ciphertext, toy_context.keyswitching_key, params.lwe_dimension
+            )
+            assert toy_context.lwe.decrypt(switched) == message
+
+
+class TestProgrammableBootstrap:
+    def test_identity_bootstrap(self, toy_context):
+        t = toy_context.params.plaintext_modulus
+        for message in range(t // 2):  # padding-bit restriction
+            ciphertext = toy_context.encrypt(message)
+            refreshed = toy_context.programmable_bootstrap(ciphertext)
+            assert toy_context.decrypt(refreshed) == message
+
+    def test_function_bootstrap(self, toy_context):
+        t = toy_context.params.plaintext_modulus
+        function = lambda m: (3 * m + 1) % (t // 2)
+        for message in range(t // 2):
+            ciphertext = toy_context.encrypt(message)
+            result = toy_context.bootstrap_function(ciphertext, function)
+            assert toy_context.decrypt(result) == function(message)
+
+    def test_bootstrap_after_additions(self, toy_context):
+        # Accumulate additions, then refresh; message must survive.
+        a = toy_context.encrypt(1)
+        b = toy_context.encrypt(0)
+        combined = a + b
+        refreshed = toy_context.programmable_bootstrap(combined)
+        assert toy_context.decrypt(refreshed) == 1
+
+
+class TestGates:
+    @pytest.fixture(scope="class")
+    def gates(self, toy_context):
+        return TFHEGateEvaluator(toy_context)
+
+    def test_encrypt_decrypt_bits(self, gates):
+        assert gates.decrypt(gates.encrypt(True)) is True
+        assert gates.decrypt(gates.encrypt(False)) is False
+
+    def test_not_gate(self, gates):
+        assert gates.decrypt(gates.not_(gates.encrypt(True))) is False
+        assert gates.decrypt(gates.not_(gates.encrypt(False))) is True
+
+    @pytest.mark.parametrize("a,b", list(itertools.product([False, True], repeat=2)))
+    def test_binary_gates(self, gates, a, b):
+        ca, cb = gates.encrypt(a), gates.encrypt(b)
+        assert gates.decrypt(gates.nand(ca, cb)) == (not (a and b))
+        assert gates.decrypt(gates.and_(ca, cb)) == (a and b)
+        assert gates.decrypt(gates.or_(ca, cb)) == (a or b)
+        assert gates.decrypt(gates.xor(ca, cb)) == (a != b)
+        assert gates.decrypt(gates.xnor(ca, cb)) == (a == b)
+        assert gates.decrypt(gates.nor(ca, cb)) == (not (a or b))
+
+    @pytest.mark.parametrize("selector", [False, True])
+    def test_mux(self, gates, selector):
+        result = gates.mux(gates.encrypt(selector), gates.encrypt(True), gates.encrypt(False))
+        assert gates.decrypt(result) == selector
+
+    def test_equality_circuit(self, gates):
+        a_bits = [gates.encrypt(b) for b in (True, False, True)]
+        b_bits = [gates.encrypt(b) for b in (True, False, True)]
+        c_bits = [gates.encrypt(b) for b in (True, True, True)]
+        assert gates.decrypt(gates.equality(a_bits, b_bits)) is True
+        assert gates.decrypt(gates.equality(a_bits, c_bits)) is False
+
+    def test_less_than_circuit(self, gates):
+        def encrypt_number(value, width=3):
+            return [gates.encrypt(bool((value >> i) & 1)) for i in range(width)]
+        assert gates.decrypt(gates.less_than(encrypt_number(2), encrypt_number(5))) is True
+        assert gates.decrypt(gates.less_than(encrypt_number(5), encrypt_number(2))) is False
+        assert gates.decrypt(gates.less_than(encrypt_number(3), encrypt_number(3))) is False

@@ -1,0 +1,143 @@
+"""Tests for the benchmark workload generators (Section V-B)."""
+
+import math
+
+import pytest
+
+from repro.fhe.params import CKKS_DEFAULT, CKKSParameters, TFHE_SET_I, TFHE_SET_III
+from repro.kernels import KernelKind, trace_multiplications
+from repro.workloads import (
+    Workload,
+    conversion_workload,
+    he3db_hybrid_segments,
+    he3db_workload,
+    helr_workload,
+    nn_workload,
+    packed_bootstrapping_workload,
+    pbs_workload,
+    resnet20_workload,
+)
+from repro.workloads.ckks_workloads import helr_iteration_operations, operations_to_traces
+from repro.workloads.hybrid_workloads import PBS_PER_FILTERED_ENTRY
+from repro.workloads.tfhe_workloads import NN_NEURONS_PER_LAYER
+
+
+class TestWorkloadType:
+    def test_combined_trace_concatenates_steps(self):
+        workload = helr_workload(CKKS_DEFAULT)
+        combined = workload.combined_trace()
+        assert len(combined) == sum(len(trace) for trace in workload.traces)
+
+    def test_num_operations(self):
+        workload = helr_workload(CKKS_DEFAULT)
+        assert workload.num_operations == len(workload.traces)
+
+
+class TestCKKSWorkloads:
+    def test_bootstrap_respects_level_budget(self):
+        workload = packed_bootstrapping_workload(CKKS_DEFAULT, levels_consumed=15)
+        histogram = workload.metadata["operation_histogram"]
+        assert histogram["HMult"] > 0
+        assert histogram["HRotate"] > 0
+        assert histogram["PMult"] > 0
+
+    def test_bootstrap_traces_are_ckks(self):
+        workload = packed_bootstrapping_workload(CKKS_DEFAULT)
+        assert workload.scheme == "ckks"
+        assert all(trace.scheme == "ckks" for trace in workload.traces)
+
+    def test_helr_iteration_structure(self):
+        operations = helr_iteration_operations(CKKS_DEFAULT, features=256)
+        names = [op.name for op in operations]
+        assert names.count("HMult") == 4
+        assert "HRotate" in names
+        # Levels never increase along the iteration.
+        levels = [op.level for op in operations]
+        assert levels == sorted(levels, reverse=True)
+
+    def test_helr_scales_with_iterations(self):
+        one = helr_workload(CKKS_DEFAULT, iterations=1)
+        four = helr_workload(CKKS_DEFAULT, iterations=4)
+        assert len(four.traces) == 4 * len(one.traces)
+
+    def test_resnet_contains_bootstraps(self):
+        workload = resnet20_workload(CKKS_DEFAULT, bootstraps=9)
+        assert workload.metadata["bootstraps"] == 9
+        assert workload.metadata["layers"] == 20
+        # ResNet-20 is much more work than one HELR iteration.
+        resnet_work = sum(trace_multiplications(t) for t in workload.traces)
+        helr_work = sum(trace_multiplications(t) for t in helr_workload(CKKS_DEFAULT).traces)
+        assert resnet_work > 10 * helr_work
+
+    def test_operations_to_traces_respects_counts(self):
+        from repro.fhe.ckks.bootstrap import HomomorphicOp
+        traces = operations_to_traces([HomomorphicOp("HAdd", 5, 3)], CKKS_DEFAULT)
+        assert len(traces) == 1
+        total_elements = traces[0].kernel_histogram()[KernelKind.MODADD]
+        assert total_elements == 3 * 2 * 6 * CKKS_DEFAULT.ring_degree
+
+
+class TestTFHEWorkloads:
+    def test_pbs_workload_wraps_single_trace(self):
+        workload = pbs_workload(TFHE_SET_I)
+        assert workload.scheme == "tfhe"
+        assert len(workload.traces) == 1
+
+    def test_nn_depth_controls_layers(self):
+        assert len(nn_workload(20).traces) == 20
+        assert len(nn_workload(50).traces) == 50
+
+    def test_nn_total_pbs_metadata(self):
+        workload = nn_workload(20)
+        assert workload.metadata["total_pbs"] == 20 * NN_NEURONS_PER_LAYER
+
+    def test_nn_work_scales_linearly_with_depth(self):
+        work20 = sum(trace_multiplications(t) for t in nn_workload(20).traces)
+        work100 = sum(trace_multiplications(t) for t in nn_workload(100).traces)
+        assert work100 == pytest.approx(5 * work20, rel=0.05)
+
+    def test_nn_invalid_depth(self):
+        with pytest.raises(ValueError):
+            nn_workload(0)
+
+
+class TestHybridWorkloads:
+    def test_conversion_workload_directions(self):
+        to_ckks = conversion_workload(8, direction="tfhe-to-ckks")
+        to_tfhe = conversion_workload(8, direction="ckks-to-tfhe")
+        assert trace_multiplications(to_ckks.traces[0]) > trace_multiplications(to_tfhe.traces[0])
+        with pytest.raises(ValueError):
+            conversion_workload(8, direction="sideways")
+
+    def test_conversion_default_parameters_match_paper(self):
+        workload = conversion_workload(32)
+        assert workload.metadata["ring_degree"] == 16384
+        assert workload.metadata["levels"] == 8
+
+    def test_he3db_scales_with_entries(self):
+        small = he3db_workload(4096)
+        large = he3db_workload(16384)
+        small_work = sum(trace_multiplications(t) for t in small.traces)
+        large_work = sum(trace_multiplications(t) for t in large.traces)
+        assert 2.5 < large_work / small_work < 5.0
+
+    def test_he3db_contains_all_three_phases(self):
+        workload = he3db_workload(4096)
+        kinds = set()
+        for trace in workload.traces:
+            kinds |= {k.kind for k in trace.kernels()}
+        assert KernelKind.SAMPLE_EXTRACT in kinds     # CKKS -> TFHE
+        assert KernelKind.MAC in kinds                # TFHE external products
+        assert KernelKind.IP in kinds                 # CKKS keyswitch in aggregation
+
+    def test_he3db_segments_route_schemes(self):
+        segments = he3db_hybrid_segments(4096)
+        schemes = [segment.scheme for segment in segments]
+        assert schemes == ["conversion", "tfhe", "ckks"]
+        # The CKKS->TFHE boundary ships the large extracted LWE ciphertexts.
+        assert segments[0].transfer_bytes > segments[1].transfer_bytes
+
+    def test_he3db_metadata(self):
+        workload = he3db_workload(4096)
+        assert workload.metadata["entries"] == 4096
+        assert workload.metadata["pbs_per_entry"] == PBS_PER_FILTERED_ENTRY
