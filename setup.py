@@ -19,6 +19,13 @@ setup(
     python_requires=">=3.10",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    install_requires=["numpy"],
-    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+    # The core library is dependency-free: all FHE arithmetic runs on the
+    # exact pure-Python backend.  numpy is an optional extra enabling the
+    # vectorized arithmetic backend (and the CKKS canonical-embedding
+    # encoder, which needs float linear algebra either way).
+    install_requires=[],
+    extras_require={
+        "numpy": ["numpy"],
+        "dev": ["pytest", "pytest-benchmark", "hypothesis", "numpy"],
+    },
 )

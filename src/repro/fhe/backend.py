@@ -1,0 +1,832 @@
+"""Pluggable vectorized arithmetic backends for the FHE layer.
+
+Every hot kernel of the functional FHE substrate — element-wise modular
+arithmetic, the negacyclic NTT, batched cyclic NTTs (four-step phases), and
+the RNS compose/decompose primitives — is expressed against the small
+:class:`ArithmeticBackend` interface defined here.  Two implementations are
+registered:
+
+* ``"python"`` — the exact pure-Python reference (arbitrary-precision ints,
+  the original seed implementation).  It is the *golden* backend: every other
+  backend must agree with it bit-for-bit, which the differential suite in
+  ``tests/test_backend_parity.py`` enforces.
+* ``"numpy"`` — vectorized ``uint64`` arithmetic.  Products of operands up to
+  32 bits are computed directly in a 64-bit word; for the 33..62-bit primes
+  of :mod:`repro.fhe.params` the backend switches to Montgomery reduction
+  built on an emulated 64x64 -> 128-bit multiply (32-bit limb splitting), so
+  results stay exact with no overflow for every modulus the parameter sets
+  produce (<= 61 bits).  Moduli that do not fit this scheme (>= 2^62, or
+  even moduli above 2^32) transparently fall back to the python backend, as
+  do tiny vectors where conversion overhead would dominate.
+
+Selection
+---------
+The process-wide *active* backend is resolved, in order, from:
+
+1. an explicit :func:`set_active_backend` / :func:`use_backend` call,
+2. the ``REPRO_BACKEND`` environment variable (``python`` or ``numpy``),
+3. the default: ``numpy`` when importable, else ``python``.
+
+NumPy is an optional dependency: requesting the numpy backend on a machine
+without it degrades gracefully to the python backend (with a warning).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from contextlib import contextmanager
+from functools import lru_cache
+from typing import Dict, Iterator, List, Sequence
+
+try:  # NumPy is optional -- the python backend has no dependencies at all.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    _np = None
+
+__all__ = [
+    "ArithmeticBackend",
+    "PythonBackend",
+    "NumpyBackend",
+    "available_backends",
+    "get_backend",
+    "active_backend",
+    "set_active_backend",
+    "use_backend",
+    "BACKEND_ENV_VAR",
+]
+
+#: Environment variable consulted when no backend has been selected explicitly.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Largest modulus bit-length the numpy backend handles without falling back.
+NUMPY_MAX_MODULUS_BITS = 62
+
+
+@lru_cache(maxsize=64)
+def _bit_reverse_indices(length: int) -> tuple:
+    """Bit-reversal permutation of ``range(length)`` (length a power of two)."""
+    if length & (length - 1):
+        raise ValueError("length must be a power of two")
+    bits = length.bit_length() - 1
+    result = [0] * length
+    for i in range(length):
+        rev = 0
+        value = i
+        for _ in range(bits):
+            rev = (rev << 1) | (value & 1)
+            value >>= 1
+        result[i] = rev
+    return tuple(result)
+
+
+class ArithmeticBackend:
+    """Interface every arithmetic backend implements.
+
+    All methods are *exact*: they take Python-int sequences (already reduced
+    or not — reduction modulo ``q`` is part of the contract), return fresh
+    Python lists reduced into ``[0, q)``, and never alias their inputs.  The
+    NTT entry points receive the :class:`~repro.fhe.ntt.NTTContext` (duck
+    typed — only its precomputed tables are read), so backends can cache
+    their own derived tables per ``(N, q)`` pair.
+    """
+
+    name: str = "abstract"
+
+    # -- element-wise modular vector ops ----------------------------------
+    def add(self, a: Sequence[int], b: Sequence[int], q: int) -> List[int]:
+        raise NotImplementedError
+
+    def sub(self, a: Sequence[int], b: Sequence[int], q: int) -> List[int]:
+        raise NotImplementedError
+
+    def neg(self, a: Sequence[int], q: int) -> List[int]:
+        raise NotImplementedError
+
+    def mul(self, a: Sequence[int], b: Sequence[int], q: int) -> List[int]:
+        raise NotImplementedError
+
+    def scalar_mul(self, a: Sequence[int], scalar: int, q: int) -> List[int]:
+        raise NotImplementedError
+
+    def sub_scaled(self, a: Sequence[int], b: Sequence[int], scalar: int, q: int) -> List[int]:
+        """``(a - b) * scalar mod q`` — the fused Rescale / ModDown kernel."""
+        raise NotImplementedError
+
+    def weighted_sum(self, rows: Sequence[Sequence[int]], weights: Sequence[int], q: int) -> List[int]:
+        """``sum_i rows[i] * weights[i] mod q`` — the BConv accumulation kernel."""
+        raise NotImplementedError
+
+    # -- NTT kernels -------------------------------------------------------
+    def ntt_forward(self, context, coefficients: Sequence[int]) -> List[int]:
+        raise NotImplementedError
+
+    def ntt_inverse(self, context, values: Sequence[int]) -> List[int]:
+        raise NotImplementedError
+
+    def negacyclic_convolution(self, context, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        """Multiply two polynomials in Z_q[X]/(X^N+1) via the NTT."""
+        fa = self.ntt_forward(context, a)
+        fb = self.ntt_forward(context, b)
+        return self.ntt_inverse(context, self.mul(fa, fb, context.modulus))
+
+    def cyclic_ntt_batch(self, matrix: Sequence[Sequence[int]], omega: int, q: int) -> List[List[int]]:
+        """Independent in-order cyclic NTTs of every row of ``matrix``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+    @staticmethod
+    def _check_length(context, sequence: Sequence[int]) -> None:
+        if len(sequence) != context.ring_degree:
+            raise ValueError(
+                f"expected {context.ring_degree} elements, got {len(sequence)}"
+            )
+
+
+class PythonBackend(ArithmeticBackend):
+    """Exact pure-Python reference backend (the seed implementation)."""
+
+    name = "python"
+
+    # -- element-wise ------------------------------------------------------
+    def add(self, a, b, q):
+        return [(x + y) % q for x, y in zip(a, b)]
+
+    def sub(self, a, b, q):
+        return [(x - y) % q for x, y in zip(a, b)]
+
+    def neg(self, a, q):
+        return [(-x) % q for x in a]
+
+    def mul(self, a, b, q):
+        return [(int(x) * int(y)) % q for x, y in zip(a, b)]
+
+    def scalar_mul(self, a, scalar, q):
+        scalar %= q
+        return [(x * scalar) % q for x in a]
+
+    def sub_scaled(self, a, b, scalar, q):
+        scalar %= q
+        return [((x - y) * scalar) % q for x, y in zip(a, b)]
+
+    def weighted_sum(self, rows, weights, q):
+        if len(rows) != len(weights):
+            raise ValueError("rows and weights must have equal length")
+        if not rows:
+            raise ValueError("weighted_sum needs at least one row")
+        length = len(rows[0])
+        result = [0] * length
+        for row, weight in zip(rows, weights):
+            weight %= q
+            for idx in range(length):
+                result[idx] = (result[idx] + row[idx] * weight) % q
+        return result
+
+    # -- NTT ---------------------------------------------------------------
+    def ntt_forward(self, context, coefficients):
+        self._check_length(context, coefficients)
+        n = context.ring_degree
+        q = context.modulus
+        values = [int(c) % q for c in coefficients]
+        twiddles = context._fwd_twiddles
+        # Cooley-Tukey, decimation in time, merged psi twisting (Longa-Naehrig).
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            for i in range(m):
+                j1 = 2 * i * t
+                j2 = j1 + t
+                s = twiddles[m + i]
+                for j in range(j1, j2):
+                    u = values[j]
+                    v = (values[j + t] * s) % q
+                    values[j] = (u + v) % q
+                    values[j + t] = (u - v) % q
+            m *= 2
+        return values
+
+    def ntt_inverse(self, context, values):
+        self._check_length(context, values)
+        n = context.ring_degree
+        q = context.modulus
+        coeffs = [int(v) % q for v in values]
+        twiddles = context._inv_twiddles
+        # Gentleman-Sande, decimation in frequency, merged psi^-1 twisting.
+        t = 1
+        m = n
+        while m > 1:
+            j1 = 0
+            h = m // 2
+            for i in range(h):
+                j2 = j1 + t
+                s = twiddles[h + i]
+                for j in range(j1, j2):
+                    u = coeffs[j]
+                    v = coeffs[j + t]
+                    coeffs[j] = (u + v) % q
+                    coeffs[j + t] = ((u - v) * s) % q
+                j1 += 2 * t
+            t *= 2
+            m = h
+        n_inv = context.n_inv
+        return [(c * n_inv) % q for c in coeffs]
+
+    def cyclic_ntt_batch(self, matrix, omega, q):
+        return [self._cyclic_ntt(list(row), omega, q) for row in matrix]
+
+    @staticmethod
+    def _cyclic_ntt(values: List[int], omega: int, modulus: int) -> List[int]:
+        """In-order iterative radix-2 cyclic NTT of a power-of-two length."""
+        n = len(values)
+        order = _bit_reverse_indices(n)
+        data = [values[order[i]] % modulus for i in range(n)]
+        length = 2
+        while length <= n:
+            w_len = pow(omega, n // length, modulus)
+            for start in range(0, n, length):
+                w = 1
+                half = length // 2
+                for j in range(start, start + half):
+                    u = data[j]
+                    v = (data[j + half] * w) % modulus
+                    data[j] = (u + v) % modulus
+                    data[j + half] = (u - v) % modulus
+                    w = (w * w_len) % modulus
+            length *= 2
+        return data
+
+
+# ---------------------------------------------------------------------------
+# NumPy backend: vectorized uint64 with Montgomery reduction
+# ---------------------------------------------------------------------------
+
+if _np is not None:
+    _M32 = _np.uint64(0xFFFFFFFF)
+    _S32 = _np.uint64(32)
+
+    def _mul64(a, b):
+        """Emulated full 64x64 -> 128-bit multiply: returns ``(hi, lo)``.
+
+        Operands are uint64 arrays (or scalars); the product is assembled
+        from four 32x32 partial products, each of which fits a 64-bit word.
+        """
+        a_lo = a & _M32
+        a_hi = a >> _S32
+        b_lo = b & _M32
+        b_hi = b >> _S32
+        lo_lo = a_lo * b_lo
+        mid1 = a_hi * b_lo
+        mid2 = a_lo * b_hi
+        cross = (lo_lo >> _S32) + (mid1 & _M32) + (mid2 & _M32)
+        lo = (cross << _S32) | (lo_lo & _M32)
+        hi = (a_hi * b_hi) + (mid1 >> _S32) + (mid2 >> _S32) + (cross >> _S32)
+        return hi, lo
+
+    class _Montgomery:
+        """Montgomery arithmetic mod one odd modulus ``q < 2^62`` (R = 2^64)."""
+
+        __slots__ = ("q", "q_u", "neg_q_inv", "r2")
+
+        def __init__(self, q: int):
+            if q % 2 == 0 or q.bit_length() > NUMPY_MAX_MODULUS_BITS:
+                raise ValueError(f"modulus {q} is not Montgomery-friendly")
+            self.q = q
+            self.q_u = _np.uint64(q)
+            self.neg_q_inv = _np.uint64((-pow(q, -1, 1 << 64)) % (1 << 64))
+            self.r2 = _np.uint64(pow(1 << 64, 2, q))
+
+        def redc(self, hi, lo):
+            """Montgomery reduction of a 128-bit value: ``(hi:lo) * 2^-64 mod q``."""
+            m = lo * self.neg_q_inv                     # mod 2^64 (wraps)
+            mq_hi, _mq_lo = _mul64(m, self.q_u)
+            # lo + mq_lo == 0 mod 2^64 by construction; the carry out of that
+            # addition is exactly 1 whenever lo != 0.
+            t = hi + mq_hi + (lo != _np.uint64(0)).astype(_np.uint64)
+            return _np.where(t >= self.q_u, t - self.q_u, t)
+
+        def mont_mul(self, a, b):
+            """``a * b * 2^-64 mod q`` for operands < q (Montgomery product)."""
+            return self.redc(*_mul64(a, b))
+
+        def to_mont(self, a):
+            return self.mont_mul(a, self.r2)
+
+        def from_mont(self, a):
+            return self.redc(_np.zeros_like(a), a)
+
+        def mulmod(self, a, b):
+            """Plain ``a * b mod q`` for reduced operands (two reductions)."""
+            return self.mont_mul(self.mont_mul(a, b), self.r2)
+
+        def addmod(self, a, b):
+            s = a + b
+            return _np.where(s >= self.q_u, s - self.q_u, s)
+
+        def submod(self, a, b):
+            return _np.where(a >= b, a - b, a + (self.q_u - b))
+
+    def _shoup_split(values: Sequence[int], q: int):
+        """Twiddles plus their Shoup constants ``floor(w * 2^64 / q)``, pre-split
+        into 32-bit halves so the hot loop skips two mask/shift ops."""
+        w = _np.array(values, dtype=_np.uint64)
+        shoup = [(int(v) << 64) // q for v in values]
+        s_lo = _np.array([s & 0xFFFFFFFF for s in shoup], dtype=_np.uint64)
+        s_hi = _np.array([s >> 32 for s in shoup], dtype=_np.uint64)
+        return w, s_lo, s_hi
+
+    def _shoup_mul_lazy(y, w, ws_lo, ws_hi, q_u):
+        """``w * y mod q`` up to one extra ``q``: result in ``[0, 2q)``.
+
+        ``w`` is the fixed operand with precomputed Shoup constant
+        ``ws = floor(w * 2^64 / q)`` (split into ``ws_lo``/``ws_hi``); ``y``
+        may be ANY uint64 value — the bound holds without preconditions,
+        which is what lets the butterflies run lazily (Harvey-style).
+        In-place ufuncs keep the temporary count down; this is the single
+        hottest code path of the backend.
+        """
+        y_lo = y & _M32
+        y_hi = y >> _S32
+        mid1 = y_hi * ws_lo
+        mid2 = y_lo * ws_hi
+        cross = y_lo * ws_lo
+        cross >>= _S32
+        cross += mid1 & _M32
+        cross += mid2 & _M32
+        cross >>= _S32
+        mid1 >>= _S32
+        mid2 >>= _S32
+        t = y_hi * ws_hi            # y_hi is full shape, so t is too
+        t += mid1
+        t += mid2
+        t += cross
+        t *= q_u
+        result = y * w
+        result -= t
+        return result               # wraps mod 2^64; true value is < 2q
+
+    class _NumpyNTTTables:
+        """Shoup twiddle tables for one ``(N, q)`` pair (plain domain)."""
+
+        __slots__ = (
+            "q_u", "q2",
+            "fwd_w", "fwd_s_lo", "fwd_s_hi",
+            "inv_w", "inv_s_lo", "inv_s_hi",
+            "n_inv_w", "n_inv_s_lo", "n_inv_s_hi",
+            "r_w", "r_s_lo", "r_s_hi",
+        )
+
+        def __init__(self, context):
+            q = context.modulus
+            self.q_u = _np.uint64(q)
+            self.q2 = _np.uint64(2 * q)
+            self.fwd_w, self.fwd_s_lo, self.fwd_s_hi = _shoup_split(context._fwd_twiddles, q)
+            self.inv_w, self.inv_s_lo, self.inv_s_hi = _shoup_split(context._inv_twiddles, q)
+            n_inv_w, n_inv_s_lo, n_inv_s_hi = _shoup_split([context.n_inv], q)
+            self.n_inv_w = n_inv_w[0]
+            self.n_inv_s_lo = n_inv_s_lo[0]
+            self.n_inv_s_hi = n_inv_s_hi[0]
+            # R = 2^64 mod q: pre-scaling one convolution operand by R lets the
+            # pointwise product exit the Montgomery domain in a single REDC.
+            r_w, r_s_lo, r_s_hi = _shoup_split([(1 << 64) % q], q)
+            self.r_w = r_w[0]
+            self.r_s_lo = r_s_lo[0]
+            self.r_s_hi = r_s_hi[0]
+
+
+class NumpyBackend(ArithmeticBackend):
+    """Vectorized uint64 backend (direct-word or Montgomery/Shoup reduction).
+
+    ``min_vector_length`` / ``min_ntt_length`` tune the crossovers below
+    which the python backend is used instead (list<->array round-trips
+    dominate for tiny rings; measured break-even is ~512 elements for the
+    element-wise ops and ~128 points for the transforms).  Set both to 0 to
+    force the vectorized path everywhere (the parity tests do).
+    """
+
+    name = "numpy"
+
+    def __init__(self, min_vector_length: int = 512, min_ntt_length: int = 128):
+        if _np is None:  # pragma: no cover - guarded by get_backend
+            raise RuntimeError("numpy is not available")
+        self._fallback = PythonBackend()
+        self.min_vector_length = min_vector_length
+        self.min_ntt_length = min_ntt_length
+        self._mont_cache: Dict[int, _Montgomery] = {}
+        self._ntt_tables: Dict[tuple, _NumpyNTTTables] = {}
+        self._cyclic_tables: Dict[tuple, list] = {}
+
+    # -- modulus classification -------------------------------------------
+    def _direct_ok(self, q: int) -> bool:
+        """Products of reduced operands fit one 64-bit word."""
+        return q <= (1 << 32)
+
+    def _mont(self, q: int) -> "_Montgomery | None":
+        if q % 2 == 0 or q.bit_length() > NUMPY_MAX_MODULUS_BITS:
+            return None
+        mont = self._mont_cache.get(q)
+        if mont is None:
+            mont = _Montgomery(q)
+            self._mont_cache[q] = mont
+        return mont
+
+    def _linear_ok(self, q: int, *sequences) -> bool:
+        """Whether add/sub/neg can run in uint64 for this modulus."""
+        if q.bit_length() > NUMPY_MAX_MODULUS_BITS:
+            return False
+        return all(len(s) >= self.min_vector_length for s in sequences)
+
+    def _mul_ok(self, q: int, *sequences) -> bool:
+        if not self._linear_ok(q, *sequences):
+            return False
+        return self._direct_ok(q) or self._mont(q) is not None
+
+    @staticmethod
+    def _to_array(values: Sequence[int], q: int):
+        """uint64 array of ``values`` reduced into ``[0, q)`` (exact)."""
+        try:
+            arr = _np.array(values, dtype=_np.uint64)
+        except (OverflowError, TypeError, ValueError):
+            arr = _np.array([int(v) % q for v in values], dtype=_np.uint64)
+            return arr
+        q_u = _np.uint64(q)
+        if (arr >= q_u).any():
+            arr = arr % q_u
+        return arr
+
+    # -- element-wise ------------------------------------------------------
+    def add(self, a, b, q):
+        if not self._linear_ok(q, a, b):
+            return self._fallback.add(a, b, q)
+        x = self._to_array(a, q)
+        x += self._to_array(b, q)
+        return _np.minimum(x, x - _np.uint64(q)).tolist()
+
+    def sub(self, a, b, q):
+        if not self._linear_ok(q, a, b):
+            return self._fallback.sub(a, b, q)
+        x = self._to_array(a, q)
+        x -= self._to_array(b, q)                  # wraps when negative
+        return _np.minimum(x, x + _np.uint64(q)).tolist()
+
+    def neg(self, a, q):
+        if not self._linear_ok(q, a):
+            return self._fallback.neg(a, q)
+        x = self._to_array(a, q)
+        q_u = _np.uint64(q)
+        return _np.where(x == _np.uint64(0), x, q_u - x).tolist()
+
+    def _mulmod_arrays(self, x, y, q: int):
+        if self._direct_ok(q):
+            return (x * y) % _np.uint64(q)
+        return self._mont(q).mulmod(x, y)
+
+    @staticmethod
+    def _scalar_mulmod(x, scalar: int, q: int):
+        """Exact ``(x * scalar) % q`` via a Shoup constant for the scalar.
+
+        One lazy Shoup product plus one conditional subtraction — much
+        cheaper than a general double-REDC Montgomery multiply.  ``x`` may
+        hold any uint64 values; ``q`` must satisfy ``2q < 2^64``.
+        """
+        scalar %= q
+        shoup = (scalar << 64) // q
+        q_u = _np.uint64(q)
+        v = _shoup_mul_lazy(
+            x, _np.uint64(scalar),
+            _np.uint64(shoup & 0xFFFFFFFF), _np.uint64(shoup >> 32), q_u,
+        )
+        return _np.minimum(v, v - q_u)
+
+    def mul(self, a, b, q):
+        if not self._mul_ok(q, a, b):
+            return self._fallback.mul(a, b, q)
+        x = self._to_array(a, q)
+        y = self._to_array(b, q)
+        return self._mulmod_arrays(x, y, q).tolist()
+
+    def _scalar_ok(self, q: int, *sequences) -> bool:
+        """Fixed-operand (Shoup) multiplies only need ``2q`` to fit a word."""
+        return self._linear_ok(q, *sequences)
+
+    def scalar_mul(self, a, scalar, q):
+        if not self._scalar_ok(q, a):
+            return self._fallback.scalar_mul(a, scalar, q)
+        if self._direct_ok(q):
+            return ((self._to_array(a, q) * _np.uint64(scalar % q)) % _np.uint64(q)).tolist()
+        return self._scalar_mulmod(self._to_array(a, q), scalar, q).tolist()
+
+    def sub_scaled(self, a, b, scalar, q):
+        if not self._scalar_ok(q, a, b):
+            return self._fallback.sub_scaled(a, b, scalar, q)
+        x = self._to_array(a, q)
+        y = self._to_array(b, q)
+        q_u = _np.uint64(q)
+        diff = _np.where(x >= y, x - y, x + (q_u - y))
+        if self._direct_ok(q):
+            return ((diff * _np.uint64(scalar % q)) % q_u).tolist()
+        return self._scalar_mulmod(diff, scalar, q).tolist()
+
+    def weighted_sum(self, rows, weights, q):
+        if len(rows) != len(weights):
+            raise ValueError("rows and weights must have equal length")
+        if not rows:
+            raise ValueError("weighted_sum needs at least one row")
+        if not self._scalar_ok(q, *rows):
+            return self._fallback.weighted_sum(rows, weights, q)
+        q_u = _np.uint64(q)
+        direct = self._direct_ok(q)
+        acc = _np.zeros(len(rows[0]), dtype=_np.uint64)
+        for row, weight in zip(rows, weights):
+            x = self._to_array(row, q)
+            if direct:
+                term = (x * _np.uint64(weight % q)) % q_u
+            else:
+                term = self._scalar_mulmod(x, weight, q)
+            acc += term
+            acc = _np.where(acc >= q_u, acc - q_u, acc)
+        return acc.tolist()
+
+    # -- NTT ---------------------------------------------------------------
+    def _tables(self, context) -> "_NumpyNTTTables":
+        key = (context.ring_degree, context.modulus)
+        tables = self._ntt_tables.get(key)
+        if tables is None:
+            tables = _NumpyNTTTables(context)
+            self._ntt_tables[key] = tables
+        return tables
+
+    def _ntt_ok(self, context) -> bool:
+        # The lazy butterflies keep values in [0, 4q), so 4q must fit a word;
+        # the exit pointwise reduction additionally wants an odd modulus
+        # (always true for NTT-friendly primes).
+        return (
+            context.ring_degree >= self.min_ntt_length
+            and self._mont(context.modulus) is not None
+        )
+
+    def ntt_forward(self, context, coefficients):
+        self._check_length(context, coefficients)
+        if not self._ntt_ok(context):
+            return self._fallback.ntt_forward(context, coefficients)
+        tables = self._tables(context)
+        x = self._to_array(coefficients, context.modulus)
+        x = self._forward_stages(context.ring_degree, x, tables)
+        return self._reduce_4q(x, tables).tolist()
+
+    def ntt_inverse(self, context, values):
+        self._check_length(context, values)
+        if not self._ntt_ok(context):
+            return self._fallback.ntt_inverse(context, values)
+        tables = self._tables(context)
+        x = self._to_array(values, context.modulus)
+        x = self._inverse_stages(context.ring_degree, x, tables)
+        return self._exit_scale(x, tables).tolist()
+
+    def negacyclic_convolution(self, context, a, b):
+        self._check_length(context, a)
+        self._check_length(context, b)
+        if not self._ntt_ok(context):
+            return self._fallback.negacyclic_convolution(context, a, b)
+        tables = self._tables(context)
+        n = context.ring_degree
+        q = context.modulus
+        xa = self._to_array(a, q)
+        # b enters the transform pre-scaled by R = 2^64 (the transform is
+        # linear, so the evaluation values come out scaled by R as well).
+        xb = _shoup_mul_lazy(self._to_array(b, q), tables.r_w,
+                             tables.r_s_lo, tables.r_s_hi, tables.q_u)
+        # Both forward transforms ride one stacked array: the stage loop is
+        # overhead-bound at these sizes, so batching nearly halves its cost.
+        x = self._forward_stages(n, _np.stack([xa, xb]), tables)
+        x = self._reduce_4q(x, tables)
+        prod = self._mont(q).mont_mul(x[0], x[1])   # (a)(bR)R^-1 = ab mod q
+        y = self._inverse_stages(n, prod, tables)
+        return self._exit_scale(y, tables).tolist()
+
+    @staticmethod
+    def _reduce_4q(x, tables):
+        """Exact reduction of lazily-accumulated values from [0, 4q) to [0, q)."""
+        x = _np.minimum(x, x - tables.q2)
+        return _np.minimum(x, x - tables.q_u)
+
+    @staticmethod
+    def _exit_scale(x, tables):
+        """Multiply by n^-1 (Shoup) and reduce exactly; input < 2q, output < q."""
+        x = _shoup_mul_lazy(x, tables.n_inv_w, tables.n_inv_s_lo,
+                            tables.n_inv_s_hi, tables.q_u)
+        return _np.minimum(x, x - tables.q_u)
+
+    @staticmethod
+    def _forward_stages(n: int, x, tables):
+        """Cooley-Tukey stages with Harvey lazy reduction (values < 4q).
+
+        ``x`` may carry a leading batch dimension: shape ``(n,)`` or
+        ``(B, n)``; every batch row is transformed independently in place.
+        Conditional subtraction uses the wraparound trick
+        ``min(v, v - q)``: when ``v < q`` the subtraction wraps to a huge
+        value and ``min`` keeps ``v``, else it keeps the reduced value.
+        """
+        q_u = tables.q_u
+        q2 = tables.q2
+        batch = 1 if x.ndim == 1 else x.shape[0]
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            blocks = x.reshape(batch, m, 2 * t)
+            u0 = blocks[:, :, :t]
+            u = _np.minimum(u0, u0 - q2)                   # < 2q
+            sl = slice(m, 2 * m)
+            v = _shoup_mul_lazy(
+                blocks[:, :, t:], tables.fwd_w[None, sl, None],
+                tables.fwd_s_lo[None, sl, None],
+                tables.fwd_s_hi[None, sl, None], q_u,
+            )                                              # < 2q
+            _np.add(u, v, out=blocks[:, :, :t])            # < 4q
+            v -= q2
+            _np.subtract(u, v, out=blocks[:, :, t:])       # u - v + 2q < 4q
+            m *= 2
+        return x
+
+    @staticmethod
+    def _inverse_stages(n: int, x, tables):
+        """Gentleman-Sande stages with lazy reduction (values < 2q)."""
+        q_u = tables.q_u
+        q2 = tables.q2
+        batch = 1 if x.ndim == 1 else x.shape[0]
+        t = 1
+        m = n
+        while m > 1:
+            h = m // 2
+            blocks = x.reshape(batch, h, 2 * t)
+            u = blocks[:, :, :t]
+            v = blocks[:, :, t:]
+            s = u + v                                      # < 4q
+            d = u + (q2 - v)                               # < 4q (true value, fine for Shoup)
+            sl = slice(h, 2 * h)
+            _np.minimum(s, s - q2, out=blocks[:, :, :t])   # < 2q
+            blocks[:, :, t:] = _shoup_mul_lazy(
+                d, tables.inv_w[None, sl, None],
+                tables.inv_s_lo[None, sl, None],
+                tables.inv_s_hi[None, sl, None], q_u,
+            )                                              # < 2q
+            t *= 2
+            m = h
+        return x
+
+    def _cyclic_stage_twiddles(self, length: int, omega: int, q: int):
+        key = (length, omega, q)
+        stages = self._cyclic_tables.get(key)
+        if stages is None:
+            stages = []
+            size = 2
+            while size <= length:
+                half = size // 2
+                w_len = pow(omega, length // size, q)
+                powers = [1] * half
+                for j in range(1, half):
+                    powers[j] = (powers[j - 1] * w_len) % q
+                stages.append(_shoup_split(powers, q))
+                size *= 2
+            self._cyclic_tables[key] = stages
+        return stages
+
+    def cyclic_ntt_batch(self, matrix, omega, q):
+        rows = len(matrix)
+        if rows == 0:
+            return []
+        length = len(matrix[0])
+        if (
+            q % 2 == 0
+            or q.bit_length() > NUMPY_MAX_MODULUS_BITS
+            or rows * length < self.min_ntt_length
+        ):
+            return self._fallback.cyclic_ntt_batch(matrix, omega, q)
+        order = list(_bit_reverse_indices(length))
+        arr = _np.stack([self._to_array(row, q) for row in matrix])[:, order]
+        q_u = _np.uint64(q)
+        q2 = _np.uint64(2 * q)
+        size = 2
+        for w, s_lo, s_hi in self._cyclic_stage_twiddles(length, omega, q):
+            half = size // 2
+            view = arr.reshape(rows, length // size, size)
+            u0 = view[..., :half]
+            u = _np.minimum(u0, u0 - q2)
+            v = _shoup_mul_lazy(
+                view[..., half:], w[None, None, :],
+                s_lo[None, None, :], s_hi[None, None, :], q_u,
+            )
+            _np.add(u, v, out=view[..., :half])
+            v -= q2
+            _np.subtract(u, v, out=view[..., half:])
+            size *= 2
+        arr = _np.minimum(arr, arr - q2)
+        return _np.minimum(arr, arr - q_u).tolist()
+
+
+# ---------------------------------------------------------------------------
+# Registry and active-backend selection
+# ---------------------------------------------------------------------------
+
+_INSTANCES: Dict[str, ArithmeticBackend] = {}
+_ACTIVE: "ArithmeticBackend | None" = None
+_WARNED_NO_NUMPY = False
+
+
+def available_backends() -> List[str]:
+    """Names of the backends usable in this environment."""
+    names = ["python"]
+    if _np is not None:
+        names.append("numpy")
+    return names
+
+
+def _default_name() -> str:
+    env = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
+    if env in ("python", "numpy"):
+        return env
+    if env:
+        warnings.warn(
+            f"ignoring unknown {BACKEND_ENV_VAR}={env!r}; "
+            f"expected 'python' or 'numpy'",
+            stacklevel=3,
+        )
+    return "numpy" if _np is not None else "python"
+
+
+def get_backend(name: "str | None" = None) -> ArithmeticBackend:
+    """Return the backend instance registered under ``name``.
+
+    ``None`` resolves the default (``REPRO_BACKEND`` env var, then numpy when
+    available).  Requesting ``"numpy"`` without numpy installed degrades to
+    the python backend with a warning rather than failing.
+    """
+    global _WARNED_NO_NUMPY
+    if name is None:
+        name = _default_name()
+    name = name.lower()
+    if name == "numpy" and _np is None:
+        if not _WARNED_NO_NUMPY:
+            warnings.warn(
+                "numpy backend requested but numpy is not installed; "
+                "falling back to the exact python backend",
+                stacklevel=2,
+            )
+            _WARNED_NO_NUMPY = True
+        name = "python"
+    if name not in ("python", "numpy"):
+        raise ValueError(
+            f"unknown backend {name!r}; available: {available_backends()}"
+        )
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        instance = PythonBackend() if name == "python" else NumpyBackend()
+        _INSTANCES[name] = instance
+    return instance
+
+
+def active_backend() -> ArithmeticBackend:
+    """The backend every FHE vector op dispatches to right now."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = get_backend(None)
+    return _ACTIVE
+
+
+def _resolve(backend: "ArithmeticBackend | str | None") -> "ArithmeticBackend | None":
+    if backend is None:
+        return None
+    if isinstance(backend, ArithmeticBackend):
+        return backend
+    return get_backend(backend)
+
+
+def set_active_backend(backend: "ArithmeticBackend | str | None") -> ArithmeticBackend:
+    """Select the process-wide backend (``None`` re-resolves the default)."""
+    global _ACTIVE
+    _ACTIVE = _resolve(backend)
+    return active_backend()
+
+
+@contextmanager
+def use_backend(backend: "ArithmeticBackend | str | None") -> Iterator[ArithmeticBackend]:
+    """Temporarily switch the active backend (``None`` is a no-op).
+
+    This is how an explicit per-object backend choice (e.g.
+    ``CKKSEvaluator(..., backend="numpy")``) is threaded down through code
+    that operates on plain :class:`~repro.fhe.polynomial.Polynomial` values.
+    """
+    resolved = _resolve(backend)
+    if resolved is None:
+        yield active_backend()
+        return
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = resolved
+    try:
+        yield resolved
+    finally:
+        _ACTIVE = previous

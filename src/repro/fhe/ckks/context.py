@@ -9,6 +9,7 @@ from __future__ import annotations
 import random
 from typing import List, Sequence
 
+from ..backend import ArithmeticBackend, use_backend
 from ..params import CKKSParameters
 from ..polynomial import sample_gaussian, sample_ternary, sample_uniform
 from ..rns import RNSPolynomial
@@ -21,20 +22,32 @@ __all__ = ["CKKSContext"]
 
 
 class CKKSContext:
-    """A ready-to-use CKKS instance (keys + encoder + evaluator)."""
+    """A ready-to-use CKKS instance (keys + encoder + evaluator).
 
-    def __init__(self, params: CKKSParameters, seed: int = 0, error_stddev: float = 3.2):
+    ``backend`` pins the arithmetic backend for every operation rooted at
+    this context — key generation, encryption, evaluation, decryption — so
+    an end-to-end flow runs entirely on the chosen implementation.
+    """
+
+    def __init__(self, params: CKKSParameters, seed: int = 0, error_stddev: float = 3.2,
+                 backend: "ArithmeticBackend | str | None" = None):
         self.params = params
         self.rng = random.Random(seed ^ 0x5EED)
         self.error_stddev = error_stddev
-        self.keygen = CKKSKeyGenerator(params, seed=seed, error_stddev=error_stddev)
-        self.keys: CKKSKeySet = self.keygen.generate()
-        self.encoder = CKKSEncoder(params)
-        self.evaluator = CKKSEvaluator(params, self.keys)
+        self.backend = backend
+        with use_backend(backend):
+            self.keygen = CKKSKeyGenerator(params, seed=seed, error_stddev=error_stddev)
+            self.keys: CKKSKeySet = self.keygen.generate()
+        self.encoder = CKKSEncoder(params, backend=backend)
+        self.evaluator = CKKSEvaluator(params, self.keys, backend=backend)
 
     # -- encryption -----------------------------------------------------------
     def encrypt(self, plaintext: CKKSPlaintext) -> CKKSCiphertext:
         """Public-key encryption of an encoded plaintext."""
+        with use_backend(self.backend):
+            return self._encrypt(plaintext)
+
+    def _encrypt(self, plaintext: CKKSPlaintext) -> CKKSCiphertext:
         params = self.params
         n = params.ring_degree
         basis = params.basis(plaintext.level)
@@ -56,11 +69,12 @@ class CKKSContext:
         params = self.params
         n = params.ring_degree
         basis = params.basis(plaintext.level)
-        s = self.keys.secret.as_rns(n, basis)
-        a_limbs = [sample_uniform(n, q, self.rng) for q in basis]
-        a = RNSPolynomial(n, basis, a_limbs)
-        e = self._error(basis)
-        c0 = -(a * s) + e + plaintext.poly
+        with use_backend(self.backend):
+            s = self.keys.secret.as_rns(n, basis)
+            a_limbs = [sample_uniform(n, q, self.rng) for q in basis]
+            a = RNSPolynomial(n, basis, a_limbs)
+            e = self._error(basis)
+            c0 = -(a * s) + e + plaintext.poly
         return CKKSCiphertext(c0=c0, c1=a, level=plaintext.level, scale=plaintext.scale)
 
     def _error(self, basis) -> RNSPolynomial:
@@ -75,8 +89,9 @@ class CKKSContext:
     def decrypt(self, ciphertext: CKKSCiphertext) -> CKKSPlaintext:
         """Decrypt to a plaintext polynomial (``c0 + c1 * s``)."""
         n = self.params.ring_degree
-        s = self.keys.secret.as_rns(n, ciphertext.c0.basis)
-        poly = ciphertext.c0 + ciphertext.c1 * s
+        with use_backend(self.backend):
+            s = self.keys.secret.as_rns(n, ciphertext.c0.basis)
+            poly = ciphertext.c0 + ciphertext.c1 * s
         return CKKSPlaintext(poly=poly, level=ciphertext.level, scale=ciphertext.scale)
 
     # -- convenience round-trips -------------------------------------------------

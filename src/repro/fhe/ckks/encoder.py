@@ -15,8 +15,12 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-import numpy as np
+try:  # numpy is an optional extra; the encoder is the only hard consumer.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    np = None
 
+from ..backend import ArithmeticBackend, use_backend
 from ..params import CKKSParameters
 from ..polynomial import Polynomial
 from ..rns import RNSPolynomial
@@ -26,10 +30,22 @@ __all__ = ["CKKSEncoder"]
 
 
 class CKKSEncoder:
-    """Encode/decode complex slot vectors for one CKKS parameter set."""
+    """Encode/decode complex slot vectors for one CKKS parameter set.
 
-    def __init__(self, params: CKKSParameters):
+    ``backend`` pins the arithmetic backend used for the RNS decomposition
+    part of encode/decode (the float canonical embedding itself always uses
+    numpy and is unavailable without it).
+    """
+
+    def __init__(self, params: CKKSParameters,
+                 backend: "ArithmeticBackend | str | None" = None):
+        if np is None:
+            raise RuntimeError(
+                "CKKSEncoder requires numpy (install the 'numpy' extra); "
+                "the rest of the FHE layer runs without it on the python backend"
+            )
         self.params = params
+        self.backend = backend
         n = params.slots
         ring_degree = params.ring_degree
         # Rotation group: powers of 5 modulo 2N; one root per slot.
@@ -65,9 +81,10 @@ class CKKSEncoder:
         )
         scaled = np.rint(coefficients * scale).astype(object)
         basis = params.basis(level)
-        poly = RNSPolynomial.from_integer_coefficients(
-            params.ring_degree, basis, [int(c) for c in scaled]
-        )
+        with use_backend(self.backend):
+            poly = RNSPolynomial.from_integer_coefficients(
+                params.ring_degree, basis, [int(c) for c in scaled]
+            )
         return CKKSPlaintext(poly=poly, level=level, scale=scale)
 
     def encode_coefficients(self, coefficients: Sequence[int],
@@ -88,7 +105,8 @@ class CKKSEncoder:
         params = self.params
         n = params.slots
         num_values = n if num_values is None else num_values
-        poly = plaintext.poly.to_polynomial()
+        with use_backend(self.backend):
+            poly = plaintext.poly.to_polynomial()
         centred = np.array(poly.centered_coefficients(), dtype=np.float64)
         slots = self._eval_matrix @ centred / plaintext.scale
         return [complex(v) for v in slots[:num_values]]

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from ..backend import ArithmeticBackend, use_backend
 from ..params import CKKSParameters
 from ..rns import RNSPolynomial
 from .ciphertext import CKKSCiphertext, CKKSPlaintext
@@ -31,11 +32,22 @@ __all__ = ["CKKSEvaluator"]
 
 
 class CKKSEvaluator:
-    """Homomorphic operations over ciphertexts produced by one key set."""
+    """Homomorphic operations over ciphertexts produced by one key set.
 
-    def __init__(self, params: CKKSParameters, keys: CKKSKeySet):
+    ``backend`` optionally pins the arithmetic backend (``"python"`` /
+    ``"numpy"`` or an instance) used by every operation of this evaluator;
+    the default follows the process-wide active backend.
+    """
+
+    def __init__(self, params: CKKSParameters, keys: CKKSKeySet,
+                 backend: "ArithmeticBackend | str | None" = None):
         self.params = params
         self.keys = keys
+        self.backend = backend
+
+    def _arith(self):
+        """Context manager activating this evaluator's pinned backend."""
+        return use_backend(self.backend)
 
     # -- helpers -------------------------------------------------------------
     def _check_levels(self, a: CKKSCiphertext, b: CKKSCiphertext) -> None:
@@ -60,55 +72,62 @@ class CKKSEvaluator:
         """HAdd: element-wise addition of two ciphertexts."""
         self._check_levels(a, b)
         self._check_scales(a.scale, b.scale)
-        return CKKSCiphertext(c0=a.c0 + b.c0, c1=a.c1 + b.c1, level=a.level, scale=a.scale)
+        with self._arith():
+            return CKKSCiphertext(c0=a.c0 + b.c0, c1=a.c1 + b.c1, level=a.level, scale=a.scale)
 
     def sub(self, a: CKKSCiphertext, b: CKKSCiphertext) -> CKKSCiphertext:
         """Element-wise subtraction of two ciphertexts."""
         self._check_levels(a, b)
         self._check_scales(a.scale, b.scale)
-        return CKKSCiphertext(c0=a.c0 - b.c0, c1=a.c1 - b.c1, level=a.level, scale=a.scale)
+        with self._arith():
+            return CKKSCiphertext(c0=a.c0 - b.c0, c1=a.c1 - b.c1, level=a.level, scale=a.scale)
 
     def add_plain(self, a: CKKSCiphertext, plaintext: CKKSPlaintext) -> CKKSCiphertext:
         """PAdd: add an encoded plaintext to a ciphertext."""
         self._check_scales(a.scale, plaintext.scale)
         poly = self._plaintext_at_level(plaintext, a.level)
-        return CKKSCiphertext(c0=a.c0 + poly, c1=a.c1, level=a.level, scale=a.scale)
+        with self._arith():
+            return CKKSCiphertext(c0=a.c0 + poly, c1=a.c1, level=a.level, scale=a.scale)
 
     def negate(self, a: CKKSCiphertext) -> CKKSCiphertext:
         """Negate a ciphertext."""
-        return CKKSCiphertext(c0=-a.c0, c1=-a.c1, level=a.level, scale=a.scale)
+        with self._arith():
+            return CKKSCiphertext(c0=-a.c0, c1=-a.c1, level=a.level, scale=a.scale)
 
     # -- multiplications ---------------------------------------------------------
     def multiply_plain(self, a: CKKSCiphertext, plaintext: CKKSPlaintext) -> CKKSCiphertext:
         """PMult: multiply a ciphertext by an encoded plaintext (scale multiplies)."""
         poly = self._plaintext_at_level(plaintext, a.level)
-        return CKKSCiphertext(
-            c0=a.c0 * poly,
-            c1=a.c1 * poly,
-            level=a.level,
-            scale=a.scale * plaintext.scale,
-        )
+        with self._arith():
+            return CKKSCiphertext(
+                c0=a.c0 * poly,
+                c1=a.c1 * poly,
+                level=a.level,
+                scale=a.scale * plaintext.scale,
+            )
 
     def multiply_scalar(self, a: CKKSCiphertext, scalar: int) -> CKKSCiphertext:
         """Multiply by a small integer scalar without consuming scale."""
-        return CKKSCiphertext(
-            c0=a.c0 * scalar, c1=a.c1 * scalar, level=a.level, scale=a.scale
-        )
+        with self._arith():
+            return CKKSCiphertext(
+                c0=a.c0 * scalar, c1=a.c1 * scalar, level=a.level, scale=a.scale
+            )
 
     def multiply(self, a: CKKSCiphertext, b: CKKSCiphertext) -> CKKSCiphertext:
         """HMult: tensor product followed by relinearization (Algorithm 1)."""
         self._check_levels(a, b)
         level = a.level
-        # Tensor product (d0, d1, d2) such that d0 + d1*s + d2*s^2 = m_a * m_b.
-        d0 = a.c0 * b.c0
-        d1 = a.c0 * b.c1 + a.c1 * b.c0
-        d2 = a.c1 * b.c1
-        # Relinearize d2 with the s^2 -> s keyswitch key.
-        relin_key = self.keys.relinearization_key(level)
-        f0, f1 = hybrid_keyswitch(d2, relin_key, self.params, level)
-        return CKKSCiphertext(
-            c0=d0 + f0, c1=d1 + f1, level=level, scale=a.scale * b.scale
-        )
+        with self._arith():
+            # Tensor product (d0, d1, d2) such that d0 + d1*s + d2*s^2 = m_a * m_b.
+            d0 = a.c0 * b.c0
+            d1 = a.c0 * b.c1 + a.c1 * b.c0
+            d2 = a.c1 * b.c1
+            # Relinearize d2 with the s^2 -> s keyswitch key.
+            relin_key = self.keys.relinearization_key(level)
+            f0, f1 = hybrid_keyswitch(d2, relin_key, self.params, level)
+            return CKKSCiphertext(
+                c0=d0 + f0, c1=d1 + f1, level=level, scale=a.scale * b.scale
+            )
 
     def square(self, a: CKKSCiphertext) -> CKKSCiphertext:
         """Homomorphic squaring (same kernel flow as HMult)."""
@@ -131,15 +150,16 @@ class CKKSEvaluator:
     def apply_galois(self, a: CKKSCiphertext, galois_element: int) -> CKKSCiphertext:
         """Apply the automorphism ``X -> X^g`` and keyswitch back to ``s``."""
         level = a.level
-        rotated_c0 = RNSPolynomial(
-            a.ring_degree, a.c0.basis, [limb.automorphism(galois_element) for limb in a.c0.limbs]
-        )
-        rotated_c1 = RNSPolynomial(
-            a.ring_degree, a.c1.basis, [limb.automorphism(galois_element) for limb in a.c1.limbs]
-        )
-        galois_key = self.keys.galois_key(galois_element, level)
-        f0, f1 = hybrid_keyswitch(rotated_c1, galois_key, self.params, level)
-        return CKKSCiphertext(c0=rotated_c0 + f0, c1=f1, level=level, scale=a.scale)
+        with self._arith():
+            rotated_c0 = RNSPolynomial(
+                a.ring_degree, a.c0.basis, [limb.automorphism(galois_element) for limb in a.c0.limbs]
+            )
+            rotated_c1 = RNSPolynomial(
+                a.ring_degree, a.c1.basis, [limb.automorphism(galois_element) for limb in a.c1.limbs]
+            )
+            galois_key = self.keys.galois_key(galois_element, level)
+            f0, f1 = hybrid_keyswitch(rotated_c1, galois_key, self.params, level)
+            return CKKSCiphertext(c0=rotated_c0 + f0, c1=f1, level=level, scale=a.scale)
 
     # -- level / scale management -----------------------------------------------------
     def rescale(self, a: CKKSCiphertext) -> CKKSCiphertext:
@@ -147,12 +167,13 @@ class CKKSEvaluator:
         if a.level < 1:
             raise ValueError("cannot rescale a level-0 ciphertext")
         dropped_modulus = a.c0.basis.moduli[-1]
-        return CKKSCiphertext(
-            c0=a.c0.rescale(),
-            c1=a.c1.rescale(),
-            level=a.level - 1,
-            scale=a.scale / dropped_modulus,
-        )
+        with self._arith():
+            return CKKSCiphertext(
+                c0=a.c0.rescale(),
+                c1=a.c1.rescale(),
+                level=a.level - 1,
+                scale=a.scale / dropped_modulus,
+            )
 
     def mod_down_to(self, a: CKKSCiphertext, level: int) -> CKKSCiphertext:
         """Drop RNS limbs (without scale division) until ``a`` sits at ``level``."""

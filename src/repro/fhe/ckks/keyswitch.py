@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 from typing import List, Tuple
 
+from ..backend import ArithmeticBackend, active_backend, use_backend
 from ..modmath import mod_inverse
 from ..params import CKKSParameters
 from ..polynomial import Polynomial
@@ -42,6 +43,7 @@ def _digit_slices(params: CKKSParameters, level: int) -> List[Tuple[int, int]]:
 
 def mod_down(poly: RNSPolynomial, params: CKKSParameters, level: int) -> RNSPolynomial:
     """Divide a C_l ∪ P polynomial by P (with rounding) and return it in C_l."""
+    backend = active_backend()
     moduli = list(params.moduli[: level + 1])
     special = list(params.special_moduli)
     num_q = len(moduli)
@@ -55,11 +57,10 @@ def mod_down(poly: RNSPolynomial, params: CKKSParameters, level: int) -> RNSPoly
     for limb, conv in zip(poly.limbs[:num_q], p_part_in_q.limbs):
         q_i = limb.modulus
         p_inv = mod_inverse(p_product % q_i, q_i)
-        coeffs = [
-            ((a - b) * p_inv) % q_i
-            for a, b in zip(limb.coefficients, conv.coefficients)
-        ]
-        limbs.append(Polynomial(poly.ring_degree, q_i, coeffs))
+        coeffs = backend.sub_scaled(
+            limb.coefficients, conv.coefficients, p_inv, q_i
+        )
+        limbs.append(Polynomial._from_reduced(poly.ring_degree, q_i, coeffs))
     return RNSPolynomial(poly.ring_degree, target_basis, limbs)
 
 
@@ -68,8 +69,24 @@ def hybrid_keyswitch(
     keyswitch_key,
     params: CKKSParameters,
     level: int,
+    backend: "ArithmeticBackend | str | None" = None,
 ) -> Tuple[RNSPolynomial, RNSPolynomial]:
-    """Apply Algorithm 1 to ``d`` and return the ``(c0, c1)`` correction pair."""
+    """Apply Algorithm 1 to ``d`` and return the ``(c0, c1)`` correction pair.
+
+    ``backend`` optionally pins the arithmetic backend for the whole
+    keyswitch (BConv, inner product, ModDown); ``None`` keeps whatever is
+    active.
+    """
+    with use_backend(backend):
+        return _hybrid_keyswitch(d, keyswitch_key, params, level)
+
+
+def _hybrid_keyswitch(
+    d: RNSPolynomial,
+    keyswitch_key,
+    params: CKKSParameters,
+    level: int,
+) -> Tuple[RNSPolynomial, RNSPolynomial]:
     if len(d.limbs) != level + 1:
         raise ValueError(
             f"polynomial has {len(d.limbs)} limbs but level {level} expects {level + 1}"

@@ -12,15 +12,19 @@ NTT-substituted TFHE of the paper:
   (NTTU computes phase-1, the CUs compute phase-2), and it is validated
   against the direct transform in the tests.
 
-The transforms operate on Python-int lists (exact arithmetic); the sizes used
-in functional tests are small (N <= 2^12), where pure-Python NTT is fast
-enough and never overflows.
+The transforms execute on the active :mod:`repro.fhe.backend`
+(:func:`~repro.fhe.backend.active_backend`): the exact pure-Python reference
+by default, or the vectorized numpy backend when selected.  Both produce
+bit-identical results (enforced by ``tests/test_backend_parity.py``); an
+:class:`NTTContext` can also pin a specific backend via its ``backend``
+argument.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence
 
+from .backend import ArithmeticBackend, _bit_reverse_indices, active_backend
 from .modmath import find_2nth_root_of_unity, is_prime, mod_inverse
 
 __all__ = ["NTTContext", "bit_reverse_permutation", "four_step_ntt", "four_step_intt"]
@@ -28,16 +32,20 @@ __all__ = ["NTTContext", "bit_reverse_permutation", "four_step_ntt", "four_step_
 
 def bit_reverse_permutation(length: int) -> List[int]:
     """Return the bit-reversal permutation of ``range(length)`` (power of two)."""
-    if length & (length - 1):
-        raise ValueError("length must be a power of two")
-    bits = length.bit_length() - 1
-    return [int(format(i, f"0{bits}b")[::-1], 2) if bits else 0 for i in range(length)]
+    return list(_bit_reverse_indices(length))
 
 
 class NTTContext:
-    """Precomputed negacyclic NTT for a fixed ring degree and prime modulus."""
+    """Precomputed negacyclic NTT for a fixed ring degree and prime modulus.
 
-    def __init__(self, ring_degree: int, modulus: int):
+    ``backend`` pins the arithmetic backend used by this context's
+    transforms; the default (``None``) resolves the process-wide active
+    backend at every call, so a context transparently follows
+    :func:`~repro.fhe.backend.use_backend` selections.
+    """
+
+    def __init__(self, ring_degree: int, modulus: int,
+                 backend: "ArithmeticBackend | None" = None):
         if ring_degree <= 0 or ring_degree & (ring_degree - 1):
             raise ValueError("ring_degree must be a power of two")
         if not is_prime(modulus):
@@ -48,6 +56,7 @@ class NTTContext:
             )
         self.ring_degree = ring_degree
         self.modulus = modulus
+        self.backend = backend
         self.psi = find_2nth_root_of_unity(ring_degree, modulus)
         self.psi_inv = mod_inverse(self.psi, modulus)
         self.omega = (self.psi * self.psi) % modulus
@@ -57,6 +66,7 @@ class NTTContext:
         self._psi_inv_powers = self._powers(self.psi_inv)
         self._fwd_twiddles = self._bit_reversed_powers(self.psi)
         self._inv_twiddles = self._bit_reversed_powers(self.psi_inv)
+        self._four_step_twiddle_cache: dict = {}
 
     def _powers(self, base: int) -> List[int]:
         powers = [1] * self.ring_degree
@@ -65,7 +75,7 @@ class NTTContext:
         return powers
 
     def _bit_reversed_powers(self, base: int) -> List[int]:
-        powers = self._powers(base) if base == self.psi else None
+        powers = self._psi_powers if base == self.psi else None
         if powers is None:
             powers = [1] * self.ring_degree
             for i in range(1, self.ring_degree):
@@ -73,95 +83,68 @@ class NTTContext:
         order = bit_reverse_permutation(self.ring_degree)
         return [powers[order[i]] for i in range(self.ring_degree)]
 
+    def active_backend(self) -> ArithmeticBackend:
+        """The backend this context's transforms run on right now."""
+        return self.backend if self.backend is not None else active_backend()
+
     # -- forward / inverse ------------------------------------------------
     def forward(self, coefficients: Sequence[int]) -> List[int]:
         """Negacyclic forward NTT (coefficient -> evaluation representation)."""
-        n = self.ring_degree
-        if len(coefficients) != n:
-            raise ValueError(f"expected {n} coefficients, got {len(coefficients)}")
-        q = self.modulus
-        values = [int(c) % q for c in coefficients]
-        # Cooley-Tukey, decimation in time, merged psi twisting (Longa-Naehrig).
-        t = n
-        m = 1
-        while m < n:
-            t //= 2
-            for i in range(m):
-                j1 = 2 * i * t
-                j2 = j1 + t
-                s = self._fwd_twiddles[m + i]
-                for j in range(j1, j2):
-                    u = values[j]
-                    v = (values[j + t] * s) % q
-                    values[j] = (u + v) % q
-                    values[j + t] = (u - v) % q
-            m *= 2
-        return values
+        return self.active_backend().ntt_forward(self, coefficients)
 
     def inverse(self, values: Sequence[int]) -> List[int]:
         """Negacyclic inverse NTT (evaluation -> coefficient representation)."""
-        n = self.ring_degree
-        if len(values) != n:
-            raise ValueError(f"expected {n} values, got {len(values)}")
-        q = self.modulus
-        coeffs = [int(v) % q for v in values]
-        # Gentleman-Sande, decimation in frequency, merged psi^-1 twisting.
-        t = 1
-        m = n
-        while m > 1:
-            j1 = 0
-            h = m // 2
-            for i in range(h):
-                j2 = j1 + t
-                s = self._inv_twiddles[h + i]
-                for j in range(j1, j2):
-                    u = coeffs[j]
-                    v = coeffs[j + t]
-                    coeffs[j] = (u + v) % q
-                    coeffs[j + t] = ((u - v) * s) % q
-                j1 += 2 * t
-            t *= 2
-            m = h
-        return [(c * self.n_inv) % q for c in coeffs]
+        return self.active_backend().ntt_inverse(self, values)
 
     # -- convenience ------------------------------------------------------
     def negacyclic_convolution(
         self, a: Sequence[int], b: Sequence[int]
     ) -> List[int]:
         """Multiply two polynomials in Z_q[X]/(X^N+1) via the NTT."""
-        fa = self.forward(a)
-        fb = self.forward(b)
-        q = self.modulus
-        return self.inverse([(x * y) % q for x, y in zip(fa, fb)])
+        return self.active_backend().negacyclic_convolution(self, a, b)
 
     def pointwise_multiply(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
         """Element-wise modular multiplication (evaluation representation)."""
-        q = self.modulus
-        return [(int(x) * int(y)) % q for x, y in zip(a, b)]
+        return self.active_backend().mul(a, b, self.modulus)
+
+    # -- four-step twiddle tables ------------------------------------------
+    def four_step_twiddles(self, rows: int, inverse: bool = False) -> List[int]:
+        """Flattened ``omega^(r*c)`` table for the four-step decomposition.
+
+        Stored column-major — entry ``c * rows + r`` holds
+        ``omega^(+-r*c)`` — to match the matrix layout of
+        :func:`four_step_ntt`.  Cached per ``(rows, inverse)``.
+        """
+        key = (rows, inverse)
+        table = self._four_step_twiddle_cache.get(key)
+        if table is None:
+            n = self.ring_degree
+            q = self.modulus
+            cols = n // rows
+            base = self.omega_inv if inverse else self.omega
+            table = [0] * n
+            for c in range(cols):
+                factor = pow(base, c, q)
+                value = 1
+                offset = c * rows
+                for r in range(rows):
+                    table[offset + r] = value
+                    value = (value * factor) % q
+            self._four_step_twiddle_cache[key] = table
+        return table
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"NTTContext(N={self.ring_degree}, q={self.modulus})"
 
 
-def _cyclic_ntt(values: List[int], omega: int, modulus: int) -> List[int]:
-    """In-order iterative radix-2 *cyclic* NTT of a power-of-two length."""
-    n = len(values)
-    order = bit_reverse_permutation(n)
-    data = [values[order[i]] for i in range(n)]
-    length = 2
-    while length <= n:
-        w_len = pow(omega, n // length, modulus)
-        for start in range(0, n, length):
-            w = 1
-            half = length // 2
-            for j in range(start, start + half):
-                u = data[j]
-                v = (data[j + half] * w) % modulus
-                data[j] = (u + v) % modulus
-                data[j + half] = (u - v) % modulus
-                w = (w * w_len) % modulus
-        length *= 2
-    return data
+def _four_step_geometry(context: NTTContext, rows: int) -> int:
+    n = context.ring_degree
+    if n % rows != 0:
+        raise ValueError("rows must divide the ring degree")
+    cols = n // rows
+    if rows & (rows - 1) or cols & (cols - 1):
+        raise ValueError("rows and cols must both be powers of two")
+    return cols
 
 
 def four_step_ntt(context: NTTContext, coefficients: Sequence[int], rows: int) -> List[int]:
@@ -178,37 +161,36 @@ def four_step_ntt(context: NTTContext, coefficients: Sequence[int], rows: int) -
       3. twiddle-factor twist by omega^(r*c) plus transpose,
       4. row NTTs of size ``cols`` (phase-2, done by the CUs),
       and a final index permutation back to the standard NTT output order.
+
+    Each phase maps onto one backend primitive (element-wise multiply or a
+    batch of independent cyclic NTTs), so the whole decomposition runs
+    vectorized on the numpy backend.
     """
     n = context.ring_degree
-    if n % rows != 0:
-        raise ValueError("rows must divide the ring degree")
-    cols = n // rows
-    if rows & (rows - 1) or cols & (cols - 1):
-        raise ValueError("rows and cols must both be powers of two")
+    cols = _four_step_geometry(context, rows)
     q = context.modulus
+    backend = context.active_backend()
+    coeffs = [int(c) % q for c in coefficients]
     # Step 0: psi pre-twist makes the remaining problem a plain cyclic DFT.
-    twisted = [(int(coefficients[i]) * context._psi_powers[i]) % q for i in range(n)]
+    twisted = backend.mul(coeffs, context._psi_powers, q)
     # View as a rows x cols matrix stored row-major: element (r, c) = twisted[r*cols + c].
     # Cyclic DFT of size n decomposes as: column DFTs (size rows), twiddle, row DFTs (size cols).
-    omega = context.omega
-    omega_rows = pow(omega, cols, q)   # primitive `rows`-th root
-    omega_cols = pow(omega, rows, q)   # primitive `cols`-th root
+    omega_rows = pow(context.omega, cols, q)   # primitive `rows`-th root
+    omega_cols = pow(context.omega, rows, q)   # primitive `cols`-th root
     # Phase 1: DFT along columns (stride cols).
-    matrix = [[twisted[r * cols + c] for r in range(rows)] for c in range(cols)]
-    matrix = [_cyclic_ntt(column, omega_rows, q) for column in matrix]
-    # Twiddle: multiply element (r, c) by omega^(r*c).
-    for c in range(cols):
-        for r in range(rows):
-            matrix[c][r] = (matrix[c][r] * pow(omega, r * c, q)) % q
-    # Phase 2: DFT along rows (after transpose the "rows" of the result).
-    rows_data = [[matrix[c][r] for c in range(cols)] for r in range(rows)]
-    rows_data = [_cyclic_ntt(row, omega_cols, q) for row in rows_data]
+    columns = [twisted[c::cols] for c in range(cols)]
+    columns = backend.cyclic_ntt_batch(columns, omega_rows, q)
+    # Twiddle: multiply element (r, c) by omega^(r*c) (flattened column-major).
+    flat = [value for column in columns for value in column]
+    flat = backend.mul(flat, context.four_step_twiddles(rows), q)
+    # Phase 2: DFT along rows (after transposing the phase-1 result).
+    rows_data = [flat[r::rows] for r in range(rows)]
+    rows_data = backend.cyclic_ntt_batch(rows_data, omega_cols, q)
     # Output index k corresponds to (k mod rows, k div rows) in the two-phase result,
     # i.e. X[k1 + rows*k2] = rows_data[k1][k2].
     cyclic = [0] * n
     for k1 in range(rows):
-        for k2 in range(cols):
-            cyclic[k1 + rows * k2] = rows_data[k1][k2]
+        cyclic[k1::rows] = rows_data[k1]
     # `cyclic` holds the natural-order negacyclic NTT (X[k] at psi^(2k+1)).
     # NTTContext.forward emits bit-reversed order, so permute to match it.
     order = bit_reverse_permutation(n)
@@ -218,8 +200,9 @@ def four_step_ntt(context: NTTContext, coefficients: Sequence[int], rows: int) -
 def four_step_intt(context: NTTContext, values: Sequence[int], rows: int) -> List[int]:
     """Inverse of :func:`four_step_ntt` (validated against ``NTTContext.inverse``)."""
     n = context.ring_degree
+    cols = _four_step_geometry(context, rows)
     q = context.modulus
-    cols = n // rows
+    backend = context.active_backend()
     # Invert the cyclic DFT by running the same decomposition with omega^-1.
     omega_inv = context.omega_inv
     omega_rows_inv = pow(omega_inv, cols, q)
@@ -230,18 +213,14 @@ def four_step_intt(context: NTTContext, values: Sequence[int], rows: int) -> Lis
     natural = [0] * n
     for i in range(n):
         natural[order[i]] = int(values[i]) % q
-    rows_data = [[natural[k1 + rows * k2] for k2 in range(cols)] for k1 in range(rows)]
-    rows_data = [_cyclic_ntt(row, omega_cols_inv, q) for row in rows_data]
-    matrix = [[rows_data[r][c] for r in range(rows)] for c in range(cols)]
-    for c in range(cols):
-        for r in range(rows):
-            matrix[c][r] = (matrix[c][r] * pow(omega_inv, r * c, q)) % q
-    matrix = [_cyclic_ntt(column, omega_rows_inv, q) for column in matrix]
+    rows_data = [natural[k1::rows] for k1 in range(rows)]
+    rows_data = backend.cyclic_ntt_batch(rows_data, omega_cols_inv, q)
+    flat = [rows_data[r][c] for c in range(cols) for r in range(rows)]
+    flat = backend.mul(flat, context.four_step_twiddles(rows, inverse=True), q)
+    columns = [flat[c * rows:(c + 1) * rows] for c in range(cols)]
+    columns = backend.cyclic_ntt_batch(columns, omega_rows_inv, q)
     twisted = [0] * n
     for c in range(cols):
-        for r in range(rows):
-            twisted[r * cols + c] = matrix[c][r]
-    n_inv = context.n_inv
-    return [
-        (twisted[i] * n_inv % q) * context._psi_inv_powers[i] % q for i in range(n)
-    ]
+        twisted[c::cols] = columns[c]
+    scaled = backend.scalar_mul(twisted, context.n_inv, q)
+    return backend.mul(scaled, context._psi_inv_powers, q)

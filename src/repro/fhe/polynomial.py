@@ -14,6 +14,11 @@ and supports the operations the schemes need:
 
 Instances are immutable by convention: every operation returns a fresh
 polynomial and never mutates its inputs.
+
+The bulk arithmetic (add/sub/neg, scalar and NTT multiplication) executes on
+the active arithmetic backend (:mod:`repro.fhe.backend`): exact pure Python
+by default, vectorized numpy when selected.  All backends are bit-exact, so
+``Polynomial`` semantics never depend on the backend choice.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Sequence, Tuple
 
+from .backend import active_backend
 from .modmath import centered
 from .ntt import NTTContext
 
@@ -65,6 +71,21 @@ class Polynomial:
             self.coefficients = coeffs
 
     # -- constructors ------------------------------------------------------
+    @classmethod
+    def _from_reduced(cls, ring_degree: int, modulus: int,
+                      coefficients: List[int]) -> "Polynomial":
+        """Wrap a coefficient list that is already reduced into ``[0, q)``.
+
+        Backend vector ops guarantee reduced output, so the arithmetic
+        methods skip the per-coefficient validation of ``__init__``.  The
+        list is adopted, not copied — callers must hand over ownership.
+        """
+        poly = object.__new__(cls)
+        poly.ring_degree = ring_degree
+        poly.modulus = modulus
+        poly.coefficients = coefficients
+        return poly
+
     @classmethod
     def zero(cls, ring_degree: int, modulus: int) -> "Polynomial":
         """The additive identity."""
@@ -120,21 +141,25 @@ class Polynomial:
         return all(c == 0 for c in self.coefficients)
 
     # -- arithmetic ----------------------------------------------------------
+    # Element-wise ops and the NTT convolution dispatch to the active
+    # arithmetic backend (see repro.fhe.backend); every backend returns
+    # exact, fully-reduced coefficient lists.
     def __add__(self, other: "Polynomial") -> "Polynomial":
         self._check_compatible(other)
         q = self.modulus
-        coeffs = [(a + b) % q for a, b in zip(self.coefficients, other.coefficients)]
-        return Polynomial(self.ring_degree, q, coeffs)
+        coeffs = active_backend().add(self.coefficients, other.coefficients, q)
+        return Polynomial._from_reduced(self.ring_degree, q, coeffs)
 
     def __sub__(self, other: "Polynomial") -> "Polynomial":
         self._check_compatible(other)
         q = self.modulus
-        coeffs = [(a - b) % q for a, b in zip(self.coefficients, other.coefficients)]
-        return Polynomial(self.ring_degree, q, coeffs)
+        coeffs = active_backend().sub(self.coefficients, other.coefficients, q)
+        return Polynomial._from_reduced(self.ring_degree, q, coeffs)
 
     def __neg__(self) -> "Polynomial":
         q = self.modulus
-        return Polynomial(self.ring_degree, q, [(-a) % q for a in self.coefficients])
+        coeffs = active_backend().neg(self.coefficients, q)
+        return Polynomial._from_reduced(self.ring_degree, q, coeffs)
 
     def __mul__(self, other: "Polynomial | int") -> "Polynomial":
         if isinstance(other, int):
@@ -145,7 +170,7 @@ class Polynomial:
             coeffs = context.negacyclic_convolution(self.coefficients, other.coefficients)
         else:
             coeffs = self._schoolbook_multiply(other)
-        return Polynomial(self.ring_degree, self.modulus, coeffs)
+        return Polynomial._from_reduced(self.ring_degree, self.modulus, coeffs)
 
     __rmul__ = __mul__
 
@@ -170,10 +195,8 @@ class Polynomial:
     def scalar_multiply(self, scalar: int) -> "Polynomial":
         """Multiply every coefficient by an integer scalar."""
         q = self.modulus
-        scalar %= q
-        return Polynomial(
-            self.ring_degree, q, [(c * scalar) % q for c in self.coefficients]
-        )
+        coeffs = active_backend().scalar_mul(self.coefficients, scalar % q, q)
+        return Polynomial._from_reduced(self.ring_degree, q, coeffs)
 
     def multiply_by_monomial(self, degree: int) -> "Polynomial":
         """Return ``self * X^degree`` (negacyclic rotation; degree may be negative)."""

@@ -24,6 +24,7 @@ from __future__ import annotations
 import math
 from typing import Iterable, List, Sequence
 
+from .backend import active_backend
 from .modmath import mod_inverse
 from .polynomial import Polynomial
 
@@ -211,17 +212,17 @@ class RNSPolynomial:
         """
         if len(self.limbs) <= 1:
             raise ValueError("cannot rescale a polynomial with a single limb")
+        backend = active_backend()
         last = self.limbs[-1]
         q_last = last.modulus
         new_limbs = []
         for limb in self.limbs[:-1]:
             q_i = limb.modulus
             inv = mod_inverse(q_last % q_i, q_i)
-            coeffs = [
-                ((a - b) * inv) % q_i
-                for a, b in zip(limb.coefficients, last.coefficients)
-            ]
-            new_limbs.append(Polynomial(self.ring_degree, q_i, coeffs))
+            coeffs = backend.sub_scaled(
+                limb.coefficients, last.coefficients, inv, q_i
+            )
+            new_limbs.append(Polynomial._from_reduced(self.ring_degree, q_i, coeffs))
         return RNSPolynomial(
             self.ring_degree, self.basis.subset(len(self.limbs) - 1), new_limbs
         )
@@ -263,19 +264,17 @@ def fast_basis_conversion(
     The arithmetic structure (an ``alpha x N`` by ``l x alpha`` matrix product)
     is what the hardware model maps onto the systolic side of the CUs.
     """
+    backend = active_backend()
     source = poly.basis
     n = poly.ring_degree
     # Per-limb scaled residues: x_i * (Q/q_i)^{-1} mod q_i.
     scaled = []
-    for limb, comp, inv in zip(poly.limbs, source._crt_complements, source._crt_inverses):
+    for limb, inv in zip(poly.limbs, source._crt_inverses):
         q_i = limb.modulus
-        scaled.append([(c * inv) % q_i for c in limb.coefficients])
+        scaled.append(backend.scalar_mul(limb.coefficients, inv, q_i))
     target_limbs = []
     for p_j in target_basis:
         comp_mod_p = [comp % p_j for comp in source._crt_complements]
-        coeffs = [0] * n
-        for limb_scaled, comp in zip(scaled, comp_mod_p):
-            for idx in range(n):
-                coeffs[idx] = (coeffs[idx] + limb_scaled[idx] * comp) % p_j
-        target_limbs.append(Polynomial(n, p_j, coeffs))
+        coeffs = backend.weighted_sum(scaled, comp_mod_p, p_j)
+        target_limbs.append(Polynomial._from_reduced(n, p_j, coeffs))
     return RNSPolynomial(n, target_basis, target_limbs)

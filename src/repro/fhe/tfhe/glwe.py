@@ -14,6 +14,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from ..backend import ArithmeticBackend, use_backend
 from ..params import TFHEParameters
 from ..polynomial import Polynomial, sample_gaussian, sample_uniform
 
@@ -118,10 +119,16 @@ class GLWECiphertext:
 
 
 class GLWEContext:
-    """Encrypt/decrypt polynomial messages under a TFHE parameter set."""
+    """Encrypt/decrypt polynomial messages under a TFHE parameter set.
 
-    def __init__(self, params: TFHEParameters, seed: int = 0):
+    ``backend`` pins the arithmetic backend used by this context's ring
+    operations (encryption mask products and phase computation).
+    """
+
+    def __init__(self, params: TFHEParameters, seed: int = 0,
+                 backend: "ArithmeticBackend | str | None" = None):
         self.params = params
+        self.backend = backend
         self.rng = random.Random(seed ^ 0x61E3)
         n = params.polynomial_size
         q = params.modulus
@@ -143,14 +150,16 @@ class GLWEContext:
             error = sample_gaussian(n, q, self.rng, stddev)
         else:
             error = Polynomial.zero(n, q)
-        body = error + message
-        for a, s in zip(mask, self.secret.polynomials):
-            body = body + a * s
+        with use_backend(self.backend):
+            body = error + message
+            for a, s in zip(mask, self.secret.polynomials):
+                body = body + a * s
         return GLWECiphertext(mask=mask, body=body)
 
     def phase(self, ciphertext: GLWECiphertext) -> Polynomial:
         """``B - sum_i A_i * S_i``: the encoded message plus noise."""
-        result = ciphertext.body
-        for a, s in zip(ciphertext.mask, self.secret.polynomials):
-            result = result - a * s
+        with use_backend(self.backend):
+            result = ciphertext.body
+            for a, s in zip(ciphertext.mask, self.secret.polynomials):
+                result = result - a * s
         return result

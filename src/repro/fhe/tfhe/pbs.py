@@ -22,6 +22,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, List, Sequence
 
+from ..backend import ArithmeticBackend, use_backend
 from ..params import TFHEParameters
 from ..polynomial import Polynomial
 from .ggsw import GGSWCiphertext, GGSWContext, cmux, gadget_factors
@@ -173,16 +174,24 @@ def lwe_keyswitch(ciphertext: LWECiphertext, ksk: KeySwitchingKey,
 # ---------------------------------------------------------------------------
 
 class TFHEContext:
-    """A complete TFHE instance: LWE + GLWE keys, bsk, ksk, and PBS."""
+    """A complete TFHE instance: LWE + GLWE keys, bsk, ksk, and PBS.
 
-    def __init__(self, params: TFHEParameters, seed: int = 0):
+    ``backend`` pins the arithmetic backend for every ring operation rooted
+    at this context — key generation and the full PBS pipeline — so an
+    end-to-end bootstrap runs entirely on the chosen implementation.
+    """
+
+    def __init__(self, params: TFHEParameters, seed: int = 0,
+                 backend: "ArithmeticBackend | str | None" = None):
         self.params = params
+        self.backend = backend
         self.rng = random.Random(seed ^ 0x7F4E)
         self.lwe = LWEContext(params, seed=seed)
-        self.glwe = GLWEContext(params, seed=seed)
+        self.glwe = GLWEContext(params, seed=seed, backend=backend)
         self.ggsw = GGSWContext(params, self.glwe)
-        self.bootstrapping_key = self._make_bootstrapping_key()
-        self.keyswitching_key = self._make_keyswitching_key()
+        with use_backend(backend):
+            self.bootstrapping_key = self._make_bootstrapping_key()
+            self.keyswitching_key = self._make_keyswitching_key()
 
     # -- key generation ------------------------------------------------------
     def _make_bootstrapping_key(self) -> BootstrappingKey:
@@ -238,11 +247,12 @@ class TFHEContext:
     ) -> LWECiphertext:
         """Full PBS (Algorithm 2): ModSwitch, blind rotation, extract, keyswitch."""
         params = self.params
-        test_vector = test_vector if test_vector is not None else self.identity_test_vector()
-        switched = modulus_switch(ciphertext, 2 * params.polynomial_size)
-        accumulator = blind_rotate(test_vector, switched, self.bootstrapping_key)
-        extracted = sample_extract(accumulator, 0)
-        return lwe_keyswitch(extracted, self.keyswitching_key, params.lwe_dimension)
+        with use_backend(self.backend):
+            test_vector = test_vector if test_vector is not None else self.identity_test_vector()
+            switched = modulus_switch(ciphertext, 2 * params.polynomial_size)
+            accumulator = blind_rotate(test_vector, switched, self.bootstrapping_key)
+            extracted = sample_extract(accumulator, 0)
+            return lwe_keyswitch(extracted, self.keyswitching_key, params.lwe_dimension)
 
     def bootstrap_function(self, ciphertext: LWECiphertext,
                            function: Callable[[int], int]) -> LWECiphertext:

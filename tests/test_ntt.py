@@ -7,11 +7,25 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.fhe import modmath
+from repro.fhe.backend import NumpyBackend, PythonBackend, available_backends, use_backend
 from repro.fhe.ntt import NTTContext, bit_reverse_permutation, four_step_intt, four_step_ntt
 
 
 def make_context(degree=64, bits=24):
     return NTTContext(degree, modmath.find_ntt_prime(bits, degree))
+
+
+def _backend_instances():
+    """Both backends, with the numpy thresholds forced to 0 so the
+    vectorized paths are exercised at every test size."""
+    backends = [PythonBackend()]
+    if "numpy" in available_backends():
+        backends.append(NumpyBackend(min_vector_length=0, min_ntt_length=0))
+    return backends
+
+
+BACKENDS = _backend_instances()
+BACKEND_IDS = [backend.name for backend in BACKENDS]
 
 
 def naive_negacyclic_multiply(a, b, modulus):
@@ -133,3 +147,68 @@ class TestFourStepNTT:
         context = make_context(64)
         with pytest.raises(ValueError):
             four_step_ntt(context, [0] * 64, 24)
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+class TestNTTPropertiesPerBackend:
+    """The satellite property suite: every law must hold on every backend."""
+
+    @pytest.mark.parametrize("degree", [8, 64, 1024])
+    def test_roundtrip(self, backend, degree):
+        """intt(ntt(x)) == x at N in {8, 64, 1024}."""
+        context = make_context(degree, bits=40)
+        rng = random.Random(degree * 11)
+        coeffs = [rng.randrange(context.modulus) for _ in range(degree)]
+        with use_backend(backend):
+            assert context.inverse(context.forward(coeffs)) == coeffs
+
+    @pytest.mark.parametrize("degree,rows", [(8, 2), (64, 8), (1024, 32), (1024, 8)])
+    def test_four_step_matches_direct(self, backend, degree, rows):
+        """Four-step decomposition vs the direct transform, both directions."""
+        context = make_context(degree, bits=40)
+        rng = random.Random(degree + rows)
+        coeffs = [rng.randrange(context.modulus) for _ in range(degree)]
+        with use_backend(backend):
+            values = four_step_ntt(context, coeffs, rows)
+            assert values == context.forward(coeffs)
+            assert four_step_intt(context, values, rows) == coeffs
+
+    @pytest.mark.parametrize("degree", [8, 64, 1024])
+    def test_convolution_matches_schoolbook(self, backend, degree):
+        """NTT negacyclic convolution vs the O(N^2) schoolbook multiply."""
+        context = make_context(degree, bits=40)
+        rng = random.Random(degree * 13)
+        q = context.modulus
+        a = [rng.randrange(q) for _ in range(degree)]
+        b = [rng.randrange(q) for _ in range(degree)]
+        expected = naive_negacyclic_multiply(a, b, q)
+        with use_backend(backend):
+            assert context.negacyclic_convolution(a, b) == expected
+
+    def test_linearity_and_convolution_theorem(self, backend):
+        """forward is linear and diagonalizes the ring product."""
+        context = make_context(64, bits=40)
+        rng = random.Random(17)
+        q = context.modulus
+        a = [rng.randrange(q) for _ in range(64)]
+        b = [rng.randrange(q) for _ in range(64)]
+        with use_backend(backend):
+            fa, fb = context.forward(a), context.forward(b)
+            fsum = context.forward([(x + y) % q for x, y in zip(a, b)])
+            assert fsum == [(x + y) % q for x, y in zip(fa, fb)]
+            product = context.inverse(context.pointwise_multiply(fa, fb))
+            assert product == context.negacyclic_convolution(a, b)
+
+    def test_pinned_backend_on_context(self, backend):
+        """An NTTContext constructed with backend= uses it regardless of the
+        process-wide selection."""
+        degree = 64
+        q = modmath.find_ntt_prime(40, degree)
+        pinned = NTTContext(degree, q, backend=backend)
+        rng = random.Random(19)
+        coeffs = [rng.randrange(q) for _ in range(degree)]
+        reference = NTTContext(degree, q)
+        with use_backend(PythonBackend()):
+            expected = reference.forward(coeffs)
+        assert pinned.forward(coeffs) == expected
+        assert pinned.active_backend() is backend

@@ -1,9 +1,19 @@
-"""Tests for multi-application workload allocation (Section IV-K)."""
+"""Tests for multi-application workload allocation (Section IV-K) and the
+cycle-accounting internals of :class:`repro.core.simulator.TrinitySimulator`.
+
+The simulator tests pin the exact arithmetic of the performance model with
+hand-computed cycle counts: per-unit busy-cycle bookkeeping, repeat-step
+accounting, pipeline fill/drain overhead, the memory roofline, and cluster
+work division.
+"""
 
 import pytest
 
-from repro.core.config import DEFAULT_TRINITY_CONFIG
+from repro.core.config import DEFAULT_TRINITY_CONFIG, MemoryConfig, TrinityConfig
+from repro.core.mapping import trinity_ckks_mapping
 from repro.core.scheduler import WorkloadScheduler
+from repro.core.simulator import TrinitySimulator
+from repro.kernels.kernel import Kernel, KernelKind, KernelStep, KernelTrace
 from repro.fhe.params import CKKS_DEFAULT, TFHE_SET_I
 from repro.workloads import helr_workload, pbs_workload
 
@@ -59,3 +69,158 @@ class TestInterleavedScheduling:
         report = WorkloadScheduler().run_interleaved([ckks_job, tfhe_job])
         assert report.sequential_seconds > report.interleaved_seconds > 0
         assert set(report.workload_names) == {ckks_job.name, tfhe_job.name}
+
+
+# ---------------------------------------------------------------------------
+# Simulator cycle accounting (hand-computed expectations)
+# ---------------------------------------------------------------------------
+#
+# All expectations below are derived from first principles for a one-cluster
+# Trinity at 1 GHz with the Table III unit inventory:
+#   EWE:   512 element-wise lanes/cycle
+#   AutoU: 256 permute lanes/cycle
+#   CUs:   columns (1,2,2,2,2,3) x 128 rows = 1536 MAC lanes/cycle aggregate
+#   scratchpad: 9000 GB/s => 9000 bytes/cycle per cluster at 1 GHz
+#   word: 36 bits = 4.5 bytes
+#   pipeline fill: 40 cycles per step (40/4 = 10 when repeat > 1)
+
+FILL = 40
+
+
+@pytest.fixture(scope="module")
+def one_cluster_config():
+    return TrinityConfig(clusters=1, pipeline_fill_cycles=FILL, name="test-1c")
+
+
+@pytest.fixture(scope="module")
+def one_cluster_sim(one_cluster_config):
+    return TrinitySimulator(one_cluster_config, trinity_ckks_mapping(one_cluster_config))
+
+
+def _trace(steps, name="unit-test", scheme="ckks"):
+    return KernelTrace(name=name, steps=steps, scheme=scheme)
+
+
+class TestSimulatorStepCost:
+    def test_elementwise_kernel_cycle_count(self, one_cluster_sim):
+        # ModAdd over 1024 elements on the 512-lane EWE: 1024/512 = 2 cycles
+        # of compute; memory moves 1024 * 4.5 B * 2 = 9216 B at 9000 B/cycle
+        # = 1.024 cycles < compute, so the step is compute-bound.
+        step = KernelStep(kernels=[Kernel(KernelKind.MODADD, poly_length=1024)])
+        report = one_cluster_sim.run(_trace([step]))
+        assert report.latency_cycles == pytest.approx(2 + FILL)
+        assert report.unit_busy_cycles["EWE"] == pytest.approx(2.0)
+        assert report.throughput_cycles == pytest.approx(2.0)
+        assert report.memory_cycles == pytest.approx(9216 / 9000)
+
+    def test_mac_kernel_splits_work_across_all_cus(self, one_cluster_sim):
+        # BConv work = count * N * inner = 3 * 256 * 4 = 3072 MACs over the
+        # 1536-lane CU pool: 2 cycles, during which EVERY assigned CU is busy
+        # for the full duration (they each process a throughput-share).
+        kernel = Kernel(KernelKind.BCONV, poly_length=256, count=3, inner=4)
+        report = one_cluster_sim.run(_trace([KernelStep(kernels=[kernel])]))
+        assert report.latency_cycles == pytest.approx(2 + FILL)
+        cu_busy = {name: busy for name, busy in report.unit_busy_cycles.items()
+                   if name.startswith("CU-")}
+        assert len(cu_busy) == 6
+        for busy in cu_busy.values():
+            assert busy == pytest.approx(2.0)
+        # MAC kernels stream three operands: 768 elements * 4.5 B * 3.
+        assert report.memory_cycles == pytest.approx(768 * 4.5 * 3 / 9000)
+
+    def test_kernels_sharing_a_unit_serialize_within_the_step(self, one_cluster_sim):
+        # ModAdd and ModMul both land on the EWE (2 cycles each => 4 total);
+        # the Auto kernel runs concurrently on the 256-lane AutoU (4 cycles).
+        # Step compute time is the busiest unit: max(4, 4) = 4.
+        step = KernelStep(kernels=[
+            Kernel(KernelKind.MODADD, poly_length=1024),
+            Kernel(KernelKind.MODMUL, poly_length=1024),
+            Kernel(KernelKind.AUTO, poly_length=1024),
+        ])
+        report = one_cluster_sim.run(_trace([step]))
+        assert report.unit_busy_cycles["EWE"] == pytest.approx(4.0)
+        assert report.unit_busy_cycles["AutoU"] == pytest.approx(4.0)
+        assert report.latency_cycles == pytest.approx(4 + FILL)
+
+    def test_unmapped_kernel_raises(self, one_cluster_config):
+        # A mapping with no unit for a kernel kind must fail loudly.
+        mapping = trinity_ckks_mapping(one_cluster_config)
+        del mapping.assignments[KernelKind.MODADD]
+        sim = TrinitySimulator(one_cluster_config, mapping)
+        step = KernelStep(kernels=[Kernel(KernelKind.MODADD, poly_length=64)])
+        with pytest.raises(ValueError, match="no unit for kernel kind"):
+            sim.run(_trace([step]))
+
+
+class TestSimulatorRepeatAccounting:
+    def test_repeated_step_multiplies_iteration_cost(self, one_cluster_sim):
+        # repeat=5 models a strict dependency chain: 5 iterations of the
+        # 2-cycle ModAdd, each paying the REDUCED fill overhead (40/4 = 10).
+        step = KernelStep(kernels=[Kernel(KernelKind.MODADD, poly_length=1024)],
+                          repeat=5)
+        report = one_cluster_sim.run(_trace([step]))
+        assert report.latency_cycles == pytest.approx((2 + FILL / 4) * 5)
+        # Busy cycles and memory scale with the repeat count, overhead not.
+        assert report.unit_busy_cycles["EWE"] == pytest.approx(10.0)
+        assert report.memory_cycles == pytest.approx(5 * 9216 / 9000)
+
+    def test_single_iteration_pays_full_fill_overhead(self, one_cluster_sim):
+        single = KernelStep(kernels=[Kernel(KernelKind.MODADD, poly_length=1024)])
+        report = one_cluster_sim.run(_trace([single]))
+        assert report.latency_cycles - report.unit_busy_cycles["EWE"] == pytest.approx(FILL)
+
+    def test_step_latencies_add_across_the_trace(self, one_cluster_sim):
+        steps = [
+            KernelStep(kernels=[Kernel(KernelKind.MODADD, poly_length=1024)]),
+            KernelStep(kernels=[Kernel(KernelKind.AUTO, poly_length=1024)]),
+            KernelStep(kernels=[Kernel(KernelKind.MODMUL, poly_length=512)], repeat=2),
+        ]
+        report = one_cluster_sim.run(_trace(steps))
+        expected = (2 + FILL) + (4 + FILL) + (1 + FILL / 4) * 2
+        assert report.latency_cycles == pytest.approx(expected)
+        assert report.step_cycles == pytest.approx([2 + FILL, 4 + FILL, (1 + FILL / 4) * 2])
+        # Throughput is the busiest unit overall: EWE did 2 + 2*1 = 4 cycles.
+        assert report.throughput_cycles == pytest.approx(4.0)
+
+
+class TestSimulatorRooflineAndClusters:
+    def test_memory_bound_step_is_charged_memory_cycles(self):
+        # Shrink the scratchpad to 90 B/cycle: the 9216-byte ModAdd transfer
+        # needs 102.4 cycles, dominating the 2 compute cycles.
+        config = TrinityConfig(
+            clusters=1, pipeline_fill_cycles=FILL,
+            memory=MemoryConfig(scratchpad_bandwidth_gbps=90.0),
+            name="test-slow-mem",
+        )
+        sim = TrinitySimulator(config, trinity_ckks_mapping(config))
+        step = KernelStep(kernels=[Kernel(KernelKind.MODADD, poly_length=1024)])
+        report = sim.run(_trace([step]))
+        assert report.memory_cycles == pytest.approx(9216 / 90)
+        assert report.latency_cycles == pytest.approx(9216 / 90 + FILL)
+        # Busy time still reflects compute only.
+        assert report.unit_busy_cycles["EWE"] == pytest.approx(2.0)
+
+    def test_clusters_divide_compute_and_scale_bandwidth(self):
+        config = TrinityConfig(clusters=4, pipeline_fill_cycles=FILL, name="test-4c")
+        sim = TrinitySimulator(config, trinity_ckks_mapping(config))
+        step = KernelStep(kernels=[Kernel(KernelKind.MODADD, poly_length=1024)])
+        report = sim.run(_trace([step]))
+        # Work per cluster: 1024/4 = 256 elements -> 0.5 cycles on the EWE;
+        # aggregate scratchpad bandwidth: 4 * 9000 B/cycle.
+        assert report.unit_busy_cycles["EWE"] == pytest.approx(0.5)
+        assert report.memory_cycles == pytest.approx(9216 / 36000)
+        assert report.latency_cycles == pytest.approx(0.5 + FILL)
+
+    def test_utilization_and_throughput_report(self, one_cluster_sim, one_cluster_config):
+        step = KernelStep(kernels=[Kernel(KernelKind.MODADD, poly_length=1024)])
+        report = one_cluster_sim.run(_trace([step]))
+        util = report.utilization()
+        assert util["EWE"] == pytest.approx(2 / (2 + FILL))
+        # Units that did nothing report zero utilization; the average covers
+        # only units that did work by default.
+        assert util["AutoU"] == 0.0
+        assert report.average_utilization() == pytest.approx(2 / (2 + FILL))
+        assert report.operations_per_second == pytest.approx(
+            one_cluster_config.frequency_ghz * 1e9 / report.throughput_cycles
+        )
+        assert report.latency_seconds == pytest.approx(report.latency_cycles / 1e9)
