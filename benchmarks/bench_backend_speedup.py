@@ -21,11 +21,12 @@ Run directly (the CI benchmarks job uses ``--quick``)::
 from __future__ import annotations
 
 import argparse
-import json
 import random
 import sys
 import time
 from typing import Callable, Dict, List
+
+import conftest
 
 from repro.fhe import modmath
 from repro.fhe.backend import NumpyBackend, PythonBackend, available_backends
@@ -121,8 +122,7 @@ def main(argv: List[str] | None = None) -> int:
                         help="small sizes and fewer repeats (CI smoke pass)")
     parser.add_argument("--no-check", dest="check", action="store_false",
                         help="skip the >=10x acceptance assertion")
-    parser.add_argument("--json", metavar="PATH",
-                        help="also write the records as JSON")
+    conftest.add_json_argument(parser, "backend_speedup")
     args = parser.parse_args(argv)
 
     if "numpy" not in available_backends():
@@ -138,9 +138,10 @@ def main(argv: List[str] | None = None) -> int:
     print_table(records)
 
     if args.json:
-        with open(args.json, "w") as handle:
-            json.dump(records, handle, indent=2)
-        print(f"\nwrote {args.json}")
+        path = conftest.write_bench_json(
+            args.json, "backend_speedup", records, extra={"quick": args.quick}
+        )
+        print(f"\nwrote {path}")
 
     headline = next(
         rec for rec in records

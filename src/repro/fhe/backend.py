@@ -48,6 +48,9 @@ __all__ = [
     "ArithmeticBackend",
     "PythonBackend",
     "NumpyBackend",
+    "PerLimbNumpyBackend",
+    "PermSpec",
+    "BConvPlan",
     "available_backends",
     "get_backend",
     "active_backend",
@@ -78,6 +81,47 @@ def _bit_reverse_indices(length: int) -> tuple:
             value >>= 1
         result[i] = rev
     return tuple(result)
+
+
+class PermSpec:
+    """A signed coefficient permutation of a power-of-two ring.
+
+    ``dest[i]`` is the destination index of source coefficient ``i`` and
+    ``negate[i]`` says whether it picks up a minus sign.  Both monomial
+    multiplication and the Galois automorphisms of ``Z_q[X]/(X^N+1)`` have
+    exactly this shape, so one backend kernel serves both.  ``cache`` is
+    scratch space where a backend may stash derived tables (e.g. numpy index
+    arrays) keyed by its own name; specs are built once per ``(N, exponent)``
+    and cached by the ring layer, so the tables amortize.
+    """
+
+    __slots__ = ("dest", "negate", "cache")
+
+    def __init__(self, dest: Sequence[int], negate: Sequence[bool]):
+        self.dest = tuple(dest)
+        self.negate = tuple(negate)
+        self.cache: Dict[str, object] = {}
+
+
+class BConvPlan:
+    """Precomputed tables for one ``source basis -> target basis`` BConv.
+
+    ``inverses[i]`` is ``(Q/q_i)^{-1} mod q_i`` and ``weights[j][i]`` the
+    complement ``(Q/q_i) mod p_j`` — i.e. the ``(target x source)`` matrix of
+    the fast-basis-conversion matrix product.  Plans are built once per
+    ``(source, target)`` basis pair (see :mod:`repro.fhe.rns`); ``cache``
+    holds backend-derived tables (Shoup constants etc.) keyed by backend
+    name.
+    """
+
+    __slots__ = ("source_moduli", "target_moduli", "inverses", "weights", "cache")
+
+    def __init__(self, source_moduli, target_moduli, inverses, weights):
+        self.source_moduli = tuple(int(q) for q in source_moduli)
+        self.target_moduli = tuple(int(p) for p in target_moduli)
+        self.inverses = tuple(int(v) for v in inverses)
+        self.weights = tuple(tuple(int(w) for w in row) for row in weights)
+        self.cache: Dict[str, object] = {}
 
 
 class ArithmeticBackend:
@@ -116,6 +160,293 @@ class ArithmeticBackend:
     def weighted_sum(self, rows: Sequence[Sequence[int]], weights: Sequence[int], q: int) -> List[int]:
         """``sum_i rows[i] * weights[i] mod q`` — the BConv accumulation kernel."""
         raise NotImplementedError
+
+    # -- packed limb-major (RNS) kernels -----------------------------------
+    #
+    # A *limb store* is an opaque, backend-owned representation of an RNS
+    # polynomial: ``L`` coefficient rows, row ``i`` reduced modulo
+    # ``moduli[i]``.  The reference representation (this base class, and the
+    # fallback of every vectorized backend) is a plain list of coefficient
+    # lists; the numpy backend packs the rows into a single ``(L, N)``
+    # uint64 matrix so that a whole RNS operation is one vectorized
+    # dispatch.  Both representations support ``len()`` and row slicing
+    # (``store[a:b]``), and stores are immutable by convention — kernels
+    # always allocate their outputs.  The base implementations below loop
+    # over the per-limb scalar kernels and are therefore the bit-exact
+    # golden reference for every vectorized override.
+
+    @staticmethod
+    def store_rows(store) -> List[List[int]]:
+        """Materialize a limb store as a list of python-int coefficient rows."""
+        tolist = getattr(store, "tolist", None)
+        if tolist is not None:
+            return tolist()
+        return [row if isinstance(row, list) else list(row) for row in store]
+
+    @staticmethod
+    def _row_ints(row) -> List[int]:
+        """Materialize a single coefficient row as a list of python ints."""
+        tolist = getattr(row, "tolist", None)
+        if tolist is not None:
+            return tolist()
+        return row if isinstance(row, list) else list(row)
+
+    @staticmethod
+    def _is_store(rows) -> bool:
+        """True when ``rows`` is a limb store (matrix) rather than one row."""
+        ndim = getattr(rows, "ndim", None)
+        if ndim is not None:
+            return ndim == 2
+        return len(rows) > 0 and not isinstance(rows[0], int)
+
+    def pack_limbs(self, rows, moduli) -> object:
+        """Pack already-reduced coefficient rows into this backend's store."""
+        return self.store_rows(rows)
+
+    def unpack_limbs(self, store) -> List[List[int]]:
+        """Inverse of :meth:`pack_limbs` (always python-int rows)."""
+        return self.store_rows(store)
+
+    def limbs_zero(self, count: int, length: int) -> object:
+        """An all-zero store of ``count`` rows of ``length`` coefficients."""
+        return [[0] * length for _ in range(count)]
+
+    def limbs_add(self, a, b, moduli):
+        return [
+            self.add(x, y, q)
+            for x, y, q in zip(self.store_rows(a), self.store_rows(b), moduli)
+        ]
+
+    def limbs_sub(self, a, b, moduli):
+        return [
+            self.sub(x, y, q)
+            for x, y, q in zip(self.store_rows(a), self.store_rows(b), moduli)
+        ]
+
+    def limbs_neg(self, a, moduli):
+        return [self.neg(x, q) for x, q in zip(self.store_rows(a), moduli)]
+
+    def limbs_mul(self, a, b, moduli):
+        """Element-wise per-limb product (NTT-domain pointwise multiply)."""
+        return [
+            self.mul(x, y, q)
+            for x, y, q in zip(self.store_rows(a), self.store_rows(b), moduli)
+        ]
+
+    def limbs_scalar_mul(self, a, scalars, moduli):
+        """Per-limb scalar product: row ``i`` times ``scalars[i]`` mod ``q_i``."""
+        return [
+            self.scalar_mul(x, s, q)
+            for x, s, q in zip(self.store_rows(a), scalars, moduli)
+        ]
+
+    def batched_sub_scaled(self, a, b, scalars, moduli, b_modulus: "int | None" = None):
+        """Row-wise fused Rescale/ModDown: ``(a_i - b_i) * scalars[i] mod q_i``.
+
+        ``b`` is either a full store (one row per limb, e.g. ModDown's
+        converted P-part, already reduced per target modulus) or a single
+        row shared by every limb (Rescale's dropped limb).  ``b_modulus``
+        optionally names the modulus a single-row ``b`` is reduced under;
+        the values are re-reduced per target limb either way, the hint just
+        lets vectorized backends pick a cheaper reduction.
+        """
+        rows_a = self.store_rows(a)
+        if self._is_store(b):
+            rows_b = self.store_rows(b)
+        else:
+            row = self._row_ints(b)
+            rows_b = [row] * len(rows_a)
+        return [
+            self.sub_scaled(x, y, s, q)
+            for x, y, s, q in zip(rows_a, rows_b, scalars, moduli)
+        ]
+
+    def bconv_matmul(self, store, plan: "BConvPlan"):
+        """Fast basis conversion as one modular matrix product (**BConv**).
+
+        Computes ``y_j = sum_i [x_i * (Q/q_i)^{-1} mod q_i] * (Q/q_i) mod p_j``
+        for every target modulus using the precomputed tables in ``plan``.
+        Returns a store over the target moduli.
+        """
+        rows = self.store_rows(store)
+        scaled = [
+            self.scalar_mul(row, inv, q)
+            for row, inv, q in zip(rows, plan.inverses, plan.source_moduli)
+        ]
+        return [
+            self.weighted_sum(scaled, weights, p)
+            for weights, p in zip(plan.weights, plan.target_moduli)
+        ]
+
+    def batched_ntt(self, contexts, store):
+        """Forward NTT of every limb row (row ``i`` under ``contexts[i]``)."""
+        return [
+            self.ntt_forward(ctx, row)
+            for ctx, row in zip(contexts, self.store_rows(store))
+        ]
+
+    def batched_intt(self, contexts, store):
+        """Inverse NTT of every limb row (row ``i`` under ``contexts[i]``)."""
+        return [
+            self.ntt_inverse(ctx, row)
+            for ctx, row in zip(contexts, self.store_rows(store))
+        ]
+
+    def limbs_convolution(self, contexts, a, b):
+        """Negacyclic convolution of matching limb rows."""
+        return [
+            self.negacyclic_convolution(ctx, x, y)
+            for ctx, x, y in zip(contexts, self.store_rows(a), self.store_rows(b))
+        ]
+
+    def limbs_eval_key(self, contexts, store):
+        """Prepare a fixed multiplicand (an evaluation key) for repeated
+        limb-wise products.
+
+        Returns an opaque ``(form, payload, raw_store)`` handle consumed by
+        :meth:`limbs_mac_eval`.  Every handle keeps a reference to the raw
+        coefficient store (the key object owns it anyway), so any backend
+        can always fall back to a plain convolution; vectorized backends
+        additionally carry the key's forward NTT in their preferred
+        internal form, so repeated keyswitches against the same key skip
+        half the transforms.
+        """
+        return ("raw", None, store)
+
+    def limbs_mac_eval(self, contexts, store, key_handles):
+        """Negacyclic products of ``store`` with several prepared keys.
+
+        Computes ``[store * key for key in key_handles]`` limb-wise, sharing
+        the forward transform of ``store`` across all keys.  Returns one
+        result store per handle.
+        """
+        return [
+            self.limbs_convolution(contexts, store, handle[2])
+            for handle in key_handles
+        ]
+
+    def signed_permute(self, values, q: int, spec: "PermSpec") -> List[int]:
+        """Apply a signed coefficient permutation (monomial mul / automorphism)."""
+        out = [0] * len(values)
+        dest = spec.dest
+        negate = spec.negate
+        for i, value in enumerate(values):
+            value = int(value)
+            out[dest[i]] = (q - value) % q if negate[i] else value
+        return out
+
+    def limbs_signed_permute(self, store, moduli, spec: "PermSpec"):
+        """Apply one signed permutation to every limb row."""
+        return [
+            self.signed_permute(row, q, spec)
+            for row, q in zip(self.store_rows(store), moduli)
+        ]
+
+    # -- same-modulus row batches (TFHE external product) ------------------
+    def ntt_forward_batch(self, context, rows):
+        """Independent forward NTTs of several rows under one modulus."""
+        return [self.ntt_forward(context, row) for row in rows]
+
+    def ntt_inverse_batch(self, context, rows):
+        """Independent inverse NTTs of several rows under one modulus."""
+        return [self.ntt_inverse(context, row) for row in rows]
+
+    def pointwise_mac(self, rows_a, rows_b, q: int) -> List[int]:
+        """``sum_i rows_a[i] * rows_b[i] mod q`` element-wise (NTT-domain MAC)."""
+        if len(rows_a) != len(rows_b):
+            raise ValueError("pointwise_mac needs equally many rows on both sides")
+        if not rows_a:
+            raise ValueError("pointwise_mac needs at least one row pair")
+        acc = self.mul(rows_a[0], rows_b[0], q)
+        for x, y in zip(rows_a[1:], rows_b[1:]):
+            acc = self.add(acc, self.mul(x, y, q), q)
+        return acc
+
+    def pointwise_mac_many(self, rows_a, groups, q: int) -> List[List[int]]:
+        """Several pointwise MACs sharing the same left operand.
+
+        Computes ``[pointwise_mac(rows_a, group, q) for group in groups]`` —
+        the external-product shape, where the decomposition-digit transforms
+        ``rows_a`` are MAC-reduced against one key-row group per output
+        component.  Vectorized backends convert ``rows_a`` once and run all
+        groups as a single stacked reduction.
+        """
+        return [self.pointwise_mac(rows_a, group, q) for group in groups]
+
+    def gadget_decompose(self, coefficients, modulus: int, factors) -> List[List[int]]:
+        """Signed gadget decomposition of one coefficient row.
+
+        Returns ``len(factors)`` digit rows (most significant first, reduced
+        into ``[0, modulus)``) using the same greedy residual-based digit
+        extraction as :meth:`Polynomial.decompose` — this *is* that kernel,
+        hoisted into the backend so it can vectorize.
+        """
+        digits = [[0] * len(coefficients) for _ in factors]
+        half = modulus // 2
+        for idx, coefficient in enumerate(coefficients):
+            residual = int(coefficient) % modulus
+            if residual > half:
+                residual -= modulus
+            for level, factor in enumerate(factors):
+                digit = 0 if factor == 0 else (2 * residual + factor) // (2 * factor)
+                residual -= digit * factor
+                digits[level][idx] = digit % modulus
+        return digits
+
+    # -- four-step (Bailey) NTT -------------------------------------------
+    def four_step_ntt(self, context, coefficients, rows: int) -> List[int]:
+        """Four-step negacyclic NTT (see :func:`repro.fhe.ntt.four_step_ntt`).
+
+        The base implementation composes the element-wise and cyclic-batch
+        primitives with Python gather/scatter between phases; vectorized
+        backends override it to keep the transpose steps resident.
+        """
+        n = context.ring_degree
+        cols = n // rows
+        q = context.modulus
+        coeffs = [int(c) % q for c in coefficients]
+        # Step 0: psi pre-twist makes the remaining problem a plain cyclic DFT.
+        twisted = self.mul(coeffs, context._psi_powers, q)
+        omega_rows = pow(context.omega, cols, q)   # primitive `rows`-th root
+        omega_cols = pow(context.omega, rows, q)   # primitive `cols`-th root
+        # Phase 1: DFT along columns (stride cols).
+        columns = [twisted[c::cols] for c in range(cols)]
+        columns = self.cyclic_ntt_batch(columns, omega_rows, q)
+        # Twiddle: multiply element (r, c) by omega^(r*c) (flattened column-major).
+        flat = [value for column in columns for value in column]
+        flat = self.mul(flat, context.four_step_twiddles(rows), q)
+        # Phase 2: DFT along rows (after transposing the phase-1 result).
+        rows_data = [flat[r::rows] for r in range(rows)]
+        rows_data = self.cyclic_ntt_batch(rows_data, omega_cols, q)
+        cyclic = [0] * n
+        for k1 in range(rows):
+            cyclic[k1::rows] = rows_data[k1]
+        order = _bit_reverse_indices(n)
+        return [cyclic[order[i]] for i in range(n)]
+
+    def four_step_intt(self, context, values, rows: int) -> List[int]:
+        """Inverse of :meth:`four_step_ntt`."""
+        n = context.ring_degree
+        cols = n // rows
+        q = context.modulus
+        omega_inv = context.omega_inv
+        omega_rows_inv = pow(omega_inv, cols, q)
+        omega_cols_inv = pow(omega_inv, rows, q)
+        order = _bit_reverse_indices(n)
+        natural = [0] * n
+        for i in range(n):
+            natural[order[i]] = int(values[i]) % q
+        rows_data = [natural[k1::rows] for k1 in range(rows)]
+        rows_data = self.cyclic_ntt_batch(rows_data, omega_cols_inv, q)
+        flat = [rows_data[r][c] for c in range(cols) for r in range(rows)]
+        flat = self.mul(flat, context.four_step_twiddles(rows, inverse=True), q)
+        columns = [flat[c * rows:(c + 1) * rows] for c in range(cols)]
+        columns = self.cyclic_ntt_batch(columns, omega_rows_inv, q)
+        twisted = [0] * n
+        for c in range(cols):
+            twisted[c::cols] = columns[c]
+        scaled = self.scalar_mul(twisted, context.n_inv, q)
+        return self.mul(scaled, context._psi_inv_powers, q)
 
     # -- NTT kernels -------------------------------------------------------
     def ntt_forward(self, context, coefficients: Sequence[int]) -> List[int]:
@@ -328,6 +659,82 @@ if _np is not None:
         def submod(self, a, b):
             return _np.where(a >= b, a - b, a + (self.q_u - b))
 
+    class _MontgomeryVec:
+        """Montgomery arithmetic with per-row (per-limb) odd moduli < 2^62.
+
+        The constants are ``(L, 1)`` column vectors, so every method
+        broadcasts over an ``(L, N)`` limb matrix — the stacked counterpart
+        of :class:`_Montgomery`.
+        """
+
+        __slots__ = ("q_col", "neg_q_inv", "r2")
+
+        def __init__(self, moduli):
+            for q in moduli:
+                if q % 2 == 0 or q.bit_length() > NUMPY_MAX_MODULUS_BITS:
+                    raise ValueError(f"modulus {q} is not Montgomery-friendly")
+            self.q_col = _np.array(moduli, dtype=_np.uint64)[:, None]
+            self.neg_q_inv = _np.array(
+                [(-pow(q, -1, 1 << 64)) % (1 << 64) for q in moduli], dtype=_np.uint64
+            )[:, None]
+            self.r2 = _np.array(
+                [pow(1 << 64, 2, q) for q in moduli], dtype=_np.uint64
+            )[:, None]
+
+        def redc(self, hi, lo):
+            m = lo * self.neg_q_inv
+            mq_hi, _mq_lo = _mul64(m, self.q_col)
+            t = hi + mq_hi + (lo != _np.uint64(0)).astype(_np.uint64)
+            return _np.where(t >= self.q_col, t - self.q_col, t)
+
+        def mont_mul(self, a, b):
+            return self.redc(*_mul64(a, b))
+
+        def mulmod(self, a, b):
+            return self.mont_mul(self.mont_mul(a, b), self.r2)
+
+    def _shoup32_mul(y, w, s32, q_u):
+        """``w * y mod q`` for ``q < 2^32`` via *direct* single-word products.
+
+        ``s32 = floor(w * 2^32 / q)``.  Every product fits one 64-bit word —
+        no 32-bit limb splitting, no emulated 128-bit multiply — and the
+        result comes out fully reduced into ``[0, q)``.  Precondition:
+        ``y < 2^32`` (holds whenever the operands stay reduced below ``q``).
+        """
+        t = (y * s32) >> _S32
+        r = y * w - t * q_u          # true value in [0, 2q); wraps cancel
+        return _np.minimum(r, r - q_u)
+
+    def _shoup32_split(values: Sequence[int], q: int):
+        """Twiddles plus their beta=2^32 Shoup constants ``floor(w * 2^32 / q)``."""
+        w = _np.array(values, dtype=_np.uint64)
+        s32 = _np.array([(int(v) << 32) // q for v in values], dtype=_np.uint64)
+        return w, s32
+
+    def _shoup_mul_relaxed(y, w, ws_lo, ws_hi, q_u):
+        """``w * y mod q`` up to THREE extra ``q``: result in ``[0, 4q)``.
+
+        Like :func:`_shoup_mul_lazy` but drops the low-low partial product
+        from the high-word estimate: with ``t' = hi*hi + (hi*lo >> 32) +
+        (lo*hi >> 32)`` the exact quotient satisfies ``t' <= t <= t' + 2``,
+        so the remainder picks up at most ``2q`` beyond the usual lazy
+        bound.  Seven fewer vector ops on the hottest scalar-multiply path;
+        callers reduce from ``[0, 4q)`` (requires ``4q < 2^64``).
+        """
+        y_lo = y & _M32
+        y_hi = y >> _S32
+        mid1 = y_hi * ws_lo
+        mid2 = y_lo * ws_hi
+        mid1 >>= _S32
+        mid2 >>= _S32
+        t = y_hi * ws_hi
+        t += mid1
+        t += mid2
+        t *= q_u
+        result = y * w
+        result -= t
+        return result               # wraps mod 2^64; true value is < 4q
+
     def _shoup_split(values: Sequence[int], q: int):
         """Twiddles plus their Shoup constants ``floor(w * 2^64 / q)``, pre-split
         into 32-bit halves so the hot loop skips two mask/shift ops."""
@@ -376,6 +783,7 @@ if _np is not None:
             "inv_w", "inv_s_lo", "inv_s_hi",
             "n_inv_w", "n_inv_s_lo", "n_inv_s_hi",
             "r_w", "r_s_lo", "r_s_hi",
+            "use32", "fwd_s32", "inv_s32", "n_inv_s32",
         )
 
         def __init__(self, context):
@@ -394,6 +802,96 @@ if _np is not None:
             self.r_w = r_w[0]
             self.r_s_lo = r_s_lo[0]
             self.r_s_hi = r_s_hi[0]
+            # <= 32-bit moduli (the TFHE primes) get direct single-word
+            # butterflies: beta = 2^32 Shoup constants, no limb splitting.
+            self.use32 = q.bit_length() <= 32
+            if self.use32:
+                _w, self.fwd_s32 = _shoup32_split(context._fwd_twiddles, q)
+                _w, self.inv_s32 = _shoup32_split(context._inv_twiddles, q)
+                self.n_inv_s32 = _np.uint64((context.n_inv << 32) // q)
+            else:
+                self.fwd_s32 = self.inv_s32 = self.n_inv_s32 = None
+
+    class _RNSNTTTables:
+        """Per-limb twiddle tables stacked along a leading limb axis.
+
+        Built from the per-limb :class:`_NumpyNTTTables` of one RNS basis:
+        the twiddle arrays become ``(L, N)`` matrices and the per-limb
+        constants ``(L, 1)`` columns, so the Cooley-Tukey/Gentleman-Sande
+        stage loops transform *every limb at once* with per-limb moduli.
+        """
+
+        __slots__ = (
+            "n", "q_col", "q2_col", "q_s", "q2_s",
+            "fwd_w", "fwd_lo", "fwd_hi",
+            "inv_w", "inv_lo", "inv_hi",
+            "n_inv_w", "n_inv_lo", "n_inv_hi",
+            "r_w", "r_lo", "r_hi",
+            "mont",
+            "use32", "fwd_s32", "inv_s32", "n_inv_s32",
+        )
+
+        def __init__(self, per_limb, moduli):
+            self.n = len(per_limb[0].fwd_w)
+            self.q_col = _np.array(moduli, dtype=_np.uint64)[:, None]
+            self.q2_col = self.q_col * _np.uint64(2)
+            self.q_s = self.q_col[:, :, None]
+            self.q2_s = self.q2_col[:, :, None]
+            self.fwd_w = _np.stack([t.fwd_w for t in per_limb])
+            self.fwd_lo = _np.stack([t.fwd_s_lo for t in per_limb])
+            self.fwd_hi = _np.stack([t.fwd_s_hi for t in per_limb])
+            self.inv_w = _np.stack([t.inv_w for t in per_limb])
+            self.inv_lo = _np.stack([t.inv_s_lo for t in per_limb])
+            self.inv_hi = _np.stack([t.inv_s_hi for t in per_limb])
+            self.n_inv_w = _np.array([t.n_inv_w for t in per_limb])[:, None]
+            self.n_inv_lo = _np.array([t.n_inv_s_lo for t in per_limb])[:, None]
+            self.n_inv_hi = _np.array([t.n_inv_s_hi for t in per_limb])[:, None]
+            self.r_w = _np.array([t.r_w for t in per_limb])[:, None]
+            self.r_lo = _np.array([t.r_s_lo for t in per_limb])[:, None]
+            self.r_hi = _np.array([t.r_s_hi for t in per_limb])[:, None]
+            self.mont = _MontgomeryVec(moduli)
+            # All limbs < 2^32: the whole stack takes the direct single-word
+            # butterflies (per-limb beta = 2^32 constants).
+            self.use32 = all(t.use32 for t in per_limb)
+            if self.use32:
+                self.fwd_s32 = _np.stack([t.fwd_s32 for t in per_limb])
+                self.inv_s32 = _np.stack([t.inv_s32 for t in per_limb])
+                self.n_inv_s32 = _np.array(
+                    [t.n_inv_s32 for t in per_limb]
+                )[:, None]
+            else:
+                self.fwd_s32 = self.inv_s32 = self.n_inv_s32 = None
+
+    class _FourStepTables:
+        """Backend-resident tables for one ``(N, q, rows)`` four-step split."""
+
+        __slots__ = (
+            "order", "omega_rows", "omega_cols", "omega_rows_inv", "omega_cols_inv",
+            "psi_w", "psi_lo", "psi_hi",
+            "psi_inv_w", "psi_inv_lo", "psi_inv_hi",
+            "tw_w", "tw_lo", "tw_hi",
+            "tw_inv_w", "tw_inv_lo", "tw_inv_hi",
+        )
+
+        def __init__(self, context, rows):
+            n = context.ring_degree
+            q = context.modulus
+            cols = n // rows
+            self.order = _np.array(_bit_reverse_indices(n), dtype=_np.intp)
+            self.omega_rows = pow(context.omega, cols, q)
+            self.omega_cols = pow(context.omega, rows, q)
+            self.omega_rows_inv = pow(context.omega_inv, cols, q)
+            self.omega_cols_inv = pow(context.omega_inv, rows, q)
+            self.psi_w, self.psi_lo, self.psi_hi = _shoup_split(context._psi_powers, q)
+            self.psi_inv_w, self.psi_inv_lo, self.psi_inv_hi = _shoup_split(
+                context._psi_inv_powers, q
+            )
+            self.tw_w, self.tw_lo, self.tw_hi = _shoup_split(
+                context.four_step_twiddles(rows), q
+            )
+            self.tw_inv_w, self.tw_inv_lo, self.tw_inv_hi = _shoup_split(
+                context.four_step_twiddles(rows, inverse=True), q
+            )
 
 
 class NumpyBackend(ArithmeticBackend):
@@ -415,8 +913,12 @@ class NumpyBackend(ArithmeticBackend):
         self.min_vector_length = min_vector_length
         self.min_ntt_length = min_ntt_length
         self._mont_cache: Dict[int, _Montgomery] = {}
+        self._mont_vec_cache: Dict[tuple, _MontgomeryVec] = {}
         self._ntt_tables: Dict[tuple, _NumpyNTTTables] = {}
+        self._rns_ntt_tables: Dict[tuple, "_RNSNTTTables | None"] = {}
         self._cyclic_tables: Dict[tuple, list] = {}
+        self._four_step_tables: Dict[tuple, _FourStepTables] = {}
+        self._q_col_cache: Dict[tuple, object] = {}
 
     # -- modulus classification -------------------------------------------
     def _direct_ok(self, q: int) -> bool:
@@ -549,6 +1051,413 @@ class NumpyBackend(ArithmeticBackend):
             acc = _np.where(acc >= q_u, acc - q_u, acc)
         return acc.tolist()
 
+    # -- packed limb-major (RNS) overrides ---------------------------------
+    def _matrix(self, store):
+        """View a limb store as a uint64 matrix (``None`` if it cannot be)."""
+        if isinstance(store, _np.ndarray):
+            return store
+        try:
+            return _np.array(store, dtype=_np.uint64)
+        except (OverflowError, TypeError, ValueError):
+            return None
+
+    def _q_col(self, moduli):
+        """``(L, 1)`` uint64 column of the per-limb moduli (cached)."""
+        key = tuple(moduli)
+        col = self._q_col_cache.get(key)
+        if col is None:
+            col = _np.array(key, dtype=_np.uint64)[:, None]
+            self._q_col_cache[key] = col
+        return col
+
+    def _limbs_ok(self, moduli, matrix) -> bool:
+        if matrix is None:
+            return False
+        return (
+            all(int(q).bit_length() <= NUMPY_MAX_MODULUS_BITS for q in moduli)
+            and matrix.size >= self.min_vector_length
+        )
+
+    @staticmethod
+    def _row_shoup(scalars, moduli):
+        """Per-row Shoup constants for fixed per-limb scalars: ``(L, 1)`` arrays."""
+        ws, los, his = [], [], []
+        for scalar, q in zip(scalars, moduli):
+            scalar = int(scalar) % q
+            shoup = (scalar << 64) // q
+            ws.append(scalar)
+            los.append(shoup & 0xFFFFFFFF)
+            his.append(shoup >> 32)
+        return (
+            _np.array(ws, dtype=_np.uint64)[:, None],
+            _np.array(los, dtype=_np.uint64)[:, None],
+            _np.array(his, dtype=_np.uint64)[:, None],
+        )
+
+    @staticmethod
+    def _row_shoup32(scalars, moduli):
+        """Per-row beta=2^32 Shoup constants (moduli < 2^32): ``(L, 1)`` arrays."""
+        ws, s32s = [], []
+        for scalar, q in zip(scalars, moduli):
+            scalar = int(scalar) % q
+            ws.append(scalar)
+            s32s.append((scalar << 32) // q)
+        return (
+            _np.array(ws, dtype=_np.uint64)[:, None],
+            _np.array(s32s, dtype=_np.uint64)[:, None],
+        )
+
+    @staticmethod
+    def _moduli_u32(moduli) -> bool:
+        return all(int(q).bit_length() <= 32 for q in moduli)
+
+    def _mont_vec(self, moduli) -> "_MontgomeryVec | None":
+        key = tuple(moduli)
+        mont = self._mont_vec_cache.get(key)
+        if mont is None and key not in self._mont_vec_cache:
+            usable = all(q % 2 == 1 and q.bit_length() <= NUMPY_MAX_MODULUS_BITS
+                         for q in key)
+            mont = _MontgomeryVec(key) if usable else None
+            self._mont_vec_cache[key] = mont
+        return mont
+
+    def pack_limbs(self, rows, moduli):
+        if any(int(q).bit_length() > NUMPY_MAX_MODULUS_BITS for q in moduli):
+            return super().pack_limbs(rows, moduli)
+        matrix = self._matrix(rows)
+        if matrix is None:
+            return super().pack_limbs(rows, moduli)
+        return matrix
+
+    def limbs_zero(self, count, length):
+        return _np.zeros((count, length), dtype=_np.uint64)
+
+    def limbs_add(self, a, b, moduli):
+        x = self._matrix(a)
+        y = self._matrix(b)
+        if y is None or not self._limbs_ok(moduli, x):
+            return super().limbs_add(a, b, moduli)
+        s = x + y
+        return _np.minimum(s, s - self._q_col(moduli))
+
+    def limbs_sub(self, a, b, moduli):
+        x = self._matrix(a)
+        y = self._matrix(b)
+        if y is None or not self._limbs_ok(moduli, x):
+            return super().limbs_sub(a, b, moduli)
+        d = x - y                                   # wraps when negative
+        return _np.minimum(d, d + self._q_col(moduli))
+
+    def limbs_neg(self, a, moduli):
+        x = self._matrix(a)
+        if not self._limbs_ok(moduli, x):
+            return super().limbs_neg(a, moduli)
+        q = self._q_col(moduli)
+        return _np.where(x == _np.uint64(0), x, q - x)
+
+    def limbs_mul(self, a, b, moduli):
+        x = self._matrix(a)
+        y = self._matrix(b)
+        if y is None or not self._limbs_ok(moduli, x):
+            return super().limbs_mul(a, b, moduli)
+        if all(int(q) <= (1 << 32) for q in moduli):
+            return (x * y) % self._q_col(moduli)
+        mont = self._mont_vec(moduli)
+        if mont is None:
+            return super().limbs_mul(a, b, moduli)
+        return mont.mulmod(x, y)
+
+    def limbs_scalar_mul(self, a, scalars, moduli):
+        x = self._matrix(a)
+        if not self._limbs_ok(moduli, x):
+            return super().limbs_scalar_mul(a, scalars, moduli)
+        q = self._q_col(moduli)
+        if self._moduli_u32(moduli):
+            w, s32 = self._row_shoup32(scalars, moduli)
+            return _shoup32_mul(x, w, s32, q)
+        w, lo, hi = self._row_shoup(scalars, moduli)
+        v = _shoup_mul_relaxed(x, w, lo, hi, q)
+        v = _np.minimum(v, v - (q + q))
+        return _np.minimum(v, v - q)
+
+    def batched_sub_scaled(self, a, b, scalars, moduli, b_modulus=None):
+        x = self._matrix(a)
+        if not self._limbs_ok(moduli, x):
+            return super().batched_sub_scaled(a, b, scalars, moduli, b_modulus)
+        q = self._q_col(moduli)
+        if self._is_store(b):
+            # One row per limb, already reduced under the matching modulus.
+            y = self._matrix(b)
+            if y is None:
+                return super().batched_sub_scaled(a, b, scalars, moduli, b_modulus)
+        else:
+            row = _np.asarray(b, dtype=_np.uint64) if not isinstance(b, _np.ndarray) else b
+            if b_modulus is not None and all(b_modulus <= 2 * int(qi) for qi in moduli):
+                # Similar-magnitude moduli: one conditional subtraction per row.
+                y = _np.minimum(row, row - q)
+            else:
+                y = row % q
+        d = x - y                                   # wraps when negative
+        d = _np.minimum(d, d + q)
+        if self._moduli_u32(moduli):
+            w, s32 = self._row_shoup32(scalars, moduli)
+            return _shoup32_mul(d, w, s32, q)
+        w, lo, hi = self._row_shoup(scalars, moduli)
+        v = _shoup_mul_relaxed(d, w, lo, hi, q)
+        v = _np.minimum(v, v - (q + q))
+        return _np.minimum(v, v - q)
+
+    def _bconv_tables(self, plan: "BConvPlan"):
+        tables = plan.cache.get("numpy")
+        if tables is None:
+            use32 = self._moduli_u32(plan.source_moduli) and self._moduli_u32(
+                plan.target_moduli
+            )
+            q_src = self._q_col(plan.source_moduli)
+            q_tgt = self._q_col(plan.target_moduli)
+            # Per-source-limb weight columns with per-target Shoup constants:
+            # weight_shoup[i] multiplies one source row into all target rows.
+            if use32:
+                inv = self._row_shoup32(plan.inverses, plan.source_moduli)
+                weight_shoup = [
+                    self._row_shoup32([row[i] for row in plan.weights],
+                                      plan.target_moduli)
+                    for i in range(len(plan.source_moduli))
+                ]
+            else:
+                inv = self._row_shoup(plan.inverses, plan.source_moduli)
+                weight_shoup = [
+                    self._row_shoup([row[i] for row in plan.weights],
+                                    plan.target_moduli)
+                    for i in range(len(plan.source_moduli))
+                ]
+            # Lazy accumulation budget: u32 terms are < p (so Ls * p always
+            # fits 64 bits); relaxed-Shoup terms are < 4p, so the unreduced
+            # sum needs bits(p) + 2 + ceil(log2(Ls)) <= 64.
+            lazy = use32 or (
+                max(int(p).bit_length() for p in plan.target_moduli) + 2
+                + max(1, (len(plan.source_moduli) - 1).bit_length()) <= 64
+            )
+            tables = (use32, lazy, inv, q_src, q_tgt, weight_shoup)
+            plan.cache["numpy"] = tables
+        return tables
+
+    def bconv_matmul(self, store, plan):
+        x = self._matrix(store)
+        if (
+            not self._limbs_ok(plan.source_moduli, x)
+            or any(int(p).bit_length() > NUMPY_MAX_MODULUS_BITS
+                   for p in plan.target_moduli)
+        ):
+            return super().bconv_matmul(store, plan)
+        use32, lazy, inv, q_src, q_tgt, weight_shoup = self._bconv_tables(plan)
+        acc = _np.zeros((len(plan.target_moduli), x.shape[1]), dtype=_np.uint64)
+        if use32:
+            # Step 1: x_i * (Q/q_i)^{-1} mod q_i — single-word products.
+            scaled = _shoup32_mul(x, inv[0], inv[1], q_src)
+            # Step 2: one source limb into all target rows per pass; terms
+            # are fully reduced (< p), so the accumulator never overflows.
+            for i, (w, s32) in enumerate(weight_shoup):
+                acc += _shoup32_mul(scaled[i], w, s32, q_tgt)
+            return acc % q_tgt
+        inv_w, inv_lo, inv_hi = inv
+        # Step 1: x_i * (Q/q_i)^{-1} mod q_i, fully reduced — the weighted
+        # sum needs the canonical residue in [0, q_i), not a lazy
+        # representative (a different representative would shift the result
+        # by k * q_i * w mod p_j).
+        scaled = _shoup_mul_relaxed(x, inv_w, inv_lo, inv_hi, q_src)
+        scaled = _np.minimum(scaled, scaled - (q_src + q_src))
+        scaled = _np.minimum(scaled, scaled - q_src)
+        if lazy:
+            for i, (w, lo, hi) in enumerate(weight_shoup):
+                acc += _shoup_mul_relaxed(scaled[i], w, lo, hi, q_tgt)
+            return acc % q_tgt
+        for i, (w, lo, hi) in enumerate(weight_shoup):
+            term = _shoup_mul_relaxed(scaled[i], w, lo, hi, q_tgt)
+            term = _np.minimum(term, term - (q_tgt + q_tgt))
+            term = _np.minimum(term, term - q_tgt)
+            acc += term
+            acc = _np.where(acc >= q_tgt, acc - q_tgt, acc)
+        return acc
+
+    def batched_ntt(self, contexts, store):
+        tabs = self._rns_tables(tuple(contexts))
+        x = self._matrix(store)
+        if tabs is None or x is None:
+            return super().batched_ntt(contexts, store)
+        if tabs.use32:
+            return self._forward_stages_rns_u32(x.copy(), tabs)
+        x = self._forward_stages_rns(x.copy(), tabs)
+        x = _np.minimum(x, x - tabs.q2_col)
+        return _np.minimum(x, x - tabs.q_col)
+
+    def batched_intt(self, contexts, store):
+        tabs = self._rns_tables(tuple(contexts))
+        x = self._matrix(store)
+        if tabs is None or x is None:
+            return super().batched_intt(contexts, store)
+        if tabs.use32:
+            x = self._inverse_stages_rns_u32(x.copy(), tabs)
+            return _shoup32_mul(x, tabs.n_inv_w, tabs.n_inv_s32, tabs.q_col)
+        x = self._inverse_stages_rns(x.copy(), tabs)
+        v = _shoup_mul_lazy(x, tabs.n_inv_w, tabs.n_inv_lo, tabs.n_inv_hi,
+                            tabs.q_col)
+        return _np.minimum(v, v - tabs.q_col)
+
+    def limbs_convolution(self, contexts, a, b):
+        tabs = self._rns_tables(tuple(contexts))
+        x = self._matrix(a)
+        y = self._matrix(b)
+        if tabs is None or x is None or y is None:
+            return super().limbs_convolution(contexts, a, b)
+        if tabs.use32:
+            # Direct single-word path: transforms stay fully reduced, so the
+            # pointwise product is one 64-bit multiply plus one remainder.
+            z = self._forward_stages_rns_u32(_np.stack([x, y]), tabs)
+            prod = (z[0] * z[1]) % tabs.q_col
+            w = self._inverse_stages_rns_u32(prod, tabs)
+            return _shoup32_mul(w, tabs.n_inv_w, tabs.n_inv_s32, tabs.q_col)
+        # b rides the transform pre-scaled by R = 2^64 per limb, so the
+        # pointwise product exits the Montgomery domain in one REDC.
+        yb = _shoup_mul_lazy(y, tabs.r_w, tabs.r_lo, tabs.r_hi, tabs.q_col)
+        z = _np.stack([x, yb])                      # (2, L, n); both < 2q
+        z = self._forward_stages_rns(z, tabs)
+        z = _np.minimum(z, z - tabs.q2_col)
+        z = _np.minimum(z, z - tabs.q_col)
+        prod = tabs.mont.mont_mul(z[0], z[1])       # (a)(bR)R^-1 = ab mod q_i
+        w = self._inverse_stages_rns(prod, tabs)
+        v = _shoup_mul_lazy(w, tabs.n_inv_w, tabs.n_inv_lo, tabs.n_inv_hi,
+                            tabs.q_col)
+        return _np.minimum(v, v - tabs.q_col)
+
+    def limbs_eval_key(self, contexts, store):
+        tabs = self._rns_tables(tuple(contexts))
+        x = self._matrix(store)
+        if tabs is None or x is None:
+            return super().limbs_eval_key(contexts, store)
+        if tabs.use32:
+            return ("u32", self._forward_stages_rns_u32(x.copy(), tabs), store)
+        # Pre-scale by R = 2^64 per limb so the pointwise product against a
+        # plain (lazy) transform exits the Montgomery domain in one REDC.
+        yb = _shoup_mul_lazy(x, tabs.r_w, tabs.r_lo, tabs.r_hi, tabs.q_col)
+        z = self._forward_stages_rns(yb, tabs)
+        z = _np.minimum(z, z - tabs.q2_col)
+        return ("montR", _np.minimum(z, z - tabs.q_col), store)
+
+    def limbs_mac_eval(self, contexts, store, key_handles):
+        tabs = self._rns_tables(tuple(contexts))
+        x = self._matrix(store)
+        form = "u32" if tabs is not None and tabs.use32 else "montR"
+        prepared = all(handle[0] == form for handle in key_handles)
+        if tabs is None or x is None or not prepared:
+            return super().limbs_mac_eval(contexts, store, key_handles)
+        if tabs.use32:
+            fx = self._forward_stages_rns_u32(x.copy(), tabs)
+            prods = _np.stack(
+                [(fx * handle[1]) % tabs.q_col for handle in key_handles]
+            )
+            out = self._inverse_stages_rns_u32(prods, tabs)
+            out = _shoup32_mul(out, tabs.n_inv_w, tabs.n_inv_s32, tabs.q_col)
+            return [out[idx] for idx in range(len(key_handles))]
+        fx = self._forward_stages_rns(x.copy(), tabs)
+        fx = _np.minimum(fx, fx - tabs.q2_col)
+        fx = _np.minimum(fx, fx - tabs.q_col)
+        prods = _np.stack(
+            [tabs.mont.mont_mul(fx, handle[1]) for handle in key_handles]
+        )
+        out = self._inverse_stages_rns(prods, tabs)
+        v = _shoup_mul_lazy(out, tabs.n_inv_w, tabs.n_inv_lo, tabs.n_inv_hi,
+                            tabs.q_col)
+        v = _np.minimum(v, v - tabs.q_col)
+        return [v[idx] for idx in range(len(key_handles))]
+
+    @staticmethod
+    def _perm_arrays(spec: "PermSpec"):
+        cached = spec.cache.get("numpy")
+        if cached is None:
+            cached = (
+                _np.array(spec.dest, dtype=_np.intp),
+                _np.array(spec.negate, dtype=bool),
+            )
+            spec.cache["numpy"] = cached
+        return cached
+
+    def signed_permute(self, values, q, spec):
+        if (
+            q.bit_length() > NUMPY_MAX_MODULUS_BITS
+            or len(values) < self.min_vector_length
+        ):
+            return super().signed_permute(values, q, spec)
+        dest, negate = self._perm_arrays(spec)
+        x = self._to_array(values, q)
+        q_u = _np.uint64(q)
+        flipped = _np.where(x == _np.uint64(0), x, q_u - x)
+        out = _np.empty_like(x)
+        out[dest] = _np.where(negate, flipped, x)
+        return out.tolist()
+
+    def limbs_signed_permute(self, store, moduli, spec):
+        x = self._matrix(store)
+        if not self._limbs_ok(moduli, x):
+            return super().limbs_signed_permute(store, moduli, spec)
+        dest, negate = self._perm_arrays(spec)
+        q = self._q_col(moduli)
+        flipped = _np.where(x == _np.uint64(0), x, q - x)
+        out = _np.empty_like(x)
+        out[:, dest] = _np.where(negate[None, :], flipped, x)
+        return out
+
+    def pointwise_mac_many(self, rows_a, groups, q):
+        if not groups:
+            return []
+        if any(len(group) != len(rows_a) for group in groups) or not rows_a:
+            raise ValueError("pointwise_mac_many needs matching row counts")
+        if not self._mul_ok(q, *rows_a):
+            return super().pointwise_mac_many(rows_a, groups, q)
+        q_u = _np.uint64(q)
+        x = _np.stack([self._to_array(row, q) for row in rows_a])   # (R, n)
+        try:
+            y = _np.array(groups, dtype=_np.uint64)                 # (G, R, n)
+        except (OverflowError, TypeError, ValueError):
+            return super().pointwise_mac_many(rows_a, groups, q)
+        if (y >= q_u).any():
+            y %= q_u
+        if self._direct_ok(q):
+            terms = (x[None, :, :] * y) % q_u
+        else:
+            terms = self._mont(q).mulmod(x[None, :, :], y)
+        acc = terms[:, 0]
+        for idx in range(1, terms.shape[1]):
+            acc = acc + terms[:, idx]
+            acc = _np.minimum(acc, acc - q_u)
+        return acc.tolist()
+
+    def gadget_decompose(self, coefficients, modulus, factors):
+        if (
+            modulus.bit_length() > NUMPY_MAX_MODULUS_BITS
+            or len(coefficients) < self.min_vector_length
+        ):
+            return super().gadget_decompose(coefficients, modulus, factors)
+        try:
+            arr = _np.array(coefficients, dtype=_np.int64)
+        except (OverflowError, TypeError, ValueError):
+            return super().gadget_decompose(coefficients, modulus, factors)
+        q64 = _np.int64(modulus)
+        arr = arr % q64
+        # Centring into (-q/2, q/2], matching modmath.centered exactly.
+        threshold = _np.int64(modulus // 2)
+        residual = _np.where(arr > threshold, arr - q64, arr)
+        rows = []
+        for factor in factors:
+            if factor == 0:
+                rows.append([0] * len(coefficients))
+                continue
+            f = _np.int64(factor)
+            digit = (2 * residual + f) // (2 * f)
+            residual = residual - digit * f
+            rows.append((digit % q64).tolist())
+        return rows
+
     # -- NTT ---------------------------------------------------------------
     def _tables(self, context) -> "_NumpyNTTTables":
         key = (context.ring_degree, context.modulus)
@@ -573,6 +1482,8 @@ class NumpyBackend(ArithmeticBackend):
             return self._fallback.ntt_forward(context, coefficients)
         tables = self._tables(context)
         x = self._to_array(coefficients, context.modulus)
+        if tables.use32:
+            return self._forward_stages_u32(context.ring_degree, x, tables).tolist()
         x = self._forward_stages(context.ring_degree, x, tables)
         return self._reduce_4q(x, tables).tolist()
 
@@ -582,6 +1493,9 @@ class NumpyBackend(ArithmeticBackend):
             return self._fallback.ntt_inverse(context, values)
         tables = self._tables(context)
         x = self._to_array(values, context.modulus)
+        if tables.use32:
+            x = self._inverse_stages_u32(context.ring_degree, x, tables)
+            return _shoup32_mul(x, tables.n_inv_w, tables.n_inv_s32, tables.q_u).tolist()
         x = self._inverse_stages(context.ring_degree, x, tables)
         return self._exit_scale(x, tables).tolist()
 
@@ -594,9 +1508,17 @@ class NumpyBackend(ArithmeticBackend):
         n = context.ring_degree
         q = context.modulus
         xa = self._to_array(a, q)
+        xb = self._to_array(b, q)
+        if tables.use32:
+            # Direct single-word path: transforms stay fully reduced, so the
+            # pointwise product is one 64-bit multiply plus one remainder.
+            x = self._forward_stages_u32(n, _np.stack([xa, xb]), tables)
+            prod = (x[0] * x[1]) % tables.q_u
+            y = self._inverse_stages_u32(n, prod, tables)
+            return _shoup32_mul(y, tables.n_inv_w, tables.n_inv_s32, tables.q_u).tolist()
         # b enters the transform pre-scaled by R = 2^64 (the transform is
         # linear, so the evaluation values come out scaled by R as well).
-        xb = _shoup_mul_lazy(self._to_array(b, q), tables.r_w,
+        xb = _shoup_mul_lazy(xb, tables.r_w,
                              tables.r_s_lo, tables.r_s_hi, tables.q_u)
         # Both forward transforms ride one stacked array: the stage loop is
         # overhead-bound at these sizes, so batching nearly halves its cost.
@@ -605,6 +1527,55 @@ class NumpyBackend(ArithmeticBackend):
         prod = self._mont(q).mont_mul(x[0], x[1])   # (a)(bR)R^-1 = ab mod q
         y = self._inverse_stages(n, prod, tables)
         return self._exit_scale(y, tables).tolist()
+
+    def ntt_forward_batch(self, context, rows):
+        if not rows:
+            return []
+        if not self._ntt_ok(context):
+            return super().ntt_forward_batch(context, rows)
+        tables = self._tables(context)
+        n = context.ring_degree
+        q = context.modulus
+        x = _np.stack([self._to_array(row, q) for row in rows])
+        if tables.use32:
+            return self._forward_stages_u32(n, x, tables).tolist()
+        x = self._forward_stages(n, x, tables)
+        return self._reduce_4q(x, tables).tolist()
+
+    def ntt_inverse_batch(self, context, rows):
+        if not rows:
+            return []
+        if not self._ntt_ok(context):
+            return super().ntt_inverse_batch(context, rows)
+        tables = self._tables(context)
+        n = context.ring_degree
+        q = context.modulus
+        x = _np.stack([self._to_array(row, q) for row in rows])
+        if tables.use32:
+            x = self._inverse_stages_u32(n, x, tables)
+            return _shoup32_mul(x, tables.n_inv_w, tables.n_inv_s32, tables.q_u).tolist()
+        x = self._inverse_stages(n, x, tables)
+        return self._exit_scale(x, tables).tolist()
+
+    def pointwise_mac(self, rows_a, rows_b, q):
+        if len(rows_a) != len(rows_b):
+            raise ValueError("pointwise_mac needs equally many rows on both sides")
+        if not rows_a:
+            raise ValueError("pointwise_mac needs at least one row pair")
+        if not self._mul_ok(q, *rows_a, *rows_b):
+            return super().pointwise_mac(rows_a, rows_b, q)
+        q_u = _np.uint64(q)
+        x = _np.stack([self._to_array(row, q) for row in rows_a])
+        y = _np.stack([self._to_array(row, q) for row in rows_b])
+        if self._direct_ok(q):
+            terms = (x * y) % q_u
+        else:
+            terms = self._mont(q).mulmod(x, y)
+        acc = terms[0]
+        for idx in range(1, len(terms)):
+            acc = acc + terms[idx]
+            acc = _np.minimum(acc, acc - q_u)
+        return acc.tolist()
 
     @staticmethod
     def _reduce_4q(x, tables):
@@ -677,6 +1648,183 @@ class NumpyBackend(ArithmeticBackend):
             m = h
         return x
 
+    @staticmethod
+    def _forward_stages_u32(n: int, x, tables):
+        """CT stages with direct single-word products (moduli < 2^32).
+
+        Values stay fully reduced (< q) at every stage, so each butterfly
+        operand satisfies the ``y < 2^32`` Shoup precondition.  ``x`` may
+        carry any number of leading batch dimensions.
+        """
+        q_u = tables.q_u
+        lead = x.shape[:-1]
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            blocks = x.reshape(lead + (m, 2 * t))
+            sl = slice(m, 2 * m)
+            u = blocks[..., :t]
+            v = _shoup32_mul(blocks[..., t:], tables.fwd_w[sl][:, None],
+                             tables.fwd_s32[sl][:, None], q_u)
+            s = u + v                                      # < 2q
+            d = u - v                                      # wraps when negative
+            _np.minimum(s, s - q_u, out=blocks[..., :t])   # < q
+            _np.minimum(d, d + q_u, out=blocks[..., t:])   # < q
+            m *= 2
+        return x
+
+    @staticmethod
+    def _inverse_stages_u32(n: int, x, tables):
+        """GS stages with direct single-word products (moduli < 2^32)."""
+        q_u = tables.q_u
+        lead = x.shape[:-1]
+        t = 1
+        m = n
+        while m > 1:
+            h = m // 2
+            blocks = x.reshape(lead + (h, 2 * t))
+            sl = slice(h, 2 * h)
+            u = blocks[..., :t]
+            v = blocks[..., t:]
+            s = u + v
+            d = u - v
+            d = _np.minimum(d, d + q_u)                    # < q
+            _np.minimum(s, s - q_u, out=blocks[..., :t])   # < q
+            blocks[..., t:] = _shoup32_mul(d, tables.inv_w[sl][:, None],
+                                           tables.inv_s32[sl][:, None], q_u)
+            t *= 2
+            m = h
+        return x
+
+    @staticmethod
+    def _forward_stages_rns(x, tabs):
+        """CT stages over an ``(L, n)`` (or ``(B, L, n)``) limb stack.
+
+        Same lazy Harvey butterflies as :meth:`_forward_stages`, but the
+        twiddle tables are ``(L, n)`` matrices and the modulus constants
+        ``(L, 1, 1)`` columns, so every limb transforms under its own
+        modulus in one pass.
+        """
+        n = tabs.n
+        q_s = tabs.q_s
+        q2_s = tabs.q2_s
+        lead = x.shape[:-1]
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            blocks = x.reshape(lead + (m, 2 * t))
+            sl = slice(m, 2 * m)
+            u0 = blocks[..., :t]
+            u = _np.minimum(u0, u0 - q2_s)                 # < 2q
+            v = _shoup_mul_lazy(
+                blocks[..., t:], tabs.fwd_w[:, sl, None],
+                tabs.fwd_lo[:, sl, None], tabs.fwd_hi[:, sl, None], q_s,
+            )                                              # < 2q
+            _np.add(u, v, out=blocks[..., :t])             # < 4q
+            v -= q2_s
+            _np.subtract(u, v, out=blocks[..., t:])        # u - v + 2q < 4q
+            m *= 2
+        return x
+
+    @staticmethod
+    def _inverse_stages_rns(x, tabs):
+        """GS stages over an ``(L, n)`` (or ``(B, L, n)``) limb stack."""
+        n = tabs.n
+        q_s = tabs.q_s
+        q2_s = tabs.q2_s
+        lead = x.shape[:-1]
+        t = 1
+        m = n
+        while m > 1:
+            h = m // 2
+            blocks = x.reshape(lead + (h, 2 * t))
+            sl = slice(h, 2 * h)
+            u = blocks[..., :t]
+            v = blocks[..., t:]
+            s = u + v                                      # < 4q
+            d = u + (q2_s - v)                             # < 4q
+            _np.minimum(s, s - q2_s, out=blocks[..., :t])  # < 2q
+            blocks[..., t:] = _shoup_mul_lazy(
+                d, tabs.inv_w[:, sl, None],
+                tabs.inv_lo[:, sl, None], tabs.inv_hi[:, sl, None], q_s,
+            )                                              # < 2q
+            t *= 2
+            m = h
+        return x
+
+    @staticmethod
+    def _forward_stages_rns_u32(x, tabs):
+        """CT stages over a limb stack with direct single-word products.
+
+        The per-limb variant of :meth:`_forward_stages_u32`: all moduli are
+        below 2^32, values stay fully reduced at every stage.
+        """
+        n = tabs.n
+        q_s = tabs.q_s
+        lead = x.shape[:-1]
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            blocks = x.reshape(lead + (m, 2 * t))
+            sl = slice(m, 2 * m)
+            u = blocks[..., :t]
+            v = _shoup32_mul(blocks[..., t:], tabs.fwd_w[:, sl, None],
+                             tabs.fwd_s32[:, sl, None], q_s)
+            s = u + v
+            d = u - v
+            _np.minimum(s, s - q_s, out=blocks[..., :t])
+            _np.minimum(d, d + q_s, out=blocks[..., t:])
+            m *= 2
+        return x
+
+    @staticmethod
+    def _inverse_stages_rns_u32(x, tabs):
+        """GS stages over a limb stack with direct single-word products."""
+        n = tabs.n
+        q_s = tabs.q_s
+        lead = x.shape[:-1]
+        t = 1
+        m = n
+        while m > 1:
+            h = m // 2
+            blocks = x.reshape(lead + (h, 2 * t))
+            sl = slice(h, 2 * h)
+            u = blocks[..., :t]
+            v = blocks[..., t:]
+            s = u + v
+            d = u - v
+            d = _np.minimum(d, d + q_s)
+            _np.minimum(s, s - q_s, out=blocks[..., :t])
+            blocks[..., t:] = _shoup32_mul(d, tabs.inv_w[:, sl, None],
+                                           tabs.inv_s32[:, sl, None], q_s)
+            t *= 2
+            m = h
+        return x
+
+    def _rns_tables(self, contexts) -> "_RNSNTTTables | None":
+        """Stacked per-limb tables for one tuple of same-degree NTT contexts."""
+        if not contexts:
+            return None
+        n = contexts[0].ring_degree
+        moduli = tuple(ctx.modulus for ctx in contexts)
+        key = (n, moduli)
+        tabs = self._rns_ntt_tables.get(key)
+        if tabs is None and key not in self._rns_ntt_tables:
+            usable = (
+                n >= self.min_ntt_length
+                and all(ctx.ring_degree == n for ctx in contexts)
+                and all(self._mont(q) is not None for q in moduli)
+            )
+            tabs = (
+                _RNSNTTTables([self._tables(ctx) for ctx in contexts], moduli)
+                if usable else None
+            )
+            self._rns_ntt_tables[key] = tabs
+        return tabs
+
     def _cyclic_stage_twiddles(self, length: int, omega: int, q: int):
         key = (length, omega, q)
         stages = self._cyclic_tables.get(key)
@@ -705,8 +1853,19 @@ class NumpyBackend(ArithmeticBackend):
             or rows * length < self.min_ntt_length
         ):
             return self._fallback.cyclic_ntt_batch(matrix, omega, q)
+        arr = _np.stack([self._to_array(row, q) for row in matrix])
+        return self._cyclic_core(arr, omega, q).tolist()
+
+    def _cyclic_core(self, arr, omega, q):
+        """In-order cyclic NTT of every row of a ``(rows, length)`` array.
+
+        Input values may be anywhere below ``2q``; the output is fully
+        reduced.  This is the array-resident core shared by
+        :meth:`cyclic_ntt_batch` and the four-step phases.
+        """
+        rows, length = arr.shape
         order = list(_bit_reverse_indices(length))
-        arr = _np.stack([self._to_array(row, q) for row in matrix])[:, order]
+        arr = arr[:, order]
         q_u = _np.uint64(q)
         q2 = _np.uint64(2 * q)
         size = 2
@@ -724,7 +1883,108 @@ class NumpyBackend(ArithmeticBackend):
             _np.subtract(u, v, out=view[..., half:])
             size *= 2
         arr = _np.minimum(arr, arr - q2)
-        return _np.minimum(arr, arr - q_u).tolist()
+        return _np.minimum(arr, arr - q_u)
+
+    # -- four-step (Bailey) NTT: array-resident transposes -----------------
+    def _four_step(self, context, rows: int) -> "_FourStepTables":
+        key = (context.ring_degree, context.modulus, rows)
+        tables = self._four_step_tables.get(key)
+        if tables is None:
+            tables = _FourStepTables(context, rows)
+            self._four_step_tables[key] = tables
+        return tables
+
+    def four_step_ntt(self, context, coefficients, rows):
+        n = context.ring_degree
+        q = context.modulus
+        if not self._ntt_ok(context):
+            return super().four_step_ntt(context, coefficients, rows)
+        cols = n // rows
+        fs = self._four_step(context, rows)
+        q_u = _np.uint64(q)
+        x = self._to_array(coefficients, q)
+        # Step 0: psi pre-twist (element-wise Shoup multiply, reduced to < q).
+        x = _shoup_mul_lazy(x, fs.psi_w, fs.psi_lo, fs.psi_hi, q_u)
+        x = _np.minimum(x, x - q_u)
+        # Phase 1: column DFTs — a transpose instead of Python stride gathers.
+        columns = _np.ascontiguousarray(x.reshape(rows, cols).T)
+        columns = self._cyclic_core(columns, fs.omega_rows, q)
+        # Twiddle by omega^(r*c) (the flattening is already column-major).
+        flat = columns.reshape(-1)
+        flat = _shoup_mul_lazy(flat, fs.tw_w, fs.tw_lo, fs.tw_hi, q_u)
+        flat = _np.minimum(flat, flat - q_u)
+        # Phase 2: row DFTs after transposing back.
+        rows_mat = _np.ascontiguousarray(flat.reshape(cols, rows).T)
+        rows_mat = self._cyclic_core(rows_mat, fs.omega_cols, q)
+        # natural[k1 + rows*k2] = rows_mat[k1, k2]; then bit-reverse to match
+        # NTTContext.forward output order.
+        natural = _np.ascontiguousarray(rows_mat.T).reshape(-1)
+        return natural[fs.order].tolist()
+
+    def four_step_intt(self, context, values, rows):
+        n = context.ring_degree
+        q = context.modulus
+        if not self._ntt_ok(context):
+            return super().four_step_intt(context, values, rows)
+        cols = n // rows
+        fs = self._four_step(context, rows)
+        q_u = _np.uint64(q)
+        tables = self._tables(context)
+        x = self._to_array(values, q)
+        # Undo the bit-reversed output order (the permutation is an involution).
+        natural = x[fs.order]
+        rows_mat = _np.ascontiguousarray(natural.reshape(cols, rows).T)
+        rows_mat = self._cyclic_core(rows_mat, fs.omega_cols_inv, q)
+        flat = _np.ascontiguousarray(rows_mat.T).reshape(-1)
+        flat = _shoup_mul_lazy(flat, fs.tw_inv_w, fs.tw_inv_lo, fs.tw_inv_hi, q_u)
+        flat = _np.minimum(flat, flat - q_u)
+        columns = self._cyclic_core(flat.reshape(cols, rows), fs.omega_rows_inv, q)
+        twisted = _np.ascontiguousarray(columns.T).reshape(-1)
+        # Scale by n^-1, then undo the psi twist.
+        x = _shoup_mul_lazy(twisted, tables.n_inv_w, tables.n_inv_s_lo,
+                            tables.n_inv_s_hi, q_u)
+        x = _np.minimum(x, x - q_u)
+        x = _shoup_mul_lazy(x, fs.psi_inv_w, fs.psi_inv_lo, fs.psi_inv_hi, q_u)
+        return _np.minimum(x, x - q_u).tolist()
+
+
+class PerLimbNumpyBackend(NumpyBackend):
+    """The PR-1 dispatch shape: vectorized scalar kernels, per-limb loops.
+
+    Every packed limb-major entry point is pinned back to the base-class
+    per-limb loop (list stores, one scalar-kernel dispatch per limb), while
+    the scalar kernels themselves stay vectorized.  This reproduces how the
+    RNS layer drove the numpy backend before limb batching, and exists for
+    differential benchmarks (:mod:`benchmarks.bench_rns_batching`) and the
+    packed-vs-per-limb parity suite — do not use it in production code.
+    """
+
+    name = "numpy-per-limb"
+
+    pack_limbs = ArithmeticBackend.pack_limbs
+    unpack_limbs = ArithmeticBackend.unpack_limbs
+    limbs_zero = ArithmeticBackend.limbs_zero
+    limbs_add = ArithmeticBackend.limbs_add
+    limbs_sub = ArithmeticBackend.limbs_sub
+    limbs_neg = ArithmeticBackend.limbs_neg
+    limbs_mul = ArithmeticBackend.limbs_mul
+    limbs_scalar_mul = ArithmeticBackend.limbs_scalar_mul
+    batched_sub_scaled = ArithmeticBackend.batched_sub_scaled
+    bconv_matmul = ArithmeticBackend.bconv_matmul
+    batched_ntt = ArithmeticBackend.batched_ntt
+    batched_intt = ArithmeticBackend.batched_intt
+    limbs_convolution = ArithmeticBackend.limbs_convolution
+    limbs_eval_key = ArithmeticBackend.limbs_eval_key
+    limbs_mac_eval = ArithmeticBackend.limbs_mac_eval
+    limbs_signed_permute = ArithmeticBackend.limbs_signed_permute
+    ntt_forward_batch = ArithmeticBackend.ntt_forward_batch
+    ntt_inverse_batch = ArithmeticBackend.ntt_inverse_batch
+    pointwise_mac = ArithmeticBackend.pointwise_mac
+    pointwise_mac_many = ArithmeticBackend.pointwise_mac_many
+    signed_permute = ArithmeticBackend.signed_permute
+    gadget_decompose = ArithmeticBackend.gadget_decompose
+    four_step_ntt = ArithmeticBackend.four_step_ntt
+    four_step_intt = ArithmeticBackend.four_step_intt
 
 
 # ---------------------------------------------------------------------------

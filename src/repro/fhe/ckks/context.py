@@ -51,11 +51,9 @@ class CKKSContext:
         params = self.params
         n = params.ring_degree
         basis = params.basis(plaintext.level)
-        pk_b, pk_a = self.keys.public.b, self.keys.public.a
         # Restrict the public key to the plaintext's level.
-        while len(pk_b.limbs) > plaintext.level + 1:
-            pk_b = pk_b.drop_last_limb()
-            pk_a = pk_a.drop_last_limb()
+        pk_b = self.keys.public.b.keep_limbs(plaintext.level + 1)
+        pk_a = self.keys.public.a.keep_limbs(plaintext.level + 1)
         v = sample_ternary(n, 3, self.rng)
         v_rns = RNSPolynomial.from_integer_coefficients(n, basis, v.centered_coefficients())
         e0 = self._error(basis)

@@ -63,9 +63,7 @@ class CKKSEvaluator:
         poly = plaintext.poly
         if plaintext.level < level:
             raise ValueError("plaintext level is below the ciphertext level")
-        while len(poly.limbs) > level + 1:
-            poly = poly.drop_last_limb()
-        return poly
+        return poly.keep_limbs(level + 1)
 
     # -- additions -------------------------------------------------------------
     def add(self, a: CKKSCiphertext, b: CKKSCiphertext) -> CKKSCiphertext:
@@ -148,15 +146,15 @@ class CKKSEvaluator:
         return self.apply_galois(a, 2 * self.params.ring_degree - 1)
 
     def apply_galois(self, a: CKKSCiphertext, galois_element: int) -> CKKSCiphertext:
-        """Apply the automorphism ``X -> X^g`` and keyswitch back to ``s``."""
+        """Apply the automorphism ``X -> X^g`` and keyswitch back to ``s``.
+
+        The automorphism is one batched signed-permutation dispatch per
+        component (all limbs at once) rather than a per-limb Python loop.
+        """
         level = a.level
         with self._arith():
-            rotated_c0 = RNSPolynomial(
-                a.ring_degree, a.c0.basis, [limb.automorphism(galois_element) for limb in a.c0.limbs]
-            )
-            rotated_c1 = RNSPolynomial(
-                a.ring_degree, a.c1.basis, [limb.automorphism(galois_element) for limb in a.c1.limbs]
-            )
+            rotated_c0 = a.c0.automorphism(galois_element)
+            rotated_c1 = a.c1.automorphism(galois_element)
             galois_key = self.keys.galois_key(galois_element, level)
             f0, f1 = hybrid_keyswitch(rotated_c1, galois_key, self.params, level)
             return CKKSCiphertext(c0=rotated_c0 + f0, c1=f1, level=level, scale=a.scale)
@@ -179,11 +177,12 @@ class CKKSEvaluator:
         """Drop RNS limbs (without scale division) until ``a`` sits at ``level``."""
         if level > a.level:
             raise ValueError("cannot mod-down to a higher level")
-        c0, c1 = a.c0, a.c1
-        while len(c0.limbs) > level + 1:
-            c0 = c0.drop_last_limb()
-            c1 = c1.drop_last_limb()
-        return CKKSCiphertext(c0=c0, c1=c1, level=level, scale=a.scale)
+        return CKKSCiphertext(
+            c0=a.c0.keep_limbs(level + 1),
+            c1=a.c1.keep_limbs(level + 1),
+            level=level,
+            scale=a.scale,
+        )
 
     def align(self, a: CKKSCiphertext, b: CKKSCiphertext) -> tuple[CKKSCiphertext, CKKSCiphertext]:
         """Bring two ciphertexts to a common (minimum) level."""

@@ -20,13 +20,13 @@ hardware model charges for a keyswitch.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import List, Tuple
 
 from ..backend import ArithmeticBackend, active_backend, use_backend
 from ..modmath import mod_inverse
 from ..params import CKKSParameters
-from ..polynomial import Polynomial
-from ..rns import RNSBasis, RNSPolynomial, fast_basis_conversion
+from ..rns import RNSBasis, RNSPolynomial, _limb_contexts, fast_basis_conversion
 
 __all__ = ["hybrid_keyswitch", "mod_down"]
 
@@ -41,27 +41,41 @@ def _digit_slices(params: CKKSParameters, level: int) -> List[Tuple[int, int]]:
     return slices
 
 
+@lru_cache(maxsize=256)
+def _mod_down_constants(params: CKKSParameters, level: int) -> tuple:
+    """``P^{-1} mod q_i`` for every limb of C_l (P = product of special moduli)."""
+    p_product = math.prod(params.special_moduli)
+    return tuple(
+        mod_inverse(p_product % q, q) for q in params.moduli[: level + 1]
+    )
+
+
+@lru_cache(maxsize=256)
+def _digit_basis(params: CKKSParameters, start: int, stop: int) -> RNSBasis:
+    return RNSBasis(params.moduli[start:stop])
+
+
 def mod_down(poly: RNSPolynomial, params: CKKSParameters, level: int) -> RNSPolynomial:
-    """Divide a C_l ∪ P polynomial by P (with rounding) and return it in C_l."""
-    backend = active_backend()
-    moduli = list(params.moduli[: level + 1])
-    special = list(params.special_moduli)
-    num_q = len(moduli)
-    special_basis = RNSBasis(special)
-    target_basis = RNSBasis(moduli)
-    p_product = math.prod(special)
+    """Divide a C_l ∪ P polynomial by P (with rounding) and return it in C_l.
+
+    One BConv dispatch lifts the P-part into C_l, one fused
+    ``batched_sub_scaled`` dispatch applies ``(x_i - conv_i) * P^{-1} mod q_i``
+    to the whole limb stack.
+    """
+    num_q = level + 1
+    special_basis = params.special_basis()
+    target_basis = params.basis(level)
+    store = poly.store()
     # The P-part of the polynomial, converted into the Q basis.
-    p_part = RNSPolynomial(poly.ring_degree, special_basis, poly.limbs[num_q:])
+    p_part = RNSPolynomial._from_store(poly.ring_degree, special_basis, store[num_q:])
     p_part_in_q = fast_basis_conversion(p_part, target_basis)
-    limbs = []
-    for limb, conv in zip(poly.limbs[:num_q], p_part_in_q.limbs):
-        q_i = limb.modulus
-        p_inv = mod_inverse(p_product % q_i, q_i)
-        coeffs = backend.sub_scaled(
-            limb.coefficients, conv.coefficients, p_inv, q_i
-        )
-        limbs.append(Polynomial._from_reduced(poly.ring_degree, q_i, coeffs))
-    return RNSPolynomial(poly.ring_degree, target_basis, limbs)
+    new_store = active_backend().batched_sub_scaled(
+        store[:num_q],
+        p_part_in_q.store(),
+        _mod_down_constants(params, level),
+        tuple(target_basis.moduli),
+    )
+    return RNSPolynomial._from_store(poly.ring_degree, target_basis, new_store)
 
 
 def hybrid_keyswitch(
@@ -87,13 +101,11 @@ def _hybrid_keyswitch(
     params: CKKSParameters,
     level: int,
 ) -> Tuple[RNSPolynomial, RNSPolynomial]:
-    if len(d.limbs) != level + 1:
+    if len(d.basis) != level + 1:
         raise ValueError(
-            f"polynomial has {len(d.limbs)} limbs but level {level} expects {level + 1}"
+            f"polynomial has {len(d.basis)} limbs but level {level} expects {level + 1}"
         )
-    moduli = list(params.moduli[: level + 1])
-    special = list(params.special_moduli)
-    extended = RNSBasis(moduli + special)
+    extended = params.extended_basis(level)
     n = d.ring_degree
 
     acc0 = RNSPolynomial(n, extended)
@@ -103,14 +115,39 @@ def _hybrid_keyswitch(
         raise ValueError(
             f"keyswitch key has {keyswitch_key.num_digits} digits, expected {len(slices)}"
         )
-    for (start, stop), (b_j, a_j) in zip(slices, keyswitch_key.digit_keys):
-        digit_basis = RNSBasis(moduli[start:stop])
-        digit = RNSPolynomial(n, digit_basis, d.limbs[start:stop])
-        # BConv: lift the digit into the extended basis C_l ∪ P.
+    backend = active_backend()
+    contexts = _limb_contexts(n, extended)
+    handles = None
+    if contexts is not None:
+        # Evaluation-domain images of the digit keys, prepared once per
+        # backend and reused by every keyswitch against this key.
+        handles = keyswitch_key._eval_cache.get(backend.name)
+        if handles is None:
+            handles = [
+                (
+                    backend.limbs_eval_key(contexts, b_j.store()),
+                    backend.limbs_eval_key(contexts, a_j.store()),
+                )
+                for b_j, a_j in keyswitch_key.digit_keys
+            ]
+            keyswitch_key._eval_cache[backend.name] = handles
+    for idx, ((start, stop), (b_j, a_j)) in enumerate(
+        zip(slices, keyswitch_key.digit_keys)
+    ):
+        digit = d.limb_slice(start, stop, _digit_basis(params, start, stop))
+        # BConv: lift the digit into the extended basis C_l ∪ P — a single
+        # matrix-product dispatch per digit.
         lifted = fast_basis_conversion(digit, extended)
-        # Inner product with the evaluation key (limb-wise polynomial MAC).
-        acc0 = acc0 + lifted * b_j
-        acc1 = acc1 + lifted * a_j
+        # Inner product with the evaluation key: one limb-batched MAC pair
+        # per digit, sharing the digit's forward transform across both key
+        # components.
+        if handles is not None:
+            s0, s1 = backend.limbs_mac_eval(contexts, lifted.store(), handles[idx])
+            acc0 = acc0 + RNSPolynomial._from_store(n, extended, s0)
+            acc1 = acc1 + RNSPolynomial._from_store(n, extended, s1)
+        else:
+            acc0 = acc0 + lifted * b_j
+            acc1 = acc1 + lifted * a_j
     # ModDown: divide by P and return to C_l.
     c0 = mod_down(acc0, params, level)
     c1 = mod_down(acc1, params, level)

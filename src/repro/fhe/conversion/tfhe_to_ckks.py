@@ -67,18 +67,16 @@ def lwe_to_rlwe_embedding(lwe: LWECiphertext, evaluator: CKKSEvaluator,
 
 
 def _rotate_monomial(ciphertext: CKKSCiphertext, degree: int) -> CKKSCiphertext:
-    """Multiply both components by ``X^degree`` (the plain Rotate of Algorithm 4)."""
-    c0 = RNSPolynomial(
-        ciphertext.ring_degree,
-        ciphertext.c0.basis,
-        [limb.multiply_by_monomial(degree) for limb in ciphertext.c0.limbs],
+    """Multiply both components by ``X^degree`` (the plain Rotate of Algorithm 4).
+
+    One batched signed-permutation dispatch per component (all limbs at once).
+    """
+    return CKKSCiphertext(
+        c0=ciphertext.c0.multiply_by_monomial(degree),
+        c1=ciphertext.c1.multiply_by_monomial(degree),
+        level=ciphertext.level,
+        scale=ciphertext.scale,
     )
-    c1 = RNSPolynomial(
-        ciphertext.ring_degree,
-        ciphertext.c1.basis,
-        [limb.multiply_by_monomial(degree) for limb in ciphertext.c1.limbs],
-    )
-    return CKKSCiphertext(c0=c0, c1=c1, level=ciphertext.level, scale=ciphertext.scale)
 
 
 def pack_lwes(ciphertexts: Sequence[CKKSCiphertext], evaluator: CKKSEvaluator) -> CKKSCiphertext:

@@ -162,65 +162,17 @@ def four_step_ntt(context: NTTContext, coefficients: Sequence[int], rows: int) -
       4. row NTTs of size ``cols`` (phase-2, done by the CUs),
       and a final index permutation back to the standard NTT output order.
 
-    Each phase maps onto one backend primitive (element-wise multiply or a
-    batch of independent cyclic NTTs), so the whole decomposition runs
-    vectorized on the numpy backend.
+    The whole decomposition is a single backend dispatch
+    (:meth:`ArithmeticBackend.four_step_ntt`): the python backend composes
+    the element-wise and cyclic-batch primitives with list gather/scatter in
+    between, while the numpy backend keeps every transpose and permutation
+    resident as array operations.
     """
-    n = context.ring_degree
-    cols = _four_step_geometry(context, rows)
-    q = context.modulus
-    backend = context.active_backend()
-    coeffs = [int(c) % q for c in coefficients]
-    # Step 0: psi pre-twist makes the remaining problem a plain cyclic DFT.
-    twisted = backend.mul(coeffs, context._psi_powers, q)
-    # View as a rows x cols matrix stored row-major: element (r, c) = twisted[r*cols + c].
-    # Cyclic DFT of size n decomposes as: column DFTs (size rows), twiddle, row DFTs (size cols).
-    omega_rows = pow(context.omega, cols, q)   # primitive `rows`-th root
-    omega_cols = pow(context.omega, rows, q)   # primitive `cols`-th root
-    # Phase 1: DFT along columns (stride cols).
-    columns = [twisted[c::cols] for c in range(cols)]
-    columns = backend.cyclic_ntt_batch(columns, omega_rows, q)
-    # Twiddle: multiply element (r, c) by omega^(r*c) (flattened column-major).
-    flat = [value for column in columns for value in column]
-    flat = backend.mul(flat, context.four_step_twiddles(rows), q)
-    # Phase 2: DFT along rows (after transposing the phase-1 result).
-    rows_data = [flat[r::rows] for r in range(rows)]
-    rows_data = backend.cyclic_ntt_batch(rows_data, omega_cols, q)
-    # Output index k corresponds to (k mod rows, k div rows) in the two-phase result,
-    # i.e. X[k1 + rows*k2] = rows_data[k1][k2].
-    cyclic = [0] * n
-    for k1 in range(rows):
-        cyclic[k1::rows] = rows_data[k1]
-    # `cyclic` holds the natural-order negacyclic NTT (X[k] at psi^(2k+1)).
-    # NTTContext.forward emits bit-reversed order, so permute to match it.
-    order = bit_reverse_permutation(n)
-    return [cyclic[order[i]] for i in range(n)]
+    _four_step_geometry(context, rows)
+    return context.active_backend().four_step_ntt(context, coefficients, rows)
 
 
 def four_step_intt(context: NTTContext, values: Sequence[int], rows: int) -> List[int]:
     """Inverse of :func:`four_step_ntt` (validated against ``NTTContext.inverse``)."""
-    n = context.ring_degree
-    cols = _four_step_geometry(context, rows)
-    q = context.modulus
-    backend = context.active_backend()
-    # Invert the cyclic DFT by running the same decomposition with omega^-1.
-    omega_inv = context.omega_inv
-    omega_rows_inv = pow(omega_inv, cols, q)
-    omega_cols_inv = pow(omega_inv, rows, q)
-    # Undo the bit-reversed output order of four_step_ntt, then the two-phase layout:
-    # rows_data[k1][k2] = X_natural[k1 + rows*k2].
-    order = bit_reverse_permutation(n)
-    natural = [0] * n
-    for i in range(n):
-        natural[order[i]] = int(values[i]) % q
-    rows_data = [natural[k1::rows] for k1 in range(rows)]
-    rows_data = backend.cyclic_ntt_batch(rows_data, omega_cols_inv, q)
-    flat = [rows_data[r][c] for c in range(cols) for r in range(rows)]
-    flat = backend.mul(flat, context.four_step_twiddles(rows, inverse=True), q)
-    columns = [flat[c * rows:(c + 1) * rows] for c in range(cols)]
-    columns = backend.cyclic_ntt_batch(columns, omega_rows_inv, q)
-    twisted = [0] * n
-    for c in range(cols):
-        twisted[c::cols] = columns[c]
-    scaled = backend.scalar_mul(twisted, context.n_inv, q)
-    return backend.mul(scaled, context._psi_inv_powers, q)
+    _four_step_geometry(context, rows)
+    return context.active_backend().four_step_intt(context, values, rows)

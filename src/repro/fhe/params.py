@@ -21,11 +21,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from functools import cached_property
+from functools import cached_property, lru_cache
 from typing import Tuple
 
 from .modmath import find_ntt_prime
 from .rns import RNSBasis
+
+
+@lru_cache(maxsize=1024)
+def _cached_basis(moduli: Tuple[int, ...]) -> RNSBasis:
+    """One RNSBasis per modulus tuple — basis objects (and their CRT
+    constants) recur on every Rescale/KeySwitch, so build each once."""
+    return RNSBasis(moduli)
 
 __all__ = [
     "CKKSParameters",
@@ -121,12 +128,16 @@ class CKKSParameters:
         level = self.max_level if level is None else level
         if not 0 <= level <= self.max_level:
             raise ValueError(f"level {level} out of range [0, {self.max_level}]")
-        return RNSBasis(self.moduli[: level + 1])
+        return _cached_basis(self.moduli[: level + 1])
 
     def extended_basis(self, level: int | None = None) -> RNSBasis:
         """Basis C_l ∪ P used during hybrid keyswitch."""
         level = self.max_level if level is None else level
-        return RNSBasis(list(self.moduli[: level + 1]) + list(self.special_moduli))
+        return _cached_basis(self.moduli[: level + 1] + self.special_moduli)
+
+    def special_basis(self) -> RNSBasis:
+        """The basis formed by the special (P) moduli alone (ModDown's source)."""
+        return _cached_basis(self.special_moduli)
 
     @property
     def scale(self) -> int:

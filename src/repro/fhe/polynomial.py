@@ -24,13 +24,21 @@ by default, vectorized numpy when selected.  All backends are bit-exact, so
 from __future__ import annotations
 
 import random
+from functools import lru_cache
 from typing import Callable, Dict, List, Sequence, Tuple
 
-from .backend import active_backend
+from .backend import PermSpec, active_backend
 from .modmath import centered
 from .ntt import NTTContext
 
-__all__ = ["Polynomial", "sample_uniform", "sample_ternary", "sample_gaussian"]
+__all__ = [
+    "Polynomial",
+    "monomial_spec",
+    "automorphism_spec",
+    "sample_uniform",
+    "sample_ternary",
+    "sample_gaussian",
+]
 
 # NTT contexts are cached per (N, q): building twiddle tables is the expensive
 # part and both CKKS limbs and TFHE rings reuse the same few moduli heavily.
@@ -45,6 +53,47 @@ def _ntt_context(ring_degree: int, modulus: int) -> NTTContext | None:
         except ValueError:
             _NTT_CACHE[key] = None  # type: ignore[assignment]
     return _NTT_CACHE[key]
+
+
+# Blind rotation draws monomial degrees from the full [0, 2N) range, so the
+# cache must hold at least 2N distinct specs for the largest functional ring
+# (N = 2048) or the hottest TFHE loop would rebuild an O(N) spec per CMux.
+@lru_cache(maxsize=4096)
+def monomial_spec(ring_degree: int, degree: int) -> PermSpec:
+    """Signed permutation of ``P(X) -> P(X) * X^degree`` (negacyclic wrap)."""
+    n = ring_degree
+    degree %= 2 * n
+    dest = [0] * n
+    negate = [False] * n
+    for i in range(n):
+        k = i + degree
+        sign = False
+        while k >= n:
+            k -= n
+            sign = not sign
+        dest[i] = k
+        negate[i] = sign
+    return PermSpec(dest, negate)
+
+
+@lru_cache(maxsize=4096)
+def automorphism_spec(ring_degree: int, power: int) -> PermSpec:
+    """Signed permutation of the ring automorphism ``X -> X^power`` (power odd)."""
+    n = ring_degree
+    power %= 2 * n
+    if power % 2 == 0:
+        raise ValueError("automorphism exponent must be odd")
+    dest = [0] * n
+    negate = [False] * n
+    for i in range(n):
+        k = (i * power) % (2 * n)
+        sign = False
+        if k >= n:
+            k -= n
+            sign = True
+        dest[i] = k
+        negate[i] = sign
+    return PermSpec(dest, negate)
 
 
 class Polynomial:
@@ -202,36 +251,18 @@ class Polynomial:
         """Return ``self * X^degree`` (negacyclic rotation; degree may be negative)."""
         n = self.ring_degree
         q = self.modulus
-        degree %= 2 * n
-        result = [0] * n
-        for i, c in enumerate(self.coefficients):
-            k = i + degree
-            sign = 1
-            while k >= n:
-                k -= n
-                sign = -sign
-            result[k] = (result[k] + sign * c) % q
-        return Polynomial(n, q, result)
+        spec = monomial_spec(n, degree % (2 * n))
+        coeffs = active_backend().signed_permute(self.coefficients, q, spec)
+        return Polynomial._from_reduced(n, q, coeffs)
 
     # -- structural transforms ------------------------------------------------
     def automorphism(self, power: int) -> "Polynomial":
         """Apply the ring automorphism ``X -> X^power`` (``power`` odd, mod 2N)."""
         n = self.ring_degree
         q = self.modulus
-        power %= 2 * n
-        if power % 2 == 0:
-            raise ValueError("automorphism exponent must be odd")
-        result = [0] * n
-        for i, c in enumerate(self.coefficients):
-            if c == 0:
-                continue
-            k = (i * power) % (2 * n)
-            sign = 1
-            if k >= n:
-                k -= n
-                sign = -1
-            result[k] = (result[k] + sign * c) % q
-        return Polynomial(n, q, result)
+        spec = automorphism_spec(n, power % (2 * n))
+        coeffs = active_backend().signed_permute(self.coefficients, q, spec)
+        return Polynomial._from_reduced(n, q, coeffs)
 
     def decompose(self, base: int, levels: int) -> List["Polynomial"]:
         """Signed gadget decomposition into ``levels`` digits of the given ``base``.
@@ -248,17 +279,8 @@ class Polynomial:
         n = self.ring_degree
         q = self.modulus
         factors = [q // (base ** (j + 1)) for j in range(levels)]
-        digits = [[0] * n for _ in range(levels)]
-        for idx in range(n):
-            residual = centered(self.coefficients[idx], q)
-            for level, factor in enumerate(factors):
-                if factor == 0:
-                    digit = 0
-                else:
-                    digit = (2 * residual + factor) // (2 * factor)
-                residual -= digit * factor
-                digits[level][idx] = digit % q
-        return [Polynomial(n, q, d) for d in digits]
+        digits = active_backend().gadget_decompose(self.coefficients, q, factors)
+        return [Polynomial._from_reduced(n, q, d) for d in digits]
 
     def switch_modulus(self, new_modulus: int) -> "Polynomial":
         """Scale-and-round the coefficients from modulus ``q`` to ``new_modulus``."""

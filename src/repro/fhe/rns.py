@@ -5,14 +5,29 @@ practice on a chain of small word-sized primes (Cheon-Han-Kim-Kim-Song RNS
 variant).  This module provides:
 
 * :class:`RNSBasis` — an ordered set of pairwise-coprime NTT-friendly primes
-  with the CRT constants needed for reconstruction,
-* :class:`RNSPolynomial` — a polynomial held limb-wise, one residue
-  polynomial per prime in the basis, supporting element-wise arithmetic,
-  NTT-domain conversion, and limb dropping (Rescale),
+  with the CRT constants needed for reconstruction (hashable, so basis pairs
+  key the precomputed conversion tables),
+* :class:`RNSPolynomial` — a polynomial held limb-wise over an
+  :class:`RNSBasis`, supporting element-wise arithmetic, NTT-domain
+  conversion, and limb dropping (Rescale),
 * :func:`fast_basis_conversion` — the **BConv** kernel of the paper: the
   approximate base-conversion (HPS/BEHZ style) used by hybrid keyswitch to
   move a polynomial from basis ``C`` to basis ``D`` without reconstructing the
   big integer.
+
+Packed limb-major execution
+---------------------------
+An :class:`RNSPolynomial` stores its residues as a backend *limb store*: all
+``L`` limbs packed limb-major (one row per modulus — a single ``(L, N)``
+uint64 matrix on the numpy backend, a list of coefficient rows on the python
+backend).  Every RNS-level operation — add/sub/neg, limb-wise NTT
+multiplication, Rescale, BConv, automorphisms — is a *single* backend
+dispatch over the whole stack instead of a Python loop over limbs.  The
+``limbs`` view (a list of per-limb :class:`~repro.fhe.polynomial.Polynomial`
+objects) is materialized lazily for code that wants per-limb access; both
+representations describe the same reduced residues, and the pure-python
+backend executes the packed entry points as per-limb loops over the original
+scalar kernels, keeping it the bit-exact golden reference.
 
 The element counts of these functions are what the kernel-level cost model in
 :mod:`repro.kernels.opcounts` charges for BConv; the functional versions here
@@ -22,17 +37,23 @@ are used by the CKKS scheme implementation and its tests.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Iterable, List, Sequence
 
-from .backend import active_backend
+from .backend import BConvPlan, active_backend
 from .modmath import mod_inverse
-from .polynomial import Polynomial
+from .polynomial import Polynomial, _ntt_context, automorphism_spec, monomial_spec
 
 __all__ = ["RNSBasis", "RNSPolynomial", "fast_basis_conversion", "exact_basis_conversion"]
 
 
 class RNSBasis:
-    """An ordered basis of pairwise-coprime primes ``q_0, ..., q_{k-1}``."""
+    """An ordered basis of pairwise-coprime primes ``q_0, ..., q_{k-1}``.
+
+    Instances are immutable by convention and hashable (by their modulus
+    tuple), so ``(source, target)`` basis pairs can key precomputed
+    conversion tables.
+    """
 
     def __init__(self, moduli: Sequence[int]):
         moduli = [int(q) for q in moduli]
@@ -63,6 +84,9 @@ class RNSBasis:
             return NotImplemented
         return self.moduli == other.moduli
 
+    def __hash__(self) -> int:
+        return hash(tuple(self.moduli))
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"RNSBasis({self.moduli})"
 
@@ -70,7 +94,7 @@ class RNSBasis:
         """The basis formed by the first ``count`` moduli (used by Rescale)."""
         if not 1 <= count <= len(self.moduli):
             raise ValueError(f"cannot take {count} moduli from a basis of {len(self.moduli)}")
-        return RNSBasis(self.moduli[:count])
+        return _basis_subset(self, count)
 
     def extend(self, extra: Iterable[int]) -> "RNSBasis":
         """The basis formed by appending ``extra`` moduli (used by keyswitch)."""
@@ -92,16 +116,62 @@ class RNSBasis:
         return [value % q for q in self.moduli]
 
 
-class RNSPolynomial:
-    """A polynomial in R_Q stored limb-wise over an :class:`RNSBasis`."""
+@lru_cache(maxsize=1024)
+def _basis_subset(basis: RNSBasis, count: int) -> RNSBasis:
+    """Prefix bases recur on every Rescale/ModDown — build each one once."""
+    return RNSBasis(basis.moduli[:count])
 
-    __slots__ = ("ring_degree", "basis", "limbs")
+
+@lru_cache(maxsize=1024)
+def _rescale_constants(basis: RNSBasis) -> tuple:
+    """``q_last^{-1} mod q_i`` for every remaining limb of ``basis``."""
+    q_last = basis.moduli[-1]
+    return tuple(mod_inverse(q_last % q, q) for q in basis.moduli[:-1])
+
+
+@lru_cache(maxsize=1024)
+def _bconv_plan(source: RNSBasis, target: RNSBasis) -> BConvPlan:
+    """Precomputed BConv tables for one ``(source, target)`` basis pair.
+
+    Keying on the basis pair (RNSBasis is hashable) means the complement
+    residues ``(Q/q_i) mod p_j`` are computed once instead of on every
+    :func:`fast_basis_conversion` call.
+    """
+    weights = [
+        [comp % p for comp in source._crt_complements] for p in target.moduli
+    ]
+    return BConvPlan(source.moduli, target.moduli, source._crt_inverses, weights)
+
+
+def _limb_contexts(ring_degree: int, basis: RNSBasis):
+    """Per-limb NTT contexts, or ``None`` if any modulus is not NTT-friendly."""
+    contexts = []
+    for q in basis.moduli:
+        context = _ntt_context(ring_degree, q)
+        if context is None:
+            return None
+        contexts.append(context)
+    return contexts
+
+
+class RNSPolynomial:
+    """A polynomial in R_Q stored limb-major over an :class:`RNSBasis`.
+
+    The residues live in a packed backend *limb store* (``_rows``); a list of
+    per-limb :class:`Polynomial` views (``_limbs``) is materialized lazily on
+    first access to :attr:`limbs`.  At least one representation is always
+    present, and both are immutable by convention.
+    """
+
+    __slots__ = ("ring_degree", "basis", "_limbs", "_rows")
 
     def __init__(self, ring_degree: int, basis: RNSBasis, limbs: Sequence[Polynomial] | None = None):
         self.ring_degree = ring_degree
         self.basis = basis
+        self._rows = None
         if limbs is None:
-            self.limbs = [Polynomial.zero(ring_degree, q) for q in basis]
+            self._limbs = None
+            self._rows = active_backend().limbs_zero(len(basis), ring_degree)
         else:
             limbs = list(limbs)
             if len(limbs) != len(basis):
@@ -109,7 +179,43 @@ class RNSPolynomial:
             for limb, q in zip(limbs, basis):
                 if limb.modulus != q or limb.ring_degree != ring_degree:
                     raise ValueError("limb does not match basis modulus / ring degree")
-            self.limbs = limbs
+            self._limbs = limbs
+
+    # -- representations ------------------------------------------------------
+    @classmethod
+    def _from_store(cls, ring_degree: int, basis: RNSBasis, store) -> "RNSPolynomial":
+        """Adopt a backend limb store whose rows are already reduced."""
+        poly = object.__new__(cls)
+        poly.ring_degree = ring_degree
+        poly.basis = basis
+        poly._rows = store
+        poly._limbs = None
+        return poly
+
+    def store(self):
+        """The packed limb-major backend store (packing lazily on first use)."""
+        if self._rows is None:
+            self._rows = active_backend().pack_limbs(
+                [limb.coefficients for limb in self._limbs], tuple(self.basis.moduli)
+            )
+        return self._rows
+
+    @property
+    def limbs(self) -> List[Polynomial]:
+        """Per-limb :class:`Polynomial` views (materialized lazily)."""
+        if self._limbs is None:
+            rows = active_backend().unpack_limbs(self._rows)
+            self._limbs = [
+                Polynomial._from_reduced(self.ring_degree, q, row)
+                for q, row in zip(self.basis.moduli, rows)
+            ]
+        return self._limbs
+
+    def coefficient_rows(self) -> List[List[int]]:
+        """The residue rows as plain python-int lists (limb-major)."""
+        if self._limbs is not None:
+            return [limb.coefficients for limb in self._limbs]
+        return active_backend().store_rows(self._rows)
 
     # -- constructors ---------------------------------------------------------
     @classmethod
@@ -131,9 +237,10 @@ class RNSPolynomial:
 
     def to_integer_coefficients(self) -> List[int]:
         """CRT-reconstruct the big-integer coefficients in ``[0, Q)``."""
+        rows = self.coefficient_rows()
         result = []
         for idx in range(self.ring_degree):
-            residues = [limb.coefficients[idx] for limb in self.limbs]
+            residues = [row[idx] for row in rows]
             result.append(self.basis.reconstruct(residues))
         return result
 
@@ -148,34 +255,42 @@ class RNSPolynomial:
 
     def __add__(self, other: "RNSPolynomial") -> "RNSPolynomial":
         self._check_compatible(other)
-        return RNSPolynomial(
-            self.ring_degree,
-            self.basis,
-            [a + b for a, b in zip(self.limbs, other.limbs)],
+        store = active_backend().limbs_add(
+            self.store(), other.store(), tuple(self.basis.moduli)
         )
+        return RNSPolynomial._from_store(self.ring_degree, self.basis, store)
 
     def __sub__(self, other: "RNSPolynomial") -> "RNSPolynomial":
         self._check_compatible(other)
-        return RNSPolynomial(
-            self.ring_degree,
-            self.basis,
-            [a - b for a, b in zip(self.limbs, other.limbs)],
+        store = active_backend().limbs_sub(
+            self.store(), other.store(), tuple(self.basis.moduli)
         )
+        return RNSPolynomial._from_store(self.ring_degree, self.basis, store)
 
     def __neg__(self) -> "RNSPolynomial":
-        return RNSPolynomial(self.ring_degree, self.basis, [-a for a in self.limbs])
+        store = active_backend().limbs_neg(self.store(), tuple(self.basis.moduli))
+        return RNSPolynomial._from_store(self.ring_degree, self.basis, store)
 
     def __mul__(self, other: "RNSPolynomial | int") -> "RNSPolynomial":
+        moduli = tuple(self.basis.moduli)
         if isinstance(other, int):
-            return RNSPolynomial(
-                self.ring_degree, self.basis, [limb * other for limb in self.limbs]
+            store = active_backend().limbs_scalar_mul(
+                self.store(), [other % q for q in moduli], moduli
             )
+            return RNSPolynomial._from_store(self.ring_degree, self.basis, store)
         self._check_compatible(other)
-        return RNSPolynomial(
-            self.ring_degree,
-            self.basis,
-            [a * b for a, b in zip(self.limbs, other.limbs)],
+        contexts = _limb_contexts(self.ring_degree, self.basis)
+        if contexts is None:
+            # Non-NTT-friendly moduli: per-limb schoolbook via Polynomial.
+            return RNSPolynomial(
+                self.ring_degree,
+                self.basis,
+                [a * b for a, b in zip(self.limbs, other.limbs)],
+            )
+        store = active_backend().limbs_convolution(
+            contexts, self.store(), other.store()
         )
+        return RNSPolynomial._from_store(self.ring_degree, self.basis, store)
 
     __rmul__ = __mul__
 
@@ -185,46 +300,82 @@ class RNSPolynomial:
         return (
             self.ring_degree == other.ring_degree
             and self.basis == other.basis
-            and self.limbs == other.limbs
+            and self.coefficient_rows() == other.coefficient_rows()
         )
 
     def __repr__(self) -> str:  # pragma: no cover
-        return f"RNSPolynomial(N={self.ring_degree}, limbs={len(self.limbs)})"
+        return f"RNSPolynomial(N={self.ring_degree}, limbs={len(self.basis)})"
+
+    # -- structural transforms ----------------------------------------------------
+    def automorphism(self, galois_element: int) -> "RNSPolynomial":
+        """Apply ``X -> X^g`` to every limb (one batched signed permutation)."""
+        spec = automorphism_spec(self.ring_degree, galois_element % (2 * self.ring_degree))
+        store = active_backend().limbs_signed_permute(
+            self.store(), tuple(self.basis.moduli), spec
+        )
+        return RNSPolynomial._from_store(self.ring_degree, self.basis, store)
+
+    def multiply_by_monomial(self, degree: int) -> "RNSPolynomial":
+        """Multiply every limb by ``X^degree`` (one batched signed permutation)."""
+        spec = monomial_spec(self.ring_degree, degree % (2 * self.ring_degree))
+        store = active_backend().limbs_signed_permute(
+            self.store(), tuple(self.basis.moduli), spec
+        )
+        return RNSPolynomial._from_store(self.ring_degree, self.basis, store)
 
     # -- level management --------------------------------------------------------
     @property
     def level(self) -> int:
         """Number of limbs minus one (CKKS level convention)."""
-        return len(self.limbs) - 1
+        return len(self.basis) - 1
+
+    def keep_limbs(self, count: int) -> "RNSPolynomial":
+        """The polynomial restricted to its first ``count`` limbs."""
+        if not 1 <= count <= len(self.basis):
+            raise ValueError(
+                f"cannot keep {count} limbs of a {len(self.basis)}-limb polynomial"
+            )
+        if count == len(self.basis):
+            return self
+        return RNSPolynomial._from_store(
+            self.ring_degree, self.basis.subset(count), self.store()[:count]
+        )
+
+    def limb_slice(self, start: int, stop: int, basis: "RNSBasis | None" = None) -> "RNSPolynomial":
+        """The polynomial formed by limbs ``[start, stop)`` (keyswitch digits)."""
+        if basis is None:
+            basis = RNSBasis(self.basis.moduli[start:stop])
+        return RNSPolynomial._from_store(
+            self.ring_degree, basis, self.store()[start:stop]
+        )
 
     def drop_last_limb(self) -> "RNSPolynomial":
         """Remove the last RNS limb (the modulus-reduction half of Rescale)."""
-        if len(self.limbs) <= 1:
+        if len(self.basis) <= 1:
             raise ValueError("cannot drop the last remaining limb")
-        new_basis = self.basis.subset(len(self.limbs) - 1)
-        return RNSPolynomial(self.ring_degree, new_basis, self.limbs[:-1])
+        return self.keep_limbs(len(self.basis) - 1)
 
     def rescale(self) -> "RNSPolynomial":
         """Exact RNS rescale: divide by the last modulus ``q_l`` and round.
 
         Implements the standard RNS trick
-        ``x_i' = (x_i - x_l) * q_l^{-1} mod q_i`` for every remaining limb.
+        ``x_i' = (x_i - x_l) * q_l^{-1} mod q_i`` for every remaining limb —
+        one fused ``batched_sub_scaled`` dispatch over the whole limb stack.
         """
-        if len(self.limbs) <= 1:
+        if len(self.basis) <= 1:
             raise ValueError("cannot rescale a polynomial with a single limb")
-        backend = active_backend()
-        last = self.limbs[-1]
-        q_last = last.modulus
-        new_limbs = []
-        for limb in self.limbs[:-1]:
-            q_i = limb.modulus
-            inv = mod_inverse(q_last % q_i, q_i)
-            coeffs = backend.sub_scaled(
-                limb.coefficients, last.coefficients, inv, q_i
-            )
-            new_limbs.append(Polynomial._from_reduced(self.ring_degree, q_i, coeffs))
-        return RNSPolynomial(
-            self.ring_degree, self.basis.subset(len(self.limbs) - 1), new_limbs
+        store = self.store()
+        count = len(self.basis) - 1
+        q_last = self.basis.moduli[-1]
+        new_store = active_backend().batched_sub_scaled(
+            store[:count],
+            store[count],
+            _rescale_constants(self.basis),
+            tuple(self.basis.moduli[:count]),
+            b_modulus=q_last,
+        )
+        return RNSPolynomial._from_store(
+            self.ring_degree, self.basis.subset(count), new_store
         )
 
 
@@ -262,19 +413,10 @@ def fast_basis_conversion(
     operations absorb as noise — exactly the behaviour the scheme expects.
 
     The arithmetic structure (an ``alpha x N`` by ``l x alpha`` matrix product)
-    is what the hardware model maps onto the systolic side of the CUs.
+    is what the hardware model maps onto the systolic side of the CUs; the
+    software expresses it the same way, as one ``bconv_matmul`` backend
+    dispatch over precomputed per-basis-pair tables.
     """
-    backend = active_backend()
-    source = poly.basis
-    n = poly.ring_degree
-    # Per-limb scaled residues: x_i * (Q/q_i)^{-1} mod q_i.
-    scaled = []
-    for limb, inv in zip(poly.limbs, source._crt_inverses):
-        q_i = limb.modulus
-        scaled.append(backend.scalar_mul(limb.coefficients, inv, q_i))
-    target_limbs = []
-    for p_j in target_basis:
-        comp_mod_p = [comp % p_j for comp in source._crt_complements]
-        coeffs = backend.weighted_sum(scaled, comp_mod_p, p_j)
-        target_limbs.append(Polynomial._from_reduced(n, p_j, coeffs))
-    return RNSPolynomial(n, target_basis, target_limbs)
+    plan = _bconv_plan(poly.basis, target_basis)
+    store = active_backend().bconv_matmul(poly.store(), plan)
+    return RNSPolynomial._from_store(poly.ring_degree, target_basis, store)

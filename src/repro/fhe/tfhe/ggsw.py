@@ -14,11 +14,12 @@ reduction — exactly the kernel split the Trinity CU balances.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import Dict, List
 
+from ..backend import active_backend
 from ..params import TFHEParameters
-from ..polynomial import Polynomial
+from ..polynomial import Polynomial, _ntt_context
 from .glwe import GLWECiphertext, GLWEContext
 
 __all__ = ["gadget_factors", "GGSWCiphertext", "GGSWContext", "external_product", "cmux"]
@@ -36,6 +37,10 @@ class GGSWCiphertext:
     rows: List[List[GLWECiphertext]]   # rows[i][j]: component i, level j
     base: int
     levels: int
+    # Evaluation-domain (forward-NTT) images of the key rows, computed once
+    # per ring and reused by every external product against this ciphertext.
+    # The transforms are exact integers, so the cache is backend-independent.
+    _eval_cache: Dict[tuple, list] = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def glwe_dimension(self) -> int:
@@ -99,26 +104,71 @@ class GGSWContext:
         return GGSWCiphertext(rows=rows, base=base, levels=levels)
 
 
+def _ggsw_eval_rows(ggsw: GGSWCiphertext, context, backend) -> list:
+    """Forward-NTT images of every GGSW row component, cached on the ciphertext.
+
+    Returns a flat list indexed ``i * levels + j`` (matching the digit order
+    of :func:`external_product`), each entry holding the ``k + 1`` component
+    rows of GLWE row ``(i, j)`` in evaluation representation.
+    """
+    key = (context.ring_degree, context.modulus)
+    cached = ggsw._eval_cache.get(key)
+    if cached is None:
+        flat: List[List[int]] = []
+        for component_rows in ggsw.rows:
+            for row in component_rows:
+                for poly in list(row.mask) + [row.body]:
+                    flat.append(poly.coefficients)
+        fwd = backend.ntt_forward_batch(context, flat)
+        width = ggsw.glwe_dimension + 1
+        cached = [fwd[r * width:(r + 1) * width] for r in range(len(fwd) // width)]
+        ggsw._eval_cache[key] = cached
+    return cached
+
+
 def external_product(ggsw: GGSWCiphertext, glwe: GLWECiphertext) -> GLWECiphertext:
     """GGSW ⊡ GLWE: returns a GLWE encryption of ``m_ggsw * m_glwe``.
 
-    The decomposition-multiply-accumulate structure below is the exact
-    workload the hardware model charges as ``(k+1)*l_b`` forward NTTs, a MAC
-    reduction over the GGSW rows, and ``k+1`` inverse NTTs.
+    Runs exactly the workload the hardware model charges: ``(k+1)*l_b``
+    forward NTTs of the decomposition digits (one batched dispatch), a MAC
+    reduction over the GGSW rows in the evaluation domain (against the
+    cached key-row transforms), and ``k+1`` inverse NTTs (one batched
+    dispatch).  Summing in the evaluation domain before the single inverse
+    transform is exact, so the result is bit-identical to the per-row
+    convolution formulation.
     """
     if ggsw.ring_degree != glwe.ring_degree or ggsw.modulus != glwe.modulus:
         raise ValueError("GGSW and GLWE ciphertexts are incompatible")
     base = ggsw.base
     levels = ggsw.levels
     k = ggsw.glwe_dimension
+    n = glwe.ring_degree
+    q = glwe.modulus
     components = list(glwe.mask) + [glwe.body]
-    accumulator = GLWECiphertext.zero(k, glwe.ring_degree, glwe.modulus)
-    for i in range(k + 1):
-        digits = components[i].decompose(base, levels)
-        for j in range(levels):
-            row = ggsw.rows[i][j]
-            accumulator = accumulator + row.multiply_by_polynomial(digits[j])
-    return accumulator
+    context = _ntt_context(n, q)
+    if context is None:
+        # Non-NTT-friendly ring: fall back to per-row polynomial products.
+        accumulator = GLWECiphertext.zero(k, n, q)
+        for i in range(k + 1):
+            digits = components[i].decompose(base, levels)
+            for j in range(levels):
+                row = ggsw.rows[i][j]
+                accumulator = accumulator + row.multiply_by_polynomial(digits[j])
+        return accumulator
+    backend = active_backend()
+    factors = gadget_factors(q, base, levels)
+    digit_rows: List[List[int]] = []
+    for component in components:
+        digit_rows.extend(backend.gadget_decompose(component.coefficients, q, factors))
+    fwd = backend.ntt_forward_batch(context, digit_rows)
+    key_eval = _ggsw_eval_rows(ggsw, context, backend)
+    groups = [
+        [key_eval[r][m] for r in range(len(fwd))] for m in range(k + 1)
+    ]
+    out_rows = backend.pointwise_mac_many(fwd, groups, q)
+    inv = backend.ntt_inverse_batch(context, out_rows)
+    polys = [Polynomial._from_reduced(n, q, row) for row in inv]
+    return GLWECiphertext(mask=polys[:k], body=polys[k])
 
 
 def cmux(selector: GGSWCiphertext, when_true: GLWECiphertext,

@@ -14,9 +14,9 @@ import random
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from ..backend import ArithmeticBackend, use_backend
+from ..backend import ArithmeticBackend, active_backend, use_backend
 from ..params import TFHEParameters
-from ..polynomial import Polynomial, sample_gaussian, sample_uniform
+from ..polynomial import Polynomial, monomial_spec, sample_gaussian, sample_uniform
 
 __all__ = ["GLWESecretKey", "GLWECiphertext", "GLWEContext"]
 
@@ -81,11 +81,21 @@ class GLWECiphertext:
         return GLWECiphertext(mask=[-a for a in self.mask], body=-self.body)
 
     def multiply_by_monomial(self, degree: int) -> "GLWECiphertext":
-        """Rotate: multiply every component by ``X^degree`` (negacyclic)."""
-        return GLWECiphertext(
-            mask=[a.multiply_by_monomial(degree) for a in self.mask],
-            body=self.body.multiply_by_monomial(degree),
+        """Rotate: multiply every component by ``X^degree`` (negacyclic).
+
+        All ``k + 1`` components ride one batched signed-permutation
+        dispatch — this runs twice per blind-rotation iteration.
+        """
+        n = self.ring_degree
+        q = self.modulus
+        backend = active_backend()
+        spec = monomial_spec(n, degree % (2 * n))
+        rows = [poly.coefficients for poly in self.mask] + [self.body.coefficients]
+        out = backend.unpack_limbs(
+            backend.limbs_signed_permute(rows, (q,) * len(rows), spec)
         )
+        polys = [Polynomial._from_reduced(n, q, row) for row in out]
+        return GLWECiphertext(mask=polys[:-1], body=polys[-1])
 
     def multiply_by_polynomial(self, poly: Polynomial) -> "GLWECiphertext":
         """Multiply every component by a public plaintext polynomial."""

@@ -22,7 +22,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, List, Sequence
 
-from ..backend import ArithmeticBackend, use_backend
+from ..backend import ArithmeticBackend, active_backend, use_backend
 from ..params import TFHEParameters
 from ..polynomial import Polynomial
 from .ggsw import GGSWCiphertext, GGSWContext, cmux, gadget_factors
@@ -155,9 +155,13 @@ def lwe_keyswitch(ciphertext: LWECiphertext, ksk: KeySwitchingKey,
 
     Implements line 17 of Algorithm 2:
     ``c'' = (0, ..., 0, b') - sum_i sum_j Decomp(a'_i)_j * ksk[i][j]``.
+    The mask accumulation runs as one ``weighted_sum`` backend dispatch over
+    all contributing ksk rows instead of ``k*N*l_k`` per-row vector updates.
     """
     q = ciphertext.modulus
-    result = LWECiphertext(a=[0] * output_dimension, b=ciphertext.b % q, modulus=q)
+    rows: List[List[int]] = []
+    weights: List[int] = []
+    b_acc = ciphertext.b % q
     for i, a_i in enumerate(ciphertext.a):
         if a_i == 0:
             continue
@@ -165,8 +169,14 @@ def lwe_keyswitch(ciphertext: LWECiphertext, ksk: KeySwitchingKey,
         for j, digit in enumerate(digits):
             if digit == 0:
                 continue
-            result = result - ksk.rows[i][j].scalar_multiply(digit)
-    return result
+            row = ksk.rows[i][j]
+            rows.append(row.a)
+            weights.append((-digit) % q)
+            b_acc = (b_acc - digit * row.b) % q
+    if not rows:
+        return LWECiphertext(a=[0] * output_dimension, b=b_acc, modulus=q)
+    a = active_backend().weighted_sum(rows, weights, q)
+    return LWECiphertext(a=a, b=b_acc, modulus=q)
 
 
 # ---------------------------------------------------------------------------
