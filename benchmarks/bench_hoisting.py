@@ -1,0 +1,246 @@
+"""Benchmark: hoisted-rotation BSGS sets and the NTT-resident multiply chain.
+
+PR 2 made the per-rotation keyswitch cost visible (every ``evaluator.rotate``
+pays a full Decompose + per-digit BConv + NTT + two inverse NTTs *per digit*);
+PR 3 closes the gap the ROADMAP named:
+
+* ``hoisted_bsgs_rotations`` — rotate one ciphertext by a 16-step BSGS
+  rotation set.  Naive: 16 x ``evaluator.rotate`` (full keyswitch each).
+  Hoisted: one ``evaluator.rotate_hoisted(ct, steps)`` — a single shared
+  Decompose+BConv+NTT hoist, then per step only an eval-domain digit gather,
+  MAC against the cached key transforms, one shared iNTT pair and ModDown.
+* ``ntt_resident_multiply_chain`` — multiply -> rescale -> multiply.
+  Naive: the coefficient-domain reference pipeline
+  (``evaluator._multiply_coeff``: four per-component convolutions + the
+  per-digit keyswitch).  Resident: ``evaluator.multiply`` (one batched
+  eval-domain tensor dispatch + hoisted relinearization) with the
+  evaluation-resident rescale in between.  The two chains are **bit-exact**
+  and the benchmark asserts it; the rotation pair is checked to decode to
+  the same slots (hoisting permutes the BConv approximation, which only
+  perturbs keyswitch noise).
+
+Acceptance (``--check``, on by default, on the word-size gated config at
+L = 8, N = 2^12): >= 3x on the 16-rotation BSGS set and >= 1.5x on the
+multiply chain.  ``--min-speedup F`` replaces both thresholds (the CI
+perf-smoke job uses 1.0: hoisted must never lose on noisy shared runners).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_hoisting.py [--quick] [--json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List
+
+import conftest
+
+from repro.fhe.backend import available_backends, set_active_backend
+from repro.fhe.ckks import CKKSContext
+from repro.fhe.params import CKKSParameters
+
+BENCH_NAME = "hoisting"
+
+REQUIRED_SPEEDUPS = {
+    "hoisted_bsgs_rotations": 3.0,
+    "ntt_resident_multiply_chain": 1.5,
+}
+
+#: The gated configuration: a word-size (direct single-word kernel) chain,
+#: matching the regime bench_rns_batching gates on.  The 40-bit
+#: Montgomery/Shoup regime is measured and reported alongside.
+GATED_BITS = 30
+
+
+def _best_of(func, repeats: int):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def build_context(degree: int, level: int, bits: int) -> CKKSContext:
+    params = CKKSParameters(
+        ring_degree=degree, max_level=level, dnum=3, scale_bits=bits - 4,
+        modulus_bits=bits, special_modulus_bits=bits + 2, security_bits=0,
+        name=f"ckks-hoist-bench-{bits}",
+    )
+    # A sparse secret keeps s^2 (relin key material) cheap to derive at N=2^12.
+    return CKKSContext(params, seed=17, error_stddev=0.0,
+                       secret_hamming_weight=64)
+
+
+def _decode_close(context, a, b, tolerance=1e-2) -> float:
+    da = context.decrypt_vector(a)
+    db = context.decrypt_vector(b)
+    worst = max(abs(x - y) for x, y in zip(da, db))
+    if worst > tolerance:
+        raise AssertionError(f"hoisted/naive slots diverged by {worst}")
+    return worst
+
+
+def run_bsgs_benchmark(degree: int, level: int, bits: int, num_rotations: int,
+                       repeats: int) -> Dict[str, object]:
+    context = build_context(degree, level, bits)
+    evaluator = context.evaluator
+    slots = context.params.slots
+    values = [((7 * i) % 23 - 11) / 8.0 for i in range(slots)]
+    ct = context.encrypt_vector(values)
+    steps = list(range(1, num_rotations + 1))
+    # Materialize the rotation keys and warm every eval-domain cache before
+    # timing (key generation is not what either path is measuring).
+    context.keys.ensure_rotation_keys(steps, level)
+
+    def naive():
+        return [evaluator.rotate(ct, step) for step in steps]
+
+    def hoisted():
+        return evaluator.rotate_hoisted(ct, steps)
+
+    naive()      # warm twiddle/key caches on both paths
+    hoisted()
+    # Identical repeat counts on both sides: an asymmetric best-of would bias
+    # the speedup gate on noisy runners.
+    naive_time, naive_result = _best_of(naive, repeats)
+    hoisted_time, hoisted_result = _best_of(hoisted, repeats)
+    for a, b in zip(naive_result, hoisted_result):
+        _decode_close(context, a, b)
+    return {
+        "kernel": "hoisted_bsgs_rotations",
+        "ring_degree": degree,
+        "limbs": level + 1,
+        "modulus_bits": bits,
+        "rotations": num_rotations,
+        "naive_seconds": naive_time,
+        "hoisted_seconds": hoisted_time,
+        "speedup": naive_time / hoisted_time if hoisted_time > 0 else float("inf"),
+    }
+
+
+def run_multiply_chain_benchmark(degree: int, level: int, bits: int,
+                                 repeats: int) -> Dict[str, object]:
+    context = build_context(degree, level, bits)
+    evaluator = context.evaluator
+    a = context.encrypt_vector([1.25, -0.5, 2.0, 0.75])
+    b = context.encrypt_vector([0.5, 1.5, -1.0, 0.25])
+    c = evaluator.mod_down_to(context.encrypt_vector([2.0, 0.5, 1.0, -0.5]),
+                              level - 1)
+
+    def chain_coeff():
+        m1 = evaluator._multiply_coeff(a, b)
+        m1 = evaluator.rescale(m1)
+        return evaluator._multiply_coeff(m1, c)
+
+    def chain_resident():
+        m1 = evaluator.multiply(a, b)
+        m1 = evaluator.rescale(m1)            # evaluation-resident rescale
+        m2 = evaluator.multiply(m1, c)
+        return evaluator.to_coeff(m2)
+
+    chain_coeff()     # warm relin key / twiddle caches
+    chain_resident()
+    naive_time, naive_result = _best_of(chain_coeff, repeats)
+    resident_time, resident_result = _best_of(chain_resident, repeats)
+    if (
+        naive_result.c0.coefficient_rows() != resident_result.c0.coefficient_rows()
+        or naive_result.c1.coefficient_rows() != resident_result.c1.coefficient_rows()
+    ):
+        raise AssertionError("NTT-resident chain is not bit-exact vs coefficient chain")
+    return {
+        "kernel": "ntt_resident_multiply_chain",
+        "ring_degree": degree,
+        "limbs": level + 1,
+        "modulus_bits": bits,
+        "naive_seconds": naive_time,
+        "hoisted_seconds": resident_time,
+        "speedup": naive_time / resident_time if resident_time > 0 else float("inf"),
+    }
+
+
+def print_table(records: List[Dict[str, object]]) -> None:
+    header = (
+        f"{'kernel':<28} {'N':>6} {'L':>3} {'bits':>5} "
+        f"{'naive':>12} {'hoisted':>12} {'speedup':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for rec in records:
+        print(
+            f"{rec['kernel']:<28} {rec['ring_degree']:>6} {rec['limbs'] - 1:>3} "
+            f"{rec['modulus_bits']:>5} "
+            f"{rec['naive_seconds'] * 1e3:>10.3f}ms "
+            f"{rec['hoisted_seconds'] * 1e3:>10.3f}ms "
+            f"{rec['speedup']:>8.1f}x"
+        )
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small ring and fewer repeats (CI smoke pass)")
+    parser.add_argument("--no-check", dest="check", action="store_false",
+                        help="skip the speedup acceptance assertions")
+    parser.add_argument("--min-speedup", type=float, default=None, metavar="F",
+                        help="replace every threshold with F "
+                             "(CI uses 1.0: hoisted must not be slower)")
+    conftest.add_json_argument(parser, BENCH_NAME)
+    args = parser.parse_args(argv)
+
+    if "numpy" not in available_backends():
+        print("numpy is not installed; benchmark needs the vectorized backend.")
+        return 0
+    set_active_backend("numpy")
+
+    if args.quick:
+        degree, repeats, rotations = 1 << 10, 1, 8
+    else:
+        degree, repeats, rotations = 1 << 12, 3, 16
+    level = 8          # L = 8: the acceptance configuration
+
+    records = [
+        run_bsgs_benchmark(degree, level, GATED_BITS, rotations, repeats),
+        run_multiply_chain_benchmark(degree, level, GATED_BITS, repeats),
+    ]
+    if not args.quick:
+        # Informational: the 40-bit Montgomery/Shoup regime, same shapes.
+        records.append(run_bsgs_benchmark(degree, level, 40, rotations, repeats))
+        records.append(run_multiply_chain_benchmark(degree, level, 40, repeats))
+    print_table(records)
+
+    if args.json:
+        path = conftest.write_bench_json(
+            args.json, BENCH_NAME, records,
+            extra={"quick": args.quick, "gated_modulus_bits": GATED_BITS},
+        )
+        print(f"\nwrote {path}")
+
+    print()
+    failures = []
+    for rec in records:
+        if args.min_speedup is not None:
+            required = args.min_speedup
+        elif rec["modulus_bits"] == GATED_BITS and not args.quick:
+            required = REQUIRED_SPEEDUPS[rec["kernel"]]
+        else:
+            continue
+        status = "ok" if rec["speedup"] >= required else "FAILED"
+        print(
+            f"{rec['kernel']} ({rec['modulus_bits']}-bit): {rec['speedup']:.1f}x "
+            f"(required >= {required:.1f}x) {status}"
+        )
+        if rec["speedup"] < required:
+            failures.append(f"{rec['kernel']}@{rec['modulus_bits']}bit")
+    if args.check and failures:
+        print(f"FAILED: below threshold: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

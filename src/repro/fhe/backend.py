@@ -50,6 +50,7 @@ __all__ = [
     "NumpyBackend",
     "PerLimbNumpyBackend",
     "PermSpec",
+    "GatherSpec",
     "BConvPlan",
     "available_backends",
     "get_backend",
@@ -100,6 +101,24 @@ class PermSpec:
     def __init__(self, dest: Sequence[int], negate: Sequence[bool]):
         self.dest = tuple(dest)
         self.negate = tuple(negate)
+        self.cache: Dict[str, object] = {}
+
+
+class GatherSpec:
+    """A plain (sign-free) coefficient gather: ``out[i] = in[src[i]]``.
+
+    The evaluation-domain image of a Galois automorphism has exactly this
+    shape on power-of-two cyclotomics: ``sigma_g`` permutes the odd powers of
+    ``psi`` the NTT evaluates at, so it permutes the evaluation values with no
+    sign flips (see :func:`repro.fhe.polynomial.galois_eval_spec`).  ``cache``
+    holds backend-derived index tables keyed by backend name; specs are built
+    once per ``(N, g)`` and lru-cached by the ring layer.
+    """
+
+    __slots__ = ("src", "cache")
+
+    def __init__(self, src: Sequence[int]):
+        self.src = tuple(src)
         self.cache: Dict[str, object] = {}
 
 
@@ -207,8 +226,12 @@ class ArithmeticBackend:
         """Inverse of :meth:`pack_limbs` (always python-int rows)."""
         return self.store_rows(store)
 
-    def limbs_zero(self, count: int, length: int) -> object:
-        """An all-zero store of ``count`` rows of ``length`` coefficients."""
+    def limbs_zero(self, count: int, length: int, moduli=None) -> object:
+        """An all-zero store of ``count`` rows of ``length`` coefficients.
+
+        ``moduli`` is an optional hint (the per-row moduli) that lets a
+        backend pick a narrower storage dtype; values are zero either way.
+        """
         return [[0] * length for _ in range(count)]
 
     def limbs_add(self, a, b, moduli):
@@ -304,14 +327,17 @@ class ArithmeticBackend:
         limb-wise products.
 
         Returns an opaque ``(form, payload, raw_store)`` handle consumed by
-        :meth:`limbs_mac_eval`.  Every handle keeps a reference to the raw
-        coefficient store (the key object owns it anyway), so any backend
-        can always fall back to a plain convolution; vectorized backends
-        additionally carry the key's forward NTT in their preferred
-        internal form, so repeated keyswitches against the same key skip
-        half the transforms.
+        :meth:`limbs_mac_eval` and :meth:`limbs_eval_mac`.  Every handle
+        keeps a reference to the raw coefficient store (the key object owns
+        it anyway), so any backend can always fall back to a plain
+        convolution; the payload carries the key's forward NTT in the
+        backend's preferred internal form, so repeated keyswitches against
+        the same key skip half the transforms.  The base handle starts
+        ``"raw"`` (no payload): the naive MAC path never reads one, and
+        :meth:`limbs_eval_mac` fills it in lazily — which is why the handle
+        is a mutable list here.
         """
-        return ("raw", None, store)
+        return ["raw", None, store]
 
     def limbs_mac_eval(self, contexts, store, key_handles):
         """Negacyclic products of ``store`` with several prepared keys.
@@ -324,6 +350,67 @@ class ArithmeticBackend:
             self.limbs_convolution(contexts, store, handle[2])
             for handle in key_handles
         ]
+
+    def limbs_eval_mac(self, contexts, digit_stores, key_handles):
+        """Evaluation-domain MAC of several decomposition digits against keys.
+
+        ``digit_stores[j]`` holds the fully-reduced forward transform of
+        digit ``j`` (an eval-domain limb store) and ``key_handles[j]`` the
+        tuple of prepared per-component key handles for that digit (from
+        :meth:`limbs_eval_key`).  Returns one eval-domain store per key
+        component: ``acc_c = sum_j digit_stores[j] * key_handles[j][c]``
+        (pointwise per limb, fully reduced after every step).  The shared
+        inverse transform is the caller's job — hoisted keyswitch
+        accumulates *all* digits here and pays one ``batched_intt`` per
+        component instead of one per digit.
+        """
+        moduli = tuple(ctx.modulus for ctx in contexts)
+        accs = None
+        for store, handles in zip(digit_stores, key_handles):
+            terms = []
+            for handle in handles:
+                key_eval = handle[1] if handle[0] in ("eval", "u32") else None
+                if key_eval is None:
+                    key_eval = self.batched_ntt(contexts, handle[2])
+                    if isinstance(handle, list):
+                        # Cache the transform on the (key-owned) handle so
+                        # repeated keyswitches against this key pay it once.
+                        handle[0] = "eval"
+                        handle[1] = key_eval
+                terms.append(self.limbs_mul(store, key_eval, moduli))
+            if accs is None:
+                accs = terms
+            else:
+                accs = [
+                    self.limbs_add(acc, term, moduli)
+                    for acc, term in zip(accs, terms)
+                ]
+        return accs
+
+    def limbs_tensor_product(self, a0, a1, b0, b1, moduli):
+        """CKKS degree-2 tensor product in the evaluation domain.
+
+        All four inputs are eval-domain limb stores of the two ciphertexts'
+        components; returns ``(d0, d1, d2) = (a0*b0, a0*b1 + a1*b0, a1*b1)``
+        computed pointwise per limb.  Vectorized backends run the four
+        products as one broadcast dispatch.
+        """
+        d0 = self.limbs_mul(a0, b0, moduli)
+        d1 = self.limbs_add(
+            self.limbs_mul(a0, b1, moduli), self.limbs_mul(a1, b0, moduli), moduli
+        )
+        d2 = self.limbs_mul(a1, b1, moduli)
+        return d0, d1, d2
+
+    def replicate_row(self, row, moduli):
+        """One coefficient row reduced into every modulus of ``moduli``.
+
+        Returns a store with ``len(moduli)`` rows — the broadcast step of the
+        evaluation-domain Rescale, where the dropped limb's coefficients are
+        re-reduced under each remaining modulus before being transformed.
+        """
+        values = self._row_ints(row)
+        return [[v % q for v in values] for q in moduli]
 
     def signed_permute(self, values, q: int, spec: "PermSpec") -> List[int]:
         """Apply a signed coefficient permutation (monomial mul / automorphism)."""
@@ -341,6 +428,16 @@ class ArithmeticBackend:
             self.signed_permute(row, q, spec)
             for row, q in zip(self.store_rows(store), moduli)
         ]
+
+    def limbs_gather(self, store, spec: "GatherSpec"):
+        """Apply one sign-free gather to every limb row.
+
+        ``out[limb][i] = store[limb][spec.src[i]]`` — the evaluation-domain
+        Galois automorphism (a pure slot permutation, no negation, no
+        arithmetic), so no moduli are needed.
+        """
+        src = spec.src
+        return [[row[j] for j in src] for row in self.store_rows(store)]
 
     # -- same-modulus row batches (TFHE external product) ------------------
     def ntt_forward_batch(self, context, rows):
@@ -902,16 +999,30 @@ class NumpyBackend(ArithmeticBackend):
     dominate for tiny rings; measured break-even is ~512 elements for the
     element-wise ops and ~128 points for the transforms).  Set both to 0 to
     force the vectorized path everywhere (the parity tests do).
+
+    ``store_uint32`` selects the narrow storage mode: limb stores whose
+    moduli all fit 32 bits (the TFHE primes and word-size CKKS chains) are
+    held as ``uint32`` matrices at rest — half the resident footprint and
+    memory traffic of the default ``uint64`` stores.  Kernels upcast on
+    load and downcast on store; the arithmetic itself is unchanged (and the
+    parity suite proves the mode bit-exact).  Defaults to the
+    ``REPRO_U32_STORE`` environment variable.
     """
 
     name = "numpy"
 
-    def __init__(self, min_vector_length: int = 512, min_ntt_length: int = 128):
+    def __init__(self, min_vector_length: int = 512, min_ntt_length: int = 128,
+                 store_uint32: "bool | None" = None):
         if _np is None:  # pragma: no cover - guarded by get_backend
             raise RuntimeError("numpy is not available")
         self._fallback = PythonBackend()
         self.min_vector_length = min_vector_length
         self.min_ntt_length = min_ntt_length
+        if store_uint32 is None:
+            store_uint32 = os.environ.get("REPRO_U32_STORE", "").strip().lower() in (
+                "1", "true", "yes", "on",
+            )
+        self.store_uint32 = store_uint32
         self._mont_cache: Dict[int, _Montgomery] = {}
         self._mont_vec_cache: Dict[tuple, _MontgomeryVec] = {}
         self._ntt_tables: Dict[tuple, _NumpyNTTTables] = {}
@@ -1053,13 +1164,25 @@ class NumpyBackend(ArithmeticBackend):
 
     # -- packed limb-major (RNS) overrides ---------------------------------
     def _matrix(self, store):
-        """View a limb store as a uint64 matrix (``None`` if it cannot be)."""
+        """View a limb store as a uint64 matrix (``None`` if it cannot be).
+
+        uint32 stores (the narrow storage mode) are upcast here, so every
+        kernel computes in 64-bit words regardless of the storage dtype.
+        """
         if isinstance(store, _np.ndarray):
+            if store.dtype != _np.uint64:
+                return store.astype(_np.uint64)
             return store
         try:
             return _np.array(store, dtype=_np.uint64)
         except (OverflowError, TypeError, ValueError):
             return None
+
+    def _finalize(self, arr, moduli):
+        """Downcast a kernel result to the narrow storage dtype when enabled."""
+        if self.store_uint32 and self._moduli_u32(moduli):
+            return arr.astype(_np.uint32)
+        return arr
 
     def _q_col(self, moduli):
         """``(L, 1)`` uint64 column of the per-limb moduli (cached)."""
@@ -1127,9 +1250,11 @@ class NumpyBackend(ArithmeticBackend):
         matrix = self._matrix(rows)
         if matrix is None:
             return super().pack_limbs(rows, moduli)
-        return matrix
+        return self._finalize(matrix, moduli)
 
-    def limbs_zero(self, count, length):
+    def limbs_zero(self, count, length, moduli=None):
+        if moduli is not None and self.store_uint32 and self._moduli_u32(moduli):
+            return _np.zeros((count, length), dtype=_np.uint32)
         return _np.zeros((count, length), dtype=_np.uint64)
 
     def limbs_add(self, a, b, moduli):
@@ -1138,7 +1263,7 @@ class NumpyBackend(ArithmeticBackend):
         if y is None or not self._limbs_ok(moduli, x):
             return super().limbs_add(a, b, moduli)
         s = x + y
-        return _np.minimum(s, s - self._q_col(moduli))
+        return self._finalize(_np.minimum(s, s - self._q_col(moduli)), moduli)
 
     def limbs_sub(self, a, b, moduli):
         x = self._matrix(a)
@@ -1146,14 +1271,14 @@ class NumpyBackend(ArithmeticBackend):
         if y is None or not self._limbs_ok(moduli, x):
             return super().limbs_sub(a, b, moduli)
         d = x - y                                   # wraps when negative
-        return _np.minimum(d, d + self._q_col(moduli))
+        return self._finalize(_np.minimum(d, d + self._q_col(moduli)), moduli)
 
     def limbs_neg(self, a, moduli):
         x = self._matrix(a)
         if not self._limbs_ok(moduli, x):
             return super().limbs_neg(a, moduli)
         q = self._q_col(moduli)
-        return _np.where(x == _np.uint64(0), x, q - x)
+        return self._finalize(_np.where(x == _np.uint64(0), x, q - x), moduli)
 
     def limbs_mul(self, a, b, moduli):
         x = self._matrix(a)
@@ -1161,7 +1286,7 @@ class NumpyBackend(ArithmeticBackend):
         if y is None or not self._limbs_ok(moduli, x):
             return super().limbs_mul(a, b, moduli)
         if all(int(q) <= (1 << 32) for q in moduli):
-            return (x * y) % self._q_col(moduli)
+            return self._finalize((x * y) % self._q_col(moduli), moduli)
         mont = self._mont_vec(moduli)
         if mont is None:
             return super().limbs_mul(a, b, moduli)
@@ -1174,7 +1299,7 @@ class NumpyBackend(ArithmeticBackend):
         q = self._q_col(moduli)
         if self._moduli_u32(moduli):
             w, s32 = self._row_shoup32(scalars, moduli)
-            return _shoup32_mul(x, w, s32, q)
+            return self._finalize(_shoup32_mul(x, w, s32, q), moduli)
         w, lo, hi = self._row_shoup(scalars, moduli)
         v = _shoup_mul_relaxed(x, w, lo, hi, q)
         v = _np.minimum(v, v - (q + q))
@@ -1191,7 +1316,10 @@ class NumpyBackend(ArithmeticBackend):
             if y is None:
                 return super().batched_sub_scaled(a, b, scalars, moduli, b_modulus)
         else:
-            row = _np.asarray(b, dtype=_np.uint64) if not isinstance(b, _np.ndarray) else b
+            if isinstance(b, _np.ndarray):
+                row = b if b.dtype == _np.uint64 else b.astype(_np.uint64)
+            else:
+                row = _np.asarray(b, dtype=_np.uint64)
             if b_modulus is not None and all(b_modulus <= 2 * int(qi) for qi in moduli):
                 # Similar-magnitude moduli: one conditional subtraction per row.
                 y = _np.minimum(row, row - q)
@@ -1201,7 +1329,7 @@ class NumpyBackend(ArithmeticBackend):
         d = _np.minimum(d, d + q)
         if self._moduli_u32(moduli):
             w, s32 = self._row_shoup32(scalars, moduli)
-            return _shoup32_mul(d, w, s32, q)
+            return self._finalize(_shoup32_mul(d, w, s32, q), moduli)
         w, lo, hi = self._row_shoup(scalars, moduli)
         v = _shoup_mul_relaxed(d, w, lo, hi, q)
         v = _np.minimum(v, v - (q + q))
@@ -1259,7 +1387,7 @@ class NumpyBackend(ArithmeticBackend):
             # are fully reduced (< p), so the accumulator never overflows.
             for i, (w, s32) in enumerate(weight_shoup):
                 acc += _shoup32_mul(scaled[i], w, s32, q_tgt)
-            return acc % q_tgt
+            return self._finalize(acc % q_tgt, plan.target_moduli)
         inv_w, inv_lo, inv_hi = inv
         # Step 1: x_i * (Q/q_i)^{-1} mod q_i, fully reduced — the weighted
         # sum needs the canonical residue in [0, q_i), not a lazy
@@ -1271,22 +1399,25 @@ class NumpyBackend(ArithmeticBackend):
         if lazy:
             for i, (w, lo, hi) in enumerate(weight_shoup):
                 acc += _shoup_mul_relaxed(scaled[i], w, lo, hi, q_tgt)
-            return acc % q_tgt
+            return self._finalize(acc % q_tgt, plan.target_moduli)
         for i, (w, lo, hi) in enumerate(weight_shoup):
             term = _shoup_mul_relaxed(scaled[i], w, lo, hi, q_tgt)
             term = _np.minimum(term, term - (q_tgt + q_tgt))
             term = _np.minimum(term, term - q_tgt)
             acc += term
             acc = _np.where(acc >= q_tgt, acc - q_tgt, acc)
-        return acc
+        return self._finalize(acc, plan.target_moduli)
 
     def batched_ntt(self, contexts, store):
         tabs = self._rns_tables(tuple(contexts))
         x = self._matrix(store)
         if tabs is None or x is None:
             return super().batched_ntt(contexts, store)
+        moduli = tuple(ctx.modulus for ctx in contexts)
         if tabs.use32:
-            return self._forward_stages_rns_u32(x.copy(), tabs)
+            return self._finalize(
+                self._forward_stages_rns_u32(x.copy(), tabs), moduli
+            )
         x = self._forward_stages_rns(x.copy(), tabs)
         x = _np.minimum(x, x - tabs.q2_col)
         return _np.minimum(x, x - tabs.q_col)
@@ -1296,9 +1427,12 @@ class NumpyBackend(ArithmeticBackend):
         x = self._matrix(store)
         if tabs is None or x is None:
             return super().batched_intt(contexts, store)
+        moduli = tuple(ctx.modulus for ctx in contexts)
         if tabs.use32:
             x = self._inverse_stages_rns_u32(x.copy(), tabs)
-            return _shoup32_mul(x, tabs.n_inv_w, tabs.n_inv_s32, tabs.q_col)
+            return self._finalize(
+                _shoup32_mul(x, tabs.n_inv_w, tabs.n_inv_s32, tabs.q_col), moduli
+            )
         x = self._inverse_stages_rns(x.copy(), tabs)
         v = _shoup_mul_lazy(x, tabs.n_inv_w, tabs.n_inv_lo, tabs.n_inv_hi,
                             tabs.q_col)
@@ -1316,7 +1450,10 @@ class NumpyBackend(ArithmeticBackend):
             z = self._forward_stages_rns_u32(_np.stack([x, y]), tabs)
             prod = (z[0] * z[1]) % tabs.q_col
             w = self._inverse_stages_rns_u32(prod, tabs)
-            return _shoup32_mul(w, tabs.n_inv_w, tabs.n_inv_s32, tabs.q_col)
+            return self._finalize(
+                _shoup32_mul(w, tabs.n_inv_w, tabs.n_inv_s32, tabs.q_col),
+                tuple(ctx.modulus for ctx in contexts),
+            )
         # b rides the transform pre-scaled by R = 2^64 per limb, so the
         # pointwise product exits the Montgomery domain in one REDC.
         yb = _shoup_mul_lazy(y, tabs.r_w, tabs.r_lo, tabs.r_hi, tabs.q_col)
@@ -1336,7 +1473,11 @@ class NumpyBackend(ArithmeticBackend):
         if tabs is None or x is None:
             return super().limbs_eval_key(contexts, store)
         if tabs.use32:
-            return ("u32", self._forward_stages_rns_u32(x.copy(), tabs), store)
+            payload = self._forward_stages_rns_u32(x.copy(), tabs)
+            if self.store_uint32:
+                # Narrow storage halves the resident key-cache footprint.
+                payload = payload.astype(_np.uint32)
+            return ("u32", payload, store)
         # Pre-scale by R = 2^64 per limb so the pointwise product against a
         # plain (lazy) transform exits the Montgomery domain in one REDC.
         yb = _shoup_mul_lazy(x, tabs.r_w, tabs.r_lo, tabs.r_hi, tabs.q_col)
@@ -1370,6 +1511,79 @@ class NumpyBackend(ArithmeticBackend):
                             tabs.q_col)
         v = _np.minimum(v, v - tabs.q_col)
         return [v[idx] for idx in range(len(key_handles))]
+
+    def limbs_eval_mac(self, contexts, digit_stores, key_handles):
+        tabs = self._rns_tables(tuple(contexts))
+        mats = [self._matrix(store) for store in digit_stores]
+        form = "u32" if tabs is not None and tabs.use32 else "montR"
+        prepared = all(
+            handle[0] == form for handles in key_handles for handle in handles
+        )
+        if tabs is None or any(m is None for m in mats) or not prepared:
+            return super().limbs_eval_mac(contexts, digit_stores, key_handles)
+        q = tabs.q_col
+        accs = []
+        for component in range(len(key_handles[0])):
+            acc = None
+            for mat, handles in zip(mats, key_handles):
+                payload = handles[component][1]
+                if tabs.use32:
+                    term = (mat * payload) % q      # u32 payload promotes to u64
+                else:
+                    # mont_mul(plain, key*R) exits the Montgomery domain: the
+                    # term is the plain product, fully reduced.
+                    term = tabs.mont.mont_mul(mat, payload)
+                if acc is None:
+                    acc = term
+                else:
+                    acc = acc + term
+                    acc = _np.minimum(acc, acc - q)
+            accs.append(acc)
+        return accs
+
+    def limbs_tensor_product(self, a0, a1, b0, b1, moduli):
+        mats = [self._matrix(store) for store in (a0, a1, b0, b1)]
+        if any(m is None for m in mats) or not self._limbs_ok(moduli, mats[0]):
+            return super().limbs_tensor_product(a0, a1, b0, b1, moduli)
+        x = _np.stack(mats[:2])                     # (2, L, n)
+        y = _np.stack(mats[2:])
+        q = self._q_col(moduli)
+        if self._moduli_u32(moduli):
+            prods = (x[:, None] * y[None, :]) % q   # (2, 2, L, n) in one pass
+        else:
+            mont = self._mont_vec(moduli)
+            if mont is None:
+                return super().limbs_tensor_product(a0, a1, b0, b1, moduli)
+            prods = mont.mulmod(x[:, None], y[None, :])
+        d1 = prods[0, 1] + prods[1, 0]
+        d1 = _np.minimum(d1, d1 - q)
+        return (
+            self._finalize(prods[0, 0], moduli),
+            self._finalize(d1, moduli),
+            self._finalize(prods[1, 1], moduli),
+        )
+
+    def limbs_gather(self, store, spec):
+        x = store if isinstance(store, _np.ndarray) else self._matrix(store)
+        if x is None or x.size < self.min_vector_length:
+            return super().limbs_gather(store, spec)
+        idx = spec.cache.get("numpy")
+        if idx is None:
+            idx = _np.array(spec.src, dtype=_np.intp)
+            spec.cache["numpy"] = idx
+        return x[..., idx]                          # preserves the storage dtype
+
+    def replicate_row(self, row, moduli):
+        if any(int(q).bit_length() > NUMPY_MAX_MODULUS_BITS for q in moduli):
+            return super().replicate_row(row, moduli)
+        if isinstance(row, _np.ndarray):
+            arr = row if row.dtype == _np.uint64 else row.astype(_np.uint64)
+        else:
+            try:
+                arr = _np.asarray(row, dtype=_np.uint64)
+            except (OverflowError, TypeError, ValueError):
+                return super().replicate_row(row, moduli)
+        return self._finalize(arr[None, :] % self._q_col(moduli), moduli)
 
     @staticmethod
     def _perm_arrays(spec: "PermSpec"):
@@ -1405,7 +1619,7 @@ class NumpyBackend(ArithmeticBackend):
         flipped = _np.where(x == _np.uint64(0), x, q - x)
         out = _np.empty_like(x)
         out[:, dest] = _np.where(negate[None, :], flipped, x)
-        return out
+        return self._finalize(out, moduli)
 
     def pointwise_mac_many(self, rows_a, groups, q):
         if not groups:
@@ -1976,7 +2190,11 @@ class PerLimbNumpyBackend(NumpyBackend):
     limbs_convolution = ArithmeticBackend.limbs_convolution
     limbs_eval_key = ArithmeticBackend.limbs_eval_key
     limbs_mac_eval = ArithmeticBackend.limbs_mac_eval
+    limbs_eval_mac = ArithmeticBackend.limbs_eval_mac
+    limbs_tensor_product = ArithmeticBackend.limbs_tensor_product
     limbs_signed_permute = ArithmeticBackend.limbs_signed_permute
+    limbs_gather = ArithmeticBackend.limbs_gather
+    replicate_row = ArithmeticBackend.replicate_row
     ntt_forward_batch = ArithmeticBackend.ntt_forward_batch
     ntt_inverse_batch = ArithmeticBackend.ntt_inverse_batch
     pointwise_mac = ArithmeticBackend.pointwise_mac

@@ -6,7 +6,10 @@ The package provides the arithmetic-FHE half of the paper's workload space:
 * :mod:`ciphertext` — plaintext / ciphertext value types,
 * :mod:`keys` — secret/public/evaluation/rotation key generation,
 * :mod:`keyswitch` — the hybrid (dnum) keyswitch of Algorithm 1,
-* :mod:`evaluator` — HAdd, PAdd, PMult, HMult, HRotate, Rescale,
+* :mod:`evaluator` — HAdd, PAdd, PMult, HMult, HRotate, Rescale, plus the
+  hoisted-rotation and NTT-resident execution pipeline,
+* :mod:`linear_transform` — diagonal-encoded BSGS plaintext-matrix x
+  ciphertext products over hoisted rotations,
 * :mod:`bootstrap` — the operation-level bootstrapping pipeline used by the
   workload generators (CoeffToSlot -> EvalMod -> SlotToCoeff).
 
@@ -20,6 +23,7 @@ from .encoder import CKKSEncoder
 from .evaluator import CKKSEvaluator
 from .keys import CKKSKeyGenerator, CKKSKeySet
 from .context import CKKSContext
+from .linear_transform import BSGSLinearTransform
 
 __all__ = [
     "CKKSCiphertext",
@@ -29,4 +33,5 @@ __all__ = [
     "CKKSKeyGenerator",
     "CKKSKeySet",
     "CKKSContext",
+    "BSGSLinearTransform",
 ]

@@ -45,10 +45,18 @@ class CKKSCiphertext:
             raise ValueError("ciphertext components must share an RNS basis")
         if self.c0.ring_degree != self.c1.ring_degree:
             raise ValueError("ciphertext components must share a ring degree")
+        if self.c0.domain != self.c1.domain:
+            raise ValueError("ciphertext components must share a domain")
 
     @property
     def ring_degree(self) -> int:
         return self.c0.ring_degree
+
+    @property
+    def domain(self) -> str:
+        """``"coeff"`` or ``"eval"`` — which representation both components
+        are resident in (see :class:`~repro.fhe.rns.RNSPolynomial`)."""
+        return self.c0.domain
 
     def copy(self) -> "CKKSCiphertext":
         """A shallow copy (the RNS limbs themselves are treated as immutable)."""

@@ -30,13 +30,17 @@ class CKKSContext:
     """
 
     def __init__(self, params: CKKSParameters, seed: int = 0, error_stddev: float = 3.2,
-                 backend: "ArithmeticBackend | str | None" = None):
+                 backend: "ArithmeticBackend | str | None" = None,
+                 secret_hamming_weight: "int | None" = None):
         self.params = params
         self.rng = random.Random(seed ^ 0x5EED)
         self.error_stddev = error_stddev
         self.backend = backend
         with use_backend(backend):
-            self.keygen = CKKSKeyGenerator(params, seed=seed, error_stddev=error_stddev)
+            self.keygen = CKKSKeyGenerator(
+                params, seed=seed, error_stddev=error_stddev,
+                secret_hamming_weight=secret_hamming_weight,
+            )
             self.keys: CKKSKeySet = self.keygen.generate()
         self.encoder = CKKSEncoder(params, backend=backend)
         self.evaluator = CKKSEvaluator(params, self.keys, backend=backend)
@@ -85,11 +89,17 @@ class CKKSContext:
 
     # -- decryption ------------------------------------------------------------
     def decrypt(self, ciphertext: CKKSCiphertext) -> CKKSPlaintext:
-        """Decrypt to a plaintext polynomial (``c0 + c1 * s``)."""
+        """Decrypt to a plaintext polynomial (``c0 + c1 * s``).
+
+        Evaluation-resident ciphertexts are converted at this boundary — the
+        decrypt side of the domain-residency convention.
+        """
         n = self.params.ring_degree
         with use_backend(self.backend):
-            s = self.keys.secret.as_rns(n, ciphertext.c0.basis)
-            poly = ciphertext.c0 + ciphertext.c1 * s
+            c0 = ciphertext.c0.to_coeff()
+            c1 = ciphertext.c1.to_coeff()
+            s = self.keys.secret.as_rns(n, c0.basis)
+            poly = c0 + c1 * s
         return CKKSPlaintext(poly=poly, level=ciphertext.level, scale=ciphertext.scale)
 
     # -- convenience round-trips -------------------------------------------------

@@ -15,18 +15,31 @@ Implements the hierarchical operation set the paper reconstructs CKKS from:
 ===========  ==========================================================
 
 The evaluator is purely functional: every method returns a new ciphertext.
+
+NTT residency
+-------------
+Ciphertexts may live in either the coefficient or the evaluation (NTT)
+domain (see :class:`~repro.fhe.rns.RNSPolynomial`); every method accepts
+both and aligns its operands as needed.  ``multiply`` computes the tensor
+product as one batched evaluation-domain dispatch and returns an
+evaluation-resident ciphertext; ``rescale`` stays in whichever domain its
+input is in; rotations hoisted through :meth:`rotate_hoisted` share one
+Decompose+BConv+NTT phase across all requested steps.  All paths are
+bit-identical to the coefficient-domain reference (``_multiply_coeff``,
+``rotate``) up to keyswitch noise, and exactly identical where no BConv
+reordering is involved (multiply, rescale, domain round trips).
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
-from ..backend import ArithmeticBackend, use_backend
+from ..backend import ArithmeticBackend, active_backend, use_backend
 from ..params import CKKSParameters
-from ..rns import RNSPolynomial
+from ..rns import RNSPolynomial, _limb_contexts
 from .ciphertext import CKKSCiphertext, CKKSPlaintext
-from .keys import CKKSKeySet
-from .keyswitch import hybrid_keyswitch
+from .keys import CKKSKeySet, galois_element_for_rotation
+from .keyswitch import hoist_decompose, hybrid_keyswitch, keyswitch_hoisted
 
 __all__ = ["CKKSEvaluator"]
 
@@ -65,12 +78,38 @@ class CKKSEvaluator:
             raise ValueError("plaintext level is below the ciphertext level")
         return poly.keep_limbs(level + 1)
 
+    # -- domain residency -------------------------------------------------------
+    def to_eval(self, a: CKKSCiphertext) -> CKKSCiphertext:
+        """The same ciphertext, evaluation(NTT)-resident (no-op if it already is)."""
+        if a.domain == "eval":
+            return a
+        with self._arith():
+            return CKKSCiphertext(
+                c0=a.c0.to_eval(), c1=a.c1.to_eval(), level=a.level, scale=a.scale
+            )
+
+    def to_coeff(self, a: CKKSCiphertext) -> CKKSCiphertext:
+        """The same ciphertext, coefficient-resident (no-op if it already is)."""
+        if a.domain == "coeff":
+            return a
+        with self._arith():
+            return CKKSCiphertext(
+                c0=a.c0.to_coeff(), c1=a.c1.to_coeff(), level=a.level, scale=a.scale
+            )
+
+    def _align_domains(self, a: CKKSCiphertext, b: CKKSCiphertext):
+        """Convert ``b`` into ``a``'s residency domain (exact either way)."""
+        if a.domain == b.domain:
+            return a, b
+        return a, (self.to_eval(b) if a.domain == "eval" else self.to_coeff(b))
+
     # -- additions -------------------------------------------------------------
     def add(self, a: CKKSCiphertext, b: CKKSCiphertext) -> CKKSCiphertext:
         """HAdd: element-wise addition of two ciphertexts."""
         self._check_levels(a, b)
         self._check_scales(a.scale, b.scale)
         with self._arith():
+            a, b = self._align_domains(a, b)
             return CKKSCiphertext(c0=a.c0 + b.c0, c1=a.c1 + b.c1, level=a.level, scale=a.scale)
 
     def sub(self, a: CKKSCiphertext, b: CKKSCiphertext) -> CKKSCiphertext:
@@ -78,6 +117,7 @@ class CKKSEvaluator:
         self._check_levels(a, b)
         self._check_scales(a.scale, b.scale)
         with self._arith():
+            a, b = self._align_domains(a, b)
             return CKKSCiphertext(c0=a.c0 - b.c0, c1=a.c1 - b.c1, level=a.level, scale=a.scale)
 
     def add_plain(self, a: CKKSCiphertext, plaintext: CKKSPlaintext) -> CKKSCiphertext:
@@ -85,6 +125,8 @@ class CKKSEvaluator:
         self._check_scales(a.scale, plaintext.scale)
         poly = self._plaintext_at_level(plaintext, a.level)
         with self._arith():
+            if a.domain == "eval":
+                poly = poly.to_eval()
             return CKKSCiphertext(c0=a.c0 + poly, c1=a.c1, level=a.level, scale=a.scale)
 
     def negate(self, a: CKKSCiphertext) -> CKKSCiphertext:
@@ -94,9 +136,16 @@ class CKKSEvaluator:
 
     # -- multiplications ---------------------------------------------------------
     def multiply_plain(self, a: CKKSCiphertext, plaintext: CKKSPlaintext) -> CKKSCiphertext:
-        """PMult: multiply a ciphertext by an encoded plaintext (scale multiplies)."""
+        """PMult: multiply a ciphertext by an encoded plaintext (scale multiplies).
+
+        On an evaluation-resident ciphertext the product is pointwise — no
+        transforms beyond encoding the plaintext into the NTT domain (the
+        BSGS inner loop relies on this).
+        """
         poly = self._plaintext_at_level(plaintext, a.level)
         with self._arith():
+            if a.domain == "eval":
+                poly = poly.to_eval()
             return CKKSCiphertext(
                 c0=a.c0 * poly,
                 c1=a.c1 * poly,
@@ -112,15 +161,69 @@ class CKKSEvaluator:
             )
 
     def multiply(self, a: CKKSCiphertext, b: CKKSCiphertext) -> CKKSCiphertext:
-        """HMult: tensor product followed by relinearization (Algorithm 1)."""
+        """HMult: tensor product followed by relinearization (Algorithm 1).
+
+        NTT-resident pipeline: both operands are moved to (or already live
+        in) the evaluation domain, the whole ``(d0, d1, d2)`` tensor product
+        is one batched pointwise backend dispatch, and only ``d2`` returns
+        to the coefficient domain for the keyswitch digits.  The
+        relinearization runs through the hoisted keyswitch (eval-domain MAC
+        accumulation, one shared iNTT per component) and the result stays
+        evaluation-resident — transforms happen only at the
+        rescale/encode/decrypt boundaries.  Bit-identical to
+        :meth:`_multiply_coeff`.
+        """
         self._check_levels(a, b)
         level = a.level
         with self._arith():
-            # Tensor product (d0, d1, d2) such that d0 + d1*s + d2*s^2 = m_a * m_b.
+            basis = a.c0.basis
+            contexts = _limb_contexts(a.ring_degree, basis)
+            if contexts is None:
+                return self._multiply_coeff(a, b)
+            a_eval = self.to_eval(a)
+            b_eval = a_eval if b is a else self.to_eval(b)
+            backend = active_backend()
+            moduli = tuple(basis.moduli)
+            n = a.ring_degree
+            # Tensor product (d0, d1, d2) such that d0 + d1*s + d2*s^2 = m_a * m_b
+            # — one batched eval-domain dispatch for all four products.
+            d0, d1, d2_eval = backend.limbs_tensor_product(
+                a_eval.c0.store(), a_eval.c1.store(),
+                b_eval.c0.store(), b_eval.c1.store(), moduli,
+            )
+            # Relinearize d2 with the s^2 -> s keyswitch key (hoisted path:
+            # digits must be extracted from coefficients, so d2 alone pays
+            # an inverse transform).
+            d2 = RNSPolynomial._from_store(
+                n, basis, backend.batched_intt(contexts, d2_eval)
+            )
+            relin_key = self.keys.relinearization_key(level)
+            f0, f1 = keyswitch_hoisted(
+                hoist_decompose(d2, self.params, level), relin_key
+            )
+            c0 = RNSPolynomial._from_store(n, basis, d0, domain="eval") + f0.to_eval()
+            c1 = RNSPolynomial._from_store(n, basis, d1, domain="eval") + f1.to_eval()
+            return CKKSCiphertext(
+                c0=c0, c1=c1, level=level, scale=a.scale * b.scale
+            )
+
+    def _multiply_coeff(self, a: CKKSCiphertext, b: CKKSCiphertext) -> CKKSCiphertext:
+        """HMult on the coefficient-domain reference pipeline.
+
+        Four per-component convolutions plus the naive (per-digit) hybrid
+        keyswitch — the pre-hoisting execution shape.  Kept as the exact
+        reference the parity suite and ``bench_hoisting.py`` compare the
+        NTT-resident path against, and as the fallback for bases whose
+        moduli are not NTT-friendly.
+        """
+        self._check_levels(a, b)
+        level = a.level
+        with self._arith():
+            a = self.to_coeff(a)
+            b = self.to_coeff(b)
             d0 = a.c0 * b.c0
             d1 = a.c0 * b.c1 + a.c1 * b.c0
             d2 = a.c1 * b.c1
-            # Relinearize d2 with the s^2 -> s keyswitch key.
             relin_key = self.keys.relinearization_key(level)
             f0, f1 = hybrid_keyswitch(d2, relin_key, self.params, level)
             return CKKSCiphertext(
@@ -134,12 +237,58 @@ class CKKSEvaluator:
     # -- rotations -----------------------------------------------------------------
     def galois_element_for_rotation(self, steps: int) -> int:
         """The Galois element ``5^steps mod 2N`` implementing a slot rotation."""
-        return pow(5, steps, 2 * self.params.ring_degree)
+        return galois_element_for_rotation(self.params.ring_degree, steps)
 
     def rotate(self, a: CKKSCiphertext, steps: int) -> CKKSCiphertext:
-        """HRotate: rotate the slot vector by ``steps`` positions."""
+        """HRotate: rotate the slot vector by ``steps`` positions.
+
+        This is the naive per-rotation pipeline (full keyswitch per call);
+        use :meth:`rotate_hoisted` when several rotations of the *same*
+        ciphertext are needed — it shares the expensive Decompose+BConv+NTT
+        phase across all of them.
+        """
         galois_element = self.galois_element_for_rotation(steps)
         return self.apply_galois(a, galois_element)
+
+    def rotate_hoisted(self, a: CKKSCiphertext, steps_list: Sequence[int]) -> List[CKKSCiphertext]:
+        """Rotate ``a`` by every step in ``steps_list``, hoisting the keyswitch.
+
+        The hoist phase (gadget decompose of ``c1`` + BConv into the
+        extended basis + batched forward NTTs) runs **once**; each requested
+        step then pays only the cheap per-key phase: an evaluation-domain
+        slot gather of the already-transformed digits (the Galois
+        automorphism is a pure permutation there), the MAC against that
+        step's cached key transforms, one shared inverse NTT per component,
+        and one ModDown pair.  This is the ``(baby-1)``-hoisted-rotations
+        primitive of BSGS linear transforms.
+
+        Returns one ciphertext per step, in order and in ``a``'s residency
+        domain; a step of 0 returns ``a`` itself (no keyswitch).
+        """
+        level = a.level
+        results: List[CKKSCiphertext] = []
+        with self._arith():
+            eval_resident = a.domain == "eval"
+            hoisted = hoist_decompose(a.c1, self.params, level)
+            for steps in steps_list:
+                galois_element = self.galois_element_for_rotation(steps)
+                if galois_element == 1:
+                    results.append(a.copy())
+                    continue
+                galois_key = self.keys.galois_key(galois_element, level)
+                f0, f1 = keyswitch_hoisted(
+                    hoisted, galois_key, galois_element=galois_element
+                )
+                rotated_c0 = a.c0.automorphism(galois_element)
+                if eval_resident:
+                    f0 = f0.to_eval()
+                    f1 = f1.to_eval()
+                results.append(
+                    CKKSCiphertext(
+                        c0=rotated_c0 + f0, c1=f1, level=level, scale=a.scale
+                    )
+                )
+        return results
 
     def conjugate(self, a: CKKSCiphertext) -> CKKSCiphertext:
         """Complex conjugation of every slot (Galois element 2N - 1)."""
@@ -153,6 +302,7 @@ class CKKSEvaluator:
         """
         level = a.level
         with self._arith():
+            a = self.to_coeff(a)
             rotated_c0 = a.c0.automorphism(galois_element)
             rotated_c1 = a.c1.automorphism(galois_element)
             galois_key = self.keys.galois_key(galois_element, level)
@@ -191,12 +341,30 @@ class CKKSEvaluator:
 
     # -- composite helpers (used by example applications) ------------------------------
     def inner_sum(self, a: CKKSCiphertext, count: int) -> CKKSCiphertext:
-        """Sum ``count`` adjacent slots into every slot via log2(count) rotations."""
-        if count & (count - 1):
-            raise ValueError("count must be a power of two")
-        result = a
-        step = 1
-        while step < count:
-            result = self.add(result, self.rotate(result, step))
-            step *= 2
+        """Sum ``count`` adjacent slots into every slot.
+
+        Works for *any* positive ``count`` via the binary rotation
+        decomposition: a doubling accumulator ``S_{2^k}`` (each doubling is
+        one rotation) is combined once per set bit of ``count``, so the
+        total is ``floor(log2(count)) + popcount(count) - 1`` rotations.
+        Every rotation runs through the hoisted keyswitch pipeline.
+        """
+        if count < 1:
+            raise ValueError("count must be positive")
+        result: "CKKSCiphertext | None" = None
+        processed = 0
+        acc = a           # S_{bit}: the sum of `bit` adjacent rotations
+        bit = 1
+        while bit <= count:
+            if count & bit:
+                if result is None:
+                    result = acc
+                else:
+                    result = self.add(
+                        result, self.rotate_hoisted(acc, [processed])[0]
+                    )
+                processed += bit
+            if (bit << 1) <= count:
+                acc = self.add(acc, self.rotate_hoisted(acc, [bit])[0])
+            bit <<= 1
         return result

@@ -22,7 +22,20 @@ from ..params import CKKSParameters
 from ..polynomial import Polynomial, sample_gaussian, sample_ternary, sample_uniform
 from ..rns import RNSBasis, RNSPolynomial
 
-__all__ = ["CKKSSecretKey", "CKKSPublicKey", "KeySwitchKey", "CKKSKeySet", "CKKSKeyGenerator"]
+__all__ = [
+    "CKKSSecretKey",
+    "CKKSPublicKey",
+    "KeySwitchKey",
+    "CKKSKeySet",
+    "CKKSKeyGenerator",
+    "galois_element_for_rotation",
+]
+
+
+def galois_element_for_rotation(ring_degree: int, steps: int) -> int:
+    """The Galois element ``5^steps mod 2N`` implementing a slot rotation
+    by ``steps`` positions (negative steps via the modular inverse)."""
+    return pow(5, steps, 2 * ring_degree)
 
 
 @dataclass
@@ -120,6 +133,25 @@ class CKKSKeySet:
                 raise KeyError(f"no Galois key for element {galois_element} at level {level}")
             self._galois_keys[key] = self._generator.make_galois_key(self, galois_element, level)
         return self._galois_keys[key]
+
+    def ensure_rotation_keys(
+        self, steps: Sequence[int], level: int
+    ) -> Dict[int, KeySwitchKey]:
+        """Pre-generate the Galois keys for a set of rotation steps.
+
+        A BSGS linear transform needs only its baby steps ``1..n1-1`` and
+        giant steps ``n1, 2*n1, ...`` — this is the key-set helper that
+        materializes exactly those (identity steps are skipped), keyed by
+        step.  Keys are cached on the key set, so calling it again (or
+        rotating later) is free.
+        """
+        keys: Dict[int, KeySwitchKey] = {}
+        for step in steps:
+            element = galois_element_for_rotation(self.params.ring_degree, step)
+            if element == 1:
+                continue
+            keys[step] = self.galois_key(element, level)
+        return keys
 
 
 class CKKSKeyGenerator:

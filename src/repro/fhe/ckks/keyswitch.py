@@ -26,9 +26,16 @@ from typing import List, Tuple
 from ..backend import ArithmeticBackend, active_backend, use_backend
 from ..modmath import mod_inverse
 from ..params import CKKSParameters
+from ..polynomial import galois_eval_spec
 from ..rns import RNSBasis, RNSPolynomial, _limb_contexts, fast_basis_conversion
 
-__all__ = ["hybrid_keyswitch", "mod_down"]
+__all__ = [
+    "hybrid_keyswitch",
+    "mod_down",
+    "HoistedDigits",
+    "hoist_decompose",
+    "keyswitch_hoisted",
+]
 
 
 def _digit_slices(params: CKKSParameters, level: int) -> List[Tuple[int, int]]:
@@ -78,6 +85,23 @@ def mod_down(poly: RNSPolynomial, params: CKKSParameters, level: int) -> RNSPoly
     return RNSPolynomial._from_store(poly.ring_degree, target_basis, new_store)
 
 
+def _eval_key_handles(keyswitch_key, backend, contexts):
+    """Evaluation-domain images of the digit keys, prepared once per backend
+    and reused by every keyswitch against this key (exact transforms, so
+    caching cannot change results)."""
+    handles = keyswitch_key._eval_cache.get(backend.name)
+    if handles is None:
+        handles = [
+            (
+                backend.limbs_eval_key(contexts, b_j.store()),
+                backend.limbs_eval_key(contexts, a_j.store()),
+            )
+            for b_j, a_j in keyswitch_key.digit_keys
+        ]
+        keyswitch_key._eval_cache[backend.name] = handles
+    return handles
+
+
 def hybrid_keyswitch(
     d: RNSPolynomial,
     keyswitch_key,
@@ -86,6 +110,13 @@ def hybrid_keyswitch(
     backend: "ArithmeticBackend | str | None" = None,
 ) -> Tuple[RNSPolynomial, RNSPolynomial]:
     """Apply Algorithm 1 to ``d`` and return the ``(c0, c1)`` correction pair.
+
+    This is the *naive* (per-keyswitch) pipeline: every call pays the full
+    Decompose + BConv + NTT cost and inverse-transforms each digit's MAC
+    result separately.  The hoisted path (:func:`hoist_decompose` +
+    :func:`keyswitch_hoisted`) computes bit-identical results while sharing
+    the expensive phase across keys; this function is kept as the reference
+    the benchmarks and parity suites compare against.
 
     ``backend`` optionally pins the arithmetic backend for the whole
     keyswitch (BConv, inner product, ModDown); ``None`` keeps whatever is
@@ -119,18 +150,7 @@ def _hybrid_keyswitch(
     contexts = _limb_contexts(n, extended)
     handles = None
     if contexts is not None:
-        # Evaluation-domain images of the digit keys, prepared once per
-        # backend and reused by every keyswitch against this key.
-        handles = keyswitch_key._eval_cache.get(backend.name)
-        if handles is None:
-            handles = [
-                (
-                    backend.limbs_eval_key(contexts, b_j.store()),
-                    backend.limbs_eval_key(contexts, a_j.store()),
-                )
-                for b_j, a_j in keyswitch_key.digit_keys
-            ]
-            keyswitch_key._eval_cache[backend.name] = handles
+        handles = _eval_key_handles(keyswitch_key, backend, contexts)
     for idx, ((start, stop), (b_j, a_j)) in enumerate(
         zip(slices, keyswitch_key.digit_keys)
     ):
@@ -152,3 +172,159 @@ def _hybrid_keyswitch(
     c0 = mod_down(acc0, params, level)
     c1 = mod_down(acc1, params, level)
     return c0, c1
+
+
+# ---------------------------------------------------------------------------
+# Hoisted keyswitch: one shared hoist phase, cheap per-key applications
+# ---------------------------------------------------------------------------
+
+class HoistedDigits:
+    """The reusable *hoist* phase of hybrid keyswitch (Algorithm 1 lines 1-6).
+
+    Holds the gadget digits of one polynomial, lifted into the extended
+    basis C_l ∪ P and forward-NTT'd **once**.  :func:`keyswitch_hoisted`
+    replays them against any number of keyswitch keys — optionally composed
+    with a Galois automorphism, which in the evaluation domain is a pure
+    slot gather — for the cost of the cheap per-key phase alone: an
+    eval-domain MAC, one shared inverse NTT per output component, and one
+    ModDown pair.  This is what makes BSGS linear transforms pay
+    ``(baby-1)`` *hoisted* rotations instead of full HRotates.
+
+    On non-NTT-friendly bases ``digit_evals`` is ``None`` and the lifted
+    coefficient-domain digits (``digit_coeffs``) drive an exact convolution
+    fallback with the same semantics.
+    """
+
+    __slots__ = (
+        "params", "level", "ring_degree", "extended", "contexts",
+        "digit_evals", "digit_coeffs",
+    )
+
+    def __init__(self, params, level, ring_degree, extended, contexts):
+        self.params = params
+        self.level = level
+        self.ring_degree = ring_degree
+        self.extended = extended
+        self.contexts = contexts
+        self.digit_evals: "list | None" = [] if contexts is not None else None
+        self.digit_coeffs: List[RNSPolynomial] = []
+
+    @property
+    def num_digits(self) -> int:
+        if self.digit_evals is not None:
+            return len(self.digit_evals)
+        return len(self.digit_coeffs)
+
+
+def hoist_decompose(
+    d: RNSPolynomial,
+    params: CKKSParameters,
+    level: int,
+    backend: "ArithmeticBackend | str | None" = None,
+) -> HoistedDigits:
+    """Run the hoist phase once: Decompose + per-digit BConv + forward NTTs.
+
+    ``d`` is the polynomial to be keyswitched (``c1`` of a ciphertext for
+    rotations, ``d2`` of a tensor product for relinearization); it may be
+    coefficient- or evaluation-resident (the digits are extracted from the
+    coefficient representation, since BConv is a coefficient-wise map).
+    """
+    with use_backend(backend):
+        return _hoist_decompose(d, params, level)
+
+
+def _hoist_decompose(d: RNSPolynomial, params: CKKSParameters, level: int) -> HoistedDigits:
+    if len(d.basis) != level + 1:
+        raise ValueError(
+            f"polynomial has {len(d.basis)} limbs but level {level} expects {level + 1}"
+        )
+    d = d.to_coeff()
+    extended = params.extended_basis(level)
+    n = d.ring_degree
+    contexts = _limb_contexts(n, extended)
+    backend = active_backend()
+    hoisted = HoistedDigits(params, level, n, extended, contexts)
+    for start, stop in _digit_slices(params, level):
+        digit = d.limb_slice(start, stop, _digit_basis(params, start, stop))
+        lifted = fast_basis_conversion(digit, extended)
+        if contexts is not None:
+            hoisted.digit_evals.append(
+                backend.batched_ntt(contexts, lifted.store())
+            )
+        else:
+            hoisted.digit_coeffs.append(lifted)
+    return hoisted
+
+
+def keyswitch_hoisted(
+    hoisted: HoistedDigits,
+    keyswitch_key,
+    galois_element: "int | None" = None,
+    backend: "ArithmeticBackend | str | None" = None,
+) -> Tuple[RNSPolynomial, RNSPolynomial]:
+    """The cheap per-key phase: eval-domain MAC + shared iNTT + one ModDown.
+
+    With ``galois_element`` ``g``, the automorphism ``sigma_g`` is applied to
+    the hoisted digits first — an exact evaluation-domain slot gather on
+    power-of-two cyclotomics — so the result is the keyswitch of
+    ``sigma_g(BConv(digit_j))`` under ``keyswitch_key`` (the hoisted-rotation
+    correction pair; the BConv approximation error is likewise permuted and
+    stays within the usual keyswitch noise budget).
+
+    Unlike the naive path, the digit MACs accumulate *in the evaluation
+    domain*: only two inverse NTTs run per call (one per output component)
+    instead of two per digit, and both are followed by a single shared
+    ModDown pair.  Results are bit-identical to the naive pipeline for
+    ``galois_element=None`` (the inverse transform is linear).
+    """
+    with use_backend(backend):
+        return _keyswitch_hoisted(hoisted, keyswitch_key, galois_element)
+
+
+def _keyswitch_hoisted(
+    hoisted: HoistedDigits,
+    keyswitch_key,
+    galois_element: "int | None",
+) -> Tuple[RNSPolynomial, RNSPolynomial]:
+    params = hoisted.params
+    level = hoisted.level
+    n = hoisted.ring_degree
+    extended = hoisted.extended
+    if hoisted.num_digits != keyswitch_key.num_digits:
+        raise ValueError(
+            f"keyswitch key has {keyswitch_key.num_digits} digits, "
+            f"expected {hoisted.num_digits}"
+        )
+    backend = active_backend()
+    contexts = hoisted.contexts
+    if contexts is not None:
+        digit_stores = hoisted.digit_evals
+        if galois_element is not None:
+            spec = galois_eval_spec(n, galois_element)
+            digit_stores = [
+                backend.limbs_gather(store, spec) for store in digit_stores
+            ]
+        handles = _eval_key_handles(keyswitch_key, backend, contexts)
+        acc0_eval, acc1_eval = backend.limbs_eval_mac(
+            contexts, digit_stores, handles
+        )
+        acc0 = RNSPolynomial._from_store(
+            n, extended, backend.batched_intt(contexts, acc0_eval)
+        )
+        acc1 = RNSPolynomial._from_store(
+            n, extended, backend.batched_intt(contexts, acc1_eval)
+        )
+    else:
+        # Exact coefficient-domain fallback (non-NTT-friendly moduli): the
+        # automorphism is applied to the lifted digits directly, matching
+        # the eval-domain gather semantics bit for bit.
+        acc0 = RNSPolynomial(n, extended)
+        acc1 = RNSPolynomial(n, extended)
+        for lifted, (b_j, a_j) in zip(
+            hoisted.digit_coeffs, keyswitch_key.digit_keys
+        ):
+            if galois_element is not None:
+                lifted = lifted.automorphism(galois_element)
+            acc0 = acc0 + lifted * b_j
+            acc1 = acc1 + lifted * a_j
+    return mod_down(acc0, params, level), mod_down(acc1, params, level)

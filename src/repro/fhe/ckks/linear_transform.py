@@ -1,0 +1,173 @@
+"""Diagonal-encoded BSGS plaintext-matrix x ciphertext products.
+
+This is the workhorse of the paper's rotation-heavy workloads — encrypted
+matrix-vector products for inference and the staged CoeffToSlot/SlotToCoeff
+transforms of bootstrapping all reduce to it.  A dimension-``d`` matrix ``M``
+acts on a slot vector ``x`` through its generalized diagonals,
+
+    (M x)[k] = sum_d diag_d[k] * rot_d(x)[k],   diag_d[k] = M[k][(k+d) % dim],
+
+and the baby-step/giant-step (Halevi-Shoup) regrouping
+
+    M x = sum_j rot_{j*n1}( sum_i rot_{-j*n1}(diag_{j*n1+i}) ⊙ rot_i(x) )
+
+needs only ``n1 - 1`` *hoisted* baby rotations (all of the same input
+ciphertext — one shared Decompose+BConv+NTT via
+:meth:`~repro.fhe.ckks.evaluator.CKKSEvaluator.rotate_hoisted`) plus
+``n2 - 1`` outer giant rotations, instead of one full HRotate per diagonal.
+The inner products are pointwise PMults on evaluation-resident ciphertexts.
+The BSGS split is taken from :func:`repro.fhe.ckks.bootstrap.
+linear_transform_plan`, so the functional rotation counts match the cost
+model's ``(baby-1) hoisted + (giant-1) outer`` HRotate accounting exactly
+(cross-checked by the test suite).
+
+Vectors shorter than the slot count are handled by *tiling*: a dimension-``d``
+transform (``d`` a power of two dividing the slot count) operates on the
+vector replicated ``slots/d`` times, which makes full-slot rotations coincide
+with length-``d`` cyclic rotations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .bootstrap import LinearTransformPlan, linear_transform_plan
+from .ciphertext import CKKSCiphertext, CKKSPlaintext
+
+__all__ = ["BSGSLinearTransform"]
+
+
+class BSGSLinearTransform:
+    """A plaintext matrix, diagonal-encoded and BSGS-split for encrypted use.
+
+    ``diagonals`` maps diagonal index ``d`` (``0 <= d < dimension``) to the
+    length-``dimension`` diagonal vector; missing entries are treated as
+    zero diagonals and skipped.  Plaintexts are encoded once at
+    construction (each pre-rotated by its giant step), so :meth:`apply` does
+    no encoding work.
+    """
+
+    def __init__(self, encoder, diagonals: Dict[int, Sequence[complex]],
+                 dimension: int, level: "int | None" = None,
+                 scale: "float | None" = None):
+        params = encoder.params
+        slots = params.slots
+        if dimension < 1 or dimension & (dimension - 1):
+            raise ValueError("dimension must be a positive power of two")
+        if slots % dimension:
+            raise ValueError(
+                f"dimension {dimension} must divide the slot count {slots}"
+            )
+        for d, diag in diagonals.items():
+            if not 0 <= d < dimension:
+                raise ValueError(f"diagonal index {d} outside [0, {dimension})")
+            if len(diag) != dimension:
+                raise ValueError(f"diagonal {d} has {len(diag)} != {dimension} entries")
+        self.params = params
+        self.dimension = dimension
+        self.level = params.max_level if level is None else level
+        #: The cost-model view of this transform — the same object the
+        #: bootstrapping planner builds, so rotation accounting is shared.
+        self.plan: LinearTransformPlan = linear_transform_plan(
+            slots, self.level, diagonals=dimension
+        )
+        self.last_stats: Dict[str, int] = {}
+        n1 = self.plan.baby_steps
+        n2 = self.plan.giant_steps
+        repeat = slots // dimension
+        self._plaintexts: List[List["CKKSPlaintext | None"]] = []
+        for j in range(n2):
+            row: List["CKKSPlaintext | None"] = []
+            for i in range(n1):
+                d = j * n1 + i
+                diag = diagonals.get(d)
+                if d >= dimension or diag is None:
+                    row.append(None)
+                    continue
+                # Pre-rotate by the giant step so the outer rotation can be
+                # applied to the whole inner sum, then tile to full slots.
+                shifted = [
+                    diag[(k - j * n1) % dimension] for k in range(dimension)
+                ]
+                row.append(
+                    encoder.encode(list(shifted) * repeat, level=self.level,
+                                   scale=scale)
+                )
+            self._plaintexts.append(row)
+
+    @classmethod
+    def from_matrix(cls, encoder, matrix: Sequence[Sequence[complex]],
+                    level: "int | None" = None,
+                    scale: "float | None" = None) -> "BSGSLinearTransform":
+        """Build the transform from a dense square matrix (rows of rows)."""
+        dimension = len(matrix)
+        for row in matrix:
+            if len(row) != dimension:
+                raise ValueError("matrix must be square")
+        diagonals = {
+            d: [matrix[k][(k + d) % dimension] for k in range(dimension)]
+            for d in range(dimension)
+        }
+        return cls(encoder, diagonals, dimension, level=level, scale=scale)
+
+    # -- rotation-key management ------------------------------------------------
+    def rotation_steps(self) -> Tuple[List[int], List[int]]:
+        """The (baby, giant) rotation steps whose Galois keys :meth:`apply` uses."""
+        n1 = self.plan.baby_steps
+        n2 = self.plan.giant_steps
+        return list(range(1, n1)), [j * n1 for j in range(1, n2)]
+
+    def generate_rotation_keys(self, keys, level: "int | None" = None):
+        """Materialize exactly the BSGS-needed Galois keys on ``keys``.
+
+        Only ``(n1 - 1) + (n2 - 1)`` keys are generated — not one per
+        diagonal — and repeated calls are free (keys cache on the key set).
+        """
+        baby, giant = self.rotation_steps()
+        return keys.ensure_rotation_keys(baby + giant, self.level if level is None else level)
+
+    # -- evaluation -------------------------------------------------------------
+    def apply(self, evaluator, ciphertext: CKKSCiphertext) -> CKKSCiphertext:
+        """Encrypted ``M @ x``: hoisted baby rotations, eval-domain PMult/HAdd,
+        one giant rotation per non-empty giant block.
+
+        ``ciphertext`` must hold the input vector tiled ``slots/dimension``
+        times.  The result carries scale ``ciphertext.scale * pt_scale`` and
+        is evaluation-resident; callers typically rescale it next.
+        ``last_stats`` records the rotation counts actually performed, which
+        the tests cross-check against :attr:`plan`.
+        """
+        n1 = self.plan.baby_steps
+        n2 = self.plan.giant_steps
+        # Hoist once, rotate by every baby step (step 0 is the identity and
+        # costs nothing — rotate_hoisted returns the input for it).
+        source = evaluator.to_eval(ciphertext)
+        babies = evaluator.rotate_hoisted(source, list(range(n1)))
+        hoisted_rotations = n1 - 1
+        outer_rotations = 0
+        result: "CKKSCiphertext | None" = None
+        for j in range(n2):
+            inner: "CKKSCiphertext | None" = None
+            for i in range(n1):
+                plaintext = self._plaintexts[j][i]
+                if plaintext is None:
+                    continue
+                term = evaluator.multiply_plain(babies[i], plaintext)
+                inner = term if inner is None else evaluator.add(inner, term)
+            if inner is None:
+                continue
+            if j:
+                inner = evaluator.rotate_hoisted(inner, [j * n1])[0]
+                outer_rotations += 1
+            result = inner if result is None else evaluator.add(result, inner)
+        if result is None:
+            raise ValueError("transform has no non-zero diagonals")
+        self.last_stats = {
+            "hoisted_rotations": hoisted_rotations,
+            "outer_rotations": outer_rotations,
+            "rotations": hoisted_rotations + outer_rotations,
+            "plain_multiplies": sum(
+                1 for row in self._plaintexts for pt in row if pt is not None
+            ),
+        }
+        return result

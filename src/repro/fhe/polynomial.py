@@ -27,7 +27,7 @@ import random
 from functools import lru_cache
 from typing import Callable, Dict, List, Sequence, Tuple
 
-from .backend import PermSpec, active_backend
+from .backend import GatherSpec, PermSpec, _bit_reverse_indices, active_backend
 from .modmath import centered
 from .ntt import NTTContext
 
@@ -35,6 +35,7 @@ __all__ = [
     "Polynomial",
     "monomial_spec",
     "automorphism_spec",
+    "galois_eval_spec",
     "sample_uniform",
     "sample_ternary",
     "sample_gaussian",
@@ -94,6 +95,34 @@ def automorphism_spec(ring_degree: int, power: int) -> PermSpec:
         dest[i] = k
         negate[i] = sign
     return PermSpec(dest, negate)
+
+
+@lru_cache(maxsize=4096)
+def galois_eval_spec(ring_degree: int, galois_element: int) -> GatherSpec:
+    """Evaluation-domain image of the automorphism ``X -> X^g`` as a gather.
+
+    The negacyclic NTT used here outputs ``forward(P)[i] = P(psi^e_i)`` with
+    ``e_i = 2 * bitrev(i) + 1`` (Cooley-Tukey, merged psi twisting).  Since
+    ``sigma_g(P)(psi^e) = P(psi^(e*g mod 2N))`` and ``g`` is odd, the
+    automorphism permutes those odd evaluation points among themselves:
+
+        forward(sigma_g(P))[i] = forward(P)[src[i]],  e_{src[i]} = e_i * g.
+
+    No sign flips, no arithmetic — which is why hoisted rotations can apply
+    the Galois map to already-transformed keyswitch digits for the cost of a
+    slot gather.  The identity is exact over Z_q, so the eval-domain path is
+    bit-identical to transforming ``sigma_g(P)`` from scratch.
+    """
+    n = ring_degree
+    g = galois_element % (2 * n)
+    if g % 2 == 0:
+        raise ValueError("automorphism exponent must be odd")
+    brv = _bit_reverse_indices(n)
+    exponent_of = [2 * brv[i] + 1 for i in range(n)]
+    index_of = {e: i for i, e in enumerate(exponent_of)}
+    return GatherSpec(
+        [index_of[(e * g) % (2 * n)] for e in exponent_of]
+    )
 
 
 class Polynomial:

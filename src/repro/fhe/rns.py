@@ -42,7 +42,13 @@ from typing import Iterable, List, Sequence
 
 from .backend import BConvPlan, active_backend
 from .modmath import mod_inverse
-from .polynomial import Polynomial, _ntt_context, automorphism_spec, monomial_spec
+from .polynomial import (
+    Polynomial,
+    _ntt_context,
+    automorphism_spec,
+    galois_eval_spec,
+    monomial_spec,
+)
 
 __all__ = ["RNSBasis", "RNSPolynomial", "fast_basis_conversion", "exact_basis_conversion"]
 
@@ -161,17 +167,29 @@ class RNSPolynomial:
     per-limb :class:`Polynomial` views (``_limbs``) is materialized lazily on
     first access to :attr:`limbs`.  At least one representation is always
     present, and both are immutable by convention.
+
+    ``domain`` records which representation the rows hold: ``"coeff"``
+    (coefficients — the default everywhere) or ``"eval"`` (the per-limb
+    forward NTT values).  NTT-resident execution keeps ciphertexts in the
+    evaluation domain between operations: pointwise products, additions,
+    automorphisms (a pure slot gather there) and even Rescale run directly
+    on evaluation values, and :meth:`to_coeff`/:meth:`to_eval` convert only
+    at encode/decrypt/keyswitch-digit boundaries.  Both domains describe the
+    same ring element, and every cross-domain round trip is bit-exact.
     """
 
-    __slots__ = ("ring_degree", "basis", "_limbs", "_rows")
+    __slots__ = ("ring_degree", "basis", "domain", "_limbs", "_rows")
 
     def __init__(self, ring_degree: int, basis: RNSBasis, limbs: Sequence[Polynomial] | None = None):
         self.ring_degree = ring_degree
         self.basis = basis
+        self.domain = "coeff"
         self._rows = None
         if limbs is None:
             self._limbs = None
-            self._rows = active_backend().limbs_zero(len(basis), ring_degree)
+            self._rows = active_backend().limbs_zero(
+                len(basis), ring_degree, tuple(basis.moduli)
+            )
         else:
             limbs = list(limbs)
             if len(limbs) != len(basis):
@@ -183,14 +201,48 @@ class RNSPolynomial:
 
     # -- representations ------------------------------------------------------
     @classmethod
-    def _from_store(cls, ring_degree: int, basis: RNSBasis, store) -> "RNSPolynomial":
+    def _from_store(cls, ring_degree: int, basis: RNSBasis, store,
+                    domain: str = "coeff") -> "RNSPolynomial":
         """Adopt a backend limb store whose rows are already reduced."""
         poly = object.__new__(cls)
         poly.ring_degree = ring_degree
         poly.basis = basis
+        poly.domain = domain
         poly._rows = store
         poly._limbs = None
         return poly
+
+    # -- domain conversion -----------------------------------------------------
+    def to_eval(self) -> "RNSPolynomial":
+        """The same ring element in the evaluation (NTT) domain.
+
+        One batched forward-NTT dispatch over the whole limb stack; a no-op
+        when already evaluation-resident.  Requires every modulus of the
+        basis to be NTT-friendly.
+        """
+        if self.domain == "eval":
+            return self
+        contexts = _limb_contexts(self.ring_degree, self.basis)
+        if contexts is None:
+            raise ValueError(
+                "basis contains non-NTT-friendly moduli; cannot convert to the "
+                "evaluation domain"
+            )
+        store = active_backend().batched_ntt(contexts, self.store())
+        return RNSPolynomial._from_store(
+            self.ring_degree, self.basis, store, domain="eval"
+        )
+
+    def to_coeff(self) -> "RNSPolynomial":
+        """The same ring element in the coefficient domain (inverse of
+        :meth:`to_eval`; a no-op when already coefficient-resident)."""
+        if self.domain == "coeff":
+            return self
+        contexts = _limb_contexts(self.ring_degree, self.basis)
+        store = active_backend().batched_intt(contexts, self.store())
+        return RNSPolynomial._from_store(
+            self.ring_degree, self.basis, store, domain="coeff"
+        )
 
     def store(self):
         """The packed limb-major backend store (packing lazily on first use)."""
@@ -202,7 +254,14 @@ class RNSPolynomial:
 
     @property
     def limbs(self) -> List[Polynomial]:
-        """Per-limb :class:`Polynomial` views (materialized lazily)."""
+        """Per-limb :class:`Polynomial` views (materialized lazily).
+
+        Limb views are *coefficient* polynomials, so an evaluation-resident
+        polynomial converts first (read-only and exact — this accessor is a
+        decode boundary of the domain-residency convention).
+        """
+        if self.domain != "coeff":
+            return self.to_coeff().limbs
         if self._limbs is None:
             rows = active_backend().unpack_limbs(self._rows)
             self._limbs = [
@@ -212,7 +271,15 @@ class RNSPolynomial:
         return self._limbs
 
     def coefficient_rows(self) -> List[List[int]]:
-        """The residue rows as plain python-int lists (limb-major)."""
+        """The *coefficient* residue rows as plain python-int lists (limb-major).
+
+        An evaluation-resident polynomial converts first (exact), like every
+        other decode accessor — the name promises coefficients.  For the raw
+        current-domain rows use ``store()`` with
+        :meth:`~repro.fhe.backend.ArithmeticBackend.store_rows`.
+        """
+        if self.domain != "coeff":
+            return self.to_coeff().coefficient_rows()
         if self._limbs is not None:
             return [limb.coefficients for limb in self._limbs]
         return active_backend().store_rows(self._rows)
@@ -236,7 +303,13 @@ class RNSPolynomial:
         return cls(poly.ring_degree, basis, limbs)
 
     def to_integer_coefficients(self) -> List[int]:
-        """CRT-reconstruct the big-integer coefficients in ``[0, Q)``."""
+        """CRT-reconstruct the big-integer coefficients in ``[0, Q)``.
+
+        An evaluation-resident polynomial converts first (exact): asking for
+        integer coefficients is a decode boundary.
+        """
+        if self.domain != "coeff":
+            return self.to_coeff().to_integer_coefficients()
         rows = self.coefficient_rows()
         result = []
         for idx in range(self.ring_degree):
@@ -252,24 +325,35 @@ class RNSPolynomial:
     def _check_compatible(self, other: "RNSPolynomial") -> None:
         if self.basis != other.basis or self.ring_degree != other.ring_degree:
             raise ValueError("RNS polynomials live in different rings")
+        if self.domain != other.domain:
+            raise ValueError(
+                f"RNS polynomial domain mismatch ({self.domain} vs {other.domain}); "
+                "align with to_eval()/to_coeff() first"
+            )
 
     def __add__(self, other: "RNSPolynomial") -> "RNSPolynomial":
         self._check_compatible(other)
         store = active_backend().limbs_add(
             self.store(), other.store(), tuple(self.basis.moduli)
         )
-        return RNSPolynomial._from_store(self.ring_degree, self.basis, store)
+        return RNSPolynomial._from_store(
+            self.ring_degree, self.basis, store, domain=self.domain
+        )
 
     def __sub__(self, other: "RNSPolynomial") -> "RNSPolynomial":
         self._check_compatible(other)
         store = active_backend().limbs_sub(
             self.store(), other.store(), tuple(self.basis.moduli)
         )
-        return RNSPolynomial._from_store(self.ring_degree, self.basis, store)
+        return RNSPolynomial._from_store(
+            self.ring_degree, self.basis, store, domain=self.domain
+        )
 
     def __neg__(self) -> "RNSPolynomial":
         store = active_backend().limbs_neg(self.store(), tuple(self.basis.moduli))
-        return RNSPolynomial._from_store(self.ring_degree, self.basis, store)
+        return RNSPolynomial._from_store(
+            self.ring_degree, self.basis, store, domain=self.domain
+        )
 
     def __mul__(self, other: "RNSPolynomial | int") -> "RNSPolynomial":
         moduli = tuple(self.basis.moduli)
@@ -277,8 +361,16 @@ class RNSPolynomial:
             store = active_backend().limbs_scalar_mul(
                 self.store(), [other % q for q in moduli], moduli
             )
-            return RNSPolynomial._from_store(self.ring_degree, self.basis, store)
+            return RNSPolynomial._from_store(
+                self.ring_degree, self.basis, store, domain=self.domain
+            )
         self._check_compatible(other)
+        if self.domain == "eval":
+            # Evaluation-resident product: one pointwise dispatch, no NTTs.
+            store = active_backend().limbs_mul(self.store(), other.store(), moduli)
+            return RNSPolynomial._from_store(
+                self.ring_degree, self.basis, store, domain="eval"
+            )
         contexts = _limb_contexts(self.ring_degree, self.basis)
         if contexts is None:
             # Non-NTT-friendly moduli: per-limb schoolbook via Polynomial.
@@ -300,6 +392,7 @@ class RNSPolynomial:
         return (
             self.ring_degree == other.ring_degree
             and self.basis == other.basis
+            and self.domain == other.domain
             and self.coefficient_rows() == other.coefficient_rows()
         )
 
@@ -308,8 +401,21 @@ class RNSPolynomial:
 
     # -- structural transforms ----------------------------------------------------
     def automorphism(self, galois_element: int) -> "RNSPolynomial":
-        """Apply ``X -> X^g`` to every limb (one batched signed permutation)."""
-        spec = automorphism_spec(self.ring_degree, galois_element % (2 * self.ring_degree))
+        """Apply ``X -> X^g`` to every limb (one batched permutation dispatch).
+
+        In the coefficient domain this is the usual signed coefficient
+        permutation; in the evaluation domain it is a *sign-free* slot gather
+        (the automorphism permutes the odd psi-powers the NTT evaluates at),
+        and the two paths are bit-identical after conversion.
+        """
+        g = galois_element % (2 * self.ring_degree)
+        if self.domain == "eval":
+            spec = galois_eval_spec(self.ring_degree, g)
+            store = active_backend().limbs_gather(self.store(), spec)
+            return RNSPolynomial._from_store(
+                self.ring_degree, self.basis, store, domain="eval"
+            )
+        spec = automorphism_spec(self.ring_degree, g)
         store = active_backend().limbs_signed_permute(
             self.store(), tuple(self.basis.moduli), spec
         )
@@ -317,6 +423,10 @@ class RNSPolynomial:
 
     def multiply_by_monomial(self, degree: int) -> "RNSPolynomial":
         """Multiply every limb by ``X^degree`` (one batched signed permutation)."""
+        if self.domain != "coeff":
+            raise ValueError(
+                "monomial multiplication requires the coefficient domain"
+            )
         spec = monomial_spec(self.ring_degree, degree % (2 * self.ring_degree))
         store = active_backend().limbs_signed_permute(
             self.store(), tuple(self.basis.moduli), spec
@@ -338,7 +448,8 @@ class RNSPolynomial:
         if count == len(self.basis):
             return self
         return RNSPolynomial._from_store(
-            self.ring_degree, self.basis.subset(count), self.store()[:count]
+            self.ring_degree, self.basis.subset(count), self.store()[:count],
+            domain=self.domain,
         )
 
     def limb_slice(self, start: int, stop: int, basis: "RNSBasis | None" = None) -> "RNSPolynomial":
@@ -346,7 +457,7 @@ class RNSPolynomial:
         if basis is None:
             basis = RNSBasis(self.basis.moduli[start:stop])
         return RNSPolynomial._from_store(
-            self.ring_degree, basis, self.store()[start:stop]
+            self.ring_degree, basis, self.store()[start:stop], domain=self.domain
         )
 
     def drop_last_limb(self) -> "RNSPolynomial":
@@ -361,21 +472,39 @@ class RNSPolynomial:
         Implements the standard RNS trick
         ``x_i' = (x_i - x_l) * q_l^{-1} mod q_i`` for every remaining limb —
         one fused ``batched_sub_scaled`` dispatch over the whole limb stack.
+
+        Evaluation-resident polynomials rescale without leaving the NTT
+        domain: only the *dropped* limb is inverse-transformed, re-reduced
+        under each remaining modulus and forward-transformed there (the
+        exact structure the hardware cost model charges for Rescale —
+        iNTT of the dropped limb plus a broadcast NTT), then the same fused
+        subtract-and-scale runs on the evaluation values.  Both paths are
+        bit-identical after conversion (the NTT is linear).
         """
         if len(self.basis) <= 1:
             raise ValueError("cannot rescale a polynomial with a single limb")
+        backend = active_backend()
         store = self.store()
         count = len(self.basis) - 1
         q_last = self.basis.moduli[-1]
-        new_store = active_backend().batched_sub_scaled(
+        remaining = tuple(self.basis.moduli[:count])
+        if self.domain == "eval":
+            contexts = _limb_contexts(self.ring_degree, self.basis)
+            last_coeff = backend.batched_intt(contexts[count:], store[count:])
+            spread = backend.replicate_row(last_coeff[0], remaining)
+            dropped = backend.batched_ntt(contexts[:count], spread)
+        else:
+            dropped = store[count]
+        new_store = backend.batched_sub_scaled(
             store[:count],
-            store[count],
+            dropped,
             _rescale_constants(self.basis),
-            tuple(self.basis.moduli[:count]),
-            b_modulus=q_last,
+            remaining,
+            b_modulus=q_last if self.domain == "coeff" else None,
         )
         return RNSPolynomial._from_store(
-            self.ring_degree, self.basis.subset(count), new_store
+            self.ring_degree, self.basis.subset(count), new_store,
+            domain=self.domain,
         )
 
 
@@ -417,6 +546,10 @@ def fast_basis_conversion(
     software expresses it the same way, as one ``bconv_matmul`` backend
     dispatch over precomputed per-basis-pair tables.
     """
+    if poly.domain != "coeff":
+        # Evaluation points differ per modulus, so BConv on eval rows would
+        # be silently wrong — the hoist phase converts before decomposing.
+        raise ValueError("fast basis conversion requires a coefficient-resident input")
     plan = _bconv_plan(poly.basis, target_basis)
     store = active_backend().bconv_matmul(poly.store(), plan)
     return RNSPolynomial._from_store(poly.ring_degree, target_basis, store)

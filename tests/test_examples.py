@@ -34,6 +34,8 @@ class TestExamples:
     def test_encrypted_inference(self):
         output = run_example("encrypted_inference.py")
         assert "encrypted prediction" in output
+        assert "hoisted BSGS linear transform" in output
+        assert "rotations:" in output
         assert "ResNet-20" in output
         assert "NN-100" in output
 

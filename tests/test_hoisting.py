@@ -1,0 +1,412 @@
+"""Parity suite for hoisted rotations and NTT-resident execution.
+
+Covers the PR-3 pipeline across every functional params.py prime/degree
+combination, including the <= 32-bit single-word fast path:
+
+* domain residency: ``to_eval``/``to_coeff`` round trips, eval-domain
+  add/mul/automorphism/rescale bit-exact against the coefficient domain,
+* the evaluation-domain Galois gather identity
+  ``NTT(sigma_g(x)) == gather_g(NTT(x))`` (what lets hoisted rotations
+  permute already-transformed keyswitch digits),
+* hoisted keyswitch (``hoist_decompose`` + ``keyswitch_hoisted``) bit-exact
+  against the naive ``hybrid_keyswitch`` pipeline, on both backends and
+  cross-backend,
+* ``rotate_hoisted`` cross-backend bit-exactness and (with the encoder)
+  agreement with the naive per-rotation path up to keyswitch noise,
+* NTT-resident HMult/Rescale chains bit-exact against the coefficient
+  reference pipeline,
+* the BSGS linear transform: numerical correctness and the cross-check that
+  its functional rotation counts match the cost model's
+  ``(baby-1) hoisted + (giant-1) outer`` HRotate accounting
+  (``bootstrap.linear_transform_plan``),
+* the generalized (non-power-of-two) ``inner_sum``.
+
+The raw-polynomial tests run on the pure-python backend alone, so this file
+is part of the no-numpy CI leg; encoder-based semantic tests skip without
+numpy.
+"""
+
+import random
+
+import pytest
+
+from repro.fhe.backend import PythonBackend, available_backends, use_backend
+from repro.fhe.ckks.bootstrap import linear_transform_plan
+from repro.fhe.ckks.ciphertext import CKKSCiphertext
+from repro.fhe.ckks.evaluator import CKKSEvaluator
+from repro.fhe.ckks.keys import CKKSKeyGenerator, galois_element_for_rotation
+from repro.fhe.ckks.keyswitch import (
+    hoist_decompose,
+    hybrid_keyswitch,
+    keyswitch_hoisted,
+)
+from repro.fhe.params import CKKSParameters
+from repro.fhe.polynomial import Polynomial, galois_eval_spec
+from repro.fhe.rns import RNSPolynomial, _limb_contexts
+
+numpy_missing = "numpy" not in available_backends()
+needs_numpy = pytest.mark.skipif(numpy_missing, reason="numpy backend unavailable")
+
+PYTHON = PythonBackend()
+
+if not numpy_missing:
+    from repro.fhe.backend import NumpyBackend
+
+    #: Thresholds at 0: force the vectorized paths at every ring size.
+    PACKED = NumpyBackend(min_vector_length=0, min_ntt_length=0)
+    BACKENDS = [PYTHON, PACKED]
+else:  # pragma: no cover - exercised only on numpy-less installs
+    PACKED = None
+    BACKENDS = [PYTHON]
+
+
+#: Every params.py shape family, including a word-size (<= 32-bit) chain that
+#: exercises the direct single-word kernels end to end.
+PARAM_SETS = [
+    CKKSParameters.toy(),
+    CKKSParameters.toy(ring_degree=128, max_level=4, dnum=2),
+    CKKSParameters.small(ring_degree=256),
+    CKKSParameters(
+        ring_degree=64, max_level=3, dnum=2, scale_bits=24, modulus_bits=28,
+        special_modulus_bits=30, security_bits=0, name="ckks-u32",
+    ),
+]
+PARAM_IDS = [
+    f"{p.name}-N{p.ring_degree}-L{p.max_level}-{p.modulus_bits}bit"
+    for p in PARAM_SETS
+]
+
+GALOIS_ELEMENTS = [5, 25, 3]  # rotations by 1 and 2, plus a non-group element
+
+
+def _random_poly(params, seed, level=None, basis=None):
+    degree = params.ring_degree
+    if basis is None:
+        basis = params.basis(params.max_level if level is None else level)
+    rng = random.Random(seed ^ 0x40157)
+    limbs = [
+        Polynomial._from_reduced(degree, q, [rng.randrange(q) for _ in range(degree)])
+        for q in basis
+    ]
+    return RNSPolynomial(degree, basis, limbs)
+
+
+def _rows(poly):
+    return poly.coefficient_rows()
+
+
+@pytest.fixture(scope="module", params=list(zip(PARAM_SETS, PARAM_IDS)),
+                ids=[i for i in PARAM_IDS])
+def keyed(request):
+    """(params, keys, relin key, a deterministic ciphertext-shaped pair)."""
+    params, _ = request.param
+    keygen = CKKSKeyGenerator(params, seed=11, error_stddev=0.0)
+    keys = keygen.generate()
+    level = params.max_level
+    relin = keygen.make_relinearization_key(keys, level)
+    ct = CKKSCiphertext(
+        c0=_random_poly(params, 21), c1=_random_poly(params, 22),
+        level=level, scale=float(params.scale),
+    )
+    return params, keys, relin, ct
+
+
+@pytest.mark.parametrize("params", PARAM_SETS, ids=PARAM_IDS)
+class TestDomainResidency:
+    """to_eval/to_coeff and eval-domain arithmetic are exact on every backend."""
+
+    def test_roundtrip_and_arithmetic(self, params):
+        for backend in BACKENDS:
+            with use_backend(backend):
+                x = _random_poly(params, 1)
+                y = _random_poly(params, 2)
+                xe, ye = x.to_eval(), y.to_eval()
+                assert xe.domain == "eval" and x.domain == "coeff"
+                assert _rows(xe.to_coeff()) == _rows(x)
+                assert _rows((xe + ye).to_coeff()) == _rows(x + y)
+                assert _rows((xe - ye).to_coeff()) == _rows(x - y)
+                assert _rows((-xe).to_coeff()) == _rows(-x)
+                assert _rows((xe * 12345).to_coeff()) == _rows(x * 12345)
+                # Pointwise eval product == negacyclic convolution.
+                assert _rows((xe * ye).to_coeff()) == _rows(x * y)
+
+    def test_domain_mismatch_raises(self, params):
+        x = _random_poly(params, 3)
+        with pytest.raises(ValueError):
+            x + x.to_eval()
+
+    def test_rescale_eval_matches_coeff(self, params):
+        for backend in BACKENDS:
+            with use_backend(backend):
+                x = _random_poly(params, 4)
+                rescaled = x.to_eval().rescale()
+                assert rescaled.domain == "eval"
+                assert _rows(rescaled.to_coeff()) == _rows(x.rescale())
+
+    def test_eval_automorphism_is_the_galois_gather(self, params):
+        """NTT(sigma_g(x)) == gather_g(NTT(x)), bit-exact — the identity the
+        hoisted rotations rely on."""
+        degree = params.ring_degree
+        for backend in BACKENDS:
+            with use_backend(backend):
+                x = _random_poly(params, 5)
+                for g in GALOIS_ELEMENTS + [2 * degree - 1]:
+                    lhs = x.automorphism(g).to_eval()
+                    rhs = x.to_eval().automorphism(g)
+                    assert _rows(lhs) == _rows(rhs), (backend.name, g)
+        spec = galois_eval_spec(degree, 5)
+        assert sorted(spec.src) == list(range(degree))  # a pure permutation
+
+    def test_cross_backend_eval_rows_match(self, params):
+        if numpy_missing:
+            pytest.skip("needs both backends")
+        x = _random_poly(params, 6)
+        with use_backend(PYTHON):
+            expected = _rows(x.to_eval())
+        with use_backend(PACKED):
+            assert _rows(x.to_eval()) == expected
+
+
+class TestHoistedKeyswitch:
+    """hoist+apply == the naive hybrid keyswitch, exactly."""
+
+    def test_matches_hybrid(self, keyed):
+        params, _keys, relin, ct = keyed
+        level = params.max_level
+        for backend in BACKENDS:
+            with use_backend(backend):
+                naive = hybrid_keyswitch(ct.c1, relin, params, level)
+                hoisted = keyswitch_hoisted(
+                    hoist_decompose(ct.c1, params, level), relin
+                )
+                assert _rows(hoisted[0]) == _rows(naive[0]), backend.name
+                assert _rows(hoisted[1]) == _rows(naive[1]), backend.name
+
+    def test_galois_apply_cross_backend(self, keyed):
+        """The eval-domain gather application agrees across backends (and the
+        hoist is reusable across several keys)."""
+        if numpy_missing:
+            pytest.skip("needs both backends")
+        params, keys, _relin, ct = keyed
+        level = params.max_level
+        elements = [galois_element_for_rotation(params.ring_degree, s)
+                    for s in (1, 2, 3)]
+        results = {}
+        for backend in BACKENDS:
+            with use_backend(backend):
+                hoisted = hoist_decompose(ct.c1, params, level)
+                results[backend.name] = [
+                    tuple(map(tuple, _rows(part)))
+                    for g in elements
+                    for part in keyswitch_hoisted(
+                        hoisted, keys.galois_key(g, level), galois_element=g
+                    )
+                ]
+        assert results["python"] == results["numpy"]
+
+    def test_hoist_accepts_eval_resident_input(self, keyed):
+        params, _keys, relin, ct = keyed
+        level = params.max_level
+        for backend in BACKENDS:
+            with use_backend(backend):
+                from_coeff = keyswitch_hoisted(
+                    hoist_decompose(ct.c1, params, level), relin
+                )
+                from_eval = keyswitch_hoisted(
+                    hoist_decompose(ct.c1.to_eval(), params, level), relin
+                )
+                assert _rows(from_eval[0]) == _rows(from_coeff[0])
+                assert _rows(from_eval[1]) == _rows(from_coeff[1])
+
+    def test_digit_count_mismatch_raises(self, keyed):
+        params, _keys, relin, ct = keyed
+        hoisted = hoist_decompose(ct.c1.keep_limbs(1), params, 0)
+        assert hoisted.num_digits == 1 != relin.num_digits
+        with pytest.raises(ValueError):
+            keyswitch_hoisted(hoisted, relin)
+
+
+class TestEvaluatorParity:
+    """Evaluator-level NTT residency: bit-exact against the coefficient path."""
+
+    def _evaluator(self, params, keys, backend):
+        return CKKSEvaluator(params, keys, backend=backend)
+
+    def test_multiply_matches_coeff_reference(self, keyed):
+        params, keys, _relin, ct = keyed
+        other = CKKSCiphertext(
+            c0=_random_poly(params, 31), c1=_random_poly(params, 32),
+            level=params.max_level, scale=float(params.scale),
+        )
+        reference = None
+        for backend in BACKENDS:
+            evaluator = self._evaluator(params, keys, backend)
+            resident = evaluator.multiply(ct, other)
+            assert resident.domain == "eval"
+            coeff = evaluator._multiply_coeff(ct, other)
+            assert coeff.domain == "coeff"
+            converted = evaluator.to_coeff(resident)
+            rows = (_rows(converted.c0), _rows(converted.c1))
+            assert rows == (_rows(coeff.c0), _rows(coeff.c1)), backend.name
+            if reference is None:
+                reference = rows
+            else:
+                assert rows == reference  # cross-backend
+
+    def test_multiply_rescale_multiply_chain(self, keyed):
+        """The benchmark's chain shape, bit-exact end to end."""
+        params, keys, _relin, ct = keyed
+        if params.max_level < 2:
+            pytest.skip("chain needs two rescale levels")
+        other = CKKSCiphertext(
+            c0=_random_poly(params, 33), c1=_random_poly(params, 34),
+            level=params.max_level, scale=float(params.scale),
+        )
+        for backend in BACKENDS:
+            evaluator = self._evaluator(params, keys, backend)
+            lower = evaluator.mod_down_to(ct, params.max_level - 1)
+
+            resident = evaluator.multiply(ct, other)
+            resident = evaluator.rescale(resident)
+            assert resident.domain == "eval"
+            resident = evaluator.multiply(resident, lower)
+            resident = evaluator.to_coeff(resident)
+
+            coeff = evaluator._multiply_coeff(ct, other)
+            coeff = evaluator.rescale(coeff)
+            coeff = evaluator._multiply_coeff(coeff, lower)
+
+            assert _rows(resident.c0) == _rows(coeff.c0), backend.name
+            assert _rows(resident.c1) == _rows(coeff.c1), backend.name
+
+    def test_rotate_hoisted_cross_backend(self, keyed):
+        if numpy_missing:
+            pytest.skip("needs both backends")
+        params, keys, _relin, ct = keyed
+        steps = [0, 1, 2, 5]
+        results = {}
+        for backend in BACKENDS:
+            evaluator = self._evaluator(params, keys, backend)
+            rotated = evaluator.rotate_hoisted(ct, steps)
+            results[backend.name] = [
+                (tuple(map(tuple, _rows(r.c0))), tuple(map(tuple, _rows(r.c1))))
+                for r in rotated
+            ]
+        assert results["python"] == results["numpy"]
+
+    def test_rotate_hoisted_domain_and_identity(self, keyed):
+        params, keys, _relin, ct = keyed
+        evaluator = self._evaluator(params, keys, BACKENDS[-1])
+        rotated = evaluator.rotate_hoisted(ct, [0, 1])
+        assert rotated[0].domain == "coeff"
+        assert _rows(rotated[0].c0) == _rows(ct.c0)  # step 0 is the identity
+        resident = evaluator.to_eval(ct)
+        rotated_eval = evaluator.rotate_hoisted(resident, [1])
+        assert rotated_eval[0].domain == "eval"
+        converted = evaluator.to_coeff(rotated_eval[0])
+        assert _rows(converted.c0) == _rows(rotated[1].c0)
+        assert _rows(converted.c1) == _rows(rotated[1].c1)
+
+
+# ---------------------------------------------------------------------------
+# Encoder-based semantic tests (slot values; need numpy)
+# ---------------------------------------------------------------------------
+
+@needs_numpy
+class TestSemantics:
+    @pytest.fixture(scope="class")
+    def context(self):
+        from repro.fhe.ckks import CKKSContext
+
+        return CKKSContext(
+            CKKSParameters.toy(ring_degree=64, max_level=3, dnum=2), seed=7
+        )
+
+    def _decode(self, context, ct, count=None):
+        return context.decrypt_vector(ct, num_values=count)
+
+    def test_rotate_hoisted_matches_naive_rotation(self, context):
+        slots = context.params.slots
+        values = [float(i % 9) - 4 for i in range(slots)]
+        ct = context.encrypt_vector(values)
+        evaluator = context.evaluator
+        steps = [1, 2, 3, 7]
+        for steps_i, hoisted in zip(steps, evaluator.rotate_hoisted(ct, steps)):
+            naive = evaluator.rotate(ct, steps_i)
+            expected = values[steps_i:] + values[:steps_i]
+            got_h = self._decode(context, hoisted)
+            got_n = self._decode(context, naive)
+            assert max(abs(a - e) for a, e in zip(got_h, expected)) < 0.1
+            # Hoisting reorders sigma_g and BConv, which only perturbs the
+            # keyswitch noise — decoded slots agree tightly with the naive path.
+            assert max(abs(a - b) for a, b in zip(got_h, got_n)) < 1e-2
+
+    def test_inner_sum_any_count(self, context):
+        slots = context.params.slots
+        values = [((3 * i) % 11 - 5) / 4.0 for i in range(slots)]
+        evaluator = context.evaluator
+        for count in (1, 2, 3, 5, 6, 7, 8, 12, slots):
+            ct = context.encrypt_vector(values)
+            summed = evaluator.inner_sum(ct, count)
+            expected = sum(values[:count])
+            got = self._decode(context, summed, 1)[0].real
+            assert abs(got - expected) < 0.25, (count, got, expected)
+
+    def test_inner_sum_rejects_nonpositive(self, context):
+        ct = context.encrypt_vector([1.0])
+        with pytest.raises(ValueError):
+            context.evaluator.inner_sum(ct, 0)
+
+    def test_bsgs_matvec_matches_cleartext(self, context):
+        from repro.fhe.ckks import BSGSLinearTransform
+
+        dim = 8
+        slots = context.params.slots
+        matrix = [
+            [((3 * i + 5 * j) % 7 - 3) / 4.0 for j in range(dim)]
+            for i in range(dim)
+        ]
+        x = [0.5, -1.0, 2.0, 0.25, -0.75, 1.5, -0.5, 1.0]
+        transform = BSGSLinearTransform.from_matrix(context.encoder, matrix)
+        generated = transform.generate_rotation_keys(context.keys)
+        baby, giant = transform.rotation_steps()
+        assert sorted(generated) == sorted(baby + giant)
+        ct = context.encrypt_vector(x * (slots // dim))
+        out = context.evaluator.rescale(transform.apply(context.evaluator, ct))
+        got = [v.real for v in self._decode(context, out, dim)]
+        expected = [sum(matrix[i][j] * x[j] for j in range(dim)) for i in range(dim)]
+        assert max(abs(a - e) for a, e in zip(got, expected)) < 0.05
+
+    def test_bsgs_rotation_counts_match_cost_model(self, context):
+        """Functional hoisted-BSGS rotation counts == the cost model's
+        ``(baby-1) hoisted + (giant-1) outer`` HRotate accounting
+        (bootstrap.linear_transform_plan / LinearTransformPlan.num_rotations)."""
+        from repro.fhe.ckks import BSGSLinearTransform
+
+        dim = 16
+        slots = context.params.slots
+        matrix = [[(i + 2 * j) % 5 - 2 for j in range(dim)] for i in range(dim)]
+        transform = BSGSLinearTransform.from_matrix(context.encoder, matrix)
+        transform.generate_rotation_keys(context.keys)
+        ct = context.encrypt_vector([1.0] * slots)
+        transform.apply(context.evaluator, ct)
+
+        plan = linear_transform_plan(slots, context.params.max_level, diagonals=dim)
+        assert transform.plan.baby_steps == plan.baby_steps
+        assert transform.plan.giant_steps == plan.giant_steps
+        stats = transform.last_stats
+        assert stats["hoisted_rotations"] == plan.baby_steps - 1
+        assert stats["outer_rotations"] == plan.giant_steps - 1
+        assert stats["rotations"] == plan.num_rotations
+        assert stats["plain_multiplies"] == plan.num_plain_multiplies
+
+    def test_multiply_plain_eval_resident(self, context):
+        values = [1.0, -2.0, 0.5]
+        ct = context.evaluator.to_eval(context.encrypt_vector(values))
+        pt = context.encoder.encode([2.0, 3.0, -4.0])
+        product = context.evaluator.multiply_plain(ct, pt)
+        assert product.domain == "eval"
+        rescaled = context.evaluator.rescale(product)
+        got = self._decode(context, rescaled, 3)
+        for a, e in zip(got, [2.0, -6.0, -2.0]):
+            assert abs(a - e) < 0.1
