@@ -1,0 +1,263 @@
+"""Benchmark: planned HEProgram execution vs the eager call sequence.
+
+PR 4 made the lazy program front-end (``repro.fhe.program``) the primary
+API; this benchmark gates what the planner buys over driving the evaluator
+eagerly, on the encrypted-inference programs the examples run:
+
+* ``planned_dense_layer`` — the encrypted dense layer (dim x dim BSGS
+  matrix-vector product, traced through ``BSGSLinearTransform.trace``).
+  Eager: the aligned node sequence executed one evaluator call at a time —
+  every rotation pays its own Decompose+BConv+NTT hoist.  Planned: hoist
+  fusion shares one hoist across all baby rotations, residency planning
+  keeps the pipeline NTT-resident, and each giant block's PMult/HAdd group
+  runs as one stacked ``(2, C, L, N)`` backend dispatch.
+* ``planned_inference_program`` — the full inference program: dense layer,
+  rescale, then a degree-2 polynomial activation (square + PMult + HAdd).
+  Exercises the multiply waterline and the NTT-resident multiply chain on
+  top of the rotation savings.
+
+Both pairs are checked **bit-exact** (the passes are exact transformations
+over modular arithmetic — same integers, fewer dispatches).
+
+Acceptance (``--check``, on by default, word-size config at L = 8,
+N = 2^12): >= 1.3x on both programs.  ``--min-speedup F`` replaces the
+thresholds (the CI perf-smoke job uses 1.0: planned must never lose).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_program_planner.py [--quick] [--json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List
+
+import conftest
+
+from repro.fhe.backend import available_backends, set_active_backend
+from repro.fhe.ckks import BSGSLinearTransform, CKKSContext
+from repro.fhe.params import CKKSParameters
+from repro.fhe.program import HETrace, ProgramExecutor, plan_program
+
+BENCH_NAME = "program_planner"
+
+REQUIRED_SPEEDUPS = {
+    "planned_dense_layer": 1.3,
+    "planned_inference_program": 1.3,
+}
+
+#: The gated configuration: a word-size (direct single-word kernel) chain,
+#: matching the regime bench_hoisting gates on.
+GATED_BITS = 30
+
+
+def _best_of(func, repeats: int):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def build_context(degree: int, level: int, bits: int) -> CKKSContext:
+    params = CKKSParameters(
+        ring_degree=degree, max_level=level, dnum=3, scale_bits=bits - 4,
+        modulus_bits=bits, special_modulus_bits=bits + 2, security_bits=0,
+        name=f"ckks-program-bench-{bits}",
+    )
+    # A sparse secret keeps s^2 (relin key material) cheap to derive at N=2^12.
+    return CKKSContext(params, seed=31, error_stddev=0.0,
+                       secret_hamming_weight=64)
+
+
+def _assert_bit_exact(evaluator, a, b, label: str) -> None:
+    ca, cb = evaluator.to_coeff(a), evaluator.to_coeff(b)
+    if (
+        ca.c0.coefficient_rows() != cb.c0.coefficient_rows()
+        or ca.c1.coefficient_rows() != cb.c1.coefficient_rows()
+    ):
+        raise AssertionError(f"{label}: planned result is not bit-exact vs eager")
+
+
+def _dense_transform(context, dim: int) -> BSGSLinearTransform:
+    weights = [
+        [((3 * i + 5 * j) % 13 - 6) / 8.0 for j in range(dim)]
+        for i in range(dim)
+    ]
+    transform = BSGSLinearTransform.from_matrix(context.encoder, weights)
+    transform.generate_rotation_keys(context.keys)
+    return transform
+
+
+def run_dense_layer_benchmark(degree: int, level: int, bits: int, dim: int,
+                              repeats: int) -> Dict[str, object]:
+    context = build_context(degree, level, bits)
+    evaluator = context.evaluator
+    params = context.params
+    transform = _dense_transform(context, dim)
+
+    trace = HETrace(params)
+    trace.output("y", transform.trace(trace.input("x")))
+    planned = plan_program(trace.program)
+    aligned = plan_program(trace.program, optimize=False)
+    executor = ProgramExecutor(evaluator)
+
+    values = [((7 * i) % 23 - 11) / 8.0 for i in range(params.slots)]
+    ct = context.encrypt_vector(values)
+    inputs = {"x": ct}
+
+    def eager():
+        return executor.run_eager(aligned, inputs)["y"]
+
+    def planned_run():
+        return executor.run(planned, inputs)["y"]
+
+    eager()            # warm twiddle/key/plaintext-encoding caches on both paths
+    planned_run()
+    eager_time, eager_result = _best_of(eager, repeats)
+    planned_time, planned_result = _best_of(planned_run, repeats)
+    _assert_bit_exact(evaluator, planned_result, eager_result, "dense layer")
+    return {
+        "kernel": "planned_dense_layer",
+        "ring_degree": degree,
+        "limbs": level + 1,
+        "modulus_bits": bits,
+        "dimension": dim,
+        "planner_stats": dict(planned.stats),
+        "eager_seconds": eager_time,
+        "planned_seconds": planned_time,
+        "speedup": eager_time / planned_time if planned_time > 0 else float("inf"),
+    }
+
+
+def run_inference_program_benchmark(degree: int, level: int, bits: int, dim: int,
+                                    repeats: int) -> Dict[str, object]:
+    context = build_context(degree, level, bits)
+    evaluator = context.evaluator
+    params = context.params
+    transform = _dense_transform(context, dim)
+
+    # Dense layer -> rescale -> x^2 activation with an affine tail: the
+    # planner must keep the whole chain NTT-resident after the rotations.
+    coeff = context.encoder.encode([0.25] * params.slots, level=params.max_level - 2)
+    trace = HETrace(params)
+    x = trace.input("x")
+    hidden = transform.trace(x).rescale()
+    activated = (hidden * hidden).rescale()
+    trace.output("y", activated * coeff + activated * coeff)
+    planned = plan_program(trace.program)
+    aligned = plan_program(trace.program, optimize=False)
+    executor = ProgramExecutor(evaluator)
+
+    values = [((5 * i) % 17 - 8) / 16.0 for i in range(params.slots)]
+    inputs = {"x": context.encrypt_vector(values)}
+
+    def eager():
+        return executor.run_eager(aligned, inputs)["y"]
+
+    def planned_run():
+        return executor.run(planned, inputs)["y"]
+
+    eager()
+    planned_run()
+    eager_time, eager_result = _best_of(eager, repeats)
+    planned_time, planned_result = _best_of(planned_run, repeats)
+    _assert_bit_exact(evaluator, planned_result, eager_result, "inference program")
+    return {
+        "kernel": "planned_inference_program",
+        "ring_degree": degree,
+        "limbs": level + 1,
+        "modulus_bits": bits,
+        "dimension": dim,
+        "planner_stats": dict(planned.stats),
+        "eager_seconds": eager_time,
+        "planned_seconds": planned_time,
+        "speedup": eager_time / planned_time if planned_time > 0 else float("inf"),
+    }
+
+
+def print_table(records: List[Dict[str, object]]) -> None:
+    header = (
+        f"{'kernel':<28} {'N':>6} {'L':>3} {'bits':>5} "
+        f"{'eager':>12} {'planned':>12} {'speedup':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for rec in records:
+        print(
+            f"{rec['kernel']:<28} {rec['ring_degree']:>6} {rec['limbs'] - 1:>3} "
+            f"{rec['modulus_bits']:>5} "
+            f"{rec['eager_seconds'] * 1e3:>10.3f}ms "
+            f"{rec['planned_seconds'] * 1e3:>10.3f}ms "
+            f"{rec['speedup']:>8.1f}x"
+        )
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small ring and fewer repeats (CI smoke pass)")
+    parser.add_argument("--no-check", dest="check", action="store_false",
+                        help="skip the speedup acceptance assertions")
+    parser.add_argument("--min-speedup", type=float, default=None, metavar="F",
+                        help="replace every threshold with F "
+                             "(CI uses 1.0: planned must not be slower)")
+    conftest.add_json_argument(parser, BENCH_NAME)
+    args = parser.parse_args(argv)
+
+    if "numpy" not in available_backends():
+        print("numpy is not installed; benchmark needs the vectorized backend.")
+        return 0
+    set_active_backend("numpy")
+
+    if args.quick:
+        degree, repeats, dim = 1 << 10, 1, 32
+    else:
+        degree, repeats, dim = 1 << 12, 3, 64
+    level = 8          # L = 8: the acceptance configuration
+
+    records = [
+        run_dense_layer_benchmark(degree, level, GATED_BITS, dim, repeats),
+        run_inference_program_benchmark(degree, level, GATED_BITS, dim, repeats),
+    ]
+    if not args.quick:
+        # Informational: the 40-bit Montgomery/Shoup regime, same shapes.
+        records.append(run_dense_layer_benchmark(degree, level, 40, dim, repeats))
+    print_table(records)
+
+    if args.json:
+        path = conftest.write_bench_json(
+            args.json, BENCH_NAME, records,
+            extra={"quick": args.quick, "gated_modulus_bits": GATED_BITS},
+        )
+        print(f"\nwrote {path}")
+
+    print()
+    failures = []
+    for rec in records:
+        if args.min_speedup is not None:
+            required = args.min_speedup
+        elif rec["modulus_bits"] == GATED_BITS and not args.quick:
+            required = REQUIRED_SPEEDUPS[rec["kernel"]]
+        else:
+            continue
+        status = "ok" if rec["speedup"] >= required else "FAILED"
+        print(
+            f"{rec['kernel']} ({rec['modulus_bits']}-bit): {rec['speedup']:.1f}x "
+            f"(required >= {required:.1f}x) {status}"
+        )
+        if rec["speedup"] < required:
+            failures.append(f"{rec['kernel']}@{rec['modulus_bits']}bit")
+    if args.check and failures:
+        print(f"FAILED: below threshold: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

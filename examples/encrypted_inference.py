@@ -6,11 +6,16 @@ parameters: the model weights are applied to an encrypted feature vector and
 the sigmoid is approximated with a low-degree polynomial, all under
 encryption.
 
-Part 2 runs a real encrypted matrix-vector product — a dense layer applied to
-an encrypted activation vector — through the hoisted-BSGS linear transform:
-diagonal encoding, one shared keyswitch hoist for all baby-step rotations,
-evaluation-domain plaintext MACs, and only ``(baby-1) + (giant-1)`` rotations
-instead of one per matrix diagonal.
+Part 2 runs a real encrypted matrix-vector product — a dense layer applied
+to an encrypted activation vector — through the **program front-end**, the
+recommended entry point now that the ``repro.fhe.program`` API exists: the
+layer is traced into a lazy :class:`~repro.fhe.program.HEProgram` with
+operator-overloaded handles, the planner fuses all baby-step rotations into
+one shared keyswitch hoist, keeps the pipeline NTT-resident, and batches
+each giant block's plaintext MACs into one stacked dispatch — and the *same*
+traced program lowers to the ``HomomorphicOp`` stream the Trinity cost
+model consumes, so one trace yields both the encrypted result and a
+hardware cycle estimate.
 
 Part 3 evaluates the paper's inference *workloads* on the hardware models:
 ResNet-20 under CKKS (Table VI) and NN-20/50/100 under TFHE (Table VIII),
@@ -21,7 +26,8 @@ from repro.baselines import cpu_ckks_baseline, cpu_tfhe_baseline, sharp_model, s
 from repro.core import TrinityAccelerator
 from repro.fhe.ckks import BSGSLinearTransform, CKKSContext
 from repro.fhe.params import CKKSParameters, TFHE_SET_III
-from repro.workloads import nn_workload, resnet20_workload
+from repro.fhe.program import HETrace, ProgramExecutor, operation_histogram, plan_program
+from repro.workloads import nn_workload, program_workload, resnet20_workload
 
 
 def encrypted_logistic_regression() -> None:
@@ -64,8 +70,9 @@ def encrypted_logistic_regression() -> None:
 
 
 def encrypted_dense_layer() -> None:
-    print("=== Encrypted mat-vec (hoisted BSGS linear transform, toy CKKS) ===")
-    context = CKKSContext(CKKSParameters.toy(ring_degree=128, max_level=3, dnum=2), seed=23)
+    print("=== Encrypted mat-vec (traced HEProgram, planned execution) ===")
+    params = CKKSParameters.toy(ring_degree=128, max_level=3, dnum=2)
+    context = CKKSContext(params, seed=23)
     evaluator = context.evaluator
     slots = context.params.slots
 
@@ -73,22 +80,40 @@ def encrypted_dense_layer() -> None:
     dim = 8
     weights = [[((3 * i + 5 * j) % 7 - 3) / 4.0 for j in range(dim)] for i in range(dim)]
     activations = [0.5, -1.0, 2.0, 0.25, -0.75, 1.5, -0.5, 1.0]
-
     transform = BSGSLinearTransform.from_matrix(context.encoder, weights)
     transform.generate_rotation_keys(context.keys)     # only the BSGS-needed keys
+
+    # Trace the whole layer lazily — nothing executes here — then let the
+    # planner insert domain conversions, fuse the baby-rotation hoists, and
+    # batch the plaintext MACs before anything runs.
+    trace = HETrace(params)
+    x = trace.input("x")
+    trace.output("y", transform.trace(x).rescale())
+    planned = plan_program(trace.program)
+
     ciphertext = context.encrypt_vector(activations * (slots // dim))
-    result = evaluator.rescale(transform.apply(evaluator, ciphertext))
+    result = ProgramExecutor(evaluator).run(planned, {"x": ciphertext})["y"]
 
     decrypted = [v.real for v in context.decrypt_vector(result, dim)]
     expected = [sum(w * x for w, x in zip(row, activations)) for row in weights]
     worst = max(abs(a - e) for a, e in zip(decrypted, expected))
-    stats = transform.last_stats
+    stats = planned.stats
     print(f"  encrypted W @ x:   {[round(v, 3) for v in decrypted]}")
     print(f"  cleartext W @ x:   {[round(v, 3) for v in expected]}")
     print(f"  max slot error:    {worst:.2e}")
-    print(f"  rotations:         {stats['hoisted_rotations']} hoisted + "
-          f"{stats['outer_rotations']} outer "
-          f"(vs {dim - 1} naive HRotates for {dim} diagonals)")
+    print(f"  planner:           {stats['hoist_groups']} hoist groups for "
+          f"{stats['rotations']} rotations (vs {dim - 1} naive HRotates for "
+          f"{dim} diagonals), {stats['batched_groups']} stacked MAC groups, "
+          f"{stats['conversions_inserted']} domain conversions")
+
+    # The same traced program lowers to the cost model's operation stream
+    # and runs on the Trinity hardware model — one trace, both worlds.
+    workload = program_workload(planned, params=params, name="dense-layer")
+    trinity = TrinityAccelerator()
+    report = trinity.run_traces(workload.traces, mapping=trinity.ckks_mapping)
+    print(f"  lowered ops:       {operation_histogram(planned)}")
+    print(f"  Trinity estimate:  {report.latency_cycles:,.0f} cycles "
+          f"({report.latency_ms * 1e3:.1f} us at {report.frequency_ghz:g} GHz)")
 
 
 def inference_workloads_on_hardware() -> None:

@@ -9,6 +9,14 @@ layers of the library end to end:
    hardware models consume,
 3. the Trinity model — latency/throughput of those traces on the paper's
    default 4-cluster configuration, next to the SHARP and Morphling baselines.
+
+This file drives the evaluator *eagerly*, call by call, which is the
+low-level API.  For multi-operation CKKS computations the recommended entry
+point is the lazy program front-end (``repro.fhe.program``): trace the
+whole computation on operator-overloaded handles, let the planner fuse
+keyswitch hoists / plan NTT residency / batch plaintext MACs, then execute
+or lower to the hardware cost model — see
+``examples/encrypted_inference.py`` part 2 for the pattern.
 """
 
 from repro.baselines import morphling_model, sharp_model

@@ -35,7 +35,7 @@ back to the exact python path automatically.  NumPy itself is optional:
 without it, everything runs on the python backend.
 """
 
-from . import backend, modmath, ntt, params, polynomial, rns
+from . import backend, modmath, ntt, params, polynomial, program, rns
 from .backend import active_backend, available_backends, get_backend, set_active_backend, use_backend
 from .params import (
     CKKS_DEFAULT,
@@ -56,6 +56,7 @@ __all__ = [
     "ntt",
     "params",
     "polynomial",
+    "program",
     "rns",
     "active_backend",
     "available_backends",

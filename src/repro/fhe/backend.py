@@ -402,6 +402,53 @@ class ArithmeticBackend:
         d2 = self.limbs_mul(a1, b1, moduli)
         return d0, d1, d2
 
+    def stacked_intt(self, contexts, stores):
+        """Inverse NTT of several limb stores as one stacked dispatch.
+
+        Every store shares the same per-limb contexts; vectorized backends
+        stack them into one ``(C, L, N)`` array and run the inverse stages
+        once, so e.g. the two accumulator components of a hoisted keyswitch
+        pay a single ``(2, L, N)`` transform.  Returns one store per input,
+        bit-identical to per-store :meth:`batched_intt`.
+        """
+        return [self.batched_intt(contexts, store) for store in stores]
+
+    def stacked_ntt(self, contexts, stores):
+        """Forward counterpart of :meth:`stacked_intt` (one stacked dispatch)."""
+        return [self.batched_ntt(contexts, store) for store in stores]
+
+    def stacked_gather(self, stores, spec):
+        """Apply one sign-free gather to several limb stores at once.
+
+        The batched form of :meth:`limbs_gather` — hoisted keyswitch uses it
+        to permute all decomposition digits of a rotation in one dispatch.
+        """
+        return [self.limbs_gather(store, spec) for store in stores]
+
+    def stacked_pmult_mac(self, c0_stores, c1_stores, pt_stores, moduli):
+        """Fused multi-ciphertext plaintext MAC (one ``(2, C, L, N)`` dispatch).
+
+        Computes ``acc_c = sum_i pt_i * c_i`` pointwise per limb for both
+        ciphertext components: ``c0_stores``/``c1_stores`` hold the ``C``
+        evaluation-domain component stores and ``pt_stores`` the matching
+        evaluation-domain plaintext stores.  This is how the program
+        planner executes an independent same-shape group of PMult/HAdd
+        nodes (a BSGS inner sum) as one stacked dispatch.  Fully reduced
+        and bit-identical to the per-ciphertext ``limbs_mul``/``limbs_add``
+        chain (modular addition is exact in any order).
+        """
+        if not c0_stores or not (
+            len(c0_stores) == len(c1_stores) == len(pt_stores)
+        ):
+            raise ValueError("stacked_pmult_mac needs matching non-empty stores")
+        acc0 = acc1 = None
+        for c0, c1, pt in zip(c0_stores, c1_stores, pt_stores):
+            t0 = self.limbs_mul(c0, pt, moduli)
+            t1 = self.limbs_mul(c1, pt, moduli)
+            acc0 = t0 if acc0 is None else self.limbs_add(acc0, t0, moduli)
+            acc1 = t1 if acc1 is None else self.limbs_add(acc1, t1, moduli)
+        return acc0, acc1
+
     def replicate_row(self, row, moduli):
         """One coefficient row reduced into every modulus of ``moduli``.
 
@@ -1563,6 +1610,79 @@ class NumpyBackend(ArithmeticBackend):
             self._finalize(prods[1, 1], moduli),
         )
 
+    def stacked_intt(self, contexts, stores):
+        tabs = self._rns_tables(tuple(contexts))
+        mats = [self._matrix(store) for store in stores]
+        if tabs is None or any(m is None for m in mats):
+            return super().stacked_intt(contexts, stores)
+        moduli = tuple(ctx.modulus for ctx in contexts)
+        x = _np.stack(mats)                         # (C, L, n): one dispatch
+        if tabs.use32:
+            x = self._inverse_stages_rns_u32(x, tabs)
+            out = _shoup32_mul(x, tabs.n_inv_w, tabs.n_inv_s32, tabs.q_col)
+            return [self._finalize(out[i], moduli) for i in range(len(mats))]
+        x = self._inverse_stages_rns(x, tabs)
+        v = _shoup_mul_lazy(x, tabs.n_inv_w, tabs.n_inv_lo, tabs.n_inv_hi,
+                            tabs.q_col)
+        v = _np.minimum(v, v - tabs.q_col)
+        return [v[i] for i in range(len(mats))]
+
+    def stacked_ntt(self, contexts, stores):
+        tabs = self._rns_tables(tuple(contexts))
+        mats = [self._matrix(store) for store in stores]
+        if tabs is None or any(m is None for m in mats):
+            return super().stacked_ntt(contexts, stores)
+        moduli = tuple(ctx.modulus for ctx in contexts)
+        x = _np.stack(mats)                         # (C, L, n): one dispatch
+        if tabs.use32:
+            out = self._forward_stages_rns_u32(x, tabs)
+            return [self._finalize(out[i], moduli) for i in range(len(mats))]
+        x = self._forward_stages_rns(x, tabs)
+        x = _np.minimum(x, x - tabs.q2_col)
+        x = _np.minimum(x, x - tabs.q_col)
+        return [x[i] for i in range(len(mats))]
+
+    def stacked_gather(self, stores, spec):
+        if (
+            not stores
+            or not all(isinstance(s, _np.ndarray) for s in stores)
+            or len({(s.shape, s.dtype) for s in stores}) != 1
+        ):
+            return super().stacked_gather(stores, spec)
+        idx = spec.cache.get("numpy")
+        if idx is None:
+            idx = _np.array(spec.src, dtype=_np.intp)
+            spec.cache["numpy"] = idx
+        out = _np.stack(stores)[..., idx]           # one gather for all stores
+        return [out[i] for i in range(len(stores))]
+
+    def stacked_pmult_mac(self, c0_stores, c1_stores, pt_stores, moduli):
+        count = len(c0_stores)
+        if not count or not (count == len(c1_stores) == len(pt_stores)):
+            raise ValueError("stacked_pmult_mac needs matching non-empty stores")
+        mats = [self._matrix(s) for s in (*c0_stores, *c1_stores, *pt_stores)]
+        if any(m is None for m in mats) or not self._limbs_ok(moduli, mats[0]):
+            return super().stacked_pmult_mac(c0_stores, c1_stores, pt_stores,
+                                             moduli)
+        x = _np.stack([
+            _np.stack(mats[:count]), _np.stack(mats[count:2 * count])
+        ])                                          # (2, C, L, n)
+        p = _np.stack(mats[2 * count:])[None, :]    # (1, C, L, n)
+        q = self._q_col(moduli)
+        if self._moduli_u32(moduli):
+            prods = (x * p) % q                     # all products in one pass
+        else:
+            mont = self._mont_vec(moduli)
+            if mont is None:
+                return super().stacked_pmult_mac(c0_stores, c1_stores,
+                                                 pt_stores, moduli)
+            prods = mont.mulmod(x, p)
+        acc = prods[:, 0]
+        for i in range(1, count):
+            acc = acc + prods[:, i]
+            acc = _np.minimum(acc, acc - q)
+        return self._finalize(acc[0], moduli), self._finalize(acc[1], moduli)
+
     def limbs_gather(self, store, spec):
         x = store if isinstance(store, _np.ndarray) else self._matrix(store)
         if x is None or x.size < self.min_vector_length:
@@ -2194,6 +2314,10 @@ class PerLimbNumpyBackend(NumpyBackend):
     limbs_tensor_product = ArithmeticBackend.limbs_tensor_product
     limbs_signed_permute = ArithmeticBackend.limbs_signed_permute
     limbs_gather = ArithmeticBackend.limbs_gather
+    stacked_intt = ArithmeticBackend.stacked_intt
+    stacked_ntt = ArithmeticBackend.stacked_ntt
+    stacked_gather = ArithmeticBackend.stacked_gather
+    stacked_pmult_mac = ArithmeticBackend.stacked_pmult_mac
     replicate_row = ArithmeticBackend.replicate_row
     ntt_forward_batch = ArithmeticBackend.ntt_forward_batch
     ntt_inverse_batch = ArithmeticBackend.ntt_inverse_batch

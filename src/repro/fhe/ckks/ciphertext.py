@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Dict
 
 from ..rns import RNSPolynomial
 
@@ -21,6 +22,14 @@ class CKKSPlaintext:
     poly: RNSPolynomial
     level: int
     scale: float
+    # Evaluation-domain images of the (level-restricted) polynomial, built on
+    # first use and keyed by (backend name, level).  Repeated PMult/PAdd of
+    # the same plaintext against evaluation-resident ciphertexts then skip
+    # the per-call forward NTT entirely; the transform is exact, so caching
+    # cannot change results.
+    _eval_cache: Dict[tuple, RNSPolynomial] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def ring_degree(self) -> int:

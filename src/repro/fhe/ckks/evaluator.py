@@ -78,6 +78,26 @@ class CKKSEvaluator:
             raise ValueError("plaintext level is below the ciphertext level")
         return poly.keep_limbs(level + 1)
 
+    def _plaintext_eval_at_level(self, plaintext: CKKSPlaintext, level: int) -> RNSPolynomial:
+        """Evaluation-domain image of the plaintext at ``level``, cached.
+
+        The forward NTT of a plaintext is a pure function of (plaintext,
+        level, backend), so repeated ``multiply_plain``/``add_plain`` against
+        the same encoding — every BSGS diagonal across applies, every reuse
+        a planned program's common-subexpression view exposes — pay the
+        transform once instead of per call.
+        """
+        backend = active_backend()
+        # The storage mode is part of the key: a wide-store and a
+        # REPRO_U32_STORE=1 backend share the name "numpy" but must not
+        # share cached stores (values agree, storage width does not).
+        key = (backend.name, getattr(backend, "store_uint32", False), level)
+        poly = plaintext._eval_cache.get(key)
+        if poly is None:
+            poly = self._plaintext_at_level(plaintext, level).to_eval()
+            plaintext._eval_cache[key] = poly
+        return poly
+
     # -- domain residency -------------------------------------------------------
     def to_eval(self, a: CKKSCiphertext) -> CKKSCiphertext:
         """The same ciphertext, evaluation(NTT)-resident (no-op if it already is)."""
@@ -123,10 +143,11 @@ class CKKSEvaluator:
     def add_plain(self, a: CKKSCiphertext, plaintext: CKKSPlaintext) -> CKKSCiphertext:
         """PAdd: add an encoded plaintext to a ciphertext."""
         self._check_scales(a.scale, plaintext.scale)
-        poly = self._plaintext_at_level(plaintext, a.level)
         with self._arith():
             if a.domain == "eval":
-                poly = poly.to_eval()
+                poly = self._plaintext_eval_at_level(plaintext, a.level)
+            else:
+                poly = self._plaintext_at_level(plaintext, a.level)
             return CKKSCiphertext(c0=a.c0 + poly, c1=a.c1, level=a.level, scale=a.scale)
 
     def negate(self, a: CKKSCiphertext) -> CKKSCiphertext:
@@ -139,13 +160,16 @@ class CKKSEvaluator:
         """PMult: multiply a ciphertext by an encoded plaintext (scale multiplies).
 
         On an evaluation-resident ciphertext the product is pointwise — no
-        transforms beyond encoding the plaintext into the NTT domain (the
-        BSGS inner loop relies on this).
+        transforms beyond encoding the plaintext into the NTT domain, and
+        even that is cached per (plaintext, level, backend), so repeated
+        products against the same plaintext (the BSGS inner loop, a reused
+        program constant) skip the forward NTT entirely.
         """
-        poly = self._plaintext_at_level(plaintext, a.level)
         with self._arith():
             if a.domain == "eval":
-                poly = poly.to_eval()
+                poly = self._plaintext_eval_at_level(plaintext, a.level)
+            else:
+                poly = self._plaintext_at_level(plaintext, a.level)
             return CKKSCiphertext(
                 c0=a.c0 * poly,
                 c1=a.c1 * poly,
@@ -264,18 +288,29 @@ class CKKSEvaluator:
 
         Returns one ciphertext per step, in order and in ``a``'s residency
         domain; a step of 0 returns ``a`` itself (no keyswitch).
+
+        Every requested step's Galois key is resolved *before* the hoist
+        phase runs, so a missing rotation key raises the same ``KeyError``
+        as :meth:`rotate` without paying the Decompose+BConv+NTT cost first.
         """
         level = a.level
         results: List[CKKSCiphertext] = []
         with self._arith():
             eval_resident = a.domain == "eval"
+            galois_keys = {}
+            for steps in steps_list:
+                galois_element = self.galois_element_for_rotation(steps)
+                if galois_element != 1 and galois_element not in galois_keys:
+                    galois_keys[galois_element] = self.keys.galois_key(
+                        galois_element, level
+                    )
             hoisted = hoist_decompose(a.c1, self.params, level)
             for steps in steps_list:
                 galois_element = self.galois_element_for_rotation(steps)
                 if galois_element == 1:
                     results.append(a.copy())
                     continue
-                galois_key = self.keys.galois_key(galois_element, level)
+                galois_key = galois_keys[galois_element]
                 f0, f1 = keyswitch_hoisted(
                     hoisted, galois_key, galois_element=galois_element
                 )

@@ -300,20 +300,21 @@ def _keyswitch_hoisted(
     if contexts is not None:
         digit_stores = hoisted.digit_evals
         if galois_element is not None:
+            # All digits permute under one gather — a single stacked
+            # (beta, L, N) dispatch instead of one gather per digit.
             spec = galois_eval_spec(n, galois_element)
-            digit_stores = [
-                backend.limbs_gather(store, spec) for store in digit_stores
-            ]
+            digit_stores = backend.stacked_gather(digit_stores, spec)
         handles = _eval_key_handles(keyswitch_key, backend, contexts)
         acc0_eval, acc1_eval = backend.limbs_eval_mac(
             contexts, digit_stores, handles
         )
-        acc0 = RNSPolynomial._from_store(
-            n, extended, backend.batched_intt(contexts, acc0_eval)
+        # Both accumulated components leave the evaluation domain together:
+        # one stacked (2, L, N) inverse transform instead of two dispatches.
+        acc0_store, acc1_store = backend.stacked_intt(
+            contexts, [acc0_eval, acc1_eval]
         )
-        acc1 = RNSPolynomial._from_store(
-            n, extended, backend.batched_intt(contexts, acc1_eval)
-        )
+        acc0 = RNSPolynomial._from_store(n, extended, acc0_store)
+        acc1 = RNSPolynomial._from_store(n, extended, acc1_store)
     else:
         # Exact coefficient-domain fallback (non-NTT-friendly moduli): the
         # automorphism is applied to the lifted digits directly, matching

@@ -72,6 +72,8 @@ class BSGSLinearTransform:
             slots, self.level, diagonals=dimension
         )
         self.last_stats: Dict[str, int] = {}
+        #: Planned programs cached per input level (see :meth:`apply`).
+        self._programs: Dict[int, object] = {}
         n1 = self.plan.baby_steps
         n2 = self.plan.giant_steps
         repeat = slots // dimension
@@ -126,10 +128,56 @@ class BSGSLinearTransform:
         baby, giant = self.rotation_steps()
         return keys.ensure_rotation_keys(baby + giant, self.level if level is None else level)
 
+    # -- program tracing ---------------------------------------------------------
+    def trace(self, handle):
+        """Trace ``M @ x`` into ``handle``'s program: baby rotations of one
+        source (one fused hoist group after planning), per-giant-block
+        plaintext MACs (one stacked dispatch each after batching), and one
+        rotation per non-empty giant block.  Returns the result handle."""
+        n1 = self.plan.baby_steps
+        n2 = self.plan.giant_steps
+        babies = [handle.rotate(i) for i in range(n1)]
+        result = None
+        for j in range(n2):
+            inner = None
+            for i in range(n1):
+                plaintext = self._plaintexts[j][i]
+                if plaintext is None:
+                    continue
+                term = babies[i] * plaintext
+                inner = term if inner is None else inner + term
+            if inner is None:
+                continue
+            if j:
+                inner = inner.rotate(j * n1)
+            result = inner if result is None else result + inner
+        if result is None:
+            raise ValueError("transform has no non-zero diagonals")
+        return result
+
+    def _planned_program(self, level: int):
+        """The traced+planned program for an input at ``level`` (cached)."""
+        planned = self._programs.get(level)
+        if planned is None:
+            from ..program import HETrace, plan_program
+
+            trace = HETrace(self.params)
+            x = trace.input("x", level=level)
+            trace.output("y", self.trace(x))
+            planned = plan_program(trace.program)
+            self._programs[level] = planned
+        return planned
+
     # -- evaluation -------------------------------------------------------------
     def apply(self, evaluator, ciphertext: CKKSCiphertext) -> CKKSCiphertext:
-        """Encrypted ``M @ x``: hoisted baby rotations, eval-domain PMult/HAdd,
-        one giant rotation per non-empty giant block.
+        """Encrypted ``M @ x`` through the program front-end.
+
+        The transform is traced into an :class:`~repro.fhe.program.HEProgram`
+        (once per input level, then cached), planned — hoist fusion shares
+        one ``hoist_decompose`` across all baby rotations, residency
+        planning keeps the pipeline NTT-resident, batching runs each giant
+        block's PMult/HAdd group as one stacked dispatch — and executed.
+        Bit-identical to :meth:`apply_eager`, the retained eager reference.
 
         ``ciphertext`` must hold the input vector tiled ``slots/dimension``
         times.  The result carries scale ``ciphertext.scale * pt_scale`` and
@@ -137,6 +185,17 @@ class BSGSLinearTransform:
         ``last_stats`` records the rotation counts actually performed, which
         the tests cross-check against :attr:`plan`.
         """
+        from ..program import ProgramExecutor
+
+        planned = self._planned_program(ciphertext.level)
+        result = ProgramExecutor(evaluator).run(planned, {"x": ciphertext})["y"]
+        self.last_stats = self._stats_from(planned.stats)
+        return result
+
+    def apply_eager(self, evaluator, ciphertext: CKKSCiphertext) -> CKKSCiphertext:
+        """Encrypted ``M @ x`` on the eager evaluator (the bit-exact
+        reference :meth:`apply` is gated against): hoisted baby rotations,
+        eval-domain PMult/HAdd, one giant rotation per non-empty block."""
         n1 = self.plan.baby_steps
         n2 = self.plan.giant_steps
         # Hoist once, rotate by every baby step (step 0 is the identity and
@@ -171,3 +230,17 @@ class BSGSLinearTransform:
             ),
         }
         return result
+
+    def _stats_from(self, plan_stats: Dict[str, int]) -> Dict[str, int]:
+        """BSGS-shaped view of the planner statistics: the baby rotations are
+        the ones whose hoist the planner shares (they rotate the one traced
+        source), the giant rotations each hoist their own block sum."""
+        n1 = self.plan.baby_steps
+        rotations = plan_stats["rotations"]
+        hoisted = min(n1 - 1, rotations)
+        return {
+            "hoisted_rotations": hoisted,
+            "outer_rotations": rotations - hoisted,
+            "rotations": rotations,
+            "plain_multiplies": plan_stats["plain_multiplies"],
+        }

@@ -1,0 +1,54 @@
+"""``repro.fhe.program`` — lazy homomorphic computation graphs.
+
+The program-level front-end of the FHE layer: trace a computation on
+operator-overloaded handles into a typed DAG, let the pass pipeline plan
+execution (level/scale alignment, domain residency, hoist fusion,
+multi-ciphertext batching), then either execute it functionally on the
+vectorized backend or lower it to the ``HomomorphicOp`` stream the Trinity
+cost model consumes — one trace, both worlds::
+
+    from repro.fhe.program import HETrace, ProgramExecutor, plan_program
+
+    trace = HETrace(params)
+    x = trace.input("x")
+    y = (x * weights + bias).rotate(4)
+    trace.output("y", y + y.conjugate())
+
+    planned = plan_program(trace.program)
+    result = ProgramExecutor(evaluator).run(planned, {"x": ciphertext})["y"]
+
+    from repro.fhe.program import operation_histogram, trinity_cycle_estimate
+    operation_histogram(planned)          # Table II op counts
+    trinity_cycle_estimate(planned)       # cycles on the hardware model
+
+The eager :class:`~repro.fhe.ckks.CKKSEvaluator` remains the bit-exact
+reference executor: ``ProgramExecutor.run_eager`` runs the same program as
+a plain call sequence, and the planned path is gated bit-exact against it.
+"""
+
+from .ir import HENode, HEProgram
+from .tracer import HEHandle, HETrace
+from .passes import PlannedProgram, plan_program
+from .executor import ProgramExecutor
+from .lowering import (
+    conversion_counts,
+    lower_to_operations,
+    lower_to_traces,
+    operation_histogram,
+    trinity_cycle_estimate,
+)
+
+__all__ = [
+    "HENode",
+    "HEProgram",
+    "HEHandle",
+    "HETrace",
+    "PlannedProgram",
+    "plan_program",
+    "ProgramExecutor",
+    "lower_to_operations",
+    "operation_histogram",
+    "conversion_counts",
+    "lower_to_traces",
+    "trinity_cycle_estimate",
+]

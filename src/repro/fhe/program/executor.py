@@ -1,0 +1,196 @@
+"""Executes planned (or aligned-eager) :class:`HEProgram` graphs.
+
+One executor serves both roles the differential suite compares:
+
+* ``run(program, inputs)`` — the **planned** path: domains, conversions and
+  fused nodes come from the pass pipeline; all rotations of one source
+  share a single ``hoist_decompose`` (the hoist-fusion groups), and
+  ``pmult_mac`` nodes run as one stacked ``(C, L, N)`` backend dispatch.
+* ``run_eager(program, inputs)`` — the **eager call sequence**: the aligned
+  program executed node by node through the plain evaluator operations,
+  with one hoist per rotation and no batching.  This is the bit-exact
+  reference the planner is gated against (every pass is an exact
+  transformation over modular arithmetic).
+
+Rotation keys are validated up front: every Galois key a program needs is
+fetched before any hoist work starts, so a missing key raises the same
+``KeyError`` as ``CKKSEvaluator.rotate`` without paying the hoist cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..backend import active_backend
+from ..ckks.ciphertext import CKKSCiphertext
+from ..ckks.keyswitch import HoistedDigits, hoist_decompose, keyswitch_hoisted
+from ..rns import RNSPolynomial
+from .ir import HEProgram
+from .passes import PlannedProgram, plan_program
+
+__all__ = ["ProgramExecutor"]
+
+
+class ProgramExecutor:
+    """Runs a program against one :class:`~repro.fhe.ckks.CKKSEvaluator`."""
+
+    def __init__(self, evaluator):
+        self.evaluator = evaluator
+
+    # -- public entry points ------------------------------------------------
+    def run(self, program, inputs: Dict[str, CKKSCiphertext],
+            optimize: bool = True) -> Dict[str, CKKSCiphertext]:
+        """Plan (unless already planned) and execute; returns outputs by name."""
+        planned = (
+            program if isinstance(program, PlannedProgram)
+            else plan_program(program, optimize=optimize)
+        )
+        return self._execute(planned.program, inputs,
+                             share_hoists=planned.optimized)
+
+    def run_eager(self, program,
+                  inputs: Dict[str, CKKSCiphertext]) -> Dict[str, CKKSCiphertext]:
+        """The eager call sequence: aligned program, one evaluator call per
+        node, one hoist per rotation, no stacking."""
+        planned = (
+            program if isinstance(program, PlannedProgram)
+            else plan_program(program, optimize=False)
+        )
+        return self._execute(planned.program, inputs, share_hoists=False)
+
+    # -- execution ----------------------------------------------------------
+    def _execute(self, program: HEProgram, inputs: Dict[str, CKKSCiphertext],
+                 share_hoists: bool) -> Dict[str, CKKSCiphertext]:
+        ev = self.evaluator
+        missing = set(program.inputs) - set(inputs)
+        if missing:
+            raise ValueError(f"missing program inputs: {sorted(missing)}")
+        with ev._arith():
+            self._prefetch_galois_keys(program)
+            values: List[Optional[CKKSCiphertext]] = [None] * len(program)
+            hoists: Dict[int, HoistedDigits] = {}
+            for node in program.nodes:
+                op = node.op
+                if op == "input":
+                    ct = inputs[node.attrs["name"]]
+                    if ct.level != node.level:
+                        raise ValueError(
+                            f"input {node.attrs['name']!r} is at level "
+                            f"{ct.level} but the program was traced at level "
+                            f"{node.level}; re-trace at the new level"
+                        )
+                    result = ct
+                elif op == "add":
+                    result = ev.add(values[node.args[0]], values[node.args[1]])
+                elif op == "sub":
+                    result = ev.sub(values[node.args[0]], values[node.args[1]])
+                elif op == "negate":
+                    result = ev.negate(values[node.args[0]])
+                elif op == "multiply":
+                    result = ev.multiply(values[node.args[0]], values[node.args[1]])
+                elif op == "multiply_plain":
+                    result = ev.multiply_plain(
+                        values[node.args[0]], node.attrs["plaintext"]
+                    )
+                elif op == "add_plain":
+                    result = ev.add_plain(
+                        values[node.args[0]], node.attrs["plaintext"]
+                    )
+                elif op == "multiply_scalar":
+                    result = ev.multiply_scalar(
+                        values[node.args[0]], node.attrs["scalar"]
+                    )
+                elif op == "rescale":
+                    result = ev.rescale(values[node.args[0]])
+                elif op == "mod_down":
+                    result = ev.mod_down_to(
+                        values[node.args[0]], node.attrs["level"]
+                    )
+                elif op == "to_eval":
+                    result = ev.to_eval(values[node.args[0]])
+                elif op == "to_coeff":
+                    result = ev.to_coeff(values[node.args[0]])
+                elif op in ("rotate", "conjugate"):
+                    result = self._galois(node, values, hoists, share_hoists)
+                elif op == "pmult_mac":
+                    result = self._pmult_mac(node, values)
+                else:  # pragma: no cover - the IR op set is closed
+                    raise ValueError(f"cannot execute program op {op!r}")
+                values[node.id] = result
+            return {
+                name: values[node_id]
+                for name, node_id in program.outputs.items()
+            }
+
+    def _prefetch_galois_keys(self, program: HEProgram) -> None:
+        """Fetch every Galois key the program needs before any hoist work
+        (missing keys raise KeyError here, exactly like ``rotate``)."""
+        ev = self.evaluator
+        for node in program.nodes:
+            if node.op == "rotate":
+                element = ev.galois_element_for_rotation(node.attrs["steps"])
+            elif node.op == "conjugate":
+                element = 2 * ev.params.ring_degree - 1
+            else:
+                continue
+            if element != 1:
+                ev.keys.galois_key(element, node.level)
+
+    # -- grouped rotations ---------------------------------------------------
+    def _galois(self, node, values, hoists, share_hoists) -> CKKSCiphertext:
+        ev = self.evaluator
+        ct = values[node.args[0]]
+        if node.op == "rotate":
+            element = ev.galois_element_for_rotation(node.attrs["steps"])
+        else:
+            element = 2 * ev.params.ring_degree - 1
+        if element == 1:
+            return ct.copy()
+        galois_key = ev.keys.galois_key(element, ct.level)
+        hoisted = hoists.get(node.args[0]) if share_hoists else None
+        if hoisted is None:
+            hoisted = hoist_decompose(ct.c1, ev.params, ct.level)
+            if share_hoists:
+                hoists[node.args[0]] = hoisted
+        f0, f1 = keyswitch_hoisted(hoisted, galois_key, galois_element=element)
+        rotated_c0 = ct.c0.automorphism(element)
+        if ct.domain == "eval":
+            f0 = f0.to_eval()
+            f1 = f1.to_eval()
+        return CKKSCiphertext(
+            c0=rotated_c0 + f0, c1=f1, level=ct.level, scale=ct.scale
+        )
+
+    # -- fused plaintext MAC ---------------------------------------------------
+    def _pmult_mac(self, node, values) -> CKKSCiphertext:
+        ev = self.evaluator
+        cts = [values[a] for a in node.args]
+        plaintexts = node.attrs["plaintexts"]
+        if any(ct.domain != "eval" for ct in cts):
+            # Defensive fallback (the planner only fuses eval-domain groups):
+            # the semantics of pmult_mac are the plain PMult/HAdd chain.
+            result = None
+            for ct, plaintext in zip(cts, plaintexts):
+                term = ev.multiply_plain(ct, plaintext)
+                result = term if result is None else ev.add(result, term)
+            return result
+        basis = cts[0].c0.basis
+        moduli = tuple(basis.moduli)
+        level = cts[0].level
+        pt_stores = [
+            ev._plaintext_eval_at_level(plaintext, level).store()
+            for plaintext in plaintexts
+        ]
+        backend = active_backend()
+        s0, s1 = backend.stacked_pmult_mac(
+            [ct.c0.store() for ct in cts],
+            [ct.c1.store() for ct in cts],
+            pt_stores, moduli,
+        )
+        n = cts[0].ring_degree
+        return CKKSCiphertext(
+            c0=RNSPolynomial._from_store(n, basis, s0, domain="eval"),
+            c1=RNSPolynomial._from_store(n, basis, s1, domain="eval"),
+            level=level,
+            scale=cts[0].scale * plaintexts[0].scale,
+        )

@@ -1,0 +1,182 @@
+"""Typed DAG IR for lazy homomorphic computation graphs.
+
+An :class:`HEProgram` is an append-only list of :class:`HENode` values in
+topological order (every node's arguments precede it), built by the tracer
+(:mod:`repro.fhe.program.tracer`), transformed by the planning passes
+(:mod:`repro.fhe.program.passes`), executed by
+:mod:`repro.fhe.program.executor`, and lowered to the cost model's
+``HomomorphicOp`` stream by :mod:`repro.fhe.program.lowering`.
+
+Each node carries the metadata the planner reasons about — Table II
+operation kind, argument ids, ciphertext ``level``, ``scale``, and the
+planned residency ``domain`` (``"coeff"``/``"eval"``) — plus op-specific
+attributes (rotation steps, the encoded plaintext of a PMult/PAdd, the
+plaintext list of a fused MAC, a hoist-group id).
+
+Node construction is hash-consed: structurally identical ``(op, args,
+attrs)`` triples return the existing node id, so the graph *is* the
+common-subexpression view (tracing ``x.rotate(1)`` twice yields one node,
+and the executor computes it once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["OPS", "HENode", "HEProgram"]
+
+
+#: The node alphabet.  ``to_eval``/``to_coeff`` and ``pmult_mac`` are
+#: planner-inserted (domain conversions and the fused multi-ciphertext
+#: plaintext MAC); everything else is traceable.
+OPS = frozenset({
+    "input",
+    "add", "sub", "negate",
+    "multiply", "multiply_plain", "multiply_scalar", "add_plain",
+    "rotate", "conjugate",
+    "rescale", "mod_down",
+    "to_eval", "to_coeff",
+    "pmult_mac",
+})
+
+#: Ops that take an encoded plaintext attribute.
+PLAIN_OPS = frozenset({"multiply_plain", "add_plain"})
+
+
+@dataclass
+class HENode:
+    """One operation of the DAG at a known level/scale/domain."""
+
+    id: int
+    op: str
+    args: Tuple[int, ...]
+    level: int
+    scale: float
+    domain: str = "coeff"
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ValueError(f"unknown program op {self.op!r}")
+
+
+def _attr_key(op: str, attrs: "Dict[str, object] | None") -> tuple:
+    """A hashable fingerprint of the op-specific attributes (for CSE).
+
+    Plaintext objects are keyed by identity: two distinct encodings are
+    never merged, while reuse of the *same* plaintext object is.
+    """
+    if not attrs:
+        return ()
+    parts = []
+    for key in sorted(attrs):
+        value = attrs[key]
+        if key in ("plaintext",):
+            parts.append((key, id(value)))
+        elif key == "plaintexts":
+            parts.append((key, tuple(id(p) for p in value)))
+        else:
+            parts.append((key, value))
+    return tuple(parts)
+
+
+class HEProgram:
+    """A lazy homomorphic computation graph over one CKKS parameter set.
+
+    Nodes are appended in topological order and hash-consed; ``inputs``
+    and ``outputs`` are name -> node-id maps.  Programs are built through
+    :class:`~repro.fhe.program.tracer.HETrace` handles, not by calling
+    :meth:`add_node` directly.
+    """
+
+    def __init__(self, params):
+        self.params = params
+        self.nodes: List[HENode] = []
+        self.inputs: Dict[str, int] = {}
+        self.outputs: Dict[str, int] = {}
+        self._cse: Dict[tuple, int] = {}
+
+    # -- construction -------------------------------------------------------
+    def add_node(self, op: str, args: Tuple[int, ...], level: int, scale: float,
+                 domain: str = "coeff",
+                 attrs: "Dict[str, object] | None" = None,
+                 cse: bool = True) -> int:
+        """Append a node (or return the existing structurally-equal one)."""
+        args = tuple(args)
+        for arg in args:
+            if not 0 <= arg < len(self.nodes):
+                raise ValueError(f"argument {arg} does not precede the new node")
+        key = (op, args, domain, _attr_key(op, attrs))
+        if cse and key in self._cse:
+            return self._cse[key]
+        node = HENode(
+            id=len(self.nodes), op=op, args=args, level=level,
+            scale=float(scale), domain=domain, attrs=dict(attrs or {}),
+        )
+        self.nodes.append(node)
+        if cse:
+            self._cse[key] = node.id
+        return node.id
+
+    def add_input(self, name: str, level: int, scale: float) -> int:
+        if name in self.inputs:
+            raise ValueError(f"duplicate input {name!r}")
+        node_id = self.add_node(
+            "input", (), level=level, scale=scale, attrs={"name": name},
+            cse=False,
+        )
+        self.inputs[name] = node_id
+        return node_id
+
+    def set_output(self, name: str, node_id: int) -> None:
+        if not 0 <= node_id < len(self.nodes):
+            raise ValueError(f"unknown node {node_id}")
+        self.outputs[name] = node_id
+
+    # -- inspection ---------------------------------------------------------
+    def node(self, node_id: int) -> HENode:
+        return self.nodes[node_id]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def use_counts(self) -> List[int]:
+        """How many times each node is consumed (args + outputs)."""
+        counts = [0] * len(self.nodes)
+        for node in self.nodes:
+            for arg in node.args:
+                counts[arg] += 1
+        for node_id in self.outputs.values():
+            counts[node_id] += 1
+        return counts
+
+    def consumers(self) -> List[List[int]]:
+        """For each node, the ids of the nodes consuming it."""
+        users: List[List[int]] = [[] for _ in self.nodes]
+        for node in self.nodes:
+            for arg in set(node.args):
+                users[arg].append(node.id)
+        return users
+
+    def like(self) -> "HEProgram":
+        """A fresh empty program over the same parameters (pass rebuilds)."""
+        return HEProgram(self.params)
+
+    def validate(self) -> None:
+        """Check topological ordering and input/output wiring."""
+        for node in self.nodes:
+            for arg in node.args:
+                if arg >= node.id:
+                    raise ValueError(
+                        f"node {node.id} ({node.op}) consumes later node {arg}"
+                    )
+        for name, node_id in list(self.inputs.items()) + list(self.outputs.items()):
+            if not 0 <= node_id < len(self.nodes):
+                raise ValueError(f"{name!r} points at unknown node {node_id}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HEProgram({len(self.nodes)} nodes, "
+            f"inputs={list(self.inputs)}, outputs={list(self.outputs)})"
+        )

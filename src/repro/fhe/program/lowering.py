@@ -1,0 +1,138 @@
+"""Lowering: :class:`HEProgram` -> ``HomomorphicOp`` stream -> kernel traces.
+
+The same traced program that executes functionally also lowers to the cost
+model's operation stream (Table II granularity), so one trace yields both a
+ciphertext result and a Trinity cycle estimate:
+
+* :func:`lower_to_operations` — the level-annotated ``HomomorphicOp`` list
+  (fused ``pmult_mac`` nodes expand back into their ``PMult``/``HAdd``
+  accounting, so the histogram matches the unfused math and the
+  ``linear_transform_plan`` bookkeeping);
+* :func:`operation_histogram` — total count per operation name;
+* :func:`lower_to_traces` — kernel traces via
+  :func:`repro.kernels.ckks_flows.ckks_operation_flow`, ready for
+  :mod:`repro.core.scheduler` / :class:`repro.core.simulator.TrinitySimulator`;
+* :func:`trinity_cycle_estimate` — convenience end-to-end cycle/latency
+  estimate on the default Trinity configuration.
+
+Domain conversions (``to_eval``/``to_coeff``) and ``mod_down`` are *not*
+Table II operations — they are sub-operation kernels the flows already
+charge inside HMult/HRotate/Rescale — so they are excluded from the stream
+and reported separately by :func:`conversion_counts`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ckks.bootstrap import HomomorphicOp
+from .ir import HEProgram
+from .passes import PlannedProgram
+
+__all__ = [
+    "lower_to_operations",
+    "operation_histogram",
+    "conversion_counts",
+    "lower_to_traces",
+    "trinity_cycle_estimate",
+]
+
+#: Table II name for each directly-mapped program op.
+_TABLE_II = {
+    "multiply": "HMult",
+    "multiply_plain": "PMult",
+    "multiply_scalar": "PMult",
+    "add": "HAdd",
+    "sub": "HAdd",
+    "negate": "HAdd",
+    "add_plain": "PAdd",
+    "rotate": "HRotate",
+    "conjugate": "Conjugate",
+    "rescale": "Rescale",
+}
+
+
+def _program_of(program) -> HEProgram:
+    return program.program if isinstance(program, PlannedProgram) else program
+
+
+def lower_to_operations(program) -> List[HomomorphicOp]:
+    """The level-annotated Table II operation stream of a (planned) program.
+
+    Consecutive identical ``(name, level)`` operations coalesce into one
+    entry with a count; a fused ``pmult_mac`` over ``C`` ciphertexts
+    contributes ``C`` PMults and ``C - 1`` HAdds (its mathematical
+    content), keeping the histogram faithful to the unfused accounting.
+    """
+    ops: List[HomomorphicOp] = []
+
+    def emit(name: str, level: int, count: int = 1) -> None:
+        if ops and ops[-1].name == name and ops[-1].level == level:
+            ops[-1] = HomomorphicOp(name, level, ops[-1].count + count)
+        else:
+            ops.append(HomomorphicOp(name, level, count))
+
+    for node in _program_of(program).nodes:
+        if node.op in _TABLE_II:
+            emit(_TABLE_II[node.op], node.level)
+        elif node.op == "pmult_mac":
+            emit("PMult", node.level, len(node.args))
+            if len(node.args) > 1:
+                emit("HAdd", node.level, len(node.args) - 1)
+        # input / mod_down / to_eval / to_coeff: no Table II operation.
+    return ops
+
+
+def operation_histogram(program) -> Dict[str, int]:
+    """Total count of each Table II operation across the program."""
+    histogram: Dict[str, int] = {}
+    for op in lower_to_operations(program):
+        histogram[op.name] = histogram.get(op.name, 0) + op.count
+    return histogram
+
+
+def conversion_counts(program) -> Dict[str, int]:
+    """How many explicit domain conversions the planner materialized."""
+    counts = {"to_eval": 0, "to_coeff": 0}
+    for node in _program_of(program).nodes:
+        if node.op in counts:
+            counts[node.op] += 1
+    return counts
+
+
+def lower_to_traces(program, params=None) -> list:
+    """Kernel traces of the lowered operation stream (simulator input)."""
+    from ...kernels.ckks_flows import ckks_operation_flow
+
+    ir = _program_of(program)
+    params = ir.params if params is None else params
+    traces = []
+    for op in lower_to_operations(program):
+        trace = ckks_operation_flow(op.name, params, op.level)
+        if op.count > 1:
+            from ...kernels.kernel import KernelTrace
+
+            repeated = KernelTrace(
+                name=f"{trace.name}x{op.count}", scheme="ckks",
+                metadata=dict(trace.metadata),
+            )
+            repeated.extend(trace, repeat=op.count)
+            trace = repeated
+        traces.append(trace)
+    return traces
+
+
+def trinity_cycle_estimate(program, params=None, config=None):
+    """Latency estimate of the program on the Trinity model.
+
+    Returns the simulator's :class:`~repro.core.simulator.PerformanceReport`
+    for the lowered trace stream under the CKKS mapping policy.
+    """
+    from ...core.config import DEFAULT_TRINITY_CONFIG
+    from ...core.mapping import select_mapping
+    from ...core.simulator import TrinitySimulator
+
+    config = DEFAULT_TRINITY_CONFIG if config is None else config
+    simulator = TrinitySimulator(config)
+    traces = lower_to_traces(program, params=params)
+    return simulator.run_many(traces, mapping=select_mapping("ckks", config))

@@ -1,0 +1,466 @@
+"""Planning passes: trace -> (align, domains, batching, hoists) -> execute.
+
+The pipeline turns a traced :class:`~repro.fhe.program.ir.HEProgram` into a
+:class:`PlannedProgram` the executor and the lowering consume:
+
+1. **Level/scale alignment** (always) — the waterline pass.  Wherever two
+   operands meet at different levels a ``mod_down`` is inserted, and
+   wherever an addition's scales diverge a ``rescale`` chain brings the
+   hotter operand back to the waterline.  This replaces the eager
+   evaluator's manual ``_check_levels``/``align``/``rescale`` bookkeeping;
+   irreconcilable scales fail here, at plan time, not mid-execution.
+2. **Domain-residency planning** (optimize only) — every node is assigned
+   an execution domain using the PR-3 residency table, propagating an
+   *eval preference* backwards (a rotation whose results feed pointwise
+   plaintext MACs stays NTT-resident; a ``multiply -> rescale -> multiply``
+   chain never leaves the evaluation domain) and materializing explicit
+   ``to_eval``/``to_coeff`` nodes only where the table requires a
+   conversion.  Conversions are hash-consed, so one source feeding many
+   eval consumers transforms once.
+3. **Multi-ciphertext batching** (optimize only) — an addition tree whose
+   leaves are all single-use evaluation-domain ``multiply_plain`` nodes at
+   one level collapses into one ``pmult_mac`` node, which the executor runs
+   as a single stacked ``(C, L, N)`` backend dispatch (the BSGS inner sums
+   are the canonical instance).
+4. **Hoist fusion** (annotation) — rotations/conjugations are grouped by
+   their source node; every group shares a single ``hoist_decompose`` at
+   execution, generalizing ``rotate_hoisted`` beyond the hand-written BSGS
+   case.  Group ids are stored on the nodes and the sharing statistics in
+   :attr:`PlannedProgram.stats`.
+
+Every pass is semantics-preserving over exact modular arithmetic: the
+planned program computes bit-identical residues to the node-by-node eager
+execution of the aligned program (gated by ``tests/test_program.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..rns import _limb_contexts
+from .ir import HENode, HEProgram
+
+__all__ = ["PlannedProgram", "plan_program"]
+
+
+#: Ops that accept either residency domain and pass the preference through.
+_PASSTHROUGH = frozenset({
+    "add", "sub", "negate", "multiply_scalar", "rescale", "mod_down",
+    "multiply_plain", "add_plain", "rotate", "conjugate", "pmult_mac",
+})
+
+
+@dataclass
+class PlannedProgram:
+    """An aligned (and optionally optimized) program plus planning stats.
+
+    ``stats`` keys: ``rescales_inserted``, ``mod_downs_inserted``,
+    ``conversions_inserted``, ``hoist_groups``, ``hoisted_rotations``
+    (rotations sharing a multi-member hoist), ``outer_rotations``
+    (singleton hoists), ``rotations``, ``plain_multiplies``,
+    ``batched_groups``, ``batched_pmults``.
+    """
+
+    program: HEProgram
+    stats: Dict[str, int] = field(default_factory=dict)
+    optimized: bool = True
+
+    @property
+    def params(self):
+        return self.program.params
+
+
+def _close(a: float, b: float) -> bool:
+    """The evaluator's scale-match tolerance (ratio within 1%)."""
+    return 0.99 < a / b < 1.01
+
+
+class _Rebuilder:
+    """Shared old-id -> new-id remapping for rebuilding passes."""
+
+    def __init__(self, old: HEProgram):
+        self.old = old
+        self.new = old.like()
+        self.map: Dict[int, Optional[int]] = {}
+
+    def arg(self, old_id: int) -> int:
+        new_id = self.map[old_id]
+        if new_id is None:
+            raise ValueError(f"node {old_id} was fused away but is still used")
+        return new_id
+
+    def finish(self) -> HEProgram:
+        for name, node_id in self.old.inputs.items():
+            self.new.inputs[name] = self.arg(node_id)
+        for name, node_id in self.old.outputs.items():
+            self.new.outputs[name] = self.arg(node_id)
+        return self.new
+
+
+# ---------------------------------------------------------------------------
+# 1. Level / scale alignment (the waterline pass)
+# ---------------------------------------------------------------------------
+
+def _rescale_towards(rb: _Rebuilder, node_id: int, target_scale: float,
+                     stats: Dict[str, int]) -> int:
+    """Insert rescales on ``node_id`` while they bring its scale closer to
+    ``target_scale`` (each drops one level and divides by that level's
+    modulus — the waterline step)."""
+    params = rb.new.params
+    node = rb.new.node(node_id)
+    while not _close(node.scale, target_scale) and node.level >= 1:
+        dropped = params.moduli[node.level]
+        new_scale = node.scale / dropped
+        if abs(math.log(new_scale / target_scale)) >= abs(
+            math.log(node.scale / target_scale)
+        ):
+            break
+        node_id = rb.new.add_node(
+            "rescale", (node_id,), level=node.level - 1, scale=new_scale,
+            domain=node.domain,
+        )
+        stats["rescales_inserted"] += 1
+        node = rb.new.node(node_id)
+    return node_id
+
+
+def _mod_down(rb: _Rebuilder, node_id: int, level: int,
+              stats: Dict[str, int]) -> int:
+    node = rb.new.node(node_id)
+    if node.level == level:
+        return node_id
+    stats["mod_downs_inserted"] += 1
+    return rb.new.add_node(
+        "mod_down", (node_id,), level=level, scale=node.scale,
+        domain=node.domain, attrs={"level": level},
+    )
+
+
+def _align(old: HEProgram, stats: Dict[str, int]) -> HEProgram:
+    """Insert mod_down / rescale nodes so every op sees legal operands."""
+    params = old.params
+    rb = _Rebuilder(old)
+    for node in old.nodes:
+        op = node.op
+        if op == "input":
+            rb.map[node.id] = rb.new.add_input(
+                node.attrs["name"], node.level, node.scale
+            )
+            continue
+        args = [rb.arg(a) for a in node.args]
+        if op in ("add", "sub"):
+            a, b = args
+            sa, sb = rb.new.node(a).scale, rb.new.node(b).scale
+            if not _close(sa, sb):
+                if sa > sb:
+                    a = _rescale_towards(rb, a, sb, stats)
+                else:
+                    b = _rescale_towards(rb, b, sa, stats)
+                sa, sb = rb.new.node(a).scale, rb.new.node(b).scale
+                if not _close(sa, sb):
+                    raise ValueError(
+                        f"cannot align scales {sa} vs {sb} feeding node "
+                        f"{node.id} ({op}); rescaling cannot reconcile them"
+                    )
+            common = min(rb.new.node(a).level, rb.new.node(b).level)
+            a = _mod_down(rb, a, common, stats)
+            b = _mod_down(rb, b, common, stats)
+            rb.map[node.id] = rb.new.add_node(
+                op, (a, b), level=common, scale=rb.new.node(a).scale
+            )
+        elif op == "multiply":
+            a, b = args
+            common = min(rb.new.node(a).level, rb.new.node(b).level)
+            a = _mod_down(rb, a, common, stats)
+            b = _mod_down(rb, b, common, stats)
+            rb.map[node.id] = rb.new.add_node(
+                op, (a, b), level=common,
+                scale=rb.new.node(a).scale * rb.new.node(b).scale,
+            )
+        elif op == "add_plain":
+            (a,) = args
+            plaintext = node.attrs["plaintext"]
+            scale = rb.new.node(a).scale
+            if not _close(scale, plaintext.scale):
+                a = _rescale_towards(rb, a, plaintext.scale, stats)
+                scale = rb.new.node(a).scale
+                if not _close(scale, plaintext.scale):
+                    raise ValueError(
+                        f"cannot align ciphertext scale {scale} with plaintext "
+                        f"scale {plaintext.scale} feeding node {node.id} (add_plain)"
+                    )
+            rb.map[node.id] = rb.new.add_node(
+                op, (a,), level=rb.new.node(a).level, scale=scale,
+                attrs=dict(node.attrs),
+            )
+        elif op == "multiply_plain":
+            (a,) = args
+            arg = rb.new.node(a)
+            rb.map[node.id] = rb.new.add_node(
+                op, (a,), level=arg.level,
+                scale=arg.scale * node.attrs["plaintext"].scale,
+                attrs=dict(node.attrs),
+            )
+        elif op == "rescale":
+            (a,) = args
+            arg = rb.new.node(a)
+            if arg.level < 1:
+                raise ValueError(f"node {node.id} rescales a level-0 value")
+            rb.map[node.id] = rb.new.add_node(
+                op, (a,), level=arg.level - 1,
+                scale=arg.scale / params.moduli[arg.level],
+            )
+        elif op == "mod_down":
+            (a,) = args
+            arg = rb.new.node(a)
+            level = node.attrs["level"]
+            if level > arg.level:
+                raise ValueError(f"node {node.id} mod-downs to a higher level")
+            rb.map[node.id] = _mod_down(rb, a, level, stats)
+        elif op == "pmult_mac":
+            # Re-planning a planned program: the fused MAC's operands are
+            # already mutually aligned; metadata follows the first one.
+            arg0 = rb.new.node(args[0])
+            rb.map[node.id] = rb.new.add_node(
+                op, tuple(args), level=arg0.level,
+                scale=arg0.scale * node.attrs["plaintexts"][0].scale,
+                domain=node.domain, attrs=dict(node.attrs),
+            )
+        elif op in ("to_eval", "to_coeff"):
+            (a,) = args
+            arg = rb.new.node(a)
+            rb.map[node.id] = rb.new.add_node(
+                op, (a,), level=arg.level, scale=arg.scale,
+                domain="eval" if op == "to_eval" else "coeff",
+            )
+        else:
+            # negate / multiply_scalar / rotate / conjugate: unary, metadata
+            # follows the arg.
+            (a,) = args
+            arg = rb.new.node(a)
+            rb.map[node.id] = rb.new.add_node(
+                op, (a,), level=arg.level, scale=arg.scale, domain=arg.domain,
+                attrs=dict(node.attrs),
+            )
+    return rb.finish()
+
+
+# ---------------------------------------------------------------------------
+# 2. Domain-residency planning
+# ---------------------------------------------------------------------------
+
+#: Ops whose ciphertext arguments should be evaluation-resident: the tensor
+#: product and the plaintext product are *pointwise* there (a coefficient-
+#: domain PMult would be a full negacyclic convolution per component).
+_WANTS_EVAL_ARGS = frozenset({"multiply", "multiply_plain", "pmult_mac"})
+
+
+def _plan_domains(old: HEProgram, stats: Dict[str, int]) -> HEProgram:
+    """Assign execution domains and insert the minimal conversion set."""
+    consumers = old.consumers()
+    # Backward sweep: does this node's result want to live in the evaluation
+    # domain?  Multiplies and plaintext products consume eval operands;
+    # pass-through ops inherit the preference of any eval-hungry consumer.
+    prefer_eval = [False] * len(old)
+    for node in reversed(old.nodes):
+        if node.op == "multiply":
+            prefer_eval[node.id] = True
+            continue
+        for user_id in consumers[node.id]:
+            user = old.node(user_id)
+            if user.op in _WANTS_EVAL_ARGS or (
+                user.op in _PASSTHROUGH and prefer_eval[user_id]
+            ):
+                prefer_eval[node.id] = True
+                break
+    # Forward sweep: the planned domain of each node.
+    domain = ["coeff"] * len(old)
+    for node in old.nodes:
+        if node.op == "input":
+            continue                      # ciphertexts arrive coefficient-resident
+        if node.op in ("to_eval", "to_coeff"):
+            domain[node.id] = "eval" if node.op == "to_eval" else "coeff"
+        elif node.op in _WANTS_EVAL_ARGS:
+            domain[node.id] = "eval"      # eval inputs, eval output
+        elif prefer_eval[node.id] or any(
+            domain[a] == "eval" for a in node.args
+        ):
+            domain[node.id] = "eval"
+    # Rebuild with explicit (hash-consed) conversions on mismatched edges.
+    rb = _Rebuilder(old)
+    for node in old.nodes:
+        if node.op == "input":
+            rb.map[node.id] = rb.new.add_input(
+                node.attrs["name"], node.level, node.scale
+            )
+            continue
+        if node.op in ("to_eval", "to_coeff"):
+            # Already a conversion (re-planning): keep it, never wrap it.
+            a = rb.arg(node.args[0])
+            arg = rb.new.node(a)
+            rb.map[node.id] = rb.new.add_node(
+                node.op, (a,), level=arg.level, scale=arg.scale,
+                domain=domain[node.id],
+            )
+            continue
+        wanted = "eval" if node.op in _WANTS_EVAL_ARGS else domain[node.id]
+        args = []
+        for a in node.args:
+            new_a = rb.arg(a)
+            arg = rb.new.node(new_a)
+            if arg.domain != wanted:
+                before = len(rb.new)
+                new_a = rb.new.add_node(
+                    "to_eval" if wanted == "eval" else "to_coeff",
+                    (new_a,), level=arg.level, scale=arg.scale, domain=wanted,
+                )
+                stats["conversions_inserted"] += len(rb.new) - before
+            args.append(new_a)
+        rb.map[node.id] = rb.new.add_node(
+            node.op, tuple(args), level=node.level, scale=node.scale,
+            domain=domain[node.id], attrs=dict(node.attrs),
+        )
+    return rb.finish()
+
+
+# ---------------------------------------------------------------------------
+# 3. Multi-ciphertext batching (fused plaintext MACs)
+# ---------------------------------------------------------------------------
+
+def _fuse_pmult_macs(old: HEProgram, stats: Dict[str, int]) -> HEProgram:
+    """Collapse eval-domain multiply_plain addition trees into pmult_mac.
+
+    A *pure* tree is built bottom-up: a single-use evaluation-domain
+    ``multiply_plain`` is a pure leaf, and an evaluation-domain ``add`` of
+    two single-use pure subtrees is a pure interior node.  The maximal pure
+    trees (those not absorbed into a larger one — e.g. the per-giant-block
+    inner sums of a BSGS transform, whose outer accumulation mixes in
+    rotations) become single ``pmult_mac`` nodes.
+    """
+    use_counts = old.use_counts()
+    consumers = old.consumers()
+    # leaves[i] = multiply_plain leaf ids (left-to-right) of the pure tree
+    # rooted at i; members[i] = every node of that tree including the root.
+    leaves: Dict[int, List[int]] = {}
+    members: Dict[int, List[int]] = {}
+    for node in old.nodes:
+        if node.domain != "eval":
+            continue
+        if node.op == "multiply_plain":
+            leaves[node.id] = [node.id]
+            members[node.id] = [node.id]
+        elif node.op == "add":
+            a, b = node.args
+            if (
+                a in leaves and b in leaves and a != b
+                and use_counts[a] == 1 and use_counts[b] == 1
+            ):
+                leaves[node.id] = leaves[a] + leaves[b]
+                members[node.id] = members[a] + members[b] + [node.id]
+    absorbed: Dict[int, int] = {}        # absorbed node id -> root id
+    fused: Dict[int, Tuple[Tuple[int, ...], tuple]] = {}
+    for node in old.nodes:
+        if node.op != "add" or node.id not in leaves:
+            continue
+        # Maximal roots only: skip a pure add absorbed into a larger pure
+        # tree.  A node whose single use is a program *output* has no
+        # consumer entry (consumers() counts args only) and is a root.
+        if use_counts[node.id] == 1 and consumers[node.id]:
+            user = old.node(consumers[node.id][0])
+            if user.op == "add" and user.id in leaves:
+                continue
+        leaf_nodes = [old.node(leaf) for leaf in leaves[node.id]]
+        for member in members[node.id]:
+            absorbed[member] = node.id
+        del absorbed[node.id]
+        fused[node.id] = (
+            tuple(leaf.args[0] for leaf in leaf_nodes),
+            tuple(leaf.attrs["plaintext"] for leaf in leaf_nodes),
+        )
+        stats["batched_groups"] += 1
+        stats["batched_pmults"] += len(leaf_nodes)
+    if not fused:
+        return old
+    rb = _Rebuilder(old)
+    for node in old.nodes:
+        if node.id in absorbed:
+            rb.map[node.id] = None
+            continue
+        if node.id in fused:
+            ct_args, plaintexts = fused[node.id]
+            rb.map[node.id] = rb.new.add_node(
+                "pmult_mac", tuple(rb.arg(a) for a in ct_args),
+                level=node.level, scale=node.scale, domain="eval",
+                attrs={"plaintexts": plaintexts},
+            )
+            continue
+        if node.op == "input":
+            rb.map[node.id] = rb.new.add_input(
+                node.attrs["name"], node.level, node.scale
+            )
+            continue
+        rb.map[node.id] = rb.new.add_node(
+            node.op, tuple(rb.arg(a) for a in node.args), level=node.level,
+            scale=node.scale, domain=node.domain, attrs=dict(node.attrs),
+        )
+    return rb.finish()
+
+
+# ---------------------------------------------------------------------------
+# 4. Hoist fusion (annotation)
+# ---------------------------------------------------------------------------
+
+def _annotate_hoist_groups(program: HEProgram, stats: Dict[str, int]) -> None:
+    """Group rotations/conjugations by source: one hoist_decompose each."""
+    groups: Dict[int, List[int]] = {}
+    for node in program.nodes:
+        if node.op in ("rotate", "conjugate"):
+            groups.setdefault(node.args[0], []).append(node.id)
+    for index, (source, members) in enumerate(groups.items()):
+        for member in members:
+            program.node(member).attrs["hoist_group"] = index
+        if len(members) > 1:
+            stats["hoisted_rotations"] += len(members)
+        else:
+            stats["outer_rotations"] += 1
+    stats["hoist_groups"] = len(groups)
+    stats["rotations"] = sum(len(m) for m in groups.values())
+
+
+# ---------------------------------------------------------------------------
+# Pipeline entry point
+# ---------------------------------------------------------------------------
+
+def plan_program(program: HEProgram, optimize: bool = True) -> PlannedProgram:
+    """Run the pass pipeline: align always, optimize when requested.
+
+    ``optimize=False`` yields the *aligned* program only — the node
+    sequence the eager reference executor runs, with every waterline
+    rescale and mod_down explicit but no residency planning, batching, or
+    hoist sharing.  Domain/batching passes are skipped automatically on
+    non-NTT-friendly moduli (no evaluation domain exists there).
+    """
+    stats = {
+        "rescales_inserted": 0, "mod_downs_inserted": 0,
+        "conversions_inserted": 0, "hoist_groups": 0,
+        "hoisted_rotations": 0, "outer_rotations": 0, "rotations": 0,
+        "plain_multiplies": 0, "batched_groups": 0, "batched_pmults": 0,
+    }
+    planned = _align(program, stats)
+    ntt_friendly = (
+        _limb_contexts(program.params.ring_degree, program.params.basis())
+        is not None
+    )
+    if optimize and ntt_friendly:
+        planned = _plan_domains(planned, stats)
+        planned = _fuse_pmult_macs(planned, stats)
+    _annotate_hoist_groups(planned, stats)
+    stats["plain_multiplies"] = sum(
+        1 if node.op == "multiply_plain" else len(node.attrs["plaintexts"])
+        for node in planned.nodes
+        if node.op in ("multiply_plain", "pmult_mac")
+    )
+    planned.validate()
+    return PlannedProgram(program=planned, stats=stats, optimized=optimize)

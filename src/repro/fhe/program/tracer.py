@@ -1,0 +1,181 @@
+"""Operator-overloaded tracing front-end for :class:`HEProgram`.
+
+Users describe a homomorphic computation on lazy handles instead of driving
+the eager evaluator call by call::
+
+    trace = HETrace(params)
+    x = trace.input("x")
+    y = (x * w_plain + b_plain).rotate(4)
+    y = y + y.conjugate()
+    trace.output("y", y)
+
+Nothing executes during tracing: each operation appends a typed node to the
+underlying :class:`~repro.fhe.program.ir.HEProgram` carrying the level and
+scale metadata the planner needs.  Handles mirror the evaluator's operation
+set (``+``/``-``/``*`` with ciphertext handles, :class:`CKKSPlaintext`
+objects, or integer scalars, plus ``rotate``/``conjugate``/``rescale``/
+``mod_down_to``/``inner_sum``).  Level and scale *mismatches are allowed at
+trace time* — the planner's alignment pass inserts the ``mod_down``/
+``rescale`` waterline instead of the caller bookkeeping them (the eager
+evaluator's ``_check_levels`` discipline).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ckks.ciphertext import CKKSPlaintext
+from .ir import HENode, HEProgram
+
+__all__ = ["HEHandle", "HETrace"]
+
+
+class HEHandle:
+    """A lazy ciphertext value: one node of the traced program."""
+
+    __slots__ = ("trace", "id")
+
+    def __init__(self, trace: "HETrace", node_id: int):
+        self.trace = trace
+        self.id = node_id
+
+    # -- metadata -----------------------------------------------------------
+    @property
+    def _node(self) -> HENode:
+        return self.trace.program.node(self.id)
+
+    @property
+    def level(self) -> int:
+        return self._node.level
+
+    @property
+    def scale(self) -> float:
+        return self._node.scale
+
+    def _wrap(self, node_id: int) -> "HEHandle":
+        return HEHandle(self.trace, node_id)
+
+    def _emit(self, op, args, level, scale, attrs=None) -> "HEHandle":
+        return self._wrap(
+            self.trace.program.add_node(op, args, level=level, scale=scale,
+                                        attrs=attrs)
+        )
+
+    # -- arithmetic ---------------------------------------------------------
+    def __add__(self, other) -> "HEHandle":
+        if isinstance(other, HEHandle):
+            self.trace._check_same(other)
+            return self._emit("add", (self.id, other.id),
+                              level=min(self.level, other.level),
+                              scale=self.scale)
+        if isinstance(other, CKKSPlaintext):
+            return self._emit("add_plain", (self.id,), level=self.level,
+                              scale=self.scale, attrs={"plaintext": other})
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "HEHandle":
+        if isinstance(other, HEHandle):
+            self.trace._check_same(other)
+            return self._emit("sub", (self.id, other.id),
+                              level=min(self.level, other.level),
+                              scale=self.scale)
+        return NotImplemented
+
+    def __neg__(self) -> "HEHandle":
+        return self._emit("negate", (self.id,), level=self.level, scale=self.scale)
+
+    def __mul__(self, other) -> "HEHandle":
+        if isinstance(other, HEHandle):
+            self.trace._check_same(other)
+            return self._emit("multiply", (self.id, other.id),
+                              level=min(self.level, other.level),
+                              scale=self.scale * other.scale)
+        if isinstance(other, CKKSPlaintext):
+            return self._emit("multiply_plain", (self.id,), level=self.level,
+                              scale=self.scale * other.scale,
+                              attrs={"plaintext": other})
+        if isinstance(other, int):
+            return self._emit("multiply_scalar", (self.id,), level=self.level,
+                              scale=self.scale, attrs={"scalar": other})
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def square(self) -> "HEHandle":
+        return self * self
+
+    # -- rotations ----------------------------------------------------------
+    def rotate(self, steps: int) -> "HEHandle":
+        """Slot rotation by ``steps`` (0 is the identity and adds no node)."""
+        if steps == 0:
+            return self
+        return self._emit("rotate", (self.id,), level=self.level,
+                          scale=self.scale, attrs={"steps": steps})
+
+    def conjugate(self) -> "HEHandle":
+        return self._emit("conjugate", (self.id,), level=self.level,
+                          scale=self.scale)
+
+    # -- level / scale management -------------------------------------------
+    def rescale(self) -> "HEHandle":
+        if self.level < 1:
+            raise ValueError("cannot rescale a level-0 value")
+        dropped = self.trace.params.moduli[self.level]
+        return self._emit("rescale", (self.id,), level=self.level - 1,
+                          scale=self.scale / dropped)
+
+    def mod_down_to(self, level: int) -> "HEHandle":
+        if level > self.level:
+            raise ValueError("cannot mod-down to a higher level")
+        if level == self.level:
+            return self
+        return self._emit("mod_down", (self.id,), level=level,
+                          scale=self.scale, attrs={"level": level})
+
+    # -- composite helpers ----------------------------------------------------
+    def inner_sum(self, count: int) -> "HEHandle":
+        """Sum ``count`` adjacent slots into every slot (binary rotation
+        decomposition — the same structure as ``CKKSEvaluator.inner_sum``)."""
+        if count < 1:
+            raise ValueError("count must be positive")
+        result = None
+        processed = 0
+        acc = self
+        bit = 1
+        while bit <= count:
+            if count & bit:
+                if result is None:
+                    result = acc
+                else:
+                    result = result + acc.rotate(processed)
+                processed += bit
+            if (bit << 1) <= count:
+                acc = acc + acc.rotate(bit)
+            bit <<= 1
+        return result
+
+
+class HETrace:
+    """Builds one :class:`HEProgram` through lazy :class:`HEHandle` values."""
+
+    def __init__(self, params, program: "HEProgram | None" = None):
+        self.params = params
+        self.program = HEProgram(params) if program is None else program
+
+    def input(self, name: str, level: "int | None" = None,
+              scale: "float | None" = None) -> HEHandle:
+        """Declare a ciphertext input (bound at execution time by name)."""
+        level = self.params.max_level if level is None else level
+        scale = float(self.params.scale) if scale is None else float(scale)
+        return HEHandle(self, self.program.add_input(name, level, scale))
+
+    def output(self, name: str, handle: HEHandle) -> None:
+        """Mark a handle as a named program output."""
+        self._check_same(handle)
+        self.program.set_output(name, handle.id)
+
+    def _check_same(self, handle: HEHandle) -> None:
+        if handle.trace.program is not self.program:
+            raise ValueError("cannot mix handles from different traces")

@@ -14,6 +14,7 @@ models consume:
 from .base import Workload
 from .ckks_workloads import (
     packed_bootstrapping_workload,
+    program_workload,
     helr_workload,
     resnet20_workload,
     CKKS_WORKLOADS,
@@ -28,6 +29,7 @@ from .hybrid_workloads import (
 __all__ = [
     "Workload",
     "packed_bootstrapping_workload",
+    "program_workload",
     "helr_workload",
     "resnet20_workload",
     "CKKS_WORKLOADS",

@@ -30,11 +30,41 @@ from .base import Workload
 
 __all__ = [
     "operations_to_traces",
+    "program_workload",
     "packed_bootstrapping_workload",
     "helr_workload",
     "resnet20_workload",
     "CKKS_WORKLOADS",
 ]
+
+
+def program_workload(program, params: "CKKSParameters | None" = None,
+                     name: str = "HEProgram") -> Workload:
+    """Lower a traced :class:`~repro.fhe.program.HEProgram` into a workload.
+
+    The bridge between the two worlds the program API serves: the same DAG
+    that executes functionally lowers — via
+    :func:`repro.fhe.program.lowering.lower_to_operations` — to the
+    level-annotated ``HomomorphicOp`` stream, whose kernel traces feed the
+    scheduler and the Trinity simulator like any paper benchmark.  Pass the
+    *planned* program to charge exactly what the optimized execution runs.
+    """
+    from ..fhe.program.lowering import lower_to_operations, operation_histogram
+    from ..fhe.program.passes import PlannedProgram
+
+    ir = program.program if isinstance(program, PlannedProgram) else program
+    params = ir.params if params is None else params
+    operations = lower_to_operations(program)
+    return Workload(
+        name=name,
+        scheme="ckks",
+        traces=operations_to_traces(operations, params),
+        metadata={
+            "operation_histogram": operation_histogram(program),
+            "params": params.name,
+            "nodes": len(ir),
+        },
+    )
 
 
 def operations_to_traces(operations: List[HomomorphicOp],

@@ -34,8 +34,10 @@ class TestExamples:
     def test_encrypted_inference(self):
         output = run_example("encrypted_inference.py")
         assert "encrypted prediction" in output
-        assert "hoisted BSGS linear transform" in output
-        assert "rotations:" in output
+        assert "traced HEProgram" in output
+        assert "hoist groups" in output
+        assert "stacked MAC groups" in output
+        assert "Trinity estimate:" in output
         assert "ResNet-20" in output
         assert "NN-100" in output
 

@@ -1,0 +1,736 @@
+"""Differential and pass-level suite for the ``repro.fhe.program`` API.
+
+* **Differential**: every traced program executes bit-exact against the
+  eager evaluator call sequence (``ProgramExecutor.run`` vs ``run_eager``),
+  on both backends, cross-backend, across every params.py prime/degree
+  combination including the <= 32-bit single-word fast path and the
+  ``REPRO_U32_STORE=1`` narrow-storage mode.
+* **Pass-level**: hoist-fusion groups, inserted conversion counts, the
+  rescale/mod_down waterline, pmult_mac batching (including the mixed-tree
+  BSGS shape), and the lowered ``HomomorphicOp`` histogram cross-checked
+  against ``bootstrap.linear_transform_plan``'s accounting.
+* **Kernels**: the new stacked backend entry points
+  (``stacked_intt``/``stacked_ntt``/``stacked_gather``/``stacked_pmult_mac``)
+  are bit-exact against their per-store loops and across backends.
+* **Fix regression**: ``rotate_hoisted`` validates rotation keys *before*
+  hoisting and raises the same ``KeyError`` shape as ``rotate``.
+
+The raw-polynomial tests run on the pure-python backend alone, so this file
+is part of the no-numpy CI leg; encoder-based semantic tests skip without
+numpy.
+"""
+
+import random
+
+import pytest
+
+from repro.fhe.backend import PythonBackend, available_backends, use_backend
+from repro.fhe.ckks.bootstrap import linear_transform_plan
+from repro.fhe.ckks.ciphertext import CKKSCiphertext, CKKSPlaintext
+from repro.fhe.ckks.evaluator import CKKSEvaluator
+from repro.fhe.ckks.keys import CKKSKeyGenerator, CKKSKeySet
+from repro.fhe.params import CKKSParameters
+from repro.fhe.polynomial import Polynomial, galois_eval_spec
+from repro.fhe.program import (
+    HETrace,
+    ProgramExecutor,
+    conversion_counts,
+    lower_to_operations,
+    operation_histogram,
+    plan_program,
+)
+from repro.fhe.rns import RNSPolynomial, _limb_contexts
+
+numpy_missing = "numpy" not in available_backends()
+needs_numpy = pytest.mark.skipif(numpy_missing, reason="numpy backend unavailable")
+
+PYTHON = PythonBackend()
+
+if not numpy_missing:
+    from repro.fhe.backend import NumpyBackend
+
+    #: Thresholds at 0: force the vectorized paths at every ring size.
+    PACKED = NumpyBackend(min_vector_length=0, min_ntt_length=0)
+    #: The REPRO_U32_STORE=1 narrow-storage mode.
+    PACKED_U32 = NumpyBackend(min_vector_length=0, min_ntt_length=0,
+                              store_uint32=True)
+    BACKENDS = [PYTHON, PACKED, PACKED_U32]
+else:  # pragma: no cover - exercised only on numpy-less installs
+    PACKED = PACKED_U32 = None
+    BACKENDS = [PYTHON]
+
+BACKEND_IDS = [b.name if i < 2 else "numpy-u32" for i, b in enumerate(BACKENDS)]
+
+#: Every params.py shape family, including a word-size (<= 32-bit) chain that
+#: exercises the direct single-word kernels end to end.
+PARAM_SETS = [
+    CKKSParameters.toy(),
+    CKKSParameters.toy(ring_degree=128, max_level=4, dnum=2),
+    CKKSParameters.small(ring_degree=256),
+    CKKSParameters(
+        ring_degree=64, max_level=3, dnum=2, scale_bits=24, modulus_bits=28,
+        special_modulus_bits=30, security_bits=0, name="ckks-u32",
+    ),
+]
+PARAM_IDS = [
+    f"{p.name}-N{p.ring_degree}-L{p.max_level}-{p.modulus_bits}bit"
+    for p in PARAM_SETS
+]
+
+
+def _random_poly(params, seed, level=None):
+    degree = params.ring_degree
+    basis = params.basis(params.max_level if level is None else level)
+    rng = random.Random(seed ^ 0x9E0681)
+    limbs = [
+        Polynomial._from_reduced(degree, q, [rng.randrange(q) for _ in range(degree)])
+        for q in basis
+    ]
+    return RNSPolynomial(degree, basis, limbs)
+
+
+def _random_ct(params, seed, level=None, scale=None):
+    level = params.max_level if level is None else level
+    return CKKSCiphertext(
+        c0=_random_poly(params, seed, level),
+        c1=_random_poly(params, seed + 1, level),
+        level=level,
+        scale=float(params.scale) if scale is None else float(scale),
+    )
+
+
+def _random_pt(params, seed, level=None, scale=None):
+    level = params.max_level if level is None else level
+    return CKKSPlaintext(
+        poly=_random_poly(params, seed, level),
+        level=level,
+        scale=float(params.scale) if scale is None else float(scale),
+    )
+
+
+def _rows(ct):
+    """Coefficient rows of both components (domain-normalized, hashable)."""
+    c0 = ct.c0.to_coeff()
+    c1 = ct.c1.to_coeff()
+    return (
+        tuple(map(tuple, c0.coefficient_rows())),
+        tuple(map(tuple, c1.coefficient_rows())),
+    )
+
+
+def _keyed(params, seed=11):
+    keygen = CKKSKeyGenerator(params, seed=seed, error_stddev=0.0)
+    return keygen.generate()
+
+
+# ---------------------------------------------------------------------------
+# Tracer / IR
+# ---------------------------------------------------------------------------
+
+class TestTracer:
+    PARAMS = CKKSParameters.toy()
+
+    def test_metadata_propagation(self):
+        params = self.PARAMS
+        t = HETrace(params)
+        x = t.input("x")
+        assert x.level == params.max_level and x.scale == float(params.scale)
+        pt = _random_pt(params, 5)
+        y = x * pt
+        assert y.scale == x.scale * pt.scale and y.level == x.level
+        z = y.rescale()
+        assert z.level == x.level - 1
+        assert z.scale == y.scale / params.moduli[x.level]
+        assert x.rotate(0) is x                      # identity adds no node
+        assert (x * 3).scale == x.scale              # scalar mult keeps scale
+
+    def test_cse_merges_identical_subexpressions(self):
+        t = HETrace(self.PARAMS)
+        x = t.input("x")
+        a = x.rotate(2)
+        b = x.rotate(2)
+        assert a.id == b.id                          # hash-consed
+        pt = _random_pt(self.PARAMS, 7)
+        assert (x * pt).id == (x * pt).id
+        assert (x * pt).id != (a * pt).id
+
+    def test_mixed_traces_rejected(self):
+        t1 = HETrace(self.PARAMS)
+        t2 = HETrace(self.PARAMS)
+        x1, x2 = t1.input("x"), t2.input("x")
+        with pytest.raises(ValueError):
+            x1 + x2
+
+    def test_trace_time_errors(self):
+        t = HETrace(self.PARAMS)
+        x = t.input("x", level=0)
+        with pytest.raises(ValueError):
+            x.rescale()
+        with pytest.raises(ValueError):
+            x.mod_down_to(1)
+        with pytest.raises(ValueError):
+            t.input("x")                             # duplicate name
+
+
+# ---------------------------------------------------------------------------
+# Passes
+# ---------------------------------------------------------------------------
+
+class TestPasses:
+    PARAMS = CKKSParameters.toy()
+
+    def test_waterline_inserts_rescale_and_mod_down(self):
+        """Adding a Delta^2 product to a Delta input auto-rescales and
+        mod-downs — the alignment the eager API makes callers do by hand."""
+        params = self.PARAMS
+        t = HETrace(params)
+        x = t.input("x")
+        pt = _random_pt(params, 3)
+        t.output("y", x * pt + x)                    # scales Delta^2 vs Delta
+        planned = plan_program(t.program)
+        assert planned.stats["rescales_inserted"] == 1
+        assert planned.stats["mod_downs_inserted"] == 1
+        ops = {node.op for node in planned.program.nodes}
+        assert "rescale" in ops and "mod_down" in ops
+
+    def test_irreconcilable_scales_fail_at_plan_time(self):
+        params = self.PARAMS
+        t = HETrace(params)
+        x = t.input("x")
+        weird = t.input("w", scale=float(params.scale) * 3.0)
+        t.output("y", x + weird)
+        with pytest.raises(ValueError, match="scale"):
+            plan_program(t.program)
+
+    def test_level_alignment(self):
+        params = self.PARAMS
+        t = HETrace(params)
+        x = t.input("x")
+        low = t.input("low", level=params.max_level - 2)
+        t.output("y", x * low)
+        planned = plan_program(t.program)
+        assert planned.stats["mod_downs_inserted"] == 1
+        out = planned.program.node(planned.program.outputs["y"])
+        assert out.level == params.max_level - 2
+
+    def test_domain_planning_multiply_chain_stays_resident(self):
+        """multiply -> rescale -> multiply: eval inputs converted once each,
+        nothing converts back to coefficients mid-chain."""
+        params = self.PARAMS
+        t = HETrace(params)
+        a, b = t.input("a"), t.input("b")
+        c = t.input("c", level=params.max_level - 1)
+        t.output("y", (a * b).rescale() * c)
+        planned = plan_program(t.program)
+        counts = conversion_counts(planned)
+        assert counts == {"to_eval": 3, "to_coeff": 0}
+        for node in planned.program.nodes:
+            if node.op in ("multiply", "rescale"):
+                assert node.domain == "eval"
+
+    def test_hoist_fusion_groups_by_source(self):
+        params = self.PARAMS
+        t = HETrace(params)
+        x = t.input("x")
+        rotations = [x.rotate(s) for s in (1, 2, 3)]
+        y = rotations[0] + rotations[1] + rotations[2] + x.conjugate()
+        z = y.rotate(1)
+        t.output("y", z)
+        planned = plan_program(t.program)
+        stats = planned.stats
+        # x's 3 rotations + conjugate share one hoist; y's rotation is alone.
+        assert stats["hoist_groups"] == 2
+        assert stats["hoisted_rotations"] == 4
+        assert stats["outer_rotations"] == 1
+        groups = {}
+        for node in planned.program.nodes:
+            if node.op in ("rotate", "conjugate"):
+                groups.setdefault(node.attrs["hoist_group"], []).append(node.id)
+        assert sorted(len(g) for g in groups.values()) == [1, 4]
+
+    def test_pmult_mac_fusion_of_pure_and_mixed_trees(self):
+        """A pure PMult sum fuses whole; a BSGS-shaped mixed accumulation
+        fuses its inner blocks and keeps the outer adds."""
+        params = self.PARAMS
+        pts = [_random_pt(params, 20 + i) for i in range(4)]
+        t = HETrace(params)
+        x = t.input("x")
+        babies = [x.rotate(i) for i in range(2)]
+        inner0 = babies[0] * pts[0] + babies[1] * pts[1]
+        inner1 = (babies[0] * pts[2] + babies[1] * pts[3]).rotate(2)
+        t.output("y", inner0 + inner1)               # mixed: add(mac, rotate)
+        planned = plan_program(t.program)
+        assert planned.stats["batched_groups"] == 2
+        assert planned.stats["batched_pmults"] == 4
+        macs = [n for n in planned.program.nodes if n.op == "pmult_mac"]
+        assert len(macs) == 2
+        assert all(len(n.args) == 2 == len(n.attrs["plaintexts"]) for n in macs)
+        assert planned.stats["plain_multiplies"] == 4
+
+    def test_pmult_mac_fuses_when_tree_is_a_program_output(self):
+        """Regression: a pure PMult sum whose only use is a program output
+        (no consuming node) must still fuse, not crash."""
+        params = self.PARAMS
+        t = HETrace(params)
+        x = t.input("x")
+        p1, p2 = _random_pt(params, 30), _random_pt(params, 31)
+        t.output("y", x * p1 + x * p2)
+        planned = plan_program(t.program)
+        assert planned.stats["batched_groups"] == 1
+        assert planned.stats["batched_pmults"] == 2
+        keys = _keyed(params)
+        executor = ProgramExecutor(CKKSEvaluator(params, keys, backend=PYTHON))
+        with use_backend(PYTHON):
+            inputs = {"x": _random_ct(params, 32)}
+            planned_out = executor.run(planned, inputs)["y"]
+            eager_out = executor.run_eager(t.program, inputs)["y"]
+            assert _rows(planned_out) == _rows(eager_out)
+
+    def test_replanning_a_planned_program_is_stable(self):
+        """Regression: plan_program over an already-planned program (with
+        pmult_mac and to_eval nodes) must not crash and stays executable."""
+        params = self.PARAMS
+        t = HETrace(params)
+        x = t.input("x")
+        pts = [_random_pt(params, 33 + i) for i in range(2)]
+        t.output("y", (x.rotate(1) * pts[0] + x.rotate(2) * pts[1]) * x)
+        planned = plan_program(t.program)
+        replanned = plan_program(planned.program)    # idempotent re-plan
+        assert replanned.stats["batched_groups"] == 0   # already fused
+        keys = _keyed(params)
+        executor = ProgramExecutor(CKKSEvaluator(params, keys, backend=PYTHON))
+        with use_backend(PYTHON):
+            inputs = {"x": _random_ct(params, 35)}
+            first = executor.run(planned, inputs)["y"]
+            again = executor.run(replanned, inputs)["y"]
+            eager = executor.run_eager(t.program, inputs)["y"]
+            assert _rows(first) == _rows(again) == _rows(eager)
+
+    def test_reused_subexpression_executes_once(self):
+        params = self.PARAMS
+        t = HETrace(params)
+        x = t.input("x")
+        r = x.rotate(1)
+        t.output("y", r + r)                         # same node twice
+        planned = plan_program(t.program)
+        assert sum(1 for n in planned.program.nodes if n.op == "rotate") == 1
+
+
+# ---------------------------------------------------------------------------
+# Lowering
+# ---------------------------------------------------------------------------
+
+class TestLowering:
+    def test_histogram_matches_linear_transform_plan(self):
+        """A hand-traced BSGS dense layer lowers to exactly the cost model's
+        (baby-1)+(giant-1) HRotate / n1*n2 PMult / n1*n2-1 HAdd accounting."""
+        params = CKKSParameters.toy(ring_degree=128, max_level=3, dnum=2)
+        dim = 16
+        plan = linear_transform_plan(params.slots, params.max_level,
+                                     diagonals=dim)
+        n1, n2 = plan.baby_steps, plan.giant_steps
+        pts = {
+            (j, i): _random_pt(params, 100 + j * n1 + i)
+            for j in range(n2) for i in range(n1)
+        }
+        t = HETrace(params)
+        x = t.input("x")
+        babies = [x.rotate(i) for i in range(n1)]
+        result = None
+        for j in range(n2):
+            inner = None
+            for i in range(n1):
+                term = babies[i] * pts[(j, i)]
+                inner = term if inner is None else inner + term
+            if j:
+                inner = inner.rotate(j * n1)
+            result = inner if result is None else result + inner
+        t.output("y", result.rescale())
+        planned = plan_program(t.program)
+        histogram = operation_histogram(planned)
+        assert histogram["HRotate"] == plan.num_rotations
+        assert histogram["PMult"] == plan.num_plain_multiplies
+        assert histogram["HAdd"] == plan.num_additions
+        assert histogram["Rescale"] == 1
+        # The same accounting must hold for the *unoptimized* stream (fusion
+        # cannot change the math the cost model charges).
+        eager_hist = operation_histogram(plan_program(t.program, optimize=False))
+        assert eager_hist == histogram
+
+    def test_levels_annotated_and_conversions_excluded(self):
+        params = CKKSParameters.toy()
+        t = HETrace(params)
+        a, b = t.input("a"), t.input("b")
+        t.output("y", (a * b).rescale() + b.mod_down_to(params.max_level - 1))
+        planned = plan_program(t.program)
+        ops = lower_to_operations(planned)
+        assert all(op.name in ("HMult", "Rescale", "HAdd") for op in ops)
+        hmult = next(op for op in ops if op.name == "HMult")
+        assert hmult.level == params.max_level
+        hadd = next(op for op in ops if op.name == "HAdd")
+        assert hadd.level == params.max_level - 1
+
+
+# ---------------------------------------------------------------------------
+# Differential: planned == eager call sequence, bit-exact
+# ---------------------------------------------------------------------------
+
+def _trace_mixed_program(params, seeds):
+    """A program exercising every traceable op (rotations sharing a source,
+    conjugation, HMult + relinearization, PMult/PAdd, waterline insertion).
+
+    Plaintext scales are chosen CKKS-consistently for *any* modulus chain
+    (``pt_a`` at scale ``q_L`` so its product rescales exactly back to the
+    ciphertext scale; ``pt_c`` at the post-rescale scale of ``y``), so the
+    waterline pass has legal rescue moves on every params.py family.
+    """
+    delta = float(params.scale)
+    level = params.max_level
+    pt_a = _random_pt(params, seeds + 1, scale=float(params.moduli[level]))
+    pt_b = _random_pt(params, seeds + 2, scale=delta)
+    pt_c = _random_pt(
+        params, seeds + 3,
+        scale=delta * delta / params.moduli[level - 1],
+    )
+    t = HETrace(params)
+    x = t.input("x")
+    w = t.input("w")
+    # x*pt_a has scale Delta*q_L vs Delta for the rotations: the waterline
+    # pass must insert exactly one rescale plus the mod_downs.
+    lin = x * pt_a + x.rotate(1) + x.rotate(2) - x.conjugate()
+    quad = lin * w                                    # HMult + relinearization
+    y = quad + x * pt_b                               # equal scales, mod_down
+    z = (y.rescale() + pt_c) * 3
+    t.output("y", y)
+    t.output("z", (-z) + z.inner_sum(3))
+    return t.program
+
+
+@pytest.mark.parametrize("params", PARAM_SETS, ids=PARAM_IDS)
+class TestDifferential:
+    def test_planned_matches_eager_and_cross_backend(self, params):
+        program = _trace_mixed_program(params, seeds=40)
+        reference = None
+        for backend in BACKENDS:
+            keys = _keyed(params)
+            evaluator = CKKSEvaluator(params, keys, backend=backend)
+            executor = ProgramExecutor(evaluator)
+            with use_backend(backend):
+                inputs = {
+                    "x": _random_ct(params, 50),
+                    "w": _random_ct(params, 60),
+                }
+                planned_out = executor.run(program, inputs)
+                eager_out = executor.run_eager(program, inputs)
+                rows = {
+                    name: _rows(ct) for name, ct in planned_out.items()
+                }
+                for name, ct in eager_out.items():
+                    assert rows[name] == _rows(ct), (backend.name, name)
+                    assert planned_out[name].level == ct.level
+                    assert abs(planned_out[name].scale / ct.scale - 1) < 1e-9
+            if reference is None:
+                reference = rows
+            else:
+                assert rows == reference              # cross-backend bit-exact
+
+    def test_planned_rotations_match_rotate_hoisted(self, params):
+        """Fused-hoist rotations == the evaluator's rotate_hoisted output."""
+        steps = [1, 2, 5]
+        t = HETrace(params)
+        x = t.input("x")
+        for s in steps:
+            t.output(f"r{s}", x.rotate(s))
+        for backend in BACKENDS:
+            keys = _keyed(params)
+            evaluator = CKKSEvaluator(params, keys, backend=backend)
+            with use_backend(backend):
+                ct = _random_ct(params, 70)
+                outs = ProgramExecutor(evaluator).run(t.program, {"x": ct})
+                expected = evaluator.rotate_hoisted(ct, steps)
+                for s, exp in zip(steps, expected):
+                    assert _rows(outs[f"r{s}"]) == _rows(exp), (backend.name, s)
+
+
+class TestExecutorValidation:
+    PARAMS = CKKSParameters.toy()
+
+    def _executor(self):
+        keys = _keyed(self.PARAMS)
+        return ProgramExecutor(CKKSEvaluator(self.PARAMS, keys, backend=PYTHON))
+
+    def test_missing_input_raises(self):
+        t = HETrace(self.PARAMS)
+        t.output("y", t.input("x").rotate(1))
+        with pytest.raises(ValueError, match="missing program inputs"):
+            self._executor().run(t.program, {})
+
+    def test_level_mismatch_raises(self):
+        t = HETrace(self.PARAMS)
+        t.output("y", t.input("x") * 2)
+        with use_backend(PYTHON):
+            ct = _random_ct(self.PARAMS, 80, level=self.PARAMS.max_level - 1)
+        with pytest.raises(ValueError, match="level"):
+            self._executor().run(t.program, {"x": ct})
+
+    def test_missing_galois_key_raises_before_hoist(self):
+        """Executor key prefetch: a key set without a generator fails with
+        the same KeyError shape as evaluator.rotate."""
+        params = self.PARAMS
+        keys = _keyed(params)
+        frozen = CKKSKeySet(params=params, secret=keys.secret, public=keys.public)
+        evaluator = CKKSEvaluator(params, frozen, backend=PYTHON)
+        t = HETrace(params)
+        t.output("y", t.input("x").rotate(1))
+        with use_backend(PYTHON):
+            ct = _random_ct(params, 81)
+        with pytest.raises(KeyError, match="no Galois key"):
+            ProgramExecutor(evaluator).run(t.program, {"x": ct})
+
+
+# ---------------------------------------------------------------------------
+# Fix regression: rotate_hoisted validates keys before hoisting
+# ---------------------------------------------------------------------------
+
+class TestRotateHoistedKeyValidation:
+    def test_missing_key_raises_like_rotate(self):
+        params = CKKSParameters.toy()
+        keys = _keyed(params)
+        frozen = CKKSKeySet(params=params, secret=keys.secret, public=keys.public)
+        evaluator = CKKSEvaluator(params, frozen, backend=PYTHON)
+        with use_backend(PYTHON):
+            ct = _random_ct(params, 90)
+        with pytest.raises(KeyError) as via_rotate:
+            evaluator.rotate(ct, 3)
+        with pytest.raises(KeyError) as via_hoisted:
+            evaluator.rotate_hoisted(ct, [1, 3])
+        assert "no Galois key" in str(via_hoisted.value)
+        # Same KeyError shape: identical message for the same missing key.
+        with pytest.raises(KeyError) as via_hoisted_3:
+            evaluator.rotate_hoisted(ct, [3])
+        assert str(via_hoisted_3.value) == str(via_rotate.value)
+
+    def test_identity_step_needs_no_key(self):
+        params = CKKSParameters.toy()
+        keys = _keyed(params)
+        frozen = CKKSKeySet(params=params, secret=keys.secret, public=keys.public)
+        evaluator = CKKSEvaluator(params, frozen, backend=PYTHON)
+        with use_backend(PYTHON):
+            ct = _random_ct(params, 91)
+            (out,) = evaluator.rotate_hoisted(ct, [0])
+            assert _rows(out) == _rows(ct)
+
+
+# ---------------------------------------------------------------------------
+# Plaintext evaluation-domain encoding cache
+# ---------------------------------------------------------------------------
+
+class TestPlaintextEvalCache:
+    @pytest.mark.parametrize("params", PARAM_SETS, ids=PARAM_IDS)
+    def test_cache_hit_is_exact_and_keyed_per_backend(self, params):
+        pt = _random_pt(params, 95)
+        reference = None
+        for backend in BACKENDS:
+            keys = _keyed(params)
+            evaluator = CKKSEvaluator(params, keys, backend=backend)
+            with use_backend(backend):
+                ct = evaluator.to_eval(_random_ct(params, 96))
+                first = evaluator.multiply_plain(ct, pt)
+                cached = evaluator.multiply_plain(ct, pt)    # cache hit
+                assert _rows(first) == _rows(cached)
+                padd = evaluator.add_plain(ct, pt)
+                # Coefficient path is untouched by the cache.
+                coeff = evaluator.multiply_plain(evaluator.to_coeff(ct), pt)
+                assert _rows(first) == _rows(coeff)
+                if reference is None:
+                    reference = (_rows(first), _rows(padd))
+                else:
+                    assert (_rows(first), _rows(padd)) == reference
+        # One entry per (backend, storage mode): the u32 narrow store must
+        # not share cached stores with the wide numpy backend.
+        assert len(pt._eval_cache) == len(
+            {(b.name, getattr(b, "store_uint32", False)) for b in BACKENDS}
+        )
+
+    def test_cache_respects_levels(self):
+        params = CKKSParameters.toy()
+        pt = _random_pt(params, 97)
+        keys = _keyed(params)
+        evaluator = CKKSEvaluator(params, keys, backend=PYTHON)
+        with use_backend(PYTHON):
+            high = evaluator.to_eval(_random_ct(params, 98))
+            low = evaluator.to_eval(
+                _random_ct(params, 99, level=params.max_level - 1)
+            )
+            a = evaluator.multiply_plain(high, pt)
+            b = evaluator.multiply_plain(low, pt)
+            assert a.level == params.max_level and b.level == params.max_level - 1
+        assert len(pt._eval_cache) == 2              # one entry per level
+
+
+# ---------------------------------------------------------------------------
+# Stacked backend kernels
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("params", PARAM_SETS, ids=PARAM_IDS)
+class TestStackedKernels:
+    def test_stacked_transforms_match_batched(self, params):
+        contexts = _limb_contexts(params.ring_degree, params.basis())
+        assert contexts is not None
+        for backend in BACKENDS:
+            with use_backend(backend):
+                polys = [_random_poly(params, 200 + i) for i in range(3)]
+                stores = [p.store() for p in polys]
+                fwd = backend.stacked_ntt(contexts, stores)
+                for got, poly in zip(fwd, polys):
+                    expected = backend.batched_ntt(contexts, poly.store())
+                    assert backend.store_rows(got) == backend.store_rows(expected)
+                inv = backend.stacked_intt(contexts, fwd)
+                for got, poly in zip(inv, polys):
+                    assert backend.store_rows(got) == poly.coefficient_rows()
+
+    def test_stacked_gather_matches_per_store(self, params):
+        spec = galois_eval_spec(params.ring_degree, 5)
+        for backend in BACKENDS:
+            with use_backend(backend):
+                stores = [
+                    _random_poly(params, 210 + i).to_eval().store()
+                    for i in range(3)
+                ]
+                stacked = backend.stacked_gather(stores, spec)
+                for got, store in zip(stacked, stores):
+                    expected = backend.limbs_gather(store, spec)
+                    assert backend.store_rows(got) == backend.store_rows(expected)
+
+    def test_stacked_pmult_mac_matches_mul_add_chain(self, params):
+        moduli = tuple(params.basis().moduli)
+        reference = None
+        for backend in BACKENDS:
+            with use_backend(backend):
+                cts = [
+                    (_random_poly(params, 220 + i).to_eval(),
+                     _random_poly(params, 230 + i).to_eval())
+                    for i in range(4)
+                ]
+                pts = [
+                    _random_poly(params, 240 + i).to_eval() for i in range(4)
+                ]
+                s0, s1 = backend.stacked_pmult_mac(
+                    [c0.store() for c0, _ in cts],
+                    [c1.store() for _, c1 in cts],
+                    [p.store() for p in pts], moduli,
+                )
+                acc0 = acc1 = None
+                for (c0, c1), p in zip(cts, pts):
+                    t0, t1 = c0 * p, c1 * p
+                    acc0 = t0 if acc0 is None else acc0 + t0
+                    acc1 = t1 if acc1 is None else acc1 + t1
+                got = (
+                    backend.store_rows(s0), backend.store_rows(s1),
+                )
+                assert got[0] == backend.store_rows(acc0.store())
+                assert got[1] == backend.store_rows(acc1.store())
+            if reference is None:
+                reference = got
+            else:
+                assert got == reference
+
+
+# ---------------------------------------------------------------------------
+# Encoder-based semantic tests (slot values; need numpy)
+# ---------------------------------------------------------------------------
+
+@needs_numpy
+class TestSemantics:
+    @pytest.fixture(scope="class")
+    def context(self):
+        from repro.fhe.ckks import CKKSContext
+
+        return CKKSContext(
+            CKKSParameters.toy(ring_degree=128, max_level=3, dnum=2), seed=7
+        )
+
+    def test_dense_layer_program_matches_eager_apply(self, context):
+        from repro.fhe.ckks import BSGSLinearTransform
+
+        dim = 8
+        slots = context.params.slots
+        matrix = [
+            [((3 * i + 5 * j) % 7 - 3) / 4.0 for j in range(dim)]
+            for i in range(dim)
+        ]
+        x = [0.5, -1.0, 2.0, 0.25, -0.75, 1.5, -0.5, 1.0]
+        transform = BSGSLinearTransform.from_matrix(context.encoder, matrix)
+        transform.generate_rotation_keys(context.keys)
+        ct = context.encrypt_vector(x * (slots // dim))
+        reference = None
+        for backend in (PYTHON, PACKED):             # bit-exact on BOTH backends
+            evaluator = CKKSEvaluator(context.params, context.keys,
+                                      backend=backend)
+            planned_result = transform.apply(evaluator, ct)
+            planned_stats = dict(transform.last_stats)
+            eager_result = transform.apply_eager(evaluator, ct)
+            with use_backend(backend):
+                rows = _rows(planned_result)
+                assert rows == _rows(eager_result), backend.name
+            assert planned_stats == transform.last_stats
+            if reference is None:
+                reference = rows
+            else:
+                assert rows == reference             # and across backends
+        evaluator = context.evaluator
+        out = evaluator.rescale(planned_result)
+        got = [v.real for v in context.decrypt_vector(out, dim)]
+        expected = [sum(m * v for m, v in zip(row, x)) for row in matrix]
+        assert max(abs(a - e) for a, e in zip(got, expected)) < 0.05
+
+    def test_dense_layer_histogram_matches_cost_model(self, context):
+        from repro.fhe.ckks import BSGSLinearTransform
+
+        dim = 16
+        matrix = [[(i + 2 * j) % 5 - 2 for j in range(dim)] for i in range(dim)]
+        transform = BSGSLinearTransform.from_matrix(context.encoder, matrix)
+        planned = transform._planned_program(context.params.max_level)
+        plan = linear_transform_plan(context.params.slots,
+                                     context.params.max_level, diagonals=dim)
+        histogram = operation_histogram(planned)
+        assert histogram["HRotate"] == plan.num_rotations
+        assert histogram["PMult"] == plan.num_plain_multiplies
+        assert histogram["HAdd"] == plan.num_additions
+
+    def test_program_workload_and_cycle_estimate(self, context):
+        from repro.fhe.program import trinity_cycle_estimate
+        from repro.workloads import program_workload
+
+        params = context.params
+        t = HETrace(params)
+        a, b = t.input("a"), t.input("b")
+        t.output("y", (a * b).rescale() + a.mod_down_to(params.max_level - 1))
+        planned = plan_program(t.program)
+        workload = program_workload(planned, params=params, name="test-prog")
+        assert workload.scheme == "ckks"
+        assert workload.metadata["operation_histogram"]["HMult"] == 1
+        assert len(workload.traces) == len(lower_to_operations(planned))
+        report = trinity_cycle_estimate(planned, params=params)
+        assert report.latency_cycles > 0
+
+    def test_traced_sigmoid_neuron_matches_eager_calls(self, context):
+        """The quickstart-style classifier traced end to end decodes to the
+        same slots as the hand-written eager sequence (bit-exact)."""
+        params = context.params
+        evaluator = context.evaluator
+        encoder = context.encoder
+        features = [0.8, -1.2, 0.5, 2.0]
+        weights = encoder.encode([0.6, 0.4, -1.0, 0.3])
+        ct = context.encrypt_vector(features)
+
+        t = HETrace(params)
+        x = t.input("x")
+        t.output("z", (x * weights).rescale().inner_sum(4))
+        executor = ProgramExecutor(evaluator)
+        planned = executor.run(t.program, {"x": ct})["z"]
+
+        eager = evaluator.inner_sum(
+            evaluator.rescale(evaluator.multiply_plain(ct, weights)), 4
+        )
+        assert _rows(planned) == _rows(eager)
