@@ -1,0 +1,218 @@
+"""Benchmark: functional packed bootstrapping, planned vs eager execution.
+
+PR 5 made the bootstrap pipeline functional: ModRaise, the staged
+CoeffToSlot/SlotToCoeff BSGS transforms, and the Chebyshev/Paterson-
+Stockmeyer EvalMod all execute as traced ``HEProgram``\\ s.  This benchmark
+gates what the program planner buys on that pipeline:
+
+* **Eager**: every stage program executed node by node through the plain
+  evaluator calls — each of the dozens of BSGS rotations pays its own
+  Decompose+BConv+NTT keyswitch hoist.
+* **Planned**: hoist fusion shares one hoist per rotation source, dead-code
+  elimination drops the baby rotations the sparse FFT stage matrices never
+  touch, residency planning keeps EvalMod's multiply chains NTT-resident,
+  and each stage's plaintext MAC groups run as stacked dispatches.
+
+The timed pair is checked **bit-exact** (the passes are exact
+transformations over modular arithmetic) and the refreshed ciphertext is
+checked to decrypt near the pre-bootstrap values (loose tolerance at the
+word-size modulus regime — precision there is bounded by the 30-bit scale,
+not by the planner).
+
+Acceptance (``--check``, on by default, word-size config at N = 2^10,
+L = 13): >= 1.3x planned over eager.  ``--min-speedup F`` replaces the
+threshold (the CI perf-smoke job uses 1.0: planned must never lose).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_bootstrap.py [--quick] [--json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+import time
+from typing import Dict, List
+
+import conftest
+
+from repro.fhe.backend import available_backends, set_active_backend
+from repro.fhe.ckks import CKKSContext, PackedBootstrap
+
+BENCH_NAME = "bootstrap"
+
+REQUIRED_SPEEDUP = 1.3
+
+#: The gated configuration: a word-size (direct single-word kernel) chain.
+GATED_BITS = 30
+
+
+def _best_of(func, repeats: int):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def build_bootstrap(degree: int, bits: int):
+    from repro.fhe.params import CKKSParameters
+
+    params = CKKSParameters(
+        ring_degree=degree, max_level=13, dnum=4, scale_bits=bits,
+        modulus_bits=bits, special_modulus_bits=bits + 2, security_bits=0,
+        name=f"ckks-bootstrap-bench-{bits}",
+    )
+    # A very sparse secret keeps the ModRaise overflow bound (and with it
+    # the sine approximation radius) small, like the bootstrap tests.
+    context = CKKSContext(params, seed=31, error_stddev=0.0,
+                          secret_hamming_weight=2)
+    bootstrap = PackedBootstrap(
+        context.encoder, c2s_stages=2, s2c_stages=2, sine_degree=15,
+        double_angle_iters=2, integer_bound=3,
+    )
+    bootstrap.generate_keys(context.keys)
+    return context, bootstrap
+
+
+def run_bootstrap_benchmark(degree: int, bits: int, repeats: int) -> Dict[str, object]:
+    context, bootstrap = build_bootstrap(degree, bits)
+    evaluator = context.evaluator
+    params = context.params
+
+    values = [0.03 * math.cos(0.1 * i) for i in range(params.slots)]
+    ct = context.encrypt_vector(values, level=0)
+
+    def planned():
+        return bootstrap.refresh(evaluator, ct)
+
+    def eager():
+        return bootstrap.refresh(evaluator, ct, eager=True)
+
+    planned()          # warm plaintext-encoding / key / twiddle caches
+    eager()
+    eager_time, eager_result = _best_of(eager, repeats)
+    planned_time, planned_result = _best_of(planned, repeats)
+
+    pc = evaluator.to_coeff(planned_result)
+    ec = evaluator.to_coeff(eager_result)
+    if (
+        pc.c0.coefficient_rows() != ec.c0.coefficient_rows()
+        or pc.c1.coefficient_rows() != ec.c1.coefficient_rows()
+    ):
+        raise AssertionError("bootstrap: planned result is not bit-exact vs eager")
+    decrypted = context.decrypt_vector(planned_result)
+    worst = max(abs(g - v) for g, v in zip(decrypted, values))
+    # Relative decode gate: the mean error must sit well below the mean
+    # signal magnitude (an attenuated/zeroed refresh scores ~1.0), which
+    # stays sharp at the word-size regime where absolute precision is
+    # bounded by the 30-bit scale (~0.2 measured there, ~2e-3 at 40-bit).
+    mean_error = sum(abs(g - v) for g, v in zip(decrypted, values)) / len(values)
+    mean_signal = sum(abs(v) for v in values) / len(values)
+    if mean_error > 0.3 * mean_signal:
+        raise AssertionError(
+            f"bootstrap: refreshed ciphertext decrypts with mean error "
+            f"{mean_error:.3g} vs mean signal {mean_signal:.3g}"
+        )
+
+    rotations = sum(s["rotations"] for s in bootstrap.last_stats.values())
+    hoist_groups = sum(s["hoist_groups"] for s in bootstrap.last_stats.values())
+    dead = sum(s["dead_nodes_removed"] for s in bootstrap.last_stats.values())
+    return {
+        "kernel": "packed_bootstrap",
+        "ring_degree": degree,
+        "limbs": params.max_level + 1,
+        "modulus_bits": bits,
+        "start_level": bootstrap.start_level,
+        "end_level": bootstrap.end_level,
+        "slot_error": worst,
+        "rotations": rotations,
+        "hoist_groups": hoist_groups,
+        "dead_nodes_removed": dead,
+        "galois_keys": len(bootstrap.required_galois_elements()),
+        "eager_seconds": eager_time,
+        "planned_seconds": planned_time,
+        "speedup": eager_time / planned_time if planned_time > 0 else float("inf"),
+    }
+
+
+def print_table(records: List[Dict[str, object]]) -> None:
+    header = (
+        f"{'kernel':<18} {'N':>6} {'L':>3} {'bits':>5} {'rot':>4} {'keys':>5} "
+        f"{'eager':>12} {'planned':>12} {'speedup':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for rec in records:
+        print(
+            f"{rec['kernel']:<18} {rec['ring_degree']:>6} {rec['limbs'] - 1:>3} "
+            f"{rec['modulus_bits']:>5} {rec['rotations']:>4} {rec['galois_keys']:>5} "
+            f"{rec['eager_seconds'] * 1e3:>10.1f}ms "
+            f"{rec['planned_seconds'] * 1e3:>10.1f}ms "
+            f"{rec['speedup']:>8.1f}x"
+        )
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller ring and fewer repeats (CI smoke pass)")
+    parser.add_argument("--no-check", dest="check", action="store_false",
+                        help="skip the speedup acceptance assertion")
+    parser.add_argument("--min-speedup", type=float, default=None, metavar="F",
+                        help="replace the threshold with F "
+                             "(CI uses 1.0: planned must not be slower)")
+    conftest.add_json_argument(parser, BENCH_NAME)
+    args = parser.parse_args(argv)
+
+    if "numpy" not in available_backends():
+        print("numpy is not installed; benchmark needs the vectorized backend.")
+        return 0
+    set_active_backend("numpy")
+
+    if args.quick:
+        degree, repeats = 1 << 9, 1
+    else:
+        degree, repeats = 1 << 10, 3
+
+    records = [run_bootstrap_benchmark(degree, GATED_BITS, repeats)]
+    if not args.quick:
+        # Informational: the 40-bit Montgomery/Shoup regime, same shape.
+        records.append(run_bootstrap_benchmark(degree, 40, repeats))
+    print_table(records)
+
+    if args.json:
+        path = conftest.write_bench_json(
+            args.json, BENCH_NAME, records,
+            extra={"quick": args.quick, "gated_modulus_bits": GATED_BITS},
+        )
+        print(f"\nwrote {path}")
+
+    print()
+    failures = []
+    for rec in records:
+        if args.min_speedup is not None:
+            required = args.min_speedup
+        elif rec["modulus_bits"] == GATED_BITS and not args.quick:
+            required = REQUIRED_SPEEDUP
+        else:
+            continue
+        status = "ok" if rec["speedup"] >= required else "FAILED"
+        print(
+            f"{rec['kernel']} ({rec['modulus_bits']}-bit): {rec['speedup']:.1f}x "
+            f"(required >= {required:.1f}x) {status}"
+        )
+        if rec["speedup"] < required:
+            failures.append(f"{rec['kernel']}@{rec['modulus_bits']}bit")
+    if args.check and failures:
+        print(f"FAILED: below threshold: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

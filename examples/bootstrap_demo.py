@@ -1,0 +1,84 @@
+"""Functional packed CKKS bootstrapping, end to end.
+
+The paper's headline CKKS workload is Packed Bootstrapping ("the level
+consumption of bootstrapping is 15").  This demo actually *runs* the
+pipeline on a reduced parameter set: a ciphertext is encrypted, its levels
+are deliberately exhausted, and ``PackedBootstrap`` refreshes it —
+ModRaise, the staged CoeffToSlot BSGS transforms, the Chebyshev/
+Paterson-Stockmeyer scaled-sine EvalMod with double-angle iterations, and
+the inverse SlotToCoeff stages, each a traced ``HEProgram`` executed
+through ``plan_program``/``ProgramExecutor``.
+
+Along the way it prints what the planner did per stage (fused hoists,
+dead-code-eliminated rotations of the sparse FFT stage matrices, stacked
+MAC groups), shows the traced programs' lowered Table II histograms
+reconciling with ``BootstrapPlan`` stage by stage, and lowers the same
+trace to a Trinity hardware-cycle estimate — one trace, both worlds.
+"""
+
+import math
+
+from repro.fhe.ckks import CKKSContext, PackedBootstrap
+from repro.fhe.params import CKKSParameters
+
+
+def main() -> None:
+    print("=== Functional packed bootstrapping (reduced CKKS, N = 256) ===")
+    params = CKKSParameters(
+        ring_degree=256, max_level=13, dnum=4, scale_bits=40,
+        modulus_bits=40, special_modulus_bits=42, security_bits=0,
+        name="ckks-bootstrap-demo",
+    )
+    context = CKKSContext(params, seed=7, error_stddev=0.0,
+                          secret_hamming_weight=2)
+    evaluator = context.evaluator
+
+    bootstrap = PackedBootstrap(
+        context.encoder, c2s_stages=2, s2c_stages=2, sine_degree=15,
+        double_angle_iters=2, integer_bound=3,
+    )
+    keys = bootstrap.generate_keys(context.keys)
+    print(f"  pipeline:          levels {bootstrap.start_level} -> "
+          f"{bootstrap.end_level} "
+          f"({bootstrap.start_level - bootstrap.end_level} consumed)")
+    print(f"  rotation keys:     {len(keys)} generated from "
+          f"required_galois_elements() (dead baby rotations pruned)")
+
+    # Encrypt, burn every level, then refresh.
+    values = [0.04 * math.sin(1.0 + 3 * i) for i in range(params.slots)]
+    ciphertext = context.encrypt_vector(values, level=2)
+    halve = context.encoder.encode([0.5] * params.slots, level=2)
+    ciphertext = evaluator.rescale(evaluator.multiply_plain(ciphertext, halve))
+    ciphertext = evaluator.mod_down_to(ciphertext, 0)
+    print(f"  exhausted:         ciphertext at level {ciphertext.level}")
+
+    refreshed = bootstrap.refresh(evaluator, ciphertext)
+    decrypted = [v.real for v in context.decrypt_vector(refreshed)]
+    expected = [0.5 * v for v in values]
+    worst = max(abs(a - e) for a, e in zip(decrypted, expected))
+    print(f"  refreshed:         level {refreshed.level}, "
+          f"max slot error {worst:.2e}")
+
+    print("  planner, per stage:")
+    for name, stats in bootstrap.last_stats.items():
+        print(f"    {name:<8} {stats['rotations']:>3} rotations in "
+              f"{stats['hoist_groups']:>2} hoist groups, "
+              f"{stats['dead_nodes_removed']:>2} dead nodes removed, "
+              f"{stats['batched_groups']:>2} stacked MAC groups, "
+              f"{stats['stacked_conversion_groups']} stacked conversions")
+
+    print("  lowered histograms (traced == BootstrapPlan, per stage):")
+    plan = bootstrap.plan()
+    model = dict(plan.stage_histograms())
+    for name, histogram in bootstrap.stage_histograms():
+        match = "ok" if histogram == model[name] else "MISMATCH"
+        print(f"    {name:<8} {histogram} [{match}]")
+
+    report = bootstrap.trinity_cycle_estimate()
+    print(f"  Trinity estimate:  {report.latency_cycles:,.0f} cycles "
+          f"({report.latency_ms:.3f} ms at {report.frequency_ghz:g} GHz) "
+          f"for the traced bootstrap")
+
+
+if __name__ == "__main__":
+    main()

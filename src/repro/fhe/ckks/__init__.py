@@ -11,7 +11,10 @@ The package provides the arithmetic-FHE half of the paper's workload space:
 * :mod:`linear_transform` — diagonal-encoded BSGS plaintext-matrix x
   ciphertext products over hoisted rotations,
 * :mod:`bootstrap` — the operation-level bootstrapping pipeline used by the
-  workload generators (CoeffToSlot -> EvalMod -> SlotToCoeff).
+  workload generators (CoeffToSlot -> EvalMod -> SlotToCoeff),
+* :mod:`bootstrap_exec` — the *functional* packed bootstrapping: the same
+  pipeline as traced+planned :class:`~repro.fhe.program.HEProgram`\\ s that
+  actually refresh a level-0 ciphertext (requires numpy).
 
 Everything is exact-arithmetic pure Python over the reduced parameter sets
 from :mod:`repro.fhe.params`; the hardware model uses only the *structure* of
@@ -24,6 +27,7 @@ from .evaluator import CKKSEvaluator
 from .keys import CKKSKeyGenerator, CKKSKeySet
 from .context import CKKSContext
 from .linear_transform import BSGSLinearTransform
+from .bootstrap_exec import PackedBootstrap, mod_raise
 
 __all__ = [
     "CKKSCiphertext",
@@ -34,4 +38,6 @@ __all__ = [
     "CKKSKeySet",
     "CKKSContext",
     "BSGSLinearTransform",
+    "PackedBootstrap",
+    "mod_raise",
 ]

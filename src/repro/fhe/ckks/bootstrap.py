@@ -3,7 +3,7 @@
 Full packed bootstrapping at paper scale (N = 2^16, L = 35) is far outside
 what exact pure-Python arithmetic can run, and the accelerator never needs the
 ciphertext data — only the *sequence of homomorphic operations*.  This module
-therefore provides:
+therefore provides the *structure* of the pipeline:
 
 * :class:`BootstrapPlan` — the standard CKKS bootstrapping pipeline
   (ModRaise -> CoeffToSlot -> EvalMod (sine approximation) -> SlotToCoeff)
@@ -12,19 +12,45 @@ therefore provides:
   Packed Bootstrapping benchmark is (level consumption 15).
 * :func:`linear_transform_plan` — the baby-step/giant-step (BSGS) homomorphic
   matrix-vector multiply that CoeffToSlot/SlotToCoeff decompose into, reused
-  by the HELR and ResNet workload generators.
+  by the HELR and ResNet workload generators.  Sparse stage matrices (the
+  FFT factor matrices of the staged transforms) pass their *active* diagonal
+  set, so the rotation/PMult accounting matches what a BSGS evaluation with
+  dead-rotation pruning actually performs.
+* :class:`EvalModPlan` / :func:`evalmod_structure` — the scaled-sine
+  modular-reduction stage (Chebyshev interpolation evaluated with a
+  Paterson-Stockmeyer split, then double-angle iterations).  The structure
+  generator is *shared* with the functional implementation in
+  :mod:`repro.fhe.ckks.bootstrap_exec`: the cost model drives it with a
+  counting algebra, the functional pipeline with an :class:`HEHandle`
+  algebra, so the two accountings cannot drift apart.
 
 The plan objects are consumed by :mod:`repro.workloads.ckks_workloads`, which
-lowers them into kernel traces for the hardware models.
+lowers them into kernel traces for the hardware models, and by the
+functional :class:`~repro.fhe.ckks.bootstrap_exec.PackedBootstrap`, whose
+traced programs reconcile against :meth:`BootstrapPlan.stage_operations`
+stage by stage (test-gated).
+
+``BootstrapPlan.operations()`` honours the declared ``levels_consumed``
+*both ways*: a pipeline consuming fewer levels is padded with cheap
+PMult/Rescale pairs, and a pipeline consuming **more** levels than declared
+raises a ``ValueError`` instead of silently disagreeing with
+:attr:`BootstrapPlan.end_level`.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["HomomorphicOp", "BootstrapPlan", "linear_transform_plan", "LinearTransformPlan"]
+__all__ = [
+    "HomomorphicOp",
+    "BootstrapPlan",
+    "linear_transform_plan",
+    "LinearTransformPlan",
+    "EvalModPlan",
+    "evalmod_structure",
+]
 
 
 @dataclass(frozen=True)
@@ -49,8 +75,14 @@ class LinearTransformPlan:
 
     For a general (dense) slot transform ``diagonals = slots``; the staged
     CoeffToSlot/SlotToCoeff transforms of bootstrapping are FFT-like and each
-    stage only has ``radix``-many diagonals, which is what keeps packed
+    stage only has radix-many diagonals, which is what keeps packed
     bootstrapping tractable.
+
+    ``active_diagonals``, when set, lists the generalized-diagonal indices
+    that are actually non-zero.  The rotation count then charges only the
+    baby/giant steps those diagonals touch — exactly the rotations that
+    survive dead-code elimination when the sparse transform is traced
+    through the program planner.
     """
 
     slots: int
@@ -58,20 +90,32 @@ class LinearTransformPlan:
     baby_steps: int
     giant_steps: int
     level: int
+    active_diagonals: "Tuple[int, ...] | None" = None
 
     @property
     def num_rotations(self) -> int:
-        """Total HRotate count: (baby-1) hoisted + (giant-1) outer rotations."""
+        """Total HRotate count: baby rotations (hoisted) + giant rotations.
+
+        Dense: ``(baby-1) + (giant-1)``.  Sparse: only the baby steps
+        ``i = d mod n1 != 0`` and giant blocks ``j = d div n1 != 0`` that an
+        active diagonal lands in are rotated.
+        """
+        if self.active_diagonals is not None:
+            baby = {d % self.baby_steps for d in self.active_diagonals} - {0}
+            giant = {d // self.baby_steps for d in self.active_diagonals} - {0}
+            return len(baby) + len(giant)
         return (self.baby_steps - 1) + (self.giant_steps - 1)
 
     @property
     def num_plain_multiplies(self) -> int:
-        """One PMult per (baby, giant) diagonal."""
+        """One PMult per (active) diagonal."""
+        if self.active_diagonals is not None:
+            return len(self.active_diagonals)
         return self.baby_steps * self.giant_steps
 
     @property
     def num_additions(self) -> int:
-        return self.baby_steps * self.giant_steps - 1
+        return self.num_plain_multiplies - 1
 
     def operations(self) -> List[HomomorphicOp]:
         ops = []
@@ -84,22 +128,277 @@ class LinearTransformPlan:
         return ops
 
 
-def linear_transform_plan(slots: int, level: int, diagonals: int | None = None) -> LinearTransformPlan:
+def linear_transform_plan(
+    slots: int,
+    level: int,
+    diagonals: int | None = None,
+    active_diagonals: "Sequence[int] | None" = None,
+) -> LinearTransformPlan:
     """Balanced BSGS split (sqrt decomposition) of a transform with ``diagonals``.
 
     ``diagonals`` defaults to ``slots`` (a dense transform).  Bootstrapping's
-    staged transforms pass the per-stage radix instead.
+    staged transforms pass either the per-stage radix (shape-only cost model)
+    or — via ``active_diagonals`` — the exact generalized-diagonal index set
+    of the stage matrix, which prices the sparse BSGS evaluation.
     """
     if slots < 1:
         raise ValueError("slots must be positive")
     diagonals = slots if diagonals is None else diagonals
     if diagonals < 1:
         raise ValueError("diagonals must be positive")
+    if active_diagonals is not None:
+        active = tuple(sorted(set(int(d) for d in active_diagonals)))
+        if not active:
+            raise ValueError("active_diagonals must be non-empty")
+        if active[0] < 0 or active[-1] >= diagonals:
+            raise ValueError(
+                f"active diagonal indices must lie in [0, {diagonals})"
+            )
+    else:
+        active = None
     baby = max(1, 1 << math.ceil(math.log2(max(1, math.isqrt(diagonals)))))
     giant = math.ceil(diagonals / baby)
     return LinearTransformPlan(slots=slots, diagonals=diagonals, baby_steps=baby,
-                               giant_steps=giant, level=level)
+                               giant_steps=giant, level=level,
+                               active_diagonals=active)
 
+
+# ---------------------------------------------------------------------------
+# EvalMod: Chebyshev/Paterson-Stockmeyer scaled sine + double-angle iterations
+# ---------------------------------------------------------------------------
+
+def _ps_eval(alg, coeffs, baby: int, cache: dict):
+    """Paterson-Stockmeyer evaluation of ``sum_k coeffs[k] * y^k`` over ``alg``.
+
+    ``cache`` holds the shared power basis (``cache["powers"]``, seeded with
+    ``{1: y}``) and giant-step powers (``cache["giants"]``), so the sine and
+    cosine polynomials of one branch pay for them once.  Falsy coefficients
+    (zeros in the tracing algebra, ``False`` in the counting patterns) are
+    skipped — the odd/even sparsity of sine/cosine halves the PMult count.
+    """
+    coeffs = list(coeffs)
+    while coeffs and not coeffs[-1]:
+        coeffs.pop()
+    if len(coeffs) <= 1:
+        raise ValueError("EvalMod polynomial must have degree >= 1")
+    powers = cache["powers"]
+
+    def power(j: int):
+        if j not in powers:
+            lo = j // 2
+            powers[j] = alg.rescale(alg.mul(power(j - lo), power(lo)))
+        return powers[j]
+
+    nblocks = -(-len(coeffs) // baby)
+    depth = (nblocks - 1).bit_length()
+    giants = cache.setdefault("giants", [])
+    if nblocks > 1:
+        if not giants:
+            giants.append(power(baby))
+        while len(giants) < depth:
+            giants.append(alg.rescale(alg.mul(giants[-1], giants[-1])))
+
+    def block(j: int):
+        cs = coeffs[j * baby:(j + 1) * baby]
+        acc = None
+        for i in range(1, len(cs)):
+            if not cs[i]:
+                continue
+            term = alg.pmult(power(i), cs[i])
+            acc = term if acc is None else alg.add(acc, term)
+        if acc is None:
+            if cs and cs[0]:
+                raise ValueError(
+                    "constant-only Paterson-Stockmeyer block; use baby_steps >= 4"
+                )
+            return None
+        if cs[0]:
+            acc = alg.padd(acc, cs[0])
+        return alg.rescale(acc)
+
+    def evaluate(j0: int, count: int, m: int):
+        if m == 0:
+            return block(j0)
+        half = 1 << (m - 1)
+        low = evaluate(j0, min(count, half), m - 1)
+        if count <= half:
+            return low
+        high = evaluate(j0 + half, count - half, m - 1)
+        if high is None:
+            return low
+        prod = alg.rescale(alg.mul(high, giants[m - 1]))
+        return prod if low is None else alg.add(low, prod)
+
+    result = evaluate(0, nblocks, depth)
+    if result is None:
+        raise ValueError("EvalMod polynomial has no non-zero terms")
+    return result
+
+
+def evalmod_structure(alg, x, branches, baby_steps: int, double_angle_iters: int):
+    """Drive the EvalMod pipeline over an abstract operation algebra.
+
+    The structure is the SHARP/ARK-era one: a single conjugation splits the
+    packed CoeffToSlot output into its real and imaginary coefficient
+    branches (``x + conj(x)`` and ``x - conj(x)``; the imaginary branch's
+    ``i`` factor is folded into that branch's polynomial coefficients), each
+    branch evaluates the scaled sine *and* cosine by Paterson-Stockmeyer
+    over a shared power basis, ``double_angle_iters`` double-angle rounds
+    (``sin 2t = 2 sin t cos t``, ``cos 2t = 2 cos^2 t - 1``) recover the
+    full angle, and the branches recombine under their folded constants.
+
+    ``branches`` is a sequence of ``(combine, sin_coeffs, cos_coeffs,
+    recombine_coeff)`` with ``combine`` one of ``"add"``/``"sub"``.  ``alg``
+    implements ``conjugate/add/sub/mul/rescale/pmult/padd/scalar``; the same
+    call sequence runs under the tracing algebra (functional bootstrap) and
+    the counting algebra (:class:`EvalModPlan`), so the cost model and the
+    traced program reconcile by construction.
+    """
+    conj = alg.conjugate(x)
+    outputs = []
+    for combine, sin_coeffs, cos_coeffs, recombine in branches:
+        y = alg.add(x, conj) if combine == "add" else alg.sub(x, conj)
+        cache = {"powers": {1: y}}
+        s = _ps_eval(alg, sin_coeffs, baby_steps, cache)
+        c = _ps_eval(alg, cos_coeffs, baby_steps, cache) if double_angle_iters else None
+        for iteration in range(double_angle_iters):
+            doubled = alg.scalar(alg.rescale(alg.mul(s, c)), 2)
+            if iteration + 1 < double_angle_iters:
+                cc = alg.rescale(alg.mul(c, c))
+                c = alg.padd(alg.scalar(cc, 2), -1)
+            s = doubled
+        outputs.append(alg.pmult(s, recombine))
+    acc = outputs[0]
+    for out in outputs[1:]:
+        acc = alg.add(acc, out)
+    return alg.rescale(acc)
+
+
+class _OperationCounter:
+    """Counting algebra for :func:`evalmod_structure`.
+
+    Handles are plain level integers; every primitive appends its Table II
+    operation at the level it would execute (binary ops at the common
+    post-alignment level, exactly the planner's waterline behaviour).
+    """
+
+    def __init__(self) -> None:
+        self.ops: List[Tuple[str, int]] = []
+
+    def _emit(self, name: str, level: int) -> int:
+        if level < 0:
+            raise ValueError("EvalMod pipeline runs out of levels")
+        self.ops.append((name, level))
+        return level
+
+    def conjugate(self, h):
+        return self._emit("Conjugate", h)
+
+    def add(self, a, b):
+        return self._emit("HAdd", min(a, b))
+
+    def sub(self, a, b):
+        return self._emit("HAdd", min(a, b))
+
+    def mul(self, a, b):
+        return self._emit("HMult", min(a, b))
+
+    def rescale(self, h):
+        return self._emit("Rescale", h) - 1
+
+    def pmult(self, h, coeff):
+        return self._emit("PMult", h)
+
+    def padd(self, h, coeff):
+        return self._emit("PAdd", h)
+
+    def scalar(self, h, k):
+        return self._emit("PMult", h)
+
+
+def _default_baby_steps(degree: int) -> int:
+    """The balanced PS baby size: ``2^ceil(log2(sqrt(degree+1)))``, >= 4.
+
+    The floor of 4 keeps every block's exponent range ``1..b-1`` covering
+    both parities, so neither the (odd) sine nor the (even) cosine ever
+    produces a constant-only block.
+    """
+    return max(4, 1 << math.ceil(math.log2(max(1, math.isqrt(degree + 1)))))
+
+
+def _parity_pattern(degree: int, odd: bool) -> Tuple[bool, ...]:
+    return tuple(k % 2 == (1 if odd else 0) for k in range(degree + 1))
+
+
+@dataclass
+class EvalModPlan:
+    """Operation schedule of the EvalMod stage (scaled-sine modular reduction).
+
+    ``sin_pattern``/``cos_pattern`` are truthiness masks over the monomial
+    coefficients (the functional pipeline passes the exact non-zero pattern
+    of its Chebyshev interpolants; the shape-only default assumes the odd/
+    even parity sparsity of sine/cosine).  Counts and the consumed level
+    depth come from replaying :func:`evalmod_structure` on a counting
+    algebra — the same code path the traced bootstrap executes.
+    """
+
+    level: int
+    sine_degree: int = 31
+    double_angle_iters: int = 2
+    baby_steps: "int | None" = None
+    sin_pattern: "Tuple[bool, ...] | None" = None
+    cos_pattern: "Tuple[bool, ...] | None" = None
+
+    def __post_init__(self) -> None:
+        if self.sine_degree < 3:
+            raise ValueError("sine_degree must be >= 3")
+        if self.double_angle_iters < 0:
+            raise ValueError("double_angle_iters must be >= 0")
+        if self.baby_steps is None:
+            self.baby_steps = _default_baby_steps(self.sine_degree)
+        if self.baby_steps < 4 or self.baby_steps & (self.baby_steps - 1):
+            raise ValueError("baby_steps must be a power of two >= 4")
+        if self.sin_pattern is None:
+            self.sin_pattern = _parity_pattern(self.sine_degree, odd=True)
+        if self.cos_pattern is None:
+            degree = self.sine_degree - (self.sine_degree % 2)
+            self.cos_pattern = _parity_pattern(degree, odd=False)
+
+    def _count(self) -> Tuple[List[Tuple[str, int]], int]:
+        counter = _OperationCounter()
+        branches = [
+            ("add", self.sin_pattern, self.cos_pattern, True),
+            ("sub", self.sin_pattern, self.cos_pattern, True),
+        ]
+        end = evalmod_structure(counter, self.level, branches,
+                                self.baby_steps, self.double_angle_iters)
+        return counter.ops, end
+
+    @property
+    def levels_consumed(self) -> int:
+        return self.level - self._count()[1]
+
+    def operations(self) -> List[HomomorphicOp]:
+        """Level-annotated operation stream, highest level first, coalesced."""
+        raw, _ = self._count()
+        ops: List[HomomorphicOp] = []
+        for name, level in sorted(raw, key=lambda item: (-item[1], item[0])):
+            if ops and ops[-1].name == name and ops[-1].level == level:
+                ops[-1] = HomomorphicOp(name, level, ops[-1].count + 1)
+            else:
+                ops.append(HomomorphicOp(name, level, 1))
+        return ops
+
+    def operation_histogram(self) -> Dict[str, int]:
+        histogram: Dict[str, int] = {}
+        for op in self.operations():
+            histogram[op.name] = histogram.get(op.name, 0) + op.count
+        return histogram
+
+
+# ---------------------------------------------------------------------------
+# The full pipeline
+# ---------------------------------------------------------------------------
 
 @dataclass
 class BootstrapPlan:
@@ -108,13 +407,27 @@ class BootstrapPlan:
     The decomposition follows the structure used by SHARP/ARK-era evaluations:
 
     * **CoeffToSlot** — ``c2s_stages`` FFT-like levels of BSGS linear
-      transforms (plus one conjugation to split real/imag parts),
-    * **EvalMod** — a degree-``sine_degree`` Chebyshev/Taylor evaluation of the
-      scaled sine, plus ``double_angle_iters`` double-angle squarings,
+      transforms,
+    * **EvalMod** — one conjugation splitting the packed coefficients into
+      real/imag branches, each evaluating a degree-``sine_degree``
+      Chebyshev/Paterson-Stockmeyer scaled sine with ``double_angle_iters``
+      double-angle squarings (:class:`EvalModPlan`),
     * **SlotToCoeff** — ``s2c_stages`` BSGS linear-transform levels.
 
     ``levels_consumed`` defaults to 15, matching the paper's Packed
-    Bootstrapping benchmark ("the level consumption of bootstrapping is 15").
+    Bootstrapping benchmark ("the level consumption of bootstrapping is 15");
+    with the default pipeline shape (3 + 9 + 3) the schedule consumes
+    exactly that.  The contract holds both ways: a shorter pipeline is
+    padded with PMult/Rescale pairs, a *longer* one raises ``ValueError``
+    from :meth:`operations` rather than silently disagreeing with
+    :attr:`end_level`.
+
+    The shape-only defaults price each staged transform at radix-many
+    diagonals; a functional :class:`~repro.fhe.ckks.bootstrap_exec.
+    PackedBootstrap` passes the exact per-stage ``active`` diagonal sets and
+    coefficient patterns (via ``c2s_diagonals``/``s2c_diagonals``/
+    ``sin_pattern``/``cos_pattern``), making the plan reconcile with the
+    traced program stage by stage.
     """
 
     ring_degree: int = 65536
@@ -125,53 +438,84 @@ class BootstrapPlan:
     sine_degree: int = 31
     double_angle_iters: int = 2
     slots: int | None = None
+    baby_steps: int | None = None
+    c2s_diagonals: "Tuple[Tuple[int, ...], ...] | None" = None
+    s2c_diagonals: "Tuple[Tuple[int, ...], ...] | None" = None
+    sin_pattern: "Tuple[bool, ...] | None" = None
+    cos_pattern: "Tuple[bool, ...] | None" = None
 
     def __post_init__(self) -> None:
         if self.slots is None:
             self.slots = self.ring_degree // 2
+        if self.c2s_diagonals is not None:
+            self.c2s_stages = len(self.c2s_diagonals)
+        if self.s2c_diagonals is not None:
+            self.s2c_stages = len(self.s2c_diagonals)
         if self.levels_consumed >= self.start_level:
             raise ValueError("bootstrapping must leave at least one level")
 
     # -- schedule -----------------------------------------------------------------
-    def operations(self) -> List[HomomorphicOp]:
-        """Expand the pipeline into a flat operation list (level-annotated)."""
-        ops: List[HomomorphicOp] = []
+    def stage_operations(self) -> List[Tuple[str, List[HomomorphicOp]]]:
+        """The pipeline as named stages, each a level-annotated op list.
+
+        Stage names: ``c2s_<i>``, ``evalmod``, ``s2c_<i>``, and (when the
+        pipeline consumes fewer levels than declared) a final ``pad`` stage.
+        Raises ``ValueError`` when the expanded schedule consumes more
+        levels than ``levels_consumed`` declares.
+        """
+        stages: List[Tuple[str, List[HomomorphicOp]]] = []
         level = self.start_level
-        # CoeffToSlot: FFT-like staged transform; each stage has radix-many
-        # diagonals (radix = slots^(1/stages)) and consumes one level.
         c2s_radix = max(2, round(self.slots ** (1.0 / self.c2s_stages)))
-        for _ in range(self.c2s_stages):
-            plan = linear_transform_plan(self.slots, level, diagonals=c2s_radix)
-            ops.extend(plan.operations())
-            level -= 1
-        ops.append(HomomorphicOp("Conjugate", level, 1))
-        # EvalMod: polynomial evaluation of the scaled sine.  A degree-d
-        # Chebyshev evaluation needs about log2(d) + sqrt(d) ciphertext
-        # multiplications (Paterson-Stockmeyer); double-angle adds squarings.
-        ps_mults = math.ceil(math.log2(self.sine_degree)) + math.isqrt(self.sine_degree)
-        evalmod_levels = math.ceil(math.log2(self.sine_degree)) + self.double_angle_iters
-        for i in range(evalmod_levels):
-            mults_here = max(1, round(ps_mults / evalmod_levels))
-            ops.append(HomomorphicOp("HMult", level, mults_here))
-            ops.append(HomomorphicOp("PMult", level, mults_here))
-            ops.append(HomomorphicOp("HAdd", level, 2 * mults_here))
-            ops.append(HomomorphicOp("Rescale", level, mults_here))
-            level -= 1
-        # SlotToCoeff: the inverse staged transform.
         s2c_radix = max(2, round(self.slots ** (1.0 / self.s2c_stages)))
-        for _ in range(self.s2c_stages):
-            plan = linear_transform_plan(self.slots, level, diagonals=s2c_radix)
-            ops.extend(plan.operations())
+        for s in range(self.c2s_stages):
+            if self.c2s_diagonals is not None:
+                plan = linear_transform_plan(
+                    self.slots, level, active_diagonals=self.c2s_diagonals[s]
+                )
+            else:
+                plan = linear_transform_plan(self.slots, level, diagonals=c2s_radix)
+            stages.append((f"c2s_{s}", plan.operations()))
+            level -= 1
+        evalmod = EvalModPlan(
+            level=level, sine_degree=self.sine_degree,
+            double_angle_iters=self.double_angle_iters,
+            baby_steps=self.baby_steps,
+            sin_pattern=self.sin_pattern, cos_pattern=self.cos_pattern,
+        )
+        stages.append(("evalmod", evalmod.operations()))
+        level -= evalmod.levels_consumed
+        for s in range(self.s2c_stages):
+            if self.s2c_diagonals is not None:
+                plan = linear_transform_plan(
+                    self.slots, level, active_diagonals=self.s2c_diagonals[s]
+                )
+            else:
+                plan = linear_transform_plan(self.slots, level, diagonals=s2c_radix)
+            stages.append((f"s2c_{s}", plan.operations()))
             level -= 1
         consumed = self.start_level - level
-        # Pad or trim to the declared level consumption with cheap ops so that
-        # the plan honours the benchmark's "levels consumed" contract.
+        if consumed > self.levels_consumed:
+            raise ValueError(
+                f"bootstrap pipeline consumes {consumed} levels but the plan "
+                f"declares levels_consumed={self.levels_consumed}; raise the "
+                f"declared consumption or shrink the pipeline"
+            )
         if consumed < self.levels_consumed:
+            pad: List[HomomorphicOp] = []
             for _ in range(self.levels_consumed - consumed):
-                ops.append(HomomorphicOp("PMult", level, 1))
-                ops.append(HomomorphicOp("Rescale", level, 1))
+                pad.append(HomomorphicOp("PMult", level, 1))
+                pad.append(HomomorphicOp("Rescale", level, 1))
                 level -= 1
-        return ops
+            stages.append(("pad", pad))
+        return stages
+
+    def operations(self) -> List[HomomorphicOp]:
+        """Expand the pipeline into a flat operation list (level-annotated).
+
+        The final operation's level provably agrees with :attr:`end_level`:
+        shortfalls are padded, overruns raise ``ValueError``.
+        """
+        return [op for _, ops in self.stage_operations() for op in ops]
 
     def operation_histogram(self) -> Dict[str, int]:
         """Total count of each operation type across the whole bootstrap."""
@@ -179,6 +523,16 @@ class BootstrapPlan:
         for op in self.operations():
             histogram[op.name] = histogram.get(op.name, 0) + op.count
         return histogram
+
+    def stage_histograms(self) -> List[Tuple[str, Dict[str, int]]]:
+        """Per-stage operation histograms (the reconciliation granularity)."""
+        result = []
+        for name, ops in self.stage_operations():
+            histogram: Dict[str, int] = {}
+            for op in ops:
+                histogram[op.name] = histogram.get(op.name, 0) + op.count
+            result.append((name, histogram))
+        return result
 
     @property
     def end_level(self) -> int:

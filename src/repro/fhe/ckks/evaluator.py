@@ -38,7 +38,11 @@ from ..backend import ArithmeticBackend, active_backend, use_backend
 from ..params import CKKSParameters
 from ..rns import RNSPolynomial, _limb_contexts
 from .ciphertext import CKKSCiphertext, CKKSPlaintext
-from .keys import CKKSKeySet, galois_element_for_rotation
+from .keys import (
+    CKKSKeySet,
+    galois_element_for_conjugation,
+    galois_element_for_rotation,
+)
 from .keyswitch import hoist_decompose, hybrid_keyswitch, keyswitch_hoisted
 
 __all__ = ["CKKSEvaluator"]
@@ -287,7 +291,10 @@ class CKKSEvaluator:
         primitive of BSGS linear transforms.
 
         Returns one ciphertext per step, in order and in ``a``'s residency
-        domain; a step of 0 returns ``a`` itself (no keyswitch).
+        domain; a step of 0 returns ``a`` itself (no keyswitch).  Repeated
+        steps (and distinct steps mapping to the same Galois element) pay
+        the per-key phase **once** — the duplicate entries share the first
+        occurrence's result.
 
         Every requested step's Galois key is resolved *before* the hoist
         phase runs, so a missing rotation key raises the same ``KeyError``
@@ -305,29 +312,36 @@ class CKKSEvaluator:
                         galois_element, level
                     )
             hoisted = hoist_decompose(a.c1, self.params, level)
+            computed: dict[int, CKKSCiphertext] = {}
             for steps in steps_list:
                 galois_element = self.galois_element_for_rotation(steps)
                 if galois_element == 1:
                     results.append(a.copy())
                     continue
-                galois_key = galois_keys[galois_element]
-                f0, f1 = keyswitch_hoisted(
-                    hoisted, galois_key, galois_element=galois_element
-                )
-                rotated_c0 = a.c0.automorphism(galois_element)
-                if eval_resident:
-                    f0 = f0.to_eval()
-                    f1 = f1.to_eval()
-                results.append(
-                    CKKSCiphertext(
+                rotated = computed.get(galois_element)
+                if rotated is None:
+                    galois_key = galois_keys[galois_element]
+                    f0, f1 = keyswitch_hoisted(
+                        hoisted, galois_key, galois_element=galois_element
+                    )
+                    rotated_c0 = a.c0.automorphism(galois_element)
+                    if eval_resident:
+                        f0 = f0.to_eval()
+                        f1 = f1.to_eval()
+                    rotated = CKKSCiphertext(
                         c0=rotated_c0 + f0, c1=f1, level=level, scale=a.scale
                     )
-                )
+                    computed[galois_element] = rotated
+                    results.append(rotated)
+                else:
+                    results.append(rotated.copy())
         return results
 
     def conjugate(self, a: CKKSCiphertext) -> CKKSCiphertext:
         """Complex conjugation of every slot (Galois element 2N - 1)."""
-        return self.apply_galois(a, 2 * self.params.ring_degree - 1)
+        return self.apply_galois(
+            a, galois_element_for_conjugation(self.params.ring_degree)
+        )
 
     def apply_galois(self, a: CKKSCiphertext, galois_element: int) -> CKKSCiphertext:
         """Apply the automorphism ``X -> X^g`` and keyswitch back to ``s``.
@@ -362,12 +376,13 @@ class CKKSEvaluator:
         """Drop RNS limbs (without scale division) until ``a`` sits at ``level``."""
         if level > a.level:
             raise ValueError("cannot mod-down to a higher level")
-        return CKKSCiphertext(
-            c0=a.c0.keep_limbs(level + 1),
-            c1=a.c1.keep_limbs(level + 1),
-            level=level,
-            scale=a.scale,
-        )
+        with self._arith():
+            return CKKSCiphertext(
+                c0=a.c0.keep_limbs(level + 1),
+                c1=a.c1.keep_limbs(level + 1),
+                level=level,
+                scale=a.scale,
+            )
 
     def align(self, a: CKKSCiphertext, b: CKKSCiphertext) -> tuple[CKKSCiphertext, CKKSCiphertext]:
         """Bring two ciphertexts to a common (minimum) level."""
@@ -382,7 +397,11 @@ class CKKSEvaluator:
         decomposition: a doubling accumulator ``S_{2^k}`` (each doubling is
         one rotation) is combined once per set bit of ``count``, so the
         total is ``floor(log2(count)) + popcount(count) - 1`` rotations.
-        Every rotation runs through the hoisted keyswitch pipeline.
+        Every rotation runs through the hoisted keyswitch pipeline, and an
+        iteration that both combines into the result *and* doubles the
+        accumulator issues its two rotations of ``acc`` through a single
+        :meth:`rotate_hoisted` call — one shared Decompose+BConv+NTT hoist
+        instead of two.
         """
         if count < 1:
             raise ValueError("count must be positive")
@@ -391,15 +410,21 @@ class CKKSEvaluator:
         acc = a           # S_{bit}: the sum of `bit` adjacent rotations
         bit = 1
         while bit <= count:
+            combine = bool(count & bit) and result is not None
+            double = (bit << 1) <= count
+            steps = []
+            if combine:
+                steps.append(processed)
+            if double:
+                steps.append(bit)
+            rotated = self.rotate_hoisted(acc, steps) if steps else []
             if count & bit:
                 if result is None:
                     result = acc
                 else:
-                    result = self.add(
-                        result, self.rotate_hoisted(acc, [processed])[0]
-                    )
+                    result = self.add(result, rotated[0])
                 processed += bit
-            if (bit << 1) <= count:
-                acc = self.add(acc, self.rotate_hoisted(acc, [bit])[0])
+            if double:
+                acc = self.add(acc, rotated[-1])
             bit <<= 1
         return result

@@ -29,6 +29,7 @@ __all__ = [
     "CKKSKeySet",
     "CKKSKeyGenerator",
     "galois_element_for_rotation",
+    "galois_element_for_conjugation",
 ]
 
 
@@ -36,6 +37,12 @@ def galois_element_for_rotation(ring_degree: int, steps: int) -> int:
     """The Galois element ``5^steps mod 2N`` implementing a slot rotation
     by ``steps`` positions (negative steps via the modular inverse)."""
     return pow(5, steps, 2 * ring_degree)
+
+
+def galois_element_for_conjugation(ring_degree: int) -> int:
+    """The Galois element ``2N - 1`` (i.e. ``X -> X^-1``) implementing
+    slot-wise complex conjugation."""
+    return 2 * ring_degree - 1
 
 
 @dataclass
@@ -151,6 +158,25 @@ class CKKSKeySet:
             if element == 1:
                 continue
             keys[step] = self.galois_key(element, level)
+        return keys
+
+    def ensure_galois_keys(
+        self, elements: Sequence[Tuple[int, int]]
+    ) -> Dict[Tuple[int, int], KeySwitchKey]:
+        """Pre-generate Galois keys for ``(galois_element, level)`` pairs.
+
+        The element-shaped sibling of :meth:`ensure_rotation_keys`: it
+        accepts exactly what :meth:`~repro.fhe.program.PlannedProgram.
+        required_galois_elements` reports for a planned program — rotations
+        *and* conjugations, per level, after dead-code elimination — so a
+        program's key material is provisioned from its plan and nothing
+        more.  Identity elements are skipped; keys cache on the key set.
+        """
+        keys: Dict[Tuple[int, int], KeySwitchKey] = {}
+        for element, level in elements:
+            if element == 1:
+                continue
+            keys[(element, level)] = self.galois_key(element, level)
         return keys
 
 

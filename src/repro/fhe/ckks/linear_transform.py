@@ -68,8 +68,12 @@ class BSGSLinearTransform:
         self.level = params.max_level if level is None else level
         #: The cost-model view of this transform — the same object the
         #: bootstrapping planner builds, so rotation accounting is shared.
+        #: Sparse transforms (the staged bootstrapping FFT factors) pass
+        #: their present diagonal set, so the plan charges only the baby/
+        #: giant rotations that survive dead-code elimination.
         self.plan: LinearTransformPlan = linear_transform_plan(
-            slots, self.level, diagonals=dimension
+            slots, self.level, diagonals=dimension,
+            active_diagonals=tuple(sorted(diagonals)),
         )
         self.last_stats: Dict[str, int] = {}
         #: Planned programs cached per input level (see :meth:`apply`).
@@ -236,8 +240,12 @@ class BSGSLinearTransform:
         the ones whose hoist the planner shares (they rotate the one traced
         source), the giant rotations each hoist their own block sum."""
         n1 = self.plan.baby_steps
+        active = self.plan.active_diagonals
+        baby_rotations = (
+            len({d % n1 for d in active} - {0}) if active is not None else n1 - 1
+        )
         rotations = plan_stats["rotations"]
-        hoisted = min(n1 - 1, rotations)
+        hoisted = min(baby_rotations, rotations)
         return {
             "hoisted_rotations": hoisted,
             "outer_rotations": rotations - hoisted,

@@ -23,8 +23,9 @@ from typing import Dict, List, Optional
 
 from ..backend import active_backend
 from ..ckks.ciphertext import CKKSCiphertext
+from ..ckks.keys import galois_element_for_conjugation
 from ..ckks.keyswitch import HoistedDigits, hoist_decompose, keyswitch_hoisted
-from ..rns import RNSPolynomial
+from ..rns import RNSPolynomial, _limb_contexts
 from .ir import HEProgram
 from .passes import PlannedProgram, plan_program
 
@@ -69,6 +70,14 @@ class ProgramExecutor:
             self._prefetch_galois_keys(program)
             values: List[Optional[CKKSCiphertext]] = [None] * len(program)
             hoists: Dict[int, HoistedDigits] = {}
+            conv_groups: Dict[int, List[int]] = {}
+            conv_ready: Dict[int, CKKSCiphertext] = {}
+            if share_hoists:
+                for node in program.nodes:
+                    if node.op in ("to_eval", "to_coeff") and "conv_group" in node.attrs:
+                        conv_groups.setdefault(
+                            node.attrs["conv_group"], []
+                        ).append(node.id)
             for node in program.nodes:
                 op = node.op
                 if op == "input":
@@ -106,10 +115,10 @@ class ProgramExecutor:
                     result = ev.mod_down_to(
                         values[node.args[0]], node.attrs["level"]
                     )
-                elif op == "to_eval":
-                    result = ev.to_eval(values[node.args[0]])
-                elif op == "to_coeff":
-                    result = ev.to_coeff(values[node.args[0]])
+                elif op in ("to_eval", "to_coeff"):
+                    result = self._convert(
+                        node, values, program, conv_groups, conv_ready
+                    )
                 elif op in ("rotate", "conjugate"):
                     result = self._galois(node, values, hoists, share_hoists)
                 elif op == "pmult_mac":
@@ -130,11 +139,71 @@ class ProgramExecutor:
             if node.op == "rotate":
                 element = ev.galois_element_for_rotation(node.attrs["steps"])
             elif node.op == "conjugate":
-                element = 2 * ev.params.ring_degree - 1
+                element = galois_element_for_conjugation(ev.params.ring_degree)
             else:
                 continue
             if element != 1:
                 ev.keys.galois_key(element, node.level)
+
+    # -- stacked domain conversions --------------------------------------------
+    def _convert(self, node, values, program, conv_groups,
+                 conv_ready) -> CKKSCiphertext:
+        """Execute a ``to_eval``/``to_coeff`` node, stacking its group.
+
+        When the planner grouped this node with siblings (same direction,
+        same level, all sources computed by now — the grouping invariant),
+        the whole group's ``(2 * members, L, N)`` store stack converts in a
+        single ``stacked_ntt``/``stacked_intt`` backend dispatch on the
+        group's first member; later members pop their pre-computed result.
+        Ungrouped nodes (and non-NTT-friendly bases) run the plain
+        per-ciphertext conversion.
+        """
+        ev = self.evaluator
+        ready = conv_ready.pop(node.id, None)
+        if ready is not None:
+            return ready
+        to_eval = node.op == "to_eval"
+        single = ev.to_eval if to_eval else ev.to_coeff
+        members = conv_groups.get(node.attrs.get("conv_group"))
+        if not members or len(members) < 2:
+            return single(values[node.args[0]])
+        target = "eval" if to_eval else "coeff"
+        sources = [
+            (member, values[program.node(member).args[0]]) for member in members
+        ]
+        pending = [(m, ct) for m, ct in sources if ct.domain != target]
+        for member, ct in sources:
+            if ct.domain == target:
+                conv_ready[member] = ct
+        if pending:
+            basis = pending[0][1].c0.basis
+            contexts = _limb_contexts(pending[0][1].ring_degree, basis)
+            if contexts is None or any(ct.c0.basis != basis for _, ct in pending):
+                for member, ct in pending:
+                    conv_ready[member] = single(ct)
+            else:
+                backend = active_backend()
+                stores = []
+                for _, ct in pending:
+                    stores.append(ct.c0.store())
+                    stores.append(ct.c1.store())
+                stacked = (
+                    backend.stacked_ntt(contexts, stores) if to_eval
+                    else backend.stacked_intt(contexts, stores)
+                )
+                n = pending[0][1].ring_degree
+                for index, (member, ct) in enumerate(pending):
+                    conv_ready[member] = CKKSCiphertext(
+                        c0=RNSPolynomial._from_store(
+                            n, basis, stacked[2 * index], domain=target
+                        ),
+                        c1=RNSPolynomial._from_store(
+                            n, basis, stacked[2 * index + 1], domain=target
+                        ),
+                        level=ct.level,
+                        scale=ct.scale,
+                    )
+        return conv_ready.pop(node.id)
 
     # -- grouped rotations ---------------------------------------------------
     def _galois(self, node, values, hoists, share_hoists) -> CKKSCiphertext:
@@ -143,7 +212,7 @@ class ProgramExecutor:
         if node.op == "rotate":
             element = ev.galois_element_for_rotation(node.attrs["steps"])
         else:
-            element = 2 * ev.params.ring_degree - 1
+            element = galois_element_for_conjugation(ev.params.ring_degree)
         if element == 1:
             return ct.copy()
         galois_key = ev.keys.galois_key(element, ct.level)

@@ -57,10 +57,11 @@ class PlannedProgram:
     """An aligned (and optionally optimized) program plus planning stats.
 
     ``stats`` keys: ``rescales_inserted``, ``mod_downs_inserted``,
-    ``conversions_inserted``, ``hoist_groups``, ``hoisted_rotations``
-    (rotations sharing a multi-member hoist), ``outer_rotations``
-    (singleton hoists), ``rotations``, ``plain_multiplies``,
-    ``batched_groups``, ``batched_pmults``.
+    ``conversions_inserted``, ``dead_nodes_removed``, ``hoist_groups``,
+    ``hoisted_rotations`` (rotations sharing a multi-member hoist),
+    ``outer_rotations`` (singleton hoists), ``rotations``,
+    ``plain_multiplies``, ``batched_groups``, ``batched_pmults``,
+    ``stacked_conversion_groups``, ``stacked_conversions``.
     """
 
     program: HEProgram
@@ -70,6 +71,49 @@ class PlannedProgram:
     @property
     def params(self):
         return self.program.params
+
+    # -- rotation-key planning ------------------------------------------------
+    def required_galois_elements(self) -> List[Tuple[int, int]]:
+        """Sorted ``(galois_element, level)`` pairs this program keyswitches.
+
+        Exactly the Galois keys the executor will fetch — after dead-code
+        elimination, so unused baby rotations of sparse BSGS transforms do
+        not demand keys.  Feed the result to
+        :meth:`~repro.fhe.ckks.keys.CKKSKeySet.ensure_galois_keys` to
+        materialize the minimal key set for this plan.
+        """
+        from ..ckks.keys import (
+            galois_element_for_conjugation,
+            galois_element_for_rotation,
+        )
+
+        ring_degree = self.params.ring_degree
+        needed = set()
+        for node in self.program.nodes:
+            if node.op == "rotate":
+                element = galois_element_for_rotation(
+                    ring_degree, node.attrs["steps"]
+                )
+            elif node.op == "conjugate":
+                element = galois_element_for_conjugation(ring_degree)
+            else:
+                continue
+            if element != 1:
+                needed.add((element, node.level))
+        return sorted(needed)
+
+    def required_rotation_steps(self) -> Dict[int, List[int]]:
+        """Per-level rotation steps (``rotate`` nodes only) after planning.
+
+        The steps-shaped view of :meth:`required_galois_elements` for
+        callers that drive :meth:`CKKSKeySet.ensure_rotation_keys` per
+        level; conjugations are not slot rotations and are excluded.
+        """
+        by_level: Dict[int, set] = {}
+        for node in self.program.nodes:
+            if node.op == "rotate":
+                by_level.setdefault(node.level, set()).add(node.attrs["steps"])
+        return {level: sorted(steps) for level, steps in sorted(by_level.items())}
 
 
 def _close(a: float, b: float) -> bool:
@@ -248,6 +292,52 @@ def _align(old: HEProgram, stats: Dict[str, int]) -> HEProgram:
 
 
 # ---------------------------------------------------------------------------
+# 1b. Dead-code elimination
+# ---------------------------------------------------------------------------
+
+def _eliminate_dead_code(old: HEProgram, stats: Dict[str, int]) -> HEProgram:
+    """Drop nodes unreachable from any program output.
+
+    Tracing convenience code frequently materializes values it then never
+    uses — the canonical case is a BSGS transform over a *sparse* stage
+    matrix, where ``trace`` creates every baby rotation but only the
+    diagonals present in the matrix consume them.  Removing the dead
+    rotations both skips their execution and shrinks the Galois-key set
+    :meth:`PlannedProgram.required_galois_elements` reports.  Named inputs
+    are always kept (they are the program signature, not computed work).
+    """
+    live = [False] * len(old)
+    stack = list(old.outputs.values())
+    while stack:
+        node_id = stack.pop()
+        if live[node_id]:
+            continue
+        live[node_id] = True
+        stack.extend(old.node(node_id).args)
+    for node_id in old.inputs.values():
+        live[node_id] = True
+    dead = sum(1 for flag in live if not flag)
+    if not dead:
+        return old
+    stats["dead_nodes_removed"] += dead
+    rb = _Rebuilder(old)
+    for node in old.nodes:
+        if not live[node.id]:
+            rb.map[node.id] = None
+            continue
+        if node.op == "input":
+            rb.map[node.id] = rb.new.add_input(
+                node.attrs["name"], node.level, node.scale
+            )
+            continue
+        rb.map[node.id] = rb.new.add_node(
+            node.op, tuple(rb.arg(a) for a in node.args), level=node.level,
+            scale=node.scale, domain=node.domain, attrs=dict(node.attrs),
+        )
+    return rb.finish()
+
+
+# ---------------------------------------------------------------------------
 # 2. Domain-residency planning
 # ---------------------------------------------------------------------------
 
@@ -409,6 +499,48 @@ def _fuse_pmult_macs(old: HEProgram, stats: Dict[str, int]) -> HEProgram:
 
 
 # ---------------------------------------------------------------------------
+# 3b. Stacked conversion batching (annotation)
+# ---------------------------------------------------------------------------
+
+def _annotate_conversion_groups(program: HEProgram, stats: Dict[str, int]) -> None:
+    """Group sibling ``to_eval``/``to_coeff`` nodes into stacked dispatches.
+
+    A group shares one ``stacked_ntt``/``stacked_intt`` backend call at
+    execution.  Members must agree on the conversion direction and the level
+    (one NTT-context stack per dispatch), and every member's *source* must
+    precede the group's first member — the executor converts the whole group
+    the moment it reaches that first member, so all inputs have to be
+    computed by then.  The greedy scan preserves those invariants by
+    construction; groups that stay singletons execute as plain conversions.
+    """
+    open_groups: Dict[tuple, List[List[int]]] = {}
+    groups: List[List[int]] = []
+    for node in program.nodes:
+        if node.op not in ("to_eval", "to_coeff"):
+            continue
+        key = (node.op, node.level)
+        placed = False
+        for group in open_groups.setdefault(key, []):
+            if node.args[0] < group[0]:
+                group.append(node.id)
+                placed = True
+                break
+        if not placed:
+            group = [node.id]
+            open_groups[key].append(group)
+            groups.append(group)
+    index = 0
+    for group in groups:
+        if len(group) < 2:
+            continue
+        for member in group:
+            program.node(member).attrs["conv_group"] = index
+        index += 1
+        stats["stacked_conversion_groups"] += 1
+        stats["stacked_conversions"] += len(group)
+
+
+# ---------------------------------------------------------------------------
 # 4. Hoist fusion (annotation)
 # ---------------------------------------------------------------------------
 
@@ -439,16 +571,22 @@ def plan_program(program: HEProgram, optimize: bool = True) -> PlannedProgram:
     ``optimize=False`` yields the *aligned* program only — the node
     sequence the eager reference executor runs, with every waterline
     rescale and mod_down explicit but no residency planning, batching, or
-    hoist sharing.  Domain/batching passes are skipped automatically on
-    non-NTT-friendly moduli (no evaluation domain exists there).
+    hoist sharing.  Dead-code elimination runs in **both** modes (a dead
+    node is not part of the computation either path should perform, and
+    both paths must agree on the Galois-key set they demand).
+    Domain/batching passes are skipped automatically on non-NTT-friendly
+    moduli (no evaluation domain exists there).
     """
     stats = {
         "rescales_inserted": 0, "mod_downs_inserted": 0,
-        "conversions_inserted": 0, "hoist_groups": 0,
+        "conversions_inserted": 0, "dead_nodes_removed": 0,
+        "hoist_groups": 0,
         "hoisted_rotations": 0, "outer_rotations": 0, "rotations": 0,
         "plain_multiplies": 0, "batched_groups": 0, "batched_pmults": 0,
+        "stacked_conversion_groups": 0, "stacked_conversions": 0,
     }
     planned = _align(program, stats)
+    planned = _eliminate_dead_code(planned, stats)
     ntt_friendly = (
         _limb_contexts(program.params.ring_degree, program.params.basis())
         is not None
@@ -456,6 +594,7 @@ def plan_program(program: HEProgram, optimize: bool = True) -> PlannedProgram:
     if optimize and ntt_friendly:
         planned = _plan_domains(planned, stats)
         planned = _fuse_pmult_macs(planned, stats)
+        _annotate_conversion_groups(planned, stats)
     _annotate_hoist_groups(planned, stats)
     stats["plain_multiplies"] = sum(
         1 if node.op == "multiply_plain" else len(node.attrs["plaintexts"])

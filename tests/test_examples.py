@@ -41,6 +41,13 @@ class TestExamples:
         assert "ResNet-20" in output
         assert "NN-100" in output
 
+    def test_bootstrap_demo(self):
+        output = run_example("bootstrap_demo.py")
+        assert "Functional packed bootstrapping" in output
+        assert "refreshed:" in output and "max slot error" in output
+        assert "[ok]" in output and "MISMATCH" not in output
+        assert "Trinity estimate:" in output
+
     def test_design_space_exploration(self):
         output = run_example("design_space_exploration.py")
         assert "Cluster count" in output

@@ -522,6 +522,150 @@ class TestRotateHoistedKeyValidation:
 
 
 # ---------------------------------------------------------------------------
+# Dead-code elimination + rotation-key planning
+# ---------------------------------------------------------------------------
+
+class TestDeadCodeElimination:
+    PARAMS = CKKSParameters.toy()
+
+    def _dead_rotation_program(self):
+        t = HETrace(self.PARAMS)
+        x = t.input("x")
+        x.rotate(3)                              # traced, never consumed
+        x.rotate(7).conjugate()                  # a dead chain
+        t.output("y", x.rotate(1) + x.rotate(2))
+        return t.program
+
+    def test_dead_nodes_removed_in_both_modes(self):
+        program = self._dead_rotation_program()
+        for optimize in (True, False):
+            planned = plan_program(program, optimize=optimize)
+            assert planned.stats["dead_nodes_removed"] == 3
+            ops = [n.op for n in planned.program.nodes if n.op == "rotate"]
+            assert len(ops) == 2
+            assert not any(
+                n.op == "conjugate" for n in planned.program.nodes
+            )
+
+    def test_unused_inputs_are_kept(self):
+        t = HETrace(self.PARAMS)
+        x = t.input("x")
+        t.input("unused")
+        t.output("y", x.rotate(1))
+        planned = plan_program(t.program)
+        assert set(planned.program.inputs) == {"x", "unused"}
+
+    def test_required_galois_elements_shrink_with_dce(self):
+        program = self._dead_rotation_program()
+        planned = plan_program(program)
+        ring = self.PARAMS.ring_degree
+        level = self.PARAMS.max_level
+        expected = sorted(
+            (pow(5, s, 2 * ring), level) for s in (1, 2)
+        )
+        assert planned.required_galois_elements() == expected
+        assert planned.required_rotation_steps() == {level: [1, 2]}
+
+    def test_minimal_key_set_executes(self):
+        """ensure_galois_keys over the plan's requirement set is sufficient:
+        a frozen key set holding exactly those keys runs the program (the
+        dead rotations would otherwise demand keys at prefetch time)."""
+        program = self._dead_rotation_program()
+        planned = plan_program(program)
+        keys = _keyed(self.PARAMS)
+        generated = keys.ensure_galois_keys(planned.required_galois_elements())
+        assert len(generated) == 2
+        frozen = CKKSKeySet(
+            params=self.PARAMS, secret=keys.secret, public=keys.public,
+            _galois_keys=dict(keys._galois_keys),
+        )
+        evaluator = CKKSEvaluator(self.PARAMS, frozen, backend=PYTHON)
+        with use_backend(PYTHON):
+            out = ProgramExecutor(evaluator).run(planned, {
+                "x": _random_ct(self.PARAMS, 300),
+                "unused": _random_ct(self.PARAMS, 301),
+            })
+        assert out["y"].level == self.PARAMS.max_level
+
+    def test_conjugate_requirement_reported(self):
+        t = HETrace(self.PARAMS)
+        x = t.input("x")
+        t.output("y", x.conjugate())
+        planned = plan_program(t.program)
+        assert planned.required_galois_elements() == [
+            (2 * self.PARAMS.ring_degree - 1, self.PARAMS.max_level)
+        ]
+        assert planned.required_rotation_steps() == {}
+
+
+# ---------------------------------------------------------------------------
+# Stacked conversion batching
+# ---------------------------------------------------------------------------
+
+class TestStackedConversionBatching:
+    PARAMS = CKKSParameters.toy()
+
+    def test_sibling_conversions_grouped(self):
+        """Two coefficient inputs feeding one multiply convert in a single
+        stacked dispatch; the planner annotates them as one group."""
+        t = HETrace(self.PARAMS)
+        a, b = t.input("a"), t.input("b")
+        t.output("y", a * b)
+        planned = plan_program(t.program)
+        assert planned.stats["stacked_conversion_groups"] == 1
+        assert planned.stats["stacked_conversions"] == 2
+        groups = [
+            n.attrs.get("conv_group") for n in planned.program.nodes
+            if n.op == "to_eval"
+        ]
+        assert groups == [0, 0]
+
+    def test_grouped_execution_is_bit_exact(self):
+        pts = [_random_pt(self.PARAMS, 310 + i) for i in range(2)]
+        t = HETrace(self.PARAMS)
+        a, b, c = t.input("a"), t.input("b"), t.input("c")
+        t.output("y", (a * b) + (c * pts[0]) * pts[1])
+        planned = plan_program(t.program)
+        assert planned.stats["stacked_conversion_groups"] >= 1
+        keys = _keyed(self.PARAMS)
+        for backend in BACKENDS:
+            evaluator = CKKSEvaluator(self.PARAMS, keys, backend=backend)
+            executor = ProgramExecutor(evaluator)
+            with use_backend(backend):
+                inputs = {
+                    "a": _random_ct(self.PARAMS, 320),
+                    "b": _random_ct(self.PARAMS, 321),
+                    "c": _random_ct(self.PARAMS, 322),
+                }
+                planned_out = executor.run(planned, inputs)["y"]
+                eager_out = executor.run_eager(t.program, inputs)["y"]
+                assert _rows(planned_out) == _rows(eager_out), backend.name
+
+    def test_group_members_only_share_ready_sources(self):
+        """A conversion whose source is computed *after* an earlier group
+        opened must start its own group (the stacking invariant)."""
+        pt = _random_pt(self.PARAMS, 330)
+        t = HETrace(self.PARAMS)
+        a, b = t.input("a"), t.input("b")
+        first = a * b                            # converts a and b (group 0)
+        second = first.rescale() * (a * pt)      # a*pt is eval already
+        t.output("y", second)
+        planned = plan_program(t.program)
+        program = planned.program
+        for node in program.nodes:
+            if node.op != "to_eval" or "conv_group" not in node.attrs:
+                continue
+            group_members = [
+                n for n in program.nodes
+                if n.op == "to_eval"
+                and n.attrs.get("conv_group") == node.attrs["conv_group"]
+            ]
+            first_member = min(n.id for n in group_members)
+            for member in group_members:
+                assert member.args[0] < first_member
+
+
+# ---------------------------------------------------------------------------
 # Plaintext evaluation-domain encoding cache
 # ---------------------------------------------------------------------------
 
