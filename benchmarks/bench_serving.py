@@ -1,0 +1,302 @@
+"""Benchmark: batched serving throughput vs sequential eager execution.
+
+PR 6 added the multi-tenant serving layer (``repro.serve``); this benchmark
+gates what request batching buys over serving the same traffic one request
+at a time:
+
+* ``serving_batched_vs_sequential`` — C same-shape encrypted-inference
+  requests (dim x dim BSGS dense layer).  Sequential: each request alone
+  through the eager call sequence (one hoist per rotation, per-ciphertext
+  conversions).  Batched: all C through the scheduler as one joint planned
+  program — one stacked input-conversion dispatch, shared hoists, stacked
+  PMult/HAdd groups — plus the plan/key caches at steady state.  Reports
+  p50/p99 request latency, queries/sec, and batching efficiency; results
+  are asserted **bit-exact** against the sequential reference.
+* ``serving_multi_tenant_traffic`` — informational: the seeded load
+  generator replaying mixed traffic from three tenants (two sharing a key
+  set, so their requests co-batch) with a slice of malformed requests, via
+  the pass-summary report.
+
+Acceptance (``--check``, on by default, word-size config at L = 8,
+N = 2^12, C = 8): batched throughput >= 1.3x sequential.  ``--min-speedup
+F`` replaces the threshold (the CI perf-smoke job uses 1.0: batching must
+never lose).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--quick] [--json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List
+
+import conftest
+
+from repro.fhe.backend import available_backends, set_active_backend
+from repro.fhe.ckks import BSGSLinearTransform, CKKSContext
+from repro.fhe.params import CKKSParameters
+from repro.fhe.program import HETrace, ProgramExecutor, plan_program
+from repro.serve import (
+    InferenceRequest,
+    InferenceServer,
+    LoadGenerator,
+    percentile,
+    serialize_ciphertext,
+)
+
+BENCH_NAME = "serving"
+
+REQUIRED_SPEEDUPS = {
+    "serving_batched_vs_sequential": 1.3,
+}
+
+GATED_BITS = 30
+
+
+def _best_of(func, repeats: int):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def build_context(degree: int, level: int, bits: int) -> CKKSContext:
+    params = CKKSParameters(
+        ring_degree=degree, max_level=level, dnum=3, scale_bits=bits - 4,
+        modulus_bits=bits, special_modulus_bits=bits + 2, security_bits=0,
+        name=f"ckks-serving-bench-{bits}",
+    )
+    return CKKSContext(params, seed=31, error_stddev=0.0,
+                       secret_hamming_weight=64)
+
+
+def _assert_bit_exact(evaluator, a, b, label: str) -> None:
+    ca, cb = evaluator.to_coeff(a), evaluator.to_coeff(b)
+    if (
+        ca.c0.coefficient_rows() != cb.c0.coefficient_rows()
+        or ca.c1.coefficient_rows() != cb.c1.coefficient_rows()
+    ):
+        raise AssertionError(f"{label}: batched result is not bit-exact vs sequential")
+
+
+def _dense_transform(context, dim: int) -> BSGSLinearTransform:
+    weights = [
+        [((3 * i + 5 * j) % 13 - 6) / 8.0 for j in range(dim)]
+        for i in range(dim)
+    ]
+    transform = BSGSLinearTransform.from_matrix(context.encoder, weights)
+    transform.generate_rotation_keys(context.keys)
+    return transform
+
+
+def _encrypt_inputs(context, count: int):
+    params = context.params
+    cts = []
+    for r in range(count):
+        values = [((7 * i + 3 * r) % 23 - 11) / 8.0 for i in range(params.slots)]
+        cts.append(context.encrypt_vector(values))
+    return cts
+
+
+def run_batched_vs_sequential(degree: int, level: int, bits: int, dim: int,
+                              batch: int, repeats: int) -> Dict[str, object]:
+    context = build_context(degree, level, bits)
+    params = context.params
+    evaluator = context.evaluator
+    transform = _dense_transform(context, dim)
+
+    server = InferenceServer(params, backend="numpy", max_batch_size=batch,
+                             batch_window=0.001)
+    server.register_tenant("t0", context.keys)
+    server.register_program("dense", transform.trace)
+
+    cts = _encrypt_inputs(context, batch)
+    requests = [InferenceRequest.single("t0", "dense", ct) for ct in cts]
+
+    # The sequential reference: each request alone, eager call sequence.
+    trace = HETrace(params)
+    trace.output("y", transform.trace(trace.input("x")))
+    aligned = plan_program(trace.program, optimize=False)
+    executor = ProgramExecutor(evaluator)
+
+    def sequential():
+        return [executor.run_eager(aligned, {"x": ct})["y"] for ct in cts]
+
+    latencies: List[float] = []
+
+    def batched():
+        responses = server.serve(requests)
+        latencies.extend(r.latency_seconds for r in responses)
+        return [r.ciphertexts[0] for r in responses]
+
+    sequential()       # warm twiddle/key/plaintext-encoding caches
+    batched()          # ... and the plan/key caches (serving steady state)
+    sequential_time, sequential_results = _best_of(sequential, repeats)
+    batched_time, batched_results = _best_of(batched, repeats)
+    for i, (a, b) in enumerate(zip(batched_results, sequential_results)):
+        _assert_bit_exact(evaluator, a, b, f"request {i}")
+
+    stats = server.stats()
+    return {
+        "kernel": "serving_batched_vs_sequential",
+        "ring_degree": degree,
+        "limbs": level + 1,
+        "modulus_bits": bits,
+        "dimension": dim,
+        "batch_size": batch,
+        "sequential_seconds": sequential_time,
+        "batched_seconds": batched_time,
+        "speedup": sequential_time / batched_time if batched_time > 0 else float("inf"),
+        "qps_sequential": batch / sequential_time,
+        "qps": batch / batched_time,
+        "latency_p50_ms": percentile(latencies, 50) * 1e3,
+        "latency_p99_ms": percentile(latencies, 99) * 1e3,
+        "batching_efficiency": stats["batching_efficiency"],
+        "plan_cache": stats["plan_cache"],
+        "key_cache": stats["key_cache"],
+        "wire_bytes_per_ciphertext": len(serialize_ciphertext(cts[0])),
+    }
+
+
+def run_multi_tenant_traffic(degree: int, level: int, bits: int, dim: int,
+                             batch: int, passes: int,
+                             requests_per_pass: int) -> Dict[str, object]:
+    context = build_context(degree, level, bits)
+    params = context.params
+    transform = _dense_transform(context, dim)
+
+    server = InferenceServer(params, backend="numpy", max_batch_size=batch,
+                             batch_window=0.001)
+    # Two tenants share one key set (their compatible requests co-batch);
+    # the third holds a frozen key set that never provisioned rotation
+    # keys, so its requests exercise the typed-rejection path under load.
+    from repro.fhe.ckks import CKKSKeyGenerator
+
+    unprovisioned = CKKSKeyGenerator(params, seed=5, error_stddev=0.0,
+                                     secret_hamming_weight=64).generate()
+    server.register_tenant("org-a/u0", context.keys)
+    server.register_tenant("org-a/u1", context.keys)
+    server.register_tenant("org-b/u0", unprovisioned.frozen())
+    server.register_program("dense", transform.trace)
+
+    pool = _encrypt_inputs(context, 4)
+
+    def input_factory(tenant_id, rng):
+        return pool[rng.randrange(len(pool))]
+
+    generator = LoadGenerator(
+        server, tenants=["org-a/u0", "org-a/u1", "org-a/u0", "org-b/u0"],
+        programs=["dense"], input_factory=input_factory, seed=7,
+        requests_per_pass=requests_per_pass)
+    report = generator.run(passes=passes)
+    for summary in report.passes:
+        print(summary.line())
+    aggregate = report.aggregate()
+    stats = server.stats()
+    return {
+        "kernel": "serving_multi_tenant_traffic",
+        "ring_degree": degree,
+        "limbs": level + 1,
+        "modulus_bits": bits,
+        "dimension": dim,
+        "batch_size": batch,
+        "aggregate": aggregate,
+        "qps": aggregate["qps"],
+        "latency_p50_ms": aggregate.get("latency_p50_ms"),
+        "latency_p99_ms": aggregate.get("latency_p99_ms"),
+        "batching_efficiency": stats["batching_efficiency"],
+        "rejections": stats["rejections"],
+    }
+
+
+def print_table(records: List[Dict[str, object]]) -> None:
+    header = (
+        f"{'kernel':<32} {'N':>6} {'L':>3} {'C':>3} "
+        f"{'qps':>9} {'p50':>9} {'p99':>9} {'eff':>6}"
+    )
+    print()
+    print(header)
+    print("-" * len(header))
+    for rec in records:
+        p50 = rec.get("latency_p50_ms") or 0.0
+        p99 = rec.get("latency_p99_ms") or 0.0
+        print(
+            f"{rec['kernel']:<32} {rec['ring_degree']:>6} {rec['limbs'] - 1:>3} "
+            f"{rec['batch_size']:>3} {rec['qps']:>9.1f} {p50:>7.2f}ms "
+            f"{p99:>7.2f}ms {rec['batching_efficiency']:>5.2f}x"
+        )
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small ring and fewer repeats (CI smoke pass)")
+    parser.add_argument("--no-check", dest="check", action="store_false",
+                        help="skip the speedup acceptance assertions")
+    parser.add_argument("--min-speedup", type=float, default=None, metavar="F",
+                        help="replace every threshold with F "
+                             "(CI uses 1.0: batching must not be slower)")
+    conftest.add_json_argument(parser, BENCH_NAME)
+    args = parser.parse_args(argv)
+
+    if "numpy" not in available_backends():
+        print("numpy is not installed; benchmark needs the vectorized backend.")
+        return 0
+    set_active_backend("numpy")
+
+    if args.quick:
+        degree, repeats, dim, batch = 1 << 10, 1, 32, 4
+        passes, requests_per_pass = 2, 8
+    else:
+        degree, repeats, dim, batch = 1 << 12, 3, 64, 8
+        passes, requests_per_pass = 3, 16
+    level = 8          # L = 8: the acceptance configuration
+
+    records = [
+        run_batched_vs_sequential(degree, level, GATED_BITS, dim, batch, repeats),
+        run_multi_tenant_traffic(degree, level, GATED_BITS, dim, batch,
+                                 passes, requests_per_pass),
+    ]
+    print_table(records)
+
+    if args.json:
+        path = conftest.write_bench_json(
+            args.json, BENCH_NAME, records,
+            extra={"quick": args.quick, "gated_modulus_bits": GATED_BITS,
+                   "gated_batch_size": batch},
+        )
+        print(f"\nwrote {path}")
+
+    print()
+    failures = []
+    for rec in records:
+        if rec["kernel"] not in REQUIRED_SPEEDUPS:
+            continue
+        if args.min_speedup is not None:
+            required = args.min_speedup
+        elif not args.quick:
+            required = REQUIRED_SPEEDUPS[rec["kernel"]]
+        else:
+            continue
+        status = "ok" if rec["speedup"] >= required else "FAILED"
+        print(
+            f"{rec['kernel']} (C={rec['batch_size']}): {rec['speedup']:.1f}x "
+            f"(required >= {required:.1f}x) {status}"
+        )
+        if rec["speedup"] < required:
+            failures.append(rec["kernel"])
+    if args.check and failures:
+        print(f"FAILED: below threshold: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

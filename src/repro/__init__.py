@@ -8,8 +8,13 @@ The package is organised in five layers (bottom-up):
 * :mod:`repro.baselines` — comparator accelerator / CPU / GPU models,
 * :mod:`repro.workloads` + :mod:`repro.analysis` — the benchmark suite and the
   experiment harness that regenerates every table and figure of the paper.
+
+On top of the FHE substrate, :mod:`repro.serve` adds a multi-tenant
+encrypted-inference serving layer (request batching through the program
+planner, plan/key caches, wire serialization, synthetic traffic).
 """
 
 __version__ = "1.0.0"
 
-__all__ = ["fhe", "kernels", "core", "baselines", "workloads", "analysis", "__version__"]
+__all__ = ["fhe", "kernels", "core", "baselines", "workloads", "analysis",
+           "serve", "__version__"]

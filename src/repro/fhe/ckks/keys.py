@@ -160,6 +160,36 @@ class CKKSKeySet:
             keys[step] = self.galois_key(element, level)
         return keys
 
+    def has_relin_key(self, level: int) -> bool:
+        """Whether :meth:`relinearization_key` would succeed (cached key or
+        a live generator that can make one)."""
+        return level in self._relin_keys or self._generator is not None
+
+    def has_galois_key(self, galois_element: int, level: int) -> bool:
+        """Whether :meth:`galois_key` would succeed.  Identity elements need
+        no key."""
+        if galois_element == 1:
+            return True
+        return (galois_element, level) in self._galois_keys or self._generator is not None
+
+    def frozen(self) -> "CKKSKeySet":
+        """A generator-less copy holding only the currently cached evaluation
+        keys.
+
+        Requests for anything not already materialized raise ``KeyError``
+        instead of silently minting new key material — the provisioning model
+        of a serving tenant, whose evaluation keys are uploaded once.  The
+        copy shares the underlying key objects but not the cache dicts, so
+        later generation on ``self`` does not grow the frozen view.
+        """
+        return CKKSKeySet(
+            params=self.params,
+            secret=self.secret,
+            public=self.public,
+            _relin_keys=dict(self._relin_keys),
+            _galois_keys=dict(self._galois_keys),
+        )
+
     def ensure_galois_keys(
         self, elements: Sequence[Tuple[int, int]]
     ) -> Dict[Tuple[int, int], KeySwitchKey]:

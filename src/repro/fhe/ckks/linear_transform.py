@@ -49,7 +49,8 @@ class BSGSLinearTransform:
 
     def __init__(self, encoder, diagonals: Dict[int, Sequence[complex]],
                  dimension: int, level: "int | None" = None,
-                 scale: "float | None" = None):
+                 scale: "float | None" = None,
+                 plan_cache_capacity: int = 16):
         params = encoder.params
         slots = params.slots
         if dimension < 1 or dimension & (dimension - 1):
@@ -76,8 +77,14 @@ class BSGSLinearTransform:
             active_diagonals=tuple(sorted(diagonals)),
         )
         self.last_stats: Dict[str, int] = {}
-        #: Planned programs cached per input level (see :meth:`apply`).
-        self._programs: Dict[int, object] = {}
+        #: Planned programs cached per input level (see :meth:`apply`),
+        #: LRU-bounded so a transform applied across many levels (the
+        #: bootstrapping FFT factors, or a long-lived serving process) holds
+        #: at most ``plan_cache_capacity`` plans.  ``_programs.stats()``
+        #: exposes hit/miss/eviction counters.
+        from ..program.cache import LRUCache
+
+        self._programs = LRUCache(plan_cache_capacity)
         n1 = self.plan.baby_steps
         n2 = self.plan.giant_steps
         repeat = slots // dimension
@@ -161,16 +168,15 @@ class BSGSLinearTransform:
 
     def _planned_program(self, level: int):
         """The traced+planned program for an input at ``level`` (cached)."""
-        planned = self._programs.get(level)
-        if planned is None:
+        def build():
             from ..program import HETrace, plan_program
 
             trace = HETrace(self.params)
             x = trace.input("x", level=level)
             trace.output("y", self.trace(x))
-            planned = plan_program(trace.program)
-            self._programs[level] = planned
-        return planned
+            return plan_program(trace.program)
+
+        return self._programs.get_or_create(level, build)
 
     # -- evaluation -------------------------------------------------------------
     def apply(self, evaluator, ciphertext: CKKSCiphertext) -> CKKSCiphertext:

@@ -26,6 +26,7 @@ reference executor: ``ProgramExecutor.run_eager`` runs the same program as
 a plain call sequence, and the planned path is gated bit-exact against it.
 """
 
+from .cache import LRUCache
 from .ir import HENode, HEProgram
 from .tracer import HEHandle, HETrace
 from .passes import PlannedProgram, plan_program
@@ -39,6 +40,7 @@ from .lowering import (
 )
 
 __all__ = [
+    "LRUCache",
     "HENode",
     "HEProgram",
     "HEHandle",

@@ -1,0 +1,108 @@
+"""Bounded LRU cache with hit/miss/eviction counters.
+
+This generalizes the unbounded per-level plan dict that
+:class:`~repro.fhe.ckks.linear_transform.BSGSLinearTransform` grew in PR 4:
+planned :class:`HEProgram` objects, materialized key-switch keys, and encoded
+plaintexts are all expensive to build and cheap to key, so a serving process
+wants them cached — but bounded, because a multi-tenant server hosting many
+program shapes at many levels would otherwise grow without limit.
+
+The cache is a plain insertion-ordered dict (guaranteed since Python 3.7)
+with move-to-end on access; no external dependencies, so it is importable on
+the no-numpy configuration.  Counters are exposed through :meth:`stats` in
+the shape the serving layer reports to operators.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Iterator, Optional
+
+__all__ = ["LRUCache"]
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A capacity-bounded mapping that evicts the least-recently-used entry.
+
+    ``get``/``get_or_create`` count hits and misses and refresh recency;
+    ``put`` inserts (or updates and refreshes) and evicts the oldest entry
+    once ``capacity`` is exceeded.  ``__contains__`` and iteration are
+    passive: they neither count nor promote.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_data")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: Dict[Hashable, Any] = {}
+
+    # -- core mapping operations --------------------------------------------
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (promoting it to most-recent) or ``default``."""
+        value = self._data.pop(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self._data[key] = value  # re-insert at the most-recent end
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> Optional[Hashable]:
+        """Insert or update ``key``; return the evicted key, if any."""
+        self._data.pop(key, None)
+        self._data[key] = value
+        if len(self._data) > self.capacity:
+            oldest = next(iter(self._data))
+            del self._data[oldest]
+            self.evictions += 1
+            return oldest
+        return None
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """Return the cached value, building and inserting it on a miss."""
+        value = self._data.pop(key, _MISSING)
+        if value is not _MISSING:
+            self._data[key] = value
+            self.hits += 1
+            return value
+        self.misses += 1
+        value = factory()
+        self.put(key, value)
+        return value
+
+    # -- passive introspection ----------------------------------------------
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> Iterator[Hashable]:
+        """Keys from least- to most-recently used."""
+        return iter(self._data)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._data.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        lookups = self.hits + self.misses
+        return {
+            "size": len(self._data),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LRUCache(size={len(self._data)}, capacity={self.capacity}, "
+                f"hits={self.hits}, misses={self.misses}, "
+                f"evictions={self.evictions})")

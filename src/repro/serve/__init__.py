@@ -1,0 +1,102 @@
+"""Multi-tenant encrypted-inference serving layer.
+
+The paper's accelerator exists to serve homomorphic workloads at scale; this
+package is the software front-end of that story — the layer that turns many
+independent tenant requests into the big stacked ``(2, C, L, N)`` dispatches
+the batched kernels and the Trinity cost model are built around:
+
+* :mod:`~repro.serve.scheduler` — asyncio request admission, compatibility
+  grouping, joint-program execution with graceful unbatched fallback;
+* :mod:`~repro.serve.cache` — bounded LRU caches for planned programs and
+  materialized evaluation keys, with hit/miss/eviction stats;
+* :mod:`~repro.serve.serialization` — compact versioned wire format for RNS
+  polynomials, ciphertexts, and keys, strictly validated on load;
+* :mod:`~repro.serve.traffic` — seeded synthetic multi-tenant load and the
+  p50/p99/qps/batching-efficiency report;
+* :mod:`~repro.serve.errors` — the typed rejection/failure hierarchy.
+
+Everything here is importable without numpy; only the contents of the
+ciphertexts flowing through demand a specific backend.
+"""
+
+from .cache import KeyCache, LRUCache, PlanCache
+from .errors import (
+    CorruptPayloadError,
+    ExecutionError,
+    LevelMismatchError,
+    MissingKeyError,
+    OversizeBatchError,
+    ParameterMismatchError,
+    RequestRejected,
+    ScaleMismatchError,
+    SerializationError,
+    ServeError,
+    UnknownProgramError,
+    UnknownTenantError,
+    UnsupportedVersionError,
+)
+from .scheduler import (
+    HostedProgram,
+    InferenceRequest,
+    InferenceResponse,
+    InferenceServer,
+)
+from .serialization import (
+    deserialize,
+    deserialize_ciphertext,
+    deserialize_keyswitch_key,
+    deserialize_public_key,
+    deserialize_rns_polynomial,
+    deserialize_secret_key,
+    serialize,
+    serialize_ciphertext,
+    serialize_keyswitch_key,
+    serialize_public_key,
+    serialize_rns_polynomial,
+    serialize_secret_key,
+)
+from .traffic import LoadGenerator, PassSummary, TrafficReport, percentile
+
+__all__ = [
+    # scheduler
+    "InferenceServer",
+    "InferenceRequest",
+    "InferenceResponse",
+    "HostedProgram",
+    # caches
+    "LRUCache",
+    "PlanCache",
+    "KeyCache",
+    # serialization
+    "serialize",
+    "deserialize",
+    "serialize_rns_polynomial",
+    "deserialize_rns_polynomial",
+    "serialize_ciphertext",
+    "deserialize_ciphertext",
+    "serialize_keyswitch_key",
+    "deserialize_keyswitch_key",
+    "serialize_public_key",
+    "deserialize_public_key",
+    "serialize_secret_key",
+    "deserialize_secret_key",
+    # traffic
+    "LoadGenerator",
+    "TrafficReport",
+    "PassSummary",
+    "percentile",
+    # errors
+    "ServeError",
+    "SerializationError",
+    "UnsupportedVersionError",
+    "CorruptPayloadError",
+    "RequestRejected",
+    "UnknownTenantError",
+    "UnknownProgramError",
+    "ParameterMismatchError",
+    "LevelMismatchError",
+    "ScaleMismatchError",
+    "OversizeBatchError",
+    "MissingKeyError",
+    "ExecutionError",
+]

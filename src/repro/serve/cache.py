@@ -1,0 +1,80 @@
+"""Serving-side caches: planned programs and materialized evaluation keys.
+
+Both are thin policy wrappers over the generic bounded
+:class:`~repro.fhe.program.cache.LRUCache`:
+
+* :class:`PlanCache` keys planned :class:`HEProgram` objects by whatever the
+  scheduler considers "same shape" — ``(program name, level, scale, batch
+  width)`` — and counts *planner calls* separately from cache misses so the
+  test suite can assert that a hit really skips re-planning.
+* :class:`KeyCache` keeps recently used key-switch keys (galois/relin) hot
+  per ``(tenant, element, level)``.  Key material is generated lazily by
+  :class:`CKKSKeySet`; the cache bounds how many materialized keys the
+  serving process keeps strong references to and reports hit rates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable
+
+from ..fhe.program import plan_program
+from ..fhe.program.cache import LRUCache
+
+__all__ = ["LRUCache", "PlanCache", "KeyCache"]
+
+
+class PlanCache:
+    """LRU cache of planned programs with an explicit planner-call counter."""
+
+    def __init__(self, capacity: int = 32):
+        self._lru = LRUCache(capacity)
+        self.planner_calls = 0
+
+    def get(self, key: Hashable, build_program: Callable[[], Any]):
+        """Return the planned program for ``key``.
+
+        On a miss, ``build_program()`` must return a traced (unplanned)
+        :class:`HEProgram`; it is run through :func:`plan_program` exactly
+        once and the planned result is cached.
+        """
+        planned = self._lru.get(key)
+        if planned is None:
+            self.planner_calls += 1
+            planned = plan_program(build_program())
+            self._lru.put(key, planned)
+        return planned
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        stats = self._lru.stats()
+        stats["planner_calls"] = self.planner_calls
+        return stats
+
+
+class KeyCache:
+    """LRU cache of materialized key-switch keys keyed by (tenant, kind, level)."""
+
+    def __init__(self, capacity: int = 512):
+        self._lru = LRUCache(capacity)
+
+    def get(self, key: Hashable, factory: Callable[[], Any]):
+        """Return the cached key, materializing via ``factory()`` on a miss.
+
+        ``factory`` may raise :class:`KeyError` (frozen key set without the
+        requested key); the error propagates and nothing is cached.
+        """
+        return self._lru.get_or_create(key, factory)
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        return self._lru.stats()

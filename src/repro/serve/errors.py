@@ -1,0 +1,122 @@
+"""Typed error hierarchy of the serving layer.
+
+Every failure mode a client can trigger has its own exception type, so
+callers (and the fault-injection tests) can tell a malformed payload from a
+mis-provisioned tenant from a transient execution failure without string
+matching.  The hierarchy:
+
+* :class:`ServeError` — root of everything the serving layer raises.
+
+  * :class:`SerializationError` — malformed wire payloads; refined into
+    :class:`UnsupportedVersionError` (readable header, unknown format
+    version) and :class:`CorruptPayloadError` (checksum mismatch — covers
+    truncation and bit flips past the header).
+  * :class:`RequestRejected` — a request refused *before* any homomorphic
+    work starts.  The scheduler validates at submit time and keeps serving
+    subsequent requests; each subclass names one rejection reason.
+  * :class:`ExecutionError` — a request that passed validation but failed
+    during homomorphic execution (after the unbatched-fallback retry).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = [
+    "ServeError",
+    "SerializationError",
+    "UnsupportedVersionError",
+    "CorruptPayloadError",
+    "RequestRejected",
+    "UnknownTenantError",
+    "UnknownProgramError",
+    "ParameterMismatchError",
+    "LevelMismatchError",
+    "ScaleMismatchError",
+    "OversizeBatchError",
+    "MissingKeyError",
+    "ExecutionError",
+]
+
+
+class ServeError(Exception):
+    """Base class of every serving-layer error."""
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+class SerializationError(ServeError):
+    """A wire payload that cannot be decoded into a well-formed value."""
+
+
+class UnsupportedVersionError(SerializationError):
+    """The payload declares a format version this build does not speak."""
+
+
+class CorruptPayloadError(SerializationError):
+    """The payload checksum does not match (truncation or corruption)."""
+
+
+# ---------------------------------------------------------------------------
+# Request validation
+# ---------------------------------------------------------------------------
+
+class RequestRejected(ServeError):
+    """A request the scheduler refused at validation time.
+
+    Rejections are per-request: the scheduler's queues and every other
+    in-flight request are unaffected.
+    """
+
+
+class UnknownTenantError(RequestRejected):
+    """The request names a tenant that was never registered."""
+
+
+class UnknownProgramError(RequestRejected):
+    """The request names a hosted program that was never registered."""
+
+
+class ParameterMismatchError(RequestRejected):
+    """The ciphertext was produced under different CKKS parameters
+    (ring degree or modulus chain) than the server hosts."""
+
+
+class LevelMismatchError(RequestRejected):
+    """The ciphertext level does not match the hosted program's input level."""
+
+
+class ScaleMismatchError(RequestRejected):
+    """The ciphertext scale is incompatible with the hosted program."""
+
+
+class OversizeBatchError(RequestRejected):
+    """The request carries more ciphertexts than the scheduler's batch bound."""
+
+
+class MissingKeyError(RequestRejected):
+    """The tenant's key set lacks evaluation keys the program needs.
+
+    ``missing`` lists ``("galois", element, level)`` /
+    ``("relin", level)`` tuples — exactly the keys that would have to be
+    provisioned for the request to be servable.
+    """
+
+    def __init__(self, message: str, missing: "List[Tuple] | None" = None):
+        super().__init__(message)
+        self.missing = list(missing or [])
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+class ExecutionError(ServeError):
+    """Homomorphic execution of a validated request failed.
+
+    Raised only after the scheduler's graceful degradation (re-running the
+    request unbatched) also failed; the original exception is chained as
+    ``__cause__``.
+    """

@@ -1,0 +1,429 @@
+"""Asyncio multi-tenant scheduler for encrypted-inference requests.
+
+A :class:`InferenceServer` hosts a set of *programs* (traced computation
+shapes, e.g. a BSGS dense layer) and a set of *tenants* (key sets).  Clients
+``submit`` requests carrying ciphertexts; the scheduler groups compatible
+requests — same key set, program, level, and scale — into one *joint*
+program with ``C`` inputs ``x0..x{C-1}`` and ``C`` outputs, planned once per
+``(program, level, scale, C)`` and executed through the optimizing planner.
+The planner's stacked-conversion pass then merges the per-request NTT/INTT
+conversions into single ``(2*C, L, N)`` ``stacked_ntt`` dispatches and each
+request's plaintext MACs into ``(C, L, N)`` ``stacked_pmult_mac`` dispatches,
+while the hoisting pass shares one decomposition per rotated input — the
+batched dispatch shapes the Trinity cost model was built around.
+
+Batching changes nothing numerically: every planner pass is an exact
+transformation, so a batched request decrypts bit-exact to the same request
+run alone through the eager path (the differential test in
+``tests/test_serve.py`` pins this).
+
+Robustness model:
+
+* validation happens at submit time and raises typed
+  :class:`~repro.serve.errors.RequestRejected` subclasses; a rejected
+  request never enters a batch and the scheduler keeps serving.
+* missing evaluation keys are detected against the *plan* (via
+  ``required_galois_elements``) before execution, so frozen tenant key sets
+  fail fast with :class:`MissingKeyError`.
+* if a joint batch fails mid-execution, the scheduler degrades gracefully:
+  each member request is retried unbatched, and only requests that still
+  fail see an :class:`ExecutionError`.
+
+Execution is synchronous inside the event loop (one worker); asyncio is used
+for request admission, batch windows, and completion futures, not for
+parallel number crunching.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..fhe.ckks.ciphertext import CKKSCiphertext
+from ..fhe.ckks.evaluator import CKKSEvaluator
+from ..fhe.ckks.keys import CKKSKeySet
+from ..fhe.params import CKKSParameters
+from ..fhe.program import HETrace, ProgramExecutor
+from .cache import KeyCache, PlanCache
+from .errors import (
+    ExecutionError,
+    LevelMismatchError,
+    MissingKeyError,
+    OversizeBatchError,
+    ParameterMismatchError,
+    RequestRejected,
+    ScaleMismatchError,
+    UnknownProgramError,
+    UnknownTenantError,
+)
+
+__all__ = [
+    "HostedProgram",
+    "InferenceRequest",
+    "InferenceResponse",
+    "InferenceServer",
+]
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class HostedProgram:
+    """One computation shape the server offers.
+
+    ``trace_fn`` maps an input :class:`HEHandle` to the output handle; it is
+    re-invoked per joint batch width, so it must be side-effect free.
+    ``level`` is the required input level; ``scale`` the required input scale
+    (``None`` accepts any scale).
+    """
+
+    name: str
+    trace_fn: Callable
+    level: int
+    scale: Optional[float] = None
+
+
+@dataclass
+class _Tenant:
+    tenant_id: str
+    keys: CKKSKeySet
+    evaluator: CKKSEvaluator
+
+
+@dataclass
+class InferenceRequest:
+    """A client request: one or more ciphertexts for one hosted program."""
+
+    tenant_id: str
+    program: str
+    ciphertexts: List[CKKSCiphertext]
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    @classmethod
+    def single(cls, tenant_id: str, program: str,
+               ciphertext: CKKSCiphertext) -> "InferenceRequest":
+        return cls(tenant_id=tenant_id, program=program,
+                   ciphertexts=[ciphertext])
+
+
+@dataclass
+class InferenceResponse:
+    """Result of a served request (one output ciphertext per input)."""
+
+    request_id: int
+    tenant_id: str
+    program: str
+    ciphertexts: List[CKKSCiphertext]
+    batch_size: int
+    batched: bool
+    latency_seconds: float
+
+
+class _Pending:
+    """Aggregates a request's per-ciphertext slots back into one response."""
+
+    __slots__ = ("request", "future", "results", "remaining", "start",
+                 "batch_size", "batched")
+
+    def __init__(self, request: InferenceRequest, future: asyncio.Future):
+        self.request = request
+        self.future = future
+        self.results: List[Optional[CKKSCiphertext]] = [None] * len(request.ciphertexts)
+        self.remaining = len(request.ciphertexts)
+        self.start = time.perf_counter()
+        self.batch_size = 0
+        self.batched = False
+
+
+class InferenceServer:
+    """Multi-tenant batching front-end over the planned-program executor."""
+
+    def __init__(self, params: CKKSParameters, *, max_batch_size: int = 8,
+                 batch_window: float = 0.002, plan_cache_capacity: int = 32,
+                 key_cache_capacity: int = 512, backend=None):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self.params = params
+        self.max_batch_size = int(max_batch_size)
+        self.batch_window = float(batch_window)
+        self.backend = backend
+        self.plan_cache = PlanCache(plan_cache_capacity)
+        self.key_cache = KeyCache(key_cache_capacity)
+        self._programs: Dict[str, HostedProgram] = {}
+        self._tenants: Dict[str, _Tenant] = {}
+        self._evaluators: Dict[int, CKKSEvaluator] = {}  # id(keys) -> evaluator
+        # bucket key: (id(keys), program, level, scale)
+        self._buckets: Dict[Tuple, List[Tuple[_Pending, int, CKKSCiphertext]]] = {}
+        self._timers: Dict[Tuple, asyncio.Task] = {}
+        self._counters: Dict[str, int] = {
+            "submitted": 0, "served": 0, "rejected": 0,
+            "batches": 0, "batched_requests": 0, "unbatched_fallbacks": 0,
+        }
+        self._rejections: Dict[str, int] = {}
+        self._batch_sizes: Dict[int, int] = {}
+
+    # -- registration --------------------------------------------------------
+    def register_program(self, name: str, trace_fn: Callable, *,
+                         level: Optional[int] = None,
+                         scale: Optional[float] = None) -> HostedProgram:
+        if name in self._programs:
+            raise ValueError(f"program {name!r} already registered")
+        level = self.params.max_level if level is None else int(level)
+        if not 0 <= level <= self.params.max_level:
+            raise ValueError(f"level {level} out of range")
+        program = HostedProgram(name=name, trace_fn=trace_fn, level=level,
+                                scale=None if scale is None else float(scale))
+        self._programs[name] = program
+        return program
+
+    def register_tenant(self, tenant_id: str, keys: CKKSKeySet,
+                        evaluator: Optional[CKKSEvaluator] = None) -> None:
+        """Register a tenant by key set.
+
+        Tenants sharing one ``CKKSKeySet`` object share an evaluator — and
+        therefore a batch bucket, so their compatible requests batch
+        together.  Distinct key sets never mix in one batch.
+        """
+        if tenant_id in self._tenants:
+            raise ValueError(f"tenant {tenant_id!r} already registered")
+        if keys.params != self.params:
+            raise ValueError("tenant key set was generated under different "
+                             "parameters than this server hosts")
+        shared = self._evaluators.get(id(keys))
+        if shared is None:
+            shared = evaluator or CKKSEvaluator(self.params, keys,
+                                                backend=self.backend)
+            self._evaluators[id(keys)] = shared
+        self._tenants[tenant_id] = _Tenant(tenant_id, keys, shared)
+
+    # -- validation ----------------------------------------------------------
+    def _validate(self, request: InferenceRequest) -> Tuple[_Tenant, HostedProgram]:
+        tenant = self._tenants.get(request.tenant_id)
+        if tenant is None:
+            raise UnknownTenantError(f"unknown tenant {request.tenant_id!r}")
+        program = self._programs.get(request.program)
+        if program is None:
+            raise UnknownProgramError(f"unknown program {request.program!r}")
+        count = len(request.ciphertexts)
+        if count < 1:
+            raise RequestRejected("request carries no ciphertexts")
+        if count > self.max_batch_size:
+            raise OversizeBatchError(
+                f"request carries {count} ciphertexts, scheduler batch bound "
+                f"is {self.max_batch_size}")
+        params = self.params
+        for ct in request.ciphertexts:
+            if not isinstance(ct, CKKSCiphertext):
+                raise ParameterMismatchError(
+                    f"expected CKKSCiphertext, got {type(ct).__name__}")
+            if ct.c0.ring_degree != params.ring_degree:
+                raise ParameterMismatchError(
+                    f"ciphertext ring degree {ct.c0.ring_degree} != server "
+                    f"ring degree {params.ring_degree}")
+            if tuple(ct.c0.basis.moduli) != params.moduli[:ct.level + 1]:
+                raise ParameterMismatchError(
+                    "ciphertext modulus chain does not match the server's "
+                    "parameters")
+            if ct.level != program.level:
+                raise LevelMismatchError(
+                    f"program {program.name!r} expects level {program.level}, "
+                    f"request is at level {ct.level}")
+            if program.scale is not None:
+                ratio = ct.scale / program.scale
+                if not 0.99 < ratio < 1.01:
+                    raise ScaleMismatchError(
+                        f"program {program.name!r} expects scale "
+                        f"{program.scale:g}, request has {ct.scale:g}")
+        self._check_keys(tenant, program, request.ciphertexts[0])
+        return tenant, program
+
+    def _check_keys(self, tenant: _Tenant, program: HostedProgram,
+                    ct: CKKSCiphertext) -> None:
+        """Reject requests whose plan needs keys the tenant cannot supply."""
+        planned = self._planned(program, ct.level, ct.scale, 1)
+        missing: List[Tuple] = []
+        for element, level in planned.required_galois_elements():
+            if not tenant.keys.has_galois_key(element, level):
+                missing.append(("galois", element, level))
+        for level in sorted({node.level for node in planned.program.nodes
+                             if node.op == "multiply"}):
+            if not tenant.keys.has_relin_key(level):
+                missing.append(("relin", level))
+        if missing:
+            raise MissingKeyError(
+                f"tenant {tenant.tenant_id!r} lacks evaluation keys for "
+                f"program {program.name!r}: {missing}", missing=missing)
+
+    # -- planning and keys ---------------------------------------------------
+    def _planned(self, program: HostedProgram, level: int, scale: float,
+                 width: int):
+        """The joint ``width``-input planned program, from the plan cache."""
+        def build():
+            trace = HETrace(self.params)
+            # Declare every input before any body: the planner's stacked-
+            # conversion pass only groups conversions whose sources precede
+            # the group's first member, so front-loading the inputs lets all
+            # C input conversions run as one stacked NTT dispatch.
+            handles = [trace.input(f"x{i}", level=level, scale=scale)
+                       for i in range(width)]
+            for i, handle in enumerate(handles):
+                trace.output(f"y{i}", program.trace_fn(handle))
+            return trace.program
+
+        return self.plan_cache.get((program.name, level, scale, width), build)
+
+    def _provision_keys(self, tenant: _Tenant, planned) -> None:
+        """Materialize the plan's galois keys through the bounded key cache."""
+        keys = tenant.keys
+        for element, level in planned.required_galois_elements():
+            self.key_cache.get(
+                (id(keys), element, level),
+                lambda element=element, level=level: keys.galois_key(element, level),
+            )
+
+    # -- submission ----------------------------------------------------------
+    async def submit(self, request: InferenceRequest) -> InferenceResponse:
+        """Validate, enqueue, and await the batched result."""
+        self._counters["submitted"] += 1
+        try:
+            tenant, program = self._validate(request)
+        except RequestRejected as exc:
+            self._counters["rejected"] += 1
+            name = type(exc).__name__
+            self._rejections[name] = self._rejections.get(name, 0) + 1
+            raise
+        loop = asyncio.get_running_loop()
+        pending = _Pending(request, loop.create_future())
+        for index, ct in enumerate(request.ciphertexts):
+            key = (id(tenant.keys), program.name, ct.level, ct.scale)
+            bucket = self._buckets.setdefault(key, [])
+            bucket.append((pending, index, ct))
+            if len(bucket) >= self.max_batch_size:
+                self._flush(key)
+            else:
+                self._arm_timer(key)
+        return await pending.future
+
+    def serve(self, requests: Sequence[InferenceRequest],
+              return_exceptions: bool = False) -> List:
+        """Synchronous convenience: submit all requests concurrently.
+
+        Returns responses in request order; with ``return_exceptions`` the
+        slots of rejected/failed requests hold the typed exception instead.
+        Must not be called from inside a running event loop.
+        """
+        async def _run():
+            return await asyncio.gather(
+                *(self.submit(request) for request in requests),
+                return_exceptions=return_exceptions,
+            )
+
+        return asyncio.run(_run())
+
+    def drain(self) -> None:
+        """Flush every pending batch bucket immediately."""
+        for key in list(self._buckets):
+            self._flush(key)
+
+    # -- batching machinery --------------------------------------------------
+    def _arm_timer(self, key: Tuple) -> None:
+        timer = self._timers.get(key)
+        if timer is not None and not timer.done():
+            return
+
+        async def fire():
+            try:
+                await asyncio.sleep(self.batch_window)
+            except asyncio.CancelledError:
+                return
+            self._flush(key)
+
+        self._timers[key] = asyncio.get_running_loop().create_task(fire())
+
+    def _cancel_timer(self, key: Tuple) -> None:
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _flush(self, key: Tuple) -> None:
+        self._cancel_timer(key)
+        entries = self._buckets.pop(key, [])
+        while entries:
+            chunk, entries = entries[:self.max_batch_size], entries[self.max_batch_size:]
+            self._execute(key, chunk, batched=len(chunk) > 1)
+
+    def _execute(self, key: Tuple, entries, batched: bool) -> None:
+        keys_id, program_name, level, scale = key
+        program = self._programs[program_name]
+        evaluator = self._evaluators[keys_id]
+        width = len(entries)
+        try:
+            # Any entry's tenant works: one bucket == one key set.
+            tenant = self._tenants[entries[0][0].request.tenant_id]
+            planned = self._planned(program, level, scale, width)
+            self._provision_keys(tenant, planned)
+            executor = ProgramExecutor(evaluator)
+            inputs = {f"x{i}": ct for i, (_, _, ct) in enumerate(entries)}
+            outputs = executor.run(planned, inputs)
+        except Exception as exc:
+            if width == 1:
+                self._fail(entries[0][0], exc)
+                return
+            # Graceful degradation: retry each member unbatched; only the
+            # requests that still fail see an error.
+            self._counters["unbatched_fallbacks"] += 1
+            for entry in entries:
+                self._execute(key, [entry], batched=False)
+            return
+        self._counters["batches"] += 1
+        self._counters["batched_requests"] += width
+        self._batch_sizes[width] = self._batch_sizes.get(width, 0) + 1
+        for i, (pending, index, _) in enumerate(entries):
+            self._resolve(pending, index, outputs[f"y{i}"], width, batched)
+
+    def _resolve(self, pending: _Pending, index: int, ct: CKKSCiphertext,
+                 width: int, batched: bool) -> None:
+        if pending.future.done():
+            return
+        pending.results[index] = ct
+        pending.batch_size = max(pending.batch_size, width)
+        pending.batched = pending.batched or batched
+        pending.remaining -= 1
+        if pending.remaining == 0:
+            request = pending.request
+            self._counters["served"] += 1
+            pending.future.set_result(InferenceResponse(
+                request_id=request.request_id,
+                tenant_id=request.tenant_id,
+                program=request.program,
+                ciphertexts=list(pending.results),
+                batch_size=pending.batch_size,
+                batched=pending.batched,
+                latency_seconds=time.perf_counter() - pending.start,
+            ))
+
+    def _fail(self, pending: _Pending, exc: Exception) -> None:
+        if pending.future.done():
+            return
+        if not isinstance(exc, (RequestRejected, ExecutionError)):
+            exc = ExecutionError(
+                f"execution of request {pending.request.request_id} failed: "
+                f"{exc}")
+        pending.future.set_exception(exc)
+
+    # -- stats ---------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Operator-facing counters, cache stats, and batching efficiency."""
+        batches = self._counters["batches"]
+        batched_requests = self._counters["batched_requests"]
+        return {
+            **self._counters,
+            "rejections": dict(self._rejections),
+            "batch_size_histogram": dict(sorted(self._batch_sizes.items())),
+            "batching_efficiency": (batched_requests / batches) if batches else 0.0,
+            "plan_cache": self.plan_cache.stats(),
+            "key_cache": self.key_cache.stats(),
+        }

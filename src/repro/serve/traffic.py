@@ -1,0 +1,163 @@
+"""Seeded synthetic multi-tenant traffic and its serving report.
+
+The load generator replays deterministic traffic against an
+:class:`~repro.serve.scheduler.InferenceServer` in *passes* (the SimCash
+experiment-harness idiom: per-pass summaries plus an aggregate report), and
+the report carries exactly what an operator tunes against — p50/p99 latency,
+queries/sec, rejection breakdown, and batching efficiency.
+
+The generator is transport-agnostic about inputs: callers supply an
+``input_factory(tenant_id, rng)`` returning a fresh ciphertext (or a
+deliberately malformed one, for fault-injection passes), so the same
+generator drives the numpy-backed benchmark and the dependency-free tests.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .errors import RequestRejected, ServeError
+from .scheduler import InferenceRequest, InferenceResponse, InferenceServer
+
+__all__ = ["percentile", "PassSummary", "TrafficReport", "LoadGenerator"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of a non-empty sequence."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile {q} out of range")
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without float error
+    return ordered[int(rank) - 1]
+
+
+@dataclass
+class PassSummary:
+    """One traffic pass: counts, wall time, latency percentiles."""
+
+    pass_index: int
+    requests: int
+    served: int
+    rejected: int
+    wall_seconds: float
+    qps: float
+    latency_p50_ms: float
+    latency_p99_ms: float
+    mean_batch_size: float
+    rejection_types: Dict[str, int] = field(default_factory=dict)
+
+    def line(self) -> str:
+        """One formatted report row (the per-pass summary table idiom)."""
+        return (f"pass {self.pass_index}: {self.requests:3d} requests  "
+                f"{self.served:3d} served  {self.rejected:2d} rejected  "
+                f"{self.qps:8.1f} qps  p50 {self.latency_p50_ms:7.2f} ms  "
+                f"p99 {self.latency_p99_ms:7.2f} ms  "
+                f"mean batch {self.mean_batch_size:.2f}")
+
+
+@dataclass
+class TrafficReport:
+    """All passes plus pooled aggregates."""
+
+    passes: List[PassSummary] = field(default_factory=list)
+    _latencies: List[float] = field(default_factory=list, repr=False)
+
+    def aggregate(self) -> Dict[str, Any]:
+        requests = sum(p.requests for p in self.passes)
+        served = sum(p.served for p in self.passes)
+        rejected = sum(p.rejected for p in self.passes)
+        wall = sum(p.wall_seconds for p in self.passes)
+        rejections: Dict[str, int] = {}
+        for p in self.passes:
+            for name, count in p.rejection_types.items():
+                rejections[name] = rejections.get(name, 0) + count
+        out = {
+            "passes": len(self.passes),
+            "requests": requests,
+            "served": served,
+            "rejected": rejected,
+            "wall_seconds": wall,
+            "qps": (served / wall) if wall > 0 else 0.0,
+            "rejection_types": rejections,
+        }
+        if self._latencies:
+            out["latency_p50_ms"] = percentile(self._latencies, 50) * 1e3
+            out["latency_p99_ms"] = percentile(self._latencies, 99) * 1e3
+        return out
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "passes": [vars(p) for p in self.passes],
+            "aggregate": self.aggregate(),
+        }
+
+
+class LoadGenerator:
+    """Replays seeded multi-tenant traffic through a server, pass by pass."""
+
+    def __init__(self, server: InferenceServer, tenants: Sequence[str],
+                 programs: Sequence[str],
+                 input_factory: Callable[[str, random.Random], Any],
+                 *, seed: int = 0, requests_per_pass: int = 16):
+        if not tenants or not programs:
+            raise ValueError("need at least one tenant and one program")
+        self.server = server
+        self.tenants = list(tenants)
+        self.programs = list(programs)
+        self.input_factory = input_factory
+        self.rng = random.Random(seed)
+        self.requests_per_pass = int(requests_per_pass)
+        self.report = TrafficReport()
+
+    def _make_requests(self) -> List[InferenceRequest]:
+        requests = []
+        for _ in range(self.requests_per_pass):
+            tenant = self.rng.choice(self.tenants)
+            program = self.rng.choice(self.programs)
+            ciphertext = self.input_factory(tenant, self.rng)
+            requests.append(InferenceRequest.single(tenant, program, ciphertext))
+        return requests
+
+    def run_pass(self) -> PassSummary:
+        """Issue one pass of concurrent requests and summarize it."""
+        requests = self._make_requests()
+        start = time.perf_counter()
+        results = self.server.serve(requests, return_exceptions=True)
+        wall = time.perf_counter() - start
+        responses = [r for r in results if isinstance(r, InferenceResponse)]
+        failures = [r for r in results if isinstance(r, BaseException)]
+        for failure in failures:
+            if not isinstance(failure, ServeError):  # pragma: no cover
+                raise failure
+        latencies = [r.latency_seconds for r in responses]
+        self.report._latencies.extend(latencies)
+        rejection_types: Dict[str, int] = {}
+        for failure in failures:
+            if isinstance(failure, RequestRejected):
+                name = type(failure).__name__
+                rejection_types[name] = rejection_types.get(name, 0) + 1
+        summary = PassSummary(
+            pass_index=len(self.report.passes),
+            requests=len(requests),
+            served=len(responses),
+            rejected=sum(rejection_types.values()),
+            wall_seconds=wall,
+            qps=(len(responses) / wall) if wall > 0 else 0.0,
+            latency_p50_ms=(percentile(latencies, 50) * 1e3) if latencies else 0.0,
+            latency_p99_ms=(percentile(latencies, 99) * 1e3) if latencies else 0.0,
+            mean_batch_size=(sum(r.batch_size for r in responses) / len(responses))
+            if responses else 0.0,
+            rejection_types=rejection_types,
+        )
+        self.report.passes.append(summary)
+        return summary
+
+    def run(self, passes: int = 1) -> TrafficReport:
+        for _ in range(passes):
+            self.run_pass()
+        return self.report

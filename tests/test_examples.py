@@ -48,6 +48,15 @@ class TestExamples:
         assert "[ok]" in output and "MISMATCH" not in output
         assert "Trinity estimate:" in output
 
+    def test_serving_demo(self):
+        output = run_example("serving_demo.py")
+        assert "multi-tenant encrypted-inference serving" in output
+        assert "p99" in output
+        assert "batching efficiency" in output
+        assert "rejected with MissingKeyError" in output
+        assert "serialization round-trip: ok" in output
+        assert "[ok]" in output and "MISMATCH" not in output
+
     def test_design_space_exploration(self):
         output = run_example("design_space_exploration.py")
         assert "Cluster count" in output

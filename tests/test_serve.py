@@ -1,0 +1,795 @@
+"""Suite for the ``repro.serve`` serving layer.
+
+* **Differential**: ``test_batched_equals_sequential`` — N concurrent
+  requests through the batching scheduler decrypt bit-exact to the same
+  requests run one-by-one through the eager executor, on both backends and
+  across parameter shapes.
+* **Serialization**: property-style round-trips (ciphertexts in both
+  domains, keyswitch/public/secret keys) across every params.py combo, both
+  backends, and the uint32 narrow-store mode; truncated / corrupted /
+  wrong-version / wrong-kind payloads raise typed errors.
+* **Caches**: LRU eviction order, capacity enforcement, hit/miss/eviction
+  counters, and the regression that a plan-cache hit skips re-planning
+  (planner-call counter), including ``BSGSLinearTransform``'s migrated
+  per-level cache.
+* **Fault injection**: unknown tenants/programs, mismatched levels/scales/
+  parameters, oversize batches, and missing evaluation keys are rejected
+  with typed errors — and the scheduler keeps serving the healthy requests
+  in the same pass.
+
+Only the encoder-based tests need numpy; scheduler, serialization, cache,
+and fault-injection tests run on the pure-python backend and are part of
+the no-numpy CI leg.
+"""
+
+import random
+
+import pytest
+
+from repro.fhe.backend import PythonBackend, available_backends, use_backend
+from repro.fhe.ckks.ciphertext import CKKSCiphertext, CKKSPlaintext
+from repro.fhe.ckks.evaluator import CKKSEvaluator
+from repro.fhe.ckks.keys import (
+    CKKSKeyGenerator,
+    CKKSKeySet,
+    galois_element_for_rotation,
+)
+from repro.fhe.params import CKKSParameters
+from repro.fhe.polynomial import Polynomial
+from repro.fhe.program import HETrace, LRUCache, ProgramExecutor
+from repro.fhe.rns import RNSPolynomial
+from repro.serve import (
+    CorruptPayloadError,
+    ExecutionError,
+    InferenceRequest,
+    InferenceServer,
+    LevelMismatchError,
+    MissingKeyError,
+    OversizeBatchError,
+    ParameterMismatchError,
+    PlanCache,
+    ScaleMismatchError,
+    SerializationError,
+    UnknownProgramError,
+    UnknownTenantError,
+    UnsupportedVersionError,
+    deserialize,
+    deserialize_ciphertext,
+    deserialize_keyswitch_key,
+    deserialize_public_key,
+    deserialize_rns_polynomial,
+    deserialize_secret_key,
+    percentile,
+    serialize,
+    serialize_ciphertext,
+    serialize_keyswitch_key,
+    serialize_public_key,
+    serialize_rns_polynomial,
+    serialize_secret_key,
+)
+from repro.serve import serialization as wire
+
+numpy_missing = "numpy" not in available_backends()
+needs_numpy = pytest.mark.skipif(numpy_missing, reason="numpy backend unavailable")
+
+PYTHON = PythonBackend()
+
+if not numpy_missing:
+    from repro.fhe.backend import NumpyBackend
+
+    PACKED = NumpyBackend(min_vector_length=0, min_ntt_length=0)
+    PACKED_U32 = NumpyBackend(min_vector_length=0, min_ntt_length=0,
+                              store_uint32=True)
+    BACKENDS = [PYTHON, PACKED, PACKED_U32]
+else:  # pragma: no cover - exercised only on numpy-less installs
+    PACKED = PACKED_U32 = None
+    BACKENDS = [PYTHON]
+
+BACKEND_IDS = [b.name if i < 2 else "numpy-u32" for i, b in enumerate(BACKENDS)]
+
+PARAM_SETS = [
+    CKKSParameters.toy(),
+    CKKSParameters.toy(ring_degree=128, max_level=4, dnum=2),
+    CKKSParameters.small(ring_degree=256),
+    CKKSParameters(
+        ring_degree=64, max_level=3, dnum=2, scale_bits=24, modulus_bits=28,
+        special_modulus_bits=30, security_bits=0, name="ckks-u32",
+    ),
+]
+PARAM_IDS = [
+    f"{p.name}-N{p.ring_degree}-L{p.max_level}-{p.modulus_bits}bit"
+    for p in PARAM_SETS
+]
+
+TOY = CKKSParameters.toy()
+
+
+# ---------------------------------------------------------------------------
+# Helpers (the test_program.py idiom)
+# ---------------------------------------------------------------------------
+
+def _random_poly(params, seed, level=None):
+    degree = params.ring_degree
+    basis = params.basis(params.max_level if level is None else level)
+    rng = random.Random(seed ^ 0x53EB7E)
+    limbs = [
+        Polynomial._from_reduced(degree, q, [rng.randrange(q) for _ in range(degree)])
+        for q in basis
+    ]
+    return RNSPolynomial(degree, basis, limbs)
+
+
+def _random_ct(params, seed, level=None, scale=None):
+    level = params.max_level if level is None else level
+    return CKKSCiphertext(
+        c0=_random_poly(params, seed, level),
+        c1=_random_poly(params, seed + 1, level),
+        level=level,
+        scale=float(params.scale) if scale is None else float(scale),
+    )
+
+
+def _random_pt(params, seed, level=None, scale=None):
+    level = params.max_level if level is None else level
+    return CKKSPlaintext(
+        poly=_random_poly(params, seed, level),
+        level=level,
+        scale=float(params.scale) if scale is None else float(scale),
+    )
+
+
+def _keyed(params, seed=11):
+    return CKKSKeyGenerator(params, seed=seed, error_stddev=0.0).generate()
+
+
+def _rows(ct):
+    c0 = ct.c0.to_coeff()
+    c1 = ct.c1.to_coeff()
+    return (
+        tuple(map(tuple, c0.coefficient_rows())),
+        tuple(map(tuple, c1.coefficient_rows())),
+    )
+
+
+def _poly_rows(poly):
+    return tuple(map(tuple, poly.to_coeff().coefficient_rows()))
+
+
+def _decrypt_rows(keys, ct):
+    """c0 + c1*s over the ciphertext basis — the decrypted plaintext rows."""
+    s = keys.secret.as_rns(ct.c0.ring_degree, ct.c0.basis)
+    return _poly_rows(ct.c0.to_coeff() + ct.c1.to_coeff() * s)
+
+
+def _dense_tracer(pts):
+    """A BSGS-flavoured shape: rotations, conjugation, plaintext MACs."""
+    def tracer(x):
+        acc = x.rotate(1) * pts[0] + x.rotate(2) * pts[1] + x * pts[2]
+        return acc + x.conjugate() * pts[3]
+    return tracer
+
+
+def _dense_server(params, backend, seed=11, **kwargs):
+    kwargs.setdefault("batch_window", 0.001)
+    server = InferenceServer(params, backend=backend, **kwargs)
+    keys = _keyed(params, seed)
+    server.register_tenant("t0", keys)
+    pts = [_random_pt(params, 400 + j) for j in range(4)]
+    tracer = _dense_tracer(pts)
+    server.register_program("dense", tracer)
+    return server, keys, tracer
+
+
+def _eager_outputs(params, keys, backend, tracer, cts):
+    """The sequential reference: each request alone, eager call sequence."""
+    evaluator = CKKSEvaluator(params, keys, backend=backend)
+    outputs = []
+    for ct in cts:
+        trace = HETrace(params)
+        x = trace.input("x", level=ct.level, scale=ct.scale)
+        trace.output("y", tracer(x))
+        outputs.append(
+            ProgramExecutor(evaluator).run_eager(trace.program, {"x": ct})["y"]
+        )
+    return outputs
+
+
+# ---------------------------------------------------------------------------
+# Differential: batched == sequential
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+@pytest.mark.parametrize("params", PARAM_SETS[:2] + PARAM_SETS[3:], ids=[
+    PARAM_IDS[0], PARAM_IDS[1], PARAM_IDS[3]])
+def test_batched_equals_sequential(params, backend):
+    server, keys, tracer = _dense_server(params, backend)
+    cts = [_random_ct(params, 7 * i) for i in range(5)]
+    requests = [InferenceRequest.single("t0", "dense", ct) for ct in cts]
+    responses = server.serve(requests)
+    references = _eager_outputs(params, keys, backend, tracer, cts)
+    for response, reference in zip(responses, references):
+        assert len(response.ciphertexts) == 1
+        assert response.batched and response.batch_size == 5
+        assert _rows(response.ciphertexts[0]) == _rows(reference)
+        assert _decrypt_rows(keys, response.ciphertexts[0]) == \
+            _decrypt_rows(keys, reference)
+    stats = server.stats()
+    assert stats["served"] == 5 and stats["rejected"] == 0
+    assert stats["batches"] == 1 and stats["batched_requests"] == 5
+    # The joint plan actually batches: one stacked conversion group spans
+    # all five requests' input conversions.
+    planned = server.plan_cache.get(("dense", params.max_level,
+                                     float(params.scale), 5), None)
+    assert planned.stats["stacked_conversion_groups"] >= 1
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+def test_multiply_program_batched_equals_sequential(backend):
+    """A relin-bearing shape (x*x) batches bit-exact too."""
+    params = TOY
+    server = InferenceServer(params, backend=backend, batch_window=0.001)
+    keys = _keyed(params)
+    server.register_tenant("t0", keys)
+    tracer = lambda x: (x * x).rescale()  # noqa: E731
+    server.register_program("square", tracer)
+    cts = [_random_ct(params, 91 * (i + 1)) for i in range(4)]
+    responses = server.serve(
+        [InferenceRequest.single("t0", "square", ct) for ct in cts])
+    references = _eager_outputs(params, keys, backend, tracer, cts)
+    for response, reference in zip(responses, references):
+        assert _rows(response.ciphertexts[0]) == _rows(reference)
+
+
+def test_max_batch_size_chunks_oversized_buckets():
+    server, keys, tracer = _dense_server(TOY, PYTHON, max_batch_size=2)
+    cts = [_random_ct(TOY, 13 * i) for i in range(5)]
+    responses = server.serve(
+        [InferenceRequest.single("t0", "dense", ct) for ct in cts])
+    references = _eager_outputs(TOY, keys, PYTHON, tracer, cts)
+    for response, reference in zip(responses, references):
+        assert _rows(response.ciphertexts[0]) == _rows(reference)
+    assert server.stats()["batch_size_histogram"] == {1: 1, 2: 2}
+
+
+def test_multi_ciphertext_request_and_tenant_key_sharing():
+    """Tenants sharing one key set batch together; multi-ct requests fan
+    their ciphertexts into the same bucket and reassemble in order."""
+    server, keys, tracer = _dense_server(TOY, PYTHON)
+    server.register_tenant("t1", keys)       # same key set object: may batch
+    cts = [_random_ct(TOY, 17 * i) for i in range(4)]
+    requests = [
+        InferenceRequest(tenant_id="t0", program="dense",
+                         ciphertexts=[cts[0], cts[1]]),
+        InferenceRequest.single("t1", "dense", cts[2]),
+        InferenceRequest.single("t0", "dense", cts[3]),
+    ]
+    responses = server.serve(requests)
+    references = _eager_outputs(TOY, keys, PYTHON, tracer, cts)
+    assert [_rows(c) for c in responses[0].ciphertexts] == \
+        [_rows(references[0]), _rows(references[1])]
+    assert _rows(responses[1].ciphertexts[0]) == _rows(references[2])
+    assert _rows(responses[2].ciphertexts[0]) == _rows(references[3])
+    stats = server.stats()
+    assert stats["batches"] == 1 and stats["batched_requests"] == 4
+
+
+def test_distinct_key_sets_never_batch_together():
+    params = TOY
+    server = InferenceServer(params, backend=PYTHON, batch_window=0.001)
+    keys_a, keys_b = _keyed(params, 11), _keyed(params, 12)
+    server.register_tenant("a", keys_a)
+    server.register_tenant("b", keys_b)
+    pts = [_random_pt(params, 400 + j) for j in range(4)]
+    server.register_program("dense", _dense_tracer(pts))
+    requests = [
+        InferenceRequest.single("a", "dense", _random_ct(params, 1)),
+        InferenceRequest.single("b", "dense", _random_ct(params, 2)),
+        InferenceRequest.single("a", "dense", _random_ct(params, 3)),
+    ]
+    responses = server.serve(requests)
+    assert [r.batch_size for r in responses] == [2, 1, 2]
+    assert server.stats()["batch_size_histogram"] == {1: 1, 2: 1}
+
+
+def test_batch_failure_degrades_to_unbatched(monkeypatch):
+    server, keys, tracer = _dense_server(TOY, PYTHON)
+    cts = [_random_ct(TOY, 31 * i) for i in range(4)]
+    real_run = ProgramExecutor.run
+
+    def flaky(self, program, inputs, optimize=True):
+        if len(inputs) > 1:
+            raise RuntimeError("stacked dispatch exploded")
+        return real_run(self, program, inputs, optimize)
+
+    monkeypatch.setattr(ProgramExecutor, "run", flaky)
+    responses = server.serve(
+        [InferenceRequest.single("t0", "dense", ct) for ct in cts])
+    references = _eager_outputs(TOY, keys, PYTHON, tracer, cts)
+    for response, reference in zip(responses, references):
+        assert not response.batched and response.batch_size == 1
+        assert _rows(response.ciphertexts[0]) == _rows(reference)
+    stats = server.stats()
+    assert stats["unbatched_fallbacks"] == 1
+    assert stats["served"] == 4
+
+
+def test_unrecoverable_execution_failure_is_typed(monkeypatch):
+    server, _, _ = _dense_server(TOY, PYTHON)
+
+    def broken(self, program, inputs, optimize=True):
+        raise RuntimeError("backend on fire")
+
+    monkeypatch.setattr(ProgramExecutor, "run", broken)
+    results = server.serve(
+        [InferenceRequest.single("t0", "dense", _random_ct(TOY, 5))],
+        return_exceptions=True)
+    assert isinstance(results[0], ExecutionError)
+
+
+def test_server_roundtrips_serialized_requests():
+    """Wire-in, wire-out: a serialized request served and re-serialized."""
+    server, keys, tracer = _dense_server(TOY, PYTHON)
+    ct = _random_ct(TOY, 77)
+    with use_backend(PYTHON):
+        arriving = deserialize_ciphertext(serialize_ciphertext(ct))
+        response = server.serve(
+            [InferenceRequest.single("t0", "dense", arriving)])[0]
+        wire_out = serialize_ciphertext(response.ciphertexts[0])
+        reference = _eager_outputs(TOY, keys, PYTHON, tracer, [ct])[0]
+        assert _rows(deserialize_ciphertext(wire_out)) == _rows(reference)
+
+
+# ---------------------------------------------------------------------------
+# Serialization round-trips
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+@pytest.mark.parametrize("params", PARAM_SETS, ids=PARAM_IDS)
+class TestSerializationRoundTrip:
+    def test_ciphertext_both_domains_and_levels(self, params, backend):
+        with use_backend(backend):
+            for level in (params.max_level, 0):
+                ct = _random_ct(params, 5 + level, level=level)
+                for domain_ct in (ct, CKKSCiphertext(
+                        ct.c0.to_eval(), ct.c1.to_eval(), ct.level, ct.scale)):
+                    back = deserialize_ciphertext(
+                        serialize_ciphertext(domain_ct))
+                    assert back.level == domain_ct.level
+                    assert back.scale == domain_ct.scale
+                    assert back.c0.domain == domain_ct.c0.domain
+                    assert back.c0.basis == domain_ct.c0.basis
+                    assert _rows(back) == _rows(ct)
+
+    def test_rns_polynomial(self, params, backend):
+        with use_backend(backend):
+            poly = _random_poly(params, 21)
+            back = deserialize_rns_polynomial(serialize_rns_polynomial(poly))
+            assert _poly_rows(back) == _poly_rows(poly)
+            eval_poly = poly.to_eval()
+            back = deserialize_rns_polynomial(
+                serialize_rns_polynomial(eval_poly))
+            assert back.domain == "eval"
+            assert _poly_rows(back) == _poly_rows(poly)
+
+    def test_keys(self, params, backend):
+        with use_backend(backend):
+            keys = _keyed(params)
+            element = galois_element_for_rotation(params.ring_degree, 1)
+            for key in (keys.relinearization_key(params.max_level),
+                        keys.galois_key(element, params.max_level)):
+                back = deserialize_keyswitch_key(serialize_keyswitch_key(key))
+                assert back.level == key.level
+                assert len(back.digit_keys) == len(key.digit_keys)
+                for (b0, a0), (b1, a1) in zip(key.digit_keys, back.digit_keys):
+                    assert _poly_rows(b0) == _poly_rows(b1)
+                    assert _poly_rows(a0) == _poly_rows(a1)
+            public = deserialize_public_key(serialize_public_key(keys.public))
+            assert _poly_rows(public.b) == _poly_rows(keys.public.b)
+            assert _poly_rows(public.a) == _poly_rows(keys.public.a)
+            secret = deserialize_secret_key(serialize_secret_key(keys.secret))
+            assert secret.coefficients == keys.secret.coefficients
+
+    def test_generic_dispatch(self, params, backend):
+        with use_backend(backend):
+            ct = _random_ct(params, 3)
+            assert isinstance(deserialize(serialize(ct)), CKKSCiphertext)
+            poly = _random_poly(params, 4)
+            assert isinstance(deserialize(serialize(poly)), RNSPolynomial)
+
+
+def test_deserialized_keys_rotate_identically():
+    """A tenant restored purely from serialized key material evaluates
+    bit-identically to the original key set."""
+    params = TOY
+    with use_backend(PYTHON):
+        keys = _keyed(params)
+        element = galois_element_for_rotation(params.ring_degree, 1)
+        galois = deserialize_keyswitch_key(serialize_keyswitch_key(
+            keys.galois_key(element, params.max_level)))
+        restored = CKKSKeySet(
+            params=params,
+            secret=deserialize_secret_key(serialize_secret_key(keys.secret)),
+            public=deserialize_public_key(serialize_public_key(keys.public)),
+            _galois_keys={(element, params.max_level): galois},
+        )
+        ct = _random_ct(params, 55)
+        original = CKKSEvaluator(params, keys, backend=PYTHON).rotate(ct, 1)
+        rebuilt = CKKSEvaluator(params, restored, backend=PYTHON).rotate(ct, 1)
+        assert _rows(original) == _rows(rebuilt)
+
+
+def test_word_size_narrows_for_u32_chains():
+    """Chains of <= 32-bit moduli serialize with 4-byte words (half cost)."""
+    u32_params = PARAM_SETS[3]
+    with use_backend(PYTHON):
+        narrow = serialize_ciphertext(_random_ct(u32_params, 9))
+        assert narrow[7] == 4  # word byte of the container header
+        wide = serialize_ciphertext(_random_ct(TOY, 9))
+        assert wide[7] == 8
+        n, level = u32_params.ring_degree, u32_params.max_level
+        payload = 2 * (level + 1) * n
+        assert len(narrow) < 4 * payload + 256  # rows dominated by 4B words
+
+
+@pytest.mark.skipif(numpy_missing, reason="numpy backend unavailable")
+def test_serialization_cross_backend():
+    """Bytes written under one backend load bit-exact under another."""
+    ct = _random_ct(TOY, 123)
+    with use_backend(PYTHON):
+        blob_py = serialize_ciphertext(ct)
+    with use_backend(PACKED_U32):
+        blob_np = serialize_ciphertext(ct)
+        assert blob_py == blob_np
+        assert _rows(deserialize_ciphertext(blob_py)) == _rows(ct)
+    with use_backend(PYTHON):
+        assert _rows(deserialize_ciphertext(blob_np)) == _rows(ct)
+
+
+class TestSerializationValidation:
+    @pytest.fixture()
+    def blob(self):
+        with use_backend(PYTHON):
+            return serialize_ciphertext(_random_ct(TOY, 42))
+
+    def test_truncation(self, blob):
+        for cut in (3, 10, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(SerializationError):
+                deserialize_ciphertext(blob[:cut])
+
+    def test_corruption(self, blob):
+        for offset in (9, len(blob) // 2, len(blob) - 6):
+            broken = bytearray(blob)
+            broken[offset] ^= 0xFF
+            with pytest.raises(CorruptPayloadError):
+                deserialize_ciphertext(bytes(broken))
+
+    def test_trailing_garbage(self, blob):
+        with pytest.raises(CorruptPayloadError):
+            deserialize_ciphertext(blob + b"\x00")
+
+    def test_wrong_version(self, blob):
+        import struct
+        import zlib
+        future = bytearray(blob)
+        future[4:6] = struct.pack("<H", 99)
+        body = bytes(future[:-4])
+        future[-4:] = struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+        with pytest.raises(UnsupportedVersionError):
+            deserialize_ciphertext(bytes(future))
+
+    def test_bad_magic(self, blob):
+        with pytest.raises(SerializationError):
+            deserialize_ciphertext(b"XXXX" + blob[4:])
+
+    def test_wrong_kind(self):
+        with use_backend(PYTHON):
+            poly_blob = serialize_rns_polynomial(_random_poly(TOY, 2))
+        with pytest.raises(SerializationError, match="expected a ciphertext"):
+            deserialize_ciphertext(poly_blob)
+
+    def test_not_bytes_and_empty(self):
+        with pytest.raises(SerializationError):
+            deserialize(12345)
+        with pytest.raises(SerializationError):
+            deserialize(b"")
+
+    def test_residue_out_of_range(self):
+        """A residue >= its modulus is refused even under a valid checksum."""
+        import struct
+        with use_backend(PYTHON):
+            poly = _random_poly(TOY, 6, level=0)
+            blob = serialize_ciphertext(_random_ct(TOY, 6, level=0))
+        q = poly.basis.moduli[0]
+        payload = bytearray(blob[8:-4])
+        # ct head (12) + meta head (9) + one modulus (8) = first row word.
+        payload[29:37] = struct.pack("<Q", q)
+        with pytest.raises(SerializationError, match="residue out of range"):
+            deserialize_ciphertext(
+                wire._container(wire.KIND_CIPHERTEXT, 8, bytes(payload)))
+
+    def test_level_limb_mismatch(self):
+        """A ciphertext header whose level disagrees with its limb count."""
+        import struct
+        with use_backend(PYTHON):
+            blob = serialize_ciphertext(_random_ct(TOY, 6, level=1))
+        payload = bytearray(blob[8:-4])
+        payload[0:4] = struct.pack("<i", 0)  # claim level 0, carry 2 limbs
+        with pytest.raises(SerializationError, match="must carry"):
+            deserialize_ciphertext(
+                wire._container(wire.KIND_CIPHERTEXT, 8, bytes(payload)))
+
+
+# ---------------------------------------------------------------------------
+# Cache behavior
+# ---------------------------------------------------------------------------
+
+class TestLRUCache:
+    def test_capacity_and_eviction_order(self):
+        cache = LRUCache(2)
+        assert cache.put("a", 1) is None
+        assert cache.put("b", 2) is None
+        assert cache.put("c", 3) == "a"      # oldest evicted
+        assert len(cache) == 2
+        assert "a" not in cache and "b" in cache and "c" in cache
+        assert list(cache.keys()) == ["b", "c"]
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1           # promotes a over b
+        assert cache.put("c", 3) == "b"
+        assert list(cache.keys()) == ["a", "c"]
+
+    def test_update_promotes_without_evicting(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.put("a", 10) is None
+        assert cache.get("a") == 10
+        assert cache.put("c", 3) == "b"
+
+    def test_counters_and_stats(self):
+        cache = LRUCache(2)
+        assert cache.get("missing") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        cache.put("b", 2)
+        cache.put("c", 3)
+        stats = cache.stats()
+        assert stats == {"size": 2, "capacity": 2, "hits": 1, "misses": 1,
+                         "evictions": 1, "hit_rate": 0.5}
+
+    def test_get_or_create(self):
+        cache = LRUCache(2)
+        calls = []
+        assert cache.get_or_create("k", lambda: calls.append(1) or 41) == 41
+        assert cache.get_or_create("k", lambda: calls.append(1) or 42) == 41
+        assert len(calls) == 1
+        assert cache.stats()["hits"] == 1 and cache.stats()["misses"] == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestPlanCache:
+    def _build(self, level=None):
+        params = TOY
+        trace = HETrace(params)
+        x = trace.input("x", level=level)
+        trace.output("y", x.rotate(1) + x)
+        return trace.program
+
+    def test_hit_skips_replanning(self):
+        cache = PlanCache(capacity=4)
+        planned_a = cache.get(("p", 3), self._build)
+        assert cache.planner_calls == 1
+        planned_b = cache.get(("p", 3), self._build)
+        assert planned_b is planned_a          # same object, no re-plan
+        assert cache.planner_calls == 1        # the regression counter
+        cache.get(("p", 2), lambda: self._build(level=2))
+        assert cache.planner_calls == 2
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 2
+        assert stats["planner_calls"] == 2
+
+    def test_capacity_evicts_and_replans(self):
+        cache = PlanCache(capacity=1)
+        cache.get(("a",), self._build)
+        cache.get(("b",), self._build)         # evicts ("a",)
+        cache.get(("a",), self._build)         # must re-plan
+        assert cache.planner_calls == 3
+        assert cache.stats()["evictions"] == 2
+
+
+def test_server_plan_cache_hit_skips_replanning():
+    server, _, _ = _dense_server(TOY, PYTHON)
+    cts = [_random_ct(TOY, 3 * i) for i in range(3)]
+    server.serve([InferenceRequest.single("t0", "dense", ct) for ct in cts])
+    calls_first = server.plan_cache.planner_calls
+    server.serve([InferenceRequest.single("t0", "dense", ct) for ct in cts])
+    # Second identical pass: every plan (validation width-1 and joint
+    # width-3) is a cache hit; the planner never runs again.
+    assert server.plan_cache.planner_calls == calls_first
+    assert server.stats()["plan_cache"]["hits"] > 0
+
+
+def test_server_key_cache_reuse_across_batches():
+    server, _, _ = _dense_server(TOY, PYTHON)
+    request = [InferenceRequest.single("t0", "dense", _random_ct(TOY, 1))]
+    server.serve(request)
+    misses = server.key_cache.stats()["misses"]
+    server.serve([InferenceRequest.single("t0", "dense", _random_ct(TOY, 2))])
+    stats = server.key_cache.stats()
+    assert stats["misses"] == misses           # no new key materialization
+    assert stats["hits"] >= misses
+
+
+@needs_numpy
+def test_bsgs_plan_cache_is_lru_with_stats():
+    """The transform's per-level plan dict migrated to the bounded LRU."""
+    from repro.fhe.ckks.context import CKKSContext
+    from repro.fhe.ckks.linear_transform import BSGSLinearTransform
+
+    params = CKKSParameters.toy()
+    context = CKKSContext(params, seed=3, error_stddev=0.0, backend=PACKED)
+    dimension = 4
+    rng = random.Random(0)
+    matrix = [[complex(rng.uniform(-1, 1)) for _ in range(dimension)]
+              for _ in range(dimension)]
+    transform = BSGSLinearTransform.from_matrix(context.encoder, matrix)
+    vector = [complex(rng.uniform(-1, 1)) for _ in range(dimension)]
+    tiled = vector * (params.slots // dimension)
+    ct = context.encrypt_vector(tiled)
+    first = transform.apply(context.evaluator, ct)
+    stats = transform._programs.stats()
+    assert stats["misses"] == 1 and stats["hits"] == 0
+    second = transform.apply(context.evaluator, ct)
+    stats = transform._programs.stats()
+    assert stats["misses"] == 1 and stats["hits"] == 1  # hit skipped re-plan
+    assert _rows(first) == _rows(second)
+    assert isinstance(transform._programs, LRUCache)
+
+
+def test_percentile_nearest_rank():
+    values = [5.0, 1.0, 4.0, 2.0, 3.0]
+    assert percentile(values, 50) == 3.0
+    assert percentile(values, 99) == 5.0
+    assert percentile(values, 0) == 1.0
+    assert percentile([7.0], 99) == 7.0
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+# ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+class TestFaultInjection:
+    def test_unknown_tenant_and_program(self):
+        server, _, _ = _dense_server(TOY, PYTHON)
+        ct = _random_ct(TOY, 1)
+        with pytest.raises(UnknownTenantError):
+            server.serve([InferenceRequest.single("ghost", "dense", ct)])
+        with pytest.raises(UnknownProgramError):
+            server.serve([InferenceRequest.single("t0", "ghost", ct)])
+
+    def test_level_mismatch(self):
+        server, _, _ = _dense_server(TOY, PYTHON)
+        low = _random_ct(TOY, 1, level=TOY.max_level - 1)
+        with pytest.raises(LevelMismatchError):
+            server.serve([InferenceRequest.single("t0", "dense", low)])
+
+    def test_scale_mismatch(self):
+        params = TOY
+        server = InferenceServer(params, backend=PYTHON, batch_window=0.001)
+        server.register_tenant("t0", _keyed(params))
+        pts = [_random_pt(params, 400 + j) for j in range(4)]
+        server.register_program("dense", _dense_tracer(pts),
+                                scale=float(params.scale))
+        off_scale = _random_ct(params, 1, scale=3.0 * params.scale)
+        with pytest.raises(ScaleMismatchError):
+            server.serve([InferenceRequest.single("t0", "dense", off_scale)])
+
+    def test_parameter_mismatch(self):
+        server, _, _ = _dense_server(TOY, PYTHON)
+        foreign = _random_ct(PARAM_SETS[1], 1)
+        with pytest.raises(ParameterMismatchError):
+            server.serve([InferenceRequest.single("t0", "dense", foreign)])
+        with pytest.raises(ParameterMismatchError):
+            server.serve([InferenceRequest(
+                tenant_id="t0", program="dense", ciphertexts=["junk"])])
+
+    def test_oversize_batch(self):
+        server, _, _ = _dense_server(TOY, PYTHON, max_batch_size=2)
+        cts = [_random_ct(TOY, i) for i in range(3)]
+        with pytest.raises(OversizeBatchError):
+            server.serve([InferenceRequest(
+                tenant_id="t0", program="dense", ciphertexts=cts)])
+
+    def test_missing_rotation_keys(self):
+        """A tenant with a frozen (generator-less) key set lacking the
+        program's rotation keys is rejected with the missing list."""
+        params = TOY
+        server = InferenceServer(params, backend=PYTHON, batch_window=0.001)
+        keys = _keyed(params)
+        server.register_tenant("frozen", keys.frozen())
+        pts = [_random_pt(params, 400 + j) for j in range(4)]
+        server.register_program("dense", _dense_tracer(pts))
+        with pytest.raises(MissingKeyError) as excinfo:
+            server.serve([InferenceRequest.single(
+                "frozen", "dense", _random_ct(params, 1))])
+        missing = excinfo.value.missing
+        assert missing and all(entry[0] == "galois" for entry in missing)
+
+    def test_missing_relin_key(self):
+        params = TOY
+        server = InferenceServer(params, backend=PYTHON, batch_window=0.001)
+        keys = _keyed(params)
+        server.register_tenant("frozen", keys.frozen())
+        server.register_program("square", lambda x: (x * x).rescale())
+        with pytest.raises(MissingKeyError) as excinfo:
+            server.serve([InferenceRequest.single(
+                "frozen", "square", _random_ct(params, 1))])
+        assert ("relin", params.max_level) in excinfo.value.missing
+
+    def test_provisioned_frozen_tenant_is_served(self):
+        """Minimal provisioning via the plan's required elements suffices."""
+        params = TOY
+        keys = _keyed(params)
+        pts = [_random_pt(params, 400 + j) for j in range(4)]
+        tracer = _dense_tracer(pts)
+        # Provision exactly what the plan needs, then freeze.
+        probe = InferenceServer(params, backend=PYTHON)
+        probe.register_tenant("t", keys)
+        probe.register_program("dense", tracer)
+        planned = probe._planned(probe._programs["dense"], params.max_level,
+                                 float(params.scale), 1)
+        keys.ensure_galois_keys(planned.required_galois_elements())
+        server = InferenceServer(params, backend=PYTHON, batch_window=0.001)
+        server.register_tenant("frozen", keys.frozen())
+        server.register_program("dense", tracer)
+        ct = _random_ct(params, 8)
+        response = server.serve(
+            [InferenceRequest.single("frozen", "dense", ct)])[0]
+        reference = _eager_outputs(params, keys, PYTHON, tracer, [ct])[0]
+        assert _rows(response.ciphertexts[0]) == _rows(reference)
+
+    def test_scheduler_keeps_serving_after_rejections(self):
+        """Bad requests fail typed; good requests in the same pass succeed,
+        and a later pass still works."""
+        server, keys, tracer = _dense_server(TOY, PYTHON)
+        good = [_random_ct(TOY, 100 + i) for i in range(2)]
+        requests = [
+            InferenceRequest.single("ghost", "dense", _random_ct(TOY, 1)),
+            InferenceRequest.single("t0", "dense", good[0]),
+            InferenceRequest.single("t0", "dense",
+                                    _random_ct(TOY, 2, level=0)),
+            InferenceRequest.single("t0", "dense", good[1]),
+        ]
+        results = server.serve(requests, return_exceptions=True)
+        assert isinstance(results[0], UnknownTenantError)
+        assert isinstance(results[2], LevelMismatchError)
+        references = _eager_outputs(TOY, keys, PYTHON, tracer, good)
+        assert _rows(results[1].ciphertexts[0]) == _rows(references[0])
+        assert _rows(results[3].ciphertexts[0]) == _rows(references[1])
+        stats = server.stats()
+        assert stats["rejected"] == 2 and stats["served"] == 2
+        assert stats["rejections"] == {"UnknownTenantError": 1,
+                                       "LevelMismatchError": 1}
+        # The scheduler is not wedged: a fresh pass serves normally.
+        again = server.serve(
+            [InferenceRequest.single("t0", "dense", good[0])])[0]
+        assert _rows(again.ciphertexts[0]) == _rows(references[0])
+
+    def test_registration_validation(self):
+        server, _, _ = _dense_server(TOY, PYTHON)
+        with pytest.raises(ValueError):
+            server.register_tenant("t0", _keyed(TOY))   # duplicate id
+        with pytest.raises(ValueError):
+            server.register_program("dense", lambda x: x)  # duplicate name
+        with pytest.raises(ValueError):
+            server.register_tenant("other", _keyed(PARAM_SETS[1]))
+        with pytest.raises(ValueError):
+            InferenceServer(TOY, max_batch_size=0)
