@@ -12,15 +12,28 @@ at a time:
   PMult/HAdd groups — plus the plan/key caches at steady state.  Reports
   p50/p99 request latency, queries/sec, and batching efficiency; results
   are asserted **bit-exact** against the sequential reference.
+* ``serving_scheduler_overhead`` — the same joint batch executed directly
+  through the planned-program executor vs through the full scheduler
+  (admission, buckets, futures, output validation): the difference is
+  what the serving layer itself costs per batch.
 * ``serving_multi_tenant_traffic`` — informational: the seeded load
   generator replaying mixed traffic from three tenants (two sharing a key
   set, so their requests co-batch) with a slice of malformed requests, via
   the pass-summary report.
+* ``serving_chaos_soak`` — the PR 7 resilience gate: >= 1000 requests
+  across >= 3 tenants (one rate-limited) against a fault-injecting
+  backend (kernel raises + store corruption caught by the bit-exact
+  output validator).  Gates: every request resolves (no hung futures),
+  circuit breakers open under the faults and recover, and every served
+  response is bit-exact vs the eager reference.
 
 Acceptance (``--check``, on by default, word-size config at L = 8,
-N = 2^12, C = 8): batched throughput >= 1.3x sequential.  ``--min-speedup
-F`` replaces the threshold (the CI perf-smoke job uses 1.0: batching must
-never lose).
+N = 2^12, C = 8): batched throughput >= 1.3x sequential — with the
+resilience machinery (admission controller, retry policy, breakers,
+output deadline checks) enabled, so its overhead is inside the gate.
+``--min-speedup F`` replaces the threshold (the CI perf-smoke job uses
+1.0: batching must never lose).  The chaos soak gate runs in every mode,
+including ``--quick``.
 
 Run directly::
 
@@ -36,14 +49,22 @@ from typing import Dict, List
 
 import conftest
 
-from repro.fhe.backend import available_backends, set_active_backend
+from repro.fhe.backend import available_backends, get_backend, set_active_backend
 from repro.fhe.ckks import BSGSLinearTransform, CKKSContext
+from repro.fhe.ckks.evaluator import CKKSEvaluator
 from repro.fhe.params import CKKSParameters
 from repro.fhe.program import HETrace, ProgramExecutor, plan_program
 from repro.serve import (
+    AdmissionController,
+    FaultInjectingBackend,
+    FaultSchedule,
+    FaultSpec,
     InferenceRequest,
     InferenceServer,
     LoadGenerator,
+    ResiliencePolicy,
+    RetryPolicy,
+    chaos_soak_gate,
     percentile,
     serialize_ciphertext,
 )
@@ -112,8 +133,14 @@ def run_batched_vs_sequential(degree: int, level: int, bits: int, dim: int,
     evaluator = context.evaluator
     transform = _dense_transform(context, dim)
 
-    server = InferenceServer(params, backend="numpy", max_batch_size=batch,
-                             batch_window=0.001)
+    # Resilience machinery explicitly enabled: the speedup gate includes
+    # the admission controller, retry policy, breakers, and deadline checks
+    # on the hot path (with limits generous enough never to trigger here).
+    server = InferenceServer(
+        params, backend="numpy", max_batch_size=batch, batch_window=0.001,
+        admission=AdmissionController(per_tenant_rate=1e9,
+                                      max_pending=1 << 16),
+        resilience=ResiliencePolicy(retry=RetryPolicy(max_attempts=2)))
     server.register_tenant("t0", context.keys)
     server.register_program("dense", transform.trace)
 
@@ -144,7 +171,7 @@ def run_batched_vs_sequential(degree: int, level: int, bits: int, dim: int,
         _assert_bit_exact(evaluator, a, b, f"request {i}")
 
     stats = server.stats()
-    return {
+    record = {
         "kernel": "serving_batched_vs_sequential",
         "ring_degree": degree,
         "limbs": level + 1,
@@ -163,6 +190,34 @@ def run_batched_vs_sequential(degree: int, level: int, bits: int, dim: int,
         "key_cache": stats["key_cache"],
         "wire_bytes_per_ciphertext": len(serialize_ciphertext(cts[0])),
     }
+
+    # Scheduler overhead: the same joint batch through the bare planned-
+    # program executor (no admission, futures, or validation) vs through
+    # the full serving path measured above.
+    planned = server.plan_cache.get(
+        ("dense", params.max_level, float(params.scale), batch), None)
+    joint_executor = ProgramExecutor(server._evaluators[id(context.keys)])
+    joint_inputs = {f"x{i}": ct for i, ct in enumerate(cts)}
+
+    def pure():
+        return joint_executor.run(planned, joint_inputs)
+
+    pure_time, _ = _best_of(pure, repeats)
+    overhead = max(0.0, batched_time - pure_time)
+    overhead_record = {
+        "kernel": "serving_scheduler_overhead",
+        "ring_degree": degree,
+        "limbs": level + 1,
+        "modulus_bits": bits,
+        "dimension": dim,
+        "batch_size": batch,
+        "batched_seconds": batched_time,
+        "pure_execution_seconds": pure_time,
+        "scheduler_overhead_seconds": overhead,
+        "scheduler_overhead_fraction": (
+            overhead / batched_time if batched_time > 0 else 0.0),
+    }
+    return record, overhead_record
 
 
 def run_multi_tenant_traffic(degree: int, level: int, bits: int, dim: int,
@@ -216,6 +271,118 @@ def run_multi_tenant_traffic(degree: int, level: int, bits: int, dim: int,
     }
 
 
+def _ct_rows(evaluator, ct):
+    cc = evaluator.to_coeff(ct)
+    return (
+        tuple(map(tuple, cc.c0.coefficient_rows())),
+        tuple(map(tuple, cc.c1.coefficient_rows())),
+    )
+
+
+def run_chaos_soak(degree: int, level: int, bits: int, dim: int, batch: int,
+                   passes: int, requests_per_pass: int) -> Dict[str, object]:
+    """The PR 7 resilience gate: a faulted multi-tenant soak, verified."""
+    context = build_context(degree, level, bits)
+    params = context.params
+    transform = _dense_transform(context, dim)
+
+    schedule = FaultSchedule([
+        # Hard kernel failures: exercised by retries and circuit breakers.
+        FaultSpec("limbs_eval_mac", "raise", start_call=50, max_injections=10),
+        # Silent store corruption: only the output validator can catch it.
+        FaultSpec("stacked_pmult_mac", "corrupt", start_call=30,
+                  max_injections=4),
+    ], seed=23)
+    chaos = FaultInjectingBackend(get_backend("numpy"), schedule)
+
+    # Bit-exact references computed once per input on the clean backend.
+    reference_evaluator = CKKSEvaluator(params, context.keys,
+                                        backend=get_backend("numpy"))
+    trace = HETrace(params)
+    trace.output("y", transform.trace(trace.input("x")))
+    aligned = plan_program(trace.program, optimize=False)
+    pool = _encrypt_inputs(context, 4)
+    references = {
+        id(ct): _ct_rows(
+            reference_evaluator,
+            ProgramExecutor(reference_evaluator).run_eager(aligned,
+                                                           {"x": ct})["y"])
+        for ct in pool
+    }
+
+    def validator(request, index, ciphertext):
+        expected = references[id(request.ciphertexts[index])]
+        if _ct_rows(reference_evaluator, ciphertext) != expected:
+            raise ValueError("output mismatches the eager reference")
+
+    def verify(request, response):
+        return _ct_rows(reference_evaluator, response.ciphertexts[0]) == \
+            references[id(request.ciphertexts[0])]
+
+    reset_timeout = 0.05
+    server = InferenceServer(
+        params, backend=chaos, max_batch_size=batch, batch_window=0.001,
+        admission=AdmissionController(tenant_limits={"org-c/free": (50.0, 4.0)}),
+        resilience=ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=3, base_delay=1e-4, max_delay=1e-3),
+            failure_threshold=2, reset_timeout=reset_timeout,
+            output_validator=validator))
+    # Four tenants sharing one key set (their requests co-batch); one is
+    # rate-limited so admission-control rejections flow through the soak.
+    for tenant in ("org-a/u0", "org-a/u1", "org-b/u0", "org-c/free"):
+        server.register_tenant(tenant, context.keys)
+    server.register_program("dense", transform.trace)
+
+    def input_factory(tenant_id, rng):
+        return pool[rng.randrange(len(pool))]
+
+    generator = LoadGenerator(
+        server, tenants=["org-a/u0", "org-a/u1", "org-b/u0", "org-c/free"],
+        programs=["dense"], input_factory=input_factory, seed=17,
+        requests_per_pass=requests_per_pass, deadline_seconds=30.0,
+        verify_fn=verify)
+
+    start = time.perf_counter()
+    for _ in range(passes):
+        generator.run_pass()
+    extra = 0
+    while not schedule.exhausted() and extra < 10:
+        generator.run_pass()
+        extra += 1
+    # Recovery tail: the fault budget is spent; once the reset timeout
+    # elapses, opened breakers half-open, probe, and close.
+    time.sleep(1.5 * reset_timeout)
+    generator.run_pass()
+    generator.run_pass()
+    wall = time.perf_counter() - start
+
+    aggregate = chaos_soak_gate(generator, min_requests=1000, min_tenants=3)
+    stats = server.stats()
+    return {
+        "kernel": "serving_chaos_soak",
+        "ring_degree": degree,
+        "limbs": level + 1,
+        "modulus_bits": bits,
+        "dimension": dim,
+        "batch_size": batch,
+        "wall_seconds": wall,
+        "aggregate": aggregate,
+        "gates": aggregate["gates"],
+        "qps": aggregate["qps"],
+        "latency_p50_ms": aggregate.get("latency_p50_ms"),
+        "latency_p99_ms": aggregate.get("latency_p99_ms"),
+        "batching_efficiency": stats["batching_efficiency"],
+        "faults_injected": schedule.counts(),
+        "retries": stats["retries"],
+        "unbatched_fallbacks": stats["unbatched_fallbacks"],
+        "output_validation_failures": stats["output_validation_failures"],
+        "breaker_transitions": stats["breakers"]["transitions"],
+        "rejections": stats["rejections"],
+        "failures": stats["failures"],
+        "admission": stats["admission"],
+    }
+
+
 def print_table(records: List[Dict[str, object]]) -> None:
     header = (
         f"{'kernel':<32} {'N':>6} {'L':>3} {'C':>3} "
@@ -225,6 +392,8 @@ def print_table(records: List[Dict[str, object]]) -> None:
     print(header)
     print("-" * len(header))
     for rec in records:
+        if "qps" not in rec:
+            continue
         p50 = rec.get("latency_p50_ms") or 0.0
         p99 = rec.get("latency_p99_ms") or 0.0
         print(
@@ -259,11 +428,23 @@ def main(argv: "List[str] | None" = None) -> int:
         passes, requests_per_pass = 3, 16
     level = 8          # L = 8: the acceptance configuration
 
+    gated_record, overhead_record = run_batched_vs_sequential(
+        degree, level, GATED_BITS, dim, batch, repeats)
     records = [
-        run_batched_vs_sequential(degree, level, GATED_BITS, dim, batch, repeats),
+        gated_record,
+        overhead_record,
         run_multi_tenant_traffic(degree, level, GATED_BITS, dim, batch,
                                  passes, requests_per_pass),
     ]
+    # The chaos soak runs the same size in every mode (including --quick):
+    # >= 1000 requests, 4 tenants, on a small ring so it stays a smoke test.
+    try:
+        records.append(run_chaos_soak(degree=1 << 9, level=5, bits=GATED_BITS,
+                                      dim=16, batch=8, passes=16,
+                                      requests_per_pass=64))
+        soak_failure = None
+    except AssertionError as exc:
+        soak_failure = str(exc)
     print_table(records)
 
     if args.json:
@@ -276,6 +457,16 @@ def main(argv: "List[str] | None" = None) -> int:
 
     print()
     failures = []
+    if soak_failure is not None:
+        print(f"serving_chaos_soak: {soak_failure}", file=sys.stderr)
+        failures.append("serving_chaos_soak")
+    else:
+        soak = records[-1]
+        print(f"serving_chaos_soak: {soak['gates']['requests']} requests, "
+              f"{soak['gates']['tenants']} tenants, "
+              f"breakers opened {soak['gates']['breaker_opened']} / "
+              f"closed {soak['gates']['breaker_closed']}, "
+              f"0 hung, 0 mismatched ok")
     for rec in records:
         if rec["kernel"] not in REQUIRED_SPEEDUPS:
             continue

@@ -9,7 +9,11 @@ The ``repro.serve`` layer in one sitting:
    print the pass-by-pass serving report (p50/p99 latency, qps, batching
    efficiency) plus the plan/key cache stats;
 4. show a typed rejection (missing rotation keys) leaving the scheduler
-   healthy, and the compact wire format round-tripping a ciphertext.
+   healthy, and the compact wire format round-tripping a ciphertext;
+5. show the PR 7 resilience machinery: a bursty tenant hitting its
+   token-bucket rate limit, and a circuit breaker opening under injected
+   kernel faults, shedding load, then recovering through a half-open
+   probe — all on a manual clock, so the demo is deterministic.
 
 Run::
 
@@ -18,14 +22,24 @@ Run::
 
 import random
 
-from repro.fhe.backend import available_backends, set_active_backend
+from repro.fhe.backend import available_backends, get_backend, set_active_backend
 from repro.fhe.ckks import BSGSLinearTransform, CKKSContext, CKKSKeyGenerator
 from repro.fhe.params import CKKSParameters
 from repro.serve import (
+    AdmissionController,
+    CircuitOpenError,
+    ExecutionError,
+    FaultInjectingBackend,
+    FaultSchedule,
+    FaultSpec,
     InferenceRequest,
     InferenceServer,
     LoadGenerator,
+    ManualClock,
     MissingKeyError,
+    RateLimitedError,
+    ResiliencePolicy,
+    RetryPolicy,
     deserialize_ciphertext,
     serialize_ciphertext,
 )
@@ -129,6 +143,66 @@ def main() -> None:
                     for j in range(dim)) for i in range(dim)]
     error = max(abs(decoded[i].real - expected[i]) for i in range(dim))
     print(f"  healthy tenant still served: max slot error {error:.2e} [ok]")
+
+    # -- resilience: rate limiting -------------------------------------------
+    # A second server on a manual clock: the bursty tenant gets a token
+    # bucket of 2 req/s (burst 2), so its third request in the same instant
+    # is rejected with a typed RateLimitedError carrying a retry-after.
+    print()
+    print("resilience: admission control and circuit breakers")
+    clock = ManualClock()
+    limited = InferenceServer(
+        params, backend="numpy", max_batch_size=4, batch_window=0.001,
+        clock=clock,
+        admission=AdmissionController(tenant_limits={"org-c/burst": (2.0, 2.0)},
+                                      clock=clock))
+    limited.register_tenant("org-c/burst", context.keys)
+    limited.register_program("dense16", transform.trace)
+    for i in range(3):
+        try:
+            limited.serve([InferenceRequest.single("org-c/burst", "dense16",
+                                                   pool[i % len(pool)])])
+            print(f"  org-c/burst request {i + 1}: served")
+        except RateLimitedError as exc:
+            print(f"  org-c/burst request {i + 1}: rate limited "
+                  f"(retry after {exc.retry_after_seconds:.1f}s)")
+
+    schedule = FaultSchedule(
+        [FaultSpec("limbs_eval_mac", "raise", max_injections=2)])
+    resilient = InferenceServer(
+        params, backend=FaultInjectingBackend(get_backend("numpy"), schedule),
+        max_batch_size=4, batch_window=0.001, clock=clock,
+        resilience=ResiliencePolicy(retry=RetryPolicy(max_attempts=1),
+                                    failure_threshold=2, reset_timeout=0.5))
+    resilient.register_tenant("org-a/session-0", context.keys)
+    resilient.register_program("dense16", transform.trace)
+
+    # -- resilience: circuit breaker under injected faults -------------------
+    # Two injected kernel failures (retries disabled) trip the org-a/dense16
+    # breaker; while open, requests are shed without touching the backend;
+    # after the reset timeout a half-open probe succeeds and closes it.
+    print("  injecting 2 kernel faults into org-a traffic ...")
+    for i in range(2):
+        try:
+            resilient.serve([InferenceRequest.single("org-a/session-0",
+                                                     "dense16", pool[0])])
+        except ExecutionError as exc:
+            print(f"  request failed with ExecutionError "
+                  f"(cause: {type(exc.__cause__).__name__})")
+    try:
+        resilient.serve([InferenceRequest.single("org-a/session-0", "dense16",
+                                                 pool[0])])
+    except CircuitOpenError as exc:
+        print(f"  circuit breaker OPEN: request shed "
+              f"(retry after {exc.retry_after_seconds:.1f}s)")
+    clock.advance(0.5)
+    probe = resilient.serve([InferenceRequest.single("org-a/session-0",
+                                                     "dense16", pool[0])])[0]
+    breakers = resilient.stats()["breakers"]
+    print(f"  after reset timeout: probe served (batch size "
+          f"{probe.batch_size}), breaker "
+          f"{breakers['states']['org-a/session-0/dense16']} again")
+    print(f"  breaker transitions: {breakers['transitions']}")
 
     # -- wire format ---------------------------------------------------------
     blob = serialize_ciphertext(response.ciphertexts[0])

@@ -6,27 +6,54 @@ independent tenant requests into the big stacked ``(2, C, L, N)`` dispatches
 the batched kernels and the Trinity cost model are built around:
 
 * :mod:`~repro.serve.scheduler` — asyncio request admission, compatibility
-  grouping, joint-program execution with graceful unbatched fallback;
+  grouping, joint-program execution with deadline-aware retrying fallback;
+* :mod:`~repro.serve.admission` — per-tenant token-bucket rate limits and
+  global queue-depth backpressure, enforced before any homomorphic work;
+* :mod:`~repro.serve.resilience` — retry policy (exponential backoff with
+  jitter), per-(tenant, program) circuit breakers, deadlines, and the
+  :class:`ResiliencePolicy` bundle the scheduler runs them through — all
+  driven by injectable clocks/RNGs/sleeps so tests never wait on wall time;
+* :mod:`~repro.serve.chaos` — seeded fault injection: a backend wrapper
+  that makes chosen kernels raise/stall/corrupt, wire-payload corruption,
+  and scheduler-level delays — the harness the resilience machinery is
+  soaked against;
 * :mod:`~repro.serve.cache` — bounded LRU caches for planned programs and
   materialized evaluation keys, with hit/miss/eviction stats;
 * :mod:`~repro.serve.serialization` — compact versioned wire format for RNS
   polynomials, ciphertexts, and keys, strictly validated on load;
-* :mod:`~repro.serve.traffic` — seeded synthetic multi-tenant load and the
-  p50/p99/qps/batching-efficiency report;
+* :mod:`~repro.serve.traffic` — seeded synthetic multi-tenant load, the
+  p50/p99/qps/batching-efficiency report, and the chaos-soak release gate
+  (every request resolves, breakers cycle, served responses bit-exact);
 * :mod:`~repro.serve.errors` — the typed rejection/failure hierarchy.
 
 Everything here is importable without numpy; only the contents of the
 ciphertexts flowing through demand a specific backend.
 """
 
+from .admission import AdmissionController, TokenBucket
 from .cache import KeyCache, LRUCache, PlanCache
+from .chaos import (
+    CORRUPTIBLE_KERNELS,
+    FaultEvent,
+    FaultInjectingBackend,
+    FaultSchedule,
+    FaultSpec,
+    InjectedFault,
+    SchedulerDelayInjector,
+    corrupt_payload,
+)
 from .errors import (
+    CircuitOpenError,
     CorruptPayloadError,
+    CorruptResultError,
+    DeadlineExceededError,
     ExecutionError,
     LevelMismatchError,
     MissingKeyError,
+    OverloadedError,
     OversizeBatchError,
     ParameterMismatchError,
+    RateLimitedError,
     RequestRejected,
     ScaleMismatchError,
     SerializationError,
@@ -34,6 +61,13 @@ from .errors import (
     UnknownProgramError,
     UnknownTenantError,
     UnsupportedVersionError,
+)
+from .resilience import (
+    BreakerBoard,
+    CircuitBreaker,
+    ManualClock,
+    ResiliencePolicy,
+    RetryPolicy,
 )
 from .scheduler import (
     HostedProgram,
@@ -55,7 +89,13 @@ from .serialization import (
     serialize_rns_polynomial,
     serialize_secret_key,
 )
-from .traffic import LoadGenerator, PassSummary, TrafficReport, percentile
+from .traffic import (
+    LoadGenerator,
+    PassSummary,
+    TrafficReport,
+    chaos_soak_gate,
+    percentile,
+)
 
 __all__ = [
     # scheduler
@@ -63,6 +103,24 @@ __all__ = [
     "InferenceRequest",
     "InferenceResponse",
     "HostedProgram",
+    # admission
+    "AdmissionController",
+    "TokenBucket",
+    # resilience
+    "ManualClock",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "BreakerBoard",
+    "ResiliencePolicy",
+    # chaos
+    "InjectedFault",
+    "FaultSpec",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultInjectingBackend",
+    "SchedulerDelayInjector",
+    "corrupt_payload",
+    "CORRUPTIBLE_KERNELS",
     # caches
     "LRUCache",
     "PlanCache",
@@ -85,6 +143,7 @@ __all__ = [
     "TrafficReport",
     "PassSummary",
     "percentile",
+    "chaos_soak_gate",
     # errors
     "ServeError",
     "SerializationError",
@@ -98,5 +157,10 @@ __all__ = [
     "ScaleMismatchError",
     "OversizeBatchError",
     "MissingKeyError",
+    "RateLimitedError",
+    "OverloadedError",
+    "CircuitOpenError",
+    "DeadlineExceededError",
     "ExecutionError",
+    "CorruptResultError",
 ]

@@ -1,0 +1,159 @@
+"""Admission control: per-tenant rate limits and global backpressure.
+
+The scheduler admits a request only after this module says yes.  Two
+mechanisms, both enforced in :meth:`InferenceServer.submit` before any
+homomorphic work (or even request validation beyond tenant lookup) happens:
+
+* **Per-tenant token buckets** — every tenant gets a :class:`TokenBucket`
+  refilled at ``rate`` requests/second up to ``burst``; a request that finds
+  the bucket empty is rejected with a typed
+  :class:`~repro.serve.errors.RateLimitedError` carrying a ``retry_after``
+  estimate.  One tenant flooding the batch window therefore cannot starve
+  the others: its excess traffic never enters a bucket's queue.
+* **Global queue-depth backpressure** — when the number of admitted-but-
+  unresolved requests reaches ``max_pending``, further requests from *any*
+  tenant are shed with :class:`~repro.serve.errors.OverloadedError` until
+  the queue drains.
+
+Both policies run off an injectable monotonic ``clock`` so tests drive them
+deterministically (see :class:`~repro.serve.resilience.ManualClock`) and the
+controller keeps per-tenant admitted/rate-limited/shed counters that the
+server surfaces in ``stats()``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .errors import OverloadedError, RateLimitedError
+
+__all__ = ["TokenBucket", "AdmissionController"]
+
+
+class TokenBucket:
+    """A standard token bucket: ``rate`` tokens/second, capacity ``burst``.
+
+    The bucket starts full and refills lazily on each ``try_acquire`` from
+    the injected monotonic ``clock``; fractional tokens accumulate, so low
+    rates (e.g. 0.5 req/s) work without a background task.
+    """
+
+    def __init__(self, rate: float, burst: "Optional[float]" = None, *,
+                 clock: Callable[[], float] = time.monotonic):
+        if rate <= 0:
+            raise ValueError("token bucket rate must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate)
+        if self.burst < 1.0:
+            raise ValueError("token bucket burst must admit at least one request")
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._last = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; ``False`` (and no debit) otherwise."""
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def available(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def seconds_until(self, tokens: float = 1.0) -> float:
+        """Time until ``tokens`` will be available at the current rate."""
+        self._refill()
+        deficit = tokens - self._tokens
+        return max(0.0, deficit / self.rate)
+
+
+class AdmissionController:
+    """Per-tenant rate limiting plus a global pending-queue bound.
+
+    ``per_tenant_rate``/``per_tenant_burst`` set the default bucket every
+    tenant gets (``None`` disables rate limiting); ``tenant_limits`` maps
+    tenant ids to ``(rate, burst)`` overrides — e.g. a free tier at 5 req/s
+    and one noisy tenant pinned to 0.5 req/s.  ``max_pending`` bounds the
+    number of admitted-but-unresolved requests across all tenants.
+    """
+
+    def __init__(self, *, per_tenant_rate: "Optional[float]" = None,
+                 per_tenant_burst: "Optional[float]" = None,
+                 tenant_limits: "Optional[Dict[str, Tuple[float, float]]]" = None,
+                 max_pending: "Optional[int]" = None,
+                 clock: Callable[[], float] = time.monotonic):
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None for unbounded)")
+        self.per_tenant_rate = per_tenant_rate
+        self.per_tenant_burst = per_tenant_burst
+        self.tenant_limits = dict(tenant_limits or {})
+        self.max_pending = max_pending
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._tenant_counters: Dict[str, Dict[str, int]] = {}
+
+    def _bucket(self, tenant_id: str) -> "Optional[TokenBucket]":
+        bucket = self._buckets.get(tenant_id)
+        if bucket is not None:
+            return bucket
+        limits = self.tenant_limits.get(tenant_id)
+        if limits is not None:
+            rate, burst = limits
+        elif self.per_tenant_rate is not None:
+            rate, burst = self.per_tenant_rate, self.per_tenant_burst
+        else:
+            return None
+        bucket = TokenBucket(rate, burst, clock=self._clock)
+        self._buckets[tenant_id] = bucket
+        return bucket
+
+    def _count(self, tenant_id: str, outcome: str) -> None:
+        counters = self._tenant_counters.setdefault(
+            tenant_id, {"admitted": 0, "rate_limited": 0, "shed": 0})
+        counters[outcome] += 1
+
+    def admit(self, tenant_id: str, pending: int) -> None:
+        """Admit one request or raise a typed rejection.
+
+        ``pending`` is the scheduler's current count of admitted-but-
+        unresolved requests (the global queue depth).
+        """
+        bucket = self._bucket(tenant_id)
+        if bucket is not None and not bucket.try_acquire():
+            self._count(tenant_id, "rate_limited")
+            retry_after = bucket.seconds_until()
+            raise RateLimitedError(
+                f"tenant {tenant_id!r} exceeded its rate limit "
+                f"({bucket.rate:g} req/s, burst {bucket.burst:g})",
+                retry_after_seconds=retry_after)
+        if self.max_pending is not None and pending >= self.max_pending:
+            self._count(tenant_id, "shed")
+            raise OverloadedError(
+                f"scheduler overloaded: {pending} requests pending "
+                f"(bound {self.max_pending})")
+        self._count(tenant_id, "admitted")
+
+    def stats(self) -> Dict[str, Any]:
+        """Per-tenant admission counters plus the configured limits."""
+        totals = {"admitted": 0, "rate_limited": 0, "shed": 0}
+        for counters in self._tenant_counters.values():
+            for key in totals:
+                totals[key] += counters[key]
+        return {
+            **totals,
+            "per_tenant": {
+                tenant: dict(counters)
+                for tenant, counters in sorted(self._tenant_counters.items())
+            },
+            "max_pending": self.max_pending,
+        }

@@ -14,13 +14,22 @@ matching.  The hierarchy:
   * :class:`RequestRejected` — a request refused *before* any homomorphic
     work starts.  The scheduler validates at submit time and keeps serving
     subsequent requests; each subclass names one rejection reason.
+    Admission control adds :class:`RateLimitedError` (per-tenant token
+    bucket empty), :class:`OverloadedError` (global queue-depth
+    backpressure), and :class:`CircuitOpenError` (the tenant/program
+    circuit breaker is shedding load after repeated execution failures).
+  * :class:`DeadlineExceededError` — a request that was admitted but whose
+    per-request deadline elapsed before (or while) it executed.
   * :class:`ExecutionError` — a request that passed validation but failed
-    during homomorphic execution (after the unbatched-fallback retry).
+    during homomorphic execution, after the unbatched fallback and the
+    retry policy were exhausted; refined into :class:`CorruptResultError`
+    when the failure was an output-integrity check rather than a raised
+    kernel error.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 __all__ = [
     "ServeError",
@@ -35,7 +44,12 @@ __all__ = [
     "ScaleMismatchError",
     "OversizeBatchError",
     "MissingKeyError",
+    "RateLimitedError",
+    "OverloadedError",
+    "CircuitOpenError",
+    "DeadlineExceededError",
     "ExecutionError",
+    "CorruptResultError",
 ]
 
 
@@ -110,6 +124,53 @@ class MissingKeyError(RequestRejected):
 
 
 # ---------------------------------------------------------------------------
+# Admission control and load shedding
+# ---------------------------------------------------------------------------
+
+class RateLimitedError(RequestRejected):
+    """The tenant's token bucket is empty: the request exceeds its rate.
+
+    ``retry_after_seconds`` estimates when the bucket refills enough to
+    admit one request (clients should back off at least that long).
+    """
+
+    def __init__(self, message: str,
+                 retry_after_seconds: "Optional[float]" = None):
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
+class OverloadedError(RequestRejected):
+    """Global backpressure: the scheduler's pending queue is at capacity."""
+
+
+class CircuitOpenError(RequestRejected):
+    """The (tenant, program) circuit breaker is open and shedding load.
+
+    The breaker opened after consecutive execution failures; it half-opens
+    to probe recovery after ``retry_after_seconds``.
+    """
+
+    def __init__(self, message: str,
+                 retry_after_seconds: "Optional[float]" = None):
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
+# ---------------------------------------------------------------------------
+# Deadlines
+# ---------------------------------------------------------------------------
+
+class DeadlineExceededError(ServeError):
+    """The request's deadline elapsed before a result could be returned.
+
+    Unlike :class:`RequestRejected` this can happen *after* admission: the
+    batch window plus execution (or the retry backoff) overran the
+    deadline, and the pending future is failed rather than left hanging.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Execution
 # ---------------------------------------------------------------------------
 
@@ -117,6 +178,15 @@ class ExecutionError(ServeError):
     """Homomorphic execution of a validated request failed.
 
     Raised only after the scheduler's graceful degradation (re-running the
-    request unbatched) also failed; the original exception is chained as
-    ``__cause__``.
+    request unbatched, then the retry policy) also failed; the original
+    exception is chained as ``__cause__``.
+    """
+
+
+class CorruptResultError(ExecutionError):
+    """Execution produced an output that failed the integrity check.
+
+    Raised when the resilience policy's ``output_validator`` rejects a
+    computed ciphertext (e.g. a corrupted kernel result caught by a range
+    or reference check) and retries could not produce a clean one.
     """

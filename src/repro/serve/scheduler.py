@@ -17,17 +17,35 @@ transformation, so a batched request decrypts bit-exact to the same request
 run alone through the eager path (the differential test in
 ``tests/test_serve.py`` pins this).
 
-Robustness model:
+Robustness model (PR 7 made every stage a policy object):
 
-* validation happens at submit time and raises typed
+* **admission** happens before validation: per-tenant token buckets and a
+  global queue-depth bound (:mod:`repro.serve.admission`) reject floods
+  with typed :class:`RateLimitedError` / :class:`OverloadedError` before
+  they can starve the batch window;
+* **validation** happens at submit time and raises typed
   :class:`~repro.serve.errors.RequestRejected` subclasses; a rejected
-  request never enters a batch and the scheduler keeps serving.
-* missing evaluation keys are detected against the *plan* (via
+  request never enters a batch and the scheduler keeps serving.  Missing
+  evaluation keys are detected against the *plan* (via
   ``required_galois_elements``) before execution, so frozen tenant key sets
-  fail fast with :class:`MissingKeyError`.
+  fail fast with :class:`MissingKeyError`;
+* a per-(tenant, program) **circuit breaker**
+  (:mod:`repro.serve.resilience`) sheds load with
+  :class:`CircuitOpenError` while open after consecutive execution
+  failures, and half-opens to probe recovery;
+* per-request **deadlines** are checked before execution, between retry
+  attempts, and after execution — an overrun fails the pending future with
+  :class:`DeadlineExceededError` instead of leaving it hanging;
 * if a joint batch fails mid-execution, the scheduler degrades gracefully:
-  each member request is retried unbatched, and only requests that still
-  fail see an :class:`ExecutionError`.
+  each member request is retried unbatched through the
+  :class:`~repro.serve.resilience.RetryPolicy` (exponential backoff with
+  jitter, injectable clock/RNG/sleep), and only requests that exhaust
+  their retries see an :class:`ExecutionError` with the original kernel
+  failure chained as ``__cause__``;
+* an optional ``output_validator`` in the resilience policy checks every
+  computed ciphertext before it is handed back, so corrupted kernel
+  results (see :mod:`repro.serve.chaos`) become retries or typed
+  :class:`CorruptResultError` failures — never silent wrong answers.
 
 Execution is synchronous inside the event loop (one worker); asyncio is used
 for request admission, batch windows, and completion futures, not for
@@ -47,8 +65,12 @@ from ..fhe.ckks.evaluator import CKKSEvaluator
 from ..fhe.ckks.keys import CKKSKeySet
 from ..fhe.params import CKKSParameters
 from ..fhe.program import HETrace, ProgramExecutor
+from .admission import AdmissionController
 from .cache import KeyCache, PlanCache
 from .errors import (
+    CircuitOpenError,
+    CorruptResultError,
+    DeadlineExceededError,
     ExecutionError,
     LevelMismatchError,
     MissingKeyError,
@@ -56,9 +78,11 @@ from .errors import (
     ParameterMismatchError,
     RequestRejected,
     ScaleMismatchError,
+    ServeError,
     UnknownProgramError,
     UnknownTenantError,
 )
+from .resilience import ResiliencePolicy
 
 __all__ = [
     "HostedProgram",
@@ -95,18 +119,28 @@ class _Tenant:
 
 @dataclass
 class InferenceRequest:
-    """A client request: one or more ciphertexts for one hosted program."""
+    """A client request: one or more ciphertexts for one hosted program.
+
+    ``deadline_seconds`` is a relative deadline: the server converts it to
+    an absolute instant (on its injectable monotonic clock) at submit time
+    and fails the request with :class:`DeadlineExceededError` if the batch
+    window plus execution overruns it.  ``None`` falls back to the
+    resilience policy's ``default_deadline`` (which may also be ``None``:
+    unbounded).
+    """
 
     tenant_id: str
     program: str
     ciphertexts: List[CKKSCiphertext]
+    deadline_seconds: Optional[float] = None
     request_id: int = field(default_factory=lambda: next(_request_ids))
 
     @classmethod
     def single(cls, tenant_id: str, program: str,
-               ciphertext: CKKSCiphertext) -> "InferenceRequest":
+               ciphertext: CKKSCiphertext,
+               deadline_seconds: "Optional[float]" = None) -> "InferenceRequest":
         return cls(tenant_id=tenant_id, program=program,
-                   ciphertexts=[ciphertext])
+                   ciphertexts=[ciphertext], deadline_seconds=deadline_seconds)
 
 
 @dataclass
@@ -126,9 +160,10 @@ class _Pending:
     """Aggregates a request's per-ciphertext slots back into one response."""
 
     __slots__ = ("request", "future", "results", "remaining", "start",
-                 "batch_size", "batched")
+                 "batch_size", "batched", "deadline")
 
-    def __init__(self, request: InferenceRequest, future: asyncio.Future):
+    def __init__(self, request: InferenceRequest, future: asyncio.Future,
+                 deadline: "Optional[float]" = None):
         self.request = request
         self.future = future
         self.results: List[Optional[CKKSCiphertext]] = [None] * len(request.ciphertexts)
@@ -136,6 +171,7 @@ class _Pending:
         self.start = time.perf_counter()
         self.batch_size = 0
         self.batched = False
+        self.deadline = deadline
 
 
 class InferenceServer:
@@ -143,7 +179,11 @@ class InferenceServer:
 
     def __init__(self, params: CKKSParameters, *, max_batch_size: int = 8,
                  batch_window: float = 0.002, plan_cache_capacity: int = 32,
-                 key_cache_capacity: int = 512, backend=None):
+                 key_cache_capacity: int = 512, backend=None,
+                 admission: "Optional[AdmissionController]" = None,
+                 resilience: "Optional[ResiliencePolicy]" = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 on_batch_start: "Optional[Callable[[Tuple, int], None]]" = None):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         self.params = params
@@ -152,17 +192,26 @@ class InferenceServer:
         self.backend = backend
         self.plan_cache = PlanCache(plan_cache_capacity)
         self.key_cache = KeyCache(key_cache_capacity)
+        self.admission = admission
+        self.resilience = resilience if resilience is not None else ResiliencePolicy()
+        self._clock = clock
+        self._breakers = self.resilience.breaker_board(clock)
+        self._on_batch_start = on_batch_start
         self._programs: Dict[str, HostedProgram] = {}
         self._tenants: Dict[str, _Tenant] = {}
         self._evaluators: Dict[int, CKKSEvaluator] = {}  # id(keys) -> evaluator
         # bucket key: (id(keys), program, level, scale)
         self._buckets: Dict[Tuple, List[Tuple[_Pending, int, CKKSCiphertext]]] = {}
         self._timers: Dict[Tuple, asyncio.Task] = {}
+        self._inflight = 0
         self._counters: Dict[str, int] = {
-            "submitted": 0, "served": 0, "rejected": 0,
+            "submitted": 0, "served": 0, "rejected": 0, "failed": 0,
             "batches": 0, "batched_requests": 0, "unbatched_fallbacks": 0,
+            "retries": 0, "execution_failures": 0, "deadline_exceeded": 0,
+            "output_validation_failures": 0,
         }
         self._rejections: Dict[str, int] = {}
+        self._failures: Dict[str, int] = {}
         self._batch_sizes: Dict[int, int] = {}
 
     # -- registration --------------------------------------------------------
@@ -200,13 +249,18 @@ class InferenceServer:
         self._tenants[tenant_id] = _Tenant(tenant_id, keys, shared)
 
     # -- validation ----------------------------------------------------------
-    def _validate(self, request: InferenceRequest) -> Tuple[_Tenant, HostedProgram]:
+    def _lookup(self, request: InferenceRequest) -> Tuple[_Tenant, HostedProgram]:
+        """The cheap existence checks that precede admission control."""
         tenant = self._tenants.get(request.tenant_id)
         if tenant is None:
             raise UnknownTenantError(f"unknown tenant {request.tenant_id!r}")
         program = self._programs.get(request.program)
         if program is None:
             raise UnknownProgramError(f"unknown program {request.program!r}")
+        return tenant, program
+
+    def _validate_payload(self, request: InferenceRequest, tenant: _Tenant,
+                          program: HostedProgram) -> None:
         count = len(request.ciphertexts)
         if count < 1:
             raise RequestRejected("request carries no ciphertexts")
@@ -238,6 +292,10 @@ class InferenceServer:
                         f"program {program.name!r} expects scale "
                         f"{program.scale:g}, request has {ct.scale:g}")
         self._check_keys(tenant, program, request.ciphertexts[0])
+
+    def _validate(self, request: InferenceRequest) -> Tuple[_Tenant, HostedProgram]:
+        tenant, program = self._lookup(request)
+        self._validate_payload(request, tenant, program)
         return tenant, program
 
     def _check_keys(self, tenant: _Tenant, program: HostedProgram,
@@ -256,6 +314,15 @@ class InferenceServer:
             raise MissingKeyError(
                 f"tenant {tenant.tenant_id!r} lacks evaluation keys for "
                 f"program {program.name!r}: {missing}", missing=missing)
+
+    def _check_breaker(self, request: InferenceRequest) -> None:
+        """Shed the request if its (tenant, program) breaker is open."""
+        breaker = self._breakers.peek((request.tenant_id, request.program))
+        if breaker is not None and not breaker.allow():
+            raise CircuitOpenError(
+                f"circuit breaker open for tenant {request.tenant_id!r} "
+                f"program {request.program!r} after repeated execution "
+                f"failures", retry_after_seconds=breaker.retry_after())
 
     # -- planning and keys ---------------------------------------------------
     def _planned(self, program: HostedProgram, level: int, scale: float,
@@ -286,17 +353,26 @@ class InferenceServer:
 
     # -- submission ----------------------------------------------------------
     async def submit(self, request: InferenceRequest) -> InferenceResponse:
-        """Validate, enqueue, and await the batched result."""
+        """Admit, validate, enqueue, and await the batched result."""
         self._counters["submitted"] += 1
         try:
-            tenant, program = self._validate(request)
+            tenant, program = self._lookup(request)
+            if self.admission is not None:
+                self.admission.admit(request.tenant_id, self._inflight)
+            self._check_breaker(request)
+            self._validate_payload(request, tenant, program)
         except RequestRejected as exc:
             self._counters["rejected"] += 1
             name = type(exc).__name__
             self._rejections[name] = self._rejections.get(name, 0) + 1
             raise
         loop = asyncio.get_running_loop()
-        pending = _Pending(request, loop.create_future())
+        timeout = request.deadline_seconds
+        if timeout is None:
+            timeout = self.resilience.default_deadline
+        deadline = None if timeout is None else self._clock() + timeout
+        pending = _Pending(request, loop.create_future(), deadline)
+        self._inflight += 1
         for index, ct in enumerate(request.ciphertexts):
             key = (id(tenant.keys), program.name, ct.level, ct.scale)
             bucket = self._buckets.setdefault(key, [])
@@ -324,9 +400,26 @@ class InferenceServer:
         return asyncio.run(_run())
 
     def drain(self) -> None:
-        """Flush every pending batch bucket immediately."""
+        """Flush every pending batch bucket immediately.
+
+        Cancels any armed batch-window timers and executes (or deadline-
+        fails) every queued entry, so after ``drain`` returns there are no
+        queued entries left (``queue_depth == 0``) and every previously
+        queued future is resolved.
+        """
         for key in list(self._buckets):
             self._flush(key)
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        """Admitted requests whose futures are not yet resolved."""
+        return self._inflight
+
+    @property
+    def queue_depth(self) -> int:
+        """Ciphertext entries waiting in batch buckets right now."""
+        return sum(len(bucket) for bucket in self._buckets.values())
 
     # -- batching machinery --------------------------------------------------
     def _arm_timer(self, key: Tuple) -> None:
@@ -348,45 +441,123 @@ class InferenceServer:
         if timer is not None:
             timer.cancel()
 
+    def _deadline_overrun(self, pending: _Pending) -> bool:
+        return pending.deadline is not None and self._clock() > pending.deadline
+
+    def _prune(self, entries: List) -> List:
+        """Drop already-resolved entries; deadline-fail the overdue ones."""
+        live = []
+        for entry in entries:
+            pending = entry[0]
+            if pending.future.done():
+                continue
+            if self._deadline_overrun(pending):
+                self._fail(pending, DeadlineExceededError(
+                    f"request {pending.request.request_id} overran its "
+                    f"deadline while queued (batch window "
+                    f"{self.batch_window:g}s)"))
+                continue
+            live.append(entry)
+        return live
+
     def _flush(self, key: Tuple) -> None:
         self._cancel_timer(key)
-        entries = self._buckets.pop(key, [])
+        entries = self._prune(self._buckets.pop(key, []))
         while entries:
             chunk, entries = entries[:self.max_batch_size], entries[self.max_batch_size:]
-            self._execute(key, chunk, batched=len(chunk) > 1)
+            self._execute_chunk(key, chunk)
 
-    def _execute(self, key: Tuple, entries, batched: bool) -> None:
+    def _execute_chunk(self, key: Tuple, entries: List) -> None:
+        if len(entries) == 1:
+            self._execute_single(key, entries[0])
+            return
+        try:
+            outputs = self._run_batch(key, entries)
+        except Exception:
+            # Graceful degradation: retry each member unbatched (through
+            # the retry policy); only requests that still fail see an error.
+            self._counters["unbatched_fallbacks"] += 1
+            for entry in entries:
+                if not entry[0].future.done():
+                    self._execute_single(key, entry)
+            return
+        width = len(entries)
+        self._record_batch(width)
+        for i, (pending, index, _) in enumerate(entries):
+            self._breaker_for(pending.request).record_success()
+            self._deliver(pending, index, outputs[f"y{i}"], width, batched=True)
+
+    def _execute_single(self, key: Tuple, entry: Tuple) -> None:
+        """One request through the retry policy, deadline- and breaker-aware."""
+        pending, index, _ = entry
+        breaker = self._breaker_for(pending.request)
+        retry = self.resilience.retry
+        last_exc: Optional[Exception] = None
+        for attempt in range(retry.max_attempts):
+            if attempt:
+                self._counters["retries"] += 1
+                retry.wait(attempt - 1)
+            if self._deadline_overrun(pending):
+                self._fail(pending, DeadlineExceededError(
+                    f"request {pending.request.request_id} overran its "
+                    f"deadline before attempt {attempt + 1}"))
+                return
+            try:
+                outputs = self._run_batch(key, [entry])
+            except Exception as exc:
+                last_exc = exc
+                self._counters["execution_failures"] += 1
+                breaker.record_failure()
+                continue
+            breaker.record_success()
+            self._record_batch(1)
+            self._deliver(pending, index, outputs["y0"], 1, batched=False)
+            return
+        self._fail(pending, last_exc)
+
+    def _run_batch(self, key: Tuple, entries: List) -> Dict[str, CKKSCiphertext]:
+        """Plan, provision, and execute one chunk; validate every output."""
         keys_id, program_name, level, scale = key
         program = self._programs[program_name]
         evaluator = self._evaluators[keys_id]
         width = len(entries)
-        try:
-            # Any entry's tenant works: one bucket == one key set.
-            tenant = self._tenants[entries[0][0].request.tenant_id]
-            planned = self._planned(program, level, scale, width)
-            self._provision_keys(tenant, planned)
-            executor = ProgramExecutor(evaluator)
-            inputs = {f"x{i}": ct for i, (_, _, ct) in enumerate(entries)}
-            outputs = executor.run(planned, inputs)
-        except Exception as exc:
-            if width == 1:
-                self._fail(entries[0][0], exc)
-                return
-            # Graceful degradation: retry each member unbatched; only the
-            # requests that still fail see an error.
-            self._counters["unbatched_fallbacks"] += 1
-            for entry in entries:
-                self._execute(key, [entry], batched=False)
-            return
+        # Any entry's tenant works: one bucket == one key set.
+        tenant = self._tenants[entries[0][0].request.tenant_id]
+        planned = self._planned(program, level, scale, width)
+        self._provision_keys(tenant, planned)
+        if self._on_batch_start is not None:
+            self._on_batch_start(key, width)
+        executor = ProgramExecutor(evaluator)
+        inputs = {f"x{i}": ct for i, (_, _, ct) in enumerate(entries)}
+        outputs = executor.run(planned, inputs)
+        validator = self.resilience.output_validator
+        if validator is not None:
+            for i, (pending, index, _) in enumerate(entries):
+                try:
+                    validator(pending.request, index, outputs[f"y{i}"])
+                except Exception as exc:
+                    self._counters["output_validation_failures"] += 1
+                    raise CorruptResultError(
+                        f"output integrity check failed for request "
+                        f"{pending.request.request_id}: {exc}") from exc
+        return outputs
+
+    def _breaker_for(self, request: InferenceRequest):
+        return self._breakers.get((request.tenant_id, request.program))
+
+    def _record_batch(self, width: int) -> None:
         self._counters["batches"] += 1
         self._counters["batched_requests"] += width
         self._batch_sizes[width] = self._batch_sizes.get(width, 0) + 1
-        for i, (pending, index, _) in enumerate(entries):
-            self._resolve(pending, index, outputs[f"y{i}"], width, batched)
 
-    def _resolve(self, pending: _Pending, index: int, ct: CKKSCiphertext,
+    def _deliver(self, pending: _Pending, index: int, ct: CKKSCiphertext,
                  width: int, batched: bool) -> None:
         if pending.future.done():
+            return
+        if self._deadline_overrun(pending):
+            self._fail(pending, DeadlineExceededError(
+                f"request {pending.request.request_id} completed after its "
+                f"deadline; result discarded"))
             return
         pending.results[index] = ct
         pending.batch_size = max(pending.batch_size, width)
@@ -395,6 +566,7 @@ class InferenceServer:
         if pending.remaining == 0:
             request = pending.request
             self._counters["served"] += 1
+            self._inflight -= 1
             pending.future.set_result(InferenceResponse(
                 request_id=request.request_id,
                 tenant_id=request.tenant_id,
@@ -408,10 +580,20 @@ class InferenceServer:
     def _fail(self, pending: _Pending, exc: Exception) -> None:
         if pending.future.done():
             return
-        if not isinstance(exc, (RequestRejected, ExecutionError)):
-            exc = ExecutionError(
+        if not isinstance(exc, ServeError):
+            wrapped = ExecutionError(
                 f"execution of request {pending.request.request_id} failed: "
                 f"{exc}")
+            # Chain the original kernel failure so its traceback survives
+            # (the same linkage `raise ... from` would produce).
+            wrapped.__cause__ = exc
+            exc = wrapped
+        if isinstance(exc, DeadlineExceededError):
+            self._counters["deadline_exceeded"] += 1
+        self._counters["failed"] += 1
+        name = type(exc).__name__
+        self._failures[name] = self._failures.get(name, 0) + 1
+        self._inflight -= 1
         pending.future.set_exception(exc)
 
     # -- stats ---------------------------------------------------------------
@@ -422,8 +604,13 @@ class InferenceServer:
         return {
             **self._counters,
             "rejections": dict(self._rejections),
+            "failures": dict(self._failures),
             "batch_size_histogram": dict(sorted(self._batch_sizes.items())),
             "batching_efficiency": (batched_requests / batches) if batches else 0.0,
             "plan_cache": self.plan_cache.stats(),
             "key_cache": self.key_cache.stats(),
+            "admission": self.admission.stats() if self.admission else None,
+            "breakers": self._breakers.stats(),
+            "pending": self._inflight,
+            "queue_depth": self.queue_depth,
         }

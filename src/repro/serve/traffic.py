@@ -4,12 +4,22 @@ The load generator replays deterministic traffic against an
 :class:`~repro.serve.scheduler.InferenceServer` in *passes* (the SimCash
 experiment-harness idiom: per-pass summaries plus an aggregate report), and
 the report carries exactly what an operator tunes against — p50/p99 latency,
-queries/sec, rejection breakdown, and batching efficiency.
+queries/sec, rejection/failure breakdowns, and batching efficiency.
 
 The generator is transport-agnostic about inputs: callers supply an
 ``input_factory(tenant_id, rng)`` returning a fresh ciphertext (or a
-deliberately malformed one, for fault-injection passes), so the same
-generator drives the numpy-backed benchmark and the dependency-free tests.
+deliberately malformed one, for fault-injection passes; it may also raise a
+:class:`~repro.serve.errors.ServeError` to model wire-level corruption
+caught before submission, counted as a rejection).  An optional
+``verify_fn(request, response)`` checks every served response (the chaos
+soak passes a bit-exact reference comparison) and mismatches are reported
+separately from failures.
+
+Every request is accounted for exactly once per pass:
+``served + rejected + failed == requests`` — the invariant
+:func:`chaos_soak_gate` turns into a release gate together with
+"no hung futures", "breakers opened and recovered", and
+"every verified response was bit-exact".
 """
 
 from __future__ import annotations
@@ -17,12 +27,13 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .errors import RequestRejected, ServeError
 from .scheduler import InferenceRequest, InferenceResponse, InferenceServer
 
-__all__ = ["percentile", "PassSummary", "TrafficReport", "LoadGenerator"]
+__all__ = ["percentile", "PassSummary", "TrafficReport", "LoadGenerator",
+           "chaos_soak_gate"]
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -38,7 +49,16 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 @dataclass
 class PassSummary:
-    """One traffic pass: counts, wall time, latency percentiles."""
+    """One traffic pass: counts, wall time, latency percentiles.
+
+    ``rejected`` counts typed pre-execution refusals
+    (:class:`RequestRejected`, including admission-control and breaker
+    rejections, plus ``input_factory`` errors); ``failed`` counts requests
+    that were admitted but whose futures resolved with an error (deadline
+    overruns, exhausted retries); ``mismatched`` counts served responses
+    the pass's ``verify_fn`` rejected.  Always:
+    ``served + rejected + failed == requests``.
+    """
 
     pass_index: int
     requests: int
@@ -50,11 +70,15 @@ class PassSummary:
     latency_p99_ms: float
     mean_batch_size: float
     rejection_types: Dict[str, int] = field(default_factory=dict)
+    failed: int = 0
+    failure_types: Dict[str, int] = field(default_factory=dict)
+    mismatched: int = 0
 
     def line(self) -> str:
         """One formatted report row (the per-pass summary table idiom)."""
         return (f"pass {self.pass_index}: {self.requests:3d} requests  "
                 f"{self.served:3d} served  {self.rejected:2d} rejected  "
+                f"{self.failed:2d} failed  "
                 f"{self.qps:8.1f} qps  p50 {self.latency_p50_ms:7.2f} ms  "
                 f"p99 {self.latency_p99_ms:7.2f} ms  "
                 f"mean batch {self.mean_batch_size:.2f}")
@@ -71,19 +95,28 @@ class TrafficReport:
         requests = sum(p.requests for p in self.passes)
         served = sum(p.served for p in self.passes)
         rejected = sum(p.rejected for p in self.passes)
+        failed = sum(p.failed for p in self.passes)
+        mismatched = sum(p.mismatched for p in self.passes)
         wall = sum(p.wall_seconds for p in self.passes)
         rejections: Dict[str, int] = {}
+        failures: Dict[str, int] = {}
         for p in self.passes:
             for name, count in p.rejection_types.items():
                 rejections[name] = rejections.get(name, 0) + count
+            for name, count in p.failure_types.items():
+                failures[name] = failures.get(name, 0) + count
         out = {
             "passes": len(self.passes),
             "requests": requests,
             "served": served,
             "rejected": rejected,
+            "failed": failed,
+            "mismatched": mismatched,
+            "unresolved": requests - served - rejected - failed,
             "wall_seconds": wall,
             "qps": (served / wall) if wall > 0 else 0.0,
             "rejection_types": rejections,
+            "failure_types": failures,
         }
         if self._latencies:
             out["latency_p50_ms"] = percentile(self._latencies, 50) * 1e3
@@ -98,12 +131,19 @@ class TrafficReport:
 
 
 class LoadGenerator:
-    """Replays seeded multi-tenant traffic through a server, pass by pass."""
+    """Replays seeded multi-tenant traffic through a server, pass by pass.
+
+    ``deadline_seconds`` stamps every generated request with a relative
+    deadline; ``verify_fn(request, response) -> bool`` checks each served
+    response (``False`` counts it as ``mismatched`` in the pass summary).
+    """
 
     def __init__(self, server: InferenceServer, tenants: Sequence[str],
                  programs: Sequence[str],
                  input_factory: Callable[[str, random.Random], Any],
-                 *, seed: int = 0, requests_per_pass: int = 16):
+                 *, seed: int = 0, requests_per_pass: int = 16,
+                 deadline_seconds: "Optional[float]" = None,
+                 verify_fn: "Optional[Callable[[InferenceRequest, InferenceResponse], bool]]" = None):
         if not tenants or not programs:
             raise ValueError("need at least one tenant and one program")
         self.server = server
@@ -112,38 +152,55 @@ class LoadGenerator:
         self.input_factory = input_factory
         self.rng = random.Random(seed)
         self.requests_per_pass = int(requests_per_pass)
+        self.deadline_seconds = deadline_seconds
+        self.verify_fn = verify_fn
         self.report = TrafficReport()
 
-    def _make_requests(self) -> List[InferenceRequest]:
-        requests = []
+    def _make_requests(self) -> Tuple[List[InferenceRequest], Dict[str, int]]:
+        """Build one pass; factory-raised ServeErrors become pre-rejections."""
+        requests: List[InferenceRequest] = []
+        pre_rejections: Dict[str, int] = {}
         for _ in range(self.requests_per_pass):
             tenant = self.rng.choice(self.tenants)
             program = self.rng.choice(self.programs)
-            ciphertext = self.input_factory(tenant, self.rng)
-            requests.append(InferenceRequest.single(tenant, program, ciphertext))
-        return requests
+            try:
+                ciphertext = self.input_factory(tenant, self.rng)
+            except ServeError as exc:
+                name = type(exc).__name__
+                pre_rejections[name] = pre_rejections.get(name, 0) + 1
+                continue
+            requests.append(InferenceRequest.single(
+                tenant, program, ciphertext,
+                deadline_seconds=self.deadline_seconds))
+        return requests, pre_rejections
 
     def run_pass(self) -> PassSummary:
         """Issue one pass of concurrent requests and summarize it."""
-        requests = self._make_requests()
+        requests, rejection_types = self._make_requests()
         start = time.perf_counter()
         results = self.server.serve(requests, return_exceptions=True)
         wall = time.perf_counter() - start
-        responses = [r for r in results if isinstance(r, InferenceResponse)]
-        failures = [r for r in results if isinstance(r, BaseException)]
-        for failure in failures:
-            if not isinstance(failure, ServeError):  # pragma: no cover
-                raise failure
+        responses: List[InferenceResponse] = []
+        failure_types: Dict[str, int] = {}
+        mismatched = 0
+        for request, result in zip(requests, results):
+            if isinstance(result, InferenceResponse):
+                responses.append(result)
+                if self.verify_fn is not None and not self.verify_fn(request, result):
+                    mismatched += 1
+                continue
+            if not isinstance(result, ServeError):  # pragma: no cover
+                raise result
+            name = type(result).__name__
+            if isinstance(result, RequestRejected):
+                rejection_types[name] = rejection_types.get(name, 0) + 1
+            else:
+                failure_types[name] = failure_types.get(name, 0) + 1
         latencies = [r.latency_seconds for r in responses]
         self.report._latencies.extend(latencies)
-        rejection_types: Dict[str, int] = {}
-        for failure in failures:
-            if isinstance(failure, RequestRejected):
-                name = type(failure).__name__
-                rejection_types[name] = rejection_types.get(name, 0) + 1
         summary = PassSummary(
             pass_index=len(self.report.passes),
-            requests=len(requests),
+            requests=self.requests_per_pass,
             served=len(responses),
             rejected=sum(rejection_types.values()),
             wall_seconds=wall,
@@ -153,6 +210,9 @@ class LoadGenerator:
             mean_batch_size=(sum(r.batch_size for r in responses) / len(responses))
             if responses else 0.0,
             rejection_types=rejection_types,
+            failed=sum(failure_types.values()),
+            failure_types=failure_types,
+            mismatched=mismatched,
         )
         self.report.passes.append(summary)
         return summary
@@ -161,3 +221,72 @@ class LoadGenerator:
         for _ in range(passes):
             self.run_pass()
         return self.report
+
+
+def chaos_soak_gate(generator: LoadGenerator, *, min_requests: int = 1000,
+                    min_tenants: int = 3, require_breaker_cycle: bool = True,
+                    require_verification: bool = True) -> Dict[str, Any]:
+    """Assert the chaos-soak release gates over a finished soak run.
+
+    Gates (each failure is reported, then one AssertionError raised):
+
+    * the soak was big enough: ``>= min_requests`` requests across
+      ``>= min_tenants`` tenants;
+    * **no hung futures**: every request resolved (served, typed rejection,
+      or typed failure — the aggregate's ``unresolved`` is zero) and the
+      server holds no pending entries or queued buckets;
+    * **breakers cycled**: at least one breaker opened under injected
+      faults *and* recovered (closed after a half-open probe), and none is
+      still open at the end;
+    * **bit-exactness**: the generator ran with a ``verify_fn`` and zero
+      served responses mismatched the reference.
+
+    Returns the aggregate dict (with ``gates`` attached) for reporting.
+    """
+    server = generator.server
+    agg = generator.report.aggregate()
+    stats = server.stats()
+    problems: List[str] = []
+    if agg["requests"] < min_requests:
+        problems.append(f"soak too small: {agg['requests']} requests "
+                        f"< {min_requests}")
+    if len(generator.tenants) < min_tenants:
+        problems.append(f"soak too narrow: {len(generator.tenants)} tenants "
+                        f"< {min_tenants}")
+    if agg["unresolved"] != 0:
+        problems.append(f"{agg['unresolved']} requests never resolved "
+                        f"(hung futures)")
+    if server.pending_count != 0:
+        problems.append(f"server still tracks {server.pending_count} pending "
+                        f"requests after the soak")
+    if server.queue_depth != 0:
+        problems.append(f"server still holds {server.queue_depth} queued "
+                        f"entries after the soak")
+    transitions = stats["breakers"]["transitions"]
+    if require_breaker_cycle:
+        if transitions["opened"] < 1:
+            problems.append("no circuit breaker ever opened under faults")
+        if transitions["closed"] < 1:
+            problems.append("no circuit breaker recovered (closed) after "
+                            "opening")
+    if stats["breakers"]["open_now"] != 0:
+        problems.append(f"{stats['breakers']['open_now']} breakers still "
+                        f"open at soak end")
+    if require_verification and generator.verify_fn is None:
+        problems.append("soak ran without a verify_fn: bit-exactness gate "
+                        "is vacuous")
+    if agg["mismatched"] != 0:
+        problems.append(f"{agg['mismatched']} served responses mismatched "
+                        f"the eager reference")
+    if problems:
+        raise AssertionError("chaos soak gate failed:\n  - "
+                             + "\n  - ".join(problems))
+    agg["gates"] = {
+        "requests": agg["requests"],
+        "tenants": len(generator.tenants),
+        "unresolved": 0,
+        "breaker_opened": transitions["opened"],
+        "breaker_closed": transitions["closed"],
+        "mismatched": 0,
+    }
+    return agg

@@ -54,6 +54,9 @@ class TestExamples:
         assert "p99" in output
         assert "batching efficiency" in output
         assert "rejected with MissingKeyError" in output
+        assert "rate limited (retry after" in output
+        assert "circuit breaker OPEN: request shed" in output
+        assert "breaker closed again" in output
         assert "serialization round-trip: ok" in output
         assert "[ok]" in output and "MISMATCH" not in output
 

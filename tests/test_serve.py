@@ -324,6 +324,10 @@ def test_unrecoverable_execution_failure_is_typed(monkeypatch):
         [InferenceRequest.single("t0", "dense", _random_ct(TOY, 5))],
         return_exceptions=True)
     assert isinstance(results[0], ExecutionError)
+    # The original kernel failure is chained, so its traceback survives
+    # into the client-visible error instead of being flattened to a string.
+    assert isinstance(results[0].__cause__, RuntimeError)
+    assert "backend on fire" in str(results[0].__cause__)
 
 
 def test_server_roundtrips_serialized_requests():
@@ -660,6 +664,62 @@ def test_percentile_nearest_rank():
     assert percentile([7.0], 99) == 7.0
     with pytest.raises(ValueError):
         percentile([], 50)
+
+
+def test_percentile_edge_cases():
+    # Singleton: every quantile is the one element.
+    assert percentile([3.5], 0) == 3.5
+    assert percentile([3.5], 50) == 3.5
+    assert percentile([3.5], 100) == 3.5
+    # Two elements: nearest-rank puts p50 on the first, p99/p100 on the
+    # second, and sorting is the function's job, not the caller's.
+    assert percentile([9.0, 1.0], 0) == 1.0
+    assert percentile([9.0, 1.0], 50) == 1.0
+    assert percentile([9.0, 1.0], 51) == 9.0
+    assert percentile([9.0, 1.0], 99) == 9.0
+    assert percentile([9.0, 1.0], 100) == 9.0
+    # Out-of-range quantiles are rejected, not clamped.
+    with pytest.raises(ValueError):
+        percentile([1.0], -1)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_drain_flushes_armed_timer_and_inflight_pendings():
+    """drain() resolves queued work immediately, without the batch window."""
+    import asyncio
+
+    server, keys, tracer = _dense_server(TOY, PYTHON, batch_window=60.0)
+    cts = [_random_ct(TOY, 13 * (i + 1)) for i in range(3)]
+
+    async def scenario():
+        tasks = [
+            asyncio.ensure_future(server.submit(
+                InferenceRequest.single("t0", "dense", ct)))
+            for ct in cts
+        ]
+        await asyncio.sleep(0)  # let every submit enqueue and arm the timer
+        assert server.queue_depth == 3 and server.pending_count == 3
+        assert any(not t.done() for t in server._timers.values())
+        server.drain()
+        assert server.queue_depth == 0
+        return await asyncio.gather(*tasks)
+
+    responses = asyncio.run(scenario())
+    references = _eager_outputs(TOY, keys, PYTHON, tracer, cts)
+    for response, reference in zip(responses, references):
+        assert _rows(response.ciphertexts[0]) == _rows(reference)
+    stats = server.stats()
+    assert stats["served"] == 3 and stats["pending"] == 0
+    # the 60s batch window never fired: drain did the flush
+    assert stats["batch_size_histogram"] == {3: 1}
+
+
+def test_drain_is_a_noop_on_an_idle_server():
+    server, _, _ = _dense_server(TOY, PYTHON)
+    server.drain()
+    assert server.queue_depth == 0 and server.pending_count == 0
+    assert server.stats()["batches"] == 0
 
 
 # ---------------------------------------------------------------------------
