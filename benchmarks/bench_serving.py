@@ -26,6 +26,18 @@ at a time:
   output validator).  Gates: every request resolves (no hung futures),
   circuit breakers open under the faults and recover, and every served
   response is bit-exact vs the eager reference.
+* ``serving_wire_overhead`` — the PR 8 network gateway measured against
+  the in-process path: the same C concurrent requests through
+  ``ServingClient -> ServingGateway`` over a loopback socket (RFHE
+  serialization both ways, framing, asyncio streams) vs direct
+  ``InferenceServer.submit``.  Reports both paths' p50/p99/qps, the
+  wire's overhead fraction, and bytes per request on the wire; results
+  are asserted bit-exact across the transport.
+* ``serving_wire_soak`` — the chaos soak routed through the gateway:
+  >= 500 requests over loopback connections (one rate-limited tenant,
+  injected kernel faults + corruption) through the same
+  ``chaos_soak_gate``, plus the wire-specific gate that every rejection
+  delivered to a client carried the stable error code its class owns.
 
 Acceptance (``--check``, on by default, word-size config at L = 8,
 N = 2^12, C = 8): batched throughput >= 1.3x sequential — with the
@@ -43,6 +55,7 @@ Run directly::
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 import time
 from typing import Dict, List
@@ -64,9 +77,13 @@ from repro.serve import (
     LoadGenerator,
     ResiliencePolicy,
     RetryPolicy,
+    ServeError,
+    ServingClient,
+    ServingGateway,
     chaos_soak_gate,
     percentile,
     serialize_ciphertext,
+    wire_code_registry,
 )
 
 BENCH_NAME = "serving"
@@ -271,6 +288,93 @@ def run_multi_tenant_traffic(degree: int, level: int, bits: int, dim: int,
     }
 
 
+def run_wire_overhead(degree: int, level: int, bits: int, dim: int,
+                      batch: int, repeats: int) -> Dict[str, object]:
+    """Loopback client->gateway round-trips vs in-process ``submit``."""
+    context = build_context(degree, level, bits)
+    params = context.params
+    evaluator = context.evaluator
+    transform = _dense_transform(context, dim)
+    server = InferenceServer(params, backend="numpy", max_batch_size=batch,
+                             batch_window=0.001)
+    server.register_tenant("t0", context.keys)
+    server.register_program("dense", transform.trace)
+    cts = _encrypt_inputs(context, batch)
+
+    async def session():
+        gateway = await ServingGateway(server).start()
+        host, port = gateway.address
+        client = await ServingClient.connect(host, port, tenant_id="t0",
+                                             client_name="bench")
+
+        async def wire_pass():
+            futures = [await client.submit("dense", [ct]) for ct in cts]
+            return await asyncio.gather(*futures)
+
+        async def inprocess_pass():
+            return await asyncio.gather(*(
+                server.submit(InferenceRequest.single("t0", "dense", ct))
+                for ct in cts))
+
+        await wire_pass()        # warm plan/key caches and the transport
+        await inprocess_pass()
+
+        async def best_of(pass_fn):
+            best, results, latencies = float("inf"), None, []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                results = await pass_fn()
+                best = min(best, time.perf_counter() - start)
+                latencies = [r.latency_seconds for r in results]
+            return best, results, latencies
+
+        before = dict(client.transport.stats())
+        wire_time, wire_results, wire_latencies = await best_of(wire_pass)
+        after = client.transport.stats()
+        inproc_time, inproc_results, inproc_latencies = \
+            await best_of(inprocess_pass)
+
+        for i, (a, b) in enumerate(zip(wire_results, inproc_results)):
+            if _ct_rows(evaluator, a.ciphertexts[0]) != \
+                    _ct_rows(evaluator, b.ciphertexts[0]):
+                raise AssertionError(
+                    f"request {i}: wire result is not bit-exact vs "
+                    f"in-process submit")
+
+        wire_bytes = (after["bytes_sent"] - before["bytes_sent"]
+                      + after["bytes_received"] - before["bytes_received"])
+        wire_requests = repeats * batch
+        await client.close()
+        await gateway.close()
+        return (wire_time, wire_latencies, inproc_time, inproc_latencies,
+                wire_bytes / wire_requests)
+
+    wire_time, wire_latencies, inproc_time, inproc_latencies, \
+        bytes_per_request = asyncio.run(session())
+    overhead = max(0.0, wire_time - inproc_time)
+    return {
+        "kernel": "serving_wire_overhead",
+        "ring_degree": degree,
+        "limbs": level + 1,
+        "modulus_bits": bits,
+        "dimension": dim,
+        "batch_size": batch,
+        "wire_seconds": wire_time,
+        "inprocess_seconds": inproc_time,
+        "wire_overhead_seconds": overhead,
+        "wire_overhead_fraction": (
+            overhead / wire_time if wire_time > 0 else 0.0),
+        "qps": batch / wire_time,
+        "qps_inprocess": batch / inproc_time,
+        "latency_p50_ms": percentile(wire_latencies, 50) * 1e3,
+        "latency_p99_ms": percentile(wire_latencies, 99) * 1e3,
+        "inprocess_latency_p50_ms": percentile(inproc_latencies, 50) * 1e3,
+        "inprocess_latency_p99_ms": percentile(inproc_latencies, 99) * 1e3,
+        "bytes_per_request": bytes_per_request,
+        "batching_efficiency": server.stats()["batching_efficiency"],
+    }
+
+
 def _ct_rows(evaluator, ct):
     cc = evaluator.to_coeff(ct)
     return (
@@ -280,8 +384,17 @@ def _ct_rows(evaluator, ct):
 
 
 def run_chaos_soak(degree: int, level: int, bits: int, dim: int, batch: int,
-                   passes: int, requests_per_pass: int) -> Dict[str, object]:
-    """The PR 7 resilience gate: a faulted multi-tenant soak, verified."""
+                   passes: int, requests_per_pass: int, *,
+                   wire: bool = False,
+                   min_requests: int = 1000) -> Dict[str, object]:
+    """The PR 7 resilience gate: a faulted multi-tenant soak, verified.
+
+    With ``wire=True`` the soak routes every request through a loopback
+    ``ServingClient -> ServingGateway`` session (one connection per
+    tenant) instead of in-process ``submit``, and additionally gates that
+    every rejection a client received carried the stable wire code its
+    class owns in the registry.
+    """
     context = build_context(degree, level, bits)
     params = context.params
     transform = _dense_transform(context, dim)
@@ -302,8 +415,11 @@ def run_chaos_soak(degree: int, level: int, bits: int, dim: int, batch: int,
     trace.output("y", transform.trace(trace.input("x")))
     aligned = plan_program(trace.program, optimize=False)
     pool = _encrypt_inputs(context, 4)
+    # References are keyed by ciphertext *content*, not object identity:
+    # the wire path deserializes fresh ciphertext objects on the gateway
+    # side, and those must hit the same reference rows.
     references = {
-        id(ct): _ct_rows(
+        _ct_rows(reference_evaluator, ct): _ct_rows(
             reference_evaluator,
             ProgramExecutor(reference_evaluator).run_eager(aligned,
                                                            {"x": ct})["y"])
@@ -311,13 +427,14 @@ def run_chaos_soak(degree: int, level: int, bits: int, dim: int, batch: int,
     }
 
     def validator(request, index, ciphertext):
-        expected = references[id(request.ciphertexts[index])]
+        expected = references[
+            _ct_rows(reference_evaluator, request.ciphertexts[index])]
         if _ct_rows(reference_evaluator, ciphertext) != expected:
             raise ValueError("output mismatches the eager reference")
 
     def verify(request, response):
         return _ct_rows(reference_evaluator, response.ciphertexts[0]) == \
-            references[id(request.ciphertexts[0])]
+            references[_ct_rows(reference_evaluator, request.ciphertexts[0])]
 
     reset_timeout = 0.05
     server = InferenceServer(
@@ -336,30 +453,72 @@ def run_chaos_soak(degree: int, level: int, bits: int, dim: int, batch: int,
     def input_factory(tenant_id, rng):
         return pool[rng.randrange(len(pool))]
 
-    generator = LoadGenerator(
-        server, tenants=["org-a/u0", "org-a/u1", "org-b/u0", "org-c/free"],
-        programs=["dense"], input_factory=input_factory, seed=17,
-        requests_per_pass=requests_per_pass, deadline_seconds=30.0,
+    tenants = ["org-a/u0", "org-a/u1", "org-b/u0", "org-c/free"]
+    gen_kwargs = dict(
+        tenants=tenants, programs=["dense"], input_factory=input_factory,
+        seed=17, requests_per_pass=requests_per_pass, deadline_seconds=30.0,
         verify_fn=verify)
+    wire_rejections: List[ServeError] = []
+    gateway_stats = None
 
-    start = time.perf_counter()
-    for _ in range(passes):
+    if not wire:
+        generator = LoadGenerator(server, **gen_kwargs)
+        start = time.perf_counter()
+        for _ in range(passes):
+            generator.run_pass()
+        extra = 0
+        while not schedule.exhausted() and extra < 10:
+            generator.run_pass()
+            extra += 1
+        # Recovery tail: the fault budget is spent; once the reset timeout
+        # elapses, opened breakers half-open, probe, and close.
+        time.sleep(1.5 * reset_timeout)
         generator.run_pass()
-    extra = 0
-    while not schedule.exhausted() and extra < 10:
         generator.run_pass()
-        extra += 1
-    # Recovery tail: the fault budget is spent; once the reset timeout
-    # elapses, opened breakers half-open, probe, and close.
-    time.sleep(1.5 * reset_timeout)
-    generator.run_pass()
-    generator.run_pass()
-    wall = time.perf_counter() - start
+        wall = time.perf_counter() - start
+    else:
+        async def soak():
+            gateway = await ServingGateway(server).start()
+            host, port = gateway.address
+            clients = {tenant: await ServingClient.connect(
+                host, port, tenant_id=tenant) for tenant in tenants}
 
-    aggregate = chaos_soak_gate(generator, min_requests=1000, min_tenants=3)
+            async def submit_over_wire(request):
+                client = clients[request.tenant_id]
+                try:
+                    return await (await client.submit(
+                        request.program, request.ciphertexts,
+                        deadline_seconds=request.deadline_seconds))
+                except ServeError as exc:
+                    wire_rejections.append(exc)
+                    raise
+
+            generator = LoadGenerator(server, submit_async=submit_over_wire,
+                                      **gen_kwargs)
+            start = time.perf_counter()
+            for _ in range(passes):
+                await generator.run_pass_async()
+            extra = 0
+            while not schedule.exhausted() and extra < 10:
+                await generator.run_pass_async()
+                extra += 1
+            await asyncio.sleep(1.5 * reset_timeout)
+            await generator.run_pass_async()
+            await generator.run_pass_async()
+            wall = time.perf_counter() - start
+            for client in clients.values():
+                await client.close()
+            stats = gateway.stats()
+            await gateway.close()
+            return generator, wall, stats
+
+        generator, wall, gateway_stats = asyncio.run(soak())
+
+    aggregate = chaos_soak_gate(generator, min_requests=min_requests,
+                                min_tenants=3)
     stats = server.stats()
-    return {
-        "kernel": "serving_chaos_soak",
+    record = {
+        "kernel": "serving_wire_soak" if wire else "serving_chaos_soak",
         "ring_degree": degree,
         "limbs": level + 1,
         "modulus_bits": bits,
@@ -381,6 +540,25 @@ def run_chaos_soak(degree: int, level: int, bits: int, dim: int, batch: int,
         "failures": stats["failures"],
         "admission": stats["admission"],
     }
+    if wire:
+        # The wire-specific gate: every rejection a client received is
+        # typed and carries the stable code its class owns.
+        registry = wire_code_registry()
+        mistyped = [exc for exc in wire_rejections
+                    if registry.get(exc.code) is not type(exc)]
+        if mistyped:
+            raise AssertionError(
+                f"{len(mistyped)} wire rejections arrived without their "
+                f"stable code: {sorted({type(e).__name__ for e in mistyped})}")
+        record["wire_rejections"] = len(wire_rejections)
+        record["wire_error_codes"] = sorted(
+            {exc.code for exc in wire_rejections})
+        record["gateway"] = {
+            key: gateway_stats[key]
+            for key in ("requests", "responses", "wire_errors",
+                        "connections_opened", "window_rejections")}
+        record["transport_totals"] = gateway_stats["transport_totals"]
+    return record
 
 
 def print_table(records: List[Dict[str, object]]) -> None:
@@ -435,16 +613,25 @@ def main(argv: "List[str] | None" = None) -> int:
         overhead_record,
         run_multi_tenant_traffic(degree, level, GATED_BITS, dim, batch,
                                  passes, requests_per_pass),
+        run_wire_overhead(degree, level, GATED_BITS, dim, batch, repeats),
     ]
-    # The chaos soak runs the same size in every mode (including --quick):
-    # >= 1000 requests, 4 tenants, on a small ring so it stays a smoke test.
+    # The soaks run the same size in every mode (including --quick): the
+    # in-process one >= 1000 requests, the wire one >= 500, 4 tenants, on
+    # a small ring so they stay smoke tests.
+    soak_failures = []
     try:
         records.append(run_chaos_soak(degree=1 << 9, level=5, bits=GATED_BITS,
                                       dim=16, batch=8, passes=16,
                                       requests_per_pass=64))
-        soak_failure = None
     except AssertionError as exc:
-        soak_failure = str(exc)
+        soak_failures.append(("serving_chaos_soak", str(exc)))
+    try:
+        records.append(run_chaos_soak(degree=1 << 9, level=5, bits=GATED_BITS,
+                                      dim=16, batch=8, passes=8,
+                                      requests_per_pass=64, wire=True,
+                                      min_requests=500))
+    except AssertionError as exc:
+        soak_failures.append(("serving_wire_soak", str(exc)))
     print_table(records)
 
     if args.json:
@@ -457,16 +644,21 @@ def main(argv: "List[str] | None" = None) -> int:
 
     print()
     failures = []
-    if soak_failure is not None:
-        print(f"serving_chaos_soak: {soak_failure}", file=sys.stderr)
-        failures.append("serving_chaos_soak")
-    else:
-        soak = records[-1]
-        print(f"serving_chaos_soak: {soak['gates']['requests']} requests, "
+    for name, message in soak_failures:
+        print(f"{name}: {message}", file=sys.stderr)
+        failures.append(name)
+    for soak in records:
+        if soak["kernel"] not in ("serving_chaos_soak", "serving_wire_soak"):
+            continue
+        extra = ""
+        if soak["kernel"] == "serving_wire_soak":
+            extra = (f", {soak['wire_rejections']} wire rejections all "
+                     f"stable-coded")
+        print(f"{soak['kernel']}: {soak['gates']['requests']} requests, "
               f"{soak['gates']['tenants']} tenants, "
               f"breakers opened {soak['gates']['breaker_opened']} / "
               f"closed {soak['gates']['breaker_closed']}, "
-              f"0 hung, 0 mismatched ok")
+              f"0 hung, 0 mismatched{extra} ok")
     for rec in records:
         if rec["kernel"] not in REQUIRED_SPEEDUPS:
             continue

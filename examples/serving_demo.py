@@ -13,13 +13,19 @@ The ``repro.serve`` layer in one sitting:
 5. show the PR 7 resilience machinery: a bursty tenant hitting its
    token-bucket rate limit, and a circuit breaker opening under injected
    kernel faults, shedding load, then recovering through a half-open
-   probe — all on a manual clock, so the demo is deterministic.
+   probe — all on a manual clock, so the demo is deterministic;
+6. put the same server behind the ``repro.serve.net`` gateway and run a
+   loopback client session over a real socket: framed HELLO handshake,
+   multiplexed in-flight requests, and a typed wire rejection whose
+   stable error code rebuilds the scheduler's exception class-for-class
+   on the client side.
 
 Run::
 
     PYTHONPATH=src python examples/serving_demo.py
 """
 
+import asyncio
 import random
 
 from repro.fhe.backend import available_backends, get_backend, set_active_backend
@@ -40,6 +46,9 @@ from repro.serve import (
     RateLimitedError,
     ResiliencePolicy,
     RetryPolicy,
+    ServingClient,
+    ServingGateway,
+    UnknownProgramError,
     deserialize_ciphertext,
     serialize_ciphertext,
 )
@@ -215,6 +224,59 @@ def main() -> None:
     print(f"wire format: ciphertext serializes to {len(blob)} bytes "
           f"({params.modulus_bits}-bit moduli -> 4-byte words)")
     print(f"serialization round-trip: {'ok' if exact else 'MISMATCH'}")
+
+    # -- network gateway: loopback client session ----------------------------
+    # The same server behind the framed asyncio gateway.  The client
+    # handshakes (protocol version + tenant id), keeps four requests in
+    # flight on one socket, and a typed rejection crosses the wire as an
+    # ERROR envelope whose stable code rebuilds the exact exception class.
+    print()
+    print("network gateway: loopback client session")
+
+    def _ct_rows(ct):
+        return (ct.c0.coefficient_rows(), ct.c1.coefficient_rows())
+
+    async def loopback_session() -> None:
+        async with ServingGateway(server, host="127.0.0.1", port=0,
+                                  server_name="demo-gateway") as gateway:
+            host, port = gateway.address
+            async with await ServingClient.connect(
+                    host, port, tenant_id="org-a/session-0",
+                    client_name="serving-demo") as client:
+                print(f"  connected to {client.server_name} at "
+                      f"{host}:{port} (window {client.max_inflight})")
+                futures = [await client.submit("dense16",
+                                               [pool[i % len(pool)]])
+                           for i in range(4)]
+                replies = await asyncio.gather(*futures)
+                local = await asyncio.gather(*[
+                    server.submit(InferenceRequest.single(
+                        "org-a/session-0", "dense16", pool[i % len(pool)]))
+                    for i in range(4)])
+                wire_exact = all(
+                    _ct_rows(reply.ciphertexts[0]) ==
+                    _ct_rows(local[i].ciphertexts[0])
+                    for i, reply in enumerate(replies))
+                print(f"  4 multiplexed requests served, batch size "
+                      f"{replies[0].batch_size}, bit-exact vs in-process: "
+                      f"{'ok' if wire_exact else 'MISMATCH'}")
+                try:
+                    await client.call("resnet50", [pool[0]])
+                except UnknownProgramError as exc:
+                    print(f"  typed wire rejection: "
+                          f"{type(exc).__name__} (stable code {exc.code})")
+                stats = client.stats()
+                print(f"  session stats: {stats['served']} served / "
+                      f"{stats['errors']} errors over "
+                      f"{stats['frames_sent']} frames sent, "
+                      f"{stats['bytes_received']} bytes received")
+        gw = gateway.stats()
+        print(f"  gateway drained clean: {gw['requests']} requests, "
+                  f"{gw['responses']} responses, "
+                  f"{gw['wire_errors']} wire errors, "
+                  f"{gw['open_connections']} connections left open")
+
+    asyncio.run(loopback_session())
 
 
 if __name__ == "__main__":

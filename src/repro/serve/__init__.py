@@ -24,7 +24,13 @@ the batched kernels and the Trinity cost model are built around:
 * :mod:`~repro.serve.traffic` — seeded synthetic multi-tenant load, the
   p50/p99/qps/batching-efficiency report, and the chaos-soak release gate
   (every request resolves, breakers cycle, served responses bit-exact);
-* :mod:`~repro.serve.errors` — the typed rejection/failure hierarchy.
+* :mod:`~repro.serve.net` — the streaming network front-end: framed
+  envelope transport, :class:`ServingGateway` (asyncio server mapping
+  typed rejections onto wire ERROR envelopes with stable codes), and the
+  sessioned :class:`ServingClient` with multiplexed in-flight requests;
+* :mod:`~repro.serve.errors` — the typed rejection/failure hierarchy;
+  every class carries a stable wire ``code`` and round-trips through
+  ``to_wire()`` / :func:`error_from_wire`.
 
 Everything here is importable without numpy; only the contents of the
 ciphertexts flowing through demand a specific backend.
@@ -44,6 +50,7 @@ from .chaos import (
 )
 from .errors import (
     CircuitOpenError,
+    ConnectionClosedError,
     CorruptPayloadError,
     CorruptResultError,
     DeadlineExceededError,
@@ -53,15 +60,20 @@ from .errors import (
     OverloadedError,
     OversizeBatchError,
     ParameterMismatchError,
+    ProtocolError,
     RateLimitedError,
     RequestRejected,
     ScaleMismatchError,
+    SecretKeyOnWireError,
     SerializationError,
     ServeError,
     UnknownProgramError,
     UnknownTenantError,
     UnsupportedVersionError,
+    error_from_wire,
+    wire_code_registry,
 )
+from .net import ClientResponse, FrameTransport, ServingClient, ServingGateway
 from .resilience import (
     BreakerBoard,
     CircuitBreaker,
@@ -82,6 +94,8 @@ from .serialization import (
     deserialize_public_key,
     deserialize_rns_polynomial,
     deserialize_secret_key,
+    kind_name,
+    payload_kind,
     serialize,
     serialize_ciphertext,
     serialize_keyswitch_key,
@@ -138,6 +152,13 @@ __all__ = [
     "deserialize_public_key",
     "serialize_secret_key",
     "deserialize_secret_key",
+    "payload_kind",
+    "kind_name",
+    # net
+    "FrameTransport",
+    "ServingGateway",
+    "ServingClient",
+    "ClientResponse",
     # traffic
     "LoadGenerator",
     "TrafficReport",
@@ -163,4 +184,9 @@ __all__ = [
     "DeadlineExceededError",
     "ExecutionError",
     "CorruptResultError",
+    "SecretKeyOnWireError",
+    "ProtocolError",
+    "ConnectionClosedError",
+    "error_from_wire",
+    "wire_code_registry",
 ]

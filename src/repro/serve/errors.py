@@ -9,8 +9,10 @@ matching.  The hierarchy:
 
   * :class:`SerializationError` — malformed wire payloads; refined into
     :class:`UnsupportedVersionError` (readable header, unknown format
-    version) and :class:`CorruptPayloadError` (checksum mismatch — covers
-    truncation and bit flips past the header).
+    version), :class:`CorruptPayloadError` (checksum mismatch — covers
+    truncation and bit flips past the header), and
+    :class:`SecretKeyOnWireError` (the transport refused to move a secret
+    key in either direction).
   * :class:`RequestRejected` — a request refused *before* any homomorphic
     work starts.  The scheduler validates at submit time and keeps serving
     subsequent requests; each subclass names one rejection reason.
@@ -25,17 +27,29 @@ matching.  The hierarchy:
     retry policy were exhausted; refined into :class:`CorruptResultError`
     when the failure was an output-integrity check rather than a raised
     kernel error.
+  * :class:`ProtocolError` / :class:`ConnectionClosedError` — wire-level
+    failures of the framed transport (:mod:`repro.serve.net`): a malformed
+    or out-of-sequence frame, and a connection that went away with
+    requests outstanding.
+
+Wire contract: every class carries a **stable integer** ``code`` (part of
+the network protocol — never renumber a shipped code) and round-trips
+through ``to_wire()`` / :func:`error_from_wire`, so a rejection raised
+inside the scheduler arrives at a remote client as the *same* typed
+exception, machine-readable details (``retry_after_seconds``, the missing
+evaluation keys, ...) included.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Type
 
 __all__ = [
     "ServeError",
     "SerializationError",
     "UnsupportedVersionError",
     "CorruptPayloadError",
+    "SecretKeyOnWireError",
     "RequestRejected",
     "UnknownTenantError",
     "UnknownProgramError",
@@ -50,11 +64,81 @@ __all__ = [
     "DeadlineExceededError",
     "ExecutionError",
     "CorruptResultError",
+    "ProtocolError",
+    "ConnectionClosedError",
+    "error_from_wire",
+    "wire_code_registry",
 ]
 
 
+# code -> class; filled by ServeError.__init_subclass__ as classes are
+# defined, so the registry can never drift from the hierarchy.
+_ERROR_CODES: "Dict[int, Type[ServeError]]" = {}
+
+
 class ServeError(Exception):
-    """Base class of every serving-layer error."""
+    """Base class of every serving-layer error.
+
+    ``code`` is the stable wire identifier of the class: the framed
+    transport ships ``(code, message, details)`` and the receiving side
+    rebuilds the typed exception with :func:`error_from_wire`.  Codes are
+    part of the network protocol — new classes take fresh codes, existing
+    codes are never reused or renumbered.
+    """
+
+    code = 1
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        if "code" not in cls.__dict__:
+            raise TypeError(
+                f"{cls.__name__} must declare its own stable wire `code`")
+        taken = _ERROR_CODES.get(cls.code)
+        if taken is not None and taken is not cls:
+            raise TypeError(
+                f"wire code {cls.code} of {cls.__name__} already belongs to "
+                f"{taken.__name__}")
+        _ERROR_CODES[cls.code] = cls
+
+    # -- wire round-trip -----------------------------------------------------
+    def wire_details(self) -> Dict[str, Any]:
+        """Machine-readable, JSON-encodable extras (subclasses extend)."""
+        return {}
+
+    def to_wire(self) -> Dict[str, Any]:
+        """The ``{code, message, details}`` triple an ERROR envelope ships."""
+        return {"code": self.code, "message": str(self),
+                "details": self.wire_details()}
+
+    @classmethod
+    def from_wire_details(cls, message: str,
+                          details: Dict[str, Any]) -> "ServeError":
+        """Rebuild an instance from a wire triple (subclasses refine)."""
+        return cls(message)
+
+
+_ERROR_CODES[ServeError.code] = ServeError
+
+
+def wire_code_registry() -> "Dict[int, Type[ServeError]]":
+    """A copy of the stable ``code -> error class`` wire registry."""
+    return dict(_ERROR_CODES)
+
+
+def error_from_wire(code: int, message: str,
+                    details: "Optional[Dict[str, Any]]" = None) -> ServeError:
+    """Rebuild the typed exception a peer serialized with ``to_wire()``.
+
+    Unknown codes (a newer peer) degrade to a plain :class:`ServeError`
+    whose instance ``code`` preserves the received value, so callers can
+    still branch on it.
+    """
+    cls = _ERROR_CODES.get(int(code))
+    if cls is None:
+        exc = ServeError(message)
+        exc.code = int(code)
+        return exc
+    return cls.from_wire_details(message, dict(details or {}))
 
 
 # ---------------------------------------------------------------------------
@@ -64,13 +148,32 @@ class ServeError(Exception):
 class SerializationError(ServeError):
     """A wire payload that cannot be decoded into a well-formed value."""
 
+    code = 10
+
 
 class UnsupportedVersionError(SerializationError):
     """The payload declares a format version this build does not speak."""
 
+    code = 11
+
 
 class CorruptPayloadError(SerializationError):
     """The payload checksum does not match (truncation or corruption)."""
+
+    code = 12
+
+
+class SecretKeyOnWireError(SerializationError):
+    """The transport refused to send or accept a secret-key payload.
+
+    Secret keys never belong on the serving wire: the gateway decrypts
+    nothing, so the only thing shipping one can do is leak it.  Both the
+    client and the gateway enforce this on *send and receive* — a peer
+    that ships one anyway is treated as a protocol violation and the
+    connection is closed.
+    """
+
+    code = 13
 
 
 # ---------------------------------------------------------------------------
@@ -84,30 +187,44 @@ class RequestRejected(ServeError):
     in-flight request are unaffected.
     """
 
+    code = 20
+
 
 class UnknownTenantError(RequestRejected):
     """The request names a tenant that was never registered."""
 
+    code = 21
+
 
 class UnknownProgramError(RequestRejected):
     """The request names a hosted program that was never registered."""
+
+    code = 22
 
 
 class ParameterMismatchError(RequestRejected):
     """The ciphertext was produced under different CKKS parameters
     (ring degree or modulus chain) than the server hosts."""
 
+    code = 23
+
 
 class LevelMismatchError(RequestRejected):
     """The ciphertext level does not match the hosted program's input level."""
+
+    code = 24
 
 
 class ScaleMismatchError(RequestRejected):
     """The ciphertext scale is incompatible with the hosted program."""
 
+    code = 25
+
 
 class OversizeBatchError(RequestRejected):
     """The request carries more ciphertexts than the scheduler's batch bound."""
+
+    code = 26
 
 
 class MissingKeyError(RequestRejected):
@@ -118,9 +235,19 @@ class MissingKeyError(RequestRejected):
     provisioned for the request to be servable.
     """
 
+    code = 27
+
     def __init__(self, message: str, missing: "List[Tuple] | None" = None):
         super().__init__(message)
         self.missing = list(missing or [])
+
+    def wire_details(self) -> Dict[str, Any]:
+        return {"missing": [list(entry) for entry in self.missing]}
+
+    @classmethod
+    def from_wire_details(cls, message, details):
+        missing = [tuple(entry) for entry in details.get("missing", [])]
+        return cls(message, missing=missing)
 
 
 # ---------------------------------------------------------------------------
@@ -134,14 +261,26 @@ class RateLimitedError(RequestRejected):
     admit one request (clients should back off at least that long).
     """
 
+    code = 28
+
     def __init__(self, message: str,
                  retry_after_seconds: "Optional[float]" = None):
         super().__init__(message)
         self.retry_after_seconds = retry_after_seconds
 
+    def wire_details(self) -> Dict[str, Any]:
+        return {"retry_after_seconds": self.retry_after_seconds}
+
+    @classmethod
+    def from_wire_details(cls, message, details):
+        return cls(message,
+                   retry_after_seconds=details.get("retry_after_seconds"))
+
 
 class OverloadedError(RequestRejected):
-    """Global backpressure: the scheduler's pending queue is at capacity."""
+    """Backpressure: a pending-queue or in-flight window is at capacity."""
+
+    code = 29
 
 
 class CircuitOpenError(RequestRejected):
@@ -151,10 +290,20 @@ class CircuitOpenError(RequestRejected):
     to probe recovery after ``retry_after_seconds``.
     """
 
+    code = 30
+
     def __init__(self, message: str,
                  retry_after_seconds: "Optional[float]" = None):
         super().__init__(message)
         self.retry_after_seconds = retry_after_seconds
+
+    def wire_details(self) -> Dict[str, Any]:
+        return {"retry_after_seconds": self.retry_after_seconds}
+
+    @classmethod
+    def from_wire_details(cls, message, details):
+        return cls(message,
+                   retry_after_seconds=details.get("retry_after_seconds"))
 
 
 # ---------------------------------------------------------------------------
@@ -169,6 +318,8 @@ class DeadlineExceededError(ServeError):
     deadline, and the pending future is failed rather than left hanging.
     """
 
+    code = 40
+
 
 # ---------------------------------------------------------------------------
 # Execution
@@ -182,6 +333,15 @@ class ExecutionError(ServeError):
     exception is chained as ``__cause__``.
     """
 
+    code = 50
+
+    def wire_details(self) -> Dict[str, Any]:
+        # The chained kernel exception cannot cross the wire, but its type
+        # name is worth a remote operator's while.
+        if self.__cause__ is not None:
+            return {"cause": type(self.__cause__).__name__}
+        return {}
+
 
 class CorruptResultError(ExecutionError):
     """Execution produced an output that failed the integrity check.
@@ -190,3 +350,33 @@ class CorruptResultError(ExecutionError):
     computed ciphertext (e.g. a corrupted kernel result caught by a range
     or reference check) and retries could not produce a clean one.
     """
+
+    code = 51
+
+
+# ---------------------------------------------------------------------------
+# Framed transport
+# ---------------------------------------------------------------------------
+
+class ProtocolError(ServeError):
+    """A malformed or out-of-sequence frame on the network transport.
+
+    Raised for unreadable frames (bad envelope tag, truncation, checksum
+    mismatch, oversize length prefix) and handshake violations (first
+    envelope not HELLO, protocol version mismatch, duplicate in-flight
+    request id).  A connection that produced one is not trustworthy to
+    keep parsing — the peer reports the error and closes it.
+    """
+
+    code = 60
+
+
+class ConnectionClosedError(ServeError):
+    """The connection went away with requests outstanding (client side).
+
+    Every pending future is failed with this instead of hanging when the
+    gateway says GOODBYE, the socket hits EOF, or the client is closed
+    locally.
+    """
+
+    code = 61

@@ -1,0 +1,63 @@
+"""Streaming network front-end of the serving layer.
+
+Three modules turn the in-process :class:`~repro.serve.InferenceServer`
+into a deployable encrypted-inference service:
+
+* :mod:`~repro.serve.net.framing` — the length-prefixed frame codec and
+  typed envelopes (HELLO/HELLO_ACK handshake, multiplexed REQUEST/
+  RESPONSE, ERROR with stable codes, GOODBYE) over asyncio streams,
+  payloads being RFHE-serialized ciphertexts; enforces that secret keys
+  never cross the wire in either direction;
+* :mod:`~repro.serve.net.gateway` — :class:`ServingGateway`, the asyncio
+  server that decodes frames, forwards requests into the scheduler, maps
+  every typed rejection onto a wire ERROR, applies per-connection
+  backpressure, and drains without hanging a single client future;
+* :mod:`~repro.serve.net.client` — :class:`ServingClient`, the sessioned
+  async client with future-per-request multiplexing, client-side
+  timeouts, and retries through the shared
+  :class:`~repro.serve.resilience.RetryPolicy`.
+
+The loopback differential test in ``tests/test_net.py`` pins the core
+invariant: requests through client → gateway → scheduler decrypt
+bit-exact to the same requests via in-process ``submit``.
+
+Like the rest of the serving layer, everything here imports without
+numpy.
+"""
+
+from .client import RETRYABLE_ERRORS, ClientResponse, ServingClient
+from .framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    Error,
+    FrameTransport,
+    Goodbye,
+    Hello,
+    HelloAck,
+    Request,
+    Response,
+    decode_envelope,
+    encode_envelope,
+    encode_frame,
+)
+from .gateway import DEFAULT_INFLIGHT_WINDOW, ServingGateway
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "DEFAULT_INFLIGHT_WINDOW",
+    "Hello",
+    "HelloAck",
+    "Request",
+    "Response",
+    "Error",
+    "Goodbye",
+    "encode_envelope",
+    "decode_envelope",
+    "encode_frame",
+    "FrameTransport",
+    "ServingGateway",
+    "ServingClient",
+    "ClientResponse",
+    "RETRYABLE_ERRORS",
+]

@@ -1,0 +1,362 @@
+"""Sessioned async client for the serving gateway.
+
+:class:`ServingClient` opens one framed connection, performs the HELLO
+handshake (protocol version + tenant id), and multiplexes requests over
+it: ``submit()`` serializes the ciphertexts, assigns a connection-scoped
+request id, and returns an :class:`asyncio.Future` that resolves when the
+matching RESPONSE or ERROR frame arrives — so callers keep many requests
+in flight on one socket.  ``call()`` layers the convenience loop on top:
+an optional client-side timeout and retries through the shared
+:class:`~repro.serve.resilience.RetryPolicy`, honouring the server's
+``retry_after_seconds`` hint when a rejection carries one.
+
+Error propagation is typed end to end: a wire ERROR envelope is rebuilt
+into the same :class:`~repro.serve.errors.ServeError` subclass the
+scheduler raised (stable code, machine-readable details), so
+
+    try:
+        await client.call("dense", [ct])
+    except RateLimitedError as exc:
+        await asyncio.sleep(exc.retry_after_seconds)
+
+works identically against a remote gateway and an in-process server.
+
+Liveness guarantees:
+
+* every pending future is resolved — with a result, a typed error, or
+  :class:`~repro.serve.errors.ConnectionClosedError` when the gateway
+  says GOODBYE, the socket drops, or the client is closed locally; a
+  submitted request can never hang forever;
+* the client respects the gateway's advertised per-connection in-flight
+  window with a local semaphore, blocking ``submit()`` instead of
+  provoking wire ``OverloadedError`` rejections;
+* the framing layer's secret-key guard applies on this side too:
+  ``submit()`` with a secret-key payload raises
+  :class:`~repro.serve.errors.SecretKeyOnWireError` before a single byte
+  leaves the process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Sequence
+
+from ..errors import (
+    CircuitOpenError,
+    ConnectionClosedError,
+    DeadlineExceededError,
+    ExecutionError,
+    OverloadedError,
+    ProtocolError,
+    RateLimitedError,
+    ServeError,
+)
+from ..resilience import RetryPolicy
+from ..serialization import deserialize_ciphertext, serialize_ciphertext
+from .framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    Error,
+    FrameTransport,
+    Goodbye,
+    Hello,
+    HelloAck,
+    Request,
+    Response,
+)
+
+__all__ = ["ServingClient", "ClientResponse", "RETRYABLE_ERRORS"]
+
+# Failures worth retrying: transient by construction (rate limits refill,
+# breakers half-open, windows drain, kernels are retried fresh).
+RETRYABLE_ERRORS = (RateLimitedError, OverloadedError, CircuitOpenError,
+                    ExecutionError)
+
+
+@dataclass
+class ClientResponse:
+    """A served wire request, ciphertexts already deserialized.
+
+    ``latency_seconds`` is the client-measured wire round-trip;
+    ``server_latency_seconds`` is the scheduler-measured execution latency
+    the RESPONSE envelope reported — the difference is transport overhead.
+    """
+
+    request_id: int
+    program: str
+    ciphertexts: List[Any]
+    batch_size: int
+    batched: bool
+    latency_seconds: float
+    server_latency_seconds: float
+
+
+class ServingClient:
+    """One framed connection to a :class:`ServingGateway`, multiplexed."""
+
+    def __init__(self, transport: FrameTransport, *, tenant_id: str,
+                 server_name: str = "", max_inflight: int = 0,
+                 retry: "Optional[RetryPolicy]" = None,
+                 sleep: "Optional[Callable[[float], Awaitable[None]]]" = None,
+                 clock: Callable[[], float] = time.perf_counter):
+        self.transport = transport
+        self.tenant_id = tenant_id
+        self.server_name = server_name
+        self.max_inflight = int(max_inflight)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._sleep = sleep if sleep is not None else asyncio.sleep
+        self._clock = clock
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._starts: Dict[int, float] = {}
+        self._programs: Dict[int, str] = {}
+        self._next_id = 1
+        self._closed = False
+        self._window: "Optional[asyncio.Semaphore]" = (
+            asyncio.Semaphore(self.max_inflight) if self.max_inflight > 0
+            else None)
+        self._counters: Dict[str, int] = {
+            "submitted": 0, "served": 0, "errors": 0, "retries": 0,
+            "timeouts": 0, "orphaned": 0,
+        }
+        self._reader_task: "Optional[asyncio.Task]" = None
+
+    # -- lifecycle -----------------------------------------------------------
+    @classmethod
+    async def connect(cls, host: str, port: int, *, tenant_id: str,
+                      client_name: str = "",
+                      retry: "Optional[RetryPolicy]" = None,
+                      sleep: "Optional[Callable[[float], Awaitable[None]]]" = None,
+                      max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+                      ) -> "ServingClient":
+        """Open a connection, handshake, and start the reader loop."""
+        reader, writer = await asyncio.open_connection(host, port)
+        transport = FrameTransport(reader, writer,
+                                   max_frame_bytes=max_frame_bytes)
+        try:
+            await transport.send(Hello(protocol_version=PROTOCOL_VERSION,
+                                       tenant_id=tenant_id,
+                                       client_name=client_name))
+            ack = await transport.receive()
+        except BaseException:
+            transport.close()
+            raise
+        if ack is None:
+            transport.close()
+            raise ConnectionClosedError(
+                "gateway closed the connection during the handshake")
+        if isinstance(ack, Error):
+            transport.close()
+            raise ack.to_exception()
+        if not isinstance(ack, HelloAck):
+            transport.close()
+            raise ProtocolError(
+                f"expected HELLO_ACK, got {type(ack).__name__}")
+        client = cls(transport, tenant_id=tenant_id,
+                     server_name=ack.server_name,
+                     max_inflight=ack.max_inflight, retry=retry, sleep=sleep)
+        client._reader_task = asyncio.get_running_loop().create_task(
+            client._read_loop())
+        return client
+
+    async def close(self, reason: str = "client closing") -> None:
+        """Say GOODBYE, stop the reader, and fail any leftover futures."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            await self.transport.send(Goodbye(reason))
+        except (ConnectionResetError, BrokenPipeError, OSError,
+                RuntimeError):
+            pass
+        if self._reader_task is not None:
+            await self._reader_task
+        self.transport.close()
+        await self.transport.wait_closed()
+        self._fail_all(ConnectionClosedError(
+            "client closed with requests outstanding"))
+
+    async def __aenter__(self) -> "ServingClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def inflight(self) -> int:
+        return len(self._pending)
+
+    # -- submission ----------------------------------------------------------
+    async def submit(self, program: str, ciphertexts: Sequence[Any], *,
+                     deadline_seconds: "Optional[float]" = None,
+                     ) -> "asyncio.Future[ClientResponse]":
+        """Serialize and send one request; the future resolves on reply.
+
+        Blocks (on the window semaphore) while the gateway's advertised
+        in-flight window is full, instead of earning a wire rejection.
+        """
+        if self._closed:
+            raise ConnectionClosedError("client is closed")
+        payloads = [serialize_ciphertext(ct) for ct in ciphertexts]
+        if self._window is not None:
+            await self._window.acquire()
+        if self._closed:  # lost a race with close() while waiting
+            if self._window is not None:
+                self._window.release()
+            raise ConnectionClosedError("client is closed")
+        rid = self._next_id
+        self._next_id += 1
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = future
+        self._starts[rid] = self._clock()
+        self._programs[rid] = program
+        if self._window is not None:
+            future.add_done_callback(lambda _f: self._window.release())
+        self._counters["submitted"] += 1
+        try:
+            await self.transport.send(Request(
+                request_id=rid, program=program, payloads=payloads,
+                deadline_seconds=deadline_seconds))
+        except BaseException as exc:
+            self._discard(rid)
+            if not future.done():
+                future.set_exception(ConnectionClosedError(
+                    f"send failed: {exc}"))
+            # Retrieve so the loop never logs it as unconsumed.
+            future.exception()
+            raise
+        return future
+
+    async def call(self, program: str, ciphertexts: Sequence[Any], *,
+                   deadline_seconds: "Optional[float]" = None,
+                   timeout: "Optional[float]" = None,
+                   max_attempts: "Optional[int]" = None) -> ClientResponse:
+        """``submit`` + await, with client-side timeout and typed retries.
+
+        Retries :data:`RETRYABLE_ERRORS` (and client-side timeouts)
+        through the injected :class:`RetryPolicy`, waiting at least the
+        server's ``retry_after_seconds`` hint when the rejection carries
+        one.  The last failure is re-raised typed.
+        """
+        attempts = (self.retry.max_attempts if max_attempts is None
+                    else int(max_attempts))
+        last_exc: "Optional[Exception]" = None
+        for attempt in range(max(1, attempts)):
+            if attempt:
+                self._counters["retries"] += 1
+                delay = self.retry.backoff_delay(attempt - 1)
+                hint = getattr(last_exc, "retry_after_seconds", None)
+                if hint:
+                    delay = max(delay, hint)
+                if delay > 0:
+                    await self._sleep(delay)
+            future = await self.submit(program, ciphertexts,
+                                       deadline_seconds=deadline_seconds)
+            try:
+                if timeout is None:
+                    return await future
+                return await asyncio.wait_for(
+                    asyncio.shield(future), timeout)
+            except asyncio.TimeoutError:
+                self._counters["timeouts"] += 1
+                # The response may still arrive; the reader loop counts it
+                # as orphaned instead of resolving a future nobody awaits.
+                last_exc = DeadlineExceededError(
+                    f"no reply within the client timeout of {timeout:g}s")
+                future.cancel()
+            except RETRYABLE_ERRORS as exc:
+                last_exc = exc
+        raise last_exc
+
+    # -- reader loop ---------------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                try:
+                    envelope = await self.transport.receive()
+                except ServeError as exc:
+                    self._fail_all(exc)
+                    return
+                if envelope is None or isinstance(envelope, Goodbye):
+                    return
+                if isinstance(envelope, Response):
+                    self._handle_response(envelope)
+                elif isinstance(envelope, Error):
+                    self._handle_error(envelope)
+                else:
+                    self._fail_all(ProtocolError(
+                        f"unexpected {type(envelope).__name__} envelope "
+                        "from the gateway"))
+                    return
+        finally:
+            self._closed = True
+            self._fail_all(ConnectionClosedError(
+                "connection closed with requests outstanding"))
+
+    def _discard(self, rid: int) -> "Optional[asyncio.Future]":
+        self._starts.pop(rid, None)
+        self._programs.pop(rid, None)
+        return self._pending.pop(rid, None)
+
+    def _claim(self, rid: int) -> "tuple[Optional[asyncio.Future], float, str]":
+        start = self._starts.get(rid, self._clock())
+        program = self._programs.get(rid, "")
+        future = self._discard(rid)
+        if future is None or future.done():
+            # Reply to a request nobody is waiting on any more (client
+            # timeout, cancelled future): account for it, drop it.
+            self._counters["orphaned"] += 1
+            return None, start, program
+        return future, start, program
+
+    def _handle_response(self, envelope: Response) -> None:
+        future, start, program = self._claim(envelope.request_id)
+        if future is None:
+            return
+        try:
+            cts = [deserialize_ciphertext(blob)
+                   for blob in envelope.payloads]
+        except ServeError as exc:
+            self._counters["errors"] += 1
+            future.set_exception(exc)
+            return
+        self._counters["served"] += 1
+        future.set_result(ClientResponse(
+            request_id=envelope.request_id, program=program,
+            ciphertexts=cts, batch_size=envelope.batch_size,
+            batched=envelope.batched,
+            latency_seconds=self._clock() - start,
+            server_latency_seconds=envelope.latency_seconds))
+
+    def _handle_error(self, envelope: Error) -> None:
+        if envelope.request_id == 0:
+            # Connection-level: the gateway is about to hang up.
+            self._fail_all(envelope.to_exception())
+            return
+        future, _start, _program = self._claim(envelope.request_id)
+        if future is None:
+            return
+        self._counters["errors"] += 1
+        future.set_exception(envelope.to_exception())
+
+    def _fail_all(self, exc: ServeError) -> None:
+        for rid in list(self._pending):
+            future = self._discard(rid)
+            if future is not None and not future.done():
+                self._counters["errors"] += 1
+                future.set_exception(exc)
+
+    # -- introspection -------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        return {
+            **self._counters,
+            "inflight": len(self._pending),
+            "max_inflight": self.max_inflight,
+            "closed": self._closed,
+            **self.transport.stats(),
+        }

@@ -1,0 +1,375 @@
+"""Asyncio network gateway in front of an :class:`InferenceServer`.
+
+:class:`ServingGateway` listens on a TCP socket, speaks the framed
+envelope protocol of :mod:`repro.serve.net.framing`, and forwards decoded
+requests into the in-process scheduler.  The translation is deliberately
+thin — the gateway adds *no* serving semantics of its own:
+
+* **Handshake.**  The first envelope of a connection must be HELLO; the
+  gateway checks the protocol version and that the named tenant is
+  registered (one connection submits as exactly one tenant), then answers
+  HELLO_ACK carrying the per-connection in-flight window.  Any violation
+  is answered with a connection-level ERROR envelope and the connection
+  is closed.
+* **Requests.**  Each REQUEST's RFHE payloads are deserialized and handed
+  to ``InferenceServer.submit`` in its own task, so one connection keeps
+  many requests in flight and responses return in completion order.
+  Every typed :class:`~repro.serve.errors.ServeError` the scheduler
+  raises — rate limiting with its retry-after, open breakers, deadline
+  overruns, execution failures — crosses back as an ERROR envelope with
+  its stable code and machine-readable details; the client rebuilds the
+  same exception type.
+* **Backpressure.**  The per-connection in-flight window defaults to the
+  admission controller's ``max_pending`` (the global queue-depth bound),
+  so one well-behaved connection cannot by itself trip global
+  :class:`~repro.serve.errors.OverloadedError` shedding; requests beyond
+  the window are refused with a wire ``OverloadedError`` immediately,
+  without touching the scheduler.
+* **Security.**  The framing layer refuses
+  :data:`~repro.serve.serialization.KIND_SECRET_KEY` payloads in either
+  direction; the gateway treats an attempt as a protocol violation —
+  connection-level ERROR with the
+  :class:`~repro.serve.errors.SecretKeyOnWireError` code, then close.
+* **Drain.**  ``drain()`` stops accepting connections, flushes the
+  scheduler's batch buckets until every wire request has been answered
+  (success or typed error — never a hung client future), then says
+  GOODBYE on every connection and closes it.
+
+``stats()`` exposes gateway counters plus the per-connection frame/byte
+counters of every live connection and the accumulated totals of closed
+ones.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional
+
+from ..errors import (
+    OverloadedError,
+    ProtocolError,
+    SecretKeyOnWireError,
+    ServeError,
+    UnknownTenantError,
+)
+from ..scheduler import InferenceRequest, InferenceServer
+from ..serialization import deserialize_ciphertext, serialize_ciphertext
+from .framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    Error,
+    FrameTransport,
+    Goodbye,
+    Hello,
+    HelloAck,
+    Request,
+    Response,
+)
+
+__all__ = ["ServingGateway", "DEFAULT_INFLIGHT_WINDOW"]
+
+# Per-connection in-flight window when the scheduler has no admission
+# controller (or an unbounded one) to inherit `max_pending` from.
+DEFAULT_INFLIGHT_WINDOW = 32
+
+
+class _Connection:
+    """Book-keeping for one accepted connection."""
+
+    __slots__ = ("transport", "tenant_id", "client_name", "inflight",
+                 "window_rejections")
+
+    def __init__(self, transport: FrameTransport):
+        self.transport = transport
+        self.tenant_id = ""
+        self.client_name = ""
+        self.inflight: Dict[int, asyncio.Task] = {}
+        self.window_rejections = 0
+
+
+class ServingGateway:
+    """Framed-stream network front-end owning one :class:`InferenceServer`."""
+
+    def __init__(self, server: InferenceServer, *, host: str = "127.0.0.1",
+                 port: int = 0, server_name: str = "repro-gateway",
+                 max_inflight_per_connection: "Optional[int]" = None,
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES):
+        self.server = server
+        self.host = host
+        self.port = port
+        self.server_name = server_name
+        if max_inflight_per_connection is None:
+            admission = server.admission
+            max_pending = getattr(admission, "max_pending", None)
+            max_inflight_per_connection = (max_pending if max_pending
+                                           else DEFAULT_INFLIGHT_WINDOW)
+        self.max_inflight = int(max_inflight_per_connection)
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._listener: "Optional[asyncio.AbstractServer]" = None
+        self._handlers: "set[asyncio.Task]" = set()
+        self._connections: "set[_Connection]" = set()
+        self._draining = False
+        self._counters: Dict[str, int] = {
+            "connections_opened": 0, "connections_closed": 0,
+            "handshake_failures": 0, "requests": 0, "responses": 0,
+            "wire_errors": 0, "window_rejections": 0,
+            "protocol_errors": 0, "secret_key_refusals": 0,
+        }
+        self._closed_transport_totals: Dict[str, int] = {
+            "frames_sent": 0, "frames_received": 0,
+            "bytes_sent": 0, "bytes_received": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> "ServingGateway":
+        if self._listener is not None:
+            raise RuntimeError("gateway already started")
+        self._listener = await asyncio.start_server(
+            self._accept, self.host, self.port)
+        return self
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        """The bound ``(host, port)`` — useful with ``port=0``."""
+        if self._listener is None or not self._listener.sockets:
+            raise RuntimeError("gateway is not listening")
+        name = self._listener.sockets[0].getsockname()
+        return name[0], name[1]
+
+    async def drain(self) -> None:
+        """Stop accepting, answer every in-flight wire request, say goodbye.
+
+        After ``drain`` returns, no client future is left hanging: every
+        request that made it onto the wire has been answered with a
+        RESPONSE or a typed ERROR, every connection got a GOODBYE, and
+        the scheduler's queues are empty.
+        """
+        self._draining = True
+        if self._listener is not None:
+            self._listener.close()
+        while True:
+            self.server.drain()
+            tasks = [task for conn in list(self._connections)
+                     for task in list(conn.inflight.values())]
+            if not tasks:
+                break
+            await asyncio.gather(*tasks, return_exceptions=True)
+        for conn in list(self._connections):
+            await self._safe_send(conn, Goodbye("gateway draining"))
+            conn.transport.close()
+        if self._handlers:
+            await asyncio.gather(*list(self._handlers),
+                                 return_exceptions=True)
+
+    async def close(self) -> None:
+        """``drain`` plus tearing down the listener."""
+        await self.drain()
+        if self._listener is not None:
+            await self._listener.wait_closed()
+            self._listener = None
+
+    async def __aenter__(self) -> "ServingGateway":
+        if self._listener is None:
+            await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- connection handling -------------------------------------------------
+    def _accept(self, reader: asyncio.StreamReader,
+                writer: asyncio.StreamWriter) -> None:
+        task = asyncio.get_running_loop().create_task(
+            self._handle(reader, writer))
+        self._handlers.add(task)
+        task.add_done_callback(self._handlers.discard)
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        transport = FrameTransport(reader, writer,
+                                   max_frame_bytes=self.max_frame_bytes)
+        conn = _Connection(transport)
+        self._counters["connections_opened"] += 1
+        self._connections.add(conn)
+        try:
+            if await self._handshake(conn):
+                await self._serve_connection(conn)
+        finally:
+            self._retire(conn)
+            transport.close()
+            await transport.wait_closed()
+
+    def _retire(self, conn: _Connection) -> None:
+        if conn in self._connections:
+            self._connections.discard(conn)
+            self._counters["connections_closed"] += 1
+            for key, value in conn.transport.stats().items():
+                self._closed_transport_totals[key] += value
+
+    async def _safe_send(self, conn: _Connection, envelope) -> bool:
+        """Send, swallowing a connection that died under us."""
+        try:
+            await conn.transport.send(envelope)
+            return True
+        except (ConnectionResetError, BrokenPipeError, RuntimeError,
+                OSError):
+            return False
+
+    async def _refuse(self, conn: _Connection, exc: ServeError,
+                      request_id: int = 0) -> None:
+        self._counters["wire_errors"] += 1
+        await self._safe_send(conn, Error.from_exception(exc, request_id))
+
+    async def _handshake(self, conn: _Connection) -> bool:
+        try:
+            envelope = await conn.transport.receive()
+        except ProtocolError as exc:
+            self._counters["handshake_failures"] += 1
+            await self._refuse(conn, exc)
+            return False
+        if envelope is None:
+            self._counters["handshake_failures"] += 1
+            return False
+        if not isinstance(envelope, Hello):
+            self._counters["handshake_failures"] += 1
+            await self._refuse(conn, ProtocolError(
+                f"first envelope must be HELLO, got "
+                f"{type(envelope).__name__}"))
+            return False
+        if envelope.protocol_version != PROTOCOL_VERSION:
+            self._counters["handshake_failures"] += 1
+            await self._refuse(conn, ProtocolError(
+                f"protocol version {envelope.protocol_version} is not "
+                f"supported; this gateway speaks {PROTOCOL_VERSION}"))
+            return False
+        if not self.server.has_tenant(envelope.tenant_id):
+            self._counters["handshake_failures"] += 1
+            await self._refuse(conn, UnknownTenantError(
+                f"unknown tenant {envelope.tenant_id!r}"))
+            return False
+        conn.tenant_id = envelope.tenant_id
+        conn.client_name = envelope.client_name
+        return await self._safe_send(conn, HelloAck(
+            protocol_version=PROTOCOL_VERSION,
+            server_name=self.server_name,
+            max_inflight=self.max_inflight))
+
+    async def _serve_connection(self, conn: _Connection) -> None:
+        while True:
+            try:
+                envelope = await conn.transport.receive()
+            except SecretKeyOnWireError as exc:
+                # A secret key arrived inside a request payload: protocol
+                # violation, not a per-request error — refuse and hang up.
+                self._counters["secret_key_refusals"] += 1
+                await self._refuse(conn, exc)
+                return
+            except ProtocolError as exc:
+                self._counters["protocol_errors"] += 1
+                await self._refuse(conn, exc)
+                return
+            if envelope is None:
+                return
+            if isinstance(envelope, Goodbye):
+                if conn.inflight:
+                    await asyncio.gather(*list(conn.inflight.values()),
+                                         return_exceptions=True)
+                await self._safe_send(conn, Goodbye("goodbye"))
+                return
+            if isinstance(envelope, Request):
+                await self._start_request(conn, envelope)
+                continue
+            self._counters["protocol_errors"] += 1
+            await self._refuse(conn, ProtocolError(
+                f"unexpected {type(envelope).__name__} envelope after "
+                "handshake"))
+            return
+
+    async def _start_request(self, conn: _Connection,
+                             envelope: Request) -> None:
+        self._counters["requests"] += 1
+        rid = envelope.request_id
+        if rid == 0:
+            await self._refuse(conn, ProtocolError(
+                "request id 0 is reserved for connection-level errors"), rid)
+            return
+        if rid in conn.inflight:
+            await self._refuse(conn, ProtocolError(
+                f"request id {rid} is already in flight on this "
+                "connection"), rid)
+            return
+        if self._draining:
+            await self._refuse(conn, OverloadedError(
+                "gateway is draining and accepts no new requests"), rid)
+            return
+        if len(conn.inflight) >= self.max_inflight:
+            conn.window_rejections += 1
+            self._counters["window_rejections"] += 1
+            await self._refuse(conn, OverloadedError(
+                f"connection in-flight window of {self.max_inflight} "
+                "requests is full"), rid)
+            return
+        try:
+            cts = [deserialize_ciphertext(blob)
+                   for blob in envelope.payloads]
+        except ServeError as exc:
+            await self._refuse(conn, exc, rid)
+            return
+        request = InferenceRequest(
+            tenant_id=conn.tenant_id, program=envelope.program,
+            ciphertexts=cts,
+            deadline_seconds=envelope.deadline_seconds)
+        task = asyncio.get_running_loop().create_task(
+            self._serve_request(conn, rid, request))
+        conn.inflight[rid] = task
+        task.add_done_callback(lambda _t, conn=conn, rid=rid:
+                               conn.inflight.pop(rid, None))
+
+    async def _serve_request(self, conn: _Connection, rid: int,
+                             request: InferenceRequest) -> None:
+        try:
+            response = await self.server.submit(request)
+            payloads = [serialize_ciphertext(ct)
+                        for ct in response.ciphertexts]
+        except ServeError as exc:
+            await self._refuse(conn, exc, rid)
+            return
+        except Exception as exc:  # pragma: no cover - scheduler wraps these
+            wrapped = ServeError(f"internal gateway failure: {exc}")
+            await self._refuse(conn, wrapped, rid)
+            return
+        self._counters["responses"] += 1
+        await self._safe_send(conn, Response(
+            request_id=rid, payloads=payloads,
+            batch_size=response.batch_size, batched=response.batched,
+            latency_seconds=response.latency_seconds))
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def open_connections(self) -> int:
+        return len(self._connections)
+
+    def stats(self) -> Dict[str, Any]:
+        """Gateway counters plus per-connection transport counters."""
+        per_connection: List[Dict[str, Any]] = []
+        totals = dict(self._closed_transport_totals)
+        for conn in self._connections:
+            snapshot = conn.transport.stats()
+            for key, value in snapshot.items():
+                totals[key] += value
+            per_connection.append({
+                "tenant_id": conn.tenant_id,
+                "client_name": conn.client_name,
+                "peer": conn.transport.peername,
+                "inflight": len(conn.inflight),
+                "window_rejections": conn.window_rejections,
+                **snapshot,
+            })
+        return {
+            **self._counters,
+            "open_connections": len(self._connections),
+            "max_inflight_per_connection": self.max_inflight,
+            "draining": self._draining,
+            "transport_totals": totals,
+            "connections": per_connection,
+        }

@@ -213,6 +213,7 @@ class InferenceServer:
         self._rejections: Dict[str, int] = {}
         self._failures: Dict[str, int] = {}
         self._batch_sizes: Dict[int, int] = {}
+        self._tenant_counters: Dict[str, Dict[str, int]] = {}
 
     # -- registration --------------------------------------------------------
     def register_program(self, name: str, trace_fn: Callable, *,
@@ -247,6 +248,18 @@ class InferenceServer:
                                                 backend=self.backend)
             self._evaluators[id(keys)] = shared
         self._tenants[tenant_id] = _Tenant(tenant_id, keys, shared)
+
+    def has_tenant(self, tenant_id: str) -> bool:
+        """Whether ``tenant_id`` is registered (the gateway's handshake check)."""
+        return tenant_id in self._tenants
+
+    def _tenant_count(self, tenant_id: str, key: str) -> None:
+        counters = self._tenant_counters.get(tenant_id)
+        if counters is None:
+            counters = self._tenant_counters[tenant_id] = {
+                "submitted": 0, "served": 0, "rejected": 0, "failed": 0,
+            }
+        counters[key] += 1
 
     # -- validation ----------------------------------------------------------
     def _lookup(self, request: InferenceRequest) -> Tuple[_Tenant, HostedProgram]:
@@ -355,6 +368,7 @@ class InferenceServer:
     async def submit(self, request: InferenceRequest) -> InferenceResponse:
         """Admit, validate, enqueue, and await the batched result."""
         self._counters["submitted"] += 1
+        self._tenant_count(request.tenant_id, "submitted")
         try:
             tenant, program = self._lookup(request)
             if self.admission is not None:
@@ -363,6 +377,7 @@ class InferenceServer:
             self._validate_payload(request, tenant, program)
         except RequestRejected as exc:
             self._counters["rejected"] += 1
+            self._tenant_count(request.tenant_id, "rejected")
             name = type(exc).__name__
             self._rejections[name] = self._rejections.get(name, 0) + 1
             raise
@@ -566,6 +581,7 @@ class InferenceServer:
         if pending.remaining == 0:
             request = pending.request
             self._counters["served"] += 1
+            self._tenant_count(request.tenant_id, "served")
             self._inflight -= 1
             pending.future.set_result(InferenceResponse(
                 request_id=request.request_id,
@@ -591,6 +607,7 @@ class InferenceServer:
         if isinstance(exc, DeadlineExceededError):
             self._counters["deadline_exceeded"] += 1
         self._counters["failed"] += 1
+        self._tenant_count(pending.request.tenant_id, "failed")
         name = type(exc).__name__
         self._failures[name] = self._failures.get(name, 0) + 1
         self._inflight -= 1
@@ -605,6 +622,8 @@ class InferenceServer:
             **self._counters,
             "rejections": dict(self._rejections),
             "failures": dict(self._failures),
+            "tenants": {tid: dict(counters)
+                        for tid, counters in self._tenant_counters.items()},
             "batch_size_histogram": dict(sorted(self._batch_sizes.items())),
             "batching_efficiency": (batched_requests / batches) if batches else 0.0,
             "plan_cache": self.plan_cache.stats(),

@@ -53,6 +53,13 @@ from .errors import CorruptPayloadError, SerializationError, UnsupportedVersionE
 __all__ = [
     "FORMAT_VERSION",
     "MAGIC",
+    "KIND_RNS_POLY",
+    "KIND_CIPHERTEXT",
+    "KIND_KSK",
+    "KIND_PUBLIC_KEY",
+    "KIND_SECRET_KEY",
+    "payload_kind",
+    "kind_name",
     "serialize",
     "deserialize",
     "serialize_rns_polynomial",
@@ -90,6 +97,32 @@ _TAG_TO_DOMAIN = {0: "coeff", 1: "eval"}
 _HEADER = struct.Struct("<HBB")  # version, kind, word — after the 4-byte magic
 _MAX_LIMBS = 1 << 16
 _MAX_LOG_DEGREE = 26
+
+
+def payload_kind(data) -> int:
+    """The ``KIND_*`` tag of an RFHE blob, read from the header only.
+
+    Cheap (no checksum pass, no body decode) — this is what the framed
+    transport uses to refuse :data:`KIND_SECRET_KEY` payloads before
+    moving or decoding them.  Raises :class:`SerializationError` when the
+    blob is too short to carry a header or the magic does not match; the
+    returned tag is *not* validated against the known kinds (a full
+    :func:`deserialize` does that).
+    """
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise SerializationError(f"expected bytes, got {type(data).__name__}")
+    data = bytes(data)
+    if len(data) < len(MAGIC) + _HEADER.size:
+        raise SerializationError(
+            f"payload of {len(data)} bytes is too short to carry a header")
+    if data[:4] != MAGIC:
+        raise SerializationError(f"bad magic {data[:4]!r}, expected {MAGIC!r}")
+    return data[6]
+
+
+def kind_name(kind: int) -> str:
+    """Human-readable name of a ``KIND_*`` tag (``"unknown"`` otherwise)."""
+    return _KIND_NAMES.get(kind, "unknown")
 
 
 # ---------------------------------------------------------------------------

@@ -24,10 +24,12 @@ Every request is accounted for exactly once per pass:
 
 from __future__ import annotations
 
+import asyncio
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (Any, Awaitable, Callable, Dict, List, Optional, Sequence,
+                    Tuple)
 
 from .errors import RequestRejected, ServeError
 from .scheduler import InferenceRequest, InferenceResponse, InferenceServer
@@ -136,6 +138,15 @@ class LoadGenerator:
     ``deadline_seconds`` stamps every generated request with a relative
     deadline; ``verify_fn(request, response) -> bool`` checks each served
     response (``False`` counts it as ``mismatched`` in the pass summary).
+
+    ``submit_async`` swaps the transport: instead of calling
+    ``server.submit`` in-process, :meth:`run_pass_async` awaits
+    ``submit_async(request)`` — e.g. a closure routing through a
+    :class:`~repro.serve.net.ServingClient`, so the same generator (and
+    :func:`chaos_soak_gate`) soaks the wire path.  The awaited result only
+    needs ``latency_seconds`` and ``batch_size`` attributes; typed
+    :class:`ServeError` raises are accounted as rejections/failures
+    exactly like in-process ones.
     """
 
     def __init__(self, server: InferenceServer, tenants: Sequence[str],
@@ -143,7 +154,8 @@ class LoadGenerator:
                  input_factory: Callable[[str, random.Random], Any],
                  *, seed: int = 0, requests_per_pass: int = 16,
                  deadline_seconds: "Optional[float]" = None,
-                 verify_fn: "Optional[Callable[[InferenceRequest, InferenceResponse], bool]]" = None):
+                 verify_fn: "Optional[Callable[[InferenceRequest, Any], bool]]" = None,
+                 submit_async: "Optional[Callable[[InferenceRequest], Awaitable[Any]]]" = None):
         if not tenants or not programs:
             raise ValueError("need at least one tenant and one program")
         self.server = server
@@ -154,6 +166,7 @@ class LoadGenerator:
         self.requests_per_pass = int(requests_per_pass)
         self.deadline_seconds = deadline_seconds
         self.verify_fn = verify_fn
+        self.submit_async = submit_async
         self.report = TrafficReport()
 
     def _make_requests(self) -> Tuple[List[InferenceRequest], Dict[str, int]]:
@@ -180,11 +193,40 @@ class LoadGenerator:
         start = time.perf_counter()
         results = self.server.serve(requests, return_exceptions=True)
         wall = time.perf_counter() - start
-        responses: List[InferenceResponse] = []
+        return self._summarize(requests, results, rejection_types, wall)
+
+    async def run_pass_async(self) -> PassSummary:
+        """One pass from inside a running event loop.
+
+        Routes through ``submit_async`` when set (the wire path), else
+        ``server.submit`` — letting callers that already own the loop
+        (e.g. one hosting a gateway and its clients) drive passes without
+        a nested ``asyncio.run``.
+        """
+        submit = self.submit_async or self.server.submit
+        requests, rejection_types = self._make_requests()
+        start = time.perf_counter()
+        results = await asyncio.gather(
+            *(submit(request) for request in requests),
+            return_exceptions=True)
+        wall = time.perf_counter() - start
+        return self._summarize(requests, results, rejection_types, wall)
+
+    def _summarize(self, requests: List[InferenceRequest], results: List,
+                   rejection_types: Dict[str, int],
+                   wall: float) -> PassSummary:
+        """Account every result exactly once, duck-typed over transports.
+
+        A success is anything that is not an exception — an
+        :class:`InferenceResponse` in-process, a
+        :class:`~repro.serve.net.ClientResponse` over the wire; both
+        carry ``latency_seconds`` and ``batch_size``.
+        """
+        responses: List[Any] = []
         failure_types: Dict[str, int] = {}
         mismatched = 0
         for request, result in zip(requests, results):
-            if isinstance(result, InferenceResponse):
+            if not isinstance(result, BaseException):
                 responses.append(result)
                 if self.verify_fn is not None and not self.verify_fn(request, result):
                     mismatched += 1

@@ -58,6 +58,12 @@ class TestExamples:
         assert "circuit breaker OPEN: request shed" in output
         assert "breaker closed again" in output
         assert "serialization round-trip: ok" in output
+        assert "network gateway: loopback client session" in output
+        assert "bit-exact vs in-process: ok" in output
+        assert "typed wire rejection: UnknownProgramError (stable code 22)" \
+            in output
+        assert "gateway drained clean" in output
+        assert "0 connections left open" in output
         assert "[ok]" in output and "MISMATCH" not in output
 
     def test_design_space_exploration(self):

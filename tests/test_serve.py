@@ -843,6 +843,29 @@ class TestFaultInjection:
             [InferenceRequest.single("t0", "dense", good[0])])[0]
         assert _rows(again.ciphertexts[0]) == _rows(references[0])
 
+    def test_per_tenant_counters_and_has_tenant(self):
+        server, _, _ = _dense_server(TOY, PYTHON)
+        server.register_tenant("t1", _keyed(TOY, seed=23))
+        assert server.has_tenant("t0") and server.has_tenant("t1")
+        assert not server.has_tenant("ghost")
+        results = server.serve([
+            InferenceRequest.single("t0", "dense", _random_ct(TOY, 1)),
+            InferenceRequest.single("t0", "dense", _random_ct(TOY, 2)),
+            InferenceRequest.single("t1", "dense", _random_ct(TOY, 3)),
+            InferenceRequest.single("t1", "nope", _random_ct(TOY, 4)),
+            InferenceRequest.single("ghost", "dense", _random_ct(TOY, 5)),
+        ], return_exceptions=True)
+        assert isinstance(results[3], UnknownProgramError)
+        assert isinstance(results[4], UnknownTenantError)
+        tenants = server.stats()["tenants"]
+        assert tenants["t0"] == {"submitted": 2, "served": 2,
+                                 "rejected": 0, "failed": 0}
+        assert tenants["t1"] == {"submitted": 2, "served": 1,
+                                 "rejected": 1, "failed": 0}
+        # Even never-registered tenant ids are accounted, as rejections.
+        assert tenants["ghost"] == {"submitted": 1, "served": 0,
+                                    "rejected": 1, "failed": 0}
+
     def test_registration_validation(self):
         server, _, _ = _dense_server(TOY, PYTHON)
         with pytest.raises(ValueError):
