@@ -60,6 +60,20 @@ class CoScheduleReport:
             return 1.0
         return self.sequential_cycles / self.interleaved_cycles
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (benchmark artifacts, serve responses)."""
+        return {
+            "workload_names": list(self.workload_names),
+            "sequential_cycles": self.sequential_cycles,
+            "interleaved_cycles": self.interleaved_cycles,
+            "per_workload_cycles": dict(self.per_workload_cycles),
+            "scheme_switches": self.scheme_switches,
+            "frequency_ghz": self.frequency_ghz,
+            "sequential_seconds": self.sequential_seconds,
+            "interleaved_seconds": self.interleaved_seconds,
+            "co_scheduling_gain": self.co_scheduling_gain,
+        }
+
 
 class WorkloadScheduler:
     """Schedules one or more workloads onto a Trinity configuration."""

@@ -517,6 +517,28 @@ class ArithmeticBackend:
         """
         return [self.pointwise_mac(rows_a, group, q) for group in groups]
 
+    def mat_mulmod(self, rows, matrix, q: int) -> List[List[int]]:
+        """Exact ``rows @ matrix mod q`` over python-int row lists.
+
+        The batched-keyswitch shape: ``rows`` holds one weight vector per
+        PBS-wave member (its negated gadget digits) and ``matrix`` the
+        flattened key-switching rows they all share.  The base
+        implementation reduces each output row to one :meth:`weighted_sum`
+        over the non-zero weights, so it is the bit-exact golden reference
+        for vectorized overrides.
+        """
+        width = len(matrix[0]) if matrix else 0
+        out: List[List[int]] = []
+        for row in rows:
+            live = [(w % q, m) for w, m in zip(row, matrix) if w % q]
+            if not live:
+                out.append([0] * width)
+                continue
+            out.append(self.weighted_sum(
+                [m for _, m in live], [w for w, _ in live], q
+            ))
+        return out
+
     def gadget_decompose(self, coefficients, modulus: int, factors) -> List[List[int]]:
         """Signed gadget decomposition of one coefficient row.
 
@@ -1208,6 +1230,43 @@ class NumpyBackend(ArithmeticBackend):
             acc += term
             acc = _np.where(acc >= q_u, acc - q_u, acc)
         return acc.tolist()
+
+    def mat_mulmod(self, rows, matrix, q):
+        # Split the right operand into ``width``-bit limbs so every integer
+        # matmul stays exact in uint64: each partial product is below
+        # ``q * 2^width``, and the guard checks the inner-dimension sum
+        # cannot wrap.  The per-limb partials are small (members x columns),
+        # so recombining them with python ints costs nothing.
+        inner = len(matrix)
+        width = 16 if q <= (1 << 31) else 8
+        if (
+            not rows or not matrix
+            or q.bit_length() + width + (inner - 1).bit_length() > 64
+        ):
+            return super().mat_mulmod(rows, matrix, q)
+        try:
+            lhs = _np.array(rows, dtype=_np.uint64)
+            rhs = _np.array(matrix, dtype=_np.uint64)
+        except (OverflowError, TypeError, ValueError):
+            return super().mat_mulmod(rows, matrix, q)
+        q_u = _np.uint64(q)
+        lhs %= q_u
+        rhs %= q_u
+        mask = _np.uint64((1 << width) - 1)
+        partials = []
+        for _ in range(-(-q.bit_length() // width)):
+            partials.append(((lhs @ (rhs & mask)) % q_u).tolist())
+            rhs = rhs >> _np.uint64(width)
+        out: List[List[int]] = []
+        for r in range(len(partials[0])):
+            out.append([
+                sum(
+                    partial[r][c] << (limb * width)
+                    for limb, partial in enumerate(partials)
+                ) % q
+                for c in range(len(partials[0][r]))
+            ])
+        return out
 
     # -- packed limb-major (RNS) overrides ---------------------------------
     def _matrix(self, store):

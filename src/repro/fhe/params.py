@@ -272,6 +272,32 @@ class TFHEParameters:
             name="tfhe-small",
         )
 
+    @classmethod
+    def hybrid(cls) -> "TFHEParameters":
+        """The functional set used by hybrid CKKS<->TFHE programs.
+
+        The gadget chains are *exact*: ``modulus`` is the NTT prime just
+        below 2^31, and ``base^levels = 2^30`` makes the last gadget factor
+        ``q // 2^30 = 1``, so signed decomposition reconstructs values with
+        zero residual.  With ``noise_stddev = 0`` the whole PBS pipeline is
+        then errorless up to modulus-switch rounding, which is what lets the
+        hybrid example assert exact plaintext results after repacking.
+        """
+        return cls(
+            polynomial_size=256,
+            lwe_dimension=16,
+            glwe_dimension=1,
+            bsk_levels=5,
+            bsk_base_log=6,
+            ksk_levels=5,
+            ksk_base_log=6,
+            modulus_bits=31,
+            plaintext_modulus=4,
+            noise_stddev=0.0,
+            security_bits=0,
+            name="tfhe-hybrid",
+        )
+
 
 @dataclass(frozen=True)
 class ConversionParameters:

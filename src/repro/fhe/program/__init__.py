@@ -24,15 +24,32 @@ cost model consumes — one trace, both worlds::
 The eager :class:`~repro.fhe.ckks.CKKSEvaluator` remains the bit-exact
 reference executor: ``ProgramExecutor.run_eager`` runs the same program as
 a plain call sequence, and the planned path is gated bit-exact against it.
+
+Programs may be *hybrid*: :class:`LWEHandle` values cross into the TFHE
+domain through ``extract_lwe``/``keyswitch_to_tfhe``, bootstrap there, and
+return through ``keyswitch_to_ckks``/``repack``.  Hybrid programs execute
+through the same two executor paths (construct :class:`ProgramExecutor`
+with a ``TFHEContext`` and a ``SchemeBridge``) and lower to scheme-grouped
+workloads for the interleaved Trinity scheduler via
+:func:`lower_hybrid_to_workloads` / :func:`hybrid_cycle_estimate`.
 """
 
 from .cache import LRUCache
-from .ir import HENode, HEProgram
-from .tracer import HEHandle, HETrace
+from .ir import (
+    HENode,
+    HEProgram,
+    SCHEME_SWITCH_OPS,
+    TFHE_OPS,
+    op_scheme,
+)
+from .tracer import HEHandle, HETrace, LWEHandle
 from .passes import PlannedProgram, plan_program
 from .executor import ProgramExecutor
 from .lowering import (
     conversion_counts,
+    hybrid_cycle_estimate,
+    hybrid_kernel_histogram,
+    lower_hybrid_to_workloads,
     lower_to_operations,
     lower_to_traces,
     operation_histogram,
@@ -43,7 +60,11 @@ __all__ = [
     "LRUCache",
     "HENode",
     "HEProgram",
+    "TFHE_OPS",
+    "SCHEME_SWITCH_OPS",
+    "op_scheme",
     "HEHandle",
+    "LWEHandle",
     "HETrace",
     "PlannedProgram",
     "plan_program",
@@ -53,4 +74,7 @@ __all__ = [
     "conversion_counts",
     "lower_to_traces",
     "trinity_cycle_estimate",
+    "lower_hybrid_to_workloads",
+    "hybrid_kernel_histogram",
+    "hybrid_cycle_estimate",
 ]

@@ -26,17 +26,27 @@ from ..ckks.ciphertext import CKKSCiphertext
 from ..ckks.keys import galois_element_for_conjugation
 from ..ckks.keyswitch import HoistedDigits, hoist_decompose, keyswitch_hoisted
 from ..rns import RNSPolynomial, _limb_contexts
-from .ir import HEProgram
+from .ir import HEProgram, SCHEME_SWITCH_OPS, TFHE_OPS
 from .passes import PlannedProgram, plan_program
 
 __all__ = ["ProgramExecutor"]
 
 
 class ProgramExecutor:
-    """Runs a program against one :class:`~repro.fhe.ckks.CKKSEvaluator`."""
+    """Runs a program against one :class:`~repro.fhe.ckks.CKKSEvaluator`.
 
-    def __init__(self, evaluator):
+    Hybrid programs additionally need ``tfhe`` (a
+    :class:`~repro.fhe.tfhe.TFHEContext` matching the program's
+    ``tfhe_params``) for the PBS/gate-bootstrap nodes, and ``bridge`` (a
+    :class:`~repro.fhe.conversion.bridge.SchemeBridge`) for the
+    ``lwe_keyswitch`` nodes crossing the key boundary.  Pure-CKKS programs
+    ignore both.
+    """
+
+    def __init__(self, evaluator, tfhe=None, bridge=None):
         self.evaluator = evaluator
+        self.tfhe = tfhe
+        self.bridge = bridge
 
     # -- public entry points ------------------------------------------------
     def run(self, program, inputs: Dict[str, CKKSCiphertext],
@@ -66,20 +76,42 @@ class ProgramExecutor:
         missing = set(program.inputs) - set(inputs)
         if missing:
             raise ValueError(f"missing program inputs: {sorted(missing)}")
+        if program.is_hybrid() and self.tfhe is None:
+            raise ValueError(
+                "hybrid program: construct ProgramExecutor with a TFHEContext"
+            )
         with ev._arith():
             self._prefetch_galois_keys(program)
-            values: List[Optional[CKKSCiphertext]] = [None] * len(program)
+            values: List[Optional[object]] = [None] * len(program)
             hoists: Dict[int, HoistedDigits] = {}
             conv_groups: Dict[int, List[int]] = {}
             conv_ready: Dict[int, CKKSCiphertext] = {}
+            pbs_groups: Dict[int, List[int]] = {}
+            pbs_ready: Dict[int, object] = {}
+            ks_groups: Dict[int, List[int]] = {}
+            ks_ready: Dict[int, object] = {}
             if share_hoists:
                 for node in program.nodes:
                     if node.op in ("to_eval", "to_coeff") and "conv_group" in node.attrs:
                         conv_groups.setdefault(
                             node.attrs["conv_group"], []
                         ).append(node.id)
+                    elif node.op in ("pbs", "gate_bootstrap") and "pbs_group" in node.attrs:
+                        pbs_groups.setdefault(
+                            node.attrs["pbs_group"], []
+                        ).append(node.id)
+                    elif node.op == "lwe_keyswitch" and "ks_group" in node.attrs:
+                        ks_groups.setdefault(
+                            node.attrs["ks_group"], []
+                        ).append(node.id)
             for node in program.nodes:
                 op = node.op
+                if op in TFHE_OPS or op in SCHEME_SWITCH_OPS or op == "input_lwe":
+                    values[node.id] = self._execute_tfhe(
+                        node, values, program, inputs, pbs_groups, pbs_ready,
+                        ks_groups, ks_ready,
+                    )
+                    continue
                 if op == "input":
                     ct = inputs[node.attrs["name"]]
                     if ct.level != node.level:
@@ -135,15 +167,117 @@ class ProgramExecutor:
         """Fetch every Galois key the program needs before any hoist work
         (missing keys raise KeyError here, exactly like ``rotate``)."""
         ev = self.evaluator
+        n = ev.params.ring_degree
         for node in program.nodes:
             if node.op == "rotate":
-                element = ev.galois_element_for_rotation(node.attrs["steps"])
+                elements = [ev.galois_element_for_rotation(node.attrs["steps"])]
             elif node.op == "conjugate":
-                element = galois_element_for_conjugation(ev.params.ring_degree)
+                elements = [galois_element_for_conjugation(n)]
+            elif node.op == "tfhe_to_ckks":
+                # PackLWEs + Field Trace automorphisms (always at level 0).
+                nslot = len(node.args)
+                elements = [
+                    (1 << r) + 1 for r in range(1, nslot.bit_length())
+                ] + [
+                    (2 * n) // (1 << k) + 1
+                    for k in range(1, (n // nslot).bit_length())
+                ]
             else:
                 continue
-            if element != 1:
-                ev.keys.galois_key(element, node.level)
+            for element in elements:
+                if element != 1:
+                    ev.keys.galois_key(element, node.level)
+
+    # -- TFHE islands and scheme switches -----------------------------------
+    def _execute_tfhe(self, node, values, program, inputs,
+                      pbs_groups, pbs_ready, ks_groups, ks_ready):
+        """Execute one TFHE / scheme-switch node.
+
+        LWE values flow through ``values`` exactly like CKKS ciphertexts;
+        grouped ``pbs``/``gate_bootstrap`` nodes run as one batched blind
+        rotation at the group's first member (the grouping invariant
+        guarantees every member's source is computed by then), later members
+        pop their pre-computed result.  Grouped ``lwe_keyswitch`` nodes
+        cross the key bridge the same way, one stacked ``digits @ ksk``
+        dispatch per wave and direction.
+        """
+        from ..conversion.ckks_to_tfhe import sample_extract_rlwe
+        from ..conversion.tfhe_to_ckks import repack_lwe_ciphertexts
+        from ..tfhe.batched import (
+            batched_programmable_bootstrap, sign_test_vector,
+        )
+
+        ev = self.evaluator
+        op = node.op
+        if op == "input_lwe":
+            return inputs[node.attrs["name"]]
+        if op == "ckks_to_tfhe":
+            ct = values[node.args[0]]
+            if ct.domain != "coeff":
+                ct = ev.to_coeff(ct)
+            if ct.level != 0:
+                ct = ev.mod_down_to(ct, 0)
+            return sample_extract_rlwe(ct, node.attrs["index"])
+        if op == "tfhe_to_ckks":
+            lwes = [values[arg] for arg in node.args]
+            repacked = repack_lwe_ciphertexts(lwes, ev)
+            return CKKSCiphertext(
+                c0=repacked.c0, c1=repacked.c1, level=repacked.level,
+                scale=node.scale,
+            )
+        if op == "lwe_add":
+            return values[node.args[0]] + values[node.args[1]]
+        if op == "lwe_sub":
+            return values[node.args[0]] - values[node.args[1]]
+        if op == "lwe_negate":
+            return -values[node.args[0]]
+        if op == "lwe_scalar_mul":
+            return values[node.args[0]].scalar_multiply(node.attrs["scalar"])
+        if op == "lwe_add_const":
+            return values[node.args[0]].add_constant(node.attrs["value"])
+        if op == "lwe_keyswitch":
+            if self.bridge is None:
+                raise ValueError(
+                    "program crosses the CKKS/TFHE key boundary: construct "
+                    "ProgramExecutor with a SchemeBridge"
+                )
+            ready = ks_ready.pop(node.id, None)
+            if ready is not None:
+                return ready
+            members = ks_groups.get(node.attrs.get("ks_group"))
+            if not members or len(members) < 2:
+                if node.attrs["direction"] == "c2t":
+                    return self.bridge.switch_to_tfhe(values[node.args[0]])
+                return self.bridge.switch_to_ckks(values[node.args[0]])
+            member_nodes = [program.node(m) for m in members]
+            sources = [values[m.args[0]] for m in member_nodes]
+            if node.attrs["direction"] == "c2t":
+                outputs = self.bridge.switch_many_to_tfhe(sources)
+            else:
+                outputs = self.bridge.switch_many_to_ckks(sources)
+            for member, out in zip(member_nodes, outputs):
+                ks_ready[member.id] = out
+            return ks_ready.pop(node.id)
+        # pbs / gate_bootstrap (possibly batched)
+        ready = pbs_ready.pop(node.id, None)
+        if ready is not None:
+            return ready
+        members = pbs_groups.get(node.attrs.get("pbs_group"))
+        if not members or len(members) < 2:
+            members = [node.id]
+        member_nodes = [program.node(m) for m in members]
+        vectors = [
+            self.tfhe.make_test_vector(m.attrs["fn"]) if m.op == "pbs"
+            else sign_test_vector(self.tfhe, m.attrs["amplitude"])
+            for m in member_nodes
+        ]
+        sources = [values[m.args[0]] for m in member_nodes]
+        outputs = batched_programmable_bootstrap(self.tfhe, sources, vectors)
+        for member, out in zip(member_nodes, outputs):
+            if member.op == "gate_bootstrap":
+                out = out.add_constant(member.attrs["amplitude"])
+            pbs_ready[member.id] = out
+        return pbs_ready.pop(node.id)
 
     # -- stacked domain conversions --------------------------------------------
     def _convert(self, node, values, program, conv_groups,

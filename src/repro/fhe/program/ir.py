@@ -24,24 +24,54 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["OPS", "HENode", "HEProgram"]
+__all__ = ["OPS", "TFHE_OPS", "SCHEME_SWITCH_OPS", "op_scheme",
+           "HENode", "HEProgram"]
 
+
+#: TFHE-island ops.  LWE ciphertexts are level-free scalars; ``pbs`` is the
+#: programmable bootstrap (LUT eval via a ``fn`` attribute),
+#: ``gate_bootstrap`` the constant-test-vector sign bootstrap (``amplitude``
+#: attribute), and ``lwe_keyswitch`` the cross-scheme key/modulus switch
+#: (``direction`` attribute: ``"c2t"`` CKKS-key -> small TFHE key,
+#: ``"t2c"`` small TFHE key -> CKKS-coefficient key).
+TFHE_OPS = frozenset({
+    "lwe_add", "lwe_sub", "lwe_negate", "lwe_scalar_mul", "lwe_add_const",
+    "pbs", "gate_bootstrap", "lwe_keyswitch",
+})
+
+#: Scheme-switch ops: ``ckks_to_tfhe`` extracts one coefficient of a level-0
+#: CKKS ciphertext as an LWE ciphertext (``index`` attribute);
+#: ``tfhe_to_ckks`` repacks its ``nslot`` LWE arguments into one CKKS
+#: ciphertext (Ring Embedding + PackLWEs + Field Trace).
+SCHEME_SWITCH_OPS = frozenset({"ckks_to_tfhe", "tfhe_to_ckks"})
 
 #: The node alphabet.  ``to_eval``/``to_coeff`` and ``pmult_mac`` are
 #: planner-inserted (domain conversions and the fused multi-ciphertext
 #: plaintext MAC); everything else is traceable.
 OPS = frozenset({
-    "input",
+    "input", "input_lwe",
     "add", "sub", "negate",
     "multiply", "multiply_plain", "multiply_scalar", "add_plain",
     "rotate", "conjugate",
     "rescale", "mod_down",
     "to_eval", "to_coeff",
     "pmult_mac",
-})
+}) | TFHE_OPS | SCHEME_SWITCH_OPS
 
 #: Ops that take an encoded plaintext attribute.
 PLAIN_OPS = frozenset({"multiply_plain", "add_plain"})
+
+
+def op_scheme(op: str) -> str:
+    """Which scheme's ciphertext type a node of this op *produces*.
+
+    Scheme-switch nodes belong to their output scheme: ``ckks_to_tfhe``
+    produces an LWE ciphertext (``"tfhe"``), ``tfhe_to_ckks`` produces a
+    CKKS ciphertext (``"ckks"``).
+    """
+    if op in TFHE_OPS or op in ("ckks_to_tfhe", "input_lwe"):
+        return "tfhe"
+    return "ckks"
 
 
 @dataclass
@@ -60,6 +90,13 @@ class HENode:
         if self.op not in OPS:
             raise ValueError(f"unknown program op {self.op!r}")
 
+    @property
+    def scheme(self) -> str:
+        """``"ckks"`` or ``"tfhe"`` — the scheme of the value this node
+        produces (derived from the op, so passes can never desynchronize
+        a node's scheme tag from its kind)."""
+        return op_scheme(self.op)
+
 
 def _attr_key(op: str, attrs: "Dict[str, object] | None") -> tuple:
     """A hashable fingerprint of the op-specific attributes (for CSE).
@@ -72,7 +109,10 @@ def _attr_key(op: str, attrs: "Dict[str, object] | None") -> tuple:
     parts = []
     for key in sorted(attrs):
         value = attrs[key]
-        if key in ("plaintext",):
+        if key in ("plaintext", "fn"):
+            # Plaintexts and PBS lookup functions are keyed by identity:
+            # two distinct encodings/tables never merge, reuse of the same
+            # object does.
             parts.append((key, id(value)))
         elif key == "plaintexts":
             parts.append((key, tuple(id(p) for p in value)))
@@ -90,8 +130,11 @@ class HEProgram:
     :meth:`add_node` directly.
     """
 
-    def __init__(self, params):
+    def __init__(self, params, tfhe_params=None):
         self.params = params
+        #: TFHE parameter set of the program's TFHE islands (``None`` for a
+        #: pure-CKKS program).  Set by the tracer; carried through rebuilds.
+        self.tfhe_params = tfhe_params
         self.nodes: List[HENode] = []
         self.inputs: Dict[str, int] = {}
         self.outputs: Dict[str, int] = {}
@@ -119,12 +162,20 @@ class HEProgram:
             self._cse[key] = node.id
         return node.id
 
-    def add_input(self, name: str, level: int, scale: float) -> int:
+    def add_input(self, name: str, level: int, scale: float,
+                  lwe: "str | None" = None) -> int:
+        """Declare a named input; ``lwe`` makes it an LWE (TFHE) input and
+        names the key kind (``"ckks"`` / ``"small"``) the ciphertext is
+        under."""
         if name in self.inputs:
             raise ValueError(f"duplicate input {name!r}")
+        attrs: Dict[str, object] = {"name": name}
+        op = "input"
+        if lwe is not None:
+            op = "input_lwe"
+            attrs["lwe"] = lwe
         node_id = self.add_node(
-            "input", (), level=level, scale=scale, attrs={"name": name},
-            cse=False,
+            op, (), level=level, scale=scale, attrs=attrs, cse=False,
         )
         self.inputs[name] = node_id
         return node_id
@@ -161,7 +212,15 @@ class HEProgram:
 
     def like(self) -> "HEProgram":
         """A fresh empty program over the same parameters (pass rebuilds)."""
-        return HEProgram(self.params)
+        return HEProgram(self.params, tfhe_params=self.tfhe_params)
+
+    def schemes(self) -> "frozenset[str]":
+        """The set of schemes appearing in the program."""
+        return frozenset(node.scheme for node in self.nodes)
+
+    def is_hybrid(self) -> bool:
+        """Whether the program contains any TFHE or scheme-switch node."""
+        return any(node.scheme == "tfhe" for node in self.nodes)
 
     def validate(self) -> None:
         """Check topological ordering and input/output wiring."""

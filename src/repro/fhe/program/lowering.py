@@ -35,7 +35,15 @@ __all__ = [
     "conversion_counts",
     "lower_to_traces",
     "trinity_cycle_estimate",
+    "lower_hybrid_to_workloads",
+    "hybrid_kernel_histogram",
+    "hybrid_cycle_estimate",
 ]
+
+#: LWE linear ops costed as one (dim+1)-element modular add/scale each.
+_LWE_LINEAR_OPS = frozenset({
+    "lwe_add", "lwe_sub", "lwe_negate", "lwe_scalar_mul", "lwe_add_const",
+})
 
 #: Table II name for each directly-mapped program op.
 _TABLE_II = {
@@ -120,6 +128,134 @@ def lower_to_traces(program, params=None) -> list:
             trace = repeated
         traces.append(trace)
     return traces
+
+
+def lower_hybrid_to_workloads(program, params=None) -> list:
+    """Scheme-grouped :class:`~repro.workloads.base.Workload` list of a hybrid program.
+
+    The program's nodes are partitioned by the datapath that executes them —
+    the CKKS subgraph (Table II stream via :func:`lower_to_traces`), the TFHE
+    island (one :func:`~repro.kernels.tfhe_flows.pbs_flow` /
+    :func:`~repro.kernels.tfhe_flows.gate_bootstrap_flow` per bootstrap, a
+    bridge keyswitch per ``lwe_keyswitch``, one modular add per LWE linear
+    op), and the scheme-switch boundary (one
+    :func:`~repro.kernels.conversion_flows.ckks_to_tfhe_flow` covering every
+    extraction, one :func:`~repro.kernels.conversion_flows.tfhe_to_ckks_flow`
+    per repack node).  Grouping by scheme makes the lowering insensitive to
+    the planner's node reordering: :meth:`WorkloadScheduler.run_interleaved`
+    sums per-unit busy time across workloads, so the histogram — and hence
+    the estimate — depends only on *what* ran, not on interleaving order.
+
+    The planner's PBS batching is deliberately **not** reflected here: a
+    batched dispatch performs the same NTT/MAC work as its members run
+    sequentially, it just shares dispatch overhead the cost model does not
+    charge per call.
+    """
+    from ...kernels.conversion_flows import (
+        bridge_keyswitch_flow, ckks_to_tfhe_flow, tfhe_to_ckks_flow,
+    )
+    from ...kernels.kernel import Kernel, KernelKind, KernelTrace
+    from ...kernels.tfhe_flows import gate_bootstrap_flow, pbs_flow
+    from ...workloads.base import Workload
+
+    ir = _program_of(program)
+    ckks_params = ir.params if params is None else params
+    tfhe_params = ir.tfhe_params
+    if tfhe_params is None:
+        raise ValueError("not a hybrid program: no TFHE parameter set attached")
+
+    tfhe_traces: List = []
+    conversion_traces: List = []
+    extractions = 0
+    linear_by_dim: Dict[int, int] = {}
+    for node in ir.nodes:
+        if node.op == "pbs":
+            tfhe_traces.append(pbs_flow(tfhe_params))
+        elif node.op == "gate_bootstrap":
+            tfhe_traces.append(gate_bootstrap_flow(tfhe_params))
+        elif node.op == "lwe_keyswitch":
+            tfhe_traces.append(bridge_keyswitch_flow(
+                str(node.attrs["direction"]), ckks_params, tfhe_params))
+        elif node.op in _LWE_LINEAR_OPS:
+            dim = (ckks_params.ring_degree if node.attrs.get("lwe") == "ckks"
+                   else tfhe_params.lwe_dimension)
+            linear_by_dim[dim] = linear_by_dim.get(dim, 0) + 1
+        elif node.op == "ckks_to_tfhe":
+            extractions += 1
+        elif node.op == "tfhe_to_ckks":
+            conversion_traces.append(tfhe_to_ckks_flow(
+                ckks_params, nslot=len(node.args), level=node.level))
+    if linear_by_dim:
+        linear = KernelTrace(name="lwe-linear", scheme="tfhe")
+        linear.add_step(
+            [Kernel(KernelKind.MODADD, dim + 1, count=count, scheme="tfhe",
+                    tag="lwe.linear")
+             for dim, count in sorted(linear_by_dim.items())],
+            label="lwe-linear",
+        )
+        tfhe_traces.append(linear)
+    if extractions:
+        conversion_traces.insert(
+            0, ckks_to_tfhe_flow(ckks_params, nslot=extractions))
+
+    workloads = []
+    ckks_traces = lower_to_traces(program, params=ckks_params)
+    if ckks_traces:
+        workloads.append(Workload(
+            name="hybrid.ckks", scheme="ckks", traces=ckks_traces,
+            metadata={"params": ckks_params.name},
+        ))
+    if tfhe_traces:
+        workloads.append(Workload(
+            name="hybrid.tfhe", scheme="tfhe", traces=tfhe_traces,
+            metadata={"params": tfhe_params.name},
+        ))
+    if conversion_traces:
+        workloads.append(Workload(
+            name="hybrid.conversion", scheme="conversion",
+            traces=conversion_traces,
+            metadata={"extractions": extractions},
+        ))
+    return workloads
+
+
+def hybrid_kernel_histogram(workloads) -> Dict[tuple, int]:
+    """Invocation histogram over workloads: ``(kind, N, inner) -> count``.
+
+    Counts kernel invocations (``count`` x step ``repeat``), keyed by the
+    kernel kind's value, polynomial length, and inner depth.  Two workload
+    lists describing the same hardware work in a different order — e.g. the
+    lowering of a planned program versus a hand-built cost entry — produce
+    equal histograms, which is what the reconciliation tests assert.
+    """
+    histogram: Dict[tuple, int] = {}
+    for workload in workloads:
+        for trace in workload.traces:
+            for step in trace.steps:
+                for kernel in step.kernels:
+                    key = (kernel.kind.value, kernel.poly_length, kernel.inner)
+                    histogram[key] = histogram.get(key, 0) + kernel.count * step.repeat
+    return histogram
+
+
+def hybrid_cycle_estimate(program, params=None, config=None,
+                          switch_penalty_cycles: float = 0.0):
+    """Co-scheduled latency estimate of a hybrid program on Trinity.
+
+    Lowers the program with :func:`lower_hybrid_to_workloads` and feeds the
+    scheme-grouped workloads to
+    :meth:`~repro.core.scheduler.WorkloadScheduler.run_interleaved`, so the
+    CKKS, TFHE and conversion phases overlap on the shared units exactly the
+    way Section IV-K schedules multi-scheme kernel streams.  Returns the
+    :class:`~repro.core.scheduler.CoScheduleReport`.
+    """
+    from ...core.config import DEFAULT_TRINITY_CONFIG
+    from ...core.scheduler import WorkloadScheduler
+
+    config = DEFAULT_TRINITY_CONFIG if config is None else config
+    scheduler = WorkloadScheduler(config, switch_penalty_cycles=switch_penalty_cycles)
+    workloads = lower_hybrid_to_workloads(program, params=params)
+    return scheduler.run_interleaved(workloads)
 
 
 def trinity_cycle_estimate(program, params=None, config=None):

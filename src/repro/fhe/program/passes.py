@@ -40,7 +40,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..rns import _limb_contexts
-from .ir import HENode, HEProgram
+from .ir import HENode, HEProgram, SCHEME_SWITCH_OPS, TFHE_OPS
 
 __all__ = ["PlannedProgram", "plan_program"]
 
@@ -50,6 +50,13 @@ _PASSTHROUGH = frozenset({
     "add", "sub", "negate", "multiply_scalar", "rescale", "mod_down",
     "multiply_plain", "add_plain", "rotate", "conjugate", "pmult_mac",
 })
+
+#: Ops that always live in the coefficient domain: TFHE islands are scalar
+#: LWE values (no NTT residency), SampleExtract reads polynomial
+#: coefficients, and repacking produces a coefficient-resident ciphertext.
+#: The residency planner never assigns these nodes to the evaluation domain
+#: and forces a ``to_coeff`` on the CKKS edge feeding an extraction.
+_COEFF_ONLY = TFHE_OPS | SCHEME_SWITCH_OPS | frozenset({"input_lwe"})
 
 
 @dataclass
@@ -61,7 +68,9 @@ class PlannedProgram:
     ``hoisted_rotations`` (rotations sharing a multi-member hoist),
     ``outer_rotations`` (singleton hoists), ``rotations``,
     ``plain_multiplies``, ``batched_groups``, ``batched_pmults``,
-    ``stacked_conversion_groups``, ``stacked_conversions``.
+    ``stacked_conversion_groups``, ``stacked_conversions``,
+    ``pbs_groups``/``grouped_pbs`` (bootstraps sharing a batched blind
+    rotation), ``scheme_switches`` (surviving scheme-switch nodes).
     """
 
     program: HEProgram
@@ -96,6 +105,17 @@ class PlannedProgram:
                 )
             elif node.op == "conjugate":
                 element = galois_element_for_conjugation(ring_degree)
+            elif node.op == "tfhe_to_ckks":
+                # Repacking keyswitches through PackLWEs merge elements
+                # (2^r + 1 per doubling) and Field Trace automorphisms
+                # (2N / 2^k + 1 per cancelled coefficient class), all at
+                # the node's (level-0) chain position.
+                nslot = len(node.args)
+                for r in range(1, int(math.log2(nslot)) + 1):
+                    needed.add(((1 << r) + 1, node.level))
+                for k in range(1, int(math.log2(ring_degree // nslot)) + 1):
+                    needed.add(((2 * ring_degree) // (1 << k) + 1, node.level))
+                continue
             else:
                 continue
             if element != 1:
@@ -128,6 +148,13 @@ class _Rebuilder:
         self.old = old
         self.new = old.like()
         self.map: Dict[int, Optional[int]] = {}
+
+    def rebuild_input(self, node: HENode) -> None:
+        """Re-declare an ``input``/``input_lwe`` node in the new program."""
+        self.map[node.id] = self.new.add_input(
+            node.attrs["name"], node.level, node.scale,
+            lwe=node.attrs.get("lwe") if node.op == "input_lwe" else None,
+        )
 
     def arg(self, old_id: int) -> int:
         new_id = self.map[old_id]
@@ -182,18 +209,79 @@ def _mod_down(rb: _Rebuilder, node_id: int, level: int,
     )
 
 
+def _align_tfhe(rb: _Rebuilder, node: HENode, args: List[int],
+                stats: Dict[str, int]) -> int:
+    """Waterline step for TFHE-island and scheme-switch nodes.
+
+    TFHE islands are level-free (LWE ciphertexts carry no modulus chain to
+    align), so no rescale/mod_down ever lands *inside* an island; the only
+    alignment work is at the CKKS boundary, where the extraction source is
+    mod-downed to level 0 (SampleExtract reads the single-limb residue —
+    exact, since encoded coefficients are small against q0).  Encoding
+    factors are recomputed from the rebuilt arguments, so a waterline
+    rescale upstream of an extraction propagates through the island.
+    """
+    op = node.op
+    new = rb.new
+    if op == "ckks_to_tfhe":
+        (a,) = args
+        a = _mod_down(rb, a, 0, stats)
+        return new.add_node(op, (a,), level=0, scale=new.node(a).scale,
+                            attrs=dict(node.attrs))
+    if op == "tfhe_to_ckks":
+        scales = [new.node(a).scale for a in args]
+        for scale in scales[1:]:
+            if not _close(scale, scales[0]):
+                raise ValueError(
+                    f"repacked LWEs feeding node {node.id} have diverging "
+                    f"encoding factors ({scales[0]:g} vs {scale:g})")
+        return new.add_node(op, tuple(args), level=0, scale=scales[0],
+                            attrs=dict(node.attrs))
+    if op in ("lwe_add", "lwe_sub"):
+        a, b = args
+        sa, sb = new.node(a).scale, new.node(b).scale
+        if not _close(sa, sb):
+            raise ValueError(
+                f"cannot align LWE encoding factors {sa:g} vs {sb:g} "
+                f"feeding node {node.id} ({op}); LWE values have no "
+                f"rescale — re-trace with matching factors")
+        return new.add_node(op, (a, b), level=0, scale=sa,
+                            attrs=dict(node.attrs))
+    (a,) = args
+    arg_scale = new.node(a).scale
+    tfhe = rb.old.tfhe_params
+    if op == "lwe_scalar_mul":
+        scalar = node.attrs["scalar"]
+        scale = arg_scale * abs(scalar) if scalar else 1.0
+    elif op == "lwe_keyswitch":
+        q0 = rb.old.params.moduli[0]
+        if node.attrs["direction"] == "c2t":
+            scale = arg_scale * tfhe.modulus / q0
+        else:
+            scale = arg_scale * q0 / tfhe.modulus
+    elif op == "pbs":
+        scale = float(tfhe.delta)
+    elif op == "gate_bootstrap":
+        scale = 2.0 * node.attrs["amplitude"]
+    else:                                 # lwe_negate / lwe_add_const
+        scale = arg_scale
+    return new.add_node(op, (a,), level=0, scale=scale,
+                        attrs=dict(node.attrs))
+
+
 def _align(old: HEProgram, stats: Dict[str, int]) -> HEProgram:
     """Insert mod_down / rescale nodes so every op sees legal operands."""
     params = old.params
     rb = _Rebuilder(old)
     for node in old.nodes:
         op = node.op
-        if op == "input":
-            rb.map[node.id] = rb.new.add_input(
-                node.attrs["name"], node.level, node.scale
-            )
+        if op in ("input", "input_lwe"):
+            rb.rebuild_input(node)
             continue
         args = [rb.arg(a) for a in node.args]
+        if op in TFHE_OPS or op in SCHEME_SWITCH_OPS:
+            rb.map[node.id] = _align_tfhe(rb, node, args, stats)
+            continue
         if op in ("add", "sub"):
             a, b = args
             sa, sb = rb.new.node(a).scale, rb.new.node(b).scale
@@ -305,6 +393,12 @@ def _eliminate_dead_code(old: HEProgram, stats: Dict[str, int]) -> HEProgram:
     rotations both skips their execution and shrinks the Galois-key set
     :meth:`PlannedProgram.required_galois_elements` reports.  Named inputs
     are always kept (they are the program signature, not computed work).
+
+    Reachability is scheme-agnostic, which makes the pass safe across
+    scheme boundaries by construction: a ``ckks_to_tfhe`` node whose only
+    consumer sits in the TFHE subgraph is reachable *through* that
+    consumer and survives, while a TFHE island none of whose nodes feeds
+    an output (extraction, bootstraps, and all) is pruned whole.
     """
     live = [False] * len(old)
     stack = list(old.outputs.values())
@@ -325,10 +419,8 @@ def _eliminate_dead_code(old: HEProgram, stats: Dict[str, int]) -> HEProgram:
         if not live[node.id]:
             rb.map[node.id] = None
             continue
-        if node.op == "input":
-            rb.map[node.id] = rb.new.add_input(
-                node.attrs["name"], node.level, node.scale
-            )
+        if node.op in ("input", "input_lwe"):
+            rb.rebuild_input(node)
             continue
         rb.map[node.id] = rb.new.add_node(
             node.op, tuple(rb.arg(a) for a in node.args), level=node.level,
@@ -365,10 +457,13 @@ def _plan_domains(old: HEProgram, stats: Dict[str, int]) -> HEProgram:
             ):
                 prefer_eval[node.id] = True
                 break
-    # Forward sweep: the planned domain of each node.
+    # Forward sweep: the planned domain of each node.  TFHE islands and
+    # scheme switches are pinned to the coefficient domain (_COEFF_ONLY):
+    # LWE scalars have no NTT residency and SampleExtract reads polynomial
+    # coefficients, so the eval-domain contagion stops at the boundary.
     domain = ["coeff"] * len(old)
     for node in old.nodes:
-        if node.op == "input":
+        if node.op == "input" or node.op in _COEFF_ONLY:
             continue                      # ciphertexts arrive coefficient-resident
         if node.op in ("to_eval", "to_coeff"):
             domain[node.id] = "eval" if node.op == "to_eval" else "coeff"
@@ -381,10 +476,8 @@ def _plan_domains(old: HEProgram, stats: Dict[str, int]) -> HEProgram:
     # Rebuild with explicit (hash-consed) conversions on mismatched edges.
     rb = _Rebuilder(old)
     for node in old.nodes:
-        if node.op == "input":
-            rb.map[node.id] = rb.new.add_input(
-                node.attrs["name"], node.level, node.scale
-            )
+        if node.op in ("input", "input_lwe"):
+            rb.rebuild_input(node)
             continue
         if node.op in ("to_eval", "to_coeff"):
             # Already a conversion (re-planning): keep it, never wrap it.
@@ -486,10 +579,8 @@ def _fuse_pmult_macs(old: HEProgram, stats: Dict[str, int]) -> HEProgram:
                 attrs={"plaintexts": plaintexts},
             )
             continue
-        if node.op == "input":
-            rb.map[node.id] = rb.new.add_input(
-                node.attrs["name"], node.level, node.scale
-            )
+        if node.op in ("input", "input_lwe"):
+            rb.rebuild_input(node)
             continue
         rb.map[node.id] = rb.new.add_node(
             node.op, tuple(rb.arg(a) for a in node.args), level=node.level,
@@ -541,6 +632,89 @@ def _annotate_conversion_groups(program: HEProgram, stats: Dict[str, int]) -> No
 
 
 # ---------------------------------------------------------------------------
+# 3c. Batched PBS dispatch (annotation)
+# ---------------------------------------------------------------------------
+
+def _schedule_pbs_waves(old: HEProgram, stats: Dict[str, int]) -> HEProgram:
+    """Reorder the program into bootstrap *waves* and group each wave into
+    one batched PBS dispatch.
+
+    A node's wave is the largest number of ``pbs``/``gate_bootstrap`` nodes
+    on any path ending at it (inclusive).  Two bootstrap nodes in the same
+    wave can never depend on each other, and every source of a wave-``w``
+    bootstrap sits in a wave ``< w`` — so the stable re-sort by
+    ``(wave, id)`` is a valid topological order in which all of a wave's
+    sources precede its first member (the same executor invariant stacked
+    conversions rely on).  Traces that interleave per-slot chains
+    (extract, switch, bootstrap per slot) therefore still batch: the sort
+    pulls the independent bootstraps together.
+
+    Members of a group run as *one* batched blind rotation: per CMux
+    iteration the gadget decompositions of every member are concatenated
+    into a single ``ntt_forward_batch``/``ntt_inverse_batch`` pair against
+    the shared bootstrapping-key row (``repro.fhe.tfhe.batched``).  ``pbs``
+    and ``gate_bootstrap`` nodes mix freely in one group (they differ only
+    in their test vectors).
+
+    ``lwe_keyswitch`` nodes wave-schedule the same way: every member of a
+    wave crossing the key boundary in the same direction shares one bridge
+    key, so the group runs as a single ``digits @ ksk`` dispatch
+    (:func:`~repro.fhe.tfhe.batched.batched_lwe_keyswitch`) — the
+    ``ks_group`` attribute mirrors ``pbs_group``.
+    """
+    boot_ops = ("pbs", "gate_bootstrap")
+    waves = [0] * len(old)
+    wave_members: Dict[int, List[int]] = {}
+    ks_members: Dict[Tuple[int, str], List[int]] = {}
+    for node in old.nodes:
+        wave = max((waves[arg] for arg in node.args), default=0)
+        if node.op in boot_ops:
+            wave += 1
+            wave_members.setdefault(wave, []).append(node.id)
+        elif node.op == "lwe_keyswitch":
+            wave += 1
+            ks_members.setdefault(
+                (wave, node.attrs["direction"]), []
+            ).append(node.id)
+        waves[node.id] = wave
+    if not wave_members and not ks_members:
+        return old
+    order = sorted(range(len(old)), key=lambda i: (waves[i], i))
+    rb = _Rebuilder(old)
+    for old_id in order:
+        node = old.node(old_id)
+        if node.op in ("input", "input_lwe"):
+            rb.rebuild_input(node)
+            continue
+        rb.map[node.id] = rb.new.add_node(
+            node.op, tuple(rb.arg(a) for a in node.args), level=node.level,
+            scale=node.scale, domain=node.domain, attrs=dict(node.attrs),
+        )
+    new = rb.finish()
+    index = 0
+    for wave in sorted(wave_members):
+        members = wave_members[wave]
+        if len(members) < 2:
+            continue
+        for member in members:
+            new.node(rb.arg(member)).attrs["pbs_group"] = index
+        index += 1
+        stats["pbs_groups"] += 1
+        stats["grouped_pbs"] += len(members)
+    ks_index = 0
+    for key in sorted(ks_members):
+        members = ks_members[key]
+        if len(members) < 2:
+            continue
+        for member in members:
+            new.node(rb.arg(member)).attrs["ks_group"] = ks_index
+        ks_index += 1
+        stats["ks_groups"] += 1
+        stats["grouped_keyswitches"] += len(members)
+    return new
+
+
+# ---------------------------------------------------------------------------
 # 4. Hoist fusion (annotation)
 # ---------------------------------------------------------------------------
 
@@ -584,6 +758,8 @@ def plan_program(program: HEProgram, optimize: bool = True) -> PlannedProgram:
         "hoisted_rotations": 0, "outer_rotations": 0, "rotations": 0,
         "plain_multiplies": 0, "batched_groups": 0, "batched_pmults": 0,
         "stacked_conversion_groups": 0, "stacked_conversions": 0,
+        "pbs_groups": 0, "grouped_pbs": 0, "scheme_switches": 0,
+        "ks_groups": 0, "grouped_keyswitches": 0,
     }
     planned = _align(program, stats)
     planned = _eliminate_dead_code(planned, stats)
@@ -591,11 +767,22 @@ def plan_program(program: HEProgram, optimize: bool = True) -> PlannedProgram:
         _limb_contexts(program.params.ring_degree, program.params.basis())
         is not None
     )
+    if optimize:
+        # PBS batching depends on the TFHE modulus (always NTT-friendly by
+        # construction), not the CKKS chain, so it is not gated on
+        # ntt_friendly.  The wave reorder runs *before* the residency and
+        # conversion-stacking passes: those rebuild in program order and
+        # their grouping invariant (sources precede the group's first
+        # member) must be established on the final node order.
+        planned = _schedule_pbs_waves(planned, stats)
     if optimize and ntt_friendly:
         planned = _plan_domains(planned, stats)
         planned = _fuse_pmult_macs(planned, stats)
         _annotate_conversion_groups(planned, stats)
     _annotate_hoist_groups(planned, stats)
+    stats["scheme_switches"] = sum(
+        1 for node in planned.nodes if node.op in SCHEME_SWITCH_OPS
+    )
     stats["plain_multiplies"] = sum(
         1 if node.op == "multiply_plain" else len(node.attrs["plaintexts"])
         for node in planned.nodes

@@ -18,22 +18,36 @@ objects, or integer scalars, plus ``rotate``/``conjugate``/``rescale``/
 trace time* — the planner's alignment pass inserts the ``mod_down``/
 ``rescale`` waterline instead of the caller bookkeeping them (the eager
 evaluator's ``_check_levels`` discipline).
+
+Hybrid programs mix schemes: :meth:`HEHandle.extract_lwe` crosses into the
+TFHE domain (a :class:`LWEHandle`), LWE handles carry linear arithmetic,
+cross-scheme keyswitches, and programmable bootstraps, and
+:meth:`HETrace.repack` crosses back to CKKS.  Handles carry a ``scheme``
+tag and LWE handles additionally a key ``kind`` (``"ckks"`` for
+dimension-N ciphertexts under the CKKS coefficient key, ``"small"`` for
+the TFHE LWE key), so scheme and key mismatches are *type errors at trace
+time* — mixing an :class:`HEHandle` into LWE arithmetic, bootstrapping a
+ciphertext that is still under the CKKS key, or repacking small-key LWEs
+all raise before a program is ever planned.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..ckks.ciphertext import CKKSPlaintext
 from .ir import HENode, HEProgram
 
-__all__ = ["HEHandle", "HETrace"]
+__all__ = ["HEHandle", "LWEHandle", "HETrace"]
 
 
 class HEHandle:
     """A lazy ciphertext value: one node of the traced program."""
 
     __slots__ = ("trace", "id")
+
+    #: Scheme tag of the handle's value (mirrored by ``HENode.scheme``).
+    scheme = "ckks"
 
     def __init__(self, trace: "HETrace", node_id: int):
         self.trace = trace
@@ -63,6 +77,10 @@ class HEHandle:
 
     # -- arithmetic ---------------------------------------------------------
     def __add__(self, other) -> "HEHandle":
+        if isinstance(other, LWEHandle):
+            raise TypeError(
+                "cannot mix a CKKS handle with a TFHE (LWE) handle; cross "
+                "the scheme boundary explicitly with extract_lwe/repack")
         if isinstance(other, HEHandle):
             self.trace._check_same(other)
             return self._emit("add", (self.id, other.id),
@@ -76,6 +94,10 @@ class HEHandle:
     __radd__ = __add__
 
     def __sub__(self, other) -> "HEHandle":
+        if isinstance(other, LWEHandle):
+            raise TypeError(
+                "cannot mix a CKKS handle with a TFHE (LWE) handle; cross "
+                "the scheme boundary explicitly with extract_lwe/repack")
         if isinstance(other, HEHandle):
             self.trace._check_same(other)
             return self._emit("sub", (self.id, other.id),
@@ -87,6 +109,10 @@ class HEHandle:
         return self._emit("negate", (self.id,), level=self.level, scale=self.scale)
 
     def __mul__(self, other) -> "HEHandle":
+        if isinstance(other, LWEHandle):
+            raise TypeError(
+                "cannot mix a CKKS handle with a TFHE (LWE) handle; cross "
+                "the scheme boundary explicitly with extract_lwe/repack")
         if isinstance(other, HEHandle):
             self.trace._check_same(other)
             return self._emit("multiply", (self.id, other.id),
@@ -156,13 +182,195 @@ class HEHandle:
             bit <<= 1
         return result
 
+    # -- scheme switching ------------------------------------------------------
+    def extract_lwe(self, index: int) -> "LWEHandle":
+        """Cross into the TFHE domain: extract polynomial coefficient
+        ``index`` as an LWE ciphertext under the CKKS coefficient key.
+
+        The planner mod-downs the source to level 0 (SampleExtract reads
+        the single-limb representation); the LWE value keeps this handle's
+        scale as its encoding factor.
+        """
+        n = self.trace.params.ring_degree
+        if not 0 <= index < n:
+            raise ValueError(f"extract index {index} out of range [0, {n})")
+        node_id = self.trace.program.add_node(
+            "ckks_to_tfhe", (self.id,), level=0, scale=self.scale,
+            attrs={"index": index, "lwe": "ckks"},
+        )
+        return LWEHandle(self.trace, node_id, kind="ckks")
+
+    def extract_lwes(self, nslot: int, stride: "int | None" = None
+                     ) -> "list[LWEHandle]":
+        """Extract ``nslot`` coefficients at ``stride`` spacing (defaults to
+        ``N / nslot``, the positions :meth:`HETrace.repack` later fills)."""
+        n = self.trace.params.ring_degree
+        stride = (n // nslot) if stride is None else stride
+        return [self.extract_lwe(i * stride) for i in range(nslot)]
+
+
+class LWEHandle:
+    """A lazy LWE (TFHE) scalar value: one node of the traced program.
+
+    ``kind`` names the key the ciphertext is under: ``"ckks"`` for
+    dimension-N ciphertexts keyed by the CKKS secret's coefficients (what
+    extraction produces and repacking consumes), ``"small"`` for the TFHE
+    LWE key that bootstrapping operates on.  Operations check kinds at
+    trace time, so a PBS on a CKKS-keyed ciphertext (or a repack of
+    small-keyed ones) fails during tracing, not execution.
+    """
+
+    __slots__ = ("trace", "id", "kind")
+
+    scheme = "tfhe"
+
+    def __init__(self, trace: "HETrace", node_id: int, kind: str):
+        if kind not in ("ckks", "small"):
+            raise ValueError(f"unknown LWE key kind {kind!r}")
+        self.trace = trace
+        self.id = node_id
+        self.kind = kind
+
+    # -- metadata -----------------------------------------------------------
+    @property
+    def _node(self) -> HENode:
+        return self.trace.program.node(self.id)
+
+    @property
+    def scale(self) -> float:
+        """The encoding factor of the LWE message (phase ~ scale * m)."""
+        return self._node.scale
+
+    def _emit(self, op, args, scale, attrs=None, kind=None) -> "LWEHandle":
+        attrs = dict(attrs or {})
+        kind = self.kind if kind is None else kind
+        attrs.setdefault("lwe", kind)
+        node_id = self.trace.program.add_node(op, args, level=0, scale=scale,
+                                              attrs=attrs)
+        return LWEHandle(self.trace, node_id, kind=kind)
+
+    def _check_compatible(self, other, op: str) -> "LWEHandle":
+        if isinstance(other, HEHandle):
+            raise TypeError(
+                f"cannot {op} a CKKS handle with a TFHE (LWE) handle; cross "
+                f"the scheme boundary explicitly with extract_lwe/repack")
+        if not isinstance(other, LWEHandle):
+            raise TypeError(f"cannot {op} LWEHandle and {type(other).__name__}")
+        self.trace._check_same(other)
+        if other.kind != self.kind:
+            raise TypeError(
+                f"cannot {op} LWE ciphertexts under different keys "
+                f"({self.kind!r} vs {other.kind!r}); keyswitch first")
+        if not 0.99 < (self.scale / other.scale) < 1.01:
+            raise ValueError(
+                f"cannot {op} LWE ciphertexts with different encoding "
+                f"factors ({self.scale:g} vs {other.scale:g})")
+        return other
+
+    # -- linear arithmetic (the free LWE homomorphisms) ---------------------
+    def __add__(self, other) -> "LWEHandle":
+        other = self._check_compatible(other, "add")
+        return self._emit("lwe_add", (self.id, other.id), scale=self.scale)
+
+    def __sub__(self, other) -> "LWEHandle":
+        other = self._check_compatible(other, "subtract")
+        return self._emit("lwe_sub", (self.id, other.id), scale=self.scale)
+
+    def __neg__(self) -> "LWEHandle":
+        return self._emit("lwe_negate", (self.id,), scale=self.scale)
+
+    def scalar_mul(self, scalar: int) -> "LWEHandle":
+        """Multiply the message (and its encoding factor) by an integer."""
+        if not isinstance(scalar, int):
+            raise TypeError("LWE scalar multiplication takes an integer")
+        return self._emit("lwe_scalar_mul", (self.id,),
+                          scale=self.scale * abs(scalar) if scalar else 1.0,
+                          attrs={"scalar": scalar})
+
+    def add_encoded(self, value: int) -> "LWEHandle":
+        """Add an already-encoded plaintext constant to the message."""
+        return self._emit("lwe_add_const", (self.id,), scale=self.scale,
+                          attrs={"value": int(value)})
+
+    # -- cross-scheme keyswitches -------------------------------------------
+    def keyswitch_to_tfhe(self) -> "LWEHandle":
+        """Switch a CKKS-keyed LWE onto the small TFHE key (and the TFHE
+        modulus), scaling the encoding factor by ``q_tfhe / q0``."""
+        if self.kind != "ckks":
+            raise TypeError("keyswitch_to_tfhe expects a CKKS-keyed LWE "
+                            f"(got kind {self.kind!r})")
+        tfhe = self.trace._require_tfhe("keyswitch_to_tfhe")
+        q0 = self.trace.params.moduli[0]
+        return self._emit("lwe_keyswitch", (self.id,),
+                          scale=self.scale * tfhe.modulus / q0,
+                          attrs={"direction": "c2t"}, kind="small")
+
+    def keyswitch_to_ckks(self) -> "LWEHandle":
+        """Switch a small-keyed LWE back onto the CKKS coefficient key (and
+        the level-0 CKKS modulus) so it can be repacked."""
+        if self.kind != "small":
+            raise TypeError("keyswitch_to_ckks expects a small-keyed LWE "
+                            f"(got kind {self.kind!r})")
+        tfhe = self.trace._require_tfhe("keyswitch_to_ckks")
+        q0 = self.trace.params.moduli[0]
+        return self._emit("lwe_keyswitch", (self.id,),
+                          scale=self.scale * q0 / tfhe.modulus,
+                          attrs={"direction": "t2c"}, kind="ckks")
+
+    # -- bootstrapping ------------------------------------------------------
+    def pbs(self, fn: Callable[[int], int]) -> "LWEHandle":
+        """Programmable bootstrap: apply the lookup table of ``fn`` (a map
+        over ``[0, t)`` messages) while refreshing noise."""
+        if self.kind != "small":
+            raise TypeError("pbs expects a small-keyed LWE ciphertext; "
+                            "keyswitch_to_tfhe first")
+        tfhe = self.trace._require_tfhe("pbs")
+        return self._emit("pbs", (self.id,), scale=float(tfhe.delta),
+                          attrs={"fn": fn})
+
+    def bootstrap_sign(self, amplitude: int) -> "LWEHandle":
+        """Gate bootstrap with a constant test vector: the result encodes
+        ``2 * amplitude`` when the input phase is in ``[0, q/2)`` and ``0``
+        otherwise — i.e. a threshold bit with encoding factor
+        ``2 * amplitude``."""
+        if self.kind != "small":
+            raise TypeError("bootstrap_sign expects a small-keyed LWE "
+                            "ciphertext; keyswitch_to_tfhe first")
+        self.trace._require_tfhe("bootstrap_sign")
+        if amplitude <= 0:
+            raise ValueError("amplitude must be positive")
+        return self._emit("gate_bootstrap", (self.id,),
+                          scale=2.0 * amplitude,
+                          attrs={"amplitude": int(amplitude)})
+
 
 class HETrace:
-    """Builds one :class:`HEProgram` through lazy :class:`HEHandle` values."""
+    """Builds one :class:`HEProgram` through lazy handle values.
 
-    def __init__(self, params, program: "HEProgram | None" = None):
+    ``tfhe_params`` is required for traces that cross into the TFHE domain
+    (keyswitches and bootstraps need the TFHE parameter set); pure-CKKS
+    traces leave it ``None``.
+    """
+
+    def __init__(self, params, program: "HEProgram | None" = None,
+                 tfhe_params=None):
         self.params = params
-        self.program = HEProgram(params) if program is None else program
+        self.program = (HEProgram(params, tfhe_params=tfhe_params)
+                        if program is None else program)
+        if tfhe_params is not None:
+            self.program.tfhe_params = tfhe_params
+
+    @property
+    def tfhe_params(self):
+        return self.program.tfhe_params
+
+    def _require_tfhe(self, op: str):
+        tfhe = self.program.tfhe_params
+        if tfhe is None:
+            raise ValueError(
+                f"{op} needs TFHE parameters; construct the trace with "
+                f"HETrace(params, tfhe_params=...)")
+        return tfhe
 
     def input(self, name: str, level: "int | None" = None,
               scale: "float | None" = None) -> HEHandle:
@@ -171,11 +379,57 @@ class HETrace:
         scale = float(self.params.scale) if scale is None else float(scale)
         return HEHandle(self, self.program.add_input(name, level, scale))
 
-    def output(self, name: str, handle: HEHandle) -> None:
-        """Mark a handle as a named program output."""
+    def input_lwe(self, name: str, scale: float,
+                  kind: str = "small") -> LWEHandle:
+        """Declare an LWE (TFHE) ciphertext input of key kind ``kind``."""
+        if kind not in ("ckks", "small"):
+            raise ValueError(f"unknown LWE key kind {kind!r}")
+        if kind == "small":
+            self._require_tfhe("input_lwe")
+        node_id = self.program.add_input(name, level=0, scale=float(scale),
+                                         lwe=kind)
+        return LWEHandle(self, node_id, kind=kind)
+
+    def repack(self, lwes: "Sequence[LWEHandle]") -> HEHandle:
+        """Cross back into CKKS: repack ``nslot`` CKKS-keyed LWE handles
+        into one level-0 CKKS ciphertext (Ring Embedding + PackLWEs +
+        Field Trace).  The j-th message lands at coefficient
+        ``j * N / nslot``; the output scale is the common LWE encoding
+        factor, so decryption divides it back out."""
+        lwes = list(lwes)
+        if not lwes:
+            raise ValueError("cannot repack an empty list of LWE handles")
+        nslot = len(lwes)
+        if nslot & (nslot - 1):
+            raise ValueError("the number of repacked LWEs must be a power of two")
+        for lwe in lwes:
+            if not isinstance(lwe, LWEHandle):
+                raise TypeError("repack takes LWE handles, got "
+                                f"{type(lwe).__name__}")
+            self._check_same(lwe)
+            if lwe.kind != "ckks":
+                raise TypeError(
+                    "repack expects CKKS-keyed LWE handles; apply "
+                    "keyswitch_to_ckks to small-keyed values first")
+        scale = lwes[0].scale
+        for lwe in lwes[1:]:
+            if not 0.99 < (lwe.scale / scale) < 1.01:
+                raise ValueError(
+                    "repacked LWE handles must share one encoding factor "
+                    f"({scale:g} vs {lwe.scale:g})")
+        node_id = self.program.add_node(
+            "tfhe_to_ckks", tuple(lwe.id for lwe in lwes), level=0,
+            scale=scale, attrs={"nslot": nslot},
+        )
+        return HEHandle(self, node_id)
+
+    def output(self, name: str, handle) -> None:
+        """Mark a handle (CKKS or LWE) as a named program output."""
+        if not isinstance(handle, (HEHandle, LWEHandle)):
+            raise TypeError(f"cannot output a {type(handle).__name__}")
         self._check_same(handle)
         self.program.set_output(name, handle.id)
 
-    def _check_same(self, handle: HEHandle) -> None:
+    def _check_same(self, handle) -> None:
         if handle.trace.program is not self.program:
             raise ValueError("cannot mix handles from different traces")

@@ -1,0 +1,213 @@
+"""Batched programmable bootstrapping: many PBS sharing each NTT dispatch.
+
+The planner groups independent ``pbs``/``gate_bootstrap`` nodes into one
+dispatch (``attrs["pbs_group"]``); this module is the execution side.  All
+members share the bootstrapping key, so blind rotation iterates the key rows
+*once* and, at each CMux, concatenates every member's gadget-decomposed
+digit rows into a single ``ntt_forward_batch`` / ``ntt_inverse_batch`` pair
+instead of one pair per member — the same stacking the conversion planner
+applies to domain conversions, and the batching the paper's hardware gets
+for free from its wide NTT units.
+
+The result is bit-identical to running :meth:`TFHEContext.programmable_bootstrap`
+per ciphertext: decomposition, MAC reduction, and the inverse transform are
+exact integer operations applied row-wise, and members whose ``a_i`` is zero
+at an iteration are skipped exactly like the sequential loop skips them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..backend import active_backend, use_backend
+from ..polynomial import Polynomial, _ntt_context
+from .ggsw import GGSWCiphertext, _ggsw_eval_rows, cmux, gadget_factors
+from .glwe import GLWECiphertext
+from .lwe import LWECiphertext
+from .pbs import (
+    KeySwitchingKey, TFHEContext, modulus_switch, sample_extract,
+)
+
+__all__ = [
+    "sign_test_vector",
+    "batched_programmable_bootstrap",
+    "batched_lwe_keyswitch",
+    "gate_bootstrap",
+]
+
+
+def sign_test_vector(context: TFHEContext, amplitude: int) -> GLWECiphertext:
+    """The constant test vector of a sign bootstrap.
+
+    Blind rotation by a phase in ``[0, q/2)`` leaves the constant coefficient
+    at ``+amplitude``; a phase in ``[-q/2, 0)`` crosses the negacyclic wrap
+    and yields ``-amplitude``.  Adding ``amplitude`` afterwards maps the two
+    outcomes to ``{2 * amplitude, 0}`` (see :func:`gate_bootstrap`).
+    """
+    params = context.params
+    n, q = params.polynomial_size, params.modulus
+    table = Polynomial(n, q, [amplitude % q] * n)
+    return GLWECiphertext.trivial(table, params.glwe_dimension)
+
+
+def gate_bootstrap(context: TFHEContext, ciphertext: LWECiphertext,
+                   amplitude: int) -> LWECiphertext:
+    """Sign bootstrap: phase >= 0 -> ``2 * amplitude``, phase < 0 -> ``0``."""
+    out = context.programmable_bootstrap(
+        ciphertext, sign_test_vector(context, amplitude)
+    )
+    return out.add_constant(amplitude)
+
+
+def _batched_external_products(
+    ggsw: GGSWCiphertext, glwes: Sequence[GLWECiphertext], context, backend,
+) -> List[GLWECiphertext]:
+    """External products of one GGSW against many GLWEs, stacked per dispatch.
+
+    Mirrors :func:`~repro.fhe.tfhe.ggsw.external_product` exactly, but the
+    forward and inverse NTT batches carry every member's rows at once (the
+    MAC reduction stays per-member: each pairs its own digit transforms with
+    the shared cached key-row transforms).
+    """
+    base, levels, k = ggsw.base, ggsw.levels, ggsw.glwe_dimension
+    n = glwes[0].ring_degree
+    q = glwes[0].modulus
+    factors = gadget_factors(q, base, levels)
+    digit_rows: List[List[int]] = []
+    for glwe in glwes:
+        for component in list(glwe.mask) + [glwe.body]:
+            digit_rows.extend(
+                backend.gadget_decompose(component.coefficients, q, factors)
+            )
+    fwd = backend.ntt_forward_batch(context, digit_rows)
+    key_eval = _ggsw_eval_rows(ggsw, context, backend)
+    per_member = (k + 1) * levels
+    groups = [[key_eval[r][m] for r in range(per_member)] for m in range(k + 1)]
+    out_rows: List[List[int]] = []
+    for g in range(len(glwes)):
+        member_fwd = fwd[g * per_member:(g + 1) * per_member]
+        out_rows.extend(backend.pointwise_mac_many(member_fwd, groups, q))
+    inv = backend.ntt_inverse_batch(context, out_rows)
+    results = []
+    for g in range(len(glwes)):
+        polys = [
+            Polynomial._from_reduced(n, q, row)
+            for row in inv[g * (k + 1):(g + 1) * (k + 1)]
+        ]
+        results.append(GLWECiphertext(mask=polys[:k], body=polys[k]))
+    return results
+
+
+def _ksk_flat_rows(ksk: KeySwitchingKey) -> List[List[int]]:
+    """Flatten ``ksk`` into one ``(levels * n_in) x (n_out + 1)`` matrix.
+
+    Row ``j * n_in + i`` is ``ksk.rows[i][j].a + [ksk.rows[i][j].b]`` —
+    level-major to match :meth:`Backend.gadget_decompose` output order,
+    with the body riding along as the final column.  Cached on the key:
+    every PBS wave under one key reuses the same matrix.
+    """
+    matrix = getattr(ksk, "_flat_rows", None)
+    if matrix is None:
+        matrix = [
+            list(ksk.rows[i][j].a) + [ksk.rows[i][j].b]
+            for j in range(ksk.levels)
+            for i in range(ksk.input_dimension)
+        ]
+        ksk._flat_rows = matrix
+    return matrix
+
+
+def batched_lwe_keyswitch(
+    ciphertexts: Sequence[LWECiphertext],
+    ksk: KeySwitchingKey,
+    output_dimension: int,
+) -> List[LWECiphertext]:
+    """Switch many LWE ciphertexts to ``ksk``'s key in one shared dispatch.
+
+    Bit-identical to calling :func:`~repro.fhe.tfhe.pbs.lwe_keyswitch` per
+    ciphertext: the accumulation is the same exact modular sum
+    ``(0, .., 0, b') - sum_ij Decomp(a'_i)_j * ksk[i][j]``, evaluated as a
+    single ``digits @ ksk`` matrix product over every member at once
+    instead of one per-row ``weighted_sum`` walk per member.  Zero digits
+    contribute nothing either way, so skipping the sparsity filter changes
+    no output bit.
+    """
+    if not ciphertexts:
+        return []
+    q = ciphertexts[0].modulus
+    for ciphertext in ciphertexts:
+        if len(ciphertext.a) != ksk.input_dimension:
+            raise ValueError(
+                f"keyswitch input has dimension {len(ciphertext.a)}, "
+                f"key expects {ksk.input_dimension}"
+            )
+    backend = active_backend()
+    factors = gadget_factors(q, ksk.base, ksk.levels)
+    digit_rows: List[List[int]] = []
+    for ciphertext in ciphertexts:
+        levels = backend.gadget_decompose(ciphertext.a, q, factors)
+        negated: List[int] = []
+        for level_row in levels:
+            negated.extend((q - digit) % q for digit in level_row)
+        digit_rows.append(negated)
+    sums = backend.mat_mulmod(digit_rows, _ksk_flat_rows(ksk), q)
+    return [
+        LWECiphertext(
+            a=[value % q for value in acc[:output_dimension]],
+            b=(ciphertext.b + acc[output_dimension]) % q,
+            modulus=q,
+        )
+        for ciphertext, acc in zip(ciphertexts, sums)
+    ]
+
+
+def batched_programmable_bootstrap(
+    context: TFHEContext,
+    ciphertexts: Sequence[LWECiphertext],
+    test_vectors: "Sequence[GLWECiphertext] | None" = None,
+) -> List[LWECiphertext]:
+    """Run PBS on every ciphertext, sharing blind-rotation NTT dispatches.
+
+    ``test_vectors`` may differ per member (a LUT per ``pbs`` node, a sign
+    table per ``gate_bootstrap``); defaults to the identity table.  Returns
+    outputs in input order, each bit-identical to the sequential PBS.
+    """
+    params = context.params
+    with use_backend(context.backend):
+        if test_vectors is None:
+            identity = context.identity_test_vector()
+            test_vectors = [identity] * len(ciphertexts)
+        if len(test_vectors) != len(ciphertexts):
+            raise ValueError("need one test vector per ciphertext")
+        n, q = params.polynomial_size, params.modulus
+        switched = [modulus_switch(ct, 2 * n) for ct in ciphertexts]
+        accumulators = [
+            tv.multiply_by_monomial(-sw.b)
+            for tv, sw in zip(test_vectors, switched)
+        ]
+        ntt = _ntt_context(n, q)
+        backend = active_backend()
+        for i, ggsw in enumerate(context.bootstrapping_key.ggsw_rows):
+            active = [
+                m for m in range(len(accumulators)) if switched[m].a[i] != 0
+            ]
+            if not active:
+                continue
+            if ntt is None or len(active) == 1:
+                # Non-NTT ring (or nothing to stack): plain per-member CMux.
+                for m in active:
+                    rotated = accumulators[m].multiply_by_monomial(switched[m].a[i])
+                    accumulators[m] = cmux(ggsw, rotated, accumulators[m])
+                continue
+            differences = [
+                accumulators[m].multiply_by_monomial(switched[m].a[i])
+                - accumulators[m]
+                for m in active
+            ]
+            products = _batched_external_products(ggsw, differences, ntt, backend)
+            for m, product in zip(active, products):
+                accumulators[m] = accumulators[m] + product
+        return batched_lwe_keyswitch(
+            [sample_extract(acc, 0) for acc in accumulators],
+            context.keyswitching_key, params.lwe_dimension,
+        )

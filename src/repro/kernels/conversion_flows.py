@@ -12,11 +12,11 @@ from __future__ import annotations
 
 import math
 
-from ..fhe.params import CKKSParameters
+from ..fhe.params import CKKSParameters, TFHEParameters
 from .ckks_flows import hrotate_flow
 from .kernel import Kernel, KernelKind, KernelTrace
 
-__all__ = ["ckks_to_tfhe_flow", "tfhe_to_ckks_flow"]
+__all__ = ["ckks_to_tfhe_flow", "tfhe_to_ckks_flow", "bridge_keyswitch_flow"]
 
 
 def ckks_to_tfhe_flow(params: CKKSParameters, nslot: int) -> KernelTrace:
@@ -78,4 +78,48 @@ def tfhe_to_ckks_flow(params: CKKSParameters, nslot: int,
                     tag="t2c.trace.add")],
             label=f"trace-{step_index}-add",
         )
+    return trace
+
+
+def bridge_keyswitch_flow(direction: str, ckks_params: CKKSParameters,
+                          tfhe_params: TFHEParameters) -> KernelTrace:
+    """Cost trace of one cross-scheme LWE keyswitch (the ``SchemeBridge``).
+
+    Both directions are ModSwitch followed by a gadget-decomposed vector MAC
+    against the bridge key-switching key — structurally the TFHE KeySwitch of
+    :func:`repro.kernels.tfhe_flows.lwe_keyswitch_flow`, but with the input
+    and output dimensions crossing the key boundary: ``c2t`` reduces a
+    dimension-``N`` extracted ciphertext onto the small LWE key using the
+    TFHE set's ksk gadget; ``t2c`` expands a small-key ciphertext to
+    dimension ``N`` using the exact per-modulus gadget of the bridge.
+    """
+    from ..fhe.conversion.bridge import exact_gadget
+
+    if direction == "c2t":
+        in_dim = ckks_params.ring_degree
+        out_dim = tfhe_params.lwe_dimension
+        levels = tfhe_params.ksk_levels
+    elif direction == "t2c":
+        in_dim = tfhe_params.lwe_dimension
+        out_dim = ckks_params.ring_degree
+        levels = exact_gadget(ckks_params.moduli[0])[1]
+    else:
+        raise ValueError(f"unknown bridge direction {direction!r}")
+    trace = KernelTrace(name=f"bridge-keyswitch[{direction}]", scheme="tfhe",
+                        metadata={"direction": direction})
+    trace.add_step(
+        [Kernel(KernelKind.MODSWITCH, in_dim + 1, count=1, scheme="tfhe",
+                tag=f"bridge.{direction}.modswitch")],
+        label="modswitch",
+    )
+    trace.add_step(
+        [
+            Kernel(KernelKind.DECOMPOSE, in_dim, count=1, inner=levels,
+                   scheme="tfhe", tag=f"bridge.{direction}.decompose"),
+            Kernel(KernelKind.LWE_KEYSWITCH, out_dim + 1, count=1,
+                   inner=in_dim * levels, scheme="tfhe",
+                   tag=f"bridge.{direction}.mac"),
+        ],
+        label="keyswitch",
+    )
     return trace

@@ -59,6 +59,7 @@ from .errors import (
     MissingKeyError,
     OverloadedError,
     OversizeBatchError,
+    SchemeMismatchError,
     ParameterMismatchError,
     ProtocolError,
     RateLimitedError,
@@ -177,6 +178,7 @@ __all__ = [
     "LevelMismatchError",
     "ScaleMismatchError",
     "OversizeBatchError",
+    "SchemeMismatchError",
     "MissingKeyError",
     "RateLimitedError",
     "OverloadedError",

@@ -57,6 +57,7 @@ __all__ = [
     "LevelMismatchError",
     "ScaleMismatchError",
     "OversizeBatchError",
+    "SchemeMismatchError",
     "MissingKeyError",
     "RateLimitedError",
     "OverloadedError",
@@ -248,6 +249,33 @@ class MissingKeyError(RequestRejected):
     def from_wire_details(cls, message, details):
         missing = [tuple(entry) for entry in details.get("missing", [])]
         return cls(message, missing=missing)
+
+
+class SchemeMismatchError(RequestRejected):
+    """The payload's FHE scheme does not match the hosted program's.
+
+    Hybrid programs declare the scheme of each named input (a CKKS
+    ciphertext versus a TFHE LWE ciphertext); submitting a payload of the
+    wrong scheme — or a pure-CKKS payload to a program whose pipeline
+    expects the hybrid input form — is rejected before any homomorphic
+    work starts.  ``expected`` / ``got`` name the two schemes.
+    """
+
+    code = 31
+
+    def __init__(self, message: str, expected: "Optional[str]" = None,
+                 got: "Optional[str]" = None):
+        super().__init__(message)
+        self.expected = expected
+        self.got = got
+
+    def wire_details(self) -> Dict[str, Any]:
+        return {"expected": self.expected, "got": self.got}
+
+    @classmethod
+    def from_wire_details(cls, message, details):
+        return cls(message, expected=details.get("expected"),
+                   got=details.get("got"))
 
 
 # ---------------------------------------------------------------------------

@@ -65,6 +65,7 @@ from ..fhe.ckks.evaluator import CKKSEvaluator
 from ..fhe.ckks.keys import CKKSKeySet
 from ..fhe.params import CKKSParameters
 from ..fhe.program import HETrace, ProgramExecutor
+from ..fhe.tfhe.lwe import LWECiphertext
 from .admission import AdmissionController
 from .cache import KeyCache, PlanCache
 from .errors import (
@@ -78,6 +79,7 @@ from .errors import (
     ParameterMismatchError,
     RequestRejected,
     ScaleMismatchError,
+    SchemeMismatchError,
     ServeError,
     UnknownProgramError,
     UnknownTenantError,
@@ -101,13 +103,18 @@ class HostedProgram:
     ``trace_fn`` maps an input :class:`HEHandle` to the output handle; it is
     re-invoked per joint batch width, so it must be side-effect free.
     ``level`` is the required input level; ``scale`` the required input scale
-    (``None`` accepts any scale).
+    (``None`` accepts any scale).  ``scheme`` declares whether the traced
+    body stays in CKKS (``"ckks"``) or crosses into TFHE and back
+    (``"hybrid"``); hybrid programs carry the ``tfhe_params`` their TFHE
+    island is traced against.
     """
 
     name: str
     trace_fn: Callable
     level: int
     scale: Optional[float] = None
+    scheme: str = "ckks"
+    tfhe_params: Optional[Any] = None
 
 
 @dataclass
@@ -115,6 +122,8 @@ class _Tenant:
     tenant_id: str
     keys: CKKSKeySet
     evaluator: CKKSEvaluator
+    tfhe: Optional[Any] = None
+    bridge: Optional[Any] = None
 
 
 @dataclass
@@ -218,24 +227,38 @@ class InferenceServer:
     # -- registration --------------------------------------------------------
     def register_program(self, name: str, trace_fn: Callable, *,
                          level: Optional[int] = None,
-                         scale: Optional[float] = None) -> HostedProgram:
+                         scale: Optional[float] = None,
+                         scheme: str = "ckks",
+                         tfhe_params: Optional[Any] = None) -> HostedProgram:
         if name in self._programs:
             raise ValueError(f"program {name!r} already registered")
+        if scheme not in ("ckks", "hybrid"):
+            raise ValueError(f"unknown program scheme {scheme!r}")
+        if scheme == "hybrid" and tfhe_params is None:
+            raise ValueError("hybrid programs must declare their TFHE "
+                             "parameter set")
         level = self.params.max_level if level is None else int(level)
         if not 0 <= level <= self.params.max_level:
             raise ValueError(f"level {level} out of range")
         program = HostedProgram(name=name, trace_fn=trace_fn, level=level,
-                                scale=None if scale is None else float(scale))
+                                scale=None if scale is None else float(scale),
+                                scheme=scheme, tfhe_params=tfhe_params)
         self._programs[name] = program
         return program
 
     def register_tenant(self, tenant_id: str, keys: CKKSKeySet,
-                        evaluator: Optional[CKKSEvaluator] = None) -> None:
+                        evaluator: Optional[CKKSEvaluator] = None,
+                        tfhe: Optional[Any] = None,
+                        bridge: Optional[Any] = None) -> None:
         """Register a tenant by key set.
 
         Tenants sharing one ``CKKSKeySet`` object share an evaluator — and
         therefore a batch bucket, so their compatible requests batch
-        together.  Distinct key sets never mix in one batch.
+        together.  Distinct key sets never mix in one batch.  ``tfhe`` and
+        ``bridge`` provision the tenant for hybrid programs: the TFHE
+        evaluation context and the CKKS<->TFHE
+        :class:`~repro.fhe.conversion.bridge.SchemeBridge` built over this
+        tenant's secret key.
         """
         if tenant_id in self._tenants:
             raise ValueError(f"tenant {tenant_id!r} already registered")
@@ -247,7 +270,8 @@ class InferenceServer:
             shared = evaluator or CKKSEvaluator(self.params, keys,
                                                 backend=self.backend)
             self._evaluators[id(keys)] = shared
-        self._tenants[tenant_id] = _Tenant(tenant_id, keys, shared)
+        self._tenants[tenant_id] = _Tenant(tenant_id, keys, shared,
+                                           tfhe=tfhe, bridge=bridge)
 
     def has_tenant(self, tenant_id: str) -> bool:
         """Whether ``tenant_id`` is registered (the gateway's handshake check)."""
@@ -281,8 +305,19 @@ class InferenceServer:
             raise OversizeBatchError(
                 f"request carries {count} ciphertexts, scheduler batch bound "
                 f"is {self.max_batch_size}")
+        if program.scheme == "hybrid" and (tenant.tfhe is None
+                                           or tenant.bridge is None):
+            raise SchemeMismatchError(
+                f"program {program.name!r} is hybrid but tenant "
+                f"{tenant.tenant_id!r} is provisioned for CKKS only (no TFHE "
+                f"context / scheme bridge)", expected="hybrid", got="ckks")
         params = self.params
         for ct in request.ciphertexts:
+            if isinstance(ct, LWECiphertext):
+                raise SchemeMismatchError(
+                    f"program {program.name!r} takes CKKS ciphertexts, the "
+                    f"payload is a TFHE LWE ciphertext",
+                    expected="ckks", got="tfhe")
             if not isinstance(ct, CKKSCiphertext):
                 raise ParameterMismatchError(
                     f"expected CKKSCiphertext, got {type(ct).__name__}")
@@ -342,7 +377,7 @@ class InferenceServer:
                  width: int):
         """The joint ``width``-input planned program, from the plan cache."""
         def build():
-            trace = HETrace(self.params)
+            trace = HETrace(self.params, tfhe_params=program.tfhe_params)
             # Declare every input before any body: the planner's stacked-
             # conversion pass only groups conversions whose sources precede
             # the group's first member, so front-loading the inputs lets all
@@ -351,7 +386,16 @@ class InferenceServer:
                        for i in range(width)]
             for i, handle in enumerate(handles):
                 trace.output(f"y{i}", program.trace_fn(handle))
-            return trace.program
+            built = trace.program
+            declared_hybrid = program.scheme == "hybrid"
+            if built.is_hybrid() != declared_hybrid:
+                raise SchemeMismatchError(
+                    f"program {program.name!r} is registered as "
+                    f"{program.scheme!r} but its trace is "
+                    f"{'hybrid' if built.is_hybrid() else 'pure CKKS'}",
+                    expected=program.scheme,
+                    got="hybrid" if built.is_hybrid() else "ckks")
+            return built
 
         return self.plan_cache.get((program.name, level, scale, width), build)
 
@@ -542,7 +586,8 @@ class InferenceServer:
         self._provision_keys(tenant, planned)
         if self._on_batch_start is not None:
             self._on_batch_start(key, width)
-        executor = ProgramExecutor(evaluator)
+        executor = ProgramExecutor(evaluator, tfhe=tenant.tfhe,
+                                   bridge=tenant.bridge)
         inputs = {f"x{i}": ct for i, (_, _, ct) in enumerate(entries)}
         outputs = executor.run(planned, inputs)
         validator = self.resilience.output_validator

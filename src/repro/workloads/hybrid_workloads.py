@@ -26,15 +26,21 @@ from ..fhe.params import (
     TFHE_SET_III,
 )
 from ..kernels.ckks_flows import hadd_flow, hmult_flow, hrotate_flow, pmult_flow, rescale_flow
-from ..kernels.conversion_flows import ckks_to_tfhe_flow, tfhe_to_ckks_flow
+from ..kernels.conversion_flows import (
+    bridge_keyswitch_flow,
+    ckks_to_tfhe_flow,
+    tfhe_to_ckks_flow,
+)
 from ..kernels.kernel import Kernel, KernelKind, KernelTrace
-from ..kernels.tfhe_flows import pbs_flow
+from ..kernels.tfhe_flows import gate_bootstrap_flow, pbs_flow
 from .base import Workload
 
 __all__ = [
     "conversion_workload",
     "he3db_workload",
     "he3db_hybrid_segments",
+    "hybrid_query_parameters",
+    "hybrid_query_workloads",
     "PBS_PER_FILTERED_ENTRY",
 ]
 
@@ -164,3 +170,69 @@ def he3db_hybrid_segments(entries: int,
         transfer_bytes=0.0,
     )
     return [extraction, filtering, aggregation]
+
+
+# ---------------------------------------------------------------------------
+# The encrypted-database threshold query (examples/hybrid_database_query.py)
+# ---------------------------------------------------------------------------
+
+def hybrid_query_parameters() -> Tuple[CKKSParameters, TFHEParameters]:
+    """The functional parameter pair of ``examples/hybrid_database_query.py``.
+
+    Small zero-noise sets chosen so the scheme bridge's gadget decompositions
+    are exact and the planned program is bit-identical to eager execution;
+    the example and its differential tests share them through this helper.
+    """
+    ckks = CKKSParameters(
+        ring_degree=64, max_level=1, dnum=1, scale_bits=4, modulus_bits=40,
+        special_modulus_bits=42, security_bits=0, name="ckks-hybrid-query",
+    )
+    return ckks, TFHEParameters.hybrid()
+
+
+def hybrid_query_workloads(nslot: int = 4,
+                           ckks_params: CKKSParameters | None = None,
+                           tfhe_params: TFHEParameters | None = None
+                           ) -> List[Workload]:
+    """Hand-built cost entry for the hybrid threshold query, per scheme.
+
+    Mirrors what ``lower_hybrid_to_workloads`` produces for the traced
+    example program — one CKKS workload (the boost PMult at level 1 and the
+    filter PMult at level 0), one TFHE workload (per slot: a ``c2t`` bridge
+    keyswitch, the negate/add-encoded linear pair, one gate bootstrap, a
+    ``t2c`` bridge keyswitch) and one conversion workload (``nslot``
+    extractions plus one repack).  The reconciliation test asserts the two
+    kernel histograms are equal, so this entry *is* the example's cost when
+    fed through ``WorkloadScheduler.run_interleaved``.
+    """
+    default_ckks, default_tfhe = hybrid_query_parameters()
+    ckks = default_ckks if ckks_params is None else ckks_params
+    tfhe = default_tfhe if tfhe_params is None else tfhe_params
+
+    ckks_traces = [pmult_flow(ckks, 1), pmult_flow(ckks, 0)]
+
+    tfhe_traces: List[KernelTrace] = []
+    for _ in range(nslot):
+        tfhe_traces.append(bridge_keyswitch_flow("c2t", ckks, tfhe))
+        tfhe_traces.append(gate_bootstrap_flow(tfhe))
+        tfhe_traces.append(bridge_keyswitch_flow("t2c", ckks, tfhe))
+    linear = KernelTrace(name="lwe-linear", scheme="tfhe")
+    linear.add_step(
+        [Kernel(KernelKind.MODADD, tfhe.lwe_dimension + 1, count=2 * nslot,
+                scheme="tfhe", tag="lwe.linear")],
+        label="lwe-linear",
+    )
+    tfhe_traces.append(linear)
+
+    conversion_traces = [
+        ckks_to_tfhe_flow(ckks, nslot=nslot),
+        tfhe_to_ckks_flow(ckks, nslot=nslot, level=0),
+    ]
+    return [
+        Workload(name="hybrid.ckks", scheme="ckks", traces=ckks_traces,
+                 metadata={"params": ckks.name}),
+        Workload(name="hybrid.tfhe", scheme="tfhe", traces=tfhe_traces,
+                 metadata={"params": tfhe.name}),
+        Workload(name="hybrid.conversion", scheme="conversion",
+                 traces=conversion_traces, metadata={"extractions": nslot}),
+    ]

@@ -29,7 +29,15 @@ class TestExamples:
     def test_hybrid_database_query(self):
         output = run_example("hybrid_database_query.py")
         assert "SUM(price)" in output
+        assert "planned vs eager: bit-exact [ok]" in output
+        assert "SUM(price) WHERE price <= 200: 195 (expected 195) [ok]" \
+            in output
+        assert "grand total: 1445" in output
+        assert "batched PBS dispatch of 4 bootstraps" in output
+        assert "co-scheduling gain" in output
+        assert "SchemeMismatchError (stable code 31" in output
         assert "HE3DB-4096" in output and "HE3DB-16384" in output
+        assert "MISMATCH" not in output
 
     def test_encrypted_inference(self):
         output = run_example("encrypted_inference.py")

@@ -60,6 +60,7 @@ from repro.serve import (
     RateLimitedError,
     ResiliencePolicy,
     RetryPolicy,
+    SchemeMismatchError,
     SecretKeyOnWireError,
     SerializationError,
     ServeError,
@@ -361,6 +362,33 @@ def test_error_wire_roundtrips_preserve_details():
     failure = ExecutionError("kernel down")
     failure.__cause__ = RuntimeError("boom")
     assert failure.to_wire()["details"] == {"cause": "RuntimeError"}
+
+
+def test_scheme_mismatch_holds_code_31_and_roundtrips():
+    registry = wire_code_registry()
+    assert registry[31] is SchemeMismatchError
+    mismatch = SchemeMismatchError("hybrid program, CKKS-only tenant",
+                                   expected="hybrid", got="ckks")
+    wire = mismatch.to_wire()
+    assert wire["code"] == 31
+    assert wire["details"] == {"expected": "hybrid", "got": "ckks"}
+    back = error_from_wire(wire["code"], wire["message"], wire["details"])
+    assert isinstance(back, SchemeMismatchError)
+    assert isinstance(back, errors_mod.RequestRejected)  # pre-execution reject
+    assert back.expected == "hybrid" and back.got == "ckks"
+
+    back = Error.from_exception(mismatch, request_id=9).to_exception()
+    assert isinstance(back, SchemeMismatchError)
+    assert back.expected == "hybrid" and back.got == "ckks"
+
+
+def test_duplicate_wire_codes_are_rejected_at_class_definition():
+    """The registry auto-fills from the hierarchy; a class reusing a
+    shipped code (31 belongs to SchemeMismatchError) cannot be defined."""
+    with pytest.raises(TypeError, match="already belongs"):
+        type("RogueError", (ServeError,), {"code": 31})
+    with pytest.raises(TypeError, match="stable wire"):
+        type("CodelessError", (ServeError,), {})
 
 
 def test_unknown_wire_code_degrades_without_losing_it():

@@ -29,17 +29,28 @@ from repro.fhe.ckks.bootstrap import linear_transform_plan
 from repro.fhe.ckks.ciphertext import CKKSCiphertext, CKKSPlaintext
 from repro.fhe.ckks.evaluator import CKKSEvaluator
 from repro.fhe.ckks.keys import CKKSKeyGenerator, CKKSKeySet
-from repro.fhe.params import CKKSParameters
-from repro.fhe.polynomial import Polynomial, galois_eval_spec
+from repro.fhe.conversion.bridge import SchemeBridge
+from repro.fhe.params import CKKSParameters, TFHEParameters
+from repro.fhe.polynomial import Polynomial, galois_eval_spec, sample_uniform
 from repro.fhe.program import (
     HETrace,
     ProgramExecutor,
+    SCHEME_SWITCH_OPS,
+    TFHE_OPS,
     conversion_counts,
+    hybrid_cycle_estimate,
+    hybrid_kernel_histogram,
+    lower_hybrid_to_workloads,
     lower_to_operations,
     operation_histogram,
     plan_program,
 )
 from repro.fhe.rns import RNSPolynomial, _limb_contexts
+from repro.fhe.tfhe import TFHEContext
+from repro.workloads.hybrid_workloads import (
+    hybrid_query_parameters,
+    hybrid_query_workloads,
+)
 
 numpy_missing = "numpy" not in available_backends()
 needs_numpy = pytest.mark.skipif(numpy_missing, reason="numpy backend unavailable")
@@ -878,3 +889,287 @@ class TestSemantics:
             evaluator.rescale(evaluator.multiply_plain(ct, weights)), 4
         )
         assert _rows(planned) == _rows(eager)
+
+
+# ---------------------------------------------------------------------------
+# Hybrid CKKS <-> TFHE programs
+# ---------------------------------------------------------------------------
+
+#: (ckks, tfhe, boost, amplitude) combos for the hybrid differential suite.
+#: The boost lifts the message far enough above the sign-bootstrap bucket
+#: resolution (q_tfhe / 2N_glwe) that the decoded mask bits are exact; the
+#: 28-bit chain additionally exercises the <= 32-bit single-word kernels and
+#: the REPRO_U32_STORE narrow storage (40-bit limbs stay wide under u32).
+HYBRID_PARAM_SETS = [
+    hybrid_query_parameters() + (1 << 28, 1 << 16),
+    (
+        CKKSParameters(
+            ring_degree=32, max_level=1, dnum=1, scale_bits=4,
+            modulus_bits=28, special_modulus_bits=30, security_bits=0,
+            name="ckks-hybrid-u32",
+        ),
+        TFHEParameters.hybrid(), 1 << 16, 1 << 16,
+    ),
+    (
+        CKKSParameters(
+            ring_degree=64, max_level=1, dnum=1, scale_bits=4,
+            modulus_bits=40, special_modulus_bits=42, security_bits=0,
+            name="ckks-hybrid-small-glwe",
+        ),
+        TFHEParameters(
+            polynomial_size=128, lwe_dimension=8, glwe_dimension=1,
+            bsk_levels=5, bsk_base_log=6, ksk_levels=5, ksk_base_log=6,
+            modulus_bits=31, plaintext_modulus=4, noise_stddev=0.0,
+            security_bits=0, name="tfhe-small-glwe",
+        ),
+        1 << 28, 1 << 16,
+    ),
+]
+HYBRID_PARAM_IDS = [
+    f"{p.name}+{t.name}" for p, t, _, _ in HYBRID_PARAM_SETS
+]
+
+#: Threshold-query instance shared by the differential tests: margins of at
+#: least 5 on either side of the threshold keep every combo's sign
+#: bootstrap away from its bucket boundary.
+HYBRID_VALUES = [3, 14, 2, 13]
+HYBRID_THRESHOLD = 8
+
+
+def _encrypt_coefficients(params, keys, coefficients, level, scale, seed=21):
+    """Symmetric zero-noise encryption of integer coefficients.
+
+    The hybrid tests run on the no-numpy leg, where ``CKKSContext`` (whose
+    encoder is the one hard numpy consumer) is unavailable — so encrypt by
+    hand: ``(-(a s) + m, a)`` under the ``_keyed`` secret.
+    """
+    n = params.ring_degree
+    basis = params.basis(level)
+    rng = random.Random(seed ^ 0xB1D9E)
+    s = keys.secret.as_rns(n, basis)
+    a = RNSPolynomial(n, basis, [sample_uniform(n, q, rng) for q in basis])
+    pt = RNSPolynomial.from_integer_coefficients(
+        n, basis, [int(c) for c in coefficients])
+    return CKKSCiphertext(c0=-(a * s) + pt, c1=a, level=level,
+                          scale=float(scale))
+
+
+def _phase_coefficients(params, keys, ct):
+    """Centered ``c0 + c1 s`` — decryption without the (numpy) encoder."""
+    c0 = ct.c0.to_coeff()
+    c1 = ct.c1.to_coeff()
+    s = keys.secret.as_rns(params.ring_degree, c0.basis)
+    return (c0 + c1 * s).to_polynomial().centered_coefficients()
+
+
+def _hybrid_threshold_program(params, tparams, boost, amplitude, nslot=4,
+                              values=HYBRID_VALUES,
+                              threshold=HYBRID_THRESHOLD):
+    """The encrypted threshold filter as one traced hybrid program.
+
+    A coefficient-packed CKKS column crosses into TFHE per slot (extract +
+    bridge keyswitch), a sign bootstrap evaluates ``value <= threshold``,
+    and the mask bits repack into CKKS — the per-slot chains are traced
+    interleaved, exactly the shape the PBS wave scheduler must regroup.
+    """
+    q0, qt = params.moduli[0], tparams.modulus
+    encoded_threshold = round(threshold * params.scale * boost * qt / q0)
+    t = HETrace(params, tfhe_params=tparams)
+    x = t.input("x", level=1, scale=float(params.scale))
+    boosted = x * boost
+    bits = []
+    for lwe in boosted.extract_lwes(nslot):
+        diff = (-lwe.keyswitch_to_tfhe()).add_encoded(encoded_threshold)
+        bits.append(diff.bootstrap_sign(amplitude))
+    t.output("mask", t.repack([bit.keyswitch_to_ckks() for bit in bits]))
+    t.output("double", x + x)
+    return t.program
+
+
+def _hybrid_column(params, values=HYBRID_VALUES, nslot=4):
+    stride = params.ring_degree // nslot
+    coefficients = [0] * params.ring_degree
+    for j, value in enumerate(values):
+        coefficients[j * stride] = value * params.scale
+    return coefficients
+
+
+@pytest.mark.parametrize(("params", "tparams", "boost", "amplitude"),
+                         HYBRID_PARAM_SETS, ids=HYBRID_PARAM_IDS)
+class TestHybridDifferential:
+    def test_planned_matches_eager_and_decodes_the_filter(
+            self, params, tparams, boost, amplitude):
+        nslot = len(HYBRID_VALUES)
+        stride = params.ring_degree // nslot
+        program = _hybrid_threshold_program(params, tparams, boost, amplitude)
+        planned = plan_program(program, optimize=True)
+        eager = plan_program(program, optimize=False)
+        assert planned.stats["pbs_groups"] == 1
+        assert planned.stats["grouped_pbs"] == nslot
+
+        reference = None
+        for backend in BACKENDS:
+            keys = _keyed(params)
+            tfhe = TFHEContext(tparams, seed=7)
+            bridge = SchemeBridge(params, keys.secret, tfhe, seed=7)
+            executor = ProgramExecutor(
+                CKKSEvaluator(params, keys, backend=backend),
+                tfhe=tfhe, bridge=bridge)
+            with use_backend(backend):
+                ct = _encrypt_coefficients(
+                    params, keys, _hybrid_column(params), level=1,
+                    scale=params.scale)
+                planned_out = executor.run(planned, {"x": ct})
+                eager_out = executor.run_eager(eager, {"x": ct})
+                rows = {name: _rows(out) for name, out in planned_out.items()}
+                for name, out in eager_out.items():
+                    assert rows[name] == _rows(out), (backend.name, name)
+
+                # The mask decodes to the exact predicate bits: the planner's
+                # batched-PBS/wave reordering changed nothing semantically.
+                encoding = 2 * amplitude * params.moduli[0] / tparams.modulus
+                phase = _phase_coefficients(params, keys, planned_out["mask"])
+                bits = [round(phase[j * stride] / encoding)
+                        for j in range(nslot)]
+                assert bits == [1 if v <= HYBRID_THRESHOLD else 0
+                                for v in HYBRID_VALUES], backend.name
+            if reference is None:
+                reference = rows
+            else:
+                assert rows == reference          # cross-backend bit-exact
+
+
+class TestHybridDeadCodeElimination:
+    PARAMS, TPARAMS = hybrid_query_parameters()
+
+    def _trace(self):
+        t = HETrace(self.PARAMS, tfhe_params=self.TPARAMS)
+        return t, t.input("x", level=1, scale=float(self.PARAMS.scale))
+
+    def test_scheme_switch_survives_cross_scheme_liveness(self):
+        """A ``ckks_to_tfhe`` node whose only consumers live in the TFHE
+        subgraph is not dead: liveness must traverse the scheme boundary."""
+        t, x = self._trace()
+        x.rotate(3)                              # actually dead
+        lwe = x.extract_lwe(0).keyswitch_to_tfhe()
+        t.output("y", t.repack([lwe.keyswitch_to_ckks()]))
+        planned = plan_program(t.program)
+        ops = [node.op for node in planned.program.nodes]
+        assert "ckks_to_tfhe" in ops and "tfhe_to_ckks" in ops
+        assert ops.count("lwe_keyswitch") == 2
+        assert "rotate" not in ops
+        assert planned.stats["dead_nodes_removed"] == 1
+        assert planned.stats["scheme_switches"] == 2
+
+    def test_dead_tfhe_island_is_pruned(self):
+        """A TFHE chain nothing consumes disappears wholesale (the switch,
+        the bridge keyswitch, the bootstrap and its mod_down)."""
+        t, x = self._trace()
+        x.extract_lwe(0).keyswitch_to_tfhe().bootstrap_sign(16)
+        t.output("y", x + x)
+        planned = plan_program(t.program)
+        live_ops = {node.op for node in planned.program.nodes}
+        assert live_ops.isdisjoint(TFHE_OPS | SCHEME_SWITCH_OPS)
+        assert planned.stats["dead_nodes_removed"] == 4
+        assert set(planned.program.schemes()) == {"ckks"}
+        assert not planned.program.is_hybrid()
+
+
+class TestHybridPlanner:
+    PARAMS, TPARAMS = hybrid_query_parameters()
+
+    def test_interleaved_bootstraps_group_into_one_wave(self):
+        """Per-slot chains are traced interleaved; the wave scheduler still
+        pulls the four independent bootstraps into one batched dispatch."""
+        program = _hybrid_threshold_program(
+            self.PARAMS, self.TPARAMS, boost=1 << 28, amplitude=1 << 16)
+        planned = plan_program(program)
+        assert planned.stats["pbs_groups"] == 1
+        assert planned.stats["grouped_pbs"] == 4
+        assert planned.stats["scheme_switches"] == 5   # 4 extracts + 1 repack
+        groups = {node.attrs.get("pbs_group")
+                  for node in planned.program.nodes
+                  if node.op == "gate_bootstrap"}
+        assert groups == {0}
+        planned.program.validate()                     # reorder kept topo order
+
+    def test_dependent_bootstraps_are_not_grouped(self):
+        """A bootstrap feeding another sits in a later wave: no batching."""
+        t = HETrace(self.PARAMS, tfhe_params=self.TPARAMS)
+        x = t.input("x", level=1, scale=float(self.PARAMS.scale))
+        first = x.extract_lwe(0).keyswitch_to_tfhe().bootstrap_sign(16)
+        second = first.pbs(lambda value: value)
+        t.output("y", t.repack([second.keyswitch_to_ckks()]))
+        planned = plan_program(t.program)
+        assert planned.stats.get("pbs_groups", 0) == 0
+        assert planned.stats.get("grouped_pbs", 0) == 0
+        assert not any("pbs_group" in node.attrs
+                       for node in planned.program.nodes)
+
+    def test_eager_mode_skips_wave_scheduling(self):
+        program = _hybrid_threshold_program(
+            self.PARAMS, self.TPARAMS, boost=1 << 28, amplitude=1 << 16)
+        planned = plan_program(program, optimize=False)
+        assert planned.stats.get("pbs_groups", 0) == 0
+
+
+class TestHybridLowering:
+    PARAMS, TPARAMS = hybrid_query_parameters()
+
+    def _query_program(self, nslot=4):
+        """The example-shaped program: threshold filter + plaintext fold."""
+        q0, qt = self.PARAMS.moduli[0], self.TPARAMS.modulus
+        encoded_threshold = round(
+            200 * self.PARAMS.scale * (1 << 24) * qt / q0)
+        t = HETrace(self.PARAMS, tfhe_params=self.TPARAMS)
+        x = t.input("prices", level=1, scale=float(self.PARAMS.scale))
+        boosted = x * (1 << 24)
+        bits = []
+        for lwe in boosted.extract_lwes(nslot):
+            diff = (-lwe.keyswitch_to_tfhe()).add_encoded(encoded_threshold)
+            bits.append(diff.bootstrap_sign(1 << 16))
+        mask = t.repack([bit.keyswitch_to_ckks() for bit in bits])
+        t.output("mask", mask)
+        t.output("filtered", mask * _random_pt(self.PARAMS, 99, level=0,
+                                               scale=1.0))
+        return plan_program(t.program)
+
+    def test_lowering_requires_tfhe_params(self):
+        t = HETrace(self.PARAMS)
+        x = t.input("x")
+        t.output("y", x + x)
+        with pytest.raises(ValueError, match="TFHE"):
+            lower_hybrid_to_workloads(plan_program(t.program))
+
+    def test_workloads_are_scheme_grouped(self):
+        workloads = lower_hybrid_to_workloads(self._query_program())
+        assert [w.name for w in workloads] == [
+            "hybrid.ckks", "hybrid.tfhe", "hybrid.conversion"]
+        assert [w.scheme for w in workloads] == [
+            "ckks", "tfhe", "conversion"]
+        assert workloads[2].metadata["extractions"] == 4
+
+    def test_histogram_reconciles_with_workloads_entry(self):
+        """The lowered kernel stream of the planned query program and the
+        hand-built ``hybrid_query_workloads`` cost entry agree kernel by
+        kernel, so the workloads entry *is* the example's Trinity cost."""
+        lowered = hybrid_kernel_histogram(
+            lower_hybrid_to_workloads(self._query_program()))
+        hand_built = hybrid_kernel_histogram(hybrid_query_workloads(nslot=4))
+        assert lowered == hand_built
+
+    def test_cycle_estimate_matches_scheduler_on_workloads_entry(self):
+        from repro.core.scheduler import WorkloadScheduler
+
+        planned = self._query_program()
+        report = hybrid_cycle_estimate(planned)
+        reference = WorkloadScheduler().run_interleaved(
+            hybrid_query_workloads(nslot=4))
+        assert report.interleaved_cycles == pytest.approx(
+            reference.interleaved_cycles)
+        assert report.sequential_cycles == pytest.approx(
+            reference.sequential_cycles)
+        assert report.co_scheduling_gain > 1.0
+        round_trip = report.to_dict()
+        assert round_trip["interleaved_cycles"] == report.interleaved_cycles
+        assert round_trip["workload_names"] == list(report.workload_names)

@@ -70,6 +70,21 @@ class TestInterleavedScheduling:
         assert report.sequential_seconds > report.interleaved_seconds > 0
         assert set(report.workload_names) == {ckks_job.name, tfhe_job.name}
 
+    def test_report_to_dict_is_json_ready_and_faithful(self, ckks_job, tfhe_job):
+        import json
+
+        report = WorkloadScheduler().run_interleaved([ckks_job, tfhe_job])
+        as_dict = report.to_dict()
+        assert json.loads(json.dumps(as_dict)) == as_dict
+        assert as_dict["workload_names"] == list(report.workload_names)
+        assert as_dict["sequential_cycles"] == report.sequential_cycles
+        assert as_dict["interleaved_cycles"] == report.interleaved_cycles
+        assert as_dict["per_workload_cycles"] == dict(report.per_workload_cycles)
+        assert as_dict["scheme_switches"] == report.scheme_switches
+        assert as_dict["co_scheduling_gain"] == report.co_scheduling_gain
+        assert as_dict["sequential_seconds"] == report.sequential_seconds
+        assert as_dict["interleaved_seconds"] == report.interleaved_seconds
+
 
 # ---------------------------------------------------------------------------
 # Simulator cycle accounting (hand-computed expectations)

@@ -49,6 +49,7 @@ from repro.serve import (
     ParameterMismatchError,
     PlanCache,
     ScaleMismatchError,
+    SchemeMismatchError,
     SerializationError,
     UnknownProgramError,
     UnknownTenantError,
@@ -876,3 +877,99 @@ class TestFaultInjection:
             server.register_tenant("other", _keyed(PARAM_SETS[1]))
         with pytest.raises(ValueError):
             InferenceServer(TOY, max_batch_size=0)
+
+
+# ---------------------------------------------------------------------------
+# Hybrid programs behind the scheduler
+# ---------------------------------------------------------------------------
+
+class TestSchemeMismatch:
+    """Scheme validation of hosted hybrid programs (wire code 31)."""
+
+    @staticmethod
+    def _hybrid_tracer():
+        def tracer(x):
+            lwe = x.extract_lwe(0).keyswitch_to_tfhe()
+            return x.trace.repack([lwe.keyswitch_to_ckks()])
+        return tracer
+
+    def _hybrid_server(self):
+        from repro.fhe.conversion.bridge import SchemeBridge
+        from repro.fhe.tfhe import TFHEContext
+        from repro.workloads.hybrid_workloads import hybrid_query_parameters
+
+        params, tparams = hybrid_query_parameters()
+        server = InferenceServer(params, backend=PYTHON, batch_window=0.001)
+        server.register_program("filter", self._hybrid_tracer(),
+                                level=1, scale=float(params.scale),
+                                scheme="hybrid", tfhe_params=tparams)
+        keys = _keyed(params)
+        tfhe = TFHEContext(tparams, seed=7)
+        bridge = SchemeBridge(params, keys.secret, tfhe, seed=7)
+        server.register_tenant("provisioned", keys, tfhe=tfhe, bridge=bridge)
+        server.register_tenant("ckks-only", keys)
+        return server, params
+
+    def test_unprovisioned_tenant_is_rejected_with_code_31(self):
+        server, params = self._hybrid_server()
+        ct = _random_ct(params, 1, level=1)
+        with pytest.raises(SchemeMismatchError) as excinfo:
+            server.serve([InferenceRequest.single("ckks-only", "filter", ct)])
+        assert excinfo.value.code == 31
+        assert excinfo.value.expected == "hybrid"
+        assert excinfo.value.got == "ckks"
+
+    def test_provisioned_tenant_is_served_after_a_rejection(self):
+        """The rejection is per-request: the same server keeps serving a
+        tenant that holds TFHE/bridge material."""
+        server, params = self._hybrid_server()
+        ct = _random_ct(params, 1, level=1)
+        with pytest.raises(SchemeMismatchError):
+            server.serve([InferenceRequest.single("ckks-only", "filter", ct)])
+        response = server.serve(
+            [InferenceRequest.single("provisioned", "filter", ct)])[0]
+        assert len(response.ciphertexts) == 1
+        assert response.ciphertexts[0].level == 0    # repacked at level 0
+
+    def test_lwe_payload_to_ckks_program_is_rejected(self):
+        from repro.fhe.params import TFHEParameters
+        from repro.fhe.tfhe import LWEContext
+
+        server, _, _ = _dense_server(TOY, PYTHON)
+        lwe = LWEContext(TFHEParameters.hybrid(), seed=0).encrypt(1)
+        with pytest.raises(SchemeMismatchError) as excinfo:
+            server.serve([InferenceRequest(
+                tenant_id="t0", program="dense", ciphertexts=[lwe])])
+        assert excinfo.value.expected == "ckks"
+        assert excinfo.value.got == "tfhe"
+
+    def test_declared_scheme_must_match_the_trace(self):
+        """A program whose registration disagrees with what its trace
+        actually does is caught when the plan is first built."""
+        from repro.workloads.hybrid_workloads import hybrid_query_parameters
+
+        params, tparams = hybrid_query_parameters()
+        server = InferenceServer(params, backend=PYTHON, batch_window=0.001)
+        server.register_tenant("t0", _keyed(params))
+        # Declared hybrid, traces pure CKKS.
+        server.register_program("pure", lambda x: x + x, level=1,
+                                scale=float(params.scale),
+                                scheme="hybrid", tfhe_params=tparams)
+        # Declared CKKS, traces hybrid ops.
+        server.register_program("sneaky", self._hybrid_tracer(), level=1,
+                                scale=float(params.scale),
+                                tfhe_params=tparams)
+        ct = _random_ct(params, 1, level=1)
+        with pytest.raises(SchemeMismatchError):
+            server.serve([InferenceRequest.single("t0", "pure", ct)])
+        with pytest.raises(SchemeMismatchError):
+            server.serve([InferenceRequest.single("t0", "sneaky", ct)])
+
+    def test_hybrid_registration_requires_tfhe_params(self):
+        server = InferenceServer(TOY, backend=PYTHON, batch_window=0.001)
+        with pytest.raises(ValueError, match="TFHE parameter"):
+            server.register_program("filter", self._hybrid_tracer(),
+                                    scheme="hybrid")
+        with pytest.raises(ValueError, match="scheme"):
+            server.register_program("filter", self._hybrid_tracer(),
+                                    scheme="bfv")

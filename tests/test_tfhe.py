@@ -295,3 +295,46 @@ class TestGates:
         assert gates.decrypt(gates.less_than(encrypt_number(2), encrypt_number(5))) is True
         assert gates.decrypt(gates.less_than(encrypt_number(5), encrypt_number(2))) is False
         assert gates.decrypt(gates.less_than(encrypt_number(3), encrypt_number(3))) is False
+
+
+class TestBatchedBootstrap:
+    """The shared-dispatch PBS batching behind the planner's wave groups."""
+
+    @pytest.fixture(scope="class")
+    def hybrid_context(self):
+        return TFHEContext(TFHEParameters.hybrid(), seed=3)
+
+    def test_batched_pbs_is_bit_identical_to_sequential(self, hybrid_context):
+        from repro.fhe.tfhe.batched import batched_programmable_bootstrap
+
+        context = hybrid_context
+        messages = [0, 1, 2, 3, 1]
+        ciphertexts = [context.encrypt(m) for m in messages]
+        batched = batched_programmable_bootstrap(context, ciphertexts)
+        for ct, message, out in zip(ciphertexts, messages, batched):
+            reference = context.programmable_bootstrap(ct)
+            assert out.a == reference.a and out.b == reference.b
+            assert context.decrypt(out) == message
+
+    def test_batched_pbs_with_mixed_test_vectors(self, hybrid_context):
+        """A sign table and a LUT in one batch (how `pbs` and
+        `gate_bootstrap` nodes share a wave) still match sequential PBS."""
+        from repro.fhe.tfhe.batched import (
+            batched_programmable_bootstrap,
+            sign_test_vector,
+        )
+
+        context = hybrid_context
+        ciphertexts = [context.encrypt(1), context.encrypt(3)]
+        vectors = [sign_test_vector(context, 8), context.identity_test_vector()]
+        batched = batched_programmable_bootstrap(context, ciphertexts, vectors)
+        for ct, tv, out in zip(ciphertexts, vectors, batched):
+            reference = context.programmable_bootstrap(ct, tv)
+            assert out.a == reference.a and out.b == reference.b
+
+    def test_batched_pbs_rejects_mismatched_vectors(self, hybrid_context):
+        from repro.fhe.tfhe.batched import batched_programmable_bootstrap
+
+        with pytest.raises(ValueError, match="one test vector"):
+            batched_programmable_bootstrap(
+                hybrid_context, [hybrid_context.encrypt(0)], [])
